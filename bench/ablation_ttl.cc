@@ -1,0 +1,74 @@
+// Ablation A3: TTL-based hop localization — the §6 future-work idea RIPE
+// Atlas could not support. With a transport that sets the IP TTL, the
+// interceptor's hop distance is the smallest TTL that still draws a DNS
+// response. We sweep four deployments and show the hop counts separate
+// cleanly: CPE (hop 1) < ISP (hop 3) < transit interceptor < real resolver.
+#include "atlas/scenario.h"
+#include "bench_util.h"
+#include "core/path_probe.h"
+#include "core/ttl_probe.h"
+#include "report/table.h"
+
+using namespace dnslocate;
+
+int main() {
+  bench::heading("Ablation A3: TTL sweep towards 8.8.8.8 (version.bind)");
+
+  struct Case {
+    std::string label;
+    atlas::ScenarioConfig config;
+  };
+  std::vector<Case> cases(4);
+  cases[0].label = "no interception (real resolver answers)";
+  cases[1].label = "CPE interceptor (XB6 bug)";
+  cases[1].config.cpe.kind = atlas::CpeStyle::Kind::xb6_buggy;
+  cases[2].label = "ISP interceptor (middlebox at access router)";
+  cases[2].config.isp_policy.middlebox_enabled = true;
+  cases[3].label = "interceptor beyond the AS (transit)";
+  cases[3].config.external_interceptor = true;
+
+  const auto& google = resolvers::PublicResolverSpec::get(resolvers::PublicResolverKind::google);
+  netbase::Endpoint target{google.service_v4[0], netbase::kDnsPort};
+
+  report::TextTable table({"Deployment", "Responder hop", "Sweep (TTL 1..12: X=answered)"});
+  std::vector<std::optional<std::uint8_t>> hops;
+  for (auto& c : cases) {
+    atlas::Scenario scenario(c.config);
+    core::TtlLocalizer::Config ttl_config;
+    ttl_config.max_ttl = 12;
+    core::TtlLocalizer localizer(ttl_config);
+    auto sweep = localizer.sweep(scenario.transport(), target);
+    hops.push_back(sweep.responder_hop);
+
+    std::string bars;
+    for (bool answered : sweep.answered) bars += answered ? 'X' : '.';
+    table.add_row({c.label, sweep.responder_hop ? std::to_string(*sweep.responder_hop) : "-",
+                   bars});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  bool ok = hops[1] && hops[2] && hops[3] && hops[0] &&   // everything answers eventually
+            *hops[1] < *hops[2] && *hops[2] < *hops[3] && // CPE < ISP < transit
+            *hops[3] <= *hops[0];                         // interceptor not beyond the resolver
+  std::printf("\nhop ordering CPE < ISP < transit <= real resolver: %s\n", ok ? "pass" : "FAIL");
+
+  // With ICMP Time Exceeded modelled, the probe can also *name* the hops —
+  // a full DNS traceroute towards the intercepted resolver.
+  bench::heading("DNS traceroute with ICMP hop identification (ISP interceptor)");
+  {
+    atlas::ScenarioConfig config;
+    config.isp_policy.middlebox_enabled = true;
+    atlas::Scenario scenario(config);
+    core::PathProber prober;
+    auto path = prober.trace(scenario.transport(), target);
+    std::fputs(path.to_string().c_str(), stdout);
+    std::printf("the DNS response appears %zu hop(s) before the real resolver site —\n",
+                static_cast<std::size_t>(5 - path.responder_hop.value_or(5)));
+    std::printf("the responder is inside the ISP, matching the bogon verdict.\n");
+    ok = ok && path.responder_hop == std::optional<std::uint8_t>(3);
+  }
+
+  std::printf("\n(the paper's version.bind/bogon pipeline needs no TTL control; this\n");
+  std::printf("extension adds per-hop resolution where the transport allows it.)\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+// Shared helpers for the experiment harnesses in bench/.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "atlas/measurement.h"
+
+namespace dnslocate::bench {
+
+/// Print a section header in a consistent style.
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/// Generate and measure the default fleet (deterministic from the seed).
+inline atlas::MeasurementRun measured_fleet(double scale = 1.0) {
+  atlas::FleetConfig config;
+  config.scale = scale;
+  auto fleet = atlas::generate_fleet(config);
+  std::printf("[fleet] %zu probes, seed=%llu, scale=%.2f\n", fleet.size(),
+              static_cast<unsigned long long>(config.seed), scale);
+  return atlas::run_fleet(fleet);
+}
+
+}  // namespace dnslocate::bench

@@ -1,0 +1,33 @@
+// Figure 3: intercepted probes per top-15 organization, classified by the
+// §4.1.2 whoami transparency test (Transparent / Status Modified / Both).
+#include "bench_util.h"
+#include "report/aggregate.h"
+
+using namespace dnslocate;
+
+int main() {
+  auto run = bench::measured_fleet();
+
+  bench::heading("Figure 3: intercepted probes per top-15 organizations");
+  std::fputs(report::render_figure3(run).render().c_str(), stdout);
+
+  auto rows = report::figure3_rows(run);
+  std::size_t transparent = 0, modified = 0, both = 0;
+  for (const auto& row : rows) {
+    transparent += row.transparent;
+    modified += row.status_modified;
+    both += row.both;
+  }
+  std::printf("\ntop-15 totals: transparent=%zu status-modified=%zu both=%zu\n", transparent,
+              modified, both);
+
+  // Shape: Comcast tops the list; the majority of interception is
+  // transparent (the queries are resolved correctly, just not by the
+  // targeted resolver).
+  bool comcast_top = !rows.empty() && rows[0].org.find("Comcast") != std::string::npos;
+  bool transparent_majority = transparent > modified + both;
+  std::printf("Comcast (AS7922) has the most intercepted probes: %s (paper: yes)\n",
+              comcast_top ? "yes" : "NO");
+  std::printf("majority transparent: %s (paper: yes)\n", transparent_majority ? "yes" : "NO");
+  return comcast_top && transparent_majority ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Figure 4: interception location (CPE / within ISP / unknown) for the 15
+// countries and the 15 organizations with the most intercepted probes.
+#include "bench_util.h"
+#include "report/aggregate.h"
+
+using namespace dnslocate;
+
+int main() {
+  auto run = bench::measured_fleet();
+
+  bench::heading("Figure 4a: interception location per top-15 countries");
+  auto by_country = report::figure4_by_country(run);
+  std::fputs(report::render_figure4(by_country).render().c_str(), stdout);
+
+  bench::heading("Figure 4b: interception location per top-15 organizations");
+  auto by_org = report::figure4_by_org(run);
+  std::fputs(report::render_figure4(by_org).render().c_str(), stdout);
+
+  std::size_t cpe = run.count_location(core::InterceptorLocation::cpe);
+  std::size_t isp = run.count_location(core::InterceptorLocation::isp);
+  std::size_t unknown = run.count_location(core::InterceptorLocation::unknown);
+  std::printf("\nfleet-wide: CPE=%zu, within-ISP=%zu, unknown=%zu, intercepted=%zu\n", cpe, isp,
+              unknown, cpe + isp + unknown);
+  std::printf("paper: CPE=49 of 220; interception is close to the client (CPE or ISP)\n");
+  std::printf("       in the majority of cases.\n");
+
+  bool close_majority = cpe + isp > unknown;
+  bool cpe_sizable = cpe * 5 >= cpe + isp + unknown;  // "a sizable fraction"
+  std::printf("\nshape checks: close-to-client majority: %s; CPE sizable (>=20%%): %s\n",
+              close_majority ? "pass" : "FAIL", cpe_sizable ? "pass" : "FAIL");
+  return close_majority && cpe_sizable ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// P1: microbenchmarks for the substrates — DNS codec, name handling, LPM
+// routing, NAT translation, single queries through the simulator, and the
+// full per-probe pipeline. Establishes that full-fleet runs stay cheap.
+#include <benchmark/benchmark.h>
+
+#include "atlas/fleet.h"
+#include "atlas/scenario.h"
+#include "core/pipeline.h"
+#include "dnswire/debug_queries.h"
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "jsonio/json.h"
+#include "netbase/lpm.h"
+#include "simnet/rng.h"
+
+using namespace dnslocate;
+
+namespace {
+
+dnswire::Message typical_response() {
+  auto query = dnswire::make_query(0x1234, *dnswire::DnsName::parse("www.example.com"),
+                                   dnswire::RecordType::A);
+  auto response = dnswire::make_response(query);
+  response.answers.push_back(dnswire::make_a(*dnswire::DnsName::parse("www.example.com"),
+                                             netbase::Ipv4Address(93, 184, 216, 34)));
+  response.answers.push_back(dnswire::make_cname(*dnswire::DnsName::parse("www.example.com"),
+                                                 *dnswire::DnsName::parse("example.com")));
+  return response;
+}
+
+void BM_EncodeMessage(benchmark::State& state) {
+  auto message = typical_response();
+  for (auto _ : state) benchmark::DoNotOptimize(dnswire::encode_message(message));
+}
+BENCHMARK(BM_EncodeMessage);
+
+void BM_DecodeMessage(benchmark::State& state) {
+  auto wire = dnswire::encode_message(typical_response());
+  for (auto _ : state) benchmark::DoNotOptimize(dnswire::decode_message(wire));
+}
+BENCHMARK(BM_DecodeMessage);
+
+void BM_DecodeUncompressed(benchmark::State& state) {
+  auto wire = dnswire::encode_message(typical_response(), {.compress_names = false});
+  for (auto _ : state) benchmark::DoNotOptimize(dnswire::decode_message(wire));
+}
+BENCHMARK(BM_DecodeUncompressed);
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dnswire::DnsName::parse("o-o.myaddr.l.google.com"));
+}
+BENCHMARK(BM_NameParse);
+
+void BM_LpmLookup(benchmark::State& state) {
+  netbase::LpmTable<int> table;
+  simnet::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto addr = netbase::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
+    table.insert(netbase::Prefix(netbase::IpAddress(addr), 8u + i % 17u), i);
+  }
+  std::vector<netbase::IpAddress> probes;
+  for (int i = 0; i < 64; ++i)
+    probes.emplace_back(netbase::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64())));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(probes[i++ % probes.size()]));
+  }
+}
+BENCHMARK(BM_LpmLookup);
+
+void BM_SimQueryRoundTrip(benchmark::State& state) {
+  atlas::ScenarioConfig config;
+  atlas::Scenario scenario(config);
+  auto query = dnswire::make_chaos_query(1, dnswire::version_bind());
+  const auto& quad9 = resolvers::PublicResolverSpec::get(resolvers::PublicResolverKind::quad9);
+  netbase::Endpoint server{quad9.service_v4[0], netbase::kDnsPort};
+  for (auto _ : state) {
+    query.id++;
+    benchmark::DoNotOptimize(scenario.transport().query(server, query));
+  }
+}
+BENCHMARK(BM_SimQueryRoundTrip);
+
+void BM_FullProbePipeline(benchmark::State& state) {
+  // Scenario construction + the complete localization pipeline (the unit of
+  // work the fleet runs ~9,650 times).
+  for (auto _ : state) {
+    atlas::ScenarioConfig config;
+    config.isp_policy.middlebox_enabled = true;
+    atlas::Scenario scenario(config);
+    core::LocalizationPipeline pipeline(scenario.pipeline_config());
+    benchmark::DoNotOptimize(pipeline.run(scenario.transport()));
+  }
+}
+BENCHMARK(BM_FullProbePipeline);
+
+void BM_JsonDumpParse(benchmark::State& state) {
+  jsonio::Object object;
+  object["probe_id"] = 1234;
+  object["org"] = "Comcast (AS7922)";
+  object["location"] = "cpe";
+  jsonio::Array kinds;
+  for (int i = 0; i < 4; ++i) {
+    jsonio::Object entry;
+    entry["tested_v4"] = true;
+    entry["intercepted_v4"] = (i % 2) == 0;
+    kinds.push_back(jsonio::Value(std::move(entry)));
+  }
+  object["detection"] = std::move(kinds);
+  jsonio::Value value(std::move(object));
+  for (auto _ : state) {
+    std::string text = value.dump();
+    benchmark::DoNotOptimize(jsonio::parse(text));
+  }
+}
+BENCHMARK(BM_JsonDumpParse);
+
+void BM_FleetGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    atlas::FleetConfig config;
+    config.scale = 0.1;
+    benchmark::DoNotOptimize(atlas::generate_fleet(config));
+  }
+}
+BENCHMARK(BM_FleetGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table 1: location queries and examples of expected responses from each
+// resolver. Regenerated from the resolver models, then cross-checked
+// against the core classifiers (every modelled answer must classify as
+// "standard", from every anycast site).
+#include "bench_util.h"
+#include "core/classify.h"
+#include "report/table.h"
+#include "resolvers/public_resolver.h"
+
+using namespace dnslocate;
+
+int main() {
+  bench::heading("Table 1: location queries and expected responses");
+
+  report::TextTable table({"Public Resolver", "Type", "Location Query", "Example Response"});
+  for (auto kind : resolvers::all_public_resolvers()) {
+    const auto& spec = resolvers::PublicResolverSpec::get(kind);
+    resolvers::PublicResolverBehavior behavior(kind, /*site iad*/ 0, /*instance*/ 4);
+    std::string type = spec.location_query.klass == dnswire::RecordClass::CH ? "CHAOS TXT"
+                                                                             : "TXT";
+    table.add_row({std::string(to_string(kind)), type, spec.location_query.name.to_string(),
+                   behavior.expected_location_answer()});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  bench::heading("classifier cross-check (every site, every resolver)");
+  std::size_t checked = 0, standard = 0;
+  for (auto kind : resolvers::all_public_resolvers()) {
+    for (std::size_t site = 0; site < resolvers::anycast_sites().size(); ++site) {
+      for (unsigned instance = 0; instance < 4; ++instance) {
+        resolvers::PublicResolverBehavior behavior(kind, site, instance);
+        std::string answer = behavior.expected_location_answer();
+        bool ok = false;
+        switch (kind) {
+          case resolvers::PublicResolverKind::cloudflare:
+            ok = core::is_cloudflare_standard(answer);
+            break;
+          case resolvers::PublicResolverKind::google:
+            ok = core::is_google_standard(answer);
+            break;
+          case resolvers::PublicResolverKind::quad9:
+            ok = core::is_quad9_standard(answer);
+            break;
+          case resolvers::PublicResolverKind::opendns:
+            ok = core::is_opendns_standard(answer);
+            break;
+        }
+        ++checked;
+        if (ok) ++standard;
+      }
+    }
+  }
+  std::printf("%zu/%zu modelled answers classify as standard\n", standard, checked);
+  return standard == checked ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Table 4: number of intercepted probes per public resolver, IPv4 and IPv6,
+// over the full simulated fleet — plus the §4.1.1 pattern census (all four /
+// one intercepted / one allowed).
+#include "bench_util.h"
+#include "report/aggregate.h"
+#include "report/stats.h"
+
+using namespace dnslocate;
+
+int main() {
+  auto run = bench::measured_fleet();
+
+  bench::heading("Table 4: number of intercepted probes per public resolver");
+  std::fputs(report::render_table4(run).render().c_str(), stdout);
+
+  std::printf("\npaper (IMC'21): Cloudflare 165/9619, Google 160/9655, Quad9 156/9616,\n");
+  std::printf("                OpenDNS 156/9666, All Intercepted 108/9537 (v4);\n");
+  std::printf("                v6 interception 11-15 per resolver, all-four 0/3691.\n");
+
+  bench::heading("§4.1.1 pattern census (v4)");
+  auto v4 = report::pattern_census(run, netbase::IpFamily::v4);
+  std::printf("all four intercepted : %zu\n", v4.all_four);
+  std::printf("one intercepted      : %zu\n", v4.one_intercepted);
+  std::printf("one allowed (3 of 4) : %zu\n", v4.one_allowed);
+  std::printf("other patterns       : %zu\n", v4.other);
+
+  bench::heading("§4.1.1 pattern census (v6)");
+  auto v6 = report::pattern_census(run, netbase::IpFamily::v6);
+  std::printf("all four intercepted : %zu   (paper: 0)\n", v6.all_four);
+  std::printf("partial              : %zu\n", v6.one_intercepted + v6.one_allowed + v6.other);
+
+  std::printf("\ntotal intercepted probes: %zu (paper: 220)\n", run.intercepted_count());
+
+  bench::heading("interception proportions (Wilson 95% intervals)");
+  auto all_rows = report::table4_rows(run);
+  for (const auto& row : all_rows) {
+    auto v4 = report::wilson_interval(row.intercepted_v4, row.total_v4);
+    auto v6 = report::wilson_interval(row.intercepted_v6, row.total_v6);
+    std::printf("%-16s v4 %s   v6 %s\n", row.resolver.c_str(), v4.to_string().c_str(),
+                v6.to_string().c_str());
+    if (row.resolver != "All Intercepted") {
+      // The paper's v4-vs-v6 contrast must be statistically unambiguous.
+      if (!report::clearly_different(v4, v6))
+        std::printf("  (warning: v4 and v6 intervals overlap for %s)\n",
+                    row.resolver.c_str());
+    }
+  }
+
+  // Shape checks: majority all-four, v6 an order of magnitude rarer.
+  auto rows = report::table4_rows(run);
+  bool shape_ok = true;
+  for (const auto& row : rows) {
+    if (row.resolver == "All Intercepted") continue;
+    shape_ok = shape_ok && row.intercepted_v4 > 10 * row.intercepted_v6;
+  }
+  shape_ok = shape_ok && v4.all_four > v4.one_intercepted && v4.all_four > v4.one_allowed;
+  shape_ok = shape_ok && v6.all_four == 0;
+  std::printf("shape checks (v4 >> v6, all-four majority, no all-four v6): %s\n",
+              shape_ok ? "pass" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

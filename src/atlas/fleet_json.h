@@ -1,0 +1,42 @@
+// Loading fleet plans from JSON — custom measurement studies without
+// recompiling. Schema (all quota fields optional, defaulting to 0):
+//
+//   {
+//     "seed": 2021, "scale": 1.0, "ipv6_fraction": 0.39,
+//     "orgs": [
+//       {"org": "Example ISP", "asn": 64501, "country": "US", "probes": 500,
+//        "cpe_xb6": 2, "isp_allfour": 1, "one_intercepted": 3,
+//        "cpe_custom": "weird-string", ...}
+//     ]
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/fleet.h"
+#include "jsonio/json.h"
+
+namespace dnslocate::atlas {
+
+struct FleetJsonResult {
+  FleetConfig config;
+  std::vector<OrgQuota> plan;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+
+  /// Convenience: generate the fleet this JSON describes.
+  [[nodiscard]] std::vector<ProbeSpec> generate() const {
+    return generate_fleet_from_plan(plan, config);
+  }
+};
+
+/// Parse a JSON fleet plan. Unknown keys are ignored; missing/invalid
+/// required fields (org, probes) produce errors.
+FleetJsonResult fleet_from_json(std::string_view text);
+
+/// Serialize a plan back to JSON (round-trips through fleet_from_json).
+std::string fleet_to_json(const std::vector<OrgQuota>& plan, const FleetConfig& config);
+
+}  // namespace dnslocate::atlas

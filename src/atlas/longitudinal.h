@@ -1,0 +1,37 @@
+// Longitudinal measurement: re-run the localization pipeline on the same
+// simulated vantage repeatedly, mutating the world between rounds — the
+// §5 story (an XB6 firmware update silently switching interception on) as
+// a first-class workflow, and the simulated twin of
+// examples/interception_monitor.cpp.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "atlas/scenario.h"
+
+namespace dnslocate::atlas {
+
+/// One measurement round.
+struct LongitudinalRound {
+  std::size_t round = 0;
+  core::ProbeVerdict verdict;
+  /// True when the location verdict differs from the previous round's —
+  /// the "alert" a monitoring deployment would raise.
+  bool changed = false;
+};
+
+/// Called between rounds (after round `completed_round` finished) to mutate
+/// the world: flip a DNAT rule on, change ISP policy, etc.
+using WorldMutator = std::function<void(Scenario& scenario, std::size_t completed_round)>;
+
+/// Run `rounds` measurements of `scenario`, invoking `between` after each
+/// non-final round. The scenario's simulator keeps its state (conntrack,
+/// caches) across rounds, as a long-lived home network would.
+std::vector<LongitudinalRound> run_longitudinal(Scenario& scenario, std::size_t rounds,
+                                                const WorldMutator& between = {});
+
+/// Indices of rounds whose verdict changed.
+std::vector<std::size_t> change_points(const std::vector<LongitudinalRound>& rounds);
+
+}  // namespace dnslocate::atlas

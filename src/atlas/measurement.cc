@@ -1,0 +1,98 @@
+#include "atlas/measurement.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace dnslocate::atlas {
+namespace {
+
+void strip_result(core::QueryResult& result) {
+  result.all_responses.clear();
+  result.all_responses.shrink_to_fit();
+}
+
+void strip_verdict(core::ProbeVerdict& verdict) {
+  for (auto& probe : verdict.detection.probes) strip_result(probe.result);
+  if (verdict.bogon) {
+    strip_result(verdict.bogon->v4.a_query);
+    strip_result(verdict.bogon->v4.version_query);
+    strip_result(verdict.bogon->v6.a_query);
+    strip_result(verdict.bogon->v6.version_query);
+  }
+}
+
+}  // namespace
+
+std::size_t MeasurementRun::intercepted_count() const {
+  std::size_t count = 0;
+  for (const auto& record : records)
+    if (record.verdict.intercepted()) ++count;
+  return count;
+}
+
+std::size_t MeasurementRun::count_location(core::InterceptorLocation location) const {
+  std::size_t count = 0;
+  for (const auto& record : records)
+    if (record.verdict.location == location) ++count;
+  return count;
+}
+
+ProbeRecord run_probe(const ProbeSpec& spec, bool strip_raw_responses) {
+  ProbeRecord record;
+  record.probe_id = spec.probe_id;
+  record.org = spec.org;
+  record.tested_v6 = spec.scenario.home_ipv6;
+  record.truth = GroundTruth{};
+
+  Scenario scenario(spec.scenario);
+  record.truth = scenario.ground_truth();
+  core::LocalizationPipeline pipeline(scenario.pipeline_config());
+  record.verdict = pipeline.run(scenario.transport());
+  if (strip_raw_responses) strip_verdict(record.verdict);
+  return record;
+}
+
+MeasurementRun run_fleet(const std::vector<ProbeSpec>& fleet,
+                         const MeasurementOptions& options) {
+  MeasurementRun run;
+  run.records.resize(fleet.size());
+
+  unsigned threads = options.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(std::max<std::size_t>(
+                                            1, fleet.size())));
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      run.records[i] = run_probe(fleet[i], options.strip_raw_responses);
+      if (options.progress) options.progress(i + 1, fleet.size());
+    }
+    return run;
+  }
+
+  // Each probe owns its simulator, so workers share nothing but the output
+  // slots (disjoint) and the progress counter.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+  auto worker = [&] {
+    while (true) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= fleet.size()) return;
+      run.records[i] = run_probe(fleet[i], options.strip_raw_responses);
+      std::size_t completed = done.fetch_add(1) + 1;
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(completed, fleet.size());
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return run;
+}
+
+}  // namespace dnslocate::atlas

@@ -1,0 +1,51 @@
+// Running the localization pipeline over a probe fleet and collecting the
+// per-probe records the report layer aggregates into the paper's artefacts.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "atlas/fleet.h"
+#include "core/pipeline.h"
+
+namespace dnslocate::atlas {
+
+/// Everything measured (and known) about one probe.
+struct ProbeRecord {
+  std::uint32_t probe_id = 0;
+  OrgInfo org;
+  bool tested_v6 = false;
+  core::ProbeVerdict verdict;
+  GroundTruth truth;
+};
+
+/// Fleet-level results.
+struct MeasurementRun {
+  std::vector<ProbeRecord> records;
+
+  [[nodiscard]] std::size_t intercepted_count() const;
+  [[nodiscard]] std::size_t count_location(core::InterceptorLocation location) const;
+};
+
+struct MeasurementOptions {
+  /// Drop bulky raw responses after classification, keeping displays and
+  /// verdicts (recommended for full-fleet runs).
+  bool strip_raw_responses = true;
+  /// Worker threads. Probes are fully independent (each owns its
+  /// simulator), so the fleet parallelizes perfectly; 0 = use the hardware
+  /// concurrency, 1 = sequential.
+  unsigned threads = 1;
+  /// Called after each probe completes (progress reporting). Invoked under
+  /// a mutex when threads > 1.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Run every probe through the pipeline. Each probe lives in its own
+/// deterministic simulator; results are reproducible from the fleet seed.
+MeasurementRun run_fleet(const std::vector<ProbeSpec>& fleet,
+                         const MeasurementOptions& options = {});
+
+/// Run a single probe (used by tests and the example programs).
+ProbeRecord run_probe(const ProbeSpec& spec, bool strip_raw_responses = false);
+
+}  // namespace dnslocate::atlas

@@ -1,0 +1,188 @@
+#include "atlas/scenario.h"
+
+namespace dnslocate::atlas {
+
+bool CpeStyle::intercepts() const {
+  switch (kind) {
+    case Kind::xb6_buggy:
+    case Kind::pihole:
+    case Kind::intercept_dnsmasq:
+    case Kind::intercept_unbound:
+    case Kind::intercept_custom:
+    case Kind::intercept_to_resolver:
+      return true;
+    default:
+      return false;
+  }
+}
+
+netbase::Prefix customer_prefix_v4(std::uint32_t asn) {
+  return netbase::Prefix(
+      netbase::IpAddress(netbase::Ipv4Address(37, static_cast<std::uint8_t>(asn % 251), 0, 0)),
+      16);
+}
+
+netbase::Prefix customer_prefix_v6(std::uint32_t asn) {
+  return netbase::Prefix(
+      netbase::IpAddress(netbase::Ipv6Address::from_hextets(
+          {0x2a00, static_cast<std::uint16_t>(asn & 0xffff), 0, 0, 0, 0, 0, 0})),
+      32);
+}
+
+netbase::IpAddress customer_address_v4(std::uint32_t asn, std::uint16_t home_index) {
+  // Skip the .0.x block, which holds the ISP's own infrastructure.
+  std::uint32_t base = customer_prefix_v4(asn).address().v4().value();
+  return netbase::Ipv4Address(base + 256u + home_index);
+}
+
+netbase::IpAddress customer_address_v6(std::uint32_t asn, std::uint16_t home_index) {
+  auto bytes = customer_prefix_v6(asn).address().v6().bytes();
+  bytes[12] = static_cast<std::uint8_t>(home_index >> 8);
+  bytes[13] = static_cast<std::uint8_t>(home_index & 0xff);
+  bytes[15] = 1;
+  return netbase::Ipv6Address(bytes);
+}
+
+netbase::IpAddress isp_resolver_v4(std::uint32_t asn) {
+  std::uint32_t base = customer_prefix_v4(asn).address().v4().value();
+  return netbase::Ipv4Address(base + 53u);
+}
+
+netbase::IpAddress isp_resolver_v6(std::uint32_t asn) {
+  auto bytes = customer_prefix_v6(asn).address().v6().bytes();
+  bytes[15] = 0x53;
+  return netbase::Ipv6Address(bytes);
+}
+
+namespace {
+
+cpe::CpeConfig build_cpe_config(const ScenarioConfig& config,
+                                const cpe::HomeAddressing& home) {
+  using Kind = CpeStyle::Kind;
+  const CpeStyle& style = config.cpe;
+  switch (style.kind) {
+    case Kind::benign_closed: return cpe::benign_closed(home);
+    case Kind::benign_open_dnsmasq: return cpe::benign_open_dnsmasq(home, style.version);
+    case Kind::benign_open_chaos_forwarder: return cpe::benign_open_chaos_forwarder(home);
+    case Kind::benign_open_chaos_nxdomain: return cpe::benign_open_chaos_nxdomain(home);
+    case Kind::xb6_healthy: return cpe::xb6_healthy(home);
+    case Kind::xb6_buggy: return cpe::xb6_buggy(home);
+    case Kind::pihole: return cpe::pihole(home, style.version);
+    case Kind::intercept_dnsmasq: return cpe::intercepting_dnsmasq(home, style.version);
+    case Kind::intercept_unbound:
+      return cpe::intercepting_unbound(home, style.version, style.identity);
+    case Kind::intercept_custom: return cpe::intercepting_custom(home, style.custom);
+    case Kind::intercept_to_resolver: return cpe::intercepting_to_resolver(home);
+  }
+  return cpe::benign_closed(home);
+}
+
+bool policy_intercepts_any_target(const isp::IspPolicy& policy, netbase::IpFamily family) {
+  if (!policy.middlebox_enabled) return false;
+  const auto& actions = family == netbase::IpFamily::v4 ? policy.target_actions
+                                                        : policy.target_actions_v6;
+  for (const auto& [kind, action] : actions)
+    if (action != isp::TargetAction::pass) return true;
+  if (family == netbase::IpFamily::v4 && policy.intercept_all_port53 &&
+      policy.default_action != isp::TargetAction::pass && policy.intercept_v4)
+    return true;
+  if (family == netbase::IpFamily::v6 && policy.intercept_all_port53 &&
+      policy.default_action != isp::TargetAction::pass && policy.intercept_v6)
+    return true;
+  return false;
+}
+
+}  // namespace
+
+GroundTruth Scenario::compute_ground_truth(const ScenarioConfig& config) {
+  GroundTruth truth;
+  truth.cpe_intercepts = config.cpe.intercepts();
+  truth.isp_intercepts_v4 = policy_intercepts_any_target(config.isp_policy,
+                                                         netbase::IpFamily::v4);
+  truth.isp_intercepts_v6 =
+      config.home_ipv6 &&
+      policy_intercepts_any_target(config.isp_policy, netbase::IpFamily::v6);
+  truth.external_intercepts = config.external_interceptor;
+
+  const isp::IspPolicy& policy = config.isp_policy;
+  truth.isp_answers_bogons =
+      policy.middlebox_enabled &&
+      ((policy.intercept_all_port53 && policy.default_action != isp::TargetAction::pass &&
+        policy.intercept_v4 && !policy.ignore_bogon_queries) ||
+       policy.scoped_answers_bogons);
+
+  if (truth.cpe_intercepts) {
+    truth.expected = core::InterceptorLocation::cpe;
+  } else if (truth.isp_intercepts_v4 || truth.isp_intercepts_v6) {
+    truth.expected = truth.isp_answers_bogons ? core::InterceptorLocation::isp
+                                              : core::InterceptorLocation::unknown;
+  } else if (truth.external_intercepts) {
+    truth.expected = core::InterceptorLocation::unknown;
+  } else {
+    truth.expected = core::InterceptorLocation::not_intercepted;
+  }
+  return truth;
+}
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      sim_(config.seed),
+      cpe_wan_v4_(customer_address_v4(config.asn, config.home_index)),
+      ground_truth_(compute_ground_truth(config)) {
+  // --- backbone: transit core + public resolvers (+ external interceptor) ---
+  isp::BackboneConfig backbone_config;
+  backbone_config.site_index = config.site_index;
+  backbone_config.instance = config.instance;
+  backbone_config.external_interceptor = config.external_interceptor;
+  backbone_ = isp::build_backbone(sim_, backbone_config);
+
+  // --- the probe's ISP ---
+  isp::IspConfig isp_config;
+  isp_config.name = config.isp_name;
+  isp_config.asn = config.asn;
+  isp_config.customer_prefix_v4 = customer_prefix_v4(config.asn);
+  isp_config.resolver_v4 = isp_resolver_v4(config.asn);
+  isp_config.resolver_software = config.isp_resolver_software;
+  isp_config.blocking_rcode = config.blocking_rcode;
+  isp_config.policy = config.isp_policy;
+  if (config.home_ipv6) {
+    isp_config.customer_prefix_v6 = customer_prefix_v6(config.asn);
+    isp_config.resolver_v6 = isp_resolver_v6(config.asn);
+  }
+  isp_ = isp::build_isp(sim_, isp_config, *backbone_.core);
+
+  // --- the home: measurement host behind the CPE ---
+  auto& host = sim_.add_device<simnet::Device>("probe-host");
+  host_ = &host;
+  host.add_local_ip(*netbase::IpAddress::parse("192.168.1.10"));
+  if (config.home_ipv6) host.add_local_ip(*netbase::IpAddress::parse("fd00:1::10"));
+
+  cpe::HomeAddressing home;
+  home.wan_v4 = cpe_wan_v4_;
+  if (config.home_ipv6) {
+    cpe_wan_v6_ = customer_address_v6(config.asn, config.home_index);
+    home.wan_v6 = cpe_wan_v6_;
+  }
+  home.isp_resolver_v4 = netbase::Endpoint{isp_config.resolver_v4, netbase::kDnsPort};
+  if (isp_config.resolver_v6)
+    home.isp_resolver_v6 = netbase::Endpoint{*isp_config.resolver_v6, netbase::kDnsPort};
+
+  cpe::CpeConfig cpe_config = build_cpe_config(config, home);
+  cpe_ = cpe::build_cpe(sim_, cpe_config, host, *isp_.access);
+  host.set_default_route(cpe_.lan_peer_port);
+
+  // The access router needs the return route to this home.
+  isp_.access->add_route(netbase::Prefix(cpe_wan_v4_, 32), cpe_.wan_peer_port);
+  if (cpe_wan_v6_) isp_.access->add_route(netbase::Prefix(*cpe_wan_v6_, 128), cpe_.wan_peer_port);
+
+  transport_ = std::make_unique<core::SimTransport>(sim_, host);
+}
+
+core::PipelineConfig Scenario::pipeline_config() const {
+  core::PipelineConfig pipeline;
+  pipeline.cpe_public_ip = cpe_wan_v4_;
+  pipeline.detection.test_v6 = true;  // SimTransport reports v6 support itself
+  return pipeline;
+}
+
+}  // namespace dnslocate::atlas

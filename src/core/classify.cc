@@ -1,0 +1,104 @@
+#include "core/classify.h"
+
+namespace dnslocate::core {
+namespace {
+
+bool all_digits(std::string_view text) {
+  if (text.empty()) return false;
+  for (char c : text)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
+/// Splits "a.b.c" on dots without allocation.
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string_view to_string(LocationVerdict verdict) {
+  switch (verdict) {
+    case LocationVerdict::standard: return "standard";
+    case LocationVerdict::nonstandard: return "nonstandard";
+    case LocationVerdict::error_status: return "error_status";
+    case LocationVerdict::timed_out: return "timeout";
+  }
+  return "?";
+}
+
+bool is_cloudflare_standard(std::string_view txt) {
+  if (txt.size() != 3) return false;
+  for (char c : txt)
+    if (c < 'A' || c > 'Z') return false;
+  return resolvers::is_known_site(txt);
+}
+
+bool is_google_standard(std::string_view txt) {
+  auto addr = netbase::IpAddress::parse(txt);
+  if (!addr) return false;
+  const auto& spec = resolvers::PublicResolverSpec::get(resolvers::PublicResolverKind::google);
+  for (const auto& prefix : spec.egress_prefixes)
+    if (prefix.contains(*addr)) return true;
+  return false;
+}
+
+bool is_quad9_standard(std::string_view txt) {
+  // res<NN>.<iata>.rrdns.pch.net
+  auto parts = split(txt, '.');
+  if (parts.size() != 5) return false;
+  if (parts[0].substr(0, 3) != "res" || !all_digits(parts[0].substr(3))) return false;
+  if (!resolvers::is_known_site(parts[1])) return false;
+  return parts[2] == "rrdns" && parts[3] == "pch" && parts[4] == "net";
+}
+
+bool is_opendns_standard(std::string_view txt) {
+  // server m<NN>.<iata>
+  constexpr std::string_view kPrefix = "server m";
+  if (txt.substr(0, kPrefix.size()) != kPrefix) return false;
+  auto rest = txt.substr(kPrefix.size());
+  auto parts = split(rest, '.');
+  if (parts.size() != 2) return false;
+  return all_digits(parts[0]) && resolvers::is_known_site(parts[1]);
+}
+
+LocationVerdict classify_location_response(resolvers::PublicResolverKind kind,
+                                           const QueryResult& result) {
+  if (!result.answered()) return LocationVerdict::timed_out;
+  const dnswire::Message& response = *result.response;
+  if (response.rcode() != dnswire::Rcode::NOERROR) return LocationVerdict::error_status;
+  auto txt = response.first_txt();
+  if (!txt) return LocationVerdict::nonstandard;  // empty/NODATA answer
+
+  bool standard = false;
+  switch (kind) {
+    case resolvers::PublicResolverKind::cloudflare: standard = is_cloudflare_standard(*txt); break;
+    case resolvers::PublicResolverKind::google: standard = is_google_standard(*txt); break;
+    case resolvers::PublicResolverKind::quad9: standard = is_quad9_standard(*txt); break;
+    case resolvers::PublicResolverKind::opendns: standard = is_opendns_standard(*txt); break;
+  }
+  return standard ? LocationVerdict::standard : LocationVerdict::nonstandard;
+}
+
+std::string location_response_display(const QueryResult& result) {
+  if (!result.answered()) return "timeout";
+  const dnswire::Message& response = *result.response;
+  if (response.rcode() != dnswire::Rcode::NOERROR)
+    return std::string(dnswire::to_string(response.rcode()));
+  if (auto txt = response.first_txt()) return *txt;
+  if (auto addr = response.first_address()) return addr->to_string();
+  return "(empty)";
+}
+
+}  // namespace dnslocate::core

@@ -1,0 +1,51 @@
+// Location-query response classification (§3.1): each public resolver has a
+// "standard" answer format, validated out-of-band with the operators; any
+// deviation means the query was answered by someone else.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/transport.h"
+#include "resolvers/public_resolver.h"
+
+namespace dnslocate::core {
+
+/// Verdict on one location-query response.
+enum class LocationVerdict {
+  standard,      // matches the resolver's documented format
+  nonstandard,   // NOERROR but the wrong shape -> intercepted
+  error_status,  // NOTIMP/REFUSED/... -> intercepted (deliberate response)
+  timed_out,     // conservatively NOT counted as interception (§3.1)
+};
+
+std::string_view to_string(LocationVerdict verdict);
+
+/// True if the verdict indicates interception.
+constexpr bool indicates_interception(LocationVerdict verdict) {
+  return verdict == LocationVerdict::nonstandard || verdict == LocationVerdict::error_status;
+}
+
+/// Classify a response to `kind`'s location query.
+LocationVerdict classify_location_response(resolvers::PublicResolverKind kind,
+                                           const QueryResult& result);
+
+/// Human rendering used in Table-2-style outputs: the TXT payload, the rcode
+/// name for errors, or "-" / "timeout".
+std::string location_response_display(const QueryResult& result);
+
+// --- format validators (exposed for tests and the ablation bench) ---
+
+/// Cloudflare: a bare upper-case IATA code from the anycast site catalog.
+bool is_cloudflare_standard(std::string_view txt);
+
+/// Google: an address inside Google's egress prefixes.
+bool is_google_standard(std::string_view txt);
+
+/// Quad9: "res<NN>.<iata>.rrdns.pch.net".
+bool is_quad9_standard(std::string_view txt);
+
+/// OpenDNS: "server m<NN>.<iata>".
+bool is_opendns_standard(std::string_view txt);
+
+}  // namespace dnslocate::core

@@ -1,0 +1,55 @@
+#include "core/cpe_localizer.h"
+
+#include "dnswire/debug_queries.h"
+
+namespace dnslocate::core {
+
+VersionBindObservation CpeLocalizer::observe(QueryTransport& transport,
+                                             const netbase::Endpoint& server) {
+  VersionBindObservation obs;
+  dnswire::Message query = dnswire::make_chaos_query(next_id_++, dnswire::version_bind());
+  QueryResult result = transport.query(server, query, config_.query);
+  if (!result.answered()) {
+    obs.display = "timeout";
+    return obs;
+  }
+  obs.answered = true;
+  obs.rcode = result.response->rcode();
+  if (obs.rcode == dnswire::Rcode::NOERROR) {
+    obs.txt = result.response->first_txt();
+    obs.display = obs.txt.value_or("(empty)");
+  } else {
+    obs.display = std::string(dnswire::to_string(obs.rcode));
+  }
+  return obs;
+}
+
+CpeCheckReport CpeLocalizer::run(QueryTransport& transport,
+                                 const netbase::IpAddress& cpe_public_ip,
+                                 const std::vector<resolvers::PublicResolverKind>& suspects) {
+  CpeCheckReport report;
+
+  // "First, we issue a version.bind query to the CPE's own public IP
+  // address. By usual IP routing rules, this query cannot travel beyond the
+  // CPE..." (§3.2)
+  report.cpe = observe(transport, netbase::Endpoint{cpe_public_ip, netbase::kDnsPort});
+
+  for (resolvers::PublicResolverKind kind : suspects) {
+    const auto& spec = resolvers::PublicResolverSpec::get(kind);
+    auto addrs = spec.service_addrs(config_.family);
+    VersionBindObservation obs =
+        observe(transport, netbase::Endpoint{addrs[0], netbase::kDnsPort});
+    bool matches = report.cpe.has_string() && obs.has_string() && *report.cpe.txt == *obs.txt;
+    if (matches) report.matching.push_back(kind);
+    report.resolver_answers.emplace(kind, std::move(obs));
+  }
+
+  // Appendix A: the comparison is meaningful only because version.bind
+  // strings are high-entropy. We additionally require the CPE to have
+  // produced a string at all (error rcodes carry no identity).
+  report.cpe_is_interceptor =
+      report.cpe.has_string() && !suspects.empty() && report.matching.size() == suspects.size();
+  return report;
+}
+
+}  // namespace dnslocate::core

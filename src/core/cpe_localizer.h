@@ -1,0 +1,67 @@
+// Step 2 (§3.2 and Appendix A): is the CPE the interceptor?
+//
+// Send version.bind (CHAOS TXT) to the CPE's own public IP and to each
+// intercepted public resolver; identical high-entropy response strings mean
+// one box — the CPE — answered all of them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/transport.h"
+#include "resolvers/public_resolver.h"
+
+namespace dnslocate::core {
+
+/// One version.bind observation.
+struct VersionBindObservation {
+  bool answered = false;
+  /// The TXT payload, when the answer carried one.
+  std::optional<std::string> txt;
+  /// Rcode of the response (meaningful only when answered).
+  dnswire::Rcode rcode = dnswire::Rcode::NOERROR;
+  /// Table-3-style rendering ("unbound 1.9.0", "NOTIMP", "timeout").
+  std::string display;
+
+  [[nodiscard]] bool has_string() const { return answered && txt.has_value(); }
+};
+
+/// Step-2 report.
+struct CpeCheckReport {
+  VersionBindObservation cpe;  // query addressed to the CPE's public IP
+  std::map<resolvers::PublicResolverKind, VersionBindObservation> resolver_answers;
+  /// Intercepted resolvers whose version.bind string equals the CPE's.
+  std::vector<resolvers::PublicResolverKind> matching;
+  /// §3.2's conclusion: the CPE intercepts (true when the CPE responded with
+  /// a string and every checked resolver returned the identical string).
+  bool cpe_is_interceptor = false;
+};
+
+class CpeLocalizer {
+ public:
+  struct Config {
+    QueryOptions query;
+    /// Family used for the comparison queries (interception is
+    /// overwhelmingly v4; the CPE public IP is a v4 address).
+    netbase::IpFamily family = netbase::IpFamily::v4;
+  };
+
+  CpeLocalizer() = default;
+  explicit CpeLocalizer(Config config) : config_(config) {}
+
+  /// `cpe_public_ip` is the WAN address of the home router; `suspects` are
+  /// the resolvers step 1 found intercepted (primary addresses are queried).
+  CpeCheckReport run(QueryTransport& transport, const netbase::IpAddress& cpe_public_ip,
+                     const std::vector<resolvers::PublicResolverKind>& suspects);
+
+ private:
+  VersionBindObservation observe(QueryTransport& transport, const netbase::Endpoint& server);
+
+  Config config_;
+  std::uint16_t next_id_ = 0x2000;
+};
+
+}  // namespace dnslocate::core

@@ -1,0 +1,81 @@
+#include "core/describe.h"
+
+namespace dnslocate::core {
+namespace {
+
+void append_line(std::string& out, const std::string& indent, int depth,
+                 const std::string& text) {
+  for (int i = 0; i < depth; ++i) out += indent;
+  out += text;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string summarize(const ProbeVerdict& verdict) {
+  std::string out{to_string(verdict.location)};
+  if (!verdict.intercepted()) return out;
+  auto kinds_v4 = verdict.detection.intercepted_kinds(netbase::IpFamily::v4);
+  auto kinds_v6 = verdict.detection.intercepted_kinds(netbase::IpFamily::v6);
+  out += " (" + std::to_string(std::max(kinds_v4.size(), kinds_v6.size())) + "/4 resolvers";
+  if (verdict.cpe_check && verdict.cpe_check->cpe.has_string())
+    out += ", version.bind \"" + *verdict.cpe_check->cpe.txt + "\"";
+  if (verdict.transparency)
+    out += ", " + std::string(to_string(verdict.transparency->overall));
+  out += ")";
+  return out;
+}
+
+std::string describe(const ProbeVerdict& verdict, const DescribeOptions& options) {
+  std::string out;
+  const std::string& tab = options.indent;
+  append_line(out, tab, 0, "verdict: " + summarize(verdict));
+
+  append_line(out, tab, 0, "step 1 — location queries:");
+  for (const auto& probe : verdict.detection.probes) {
+    if (!options.include_v6 && probe.family == netbase::IpFamily::v6) continue;
+    std::string line = std::string(to_string(probe.kind));
+    line += " " + probe.server.to_string() + " -> " + probe.display;
+    line += "  [" + std::string(to_string(probe.verdict)) + "]";
+    append_line(out, tab, 1, line);
+  }
+
+  if (verdict.cpe_check) {
+    append_line(out, tab, 0, "step 2 — version.bind comparison:");
+    append_line(out, tab, 1, "CPE public IP -> \"" + verdict.cpe_check->cpe.display + "\"");
+    for (const auto& [kind, obs] : verdict.cpe_check->resolver_answers)
+      append_line(out, tab, 1,
+                  std::string(to_string(kind)) + " -> \"" + obs.display + "\"");
+    append_line(out, tab, 1,
+                verdict.cpe_check->cpe_is_interceptor
+                    ? "identical strings: the CPE is the interceptor"
+                    : "strings differ: the CPE is not the interceptor");
+  }
+
+  if (verdict.bogon) {
+    append_line(out, tab, 0, "step 3 — bogon queries:");
+    if (verdict.bogon->v4.tested)
+      append_line(out, tab, 1,
+                  verdict.bogon->v4.target.to_string() + " -> " + verdict.bogon->v4.a_display +
+                      " / version.bind " + verdict.bogon->v4.version_display);
+    if (verdict.bogon->v6.tested)
+      append_line(out, tab, 1,
+                  verdict.bogon->v6.target.to_string() + " -> " + verdict.bogon->v6.a_display);
+    append_line(out, tab, 1,
+                verdict.bogon->within_isp()
+                    ? "answered: the interceptor is inside the AS"
+                    : "silent: interceptor beyond the AS, or it discards bogons");
+  }
+
+  if (options.include_transparency && verdict.transparency) {
+    append_line(out, tab, 0,
+                "transparency: " + std::string(to_string(verdict.transparency->overall)));
+    for (const auto& [kind, obs] : verdict.transparency->per_resolver)
+      append_line(out, tab, 1,
+                  std::string(to_string(kind)) + " whoami -> " + obs.display + "  [" +
+                      std::string(to_string(obs.klass)) + "]");
+  }
+  return out;
+}
+
+}  // namespace dnslocate::core

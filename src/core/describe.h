@@ -1,0 +1,26 @@
+// Human-readable rendering of a ProbeVerdict: the full evidence trail of
+// one localization run, formatted the way the examples and the live tool
+// present it.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace dnslocate::core {
+
+/// Rendering options.
+struct DescribeOptions {
+  bool include_v6 = true;          // list v6 location probes too
+  bool include_transparency = true;
+  std::string indent = "  ";
+};
+
+/// Multi-line report: verdict, step-1 observations, step-2 comparison,
+/// step-3 bogon evidence, and the transparency classification.
+std::string describe(const ProbeVerdict& verdict, const DescribeOptions& options = {});
+
+/// One-line summary: "CPE (version.bind \"dnsmasq-2.78\", 4/4 resolvers)".
+std::string summarize(const ProbeVerdict& verdict);
+
+}  // namespace dnslocate::core

@@ -1,0 +1,69 @@
+#include "core/detector.h"
+
+namespace dnslocate::core {
+
+std::vector<resolvers::PublicResolverKind> DetectionReport::intercepted_kinds(
+    netbase::IpFamily family) const {
+  std::vector<resolvers::PublicResolverKind> kinds;
+  for (const auto& r : per_resolver)
+    if (r.intercepted(family)) kinds.push_back(r.kind);
+  return kinds;
+}
+
+bool DetectionReport::all_four_intercepted(netbase::IpFamily family) const {
+  for (const auto& r : per_resolver)
+    if (!r.intercepted(family)) return false;
+  return true;
+}
+
+DetectionReport InterceptionDetector::run(QueryTransport& transport) {
+  DetectionReport report;
+
+  for (resolvers::PublicResolverKind kind : resolvers::all_public_resolvers()) {
+    const auto& spec = resolvers::PublicResolverSpec::get(kind);
+    auto& summary = report.per_resolver[static_cast<std::size_t>(kind)];
+    summary.kind = kind;
+
+    for (netbase::IpFamily family : {netbase::IpFamily::v4, netbase::IpFamily::v6}) {
+      if (family == netbase::IpFamily::v6 && !config_.test_v6) continue;
+      if (!transport.supports_family(family)) continue;
+
+      bool tested = false;
+      bool intercepted = false;
+      bool any_answered = false;
+      auto addrs = spec.service_addrs(family);
+      std::size_t count = config_.use_secondary_addresses ? addrs.size() : 1;
+      for (std::size_t i = 0; i < count; ++i) {
+        LocationProbe probe;
+        probe.kind = kind;
+        probe.family = family;
+        probe.server = netbase::Endpoint{addrs[i], netbase::kDnsPort};
+
+        dnswire::Message query =
+            dnswire::make_query(next_id_++, spec.location_query.name, spec.location_query.type,
+                                spec.location_query.klass);
+        probe.result = transport.query(probe.server, query, config_.query);
+        probe.verdict = classify_location_response(kind, probe.result);
+        probe.display = location_response_display(probe.result);
+
+        tested = true;
+        if (indicates_interception(probe.verdict)) intercepted = true;
+        if (probe.result.answered()) any_answered = true;
+        report.probes.push_back(std::move(probe));
+      }
+
+      if (family == netbase::IpFamily::v4) {
+        summary.tested_v4 = tested;
+        summary.intercepted_v4 = intercepted;
+        summary.unreachable_v4 = tested && !any_answered;
+      } else {
+        summary.tested_v6 = tested;
+        summary.intercepted_v6 = intercepted;
+        summary.unreachable_v6 = tested && !any_answered;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dnslocate::core

@@ -1,0 +1,84 @@
+// Step 1 (§3.1): detect interception with location queries to the four
+// public resolvers, on primary and secondary addresses, over IPv4 and IPv6.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/transport.h"
+
+namespace dnslocate::core {
+
+/// One location-query observation.
+struct LocationProbe {
+  resolvers::PublicResolverKind kind{};
+  netbase::IpFamily family{};
+  netbase::Endpoint server;
+  QueryResult result;
+  LocationVerdict verdict = LocationVerdict::timed_out;
+  std::string display;  // Table-2-style rendering
+};
+
+/// Per-resolver interception summary.
+struct ResolverInterception {
+  resolvers::PublicResolverKind kind{};
+  bool tested_v4 = false;
+  bool tested_v6 = false;
+  bool intercepted_v4 = false;
+  bool intercepted_v6 = false;
+  /// Every probe of that family timed out — resolver unreachable, which the
+  /// technique conservatively does not count as interception.
+  bool unreachable_v4 = false;
+  bool unreachable_v6 = false;
+
+  [[nodiscard]] bool intercepted(netbase::IpFamily family) const {
+    return family == netbase::IpFamily::v4 ? intercepted_v4 : intercepted_v6;
+  }
+};
+
+/// Full step-1 report.
+struct DetectionReport {
+  std::vector<LocationProbe> probes;
+  std::array<ResolverInterception, 4> per_resolver{};
+
+  [[nodiscard]] const ResolverInterception& of(resolvers::PublicResolverKind kind) const {
+    return per_resolver[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] bool any_intercepted(netbase::IpFamily family) const {
+    for (const auto& r : per_resolver)
+      if (r.intercepted(family)) return true;
+    return false;
+  }
+  [[nodiscard]] bool any_intercepted() const {
+    return any_intercepted(netbase::IpFamily::v4) || any_intercepted(netbase::IpFamily::v6);
+  }
+  /// Resolvers flagged as intercepted in the given family.
+  [[nodiscard]] std::vector<resolvers::PublicResolverKind> intercepted_kinds(
+      netbase::IpFamily family) const;
+  /// True if all four resolvers were intercepted (the majority pattern
+  /// in Table 4's "All Intercepted" row).
+  [[nodiscard]] bool all_four_intercepted(netbase::IpFamily family) const;
+};
+
+class InterceptionDetector {
+ public:
+  struct Config {
+    bool test_v6 = true;
+    /// Also probe the secondary service addresses (1.0.0.1, 8.8.4.4, ...).
+    bool use_secondary_addresses = true;
+    QueryOptions query;
+  };
+
+  InterceptionDetector() = default;
+  explicit InterceptionDetector(Config config) : config_(config) {}
+
+  DetectionReport run(QueryTransport& transport);
+
+ private:
+  Config config_;
+  std::uint16_t next_id_ = 0x1000;
+};
+
+}  // namespace dnslocate::core

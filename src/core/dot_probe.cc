@@ -1,0 +1,74 @@
+#include "core/dot_probe.h"
+
+namespace dnslocate::core {
+
+std::string_view to_string(DotFinding finding) {
+  switch (finding) {
+    case DotFinding::not_intercepted: return "not intercepted";
+    case DotFinding::dot_blocked: return "DoT blocked (fallback forced)";
+    case DotFinding::opportunistic_hijacked: return "opportunistic DoT hijacked";
+    case DotFinding::dot_escapes: return "DoT escapes the interceptor";
+    case DotFinding::inconsistent: return "inconsistent";
+  }
+  return "?";
+}
+
+DotFinding DotProber::classify(const DotResolverReport& report) {
+  auto verdict_of = [&](simnet::Channel channel) {
+    auto it = report.channels.find(channel);
+    return it == report.channels.end() ? LocationVerdict::timed_out : it->second.verdict;
+  };
+  LocationVerdict udp = verdict_of(simnet::Channel::udp);
+  LocationVerdict strict = verdict_of(simnet::Channel::dot_strict);
+  LocationVerdict opportunistic = verdict_of(simnet::Channel::dot_opportunistic);
+
+  bool udp_intercepted = indicates_interception(udp);
+  if (!udp_intercepted && udp == LocationVerdict::standard &&
+      strict == LocationVerdict::standard && opportunistic == LocationVerdict::standard)
+    return DotFinding::not_intercepted;
+  if (udp_intercepted) {
+    if (strict == LocationVerdict::timed_out && indicates_interception(opportunistic))
+      return DotFinding::opportunistic_hijacked;
+    if (strict == LocationVerdict::timed_out && opportunistic == LocationVerdict::timed_out)
+      return DotFinding::dot_blocked;
+    if (strict == LocationVerdict::standard && opportunistic == LocationVerdict::standard)
+      return DotFinding::dot_escapes;
+  }
+  return DotFinding::inconsistent;
+}
+
+DotReport DotProber::run(QueryTransport& transport) {
+  DotReport report;
+  for (resolvers::PublicResolverKind kind : resolvers::all_public_resolvers()) {
+    const auto& spec = resolvers::PublicResolverSpec::get(kind);
+    DotResolverReport resolver_report;
+
+    for (simnet::Channel channel : {simnet::Channel::udp, simnet::Channel::dot_strict,
+                                    simnet::Channel::dot_opportunistic}) {
+      DotChannelResult channel_result;
+      if (!transport.supports_channel(channel)) {
+        channel_result.display = "(unsupported)";
+        resolver_report.channels.emplace(channel, std::move(channel_result));
+        continue;
+      }
+      std::uint16_t port =
+          channel == simnet::Channel::udp ? netbase::kDnsPort : netbase::kDotPort;
+      netbase::Endpoint server{spec.service_v4[0], port};
+      QueryOptions options = config_.query;
+      options.channel = channel;
+      dnswire::Message query =
+          dnswire::make_query(next_id_++, spec.location_query.name, spec.location_query.type,
+                              spec.location_query.klass);
+      QueryResult result = transport.query(server, query, options);
+      channel_result.verdict = classify_location_response(kind, result);
+      channel_result.display = location_response_display(result);
+      resolver_report.channels.emplace(channel, std::move(channel_result));
+    }
+
+    resolver_report.finding = classify(resolver_report);
+    report.per_resolver.emplace(kind, std::move(resolver_report));
+  }
+  return report;
+}
+
+}  // namespace dnslocate::core

@@ -1,0 +1,45 @@
+#include "core/isp_localizer.h"
+
+#include "core/classify.h"
+#include "dnswire/debug_queries.h"
+#include "resolvers/special_names.h"
+
+namespace dnslocate::core {
+
+BogonFamilyReport IspLocalizer::probe_family(QueryTransport& transport,
+                                             const netbase::Endpoint& target) {
+  BogonFamilyReport report;
+  report.tested = true;
+  report.target = target;
+
+  dnswire::Message a_query = dnswire::make_query(
+      next_id_++, resolvers::bogon_probe_domain(), dnswire::RecordType::A);
+  report.a_query = transport.query(target, a_query, config_.query);
+  report.a_display = location_response_display(report.a_query);
+
+  dnswire::Message version_query =
+      dnswire::make_chaos_query(next_id_++, dnswire::version_bind());
+  report.version_query = transport.query(target, version_query, config_.query);
+  report.version_display = location_response_display(report.version_query);
+  return report;
+}
+
+BogonReport IspLocalizer::run(QueryTransport& transport) {
+  BogonReport report;
+  if (transport.supports_family(netbase::IpFamily::v4))
+    report.v4 = probe_family(transport, config_.bogon_v4);
+  if (config_.test_v6 && transport.supports_family(netbase::IpFamily::v6))
+    report.v6 = probe_family(transport, config_.bogon_v6);
+
+  for (const BogonFamilyReport* family : {&report.v4, &report.v6}) {
+    if (family->version_query.answered()) {
+      if (auto txt = family->version_query.response->first_txt()) {
+        report.version_bind_txt = *txt;
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dnslocate::core

@@ -1,0 +1,68 @@
+// Step 3 (§3.3): is the interceptor inside the client's ISP?
+//
+// Queries addressed to bogon (unroutable) IPs cannot leave the AS; if one is
+// answered, the interceptor sits before the AS border. Silence proves
+// nothing: the interceptor may be beyond the AS, or may discard
+// bogon-addressed queries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/transport.h"
+#include "netbase/bogon.h"
+
+namespace dnslocate::core {
+
+/// One bogon-probe observation set (per family).
+struct BogonFamilyReport {
+  bool tested = false;
+  netbase::Endpoint target;
+  /// A-record query for the generic probe domain (§3.3's primary probe).
+  QueryResult a_query;
+  /// version.bind to the bogon address — the §3.4 cross-check that the
+  /// responder matches the step-2 strings.
+  QueryResult version_query;
+  std::string a_display;
+  std::string version_display;
+
+  [[nodiscard]] bool answered() const {
+    return a_query.answered() || version_query.answered();
+  }
+};
+
+/// Step-3 report.
+struct BogonReport {
+  BogonFamilyReport v4;
+  BogonFamilyReport v6;
+  /// version.bind string seen from the bogon address, if any.
+  std::optional<std::string> version_bind_txt;
+
+  /// §3.3's conclusion: a response to an unroutable address means the
+  /// request "must have been intercepted before it could leave the AS".
+  [[nodiscard]] bool within_isp() const { return v4.answered() || v6.answered(); }
+};
+
+class IspLocalizer {
+ public:
+  struct Config {
+    QueryOptions query;
+    netbase::Endpoint bogon_v4{netbase::BogonCatalog::default_probe_v4(), netbase::kDnsPort};
+    netbase::Endpoint bogon_v6{netbase::BogonCatalog::default_probe_v6(), netbase::kDnsPort};
+    bool test_v6 = true;
+  };
+
+  IspLocalizer() = default;
+  explicit IspLocalizer(Config config) : config_(std::move(config)) {}
+
+  BogonReport run(QueryTransport& transport);
+
+ private:
+  BogonFamilyReport probe_family(QueryTransport& transport, const netbase::Endpoint& target);
+
+  Config config_;
+  std::uint16_t next_id_ = 0x3000;
+};
+
+}  // namespace dnslocate::core

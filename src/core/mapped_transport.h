@@ -1,0 +1,61 @@
+// MappedTransport: a QueryTransport decorator that rewrites server
+// endpoints through a static map before delegating. Two uses:
+//   - integration testing: point the pipeline's well-known resolver
+//     addresses (1.1.1.1, 8.8.8.8, ...) at in-process loopback servers and
+//     exercise the real socket path end-to-end;
+//   - split-horizon deployments where a measurement vantage reaches the
+//     resolvers through jump addresses.
+// Unmapped endpoints either pass through or time out, per policy.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/transport.h"
+
+namespace dnslocate::core {
+
+class MappedTransport : public QueryTransport {
+ public:
+  enum class UnmappedPolicy {
+    pass_through,  // forward to the original endpoint
+    timeout,       // swallow the query (hermetic test mode)
+  };
+
+  explicit MappedTransport(QueryTransport& inner,
+                           UnmappedPolicy policy = UnmappedPolicy::timeout)
+      : inner_(inner), policy_(policy) {}
+
+  /// Route queries for `from` to `to` instead. Port 0 in `from` matches any
+  /// port on that address.
+  void map(const netbase::Endpoint& from, const netbase::Endpoint& to) {
+    mappings_[from] = to;
+  }
+  void map_address(const netbase::IpAddress& from, const netbase::Endpoint& to) {
+    mappings_[netbase::Endpoint{from, 0}] = to;
+  }
+
+  QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
+                    const QueryOptions& options = {}) override {
+    if (auto it = mappings_.find(server); it != mappings_.end())
+      return inner_.query(it->second, message, options);
+    if (auto it = mappings_.find(netbase::Endpoint{server.address, 0}); it != mappings_.end())
+      return inner_.query(it->second, message, options);
+    if (policy_ == UnmappedPolicy::pass_through) return inner_.query(server, message, options);
+    return QueryResult{};  // hermetic: unmapped queries time out
+  }
+
+  [[nodiscard]] bool supports_family(netbase::IpFamily family) const override {
+    return inner_.supports_family(family);
+  }
+  [[nodiscard]] bool supports_ttl() const override { return inner_.supports_ttl(); }
+  [[nodiscard]] bool supports_channel(simnet::Channel channel) const override {
+    return inner_.supports_channel(channel);
+  }
+
+ private:
+  QueryTransport& inner_;
+  UnmappedPolicy policy_;
+  std::unordered_map<netbase::Endpoint, netbase::Endpoint> mappings_;
+};
+
+}  // namespace dnslocate::core

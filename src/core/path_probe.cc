@@ -1,0 +1,54 @@
+#include "core/path_probe.h"
+
+#include "dnswire/debug_queries.h"
+
+namespace dnslocate::core {
+
+std::string PathHop::to_string() const {
+  std::string out = std::to_string(ttl) + "  ";
+  out += router ? router->to_string() : "*";
+  if (dns_answered) out += "  [DNS response]";
+  return out;
+}
+
+std::vector<netbase::IpAddress> PathReport::routers() const {
+  std::vector<netbase::IpAddress> out;
+  for (const auto& hop : hops)
+    if (hop.router) out.push_back(*hop.router);
+  return out;
+}
+
+std::string PathReport::to_string() const {
+  std::string out = "path to " + target.to_string() + "\n";
+  for (const auto& hop : hops) out += "  " + hop.to_string() + "\n";
+  if (responder_hop)
+    out += "responder at hop " + std::to_string(*responder_hop) + "\n";
+  return out;
+}
+
+PathReport PathProber::trace(QueryTransport& transport, const netbase::Endpoint& target) {
+  PathReport report;
+  report.target = target;
+  if (!transport.supports_ttl()) return report;
+
+  for (std::uint8_t ttl = 1; ttl <= config_.max_ttl; ++ttl) {
+    QueryOptions options = config_.query;
+    options.ttl = ttl;
+    dnswire::Message query = dnswire::make_chaos_query(next_id_++, dnswire::version_bind());
+    QueryResult result = transport.query(target, query, options);
+
+    PathHop hop;
+    hop.ttl = ttl;
+    hop.router = result.icmp_from;
+    hop.dns_answered = result.answered();
+    report.hops.push_back(hop);
+
+    if (result.answered()) {
+      if (!report.responder_hop) report.responder_hop = ttl;
+      if (config_.stop_at_responder) break;
+    }
+  }
+  return report;
+}
+
+}  // namespace dnslocate::core

@@ -1,0 +1,56 @@
+#include "core/pipeline.h"
+
+namespace dnslocate::core {
+
+ProbeVerdict LocalizationPipeline::run(QueryTransport& transport) {
+  ProbeVerdict verdict;
+
+  // Step 1: which resolvers are intercepted? (§3.1)
+  InterceptionDetector detector(config_.detection);
+  verdict.detection = detector.run(transport);
+  // IPv6 interception is rare and handled jointly with v4 in the paper's
+  // analyses (§4.1.1); localization proceeds on the v4 observations, falling
+  // back to v6 when only v6 is intercepted.
+  netbase::IpFamily family = verdict.detection.any_intercepted(netbase::IpFamily::v4)
+                                 ? netbase::IpFamily::v4
+                                 : netbase::IpFamily::v6;
+  auto suspects = verdict.detection.intercepted_kinds(family);
+  if (suspects.empty()) {
+    verdict.location = InterceptorLocation::not_intercepted;
+    return verdict;
+  }
+
+  // Step 2: version.bind comparison against the CPE's public IP (§3.2).
+  if (config_.cpe_public_ip) {
+    CpeLocalizer::Config cpe_config = config_.cpe_check;
+    cpe_config.family = family;
+    CpeLocalizer cpe(cpe_config);
+    verdict.cpe_check = cpe.run(transport, *config_.cpe_public_ip, suspects);
+  }
+
+  if (verdict.cpe_check && verdict.cpe_check->cpe_is_interceptor) {
+    verdict.location = InterceptorLocation::cpe;
+  } else {
+    // Step 3: bogon probing (§3.3).
+    IspLocalizer isp(config_.bogon);
+    verdict.bogon = isp.run(transport);
+    verdict.location = verdict.bogon->within_isp() ? InterceptorLocation::isp
+                                                   : InterceptorLocation::unknown;
+  }
+
+  if (config_.detect_replication) {
+    ReplicationProber prober(config_.replication);
+    verdict.replication = prober.run(transport);
+  }
+
+  // §4.1.2: is the interception transparent?
+  if (config_.run_transparency) {
+    TransparencyTester::Config transparency_config = config_.transparency;
+    transparency_config.family = family;
+    TransparencyTester tester(transparency_config);
+    verdict.transparency = tester.run(transport, suspects);
+  }
+  return verdict;
+}
+
+}  // namespace dnslocate::core

@@ -1,0 +1,64 @@
+// The full three-part localization pipeline (Figure 2), plus the §4.1.2
+// transparency test. This is the library's primary public entry point.
+#pragma once
+
+#include <optional>
+
+#include "core/cpe_localizer.h"
+#include "core/detector.h"
+#include "core/isp_localizer.h"
+#include "core/replication.h"
+#include "core/transparency.h"
+#include "core/verdict.h"
+
+namespace dnslocate::core {
+
+/// Pipeline configuration.
+struct PipelineConfig {
+  /// Public (WAN) address of the client's CPE. Without it step 2 cannot run
+  /// and CPE interception cannot be distinguished from ISP interception.
+  std::optional<netbase::IpAddress> cpe_public_ip;
+  InterceptionDetector::Config detection;
+  CpeLocalizer::Config cpe_check;
+  IspLocalizer::Config bogon;
+  TransparencyTester::Config transparency;
+  /// Run the whoami transparency test on intercepted probes (§4.1.2).
+  bool run_transparency = true;
+  /// Also probe for query replication on intercepted probes (§3.1 notes
+  /// replication and diversion are indistinguishable for localization; this
+  /// records which one it was).
+  bool detect_replication = false;
+  ReplicationProber::Config replication;
+};
+
+/// Everything the pipeline learned about one vantage point.
+struct ProbeVerdict {
+  DetectionReport detection;
+  std::optional<CpeCheckReport> cpe_check;      // only when intercepted
+  std::optional<BogonReport> bogon;             // only when needed
+  std::optional<TransparencyReport> transparency;
+  std::optional<ReplicationReport> replication;   // when detect_replication
+  InterceptorLocation location = InterceptorLocation::not_intercepted;
+
+  [[nodiscard]] bool intercepted() const {
+    return location != InterceptorLocation::not_intercepted;
+  }
+};
+
+/// Runs Figure 2's decision procedure:
+///   1. location queries -> intercepted?
+///   2. version.bind comparison -> CPE?
+///   3. bogon queries -> within ISP? else unknown.
+class LocalizationPipeline {
+ public:
+  explicit LocalizationPipeline(PipelineConfig config = {}) : config_(std::move(config)) {}
+
+  ProbeVerdict run(QueryTransport& transport);
+
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+ private:
+  PipelineConfig config_;
+};
+
+}  // namespace dnslocate::core

@@ -1,0 +1,31 @@
+#include "core/replication.h"
+
+namespace dnslocate::core {
+
+ReplicationReport ReplicationProber::run(QueryTransport& transport) {
+  ReplicationReport report;
+  for (resolvers::PublicResolverKind kind : resolvers::all_public_resolvers()) {
+    const auto& spec = resolvers::PublicResolverSpec::get(kind);
+    netbase::Endpoint server{spec.service_v4[0], netbase::kDnsPort};
+    dnswire::Message query =
+        dnswire::make_query(next_id_++, spec.location_query.name, spec.location_query.type,
+                            spec.location_query.klass);
+    QueryResult result = transport.query(server, query, config_.query);
+
+    ReplicationObservation obs;
+    obs.responses = result.all_responses.size();
+    obs.replicated = result.replicated();
+    obs.first_display = location_response_display(result);
+    if (obs.replicated) {
+      QueryResult last;
+      last.status = QueryResult::Status::answered;
+      last.response = result.all_responses.back();
+      obs.last_display = location_response_display(last);
+      obs.payloads_differ = result.all_responses.front() != result.all_responses.back();
+    }
+    report.per_resolver.emplace(kind, std::move(obs));
+  }
+  return report;
+}
+
+}  // namespace dnslocate::core

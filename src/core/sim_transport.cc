@@ -1,0 +1,82 @@
+#include "core/sim_transport.h"
+
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+
+namespace dnslocate::core {
+
+SimTransport::SimTransport(simnet::Simulator& sim, simnet::Device& host)
+    : sim_(sim), host_(host) {}
+
+bool SimTransport::supports_family(netbase::IpFamily family) const {
+  return host_.local_ip(family).has_value();
+}
+
+void SimTransport::on_datagram(simnet::Simulator&, simnet::Device&,
+                               const simnet::UdpPacket& packet) {
+  if (collecting_ == nullptr || packet.dport != collecting_->port) return;
+  if (packet.kind == simnet::PacketKind::icmp_ttl_exceeded) {
+    // The quoted datagram inside the error is our own query; confirm by id.
+    auto quoted = dnswire::decode_message(packet.payload);
+    if (quoted && quoted->id == collecting_->id && !collecting_->result.icmp_from)
+      collecting_->result.icmp_from = packet.src;
+    return;
+  }
+  auto message = dnswire::decode_message(packet.payload);
+  if (!message || !collecting_->query ||
+      !dnswire::is_acceptable_response(*collecting_->query, *message))
+    return;
+  if (!collecting_->result.answered()) {
+    collecting_->result.status = QueryResult::Status::answered;
+    collecting_->result.response = *message;
+    collecting_->result.rtt = std::chrono::duration_cast<std::chrono::microseconds>(
+        sim_.now() - collecting_->sent_at);
+  }
+  collecting_->result.all_responses.push_back(std::move(*message));
+}
+
+QueryResult SimTransport::query(const netbase::Endpoint& server,
+                                const dnswire::Message& message, const QueryOptions& options) {
+  Collecting state;
+  state.port = next_port_++;
+  if (next_port_ < 40000) next_port_ = 40000;
+  state.id = message.id;
+  state.query = &message;
+  state.sent_at = sim_.now();
+  collecting_ = &state;
+  host_.bind_udp(state.port, this);
+  ++queries_sent_;
+
+  auto source = host_.local_ip(server.address.family());
+  if (!source) {
+    host_.unbind_udp(state.port);
+    collecting_ = nullptr;
+    return state.result;  // family unsupported: behaves as a timeout
+  }
+
+  simnet::UdpPacket packet;
+  packet.src = *source;
+  packet.dst = server.address;
+  packet.sport = state.port;
+  packet.dport = server.port;
+  if (options.ttl) packet.ttl = *options.ttl;
+  packet.channel = options.channel;
+  if (options.channel == simnet::Channel::dot_strict)
+    packet.tls_expected_peer = server.address;
+  packet.payload = dnswire::encode_message(message);
+  packet.trace_id = sim_.next_trace_id();
+  host_.send_local(sim_, std::move(packet));
+
+  // Drive the simulator to the timeout horizon; responses (and replicated
+  // duplicates) arriving before it are collected by on_datagram.
+  sim_.schedule(std::chrono::duration_cast<simnet::SimDuration>(options.timeout),
+                [&state]() { state.deadline_passed = true; });
+  while (!state.deadline_passed && sim_.step()) {
+  }
+
+  host_.unbind_udp(state.port);
+  collecting_ = nullptr;
+  return state.result;
+}
+
+}  // namespace dnslocate::core

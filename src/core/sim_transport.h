@@ -1,0 +1,52 @@
+// SimTransport: runs the localization client on a simulated host.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/transport.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::core {
+
+/// A QueryTransport backed by a simnet host device. Each query binds a fresh
+/// ephemeral port, injects the datagram, and drives the simulator until the
+/// response arrives and the timeout horizon passes (so replicated duplicates
+/// are captured deterministically).
+class SimTransport : public QueryTransport, private simnet::UdpApp {
+ public:
+  /// `host` is the measurement device (the RIPE-Atlas-probe stand-in).
+  /// It must already be wired into a topology with a default route.
+  SimTransport(simnet::Simulator& sim, simnet::Device& host);
+
+  QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
+                    const QueryOptions& options = {}) override;
+
+  [[nodiscard]] bool supports_family(netbase::IpFamily family) const override;
+  [[nodiscard]] bool supports_ttl() const override { return true; }
+  [[nodiscard]] bool supports_channel(simnet::Channel) const override { return true; }
+
+  [[nodiscard]] std::uint64_t queries_sent() const { return queries_sent_; }
+
+ private:
+  void on_datagram(simnet::Simulator& sim, simnet::Device& self,
+                   const simnet::UdpPacket& packet) override;
+
+  simnet::Simulator& sim_;
+  simnet::Device& host_;
+  std::uint16_t next_port_ = 40000;
+  std::uint64_t queries_sent_ = 0;
+
+  // Per-query collection state (valid only inside query()).
+  struct Collecting {
+    std::uint16_t port = 0;
+    std::uint16_t id = 0;
+    const dnswire::Message* query = nullptr;
+    bool deadline_passed = false;
+    QueryResult result;
+    simnet::SimTime sent_at{};
+  };
+  Collecting* collecting_ = nullptr;
+};
+
+}  // namespace dnslocate::core

@@ -1,0 +1,73 @@
+// QueryTransport: the single seam between the localization technique and
+// the network it measures. The same pipeline runs over the simulator
+// (core/sim_transport.h) and over real POSIX sockets (sockets/udp_transport.h)
+// — matching the paper's claim that the technique "can be implemented on any
+// device that can make DNS queries".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dnswire/message.h"
+#include "netbase/endpoint.h"
+#include "simnet/packet.h"
+
+namespace dnslocate::core {
+
+/// Per-query knobs.
+struct QueryOptions {
+  std::chrono::milliseconds timeout{3000};
+  /// IP TTL / hop limit override — used by the TTL-probing extension (§6
+  /// future work). Transports that cannot set it report so via
+  /// supports_ttl().
+  std::optional<std::uint8_t> ttl;
+  /// Transport channel. DoT channels model RFC 7858's strict and
+  /// opportunistic privacy profiles; check supports_channel() first.
+  simnet::Channel channel = simnet::Channel::udp;
+};
+
+/// Outcome of one query.
+struct QueryResult {
+  enum class Status { answered, timed_out };
+  Status status = Status::timed_out;
+
+  /// First response accepted (the one a stub resolver would use).
+  std::optional<dnswire::Message> response;
+  /// Every response observed before the timeout fired — more than one means
+  /// query replication (§3.1).
+  std::vector<dnswire::Message> all_responses;
+  /// Time to the first response (meaningless for timeouts).
+  std::chrono::microseconds rtt{0};
+  /// Router that reported ICMP Time Exceeded for this query, if any —
+  /// the raw material of traceroute-style interceptor localization.
+  std::optional<netbase::IpAddress> icmp_from;
+
+  [[nodiscard]] bool answered() const { return status == Status::answered; }
+  [[nodiscard]] bool replicated() const { return all_responses.size() > 1; }
+};
+
+/// Synchronous DNS query interface.
+class QueryTransport {
+ public:
+  virtual ~QueryTransport() = default;
+
+  /// Send `query` to `server` and wait for a response or timeout.
+  virtual QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
+                            const QueryOptions& options = {}) = 0;
+
+  /// Whether this transport can reach the given family at all.
+  [[nodiscard]] virtual bool supports_family(netbase::IpFamily family) const = 0;
+
+  /// Whether QueryOptions::ttl is honoured.
+  [[nodiscard]] virtual bool supports_ttl() const { return false; }
+
+  /// Whether the given channel can be used. Plain UDP is universal; DoT is
+  /// currently offered by the simulated transport only.
+  [[nodiscard]] virtual bool supports_channel(simnet::Channel channel) const {
+    return channel == simnet::Channel::udp;
+  }
+};
+
+}  // namespace dnslocate::core

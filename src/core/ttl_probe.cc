@@ -1,0 +1,29 @@
+#include "core/ttl_probe.h"
+
+#include "dnswire/debug_queries.h"
+
+namespace dnslocate::core {
+
+TtlSweepReport TtlLocalizer::sweep(QueryTransport& transport,
+                                   const netbase::Endpoint& target) {
+  TtlSweepReport report;
+  report.target = target;
+  if (!transport.supports_ttl()) return report;
+
+  for (std::uint8_t ttl = 1; ttl <= config_.max_ttl; ++ttl) {
+    QueryOptions options = config_.query;
+    options.ttl = ttl;
+    dnswire::Message query = dnswire::make_chaos_query(next_id_++, dnswire::version_bind());
+    QueryResult result = transport.query(target, query, options);
+    report.answered.push_back(result.answered());
+    if (result.answered() && !report.responder_hop) report.responder_hop = ttl;
+  }
+  return report;
+}
+
+std::optional<std::uint8_t> TtlLocalizer::responder_hop(QueryTransport& transport,
+                                                        const netbase::Endpoint& target) {
+  return sweep(transport, target).responder_hop;
+}
+
+}  // namespace dnslocate::core

@@ -1,0 +1,25 @@
+#include "core/verdict.h"
+
+namespace dnslocate::core {
+
+std::string_view to_string(InterceptorLocation location) {
+  switch (location) {
+    case InterceptorLocation::not_intercepted: return "not intercepted";
+    case InterceptorLocation::cpe: return "CPE";
+    case InterceptorLocation::isp: return "within ISP";
+    case InterceptorLocation::unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string_view to_string(TransparencyClass klass) {
+  switch (klass) {
+    case TransparencyClass::transparent: return "Transparent";
+    case TransparencyClass::status_modified: return "Status Modified";
+    case TransparencyClass::both: return "Both";
+    case TransparencyClass::indeterminate: return "Indeterminate";
+  }
+  return "?";
+}
+
+}  // namespace dnslocate::core

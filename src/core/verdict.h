@@ -1,0 +1,28 @@
+// Top-level verdicts produced by the localization pipeline.
+#pragma once
+
+#include <string_view>
+
+namespace dnslocate::core {
+
+/// Where the interceptor sits (Figure 4's categories).
+enum class InterceptorLocation {
+  not_intercepted,
+  cpe,      // §3.2: the home router itself
+  isp,      // §3.3: inside the client's AS
+  unknown,  // intercepted, but beyond what bogon probing can prove
+};
+
+std::string_view to_string(InterceptorLocation location);
+
+/// Figure 3's per-probe transparency categories.
+enum class TransparencyClass {
+  transparent,      // all intercepted resolvers resolved our query correctly
+  status_modified,  // all intercepted resolvers returned DNS error statuses
+  both,             // a mix
+  indeterminate,    // no usable whoami responses
+};
+
+std::string_view to_string(TransparencyClass klass);
+
+}  // namespace dnslocate::core

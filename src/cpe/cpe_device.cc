@@ -1,0 +1,116 @@
+#include "cpe/cpe_device.h"
+
+namespace dnslocate::cpe {
+
+std::string_view to_string(InterceptMode mode) {
+  switch (mode) {
+    case InterceptMode::none: return "none";
+    case InterceptMode::dnat_to_self: return "dnat_to_self";
+    case InterceptMode::dnat_to_resolver: return "dnat_to_resolver";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Diversion target for one family, per the configured mode.
+std::optional<netbase::IpAddress> dnat_target(const CpeConfig& config, InterceptMode mode,
+                                              netbase::IpFamily family) {
+  switch (mode) {
+    case InterceptMode::none:
+      return std::nullopt;
+    case InterceptMode::dnat_to_self:
+      // "DNAT rewrites all query destinations to be the CPE's own private IP
+      // address, so that the CPE's DNS forwarder can send them to its own
+      // pre-configured resolver." (§3.2)
+      return family == netbase::IpFamily::v4 ? std::optional(config.lan_v4) : config.lan_v6;
+    case InterceptMode::dnat_to_resolver: {
+      if (family == netbase::IpFamily::v4) return config.forwarder.upstream_v4.address;
+      if (config.forwarder.upstream_v6) return config.forwarder.upstream_v6->address;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+CpeHandles build_cpe(simnet::Simulator& sim, const CpeConfig& config, simnet::Device& lan_peer,
+                     simnet::Device& wan_peer) {
+  CpeHandles handles;
+  auto& device = sim.add_device<simnet::Device>(config.name);
+  handles.device = &device;
+  device.set_forwarding(true);
+
+  device.add_local_ip(config.lan_v4);
+  device.add_local_ip(config.wan_v4);
+  if (config.lan_v6) device.add_local_ip(*config.lan_v6);
+  if (config.wan_v6) device.add_local_ip(*config.wan_v6);
+
+  auto [lan_port, lan_peer_port] = sim.connect(device, lan_peer,
+                                               {.latency = std::chrono::microseconds(300)});
+  auto [wan_port, wan_peer_port] = sim.connect(device, wan_peer,
+                                               {.latency = std::chrono::milliseconds(2)});
+  handles.lan_port = lan_port;
+  handles.wan_port = wan_port;
+  handles.lan_peer_port = lan_peer_port;
+  handles.wan_peer_port = wan_peer_port;
+
+  device.add_route(config.lan_prefix_v4, lan_port);
+  if (config.lan_prefix_v6) device.add_route(*config.lan_prefix_v6, lan_port);
+  device.set_default_route(wan_port);
+  // The default route covers both families; LAN prefixes override it.
+
+  auto nat = std::make_shared<simnet::NatHook>();
+  handles.nat = nat;
+
+  // Masquerade LAN traffic leaving the WAN port.
+  simnet::SnatRule snat;
+  snat.out_port = wan_port;
+  snat.to_source_v4 = config.wan_v4;
+  snat.to_source_v6 = config.wan_v6;
+  nat->add_snat_rule(snat);
+
+  // Interception DNAT. The rule matches *everything the LAN sends to port
+  // 53* — including queries addressed to the CPE's own public IP, which is
+  // the role-switch §3.2 detects.
+  auto install_intercept = [&](InterceptMode mode, netbase::IpFamily family) {
+    auto target = dnat_target(config, mode, family);
+    if (!target) return;
+    simnet::DnatRule rule;
+    rule.in_port = lan_port;
+    rule.match_dport = netbase::kDnsPort;
+    rule.family = family;
+    rule.match_dsts = config.intercept_only;
+    rule.exempt_dsts = config.intercept_exempt;
+    if (family == netbase::IpFamily::v4)
+      rule.new_dst_v4 = target;
+    else
+      rule.new_dst_v6 = target;
+    rule.replicate = config.replicate;
+    nat->add_dnat_rule(rule);
+    if (config.intercept_dot) {
+      simnet::DnatRule dot_rule = rule;
+      dot_rule.match_dport = netbase::kDotPort;
+      nat->add_dnat_rule(dot_rule);
+    }
+  };
+  install_intercept(config.intercept_v4, netbase::IpFamily::v4);
+  install_intercept(config.intercept_v6, netbase::IpFamily::v6);
+
+  device.add_hook(nat);
+
+  if (config.forwarder_enabled) {
+    resolvers::ForwarderConfig forwarder_config = config.forwarder;
+    // A DoT-intercepting CPE terminates the TLS itself (opportunistic
+    // clients accept that), so its forwarder must serve 853.
+    if (config.intercept_dot) forwarder_config.serve_dot = true;
+    if (!forwarder_config.wan_source_v4) forwarder_config.wan_source_v4 = config.wan_v4;
+    if (!forwarder_config.wan_source_v6) forwarder_config.wan_source_v6 = config.wan_v6;
+    handles.forwarder = std::make_shared<resolvers::DnsForwarderApp>(forwarder_config);
+    handles.forwarder->attach(device);
+  }
+  return handles;
+}
+
+}  // namespace dnslocate::cpe

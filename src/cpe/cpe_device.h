@@ -1,0 +1,78 @@
+// Customer Premises Equipment: a home router assembled from simnet parts —
+// NAT/masquerade, an optional DNS forwarder, and optionally the DNAT
+// interception behaviour the paper found in the wild (§3.2, §5).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "resolvers/forwarder.h"
+#include "simnet/nat.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::cpe {
+
+/// How (and whether) the CPE intercepts DNS.
+enum class InterceptMode {
+  none,              // well-behaved router
+  dnat_to_self,      // DNAT to the CPE's own forwarder (Dnsmasq/XDNS style)
+  dnat_to_resolver,  // DNAT straight to the upstream resolver
+};
+
+std::string_view to_string(InterceptMode mode);
+
+/// Everything needed to instantiate a CPE.
+struct CpeConfig {
+  std::string name = "cpe";
+
+  // Addressing.
+  netbase::IpAddress wan_v4;                       // public or CGN address
+  std::optional<netbase::IpAddress> wan_v6;        // GUA if the home has IPv6
+  netbase::IpAddress lan_v4 = netbase::Ipv4Address(192, 168, 1, 1);
+  std::optional<netbase::IpAddress> lan_v6;
+  netbase::Prefix lan_prefix_v4{netbase::IpAddress(netbase::Ipv4Address(192, 168, 1, 0)), 24};
+  std::optional<netbase::Prefix> lan_prefix_v6;
+
+  /// Port 53 open on the CPE (DNS forwarder listening). Required for
+  /// interception modes that answer locally, but also common on benign CPE.
+  bool forwarder_enabled = true;
+  resolvers::ForwarderConfig forwarder;
+
+  /// Interception per family. The paper found v4-only interception is the
+  /// overwhelmingly common configuration (§4.1.1).
+  InterceptMode intercept_v4 = InterceptMode::none;
+  InterceptMode intercept_v6 = InterceptMode::none;
+  /// Destinations never intercepted ("one resolver allowed" pattern).
+  std::vector<netbase::IpAddress> intercept_exempt;
+  /// If non-empty, intercept only these destinations ("one intercepted").
+  std::vector<netbase::IpAddress> intercept_only;
+  /// Query replication instead of pure diversion.
+  bool replicate = false;
+  /// Also DNAT port-853 (DoT) flows. Strict-profile clients then fail their
+  /// handshakes; opportunistic-profile clients are intercepted (§6).
+  bool intercept_dot = false;
+};
+
+/// Handles to the live pieces of a built CPE.
+struct CpeHandles {
+  simnet::Device* device = nullptr;
+  std::shared_ptr<simnet::NatHook> nat;
+  std::shared_ptr<resolvers::DnsForwarderApp> forwarder;  // null if disabled
+  simnet::PortId lan_port = 0;
+  simnet::PortId wan_port = 0;
+  /// Ports allocated on the peers, so callers can finish their routing
+  /// (e.g. the host's default route towards the CPE).
+  simnet::PortId lan_peer_port = 0;
+  simnet::PortId wan_peer_port = 0;
+};
+
+/// Build a CPE in `sim`, wired between `lan_peer` (the measurement host)
+/// and `wan_peer` (the ISP access router). Installs addresses, routes,
+/// masquerading, the forwarder, and the configured interception rules.
+CpeHandles build_cpe(simnet::Simulator& sim, const CpeConfig& config,
+                     simnet::Device& lan_peer, simnet::Device& wan_peer);
+
+}  // namespace dnslocate::cpe

@@ -1,0 +1,111 @@
+#include "cpe/presets.h"
+
+namespace dnslocate::cpe {
+namespace {
+
+/// Common scaffold: RFC 1918 LAN, ULA for v6 when the home has IPv6.
+CpeConfig base_config(const HomeAddressing& home) {
+  CpeConfig config;
+  config.wan_v4 = home.wan_v4;
+  config.wan_v6 = home.wan_v6;
+  config.lan_v4 = *netbase::IpAddress::parse("192.168.1.1");
+  config.lan_prefix_v4 = *netbase::Prefix::parse("192.168.1.0/24");
+  if (home.wan_v6) {
+    config.lan_v6 = *netbase::IpAddress::parse("fd00:1::1");
+    config.lan_prefix_v6 = *netbase::Prefix::parse("fd00:1::/64");
+  }
+  config.forwarder.upstream_v4 = home.isp_resolver_v4;
+  config.forwarder.upstream_v6 = home.isp_resolver_v6;
+  return config;
+}
+
+}  // namespace
+
+CpeConfig benign_closed(const HomeAddressing& home) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-benign-closed";
+  config.forwarder_enabled = false;
+  return config;
+}
+
+CpeConfig benign_open_dnsmasq(const HomeAddressing& home, const std::string& version) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-benign-open";
+  config.forwarder.software = resolvers::dnsmasq(version);
+  return config;
+}
+
+CpeConfig benign_open_chaos_forwarder(const HomeAddressing& home) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-benign-chaos-fwd";
+  config.forwarder.software = resolvers::chaos_forwarder("vendor-forwarder");
+  return config;
+}
+
+CpeConfig benign_open_chaos_nxdomain(const HomeAddressing& home) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-benign-chaos-nx";
+  config.forwarder.software = resolvers::chaos_nxdomain("vendor-forwarder");
+  return config;
+}
+
+CpeConfig xb6_buggy(const HomeAddressing& home) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-xb6-buggy";
+  config.forwarder.software = resolvers::xdns();
+  // The bug: every LAN query is DNAT'd to XDNS with no opt-in — "directing
+  // all queries to the ISP's resolver, without giving users any indication
+  // that their choice has been curtailed" (§5). v4 only, matching §4.1.1.
+  config.intercept_v4 = InterceptMode::dnat_to_self;
+  return config;
+}
+
+CpeConfig xb6_healthy(const HomeAddressing& home) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-xb6-healthy";
+  config.forwarder.software = resolvers::xdns();
+  return config;
+}
+
+CpeConfig pihole(const HomeAddressing& home, const std::string& version) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-pihole";
+  config.forwarder.software = resolvers::pihole(version);
+  config.intercept_v4 = InterceptMode::dnat_to_self;
+  return config;
+}
+
+CpeConfig intercepting_unbound(const HomeAddressing& home, const std::string& version,
+                               std::optional<std::string> identity) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-unbound";
+  config.forwarder.software = resolvers::unbound(version, std::move(identity));
+  config.intercept_v4 = InterceptMode::dnat_to_self;
+  return config;
+}
+
+CpeConfig intercepting_dnsmasq(const HomeAddressing& home, const std::string& version) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-dnsmasq-intercept";
+  config.forwarder.software = resolvers::dnsmasq(version);
+  config.intercept_v4 = InterceptMode::dnat_to_self;
+  return config;
+}
+
+CpeConfig intercepting_custom(const HomeAddressing& home, resolvers::SoftwareProfile software) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-custom-intercept";
+  config.forwarder.software = std::move(software);
+  config.intercept_v4 = InterceptMode::dnat_to_self;
+  return config;
+}
+
+CpeConfig intercepting_to_resolver(const HomeAddressing& home) {
+  CpeConfig config = base_config(home);
+  config.name = "cpe-dnat-resolver";
+  config.forwarder_enabled = false;
+  config.intercept_v4 = InterceptMode::dnat_to_resolver;
+  return config;
+}
+
+}  // namespace dnslocate::cpe

@@ -1,0 +1,63 @@
+// CPE presets: the router populations the paper's pilot study encountered,
+// including the §5 XB6/XDNS case study. Each preset produces a CpeConfig
+// given the home's addressing and the ISP resolver to forward to.
+#pragma once
+
+#include "cpe/cpe_device.h"
+
+namespace dnslocate::cpe {
+
+/// Addressing and upstream inputs shared by all presets.
+struct HomeAddressing {
+  netbase::IpAddress wan_v4;
+  std::optional<netbase::IpAddress> wan_v6;
+  netbase::Endpoint isp_resolver_v4;
+  std::optional<netbase::Endpoint> isp_resolver_v6;
+};
+
+/// A well-behaved router: NAT only, port 53 closed.
+CpeConfig benign_closed(const HomeAddressing& home);
+
+/// A well-behaved router running a dnsmasq forwarder on an open port 53 —
+/// answers queries addressed to it but intercepts nothing.
+CpeConfig benign_open_dnsmasq(const HomeAddressing& home, const std::string& version = "2.80");
+
+/// §6 misclassification case: open port 53, forwarder does not implement
+/// CHAOS queries and punts them upstream.
+CpeConfig benign_open_chaos_forwarder(const HomeAddressing& home);
+
+/// The XB6/XB7 (§5): RDK-B's XDNS component using DNAT to send every LAN
+/// DNS query to the ISP resolver via its own forwarder — the "bug" variant
+/// where the redirect applies to all queries with no opt-in.
+CpeConfig xb6_buggy(const HomeAddressing& home);
+
+/// An XB6 without the bug: XDNS present (port 53 open) but no DNAT rule.
+CpeConfig xb6_healthy(const HomeAddressing& home);
+
+/// A Pi-hole deployment: the *owner* deliberately intercepts all LAN DNS
+/// (usually to strip advertisements), via DNAT to the Pi-hole's dnsmasq.
+CpeConfig pihole(const HomeAddressing& home, const std::string& version = "2.87");
+
+/// A router intercepting to its own unbound forwarder; `identity` is the
+/// operator-configured id.server string (Table 2's "routing.v2.pw").
+CpeConfig intercepting_unbound(const HomeAddressing& home, const std::string& version = "1.9.0",
+                               std::optional<std::string> identity = std::nullopt);
+
+/// A router intercepting straight to the ISP resolver (DNAT, no local
+/// forwarder answer path).
+CpeConfig intercepting_to_resolver(const HomeAddressing& home);
+
+/// A benign open-port forwarder that answers all CHAOS queries NXDOMAIN
+/// (the probe-11992 CPE shape from Table 3).
+CpeConfig benign_open_chaos_nxdomain(const HomeAddressing& home);
+
+/// A generic dnsmasq router with interception enabled (vendor default or
+/// operator config) — the largest CPE-interceptor class in Table 5.
+CpeConfig intercepting_dnsmasq(const HomeAddressing& home, const std::string& version = "2.85");
+
+/// An interceptor running arbitrary software — covers the long tail of
+/// Table 5 version.bind strings ("Windows NS", "none", "huuh?", ...).
+CpeConfig intercepting_custom(const HomeAddressing& home,
+                              resolvers::SoftwareProfile software);
+
+}  // namespace dnslocate::cpe

@@ -1,0 +1,30 @@
+#include "dnswire/debug_queries.h"
+
+namespace dnslocate::dnswire {
+
+const DnsName& version_bind() {
+  static const DnsName name = *DnsName::parse("version.bind");
+  return name;
+}
+
+const DnsName& id_server() {
+  static const DnsName name = *DnsName::parse("id.server");
+  return name;
+}
+
+const DnsName& hostname_bind() {
+  static const DnsName name = *DnsName::parse("hostname.bind");
+  return name;
+}
+
+Message make_chaos_query(std::uint16_t id, const DnsName& name) {
+  return make_query(id, name, RecordType::TXT, RecordClass::CH);
+}
+
+bool is_chaos_query_for(const Message& m, const DnsName& name) {
+  const Question* q = m.question();
+  return q != nullptr && q->klass == RecordClass::CH && q->type == RecordType::TXT &&
+         q->name.equals_ignore_case(name);
+}
+
+}  // namespace dnslocate::dnswire

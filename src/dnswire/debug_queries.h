@@ -1,0 +1,29 @@
+// Well-known DNS debugging queries (RFC 4892) used by the localization
+// technique: version.bind, id.server, hostname.bind — all CHAOS TXT.
+#pragma once
+
+#include <cstdint>
+
+#include "dnswire/message.h"
+
+namespace dnslocate::dnswire {
+
+/// The CH TXT name "version.bind" — answered by most resolver software with
+/// a software/version string; the paper's §3.2 CPE test hinges on it.
+const DnsName& version_bind();
+
+/// The CH TXT name "id.server" — answered by anycast resolvers with a
+/// site/instance identifier (Cloudflare: IATA code; Quad9: instance FQDN).
+const DnsName& id_server();
+
+/// The CH TXT name "hostname.bind" — the older BIND spelling of id.server,
+/// used by Jones et al. against the roots.
+const DnsName& hostname_bind();
+
+/// Build the CH TXT query for any of the above.
+Message make_chaos_query(std::uint16_t id, const DnsName& name);
+
+/// True if `m` is a CHAOS-class TXT question for `name`.
+bool is_chaos_query_for(const Message& m, const DnsName& name);
+
+}  // namespace dnslocate::dnswire

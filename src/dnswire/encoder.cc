@@ -1,0 +1,182 @@
+#include "dnswire/encoder.h"
+
+#include <map>
+#include <string>
+
+namespace dnslocate::dnswire {
+namespace {
+
+/// Append helpers over a byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+  }
+  void bytes(std::span<const std::uint8_t> b) { out_.insert(out_.end(), b.begin(), b.end()); }
+  void text(std::string_view s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  /// Patch a previously written u16 at `offset`.
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
+  }
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Tracks offsets of previously written name suffixes for compression.
+/// Keys are lowercased presentation forms of each suffix.
+class Compressor {
+ public:
+  explicit Compressor(bool enabled) : enabled_(enabled) {}
+
+  void write_name(Writer& w, const DnsName& name) {
+    const auto& labels = name.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (enabled_) {
+        std::string key = suffix_key(name, i);
+        auto it = offsets_.find(key);
+        if (it != offsets_.end()) {
+          // Pointer: two bytes, top bits 11.
+          w.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+          return;
+        }
+        // Compression pointers can only address offsets < 0x4000.
+        if (w.size() < 0x4000) offsets_.emplace(std::move(key), w.size());
+      }
+      const std::string& label = labels[i];
+      w.u8(static_cast<std::uint8_t>(label.size()));
+      w.text(label);
+    }
+    w.u8(0);  // root
+  }
+
+ private:
+  static std::string suffix_key(const DnsName& name, std::size_t first_label) {
+    std::string key;
+    const auto& labels = name.labels();
+    for (std::size_t i = first_label; i < labels.size(); ++i) {
+      for (char c : labels[i])
+        key.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c);
+      key.push_back('.');
+    }
+    return key;
+  }
+
+  bool enabled_;
+  std::map<std::string, std::size_t> offsets_;
+};
+
+void write_rdata(Writer& w, Compressor& compressor, const ResourceRecord& rr) {
+  // RDLENGTH placeholder, patched after the RDATA is known.
+  std::size_t len_offset = w.size();
+  w.u16(0);
+  std::size_t start = w.size();
+  std::visit(
+      [&](const auto& rd) {
+        using T = std::decay_t<decltype(rd)>;
+        if constexpr (std::is_same_v<T, ARecord>) {
+          w.bytes(rd.address.to_bytes());
+        } else if constexpr (std::is_same_v<T, AaaaRecord>) {
+          w.bytes(rd.address.bytes());
+        } else if constexpr (std::is_same_v<T, TxtRecord>) {
+          for (const auto& s : rd.strings) {
+            w.u8(static_cast<std::uint8_t>(s.size()));
+            w.text(s);
+          }
+        } else if constexpr (std::is_same_v<T, CnameRecord>) {
+          compressor.write_name(w, rd.target);
+        } else if constexpr (std::is_same_v<T, NsRecord>) {
+          compressor.write_name(w, rd.nameserver);
+        } else if constexpr (std::is_same_v<T, PtrRecord>) {
+          compressor.write_name(w, rd.target);
+        } else if constexpr (std::is_same_v<T, SoaRecord>) {
+          compressor.write_name(w, rd.mname);
+          compressor.write_name(w, rd.rname);
+          w.u32(rd.serial);
+          w.u32(rd.refresh);
+          w.u32(rd.retry);
+          w.u32(rd.expire);
+          w.u32(rd.minimum);
+        } else if constexpr (std::is_same_v<T, MxRecord>) {
+          w.u16(rd.preference);
+          compressor.write_name(w, rd.exchange);
+        } else if constexpr (std::is_same_v<T, SrvRecord>) {
+          w.u16(rd.priority);
+          w.u16(rd.weight);
+          w.u16(rd.port);
+          // RFC 2782: the SRV target must not be compressed.
+          Compressor uncompressed(false);
+          uncompressed.write_name(w, rd.target);
+        } else if constexpr (std::is_same_v<T, OptRecord>) {
+          w.bytes(rd.options);
+        } else {
+          w.bytes(rd.data);
+        }
+      },
+      rr.rdata);
+  w.patch_u16(len_offset, static_cast<std::uint16_t>(w.size() - start));
+}
+
+void write_record(Writer& w, Compressor& compressor, const ResourceRecord& rr) {
+  compressor.write_name(w, rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  if (rr.type == RecordType::OPT) {
+    // For OPT, the CLASS field carries the advertised UDP payload size.
+    const auto* opt = std::get_if<OptRecord>(&rr.rdata);
+    w.u16(opt ? opt->udp_payload_size : 512);
+  } else {
+    w.u16(static_cast<std::uint16_t>(rr.klass));
+  }
+  w.u32(rr.ttl);
+  write_rdata(w, compressor, rr);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& message, EncodeOptions options) {
+  std::vector<std::uint8_t> out;
+  out.reserve(512);
+  Writer w(out);
+  Compressor compressor(options.compress_names);
+
+  w.u16(message.id);
+  w.u16(message.flags.to_wire());
+  w.u16(static_cast<std::uint16_t>(message.questions.size()));
+  w.u16(static_cast<std::uint16_t>(message.answers.size()));
+  w.u16(static_cast<std::uint16_t>(message.authorities.size()));
+  w.u16(static_cast<std::uint16_t>(message.additionals.size()));
+
+  for (const auto& q : message.questions) {
+    compressor.write_name(w, q.name);
+    w.u16(static_cast<std::uint16_t>(q.type));
+    w.u16(static_cast<std::uint16_t>(q.klass));
+  }
+  for (const auto& rr : message.answers) write_record(w, compressor, rr);
+  for (const auto& rr : message.authorities) write_record(w, compressor, rr);
+  for (const auto& rr : message.additionals) write_record(w, compressor, rr);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_name(const DnsName& name) {
+  std::vector<std::uint8_t> out;
+  Writer w(out);
+  Compressor compressor(false);
+  compressor.write_name(w, name);
+  return out;
+}
+
+}  // namespace dnslocate::dnswire

@@ -1,0 +1,26 @@
+// Wire-format encoding (RFC 1035 §4) with name compression.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dnswire/message.h"
+
+namespace dnslocate::dnswire {
+
+/// Encoding options.
+struct EncodeOptions {
+  /// Compress repeated names with RFC 1035 §4.1.4 pointers. On by default;
+  /// turned off in tests to exercise the decoder's uncompressed path.
+  bool compress_names = true;
+};
+
+/// Encode a message to wire format. Inputs are assumed validated (DnsName
+/// enforces label/name limits at construction), so encoding cannot fail.
+std::vector<std::uint8_t> encode_message(const Message& message, EncodeOptions options = {});
+
+/// Encode a bare name, uncompressed — used by tests and the zone store.
+std::vector<std::uint8_t> encode_name(const DnsName& name);
+
+}  // namespace dnslocate::dnswire

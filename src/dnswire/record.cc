@@ -1,0 +1,80 @@
+#include "dnswire/record.h"
+
+namespace dnslocate::dnswire {
+
+std::string TxtRecord::joined() const {
+  std::string out;
+  for (const auto& s : strings) out += s;
+  return out;
+}
+
+std::string ResourceRecord::to_string() const {
+  std::string out = name.to_string();
+  out += " " + std::to_string(ttl);
+  out += " ";
+  out += dnswire::to_string(klass);
+  out += " ";
+  out += dnswire::to_string(type);
+  out += " ";
+  std::visit(
+      [&out](const auto& rd) {
+        using T = std::decay_t<decltype(rd)>;
+        if constexpr (std::is_same_v<T, ARecord>) {
+          out += rd.address.to_string();
+        } else if constexpr (std::is_same_v<T, AaaaRecord>) {
+          out += rd.address.to_string();
+        } else if constexpr (std::is_same_v<T, TxtRecord>) {
+          for (std::size_t i = 0; i < rd.strings.size(); ++i) {
+            if (i > 0) out += " ";
+            out += "\"" + rd.strings[i] + "\"";
+          }
+        } else if constexpr (std::is_same_v<T, CnameRecord>) {
+          out += rd.target.to_string();
+        } else if constexpr (std::is_same_v<T, NsRecord>) {
+          out += rd.nameserver.to_string();
+        } else if constexpr (std::is_same_v<T, PtrRecord>) {
+          out += rd.target.to_string();
+        } else if constexpr (std::is_same_v<T, SoaRecord>) {
+          out += rd.mname.to_string() + " " + rd.rname.to_string() + " " +
+                 std::to_string(rd.serial);
+        } else if constexpr (std::is_same_v<T, MxRecord>) {
+          out += std::to_string(rd.preference) + " " + rd.exchange.to_string();
+        } else if constexpr (std::is_same_v<T, SrvRecord>) {
+          out += std::to_string(rd.priority) + " " + std::to_string(rd.weight) + " " +
+                 std::to_string(rd.port) + " " + rd.target.to_string();
+        } else if constexpr (std::is_same_v<T, OptRecord>) {
+          out += "payload=" + std::to_string(rd.udp_payload_size);
+        } else {
+          out += "\\# " + std::to_string(rd.data.size());
+        }
+      },
+      rdata);
+  return out;
+}
+
+ResourceRecord make_a(const DnsName& name, netbase::Ipv4Address addr, std::uint32_t ttl) {
+  return ResourceRecord{name, RecordType::A, RecordClass::IN, ttl, ARecord{addr}};
+}
+
+ResourceRecord make_aaaa(const DnsName& name, const netbase::Ipv6Address& addr,
+                         std::uint32_t ttl) {
+  return ResourceRecord{name, RecordType::AAAA, RecordClass::IN, ttl, AaaaRecord{addr}};
+}
+
+ResourceRecord make_txt(const DnsName& name, std::string text, RecordClass klass,
+                        std::uint32_t ttl) {
+  TxtRecord txt;
+  // Split into 255-octet character-strings as the wire format requires.
+  while (text.size() > 255) {
+    txt.strings.push_back(text.substr(0, 255));
+    text.erase(0, 255);
+  }
+  txt.strings.push_back(std::move(text));
+  return ResourceRecord{name, RecordType::TXT, klass, ttl, std::move(txt)};
+}
+
+ResourceRecord make_cname(const DnsName& name, const DnsName& target, std::uint32_t ttl) {
+  return ResourceRecord{name, RecordType::CNAME, RecordClass::IN, ttl, CnameRecord{target}};
+}
+
+}  // namespace dnslocate::dnswire

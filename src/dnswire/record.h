@@ -1,0 +1,124 @@
+// Resource records and typed RDATA.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dnswire/name.h"
+#include "dnswire/types.h"
+#include "netbase/ipv4.h"
+#include "netbase/ipv6.h"
+
+namespace dnslocate::dnswire {
+
+/// A (IPv4 host address) RDATA.
+struct ARecord {
+  netbase::Ipv4Address address;
+  friend auto operator<=>(const ARecord&, const ARecord&) = default;
+};
+
+/// AAAA (IPv6 host address) RDATA.
+struct AaaaRecord {
+  netbase::Ipv6Address address;
+  friend auto operator<=>(const AaaaRecord&, const AaaaRecord&) = default;
+};
+
+/// TXT RDATA: one or more character-strings, each at most 255 octets.
+/// The CHAOS-class debugging answers (version.bind, id.server) are TXT.
+struct TxtRecord {
+  std::vector<std::string> strings;
+
+  /// All strings joined with no separator — the usual client-side view.
+  [[nodiscard]] std::string joined() const;
+  friend auto operator<=>(const TxtRecord&, const TxtRecord&) = default;
+};
+
+/// CNAME RDATA.
+struct CnameRecord {
+  DnsName target;
+  friend auto operator<=>(const CnameRecord&, const CnameRecord&) = default;
+};
+
+/// NS RDATA.
+struct NsRecord {
+  DnsName nameserver;
+  friend auto operator<=>(const NsRecord&, const NsRecord&) = default;
+};
+
+/// PTR RDATA.
+struct PtrRecord {
+  DnsName target;
+  friend auto operator<=>(const PtrRecord&, const PtrRecord&) = default;
+};
+
+/// SOA RDATA.
+struct SoaRecord {
+  DnsName mname;
+  DnsName rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  friend auto operator<=>(const SoaRecord&, const SoaRecord&) = default;
+};
+
+/// MX RDATA.
+struct MxRecord {
+  std::uint16_t preference = 0;
+  DnsName exchange;
+  friend auto operator<=>(const MxRecord&, const MxRecord&) = default;
+};
+
+/// SRV RDATA (RFC 2782).
+struct SrvRecord {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  DnsName target;
+  friend auto operator<=>(const SrvRecord&, const SrvRecord&) = default;
+};
+
+/// EDNS0 OPT pseudo-record (RFC 6891). We only model the pieces the library
+/// uses: advertised UDP payload size and the raw options blob.
+struct OptRecord {
+  std::uint16_t udp_payload_size = 1232;
+  std::vector<std::uint8_t> options;
+  friend auto operator<=>(const OptRecord&, const OptRecord&) = default;
+};
+
+/// Fallback for record types this library does not interpret.
+struct RawRecord {
+  std::vector<std::uint8_t> data;
+  friend auto operator<=>(const RawRecord&, const RawRecord&) = default;
+};
+
+using Rdata = std::variant<ARecord, AaaaRecord, TxtRecord, CnameRecord, NsRecord, PtrRecord,
+                           SoaRecord, MxRecord, SrvRecord, OptRecord, RawRecord>;
+
+/// A complete resource record.
+struct ResourceRecord {
+  DnsName name;
+  RecordType type = RecordType::A;
+  RecordClass klass = RecordClass::IN;
+  std::uint32_t ttl = 0;
+  Rdata rdata;
+
+  /// Human-readable zone-file-ish rendering for logs and traces.
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+// Convenience constructors for the record shapes the library uses constantly.
+ResourceRecord make_a(const DnsName& name, netbase::Ipv4Address addr, std::uint32_t ttl = 300);
+ResourceRecord make_aaaa(const DnsName& name, const netbase::Ipv6Address& addr,
+                         std::uint32_t ttl = 300);
+ResourceRecord make_txt(const DnsName& name, std::string text, RecordClass klass = RecordClass::IN,
+                        std::uint32_t ttl = 0);
+ResourceRecord make_cname(const DnsName& name, const DnsName& target, std::uint32_t ttl = 300);
+
+}  // namespace dnslocate::dnswire

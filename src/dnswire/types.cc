@@ -1,0 +1,55 @@
+#include "dnswire/types.h"
+
+namespace dnslocate::dnswire {
+
+std::string_view to_string(RecordType type) {
+  switch (type) {
+    case RecordType::A: return "A";
+    case RecordType::NS: return "NS";
+    case RecordType::CNAME: return "CNAME";
+    case RecordType::SOA: return "SOA";
+    case RecordType::PTR: return "PTR";
+    case RecordType::MX: return "MX";
+    case RecordType::TXT: return "TXT";
+    case RecordType::AAAA: return "AAAA";
+    case RecordType::SRV: return "SRV";
+    case RecordType::OPT: return "OPT";
+    case RecordType::ANY: return "ANY";
+  }
+  return "TYPE?";
+}
+
+std::string_view to_string(RecordClass cls) {
+  switch (cls) {
+    case RecordClass::IN: return "IN";
+    case RecordClass::CH: return "CH";
+    case RecordClass::NONE: return "NONE";
+    case RecordClass::ANY: return "ANY";
+  }
+  return "CLASS?";
+}
+
+std::string_view to_string(Rcode rcode) {
+  switch (rcode) {
+    case Rcode::NOERROR: return "NOERROR";
+    case Rcode::FORMERR: return "FORMERR";
+    case Rcode::SERVFAIL: return "SERVFAIL";
+    case Rcode::NXDOMAIN: return "NXDOMAIN";
+    case Rcode::NOTIMP: return "NOTIMP";
+    case Rcode::REFUSED: return "REFUSED";
+  }
+  return "RCODE?";
+}
+
+std::string_view to_string(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::QUERY: return "QUERY";
+    case Opcode::IQUERY: return "IQUERY";
+    case Opcode::STATUS: return "STATUS";
+    case Opcode::NOTIFY: return "NOTIFY";
+    case Opcode::UPDATE: return "UPDATE";
+  }
+  return "OPCODE?";
+}
+
+}  // namespace dnslocate::dnswire

@@ -1,0 +1,58 @@
+// Core DNS protocol enumerations (RFC 1035 and friends).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnslocate::dnswire {
+
+/// Resource record types. Values are the on-wire RFC assignments.
+enum class RecordType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  SRV = 33,
+  OPT = 41,   // EDNS0 pseudo-RR (RFC 6891)
+  ANY = 255,
+};
+
+/// Record classes. CH (CHAOS) carries the debugging queries this library
+/// is built around (version.bind, id.server; RFC 4892).
+enum class RecordClass : std::uint16_t {
+  IN = 1,
+  CH = 3,
+  NONE = 254,
+  ANY = 255,
+};
+
+/// Response codes (4-bit field in the header; EDNS extends it, unused here).
+enum class Rcode : std::uint8_t {
+  NOERROR = 0,
+  FORMERR = 1,
+  SERVFAIL = 2,
+  NXDOMAIN = 3,
+  NOTIMP = 4,
+  REFUSED = 5,
+};
+
+/// Header opcodes.
+enum class Opcode : std::uint8_t {
+  QUERY = 0,
+  IQUERY = 1,
+  STATUS = 2,
+  NOTIFY = 4,
+  UPDATE = 5,
+};
+
+std::string_view to_string(RecordType type);
+std::string_view to_string(RecordClass cls);
+std::string_view to_string(Rcode rcode);
+std::string_view to_string(Opcode opcode);
+
+}  // namespace dnslocate::dnswire

@@ -1,0 +1,80 @@
+#include "isp/backbone.h"
+
+namespace dnslocate::isp {
+
+using resolvers::PublicResolverKind;
+using resolvers::PublicResolverSpec;
+
+BackboneHandles build_backbone(simnet::Simulator& sim, const BackboneConfig& config) {
+  BackboneHandles handles;
+  auto zones = config.zones ? config.zones : resolvers::ZoneStore::global_internet();
+
+  auto& core = sim.add_device<simnet::Device>("transit-core");
+  core.set_forwarding(true);
+  // Interface address so transit hops appear in traceroutes.
+  core.add_local_ip(*netbase::IpAddress::parse("62.115.0.1"));
+  handles.core = &core;
+
+  for (PublicResolverKind kind : resolvers::all_public_resolvers()) {
+    const PublicResolverSpec& spec = PublicResolverSpec::get(kind);
+    auto& device = sim.add_device<simnet::Device>(std::string(to_string(kind)) + "-site");
+    for (const auto& addr : spec.service_v4) device.add_local_ip(addr);
+    for (const auto& addr : spec.service_v6) device.add_local_ip(addr);
+
+    auto [uplink, core_port] =
+        sim.connect(device, core, {.latency = std::chrono::milliseconds(6)});
+    device.set_default_route(uplink);
+    for (const auto& addr : spec.service_v4)
+      core.add_route(netbase::Prefix(addr, 32), core_port);
+    for (const auto& addr : spec.service_v6)
+      core.add_route(netbase::Prefix(addr, 128), core_port);
+
+    auto behavior = std::make_shared<resolvers::PublicResolverBehavior>(
+        kind, config.site_index, config.instance, zones);
+    auto app = std::make_shared<resolvers::DnsServerApp>(behavior);
+    device.bind_udp(netbase::kDnsPort, app.get());
+    // All four public resolvers offer DNS over TLS.
+    device.bind_udp(netbase::kDotPort, app.get());
+
+    handles.resolver_devices[kind] = &device;
+    handles.behaviors[kind] = behavior;
+    handles.apps.push_back(std::move(app));
+  }
+
+  if (config.external_interceptor) {
+    // An alternate resolver somewhere in transit, fed by a DNAT rule on the
+    // core. Bogon queries never reach it (the ISP border dropped them), so
+    // the technique correctly reports "unknown" for this deployment.
+    handles.external_alt_address = *netbase::IpAddress::parse("66.77.88.99");
+    auto& alt = sim.add_device<simnet::Device>("transit-interceptor-resolver");
+    alt.add_local_ip(handles.external_alt_address);
+    auto [alt_uplink, core_to_alt] =
+        sim.connect(alt, core, {.latency = std::chrono::milliseconds(3)});
+    alt.set_default_route(alt_uplink);
+    core.add_route(netbase::Prefix(handles.external_alt_address, 32), core_to_alt);
+    handles.external_alt_resolver = &alt;
+
+    resolvers::ResolverConfig alt_config;
+    alt_config.software = resolvers::powerdns("4.3.1");
+    alt_config.egress_v4 = handles.external_alt_address;
+    alt_config.zones = zones;
+    auto app = std::make_shared<resolvers::DnsServerApp>(
+        std::make_shared<resolvers::ResolverBehavior>(alt_config));
+    alt.bind_udp(netbase::kDnsPort, app.get());
+    alt.bind_udp(netbase::kDotPort, app.get());
+    handles.apps.push_back(std::move(app));
+
+    auto interceptor = std::make_shared<simnet::NatHook>();
+    simnet::DnatRule rule;
+    rule.match_dport = netbase::kDnsPort;
+    rule.new_dst_v4 = handles.external_alt_address;
+    rule.exempt_dsts.push_back(handles.external_alt_address);
+    interceptor->add_dnat_rule(rule);
+    core.add_hook(interceptor);
+    handles.external_interceptor = interceptor;
+  }
+
+  return handles;
+}
+
+}  // namespace dnslocate::isp

@@ -1,0 +1,42 @@
+// The simulated Internet core: a transit router, the four public-resolver
+// anycast deployments, and (optionally) an interceptor *beyond* the client's
+// ISP — the case §3.3 can only label "unknown".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "resolvers/public_resolver.h"
+#include "resolvers/server_app.h"
+#include "simnet/nat.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::isp {
+
+struct BackboneConfig {
+  /// Anycast site the probe's region maps to (index into anycast_sites()).
+  std::size_t site_index = 0;
+  /// Server instance within the site (varies Quad9/OpenDNS strings).
+  unsigned instance = 0;
+  /// Install a transit-level interceptor diverting all UDP/53 to an
+  /// alternate resolver outside the client's AS.
+  bool external_interceptor = false;
+  std::shared_ptr<const resolvers::ZoneStore> zones;  // defaults to global
+};
+
+struct BackboneHandles {
+  simnet::Device* core = nullptr;
+  std::map<resolvers::PublicResolverKind, simnet::Device*> resolver_devices;
+  std::map<resolvers::PublicResolverKind, std::shared_ptr<resolvers::PublicResolverBehavior>>
+      behaviors;
+  std::vector<std::shared_ptr<resolvers::DnsServerApp>> apps;  // keep-alive
+  std::shared_ptr<simnet::NatHook> external_interceptor;       // null unless enabled
+  simnet::Device* external_alt_resolver = nullptr;
+  netbase::IpAddress external_alt_address;
+};
+
+/// Build the core and the four public resolver services.
+BackboneHandles build_backbone(simnet::Simulator& sim, const BackboneConfig& config);
+
+}  // namespace dnslocate::isp

@@ -1,0 +1,215 @@
+#include "isp/isp_network.h"
+
+namespace dnslocate::isp {
+namespace {
+
+using resolvers::PublicResolverKind;
+using resolvers::PublicResolverSpec;
+
+/// The filtering resolver lives next to the main one at address+1.
+netbase::IpAddress offset_address(const netbase::IpAddress& addr, std::uint32_t offset) {
+  if (addr.is_v4()) return netbase::Ipv4Address(addr.v4().value() + offset);
+  auto bytes = addr.v6().bytes();
+  bytes[15] = static_cast<std::uint8_t>(bytes[15] + offset);
+  return netbase::Ipv6Address(bytes);
+}
+
+/// Collect the service addresses of one public resolver, filtered by the
+/// families the policy intercepts.
+void append_service_addrs(std::vector<netbase::IpAddress>& out, PublicResolverKind kind,
+                          const IspPolicy& policy) {
+  const PublicResolverSpec& spec = PublicResolverSpec::get(kind);
+  if (policy.intercept_v4)
+    for (const auto& addr : spec.service_v4) out.push_back(addr);
+  if (policy.intercept_v6)
+    for (const auto& addr : spec.service_v6) out.push_back(addr);
+}
+
+/// Drops every forwarded packet to the given UDP port (the "block port
+/// 853" middlebox policy).
+struct PortBlockHook : simnet::PacketHook {
+  explicit PortBlockHook(std::uint16_t port) : blocked_port(port) {}
+  simnet::HookVerdict prerouting(simnet::Simulator&, simnet::Device&, simnet::UdpPacket& packet,
+                                 std::optional<simnet::PortId> in_port) override {
+    if (in_port.has_value() && packet.dport == blocked_port) return simnet::HookVerdict::drop;
+    return simnet::HookVerdict::accept;
+  }
+  std::uint16_t blocked_port;
+};
+
+}  // namespace
+
+IspHandles build_isp(simnet::Simulator& sim, const IspConfig& config,
+                     simnet::Device& transit_core) {
+  IspHandles handles;
+  auto zones = config.zones ? config.zones : resolvers::ZoneStore::global_internet();
+
+  auto& access = sim.add_device<simnet::Device>(config.name + "-access");
+  auto& border = sim.add_device<simnet::Device>(config.name + "-border");
+  access.set_forwarding(true);
+  border.set_forwarding(true);
+  // Router interface addresses (x.y.0.1 / x.y.0.2) let the routers source
+  // ICMP Time Exceeded errors for the traceroute-style prober.
+  access.add_local_ip(offset_address(config.customer_prefix_v4.address(), 1));
+  border.add_local_ip(offset_address(config.customer_prefix_v4.address(), 2));
+  // Bogon destinations have no route beyond the ISP; the border enforces it
+  // (this is the ground truth behind the §3.3 inference).
+  border.set_drop_bogon_destinations(true);
+  handles.access = &access;
+  handles.border = &border;
+
+  auto [access_to_border, border_to_access] =
+      sim.connect(access, border, {.latency = std::chrono::milliseconds(2)});
+  auto [border_to_core, core_to_border] =
+      sim.connect(border, transit_core, {.latency = std::chrono::milliseconds(8)});
+
+  // --- ISP resolver ---
+  auto& resolver = sim.add_device<simnet::Device>(config.name + "-resolver");
+  resolver.add_local_ip(config.resolver_v4);
+  if (config.resolver_v6) resolver.add_local_ip(*config.resolver_v6);
+  auto [resolver_uplink, access_to_resolver] =
+      sim.connect(resolver, access, {.latency = std::chrono::milliseconds(1)});
+  resolver.set_default_route(resolver_uplink);
+  handles.resolver = &resolver;
+  handles.resolver_address_v4 = config.resolver_v4;
+  handles.resolver_address_v6 = config.resolver_v6;
+
+  resolvers::ResolverConfig resolver_config;
+  resolver_config.software = config.resolver_software;
+  resolver_config.egress_v4 = config.resolver_v4;
+  resolver_config.egress_v6 = config.resolver_v6;
+  resolver_config.zones = zones;
+  handles.resolver_app = std::make_shared<resolvers::DnsServerApp>(
+      std::make_shared<resolvers::ResolverBehavior>(resolver_config));
+  resolver.bind_udp(netbase::kDnsPort, handles.resolver_app.get());
+  resolver.bind_udp(netbase::kDotPort, handles.resolver_app.get());
+
+  // --- optional filtering resolver (divert_block targets) ---
+  bool needs_blocking = false;
+  for (const auto& [kind, action] : config.policy.target_actions)
+    if (action == TargetAction::divert_block) needs_blocking = true;
+  if (config.policy.middlebox_enabled && config.policy.intercept_all_port53 &&
+      config.policy.default_action == TargetAction::divert_block)
+    needs_blocking = true;
+
+  netbase::IpAddress blocking_v4 = offset_address(config.resolver_v4, 1);
+  if (needs_blocking) {
+    auto& blocker = sim.add_device<simnet::Device>(config.name + "-filter");
+    blocker.add_local_ip(blocking_v4);
+    auto [blocker_uplink, access_to_blocker] =
+        sim.connect(blocker, access, {.latency = std::chrono::milliseconds(1)});
+    blocker.set_default_route(blocker_uplink);
+    handles.blocking_resolver = &blocker;
+    handles.blocking_address_v4 = blocking_v4;
+
+    resolvers::ResolverConfig blocking_config;
+    blocking_config.software =
+        resolvers::chaos_refuser(config.name + "-filter", dnswire::Rcode::NOTIMP);
+    blocking_config.egress_v4 = blocking_v4;
+    blocking_config.zones = zones;
+    blocking_config.block_all_rcode = config.blocking_rcode;
+    handles.blocking_app = std::make_shared<resolvers::DnsServerApp>(
+        std::make_shared<resolvers::ResolverBehavior>(blocking_config));
+    blocker.bind_udp(netbase::kDnsPort, handles.blocking_app.get());
+
+    access.add_route(netbase::Prefix(blocking_v4, 32), access_to_blocker);
+    border.add_route(netbase::Prefix(blocking_v4, 32), border_to_access);
+    transit_core.add_route(netbase::Prefix(blocking_v4, 32), core_to_border);
+  }
+
+  // --- routing ---
+  access.add_route(netbase::Prefix(config.resolver_v4, 32), access_to_resolver);
+  if (config.resolver_v6)
+    access.add_route(netbase::Prefix(*config.resolver_v6, 128), access_to_resolver);
+  access.set_default_route(access_to_border);
+
+  border.add_route(config.customer_prefix_v4, border_to_access);
+  if (config.customer_prefix_v6) border.add_route(*config.customer_prefix_v6, border_to_access);
+  border.add_route(netbase::Prefix(config.resolver_v4, 32), border_to_access);
+  if (config.resolver_v6)
+    border.add_route(netbase::Prefix(*config.resolver_v6, 128), border_to_access);
+  border.set_default_route(border_to_core);
+
+  transit_core.add_route(config.customer_prefix_v4, core_to_border);
+  if (config.customer_prefix_v6)
+    transit_core.add_route(*config.customer_prefix_v6, core_to_border);
+  transit_core.add_route(netbase::Prefix(config.resolver_v4, 32), core_to_border);
+  if (config.resolver_v6)
+    transit_core.add_route(netbase::Prefix(*config.resolver_v6, 128), core_to_border);
+
+  // --- middlebox interception ---
+  if (config.policy.middlebox_enabled) {
+    auto middlebox = std::make_shared<simnet::NatHook>();
+    handles.middlebox = middlebox;
+    const IspPolicy& policy = config.policy;
+
+    auto make_rule = [&](TargetAction action, netbase::IpFamily family) {
+      simnet::DnatRule rule;
+      rule.match_dport = netbase::kDnsPort;
+      rule.family = family;
+      rule.replicate = policy.replicate;
+      rule.exempt_bogon_dsts = policy.ignore_bogon_queries;
+      if (family == netbase::IpFamily::v4) {
+        rule.new_dst_v4 =
+            action == TargetAction::divert_block ? blocking_v4 : config.resolver_v4;
+      } else if (config.resolver_v6 && action != TargetAction::divert_block) {
+        // v6 diversion needs a v6 resolver; blocking is modelled v4-only.
+        rule.new_dst_v6 = *config.resolver_v6;
+      }
+      return rule;
+    };
+
+    auto add_target_rules = [&](const std::map<resolvers::PublicResolverKind, TargetAction>&
+                                    actions,
+                                netbase::IpFamily family) {
+      for (const auto& [kind, action] : actions) {
+        if (action == TargetAction::pass) continue;
+        simnet::DnatRule rule = make_rule(action, family);
+        const PublicResolverSpec& spec = PublicResolverSpec::get(kind);
+        for (const auto& addr : spec.service_addrs(family)) rule.match_dsts.push_back(addr);
+        if (!rule.match_dsts.empty()) middlebox->add_dnat_rule(rule);
+      }
+    };
+
+    // Specific per-target rules first (rule order is match order).
+    if (policy.intercept_v4) add_target_rules(policy.target_actions, netbase::IpFamily::v4);
+    add_target_rules(policy.target_actions_v6, netbase::IpFamily::v6);
+
+    // General catch-all rule.
+    if (policy.intercept_all_port53 && policy.default_action != TargetAction::pass) {
+      for (netbase::IpFamily family : {netbase::IpFamily::v4, netbase::IpFamily::v6}) {
+        if (family == netbase::IpFamily::v4 && !policy.intercept_v4) continue;
+        if (family == netbase::IpFamily::v6 && !policy.intercept_v6) continue;
+        simnet::DnatRule rule = make_rule(policy.default_action, family);
+        rule.exempt_dsts.push_back(config.resolver_v4);
+        if (config.resolver_v6) rule.exempt_dsts.push_back(*config.resolver_v6);
+        if (needs_blocking) rule.exempt_dsts.push_back(blocking_v4);
+        for (const auto& [kind, action] : policy.target_actions)
+          if (action == TargetAction::pass) append_service_addrs(rule.exempt_dsts, kind, policy);
+        middlebox->add_dnat_rule(rule);
+      }
+    } else if (policy.scoped_answers_bogons) {
+      // The proxy behind a scoped policy still answers whatever reaches it,
+      // including bogon-addressed queries.
+      simnet::DnatRule rule = make_rule(TargetAction::divert, netbase::IpFamily::v4);
+      rule.match_bogons_only = true;
+      middlebox->add_dnat_rule(rule);
+    }
+
+    // Port-853 policy.
+    if (policy.dot_action == DotAction::divert) {
+      simnet::DnatRule dot_rule = make_rule(TargetAction::divert, netbase::IpFamily::v4);
+      dot_rule.match_dport = netbase::kDotPort;
+      dot_rule.exempt_dsts.push_back(config.resolver_v4);
+      middlebox->add_dnat_rule(dot_rule);
+    } else if (policy.dot_action == DotAction::block) {
+      access.add_hook(std::make_shared<PortBlockHook>(netbase::kDotPort));
+    }
+
+    access.add_hook(middlebox);
+  }
+
+  return handles;
+}
+
+}  // namespace dnslocate::isp

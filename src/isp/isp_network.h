@@ -1,0 +1,98 @@
+// The ISP: access router (where middlebox interception lives), border
+// router (where bogons die), and the ISP's recursive resolver — plus an
+// optional filtering resolver for the "Status Modified" behaviours.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "netbase/prefix.h"
+#include "resolvers/public_resolver.h"
+#include "resolvers/resolver_behavior.h"
+#include "resolvers/server_app.h"
+#include "simnet/nat.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::isp {
+
+/// What the middlebox does with queries to one target resolver.
+enum class TargetAction {
+  pass,          // leave them alone
+  divert,        // DNAT to the ISP resolver (transparent interception)
+  divert_block,  // DNAT to a filtering resolver that errors ordinary queries
+};
+
+/// What the middlebox does with DNS-over-TLS (port 853) flows (§6).
+enum class DotAction {
+  pass,    // TLS passes untouched (DoT escapes the interceptor)
+  divert,  // DNAT like UDP/53: strict clients fail their handshake and go
+           // silent; opportunistic-profile clients are hijacked
+  block,   // drop port 853 outright, forcing clients back to UDP/53
+};
+
+/// ISP-level DNS interception policy.
+struct IspPolicy {
+  bool middlebox_enabled = false;
+  /// true: match every UDP/53 flow crossing the access router (the common
+  /// transparent-proxy deployment; this is what answers bogon queries).
+  /// false: match only the public resolvers listed in target_actions.
+  bool intercept_all_port53 = true;
+  /// Per-public-resolver overrides ("one allowed", "one intercepted",
+  /// "block Quad9 but pass the rest", ...).
+  std::map<resolvers::PublicResolverKind, TargetAction> target_actions;
+  /// IPv6-specific per-target diversions (the rare v6 interception of
+  /// §4.1.1 is always partial in the wild — never all four resolvers).
+  std::map<resolvers::PublicResolverKind, TargetAction> target_actions_v6;
+  /// Scoped interceptors whose proxy still answers queries to unroutable
+  /// addresses (makes §3.3 succeed even when the policy lists targets).
+  bool scoped_answers_bogons = false;
+  TargetAction default_action = TargetAction::divert;
+  bool intercept_v4 = true;
+  bool intercept_v6 = false;  // §4.1.1: v6 interception is rare
+  /// "the interceptor discards queries to unroutable addresses" (§3.3):
+  /// if true, bogon-addressed queries are not intercepted and simply die.
+  bool ignore_bogon_queries = false;
+  /// Port-853 policy (only meaningful with middlebox_enabled).
+  DotAction dot_action = DotAction::pass;
+  bool replicate = false;
+};
+
+/// Static description of one ISP.
+struct IspConfig {
+  std::string name = "isp";
+  std::uint32_t asn = 64500;
+  /// Public space the ISP hands to customers (CPE WAN addresses).
+  netbase::Prefix customer_prefix_v4 = *netbase::Prefix::parse("203.0.113.0/24");
+  std::optional<netbase::Prefix> customer_prefix_v6;
+  /// ISP resolver service + egress address.
+  netbase::IpAddress resolver_v4 = *netbase::IpAddress::parse("198.51.100.2");
+  std::optional<netbase::IpAddress> resolver_v6;
+  resolvers::SoftwareProfile resolver_software = resolvers::bind9();
+  /// Rcode the filtering resolver uses for divert_block targets.
+  dnswire::Rcode blocking_rcode = dnswire::Rcode::REFUSED;
+  IspPolicy policy;
+  std::shared_ptr<const resolvers::ZoneStore> zones;  // defaults to global
+};
+
+/// Live pieces of a built ISP.
+struct IspHandles {
+  simnet::Device* access = nullptr;   // CPEs attach here
+  simnet::Device* border = nullptr;   // towards transit; drops bogons
+  simnet::Device* resolver = nullptr;
+  simnet::Device* blocking_resolver = nullptr;       // only when needed
+  std::shared_ptr<simnet::NatHook> middlebox;        // null when disabled
+  std::shared_ptr<resolvers::DnsServerApp> resolver_app;
+  std::shared_ptr<resolvers::DnsServerApp> blocking_app;
+  netbase::IpAddress resolver_address_v4;
+  std::optional<netbase::IpAddress> resolver_address_v6;
+  std::optional<netbase::IpAddress> blocking_address_v4;
+};
+
+/// Build the ISP inside `sim` and attach its border to `transit_core`,
+/// installing the return routes for the ISP's prefixes on the core.
+IspHandles build_isp(simnet::Simulator& sim, const IspConfig& config,
+                     simnet::Device& transit_core);
+
+}  // namespace dnslocate::isp

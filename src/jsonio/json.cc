@@ -1,0 +1,318 @@
+#include "jsonio/json.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace dnslocate::jsonio {
+
+const Value& Value::operator[](const std::string& key) const {
+  static const Value null_value;
+  const Object* object = std::get_if<Object>(&storage_);
+  if (object == nullptr) return null_value;
+  auto it = object->find(key);
+  return it == object->end() ? null_value : it->second;
+}
+
+std::string escape(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+namespace {
+
+void dump_value(const Value& value, std::string& out);
+
+void dump_number(double d, std::string& out) {
+  // Integers print without a fractional part; everything else shortest-ish.
+  if (std::nearbyint(d) == d && std::abs(d) < 1e15) {
+    char buffer[32];
+    auto [p, ec] = std::to_chars(buffer, buffer + sizeof buffer,
+                                 static_cast<std::int64_t>(d));
+    (void)ec;
+    out.append(buffer, p);
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", d);
+  out += buffer;
+}
+
+void dump_value(const Value& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    dump_number(value.as_number(), out);
+  } else if (value.is_string()) {
+    out += escape(value.as_string());
+  } else if (value.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Value& element : value.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(element, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, element] : value.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += escape(key);
+      out.push_back(':');
+      dump_value(element, out);
+    }
+    out.push_back('}');
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, ParseError* error) : text_(text), error_(error) {}
+
+  std::optional<Value> run() {
+    skip_whitespace();
+    auto value = parse_value();
+    if (!value) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing characters");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void fail(std::string message) {
+    if (error_ && !failed_) *error_ = ParseError{pos_, std::move(message)};
+    failed_ = true;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parse_value() {
+    if (depth_ > 128) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Value(std::move(*s));
+    }
+    if (consume_word("true")) return Value(true);
+    if (consume_word("false")) return Value(false);
+    if (consume_word("null")) return Value(nullptr);
+    return parse_number();
+  }
+
+  std::optional<Value> parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    double out = 0;
+    auto [p, ec] = std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (ec != std::errc{} || p != text_.data() + pos_) {
+      pos_ = start;
+      fail("bad number");
+      return std::nullopt;
+    }
+    return Value(out);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          auto [p, ec] =
+              std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc{} || p != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+          pos_ += 4;
+          // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parse_array() {
+    ++depth_;
+    consume('[');
+    Array out;
+    skip_whitespace();
+    if (consume(']')) {
+      --depth_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_whitespace();
+      auto element = parse_value();
+      if (!element) return std::nullopt;
+      out.push_back(std::move(*element));
+      skip_whitespace();
+      if (consume(']')) break;
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+    --depth_;
+    return Value(std::move(out));
+  }
+
+  std::optional<Value> parse_object() {
+    ++depth_;
+    consume('{');
+    Object out;
+    skip_whitespace();
+    if (consume('}')) {
+      --depth_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_whitespace();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      skip_whitespace();
+      auto element = parse_value();
+      if (!element) return std::nullopt;
+      out.emplace(std::move(*key), std::move(*element));
+      skip_whitespace();
+      if (consume('}')) break;
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+    --depth_;
+    return Value(std::move(out));
+  }
+
+  std::string_view text_;
+  ParseError* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+std::optional<Value> parse(std::string_view text, ParseError* error) {
+  return Parser(text, error).run();
+}
+
+}  // namespace dnslocate::jsonio

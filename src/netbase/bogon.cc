@@ -1,0 +1,66 @@
+#include "netbase/bogon.h"
+
+#include <cassert>
+
+namespace dnslocate::netbase {
+namespace {
+
+Prefix mustparse(std::string_view text) {
+  auto p = Prefix::parse(text);
+  assert(p.has_value());
+  return *p;
+}
+
+}  // namespace
+
+BogonCatalog BogonCatalog::standard() {
+  BogonCatalog catalog;
+  // IPv4 special-purpose registry (RFC 6890 and successors).
+  catalog.add(mustparse("0.0.0.0/8"), "this-network (RFC 791)");
+  catalog.add(mustparse("10.0.0.0/8"), "private-use (RFC 1918)");
+  catalog.add(mustparse("100.64.0.0/10"), "shared CGN space (RFC 6598)");
+  catalog.add(mustparse("127.0.0.0/8"), "loopback (RFC 1122)");
+  catalog.add(mustparse("169.254.0.0/16"), "link-local (RFC 3927)");
+  catalog.add(mustparse("172.16.0.0/12"), "private-use (RFC 1918)");
+  catalog.add(mustparse("192.0.0.0/24"), "IETF protocol assignments (RFC 6890)");
+  catalog.add(mustparse("192.0.2.0/24"), "TEST-NET-1 (RFC 5737)");
+  catalog.add(mustparse("192.168.0.0/16"), "private-use (RFC 1918)");
+  catalog.add(mustparse("198.18.0.0/15"), "benchmarking (RFC 2544)");
+  catalog.add(mustparse("198.51.100.0/24"), "TEST-NET-2 (RFC 5737)");
+  catalog.add(mustparse("203.0.113.0/24"), "TEST-NET-3 (RFC 5737)");
+  catalog.add(mustparse("224.0.0.0/4"), "multicast (RFC 5771)");
+  catalog.add(mustparse("240.0.0.0/4"), "reserved class E (RFC 1112)");
+  catalog.add(mustparse("255.255.255.255/32"), "limited broadcast (RFC 919)");
+  // IPv6 special-purpose registry.
+  catalog.add(mustparse("::/128"), "unspecified (RFC 4291)");
+  catalog.add(mustparse("::1/128"), "loopback (RFC 4291)");
+  catalog.add(mustparse("::ffff:0:0/96"), "IPv4-mapped (RFC 4291)");
+  catalog.add(mustparse("100::/64"), "discard-only (RFC 6666)");
+  catalog.add(mustparse("2001:db8::/32"), "documentation (RFC 3849)");
+  catalog.add(mustparse("fc00::/7"), "unique-local (RFC 4193)");
+  catalog.add(mustparse("fe80::/10"), "link-local (RFC 4291)");
+  catalog.add(mustparse("ff00::/8"), "multicast (RFC 4291)");
+  return catalog;
+}
+
+void BogonCatalog::add(const Prefix& prefix, std::string name) {
+  table_.insert(prefix, entries_.size());
+  entries_.push_back(BogonEntry{prefix, std::move(name)});
+}
+
+bool BogonCatalog::is_bogon(const IpAddress& addr) const {
+  return table_.lookup(addr) != nullptr;
+}
+
+std::string BogonCatalog::classify(const IpAddress& addr) const {
+  const std::size_t* idx = table_.lookup(addr);
+  return idx ? entries_[*idx].name : std::string{};
+}
+
+IpAddress BogonCatalog::default_probe_v4() { return Ipv4Address(240, 9, 9, 9); }
+
+IpAddress BogonCatalog::default_probe_v6() {
+  return *Ipv6Address::parse("100::9");
+}
+
+}  // namespace dnslocate::netbase

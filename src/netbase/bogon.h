@@ -1,0 +1,53 @@
+// Bogon catalog: the set of address space that must never be routed on the
+// public Internet. The paper's §3.3 "bogon queries" rely on this property:
+// a DNS query addressed to a bogon cannot leave the client's AS, so any
+// answer implies an interceptor inside the AS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/lpm.h"
+#include "netbase/prefix.h"
+
+namespace dnslocate::netbase {
+
+/// One special-purpose registry entry (RFC 6890 style).
+struct BogonEntry {
+  Prefix prefix;
+  std::string name;  // e.g. "RFC 1918 private-use"
+};
+
+/// Catalog of unroutable prefixes, preloaded with the RFC 6890 / IANA
+/// special-purpose registries for both families. Additional entries (e.g.
+/// team-cymru "fullbogons" — allocated-but-unannounced space) can be added.
+class BogonCatalog {
+ public:
+  /// Catalog preloaded with the standard special-purpose registries.
+  static BogonCatalog standard();
+
+  /// Empty catalog (for tests and custom route policies).
+  BogonCatalog() = default;
+
+  void add(const Prefix& prefix, std::string name);
+
+  /// True if `addr` falls inside any catalog entry.
+  [[nodiscard]] bool is_bogon(const IpAddress& addr) const;
+
+  /// Name of the registry entry covering `addr`, or empty string.
+  [[nodiscard]] std::string classify(const IpAddress& addr) const;
+
+  [[nodiscard]] const std::vector<BogonEntry>& entries() const { return entries_; }
+
+  /// Well-known probe targets used by the localization technique: addresses
+  /// guaranteed unroutable yet syntactically ordinary. The paper used one
+  /// IPv4 and one IPv6 bogon; these are our equivalents.
+  static IpAddress default_probe_v4();  // 240.9.9.9   (class E, RFC 1112 reserved)
+  static IpAddress default_probe_v6();  // 100::9      (RFC 6666 discard-only)
+
+ private:
+  LpmTable<std::size_t> table_;  // prefix -> index into entries_
+  std::vector<BogonEntry> entries_;
+};
+
+}  // namespace dnslocate::netbase

@@ -1,0 +1,38 @@
+#include "netbase/endpoint.h"
+
+#include <charconv>
+
+namespace dnslocate::netbase {
+
+std::optional<Endpoint> Endpoint::parse(std::string_view text) {
+  std::string_view addr_text;
+  std::string_view port_text;
+  if (!text.empty() && text.front() == '[') {
+    std::size_t close = text.find(']');
+    if (close == std::string_view::npos || close + 1 >= text.size() || text[close + 1] != ':')
+      return std::nullopt;
+    addr_text = text.substr(1, close - 1);
+    port_text = text.substr(close + 2);
+  } else {
+    std::size_t colon = text.rfind(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    // Bare-v6-with-port is ambiguous without brackets; require brackets.
+    if (text.find(':') != colon) return std::nullopt;
+    addr_text = text.substr(0, colon);
+    port_text = text.substr(colon + 1);
+  }
+  auto addr = IpAddress::parse(addr_text);
+  if (!addr) return std::nullopt;
+  unsigned port = 0;
+  auto [next, ec] = std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc{} || next != port_text.data() + port_text.size() || port > 65535)
+    return std::nullopt;
+  return Endpoint(*addr, static_cast<std::uint16_t>(port));
+}
+
+std::string Endpoint::to_string() const {
+  if (address.is_v6()) return "[" + address.to_string() + "]:" + std::to_string(port);
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace dnslocate::netbase

@@ -1,0 +1,45 @@
+// Transport endpoint: (IP address, UDP/TCP port).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ip_address.h"
+
+namespace dnslocate::netbase {
+
+/// The well-known DNS port.
+inline constexpr std::uint16_t kDnsPort = 53;
+
+/// DNS over TLS (RFC 7858).
+inline constexpr std::uint16_t kDotPort = 853;
+
+/// An (address, port) pair. Formats as "1.2.3.4:53" / "[2001:db8::1]:53".
+struct Endpoint {
+  IpAddress address;
+  std::uint16_t port = 0;
+
+  Endpoint() = default;
+  Endpoint(IpAddress addr, std::uint16_t p) : address(std::move(addr)), port(p) {}
+
+  /// Parse "addr:port" (v4) or "[addr]:port" (v6).
+  static std::optional<Endpoint> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+}  // namespace dnslocate::netbase
+
+template <>
+struct std::hash<dnslocate::netbase::Endpoint> {
+  std::size_t operator()(const dnslocate::netbase::Endpoint& e) const noexcept {
+    std::size_t h = std::hash<dnslocate::netbase::IpAddress>{}(e.address);
+    return h ^ (static_cast<std::size_t>(e.port) + 0x9e3779b9u + (h << 6) + (h >> 2));
+  }
+};

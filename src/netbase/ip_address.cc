@@ -1,0 +1,27 @@
+#include "netbase/ip_address.h"
+
+namespace dnslocate::netbase {
+
+std::string_view to_string(IpFamily family) {
+  return family == IpFamily::v4 ? "v4" : "v6";
+}
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (auto v4 = Ipv4Address::parse(text)) return IpAddress(*v4);
+  if (auto v6 = Ipv6Address::parse(text)) return IpAddress(*v6);
+  return std::nullopt;
+}
+
+std::string IpAddress::to_string() const {
+  return is_v4() ? v4().to_string() : v6().to_string();
+}
+
+bool IpAddress::is_bogon() const { return is_v4() ? v4().is_bogon() : v6().is_bogon(); }
+
+bool IpAddress::is_loopback() const { return is_v4() ? v4().is_loopback() : v6().is_loopback(); }
+
+bool IpAddress::is_unspecified() const {
+  return is_v4() ? v4().is_unspecified() : v6().is_unspecified();
+}
+
+}  // namespace dnslocate::netbase

@@ -1,0 +1,64 @@
+// Protocol-agnostic IP address: a tagged union of Ipv4Address / Ipv6Address.
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "netbase/ipv4.h"
+#include "netbase/ipv6.h"
+
+namespace dnslocate::netbase {
+
+enum class IpFamily { v4, v6 };
+
+/// Text form ("v4"/"v6"), for logs and table headers.
+std::string_view to_string(IpFamily family);
+
+/// Either an Ipv4Address or an Ipv6Address. Comparable (v4 sorts before v6)
+/// and hashable, so it can key maps of resolvers, NAT bindings, and routes.
+class IpAddress {
+ public:
+  IpAddress() : storage_(Ipv4Address{}) {}
+  IpAddress(Ipv4Address v4) : storage_(v4) {}            // NOLINT(google-explicit-constructor)
+  IpAddress(Ipv6Address v6) : storage_(std::move(v6)) {} // NOLINT(google-explicit-constructor)
+
+  /// Parse either family; tries IPv4 dotted-quad first, then IPv6.
+  static std::optional<IpAddress> parse(std::string_view text);
+
+  [[nodiscard]] IpFamily family() const {
+    return std::holds_alternative<Ipv4Address>(storage_) ? IpFamily::v4 : IpFamily::v6;
+  }
+  [[nodiscard]] bool is_v4() const { return family() == IpFamily::v4; }
+  [[nodiscard]] bool is_v6() const { return family() == IpFamily::v6; }
+
+  /// Unchecked accessors; call only after checking family().
+  [[nodiscard]] const Ipv4Address& v4() const { return std::get<Ipv4Address>(storage_); }
+  [[nodiscard]] const Ipv6Address& v6() const { return std::get<Ipv6Address>(storage_); }
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_bogon() const;
+  [[nodiscard]] bool is_loopback() const;
+  [[nodiscard]] bool is_unspecified() const;
+
+  friend auto operator<=>(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  std::variant<Ipv4Address, Ipv6Address> storage_;
+};
+
+}  // namespace dnslocate::netbase
+
+template <>
+struct std::hash<dnslocate::netbase::IpAddress> {
+  std::size_t operator()(const dnslocate::netbase::IpAddress& a) const noexcept {
+    using namespace dnslocate::netbase;
+    if (a.is_v4()) return std::hash<std::uint32_t>{}(a.v4().value());
+    std::size_t h = 0x9e3779b97f4a7c15ull;
+    for (auto b : a.v6().bytes()) h = (h ^ b) * 0x100000001b3ull;
+    return h;
+  }
+};

@@ -1,0 +1,40 @@
+#include "netbase/ipv4.h"
+
+#include <charconv>
+
+namespace dnslocate::netbase {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    if (p == end || *p < '0' || *p > '9') return std::nullopt;
+    // Reject leading zeros ("01") which some parsers treat as octal.
+    if (*p == '0' && p + 1 != end && p[1] >= '0' && p[1] <= '9') return std::nullopt;
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    p = next;
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address(octets[0], octets[1], octets[2], octets[3]);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  const auto bytes = to_bytes();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(bytes[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace dnslocate::netbase

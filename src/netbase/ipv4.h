@@ -1,0 +1,92 @@
+// IPv4 address value type.
+//
+// A small, trivially-copyable wrapper around a host-order 32-bit value with
+// dotted-quad parsing/formatting and the RFC 6890 classification helpers the
+// rest of the library needs (private, loopback, reserved, ...).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dnslocate::netbase {
+
+/// An IPv4 address. Stored in host byte order; use to_bytes()/from_bytes()
+/// for wire (network order) representation.
+class Ipv4Address {
+ public:
+  /// The unspecified address 0.0.0.0.
+  constexpr Ipv4Address() = default;
+
+  /// Construct from a host-order 32-bit value, e.g. 0x7f000001 == 127.0.0.1.
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : value_(host_order) {}
+
+  /// Construct from the four dotted-quad octets: Ipv4Address(127, 0, 0, 1).
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse a dotted-quad string ("192.0.2.1"). Rejects leading zeros
+  /// ("01.2.3.4"), out-of-range octets, and trailing garbage.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  /// Wire (network byte order) bytes.
+  static constexpr Ipv4Address from_bytes(const std::array<std::uint8_t, 4>& b) {
+    return Ipv4Address(b[0], b[1], b[2], b[3]);
+  }
+  [[nodiscard]] constexpr std::array<std::uint8_t, 4> to_bytes() const {
+    return {static_cast<std::uint8_t>(value_ >> 24), static_cast<std::uint8_t>(value_ >> 16),
+            static_cast<std::uint8_t>(value_ >> 8), static_cast<std::uint8_t>(value_)};
+  }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// Dotted-quad text form.
+  [[nodiscard]] std::string to_string() const;
+
+  // RFC 6890 (and friends) classification.
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+  [[nodiscard]] constexpr bool is_loopback() const { return (value_ >> 24) == 127; }
+  [[nodiscard]] constexpr bool is_private() const {  // RFC 1918
+    return (value_ >> 24) == 10 || (value_ >> 20) == 0xac1 ||  // 172.16/12
+           (value_ >> 16) == 0xc0a8;                           // 192.168/16
+  }
+  [[nodiscard]] constexpr bool is_link_local() const {  // 169.254/16
+    return (value_ >> 16) == 0xa9fe;
+  }
+  [[nodiscard]] constexpr bool is_shared_cgn() const {  // RFC 6598 100.64/10
+    return (value_ >> 22) == (0x64400000u >> 22);
+  }
+  [[nodiscard]] constexpr bool is_test_net() const {  // RFC 5737
+    return (value_ >> 8) == 0xc00002 ||                // 192.0.2/24
+           (value_ >> 8) == 0xc63364 ||                // 198.51.100/24
+           (value_ >> 8) == 0xcb0071;                  // 203.0.113/24
+  }
+  [[nodiscard]] constexpr bool is_reserved_class_e() const {  // 240/4
+    return (value_ >> 28) == 0xf;
+  }
+  [[nodiscard]] constexpr bool is_multicast() const {  // 224/4
+    return (value_ >> 28) == 0xe;
+  }
+  [[nodiscard]] constexpr bool is_broadcast() const { return value_ == 0xffffffffu; }
+
+  /// True for any address that must not appear as a source/destination on the
+  /// public Internet (the "bogon" union of the above).
+  [[nodiscard]] constexpr bool is_bogon() const {
+    return is_unspecified() || is_loopback() || is_private() || is_link_local() ||
+           is_shared_cgn() || is_test_net() || is_reserved_class_e() || is_multicast() ||
+           is_broadcast() || (value_ >> 24) == 0 ||  // 0/8
+           (value_ >> 8) == 0xc00000 ||              // 192.0.0/24 (IETF proto)
+           (value_ >> 17) == (0xc6120000u >> 17);    // 198.18/15 (benchmarking)
+  }
+
+  friend constexpr auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace dnslocate::netbase

@@ -1,0 +1,158 @@
+#include "netbase/ipv6.h"
+
+#include <charconv>
+#include <vector>
+
+namespace dnslocate::netbase {
+namespace {
+
+std::optional<std::uint16_t> parse_hextet(std::string_view text) {
+  if (text.empty() || text.size() > 4) return std::nullopt;
+  std::uint16_t value = 0;
+  auto [next, ec] = std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc{} || next != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  if (text.size() < 2) return std::nullopt;
+
+  // Split off an embedded IPv4 suffix if the last group contains a dot.
+  std::optional<Ipv4Address> embedded_v4;
+  if (auto last_colon = text.rfind(':'); last_colon != std::string_view::npos) {
+    std::string_view tail = text.substr(last_colon + 1);
+    if (tail.find('.') != std::string_view::npos) {
+      embedded_v4 = Ipv4Address::parse(tail);
+      if (!embedded_v4) return std::nullopt;
+      text = text.substr(0, last_colon + 1);  // keep the ':' so "::" cases work
+    }
+  }
+
+  // Locate the "::" compression marker, if any.
+  std::size_t compress = text.find("::");
+  if (compress != std::string_view::npos && text.find("::", compress + 1) != std::string_view::npos)
+    return std::nullopt;  // at most one "::"
+
+  auto split_groups = [](std::string_view s) -> std::optional<std::vector<std::uint16_t>> {
+    std::vector<std::uint16_t> groups;
+    if (s.empty()) return groups;
+    std::size_t start = 0;
+    while (true) {
+      std::size_t colon = s.find(':', start);
+      std::string_view piece =
+          colon == std::string_view::npos ? s.substr(start) : s.substr(start, colon - start);
+      auto h = parse_hextet(piece);
+      if (!h) return std::nullopt;
+      groups.push_back(*h);
+      if (colon == std::string_view::npos) break;
+      start = colon + 1;
+    }
+    return groups;
+  };
+
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  if (compress == std::string_view::npos) {
+    // No "::". If we consumed an IPv4 tail the remaining text ends in ':';
+    // strip it before splitting.
+    std::string_view body = text;
+    if (embedded_v4 && !body.empty() && body.back() == ':') body.remove_suffix(1);
+    auto groups = split_groups(body);
+    if (!groups) return std::nullopt;
+    head = std::move(*groups);
+  } else {
+    std::string_view left = text.substr(0, compress);
+    std::string_view right = text.substr(compress + 2);
+    if (embedded_v4 && !right.empty() && right.back() == ':') right.remove_suffix(1);
+    auto lg = split_groups(left);
+    auto rg = split_groups(right);
+    if (!lg || !rg) return std::nullopt;
+    head = std::move(*lg);
+    tail = std::move(*rg);
+  }
+
+  std::size_t v4_groups = embedded_v4 ? 2 : 0;
+  std::size_t total = head.size() + tail.size() + v4_groups;
+  if (compress == std::string_view::npos) {
+    if (total != 8) return std::nullopt;
+  } else {
+    if (total >= 8) return std::nullopt;  // "::" must stand for >= 1 group
+  }
+
+  std::array<std::uint16_t, 8> hextets{};
+  std::size_t idx = 0;
+  for (auto h : head) hextets[idx++] = h;
+  idx = 8 - tail.size() - v4_groups;
+  for (auto h : tail) hextets[idx++] = h;
+  if (embedded_v4) {
+    std::uint32_t v = embedded_v4->value();
+    hextets[6] = static_cast<std::uint16_t>(v >> 16);
+    hextets[7] = static_cast<std::uint16_t>(v & 0xffff);
+  }
+  return from_hextets(hextets);
+}
+
+Ipv6Address Ipv6Address::mapped_v4(Ipv4Address v4) {
+  std::array<std::uint16_t, 8> h{};
+  h[5] = 0xffff;
+  h[6] = static_cast<std::uint16_t>(v4.value() >> 16);
+  h[7] = static_cast<std::uint16_t>(v4.value() & 0xffff);
+  return from_hextets(h);
+}
+
+std::string Ipv6Address::to_string() const {
+  // RFC 5952: find the longest run of >= 2 zero hextets (leftmost on tie).
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (hextet(static_cast<std::size_t>(i)) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && hextet(static_cast<std::size_t>(j)) == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  out.reserve(39);
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    auto [p, ec] = std::to_chars(buf, buf + sizeof buf, hextet(static_cast<std::size_t>(i)), 16);
+    (void)ec;
+    out.append(buf, p);
+    ++i;
+  }
+  return out;
+}
+
+bool Ipv6Address::is_loopback() const {
+  for (std::size_t i = 0; i < 15; ++i)
+    if (bytes_[i] != 0) return false;
+  return bytes_[15] == 1;
+}
+
+bool Ipv6Address::is_v4_mapped() const {
+  for (std::size_t i = 0; i < 10; ++i)
+    if (bytes_[i] != 0) return false;
+  return bytes_[10] == 0xff && bytes_[11] == 0xff;
+}
+
+bool Ipv6Address::is_bogon() const {
+  return is_unspecified() || is_loopback() || is_link_local() || is_unique_local() ||
+         is_multicast() || is_documentation() || is_discard_only() || is_v4_mapped();
+}
+
+}  // namespace dnslocate::netbase

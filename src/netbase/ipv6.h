@@ -1,0 +1,87 @@
+// IPv6 address value type.
+//
+// 128-bit address with RFC 4291 parsing (:: compression, embedded IPv4) and
+// RFC 5952 canonical formatting, plus the classification helpers needed by
+// the bogon catalog and the simulator.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ipv4.h"
+
+namespace dnslocate::netbase {
+
+/// An IPv6 address, stored as 16 bytes in network order.
+class Ipv6Address {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  /// The unspecified address ::.
+  constexpr Ipv6Address() = default;
+
+  constexpr explicit Ipv6Address(const Bytes& bytes) : bytes_(bytes) {}
+
+  /// Construct from eight 16-bit hextets in the order they are written,
+  /// e.g. Ipv6Address::from_hextets({0x2001, 0xdb8, 0,0,0,0,0, 1}).
+  static constexpr Ipv6Address from_hextets(const std::array<std::uint16_t, 8>& h) {
+    Bytes b{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      b[2 * i] = static_cast<std::uint8_t>(h[i] >> 8);
+      b[2 * i + 1] = static_cast<std::uint8_t>(h[i] & 0xff);
+    }
+    return Ipv6Address(b);
+  }
+
+  /// Parse RFC 4291 text: full form, "::" compression, and trailing embedded
+  /// IPv4 ("::ffff:192.0.2.1"). Returns nullopt on any malformation.
+  static std::optional<Ipv6Address> parse(std::string_view text);
+
+  /// An IPv4-mapped IPv6 address ::ffff:a.b.c.d.
+  static Ipv6Address mapped_v4(Ipv4Address v4);
+
+  [[nodiscard]] constexpr const Bytes& bytes() const { return bytes_; }
+  [[nodiscard]] constexpr std::uint16_t hextet(std::size_t i) const {
+    return static_cast<std::uint16_t>((std::uint16_t{bytes_[2 * i]} << 8) | bytes_[2 * i + 1]);
+  }
+
+  /// RFC 5952 canonical text: lowercase hex, longest zero run compressed
+  /// (ties broken leftward), no compression of a single zero hextet.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr bool is_unspecified() const {
+    for (auto b : bytes_)
+      if (b != 0) return false;
+    return true;
+  }
+  [[nodiscard]] bool is_loopback() const;                    // ::1
+  [[nodiscard]] constexpr bool is_link_local() const {       // fe80::/10
+    return bytes_[0] == 0xfe && (bytes_[1] & 0xc0) == 0x80;
+  }
+  [[nodiscard]] constexpr bool is_unique_local() const {     // fc00::/7
+    return (bytes_[0] & 0xfe) == 0xfc;
+  }
+  [[nodiscard]] constexpr bool is_multicast() const { return bytes_[0] == 0xff; }
+  [[nodiscard]] constexpr bool is_documentation() const {    // 2001:db8::/32
+    return bytes_[0] == 0x20 && bytes_[1] == 0x01 && bytes_[2] == 0x0d && bytes_[3] == 0xb8;
+  }
+  [[nodiscard]] constexpr bool is_discard_only() const {     // RFC 6666 100::/64
+    return bytes_[0] == 0x01 && bytes_[1] == 0x00 && bytes_[2] == 0 && bytes_[3] == 0 &&
+           bytes_[4] == 0 && bytes_[5] == 0 && bytes_[6] == 0 && bytes_[7] == 0;
+  }
+  [[nodiscard]] bool is_v4_mapped() const;                   // ::ffff:0:0/96
+
+  /// Union of the special-purpose ranges that must not be routed globally.
+  [[nodiscard]] bool is_bogon() const;
+
+  friend constexpr auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  Bytes bytes_{};
+};
+
+}  // namespace dnslocate::netbase

@@ -1,0 +1,133 @@
+#include "netbase/prefix.h"
+
+#include <bit>
+#include <charconv>
+#include <stdexcept>
+
+namespace dnslocate::netbase {
+namespace {
+
+Ipv4Address mask_v4(Ipv4Address a, unsigned length) {
+  if (length == 0) return Ipv4Address{};
+  std::uint32_t mask = length >= 32 ? 0xffffffffu : ~(0xffffffffu >> length);
+  return Ipv4Address(a.value() & mask);
+}
+
+Ipv6Address mask_v6(const Ipv6Address& a, unsigned length) {
+  Ipv6Address::Bytes b = a.bytes();
+  for (std::size_t i = 0; i < 16; ++i) {
+    unsigned bit_offset = static_cast<unsigned>(i) * 8;
+    if (bit_offset + 8 <= length) continue;
+    if (bit_offset >= length) {
+      b[i] = 0;
+    } else {
+      unsigned keep = length - bit_offset;
+      b[i] = static_cast<std::uint8_t>(b[i] & (0xffu << (8 - keep)));
+    }
+  }
+  return Ipv6Address(b);
+}
+
+}  // namespace
+
+Prefix::Prefix(IpAddress address, unsigned length) : length_(length) {
+  unsigned max = address.is_v4() ? 32u : 128u;
+  if (length > max) throw std::invalid_argument("prefix length out of range");
+  address_ = address.is_v4() ? IpAddress(mask_v4(address.v4(), length))
+                             : IpAddress(mask_v6(address.v6(), length));
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    auto addr = IpAddress::parse(text);
+    if (!addr) return std::nullopt;
+    return Prefix(*addr, addr->is_v4() ? 32u : 128u);
+  }
+  auto addr = IpAddress::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  unsigned length = 0;
+  auto [next, ec] = std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size()) return std::nullopt;
+  if (length > (addr->is_v4() ? 32u : 128u)) return std::nullopt;
+  return Prefix(*addr, length);
+}
+
+bool Prefix::contains(const IpAddress& addr) const {
+  if (addr.family() != family()) return false;
+  return common_prefix_length(address_, addr) >= length_;
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.family() == family() && other.length() >= length_ &&
+         contains(other.address());
+}
+
+std::string Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<std::pair<Prefix, Prefix>> split(const Prefix& prefix) {
+  unsigned max = prefix.family() == IpFamily::v4 ? 32u : 128u;
+  if (prefix.length() >= max) return std::nullopt;
+  unsigned child_length = prefix.length() + 1;
+  Prefix low(prefix.address(), child_length);
+  // Set the bit at position `prefix.length()` for the high half.
+  if (prefix.family() == IpFamily::v4) {
+    std::uint32_t bit = 1u << (31 - prefix.length());
+    Prefix high(IpAddress(Ipv4Address(prefix.address().v4().value() | bit)), child_length);
+    return std::make_pair(low, high);
+  }
+  auto bytes = prefix.address().v6().bytes();
+  bytes[prefix.length() / 8] |= static_cast<std::uint8_t>(0x80u >> (prefix.length() % 8));
+  Prefix high(IpAddress(Ipv6Address(bytes)), child_length);
+  return std::make_pair(low, high);
+}
+
+std::uint64_t address_count(const Prefix& prefix) {
+  unsigned max = prefix.family() == IpFamily::v4 ? 32u : 128u;
+  unsigned host_bits = max - prefix.length();
+  if (host_bits >= 64) return ~0ull;
+  return 1ull << host_bits;
+}
+
+std::optional<IpAddress> nth_address(const Prefix& prefix, std::uint64_t n) {
+  unsigned max = prefix.family() == IpFamily::v4 ? 32u : 128u;
+  unsigned host_bits = max - prefix.length();
+  if (host_bits < 64 && n >= (1ull << host_bits)) return std::nullopt;
+  if (prefix.family() == IpFamily::v4)
+    return IpAddress(Ipv4Address(prefix.address().v4().value() + static_cast<std::uint32_t>(n)));
+  // Add n into the low 64 bits (sufficient for any /64-or-longer, and for
+  // shorter prefixes the offsets this library uses stay within 64 bits).
+  auto bytes = prefix.address().v6().bytes();
+  std::uint64_t low = 0;
+  for (std::size_t i = 8; i < 16; ++i) low = low << 8 | bytes[i];
+  low += n;  // callers stay within the prefix per the check above
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[15 - i] = static_cast<std::uint8_t>(low >> (8 * i));
+  return IpAddress(Ipv6Address(bytes));
+}
+
+unsigned common_prefix_length(const IpAddress& a, const IpAddress& b) {
+  if (a.family() != b.family()) return 0;
+  if (a.is_v4()) {
+    std::uint32_t diff = a.v4().value() ^ b.v4().value();
+    return diff == 0 ? 32u : static_cast<unsigned>(std::countl_zero(diff));
+  }
+  const auto& ab = a.v6().bytes();
+  const auto& bb = b.v6().bytes();
+  unsigned bits = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    std::uint8_t diff = static_cast<std::uint8_t>(ab[i] ^ bb[i]);
+    if (diff == 0) {
+      bits += 8;
+      continue;
+    }
+    bits += static_cast<unsigned>(std::countl_zero(diff));  // width of uint8_t: 0..8
+    break;
+  }
+  return bits;
+}
+
+}  // namespace dnslocate::netbase

@@ -1,0 +1,63 @@
+// CIDR prefixes over IpAddress, with containment tests and parsing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <string>
+#include <string_view>
+
+#include "netbase/ip_address.h"
+
+namespace dnslocate::netbase {
+
+/// A CIDR prefix such as 192.0.2.0/24 or 2001:db8::/32. The stored address
+/// is always masked to the prefix length at construction.
+class Prefix {
+ public:
+  /// Builds a prefix; host bits of `address` beyond `length` are cleared.
+  /// Throws std::invalid_argument if length exceeds the family maximum.
+  Prefix(IpAddress address, unsigned length);
+
+  /// Parse "address/length". A bare address parses as a host prefix
+  /// (/32 or /128).
+  static std::optional<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] const IpAddress& address() const { return address_; }
+  [[nodiscard]] unsigned length() const { return length_; }
+  [[nodiscard]] IpFamily family() const { return address_.family(); }
+
+  /// True iff `addr` is of the same family and within this prefix.
+  [[nodiscard]] bool contains(const IpAddress& addr) const;
+
+  /// True iff `other` is fully contained in this prefix.
+  [[nodiscard]] bool contains(const Prefix& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  IpAddress address_;
+  unsigned length_ = 0;
+};
+
+/// Number of leading bits shared by two same-family addresses
+/// (0..32 or 0..128). Returns 0 for mixed families.
+unsigned common_prefix_length(const IpAddress& a, const IpAddress& b);
+
+/// The two halves of `prefix` at length+1 (subnetting). Host prefixes
+/// (/32, /128) cannot split.
+std::optional<std::pair<Prefix, Prefix>> split(const Prefix& prefix);
+
+/// The nth address within `prefix` (n counted from the network address).
+/// Supports offsets up to 2^64-1; returns nullopt when n falls outside the
+/// prefix.
+std::optional<IpAddress> nth_address(const Prefix& prefix, std::uint64_t n);
+
+/// Number of addresses in the prefix, saturated at 2^64-1 (v6 prefixes
+/// shorter than /64 saturate).
+std::uint64_t address_count(const Prefix& prefix);
+
+}  // namespace dnslocate::netbase

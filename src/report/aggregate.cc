@@ -1,0 +1,214 @@
+#include "report/aggregate.h"
+
+#include <algorithm>
+
+namespace dnslocate::report {
+namespace {
+
+using atlas::MeasurementRun;
+using atlas::ProbeRecord;
+using core::InterceptorLocation;
+using resolvers::PublicResolverKind;
+
+/// Sorts (label -> row) maps by total, descending, keeping the top N.
+template <typename Row>
+std::vector<Row> top_rows(std::map<std::string, Row> by_label, std::size_t top_n) {
+  std::vector<Row> rows;
+  rows.reserve(by_label.size());
+  for (auto& [label, row] : by_label) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.total() > b.total(); });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+}  // namespace
+
+std::vector<Table4Row> table4_rows(const MeasurementRun& run) {
+  std::vector<Table4Row> rows;
+  for (PublicResolverKind kind : resolvers::all_public_resolvers()) {
+    Table4Row row;
+    row.resolver = std::string(to_string(kind));
+    for (const ProbeRecord& record : run.records) {
+      const auto& summary = record.verdict.detection.of(kind);
+      if (summary.tested_v4) {
+        ++row.total_v4;
+        if (summary.intercepted_v4) ++row.intercepted_v4;
+      }
+      if (summary.tested_v6) {
+        ++row.total_v6;
+        if (summary.intercepted_v6) ++row.intercepted_v6;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Table4Row all;
+  all.resolver = "All Intercepted";
+  for (const ProbeRecord& record : run.records) {
+    const auto& detection = record.verdict.detection;
+    bool tested_all_v4 = true, tested_all_v6 = true;
+    for (const auto& summary : detection.per_resolver) {
+      tested_all_v4 = tested_all_v4 && summary.tested_v4;
+      tested_all_v6 = tested_all_v6 && summary.tested_v6;
+    }
+    if (tested_all_v4) {
+      ++all.total_v4;
+      if (detection.all_four_intercepted(netbase::IpFamily::v4)) ++all.intercepted_v4;
+    }
+    if (tested_all_v6) {
+      ++all.total_v6;
+      if (detection.all_four_intercepted(netbase::IpFamily::v6)) ++all.intercepted_v6;
+    }
+  }
+  rows.push_back(std::move(all));
+  return rows;
+}
+
+TextTable render_table4(const MeasurementRun& run) {
+  TextTable table({"Resolver", "Intercepted v4", "Total v4", "Intercepted v6", "Total v6"});
+  for (const Table4Row& row : table4_rows(run)) {
+    table.add_row({row.resolver, std::to_string(row.intercepted_v4),
+                   std::to_string(row.total_v4), std::to_string(row.intercepted_v6),
+                   std::to_string(row.total_v6)});
+  }
+  return table;
+}
+
+std::vector<std::pair<std::string, std::size_t>> table5_rows(const MeasurementRun& run) {
+  std::map<std::string, std::size_t> counts;
+  for (const ProbeRecord& record : run.records) {
+    if (record.verdict.location != InterceptorLocation::cpe) continue;
+    if (!record.verdict.cpe_check || !record.verdict.cpe_check->cpe.has_string()) continue;
+    ++counts[*record.verdict.cpe_check->cpe.txt];
+  }
+  std::vector<std::pair<std::string, std::size_t>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  return rows;
+}
+
+TextTable render_table5(const MeasurementRun& run) {
+  TextTable table({"version.bind Response", "# Probes"});
+  for (const auto& [text, count] : table5_rows(run))
+    table.add_row({text, std::to_string(count)});
+  return table;
+}
+
+std::vector<Fig3Row> figure3_rows(const MeasurementRun& run, std::size_t top_n) {
+  std::map<std::string, Fig3Row> by_org;
+  for (const ProbeRecord& record : run.records) {
+    if (!record.verdict.intercepted() || !record.verdict.transparency) continue;
+    Fig3Row& row = by_org[record.org.org];
+    row.org = record.org.org;
+    switch (record.verdict.transparency->overall) {
+      case core::TransparencyClass::transparent: ++row.transparent; break;
+      case core::TransparencyClass::status_modified: ++row.status_modified; break;
+      case core::TransparencyClass::both: ++row.both; break;
+      case core::TransparencyClass::indeterminate: break;
+    }
+  }
+  return top_rows(std::move(by_org), top_n);
+}
+
+BarChart render_figure3(const MeasurementRun& run, std::size_t top_n) {
+  BarChart chart({{'#', "Transparent"}, {'X', "Status Modified"}, {'%', "Both"}});
+  for (const Fig3Row& row : figure3_rows(run, top_n)) {
+    chart.add_bar(Bar{row.org,
+                      {{row.transparent, '#'}, {row.status_modified, 'X'}, {row.both, '%'}}});
+  }
+  return chart;
+}
+
+namespace {
+
+std::vector<Fig4Row> figure4_rows(const MeasurementRun& run, std::size_t top_n,
+                                  bool by_country) {
+  std::map<std::string, Fig4Row> by_label;
+  for (const ProbeRecord& record : run.records) {
+    if (!record.verdict.intercepted()) continue;
+    std::string label = by_country ? record.org.country : record.org.org;
+    Fig4Row& row = by_label[label];
+    row.label = label;
+    switch (record.verdict.location) {
+      case InterceptorLocation::cpe: ++row.cpe; break;
+      case InterceptorLocation::isp: ++row.isp; break;
+      case InterceptorLocation::unknown: ++row.unknown; break;
+      case InterceptorLocation::not_intercepted: break;
+    }
+  }
+  return top_rows(std::move(by_label), top_n);
+}
+
+}  // namespace
+
+std::vector<Fig4Row> figure4_by_country(const MeasurementRun& run, std::size_t top_n) {
+  return figure4_rows(run, top_n, true);
+}
+
+std::vector<Fig4Row> figure4_by_org(const MeasurementRun& run, std::size_t top_n) {
+  return figure4_rows(run, top_n, false);
+}
+
+BarChart render_figure4(const std::vector<Fig4Row>& rows) {
+  BarChart chart({{'C', "CPE"}, {'I', "within ISP"}, {'?', "unknown"}});
+  for (const Fig4Row& row : rows)
+    chart.add_bar(Bar{row.label, {{row.cpe, 'C'}, {row.isp, 'I'}, {row.unknown, '?'}}});
+  return chart;
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t sum = 0;
+  for (const auto& row : cells)
+    for (std::size_t cell : row) sum += cell;
+  return sum;
+}
+
+std::size_t ConfusionMatrix::correct() const {
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < 4; ++i) sum += cells[i][i];
+  return sum;
+}
+
+double ConfusionMatrix::accuracy() const {
+  std::size_t all = total();
+  return all == 0 ? 1.0 : static_cast<double>(correct()) / static_cast<double>(all);
+}
+
+ConfusionMatrix accuracy_matrix(const MeasurementRun& run) {
+  ConfusionMatrix matrix;
+  for (const ProbeRecord& record : run.records) {
+    auto expected = static_cast<std::size_t>(record.truth.expected);
+    auto measured = static_cast<std::size_t>(record.verdict.location);
+    ++matrix.cells[expected][measured];
+  }
+  return matrix;
+}
+
+TextTable render_confusion(const ConfusionMatrix& matrix) {
+  static constexpr const char* kNames[] = {"not intercepted", "CPE", "within ISP", "unknown"};
+  TextTable table({"expected \\ measured", kNames[0], kNames[1], kNames[2], kNames[3]});
+  for (std::size_t i = 0; i < 4; ++i) {
+    table.add_row({kNames[i], std::to_string(matrix.cells[i][0]),
+                   std::to_string(matrix.cells[i][1]), std::to_string(matrix.cells[i][2]),
+                   std::to_string(matrix.cells[i][3])});
+  }
+  return table;
+}
+
+PatternCensus pattern_census(const MeasurementRun& run, netbase::IpFamily family) {
+  PatternCensus census;
+  for (const ProbeRecord& record : run.records) {
+    const auto& detection = record.verdict.detection;
+    std::size_t intercepted = detection.intercepted_kinds(family).size();
+    if (intercepted == 0) continue;
+    if (intercepted == 4) ++census.all_four;
+    else if (intercepted == 1) ++census.one_intercepted;
+    else if (intercepted == 3) ++census.one_allowed;
+    else ++census.other;
+  }
+  return census;
+}
+
+}  // namespace dnslocate::report

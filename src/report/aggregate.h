@@ -1,0 +1,86 @@
+// Aggregating fleet measurements into the paper's tables and figures.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atlas/measurement.h"
+#include "report/barchart.h"
+#include "report/table.h"
+
+namespace dnslocate::report {
+
+// --- Table 4: intercepted probes per public resolver, v4 & v6 ---
+
+struct Table4Row {
+  std::string resolver;  // "Cloudflare DNS" ... or "All Intercepted"
+  std::size_t intercepted_v4 = 0;
+  std::size_t total_v4 = 0;
+  std::size_t intercepted_v6 = 0;
+  std::size_t total_v6 = 0;
+};
+
+std::vector<Table4Row> table4_rows(const atlas::MeasurementRun& run);
+TextTable render_table4(const atlas::MeasurementRun& run);
+
+// --- Table 5: version.bind strings from CPE-intercepted probes ---
+
+/// (string, probe count), descending by count then string.
+std::vector<std::pair<std::string, std::size_t>> table5_rows(const atlas::MeasurementRun& run);
+TextTable render_table5(const atlas::MeasurementRun& run);
+
+// --- Figure 3: intercepted probes per top-N org, by transparency ---
+
+struct Fig3Row {
+  std::string org;
+  std::size_t transparent = 0;
+  std::size_t status_modified = 0;
+  std::size_t both = 0;
+
+  [[nodiscard]] std::size_t total() const { return transparent + status_modified + both; }
+};
+
+std::vector<Fig3Row> figure3_rows(const atlas::MeasurementRun& run, std::size_t top_n = 15);
+BarChart render_figure3(const atlas::MeasurementRun& run, std::size_t top_n = 15);
+
+// --- Figure 4: interception location per top-N country / org ---
+
+struct Fig4Row {
+  std::string label;  // country code or org
+  std::size_t cpe = 0;
+  std::size_t isp = 0;
+  std::size_t unknown = 0;
+
+  [[nodiscard]] std::size_t total() const { return cpe + isp + unknown; }
+};
+
+std::vector<Fig4Row> figure4_by_country(const atlas::MeasurementRun& run, std::size_t top_n = 15);
+std::vector<Fig4Row> figure4_by_org(const atlas::MeasurementRun& run, std::size_t top_n = 15);
+BarChart render_figure4(const std::vector<Fig4Row>& rows);
+
+// --- accuracy vs ground truth (our ablation A2) ---
+
+/// cells[expected][measured] probe counts over InterceptorLocation.
+struct ConfusionMatrix {
+  std::size_t cells[4][4] = {};
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] std::size_t correct() const;
+  [[nodiscard]] double accuracy() const;
+};
+
+ConfusionMatrix accuracy_matrix(const atlas::MeasurementRun& run);
+TextTable render_confusion(const ConfusionMatrix& matrix);
+
+/// Interception-pattern census (§4.1.1): all four / one intercepted /
+/// one allowed / other, per family.
+struct PatternCensus {
+  std::size_t all_four = 0;
+  std::size_t one_intercepted = 0;
+  std::size_t one_allowed = 0;
+  std::size_t other = 0;
+};
+
+PatternCensus pattern_census(const atlas::MeasurementRun& run, netbase::IpFamily family);
+
+}  // namespace dnslocate::report

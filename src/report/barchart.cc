@@ -1,0 +1,40 @@
+#include "report/barchart.h"
+
+namespace dnslocate::report {
+
+std::string BarChart::render(std::size_t max_width) const {
+  std::size_t label_width = 0;
+  std::size_t max_total = 1;
+  for (const auto& bar : bars_) {
+    label_width = std::max(label_width, bar.label.size());
+    max_total = std::max(max_total, bar.total());
+  }
+
+  std::string out;
+  for (const auto& bar : bars_) {
+    out += bar.label + std::string(label_width - bar.label.size(), ' ') + " |";
+    std::string body;
+    for (const auto& segment : bar.segments) {
+      // Round each segment to the scaled width, keeping at least one glyph
+      // for non-zero segments so small categories stay visible.
+      std::size_t width = segment.value * max_width / max_total;
+      if (segment.value > 0 && width == 0) width = 1;
+      body += std::string(width, segment.glyph);
+    }
+    out += body + "  (";
+    for (std::size_t i = 0; i < bar.segments.size(); ++i) {
+      if (i > 0) out += "/";
+      out += std::to_string(bar.segments[i].value);
+    }
+    out += ")\n";
+  }
+  if (!legend_.empty()) {
+    out += "legend:";
+    for (const auto& [glyph, meaning] : legend_)
+      out += std::string(" ") + glyph + "=" + meaning;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dnslocate::report

@@ -1,0 +1,45 @@
+// Horizontal stacked ASCII bar charts — the terminal rendering of the
+// paper's Figure 3 and Figure 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dnslocate::report {
+
+/// One stacked segment of a bar.
+struct BarSegment {
+  std::size_t value = 0;
+  char glyph = '#';
+};
+
+/// A labelled bar of stacked segments.
+struct Bar {
+  std::string label;
+  std::vector<BarSegment> segments;
+
+  [[nodiscard]] std::size_t total() const {
+    std::size_t sum = 0;
+    for (const auto& segment : segments) sum += segment.value;
+    return sum;
+  }
+};
+
+class BarChart {
+ public:
+  /// `legend` pairs each glyph with its meaning, rendered under the chart.
+  explicit BarChart(std::vector<std::pair<char, std::string>> legend = {})
+      : legend_(std::move(legend)) {}
+
+  void add_bar(Bar bar) { bars_.push_back(std::move(bar)); }
+
+  /// Render with bars scaled to at most `max_width` glyphs; exact counts are
+  /// printed after each bar.
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  std::vector<std::pair<char, std::string>> legend_;
+  std::vector<Bar> bars_;
+};
+
+}  // namespace dnslocate::report

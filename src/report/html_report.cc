@@ -1,0 +1,165 @@
+#include "report/html_report.h"
+
+#include "report/aggregate.h"
+#include "report/stats.h"
+
+namespace dnslocate::report {
+
+std::string html_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void open_section(std::string& out, const std::string& heading) {
+  out += "<section><h2>" + html_escape(heading) + "</h2>\n";
+}
+
+void table_header(std::string& out, std::initializer_list<const char*> columns) {
+  out += "<table><thead><tr>";
+  for (const char* column : columns) out += "<th>" + html_escape(column) + "</th>";
+  out += "</tr></thead><tbody>\n";
+}
+
+void cell(std::string& out, const std::string& value) {
+  out += "<td>" + html_escape(value) + "</td>";
+}
+
+/// Inline stacked bar: widths as percentages of `scale`.
+std::string stacked_bar(std::size_t a, std::size_t b, std::size_t c, std::size_t scale) {
+  auto percent = [scale](std::size_t value) {
+    return scale == 0 ? 0.0 : 100.0 * static_cast<double>(value) / static_cast<double>(scale);
+  };
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "<div class=\"bar\">"
+                "<span class=\"s1\" style=\"width:%.1f%%\"></span>"
+                "<span class=\"s2\" style=\"width:%.1f%%\"></span>"
+                "<span class=\"s3\" style=\"width:%.1f%%\"></span></div>",
+                percent(a), percent(b), percent(c));
+  return buffer;
+}
+
+}  // namespace
+
+std::string html_report(const atlas::MeasurementRun& run, const HtmlReportOptions& options) {
+  std::string out;
+  out += "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n<title>" +
+         html_escape(options.title) + "</title>\n<style>\n";
+  out +=
+      "body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;color:#222}\n"
+      "table{border-collapse:collapse;margin:1rem 0}\n"
+      "th,td{border:1px solid #bbb;padding:.3rem .6rem;text-align:left;"
+      "font-variant-numeric:tabular-nums}\n"
+      "th{background:#f0f0f0}\n"
+      ".bar{display:flex;width:16rem;height:1rem;background:#eee}\n"
+      ".s1{background:#2b6cb0}.s2{background:#c05621}.s3{background:#718096}\n"
+      ".legend span{display:inline-block;width:.8rem;height:.8rem;margin:0 .3rem 0 1rem}\n"
+      "</style></head><body>\n";
+  out += "<h1>" + html_escape(options.title) + "</h1>\n";
+  out += "<p>" + std::to_string(run.records.size()) + " probes measured, " +
+         std::to_string(run.intercepted_count()) + " intercepted.</p>\n";
+
+  // Table 4.
+  open_section(out, "Intercepted probes per public resolver (Table 4)");
+  table_header(out, {"Resolver", "Intercepted v4", "Total v4", "v4 (Wilson 95%)",
+                     "Intercepted v6", "Total v6"});
+  for (const auto& row : table4_rows(run)) {
+    out += "<tr>";
+    cell(out, row.resolver);
+    cell(out, std::to_string(row.intercepted_v4));
+    cell(out, std::to_string(row.total_v4));
+    cell(out, wilson_interval(row.intercepted_v4, row.total_v4).to_string());
+    cell(out, std::to_string(row.intercepted_v6));
+    cell(out, std::to_string(row.total_v6));
+    out += "</tr>\n";
+  }
+  out += "</tbody></table></section>\n";
+
+  // Table 5.
+  open_section(out, "version.bind strings of CPE interceptors (Table 5)");
+  table_header(out, {"version.bind response", "# probes"});
+  for (const auto& [text, count] : table5_rows(run)) {
+    out += "<tr>";
+    cell(out, text);
+    cell(out, std::to_string(count));
+    out += "</tr>\n";
+  }
+  out += "</tbody></table></section>\n";
+
+  // Figure 3.
+  auto fig3 = figure3_rows(run, options.top_n);
+  std::size_t fig3_max = 1;
+  for (const auto& row : fig3) fig3_max = std::max(fig3_max, row.total());
+  open_section(out, "Intercepted probes per organization, by transparency (Figure 3)");
+  out += "<p class=\"legend\"><span class=\"s1\"></span>Transparent"
+         "<span class=\"s2\"></span>Status modified<span class=\"s3\"></span>Both</p>\n";
+  table_header(out, {"Organization", "", "T/M/B"});
+  for (const auto& row : fig3) {
+    out += "<tr>";
+    cell(out, row.org);
+    out += "<td>" + stacked_bar(row.transparent, row.status_modified, row.both, fig3_max) +
+           "</td>";
+    cell(out, std::to_string(row.transparent) + "/" + std::to_string(row.status_modified) +
+              "/" + std::to_string(row.both));
+    out += "</tr>\n";
+  }
+  out += "</tbody></table></section>\n";
+
+  // Figure 4 (countries + orgs).
+  for (bool by_country : {true, false}) {
+    auto rows = by_country ? figure4_by_country(run, options.top_n)
+                           : figure4_by_org(run, options.top_n);
+    std::size_t scale = 1;
+    for (const auto& row : rows) scale = std::max(scale, row.total());
+    open_section(out, by_country ? "Interception location per country (Figure 4a)"
+                                 : "Interception location per organization (Figure 4b)");
+    out += "<p class=\"legend\"><span class=\"s1\"></span>CPE"
+           "<span class=\"s2\"></span>Within ISP<span class=\"s3\"></span>Unknown</p>\n";
+    table_header(out, {by_country ? "Country" : "Organization", "", "CPE/ISP/?"});
+    for (const auto& row : rows) {
+      out += "<tr>";
+      cell(out, row.label);
+      out += "<td>" + stacked_bar(row.cpe, row.isp, row.unknown, scale) + "</td>";
+      cell(out, std::to_string(row.cpe) + "/" + std::to_string(row.isp) + "/" +
+                std::to_string(row.unknown));
+      out += "</tr>\n";
+    }
+    out += "</tbody></table></section>\n";
+  }
+
+  if (options.include_accuracy) {
+    auto matrix = accuracy_matrix(run);
+    open_section(out, "Technique vs ground truth");
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer, "<p>accuracy %.4f (%zu/%zu)</p>\n",
+                  matrix.accuracy(), matrix.correct(), matrix.total());
+    out += buffer;
+    static constexpr const char* kNames[] = {"not intercepted", "CPE", "within ISP",
+                                             "unknown"};
+    table_header(out, {"expected \\ measured", kNames[0], kNames[1], kNames[2], kNames[3]});
+    for (std::size_t i = 0; i < 4; ++i) {
+      out += "<tr>";
+      cell(out, kNames[i]);
+      for (std::size_t j = 0; j < 4; ++j) cell(out, std::to_string(matrix.cells[i][j]));
+      out += "</tr>\n";
+    }
+    out += "</tbody></table></section>\n";
+  }
+
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace dnslocate::report

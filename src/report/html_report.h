@@ -1,0 +1,24 @@
+// Self-contained HTML report of a measurement run: every table and figure
+// of the pilot study in one shareable file (no external assets, inline CSS
+// bar charts).
+#pragma once
+
+#include <string>
+
+#include "atlas/measurement.h"
+
+namespace dnslocate::report {
+
+struct HtmlReportOptions {
+  std::string title = "dnslocate pilot study";
+  std::size_t top_n = 15;
+  bool include_accuracy = true;
+};
+
+/// Render the full report page.
+std::string html_report(const atlas::MeasurementRun& run, const HtmlReportOptions& options = {});
+
+/// Escape text for HTML element content.
+std::string html_escape(std::string_view text);
+
+}  // namespace dnslocate::report

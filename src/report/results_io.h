@@ -1,0 +1,32 @@
+// Measurement-result persistence: one JSON object per probe (JSONL), with
+// enough detail to re-aggregate every table and figure offline — the
+// equivalent of publishing the pilot study's dataset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/measurement.h"
+#include "jsonio/json.h"
+
+namespace dnslocate::report {
+
+/// Serialize one probe record to a JSON object.
+jsonio::Value probe_to_json(const atlas::ProbeRecord& record);
+
+/// Whole run -> JSONL text (one probe per line, trailing newline).
+std::string run_to_jsonl(const atlas::MeasurementRun& run);
+
+/// Parse JSONL back into records. Fields the JSON lacks (raw responses)
+/// stay default; everything the aggregators consume round-trips. Lines
+/// that fail to parse are reported in `errors` (line numbers, 1-based).
+struct JsonlLoadResult {
+  atlas::MeasurementRun run;
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+JsonlLoadResult run_from_jsonl(std::string_view text);
+
+}  // namespace dnslocate::report

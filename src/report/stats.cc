@@ -1,0 +1,38 @@
+#include "report/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dnslocate::report {
+
+std::string Proportion::to_string() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.2f%% [%.2f%%, %.2f%%]", estimate * 100, low * 100,
+                high * 100);
+  return buffer;
+}
+
+Proportion wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  Proportion out;
+  if (trials == 0) {
+    out.high = 1;
+    return out;
+  }
+  double n = static_cast<double>(trials);
+  double p = static_cast<double>(successes) / n;
+  out.estimate = p;
+  double z2 = z * z;
+  double denominator = 1 + z2 / n;
+  double centre = p + z2 / (2 * n);
+  double margin = z * std::sqrt(p * (1 - p) / n + z2 / (4 * n * n));
+  out.low = std::max(0.0, (centre - margin) / denominator);
+  out.high = std::min(1.0, (centre + margin) / denominator);
+  return out;
+}
+
+bool clearly_different(const Proportion& a, const Proportion& b) {
+  return a.high < b.low || b.high < a.low;
+}
+
+}  // namespace dnslocate::report

@@ -1,0 +1,29 @@
+// Small statistics helpers for measurement proportions: Wilson score
+// intervals (the standard choice for binomial proportions like "fraction of
+// probes intercepted") and a two-proportion comparison used by the shape
+// checks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dnslocate::report {
+
+/// A binomial proportion with its Wilson score interval.
+struct Proportion {
+  double estimate = 0;  // successes / trials
+  double low = 0;       // interval bounds, clamped to [0, 1]
+  double high = 0;
+
+  [[nodiscard]] std::string to_string() const;  // "1.71% [1.47%, 2.00%]"
+};
+
+/// Wilson score interval. `z` defaults to the 95% normal quantile.
+/// trials == 0 yields the degenerate [0, 1] interval.
+Proportion wilson_interval(std::size_t successes, std::size_t trials, double z = 1.959964);
+
+/// True if the two proportions' 95% intervals do not overlap — a
+/// conservative "clearly different" check used in shape assertions.
+bool clearly_different(const Proportion& a, const Proportion& b);
+
+}  // namespace dnslocate::report

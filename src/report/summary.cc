@@ -1,0 +1,61 @@
+#include "report/summary.h"
+
+#include "report/aggregate.h"
+#include "report/stats.h"
+
+namespace dnslocate::report {
+
+std::string run_summary(const atlas::MeasurementRun& run) {
+  std::size_t total = run.records.size();
+  std::size_t intercepted = run.intercepted_count();
+  if (total == 0) return "No probes measured.";
+
+  std::string out;
+  auto proportion = wilson_interval(intercepted, total);
+  out += "Of " + std::to_string(total) + " probes, " + std::to_string(intercepted) +
+         " (" + proportion.to_string() + ") had DNS queries to public resolvers " +
+         "transparently intercepted.";
+
+  if (intercepted > 0) {
+    std::size_t cpe = run.count_location(core::InterceptorLocation::cpe);
+    std::size_t isp = run.count_location(core::InterceptorLocation::isp);
+    std::size_t unknown = run.count_location(core::InterceptorLocation::unknown);
+    out += " Localization: " + std::to_string(cpe) + " at the CPE, " + std::to_string(isp) +
+           " within the ISP, " + std::to_string(unknown) + " unknown";
+    if (cpe + isp > unknown) out += " — interception is close to the client in the majority";
+    out += ".";
+
+    auto orgs = figure3_rows(run, 1);
+    if (!orgs.empty()) {
+      out += " " + orgs[0].org + " has the most intercepted probes (" +
+             std::to_string(orgs[0].total()) + ").";
+    }
+
+    std::size_t transparent = 0, modified = 0;
+    for (const auto& record : run.records) {
+      if (!record.verdict.transparency) continue;
+      if (record.verdict.transparency->overall == core::TransparencyClass::transparent)
+        ++transparent;
+      else if (record.verdict.transparency->overall != core::TransparencyClass::indeterminate)
+        ++modified;
+    }
+    if (transparent + modified > 0) {
+      out += " " + std::to_string(transparent) + " interceptors resolved queries correctly " +
+             "(transparent); " + std::to_string(modified) + " returned modified statuses.";
+    }
+  }
+
+  auto matrix = accuracy_matrix(run);
+  if (matrix.total() > 0 && matrix.correct() != matrix.total()) {
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer,
+                  " Against ground truth the technique scored %.4f (%zu misattributions).",
+                  matrix.accuracy(), matrix.total() - matrix.correct());
+    out += buffer;
+  } else if (matrix.total() > 0) {
+    out += " Every verdict matched the simulated ground truth.";
+  }
+  return out;
+}
+
+}  // namespace dnslocate::report

@@ -1,0 +1,16 @@
+// Executive summary of a measurement run: the prose a study README leads
+// with, generated from the data.
+#pragma once
+
+#include <string>
+
+#include "atlas/measurement.h"
+
+namespace dnslocate::report {
+
+/// A short paragraph: probe/interception counts, the location split, the
+/// dominant organization, the transparency split, and (when ground truth
+/// is present) the technique's accuracy.
+std::string run_summary(const atlas::MeasurementRun& run);
+
+}  // namespace dnslocate::report

@@ -1,0 +1,79 @@
+#include "report/table.h"
+
+namespace dnslocate::report {
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      line += "| " + cell + std::string(widths[i] - cell.size(), ' ') + " ";
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (std::size_t width : widths) rule += "|" + std::string(width + 2, '-');
+  out += rule + "|\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::to_markdown() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (const auto& cell : row) {
+      line += " ";
+      for (char c : cell) {
+        if (c == '|') line += "\\|";
+        else line.push_back(c);
+      }
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  out += "|";
+  for (std::size_t i = 0; i < headers_.size(); ++i) out += "---|";
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  std::string out;
+  auto render_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      out += csv_escape(row[i]);
+    }
+    out += "\n";
+  };
+  render_row(headers_);
+  for (const auto& row : rows_) render_row(row);
+  return out;
+}
+
+}  // namespace dnslocate::report

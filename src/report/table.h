@@ -1,0 +1,32 @@
+// Plain-text table rendering for the experiment harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dnslocate::report {
+
+/// A simple aligned text table with a header row; also exports CSV.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Column-aligned rendering with a separator rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas or quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// GitHub-flavoured markdown table (pipes escaped).
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dnslocate::report

@@ -1,0 +1,243 @@
+#include "resolvers/forwarder.h"
+
+#include "dnswire/debug_queries.h"
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::resolvers {
+
+void DnsForwarderApp::attach(simnet::Device& device) {
+  device.bind_udp(netbase::kDnsPort, this);
+  if (config_.serve_dot) device.bind_udp(netbase::kDotPort, this);
+  device.bind_udp(config_.upstream_port, this);
+}
+
+void DnsForwarderApp::on_datagram(simnet::Simulator& sim, simnet::Device& self,
+                                  const simnet::UdpPacket& packet) {
+  // Strict-DoT certificate validation (see DnsServerApp::on_datagram).
+  if (packet.channel == simnet::Channel::dot_strict && packet.tls_expected_peer &&
+      !self.has_local_ip(*packet.tls_expected_peer))
+    return;
+  auto message = dnswire::decode_message(packet.payload);
+  if (!message) return;
+  if (packet.dport == config_.upstream_port && message->is_response()) {
+    handle_upstream_reply(sim, self, packet, std::move(*message));
+    return;
+  }
+  bool service_port = packet.dport == netbase::kDnsPort ||
+                      (config_.serve_dot && packet.dport == netbase::kDotPort);
+  if (service_port && !message->is_response()) {
+    handle_client_query(sim, self, packet, *message);
+  }
+}
+
+void DnsForwarderApp::handle_client_query(simnet::Simulator& sim, simnet::Device& self,
+                                          const simnet::UdpPacket& packet,
+                                          const dnswire::Message& query) {
+  Pending direct{packet.src,  packet.sport, packet.dst,     query.id,
+                 sim.now(),   packet.dport, packet.channel};
+  const dnswire::Question* question = query.question();
+  if (!question) {
+    reply_to_client(sim, self, direct, dnswire::make_response(query, dnswire::Rcode::FORMERR));
+    return;
+  }
+
+  // CHAOS queries: answer locally from the software profile, unless this
+  // software punts them upstream (§6 misclassification configuration).
+  if (question->klass == dnswire::RecordClass::CH) {
+    if (config_.software.forwards_unknown_chaos) {
+      forward_upstream(sim, self, packet, query);
+      return;
+    }
+    std::optional<dnswire::Message> answer;
+    if (question->type == dnswire::RecordType::TXT) {
+      if (question->name.equals_ignore_case(dnswire::version_bind())) {
+        answer = config_.software.version_bind
+                     ? dnswire::make_txt_response(query, *config_.software.version_bind)
+                     : dnswire::make_response(query, config_.software.version_bind_rcode);
+      } else if (question->name.equals_ignore_case(dnswire::id_server()) ||
+                 question->name.equals_ignore_case(dnswire::hostname_bind())) {
+        answer = config_.software.id_server
+                     ? dnswire::make_txt_response(query, *config_.software.id_server)
+                     : dnswire::make_response(query, config_.software.id_server_rcode);
+      }
+    }
+    if (!answer) answer = dnswire::make_response(query, dnswire::Rcode::REFUSED);
+    ++chaos_answered_;
+    reply_to_client(sim, self, direct, *answer);
+    return;
+  }
+
+  // Cache lookup for ordinary IN queries.
+  if (config_.cache_enabled && question->klass == dnswire::RecordClass::IN) {
+    if (auto cached = cache_lookup(sim.now(), *question)) {
+      cached->id = query.id;
+      reply_to_client(sim, self, direct, *cached);
+      return;
+    }
+  }
+
+  forward_upstream(sim, self, packet, query);
+}
+
+std::optional<dnswire::Message> DnsForwarderApp::cache_lookup(
+    simnet::SimTime now, const dnswire::Question& question) {
+  CacheKey key{question.name.to_lower().to_string(), question.type};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++cache_misses_;
+    return std::nullopt;
+  }
+  CacheEntry& entry = it->second;
+  auto age_s = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(now - entry.stored_at).count());
+  if (age_s >= entry.lifetime_s) {
+    lru_.erase(entry.lru_position);
+    cache_.erase(it);
+    ++cache_misses_;
+    return std::nullopt;
+  }
+  // Refresh LRU position.
+  lru_.erase(entry.lru_position);
+  lru_.push_front(key);
+  entry.lru_position = lru_.begin();
+  ++cache_hits_;
+
+  dnswire::Message response = entry.response;
+  for (auto* section : {&response.answers, &response.authorities, &response.additionals})
+    for (auto& rr : *section)
+      rr.ttl -= std::min<std::uint32_t>(rr.ttl, static_cast<std::uint32_t>(age_s));
+  return response;
+}
+
+void DnsForwarderApp::cache_store(simnet::SimTime now, const dnswire::Message& response) {
+  const dnswire::Question* question = response.question();
+  if (!question || question->klass != dnswire::RecordClass::IN) return;
+  if (response.rcode() != dnswire::Rcode::NOERROR &&
+      response.rcode() != dnswire::Rcode::NXDOMAIN)
+    return;
+
+  std::uint32_t lifetime = 0;
+  if (response.answers.empty()) {
+    lifetime = 60;  // negative/NODATA TTL (we carry no SOA minimum)
+  } else {
+    lifetime = response.answers.front().ttl;
+    for (const auto& rr : response.answers) lifetime = std::min(lifetime, rr.ttl);
+  }
+  if (lifetime == 0) return;
+
+  CacheKey key{question->name.to_lower().to_string(), question->type};
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    lru_.erase(it->second.lru_position);
+    cache_.erase(it);
+  }
+  while (cache_.size() >= config_.cache_capacity && !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.response = response;
+  entry.response.id = 0;
+  entry.stored_at = now;
+  entry.lifetime_s = lifetime;
+  entry.lru_position = lru_.begin();
+  cache_.emplace(std::move(key), std::move(entry));
+}
+
+void DnsForwarderApp::forward_upstream(simnet::Simulator& sim, simnet::Device& self,
+                                       const simnet::UdpPacket& packet,
+                                       const dnswire::Message& query) {
+  const netbase::Endpoint* upstream = &config_.upstream_v4;
+  if (packet.dst.is_v6() && config_.upstream_v6) upstream = &*config_.upstream_v6;
+
+  std::uint16_t upstream_id = next_upstream_id_++;
+  if (next_upstream_id_ == 0) next_upstream_id_ = 1;
+  pending_[upstream_id] = Pending{packet.src,
+                                  packet.sport,
+                                  packet.dst,
+                                  query.id,
+                                  sim.now() + config_.pending_timeout,
+                                  packet.dport,
+                                  packet.channel};
+
+  dnswire::Message upstream_query = query;
+  upstream_query.id = upstream_id;
+  if (config_.lowercases_queries)
+    for (auto& question : upstream_query.questions) question.name = question.name.to_lower();
+  std::vector<std::uint8_t> upstream_payload = dnswire::encode_message(upstream_query);
+  if (config_.upstream_fallback_v4 && upstream->address.is_v4())
+    pending_[upstream_id].retry_payload = upstream_payload;
+
+  simnet::UdpPacket out;
+  const auto& wan_source = upstream->address.is_v4() ? config_.wan_source_v4
+                                                     : config_.wan_source_v6;
+  if (wan_source) {
+    out.src = *wan_source;
+  } else if (auto local = self.local_ip(upstream->address.family())) {
+    out.src = *local;
+  } else {
+    pending_.erase(upstream_id);
+    return;  // no usable source address for this family
+  }
+  out.dst = upstream->address;
+  out.sport = config_.upstream_port;
+  out.dport = upstream->port;
+  out.payload = std::move(upstream_payload);
+  out.trace_id = packet.trace_id;
+  netbase::IpAddress upstream_source = out.src;
+  ++forwarded_upstream_;
+  self.send_local(sim, std::move(out));
+
+  // Failover: if the primary stays silent, re-issue to the secondary.
+  if (config_.upstream_fallback_v4 && upstream->address.is_v4()) {
+    simnet::Device* device = &self;
+    sim.schedule(config_.failover_after, [this, &sim, device, upstream_id, upstream_source]() {
+      auto pending_it = pending_.find(upstream_id);
+      if (pending_it == pending_.end() || pending_it->second.failed_over) return;
+      pending_it->second.failed_over = true;
+      ++failovers_;
+      simnet::UdpPacket retry;
+      retry.src = upstream_source;
+      retry.dst = config_.upstream_fallback_v4->address;
+      retry.sport = config_.upstream_port;
+      retry.dport = config_.upstream_fallback_v4->port;
+      retry.payload = pending_it->second.retry_payload;
+      device->send_local(sim, std::move(retry));
+    });
+  }
+
+  // Expire the pending entry so the table cannot grow without bound.
+  sim.schedule(config_.pending_timeout, [this, upstream_id, deadline = pending_[upstream_id].deadline]() {
+    auto it = pending_.find(upstream_id);
+    if (it != pending_.end() && it->second.deadline <= deadline) pending_.erase(it);
+  });
+}
+
+void DnsForwarderApp::handle_upstream_reply(simnet::Simulator& sim, simnet::Device& self,
+                                            const simnet::UdpPacket&, dnswire::Message reply) {
+  auto it = pending_.find(reply.id);
+  if (it == pending_.end()) return;
+  Pending pending = it->second;
+  pending_.erase(it);
+  reply.id = pending.original_id;
+  ++replies_relayed_;
+  if (config_.cache_enabled) cache_store(sim.now(), reply);
+  reply_to_client(sim, self, pending, reply);
+}
+
+void DnsForwarderApp::reply_to_client(simnet::Simulator& sim, simnet::Device& self,
+                                      const Pending& pending, const dnswire::Message& response) {
+  simnet::UdpPacket out;
+  out.src = pending.queried_ip;  // the address the client addressed; NAT may
+                                 // further restore a DNAT'd destination
+  out.dst = pending.client;
+  out.sport = pending.service_port;
+  out.dport = pending.client_port;
+  out.channel = pending.channel;
+  out.payload = dnswire::encode_message(response);
+  self.send_local(sim, std::move(out));
+}
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,136 @@
+// The CPE DNS forwarder (dnsmasq, XDNS, Pi-hole, ...): answers CHAOS
+// debugging queries itself from its software profile and proxies ordinary
+// queries to its pre-configured upstream resolver.
+//
+// This is the component that "switches roles" in §3.2: when interception
+// DNAT rewrites a query's destination to the CPE, this app answers it, and
+// conntrack restores the original destination on the way out — producing
+// the spoofed response the client cannot distinguish from the real one.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "dnswire/message.h"
+#include "netbase/endpoint.h"
+#include "resolvers/software.h"
+#include "simnet/device.h"
+#include "simnet/time.h"
+
+namespace dnslocate::resolvers {
+
+/// Forwarder configuration.
+struct ForwarderConfig {
+  SoftwareProfile software;
+  /// Upstream recursive resolver (usually the ISP's).
+  netbase::Endpoint upstream_v4;
+  std::optional<netbase::Endpoint> upstream_v6;
+  /// Secondary upstream tried when the primary stays silent past
+  /// `failover_after` (dnsmasq's server-failover behaviour).
+  std::optional<netbase::Endpoint> upstream_fallback_v4;
+  simnet::SimDuration failover_after = std::chrono::milliseconds(500);
+  /// Source port for upstream queries; the app binds it on the device.
+  std::uint16_t upstream_port = 5353;
+  /// How long to remember a pending query before giving up silently.
+  simnet::SimDuration pending_timeout = std::chrono::seconds(3);
+  /// Which local address to source upstream queries from (the WAN address);
+  /// if unset, the device's first address of the upstream's family is used.
+  std::optional<netbase::IpAddress> wan_source_v4;
+  std::optional<netbase::IpAddress> wan_source_v6;
+  /// Also serve DNS over TLS on port 853 (modelled at the policy level).
+  bool serve_dot = false;
+  /// Re-encode upstream queries with a lowercased name (some proxy
+  /// implementations do), destroying DNS-0x20 case patterns. Detected by
+  /// core::Dns0x20Prober.
+  bool lowercases_queries = false;
+  /// TTL-honouring positive/negative cache for IN-class answers, like
+  /// dnsmasq's. CHAOS queries are never cached.
+  bool cache_enabled = false;
+  std::size_t cache_capacity = 150;  // dnsmasq's default cache size
+};
+
+/// UDP app implementing the forwarder. Bind it on port 53 (client side);
+/// it binds `upstream_port` itself when attached via `attach()`.
+class DnsForwarderApp : public simnet::UdpApp {
+ public:
+  explicit DnsForwarderApp(ForwarderConfig config) : config_(std::move(config)) {}
+
+  /// Bind both the service port (53) and the upstream port on `device`.
+  void attach(simnet::Device& device);
+
+  void on_datagram(simnet::Simulator& sim, simnet::Device& self,
+                   const simnet::UdpPacket& packet) override;
+
+  [[nodiscard]] const ForwarderConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t chaos_answered() const { return chaos_answered_; }
+  [[nodiscard]] std::uint64_t forwarded_upstream() const { return forwarded_upstream_; }
+  [[nodiscard]] std::uint64_t replies_relayed() const { return replies_relayed_; }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct Pending {
+    netbase::IpAddress client;
+    std::uint16_t client_port = 0;
+    netbase::IpAddress queried_ip;  // address the client originally targeted
+    std::uint16_t original_id = 0;
+    simnet::SimTime deadline{};
+    std::uint16_t service_port = netbase::kDnsPort;  // 53 or 853
+    simnet::Channel channel = simnet::Channel::udp;
+    bool failed_over = false;
+    std::vector<std::uint8_t> retry_payload;  // upstream query bytes for failover
+  };
+
+  void handle_client_query(simnet::Simulator& sim, simnet::Device& self,
+                           const simnet::UdpPacket& packet, const dnswire::Message& query);
+  void handle_upstream_reply(simnet::Simulator& sim, simnet::Device& self,
+                             const simnet::UdpPacket& packet, dnswire::Message reply);
+  void reply_to_client(simnet::Simulator& sim, simnet::Device& self, const Pending& pending,
+                       const dnswire::Message& response);
+  void forward_upstream(simnet::Simulator& sim, simnet::Device& self,
+                        const simnet::UdpPacket& packet, const dnswire::Message& query);
+
+  // --- cache ---
+  struct CacheKey {
+    std::string lower_name;
+    dnswire::RecordType type{};
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const noexcept {
+      return std::hash<std::string>{}(key.lower_name) ^
+             (static_cast<std::size_t>(key.type) << 24);
+    }
+  };
+  struct CacheEntry {
+    dnswire::Message response;      // id 0; answers carry original TTLs
+    simnet::SimTime stored_at{};
+    std::uint32_t lifetime_s = 0;   // min TTL across records (or negative TTL)
+    std::list<CacheKey>::iterator lru_position;
+  };
+  /// Cached response with TTLs aged by the entry's residence time, or
+  /// nullopt on miss/expiry.
+  std::optional<dnswire::Message> cache_lookup(simnet::SimTime now,
+                                               const dnswire::Question& question);
+  void cache_store(simnet::SimTime now, const dnswire::Message& response);
+
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::list<CacheKey> lru_;  // front = most recent
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t failovers_ = 0;
+
+  ForwarderConfig config_;
+  std::unordered_map<std::uint16_t, Pending> pending_;  // upstream id -> origin
+  std::uint16_t next_upstream_id_ = 1;
+  std::uint64_t chaos_answered_ = 0;
+  std::uint64_t forwarded_upstream_ = 0;
+  std::uint64_t replies_relayed_ = 0;
+};
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,214 @@
+#include "resolvers/public_resolver.h"
+
+#include <cassert>
+
+#include "dnswire/debug_queries.h"
+#include "resolvers/special_names.h"
+
+namespace dnslocate::resolvers {
+namespace {
+
+netbase::IpAddress ip(const char* text) {
+  auto parsed = netbase::IpAddress::parse(text);
+  assert(parsed.has_value());
+  return *parsed;
+}
+
+netbase::Prefix prefix(const char* text) {
+  auto parsed = netbase::Prefix::parse(text);
+  assert(parsed.has_value());
+  return *parsed;
+}
+
+constexpr std::array<PublicResolverKind, 4> kAllKinds = {
+    PublicResolverKind::cloudflare, PublicResolverKind::google, PublicResolverKind::quad9,
+    PublicResolverKind::opendns};
+
+constexpr std::array<std::string_view, 40> kSites = {
+    "iad", "sfo", "lax", "ord", "fra", "ams", "lhr", "cdg", "nrt", "syd",
+    "gru", "sin", "hkg", "yyz", "dfw", "sea", "mia", "bom", "del", "mad",
+    "arn", "waw", "jnb", "mex", "scl", "eze", "bog", "icn", "kix", "muc",
+    "zrh", "vie", "prg", "bud", "hel", "osl", "cph", "dub", "mxp", "bcn"};
+
+std::string upper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out)
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  return out;
+}
+
+}  // namespace
+
+std::span<const PublicResolverKind> all_public_resolvers() { return kAllKinds; }
+
+std::string_view to_string(PublicResolverKind kind) {
+  switch (kind) {
+    case PublicResolverKind::cloudflare: return "Cloudflare DNS";
+    case PublicResolverKind::google: return "Google DNS";
+    case PublicResolverKind::quad9: return "Quad9";
+    case PublicResolverKind::opendns: return "OpenDNS";
+  }
+  return "?";
+}
+
+std::span<const std::string_view> anycast_sites() { return kSites; }
+
+bool is_known_site(std::string_view code) {
+  if (code.size() != 3) return false;
+  std::string lower;
+  for (char c : code)
+    lower.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c);
+  for (auto site : kSites)
+    if (site == lower) return true;
+  return false;
+}
+
+const PublicResolverSpec& PublicResolverSpec::get(PublicResolverKind kind) {
+  static const PublicResolverSpec cloudflare = [] {
+    PublicResolverSpec s;
+    s.kind = PublicResolverKind::cloudflare;
+    s.display_name = "Cloudflare DNS";
+    s.service_v4 = {ip("1.1.1.1"), ip("1.0.0.1")};
+    s.service_v6 = {ip("2606:4700:4700::1111"), ip("2606:4700:4700::1001")};
+    s.location_query = {dnswire::id_server(), dnswire::RecordType::TXT,
+                        dnswire::RecordClass::CH};
+    s.egress_prefixes = {prefix("162.158.0.0/15"), prefix("172.68.0.0/16"),
+                         prefix("2400:cb00::/32")};
+    return s;
+  }();
+  static const PublicResolverSpec google = [] {
+    PublicResolverSpec s;
+    s.kind = PublicResolverKind::google;
+    s.display_name = "Google DNS";
+    s.service_v4 = {ip("8.8.8.8"), ip("8.8.4.4")};
+    s.service_v6 = {ip("2001:4860:4860::8888"), ip("2001:4860:4860::8844")};
+    s.location_query = {google_myaddr(), dnswire::RecordType::TXT, dnswire::RecordClass::IN};
+    s.egress_prefixes = {prefix("172.253.0.0/16"), prefix("172.217.32.0/20"),
+                         prefix("74.125.40.0/21"), prefix("2404:6800:4000::/36")};
+    return s;
+  }();
+  static const PublicResolverSpec quad9 = [] {
+    PublicResolverSpec s;
+    s.kind = PublicResolverKind::quad9;
+    s.display_name = "Quad9";
+    s.service_v4 = {ip("9.9.9.9"), ip("149.112.112.112")};
+    s.service_v6 = {ip("2620:fe::fe"), ip("2620:fe::9")};
+    s.location_query = {dnswire::id_server(), dnswire::RecordType::TXT,
+                        dnswire::RecordClass::CH};
+    s.egress_prefixes = {prefix("74.63.16.0/20"), prefix("199.249.24.0/24"),
+                         prefix("2620:171::/48")};
+    return s;
+  }();
+  static const PublicResolverSpec opendns = [] {
+    PublicResolverSpec s;
+    s.kind = PublicResolverKind::opendns;
+    s.display_name = "OpenDNS";
+    s.service_v4 = {ip("208.67.222.222"), ip("208.67.220.220")};
+    s.service_v6 = {ip("2620:119:35::35"), ip("2620:119:53::53")};
+    s.location_query = {opendns_debug(), dnswire::RecordType::TXT, dnswire::RecordClass::IN};
+    s.egress_prefixes = {prefix("146.112.0.0/16"), prefix("2620:119:fc::/47")};
+    return s;
+  }();
+  switch (kind) {
+    case PublicResolverKind::cloudflare: return cloudflare;
+    case PublicResolverKind::google: return google;
+    case PublicResolverKind::quad9: return quad9;
+    case PublicResolverKind::opendns: return opendns;
+  }
+  return cloudflare;  // unreachable
+}
+
+ResolverConfig PublicResolverBehavior::build_config(PublicResolverKind kind,
+                                                    std::size_t site_index, unsigned instance,
+                                                    std::shared_ptr<const ZoneStore> zones) {
+  const PublicResolverSpec& spec = PublicResolverSpec::get(kind);
+  ResolverConfig config;
+  config.zones = std::move(zones);
+
+  switch (kind) {
+    case PublicResolverKind::quad9:
+      config.software = custom_string("Q9-P-9.16.15");
+      break;
+    case PublicResolverKind::google:
+      config.software = chaos_refuser("google", dnswire::Rcode::NOTIMP);
+      break;
+    default:
+      config.software = chaos_refuser(std::string(to_string(kind)), dnswire::Rcode::REFUSED);
+      break;
+  }
+
+  // Synthesize per-site egress addresses inside the spec's first v4/v6
+  // egress prefix: base + site*256 + instance.
+  for (const auto& p : spec.egress_prefixes) {
+    if (p.family() == netbase::IpFamily::v4 && !config.egress_v4) {
+      std::uint32_t base = p.address().v4().value();
+      config.egress_v4 = netbase::IpAddress(netbase::Ipv4Address(
+          base + static_cast<std::uint32_t>(site_index) * 256u + instance + 1u));
+    } else if (p.family() == netbase::IpFamily::v6 && !config.egress_v6) {
+      auto bytes = p.address().v6().bytes();
+      bytes[13] = static_cast<std::uint8_t>(site_index);
+      bytes[15] = static_cast<std::uint8_t>(instance + 1);
+      config.egress_v6 = netbase::IpAddress(netbase::Ipv6Address(bytes));
+    }
+  }
+  return config;
+}
+
+PublicResolverBehavior::PublicResolverBehavior(PublicResolverKind kind, std::size_t site_index,
+                                               unsigned instance,
+                                               std::shared_ptr<const ZoneStore> zones)
+    : ResolverBehavior(build_config(kind, site_index, instance, std::move(zones))),
+      kind_(kind),
+      site_(kSites[site_index % kSites.size()]),
+      instance_(instance) {}
+
+std::string PublicResolverBehavior::expected_location_answer() const {
+  switch (kind_) {
+    case PublicResolverKind::cloudflare:
+      return upper(site_);
+    case PublicResolverKind::google:
+      // The answer is the egress address string; family depends on the
+      // service address queried, so report the v4 form (tests cover v6).
+      return egress(netbase::IpFamily::v4)->to_string();
+    case PublicResolverKind::quad9:
+      return "res" + std::to_string(100 + instance_) + "." + site_ + ".rrdns.pch.net";
+    case PublicResolverKind::opendns:
+      return "server m" + std::to_string(80 + instance_) + "." + site_;
+  }
+  return {};
+}
+
+dnswire::Message PublicResolverBehavior::respond_chaos(const dnswire::Message& query,
+                                                       const dnswire::Question& question,
+                                                       const QueryContext& context) {
+  if (question.name.equals_ignore_case(dnswire::id_server()) ||
+      question.name.equals_ignore_case(dnswire::hostname_bind())) {
+    switch (kind_) {
+      case PublicResolverKind::cloudflare:
+        return dnswire::make_txt_response(query, upper(site_));
+      case PublicResolverKind::quad9:
+        return dnswire::make_txt_response(
+            query, "res" + std::to_string(100 + instance_) + "." + site_ + ".rrdns.pch.net");
+      default:
+        break;  // Google/OpenDNS fall through to the software profile
+    }
+  }
+  return ResolverBehavior::respond_chaos(query, question, context);
+}
+
+std::optional<dnswire::Message> PublicResolverBehavior::respond_special(
+    const dnswire::Message& query, const dnswire::Question& question,
+    const QueryContext& context) {
+  // debug.opendns.com answers only when resolved *through* OpenDNS
+  // (Table 1); via any other resolver it is NXDOMAIN.
+  if (question.name.equals_ignore_case(opendns_debug())) {
+    if (kind_ == PublicResolverKind::opendns && question.type == dnswire::RecordType::TXT) {
+      return dnswire::make_txt_response(
+          query, "server m" + std::to_string(80 + instance_) + "." + site_);
+    }
+    return dnswire::make_response(query, dnswire::Rcode::NXDOMAIN);
+  }
+  return ResolverBehavior::respond_special(query, question, context);
+}
+
+}  // namespace dnslocate::resolvers

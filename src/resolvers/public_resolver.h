@@ -1,0 +1,92 @@
+// Behavioural models of the four public resolvers the paper probes
+// (Table 1): service addresses, anycast sites, location-query formats, and
+// egress ranges. The formats here are the single source of truth shared by
+// the simulated resolvers and the core classifiers, mirroring how the paper
+// validated formats directly with the resolver operators.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix.h"
+#include "resolvers/resolver_behavior.h"
+
+namespace dnslocate::resolvers {
+
+enum class PublicResolverKind { cloudflare, google, quad9, opendns };
+
+/// All four kinds, in the paper's table order.
+std::span<const PublicResolverKind> all_public_resolvers();
+
+std::string_view to_string(PublicResolverKind kind);
+
+/// The location query a resolver implements (paper Table 1).
+struct LocationQuerySpec {
+  dnswire::DnsName name;
+  dnswire::RecordType type = dnswire::RecordType::TXT;
+  dnswire::RecordClass klass = dnswire::RecordClass::IN;
+};
+
+/// Static description of one public resolver service.
+struct PublicResolverSpec {
+  PublicResolverKind kind{};
+  std::string display_name;  // "Cloudflare DNS"
+  std::array<netbase::IpAddress, 2> service_v4;  // primary, secondary
+  std::array<netbase::IpAddress, 2> service_v6;
+  LocationQuerySpec location_query;
+  /// Prefixes the resolver's recursive egress traffic comes from; the
+  /// transparency test (§4.1.2) checks whoami answers against these.
+  std::vector<netbase::Prefix> egress_prefixes;
+
+  [[nodiscard]] std::span<const netbase::IpAddress> service_addrs(
+      netbase::IpFamily family) const {
+    return family == netbase::IpFamily::v4 ? service_v4 : service_v6;
+  }
+
+  /// Spec for a given resolver. The returned reference is static.
+  static const PublicResolverSpec& get(PublicResolverKind kind);
+};
+
+/// Anycast site catalog: lowercase IATA codes used worldwide by all four
+/// services in this model.
+std::span<const std::string_view> anycast_sites();
+
+/// True if `code` (any case) is a known anycast site IATA code.
+bool is_known_site(std::string_view code);
+
+/// A public resolver instance at one anycast site.
+class PublicResolverBehavior : public ResolverBehavior {
+ public:
+  /// `site_index` selects the anycast site; `instance` differentiates
+  /// servers within a site (appears in Quad9/OpenDNS response strings).
+  PublicResolverBehavior(PublicResolverKind kind, std::size_t site_index, unsigned instance,
+                         std::shared_ptr<const ZoneStore> zones = nullptr);
+
+  [[nodiscard]] PublicResolverKind kind() const { return kind_; }
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+  /// The exact string this instance answers to its own location query —
+  /// what the paper calls the "standard response".
+  [[nodiscard]] std::string expected_location_answer() const;
+
+ protected:
+  dnswire::Message respond_chaos(const dnswire::Message& query,
+                                 const dnswire::Question& question,
+                                 const QueryContext& context) override;
+  std::optional<dnswire::Message> respond_special(const dnswire::Message& query,
+                                                  const dnswire::Question& question,
+                                                  const QueryContext& context) override;
+
+ private:
+  static ResolverConfig build_config(PublicResolverKind kind, std::size_t site_index,
+                                     unsigned instance, std::shared_ptr<const ZoneStore> zones);
+
+  PublicResolverKind kind_;
+  std::string site_;      // lowercase IATA
+  unsigned instance_;
+};
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,100 @@
+#include "resolvers/resolver_behavior.h"
+
+#include "dnswire/debug_queries.h"
+#include "resolvers/special_names.h"
+
+namespace dnslocate::resolvers {
+
+ResolverBehavior::ResolverBehavior(ResolverConfig config) : config_(std::move(config)) {
+  if (!config_.zones) config_.zones = ZoneStore::global_internet();
+}
+
+std::optional<netbase::IpAddress> ResolverBehavior::egress(netbase::IpFamily family) const {
+  const auto& primary = family == netbase::IpFamily::v4 ? config_.egress_v4 : config_.egress_v6;
+  if (primary) return primary;
+  return family == netbase::IpFamily::v4 ? config_.egress_v6 : config_.egress_v4;
+}
+
+dnswire::Message ResolverBehavior::respond_chaos(const dnswire::Message& query,
+                                                 const dnswire::Question& question,
+                                                 const QueryContext&) {
+  const SoftwareProfile& software = config_.software;
+  if (question.name.equals_ignore_case(dnswire::version_bind())) {
+    if (software.version_bind)
+      return dnswire::make_txt_response(query, *software.version_bind);
+    return dnswire::make_response(query, software.version_bind_rcode);
+  }
+  if (question.name.equals_ignore_case(dnswire::id_server()) ||
+      question.name.equals_ignore_case(dnswire::hostname_bind())) {
+    if (software.id_server) return dnswire::make_txt_response(query, *software.id_server);
+    return dnswire::make_response(query, software.id_server_rcode);
+  }
+  return dnswire::make_response(query, dnswire::Rcode::REFUSED);
+}
+
+std::optional<dnswire::Message> ResolverBehavior::respond_special(
+    const dnswire::Message& query, const dnswire::Question& question,
+    const QueryContext& context) {
+  // o-o.myaddr.l.google.com: Google's authoritative echoes the address of
+  // whichever resolver asked. Any resolver that can recurse gets an answer
+  // containing *its own* egress — the key to Table 2's Google column.
+  if (question.type == dnswire::RecordType::TXT &&
+      question.name.equals_ignore_case(google_myaddr())) {
+    auto addr = egress(context.server_ip.family());
+    if (!addr) return dnswire::make_response(query, dnswire::Rcode::SERVFAIL);
+    return dnswire::make_txt_response(query, addr->to_string(), 60);
+  }
+  // whoami.akamai.com behaves the same way for A/AAAA (§4.1.2).
+  if (question.name.equals_ignore_case(whoami_akamai())) {
+    if (question.type == dnswire::RecordType::A) {
+      if (config_.egress_v4 && config_.egress_v4->is_v4()) {
+        auto response = dnswire::make_response(query);
+        response.answers.push_back(
+            dnswire::make_a(question.name, config_.egress_v4->v4(), 60));
+        return response;
+      }
+      return dnswire::make_response(query);  // NODATA
+    }
+    if (question.type == dnswire::RecordType::AAAA) {
+      if (config_.egress_v6 && config_.egress_v6->is_v6()) {
+        auto response = dnswire::make_response(query);
+        response.answers.push_back(
+            dnswire::make_aaaa(question.name, config_.egress_v6->v6(), 60));
+        return response;
+      }
+      return dnswire::make_response(query);  // NODATA
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<dnswire::Message> ResolverBehavior::respond(const dnswire::Message& query,
+                                                          const QueryContext& context) {
+  if (query.flags.opcode != dnswire::Opcode::QUERY)
+    return dnswire::make_response(query, dnswire::Rcode::NOTIMP);
+  const dnswire::Question* question = query.question();
+  if (!question) return dnswire::make_response(query, dnswire::Rcode::FORMERR);
+
+  if (question->klass == dnswire::RecordClass::CH) {
+    if (question->type == dnswire::RecordType::TXT)
+      return respond_chaos(query, *question, context);
+    return dnswire::make_response(query, dnswire::Rcode::REFUSED);
+  }
+  if (question->klass != dnswire::RecordClass::IN)
+    return dnswire::make_response(query, dnswire::Rcode::REFUSED);
+
+  // Filtering resolvers refuse ordinary resolution wholesale, including the
+  // dynamic whoami/myaddr names — that refusal is exactly the
+  // "Status Modified" signal of §4.1.2.
+  if (config_.block_all_rcode)
+    return dnswire::make_response(query, *config_.block_all_rcode);
+
+  if (auto special = respond_special(query, *question, context)) return special;
+
+  ZoneStore::Result result = config_.zones->lookup(question->name, question->type);
+  dnswire::Message response = dnswire::make_response(query, result.rcode);
+  response.answers = std::move(result.answers);
+  return response;
+}
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,56 @@
+// Generic recursive-resolver behaviour: ISP resolvers, alternate resolvers
+// behind interceptors, and the base for the four public-resolver models.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "resolvers/server_app.h"
+#include "resolvers/software.h"
+#include "resolvers/zone.h"
+
+namespace dnslocate::resolvers {
+
+/// Configuration shared by all recursive resolvers.
+struct ResolverConfig {
+  SoftwareProfile software;
+  /// Egress addresses used toward authoritatives; these are what
+  /// whoami.akamai.com / o-o.myaddr.l.google.com reveal.
+  std::optional<netbase::IpAddress> egress_v4;
+  std::optional<netbase::IpAddress> egress_v6;
+  std::shared_ptr<const ZoneStore> zones;
+  /// Filtering resolver: answer every ordinary IN query with this error
+  /// instead of resolving (the paper's "Status Modified" interceptors).
+  std::optional<dnswire::Rcode> block_all_rcode;
+};
+
+class ResolverBehavior : public DnsResponder {
+ public:
+  explicit ResolverBehavior(ResolverConfig config);
+
+  std::optional<dnswire::Message> respond(const dnswire::Message& query,
+                                          const QueryContext& context) override;
+
+ protected:
+  [[nodiscard]] const ResolverConfig& config() const { return config_; }
+
+  /// Egress address of the given family, falling back to the other family.
+  [[nodiscard]] std::optional<netbase::IpAddress> egress(netbase::IpFamily family) const;
+
+  /// CHAOS TXT handling (version.bind, id.server, hostname.bind).
+  /// Override to specialize (e.g. Cloudflare's IATA id.server).
+  virtual dnswire::Message respond_chaos(const dnswire::Message& query,
+                                         const dnswire::Question& question,
+                                         const QueryContext& context);
+
+  /// Dynamic IN-class names (whoami.akamai.com, o-o.myaddr.l.google.com).
+  /// Return nullopt to fall through to zone resolution.
+  virtual std::optional<dnswire::Message> respond_special(const dnswire::Message& query,
+                                                          const dnswire::Question& question,
+                                                          const QueryContext& context);
+
+ private:
+  ResolverConfig config_;
+};
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,69 @@
+#include "resolvers/server_app.h"
+
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::resolvers {
+
+std::size_t DnsServerApp::udp_payload_limit(const dnswire::Message& query) {
+  for (const auto& rr : query.additionals) {
+    if (rr.type != dnswire::RecordType::OPT) continue;
+    if (const auto* opt = std::get_if<dnswire::OptRecord>(&rr.rdata))
+      return std::max<std::size_t>(512, opt->udp_payload_size);
+  }
+  return 512;
+}
+
+bool DnsServerApp::truncate_to_fit(dnswire::Message& response, std::size_t limit) {
+  if (dnswire::encode_message(response).size() <= limit) return false;
+  // RFC 2181 §9: set TC and let the client retry over TCP (not modelled);
+  // conservative servers strip the answer sections entirely.
+  response.answers.clear();
+  response.authorities.clear();
+  response.flags.tc = true;
+  return true;
+}
+
+void DnsServerApp::on_datagram(simnet::Simulator& sim, simnet::Device& self,
+                               const simnet::UdpPacket& packet) {
+  // Strict-profile DoT: the client validates the certificate against the
+  // address it dialled. A diverted connection lands on a server that cannot
+  // present that identity — the handshake fails and the client hears
+  // nothing. This is why strict DoT defeats DNAT interception (§6).
+  if (packet.channel == simnet::Channel::dot_strict && packet.tls_expected_peer &&
+      !self.has_local_ip(*packet.tls_expected_peer)) {
+    ++tls_rejected_;
+    return;
+  }
+  ++queries_seen_;
+  auto query = dnswire::decode_message(packet.payload);
+  if (!query || query->is_response()) {
+    ++malformed_dropped_;
+    return;
+  }
+  QueryContext context{packet.src, packet.dst, sim.now()};
+  std::optional<dnswire::Message> response = responder_->respond(*query, context);
+  if (!response) return;
+  // DoT is stream-based; size limits apply to plain UDP only.
+  if (packet.channel == simnet::Channel::udp &&
+      truncate_to_fit(*response, udp_payload_limit(*query)))
+    ++truncated_;
+
+  simnet::UdpPacket reply;
+  reply.src = packet.dst;  // answer from the address the client targeted
+  reply.dst = packet.src;
+  reply.sport = packet.dport;
+  reply.dport = packet.sport;
+  reply.channel = packet.channel;
+  reply.payload = dnswire::encode_message(*response);
+  reply.trace_id = packet.trace_id;
+  ++responses_sent_;
+
+  simnet::Device* device = &self;
+  sim.schedule(processing_delay_, [&sim, device, reply = std::move(reply)]() mutable {
+    device->send_local(sim, std::move(reply));
+  });
+}
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,94 @@
+#include "resolvers/software.h"
+
+namespace dnslocate::resolvers {
+
+SoftwareProfile dnsmasq(const std::string& version) {
+  SoftwareProfile p;
+  p.name = "dnsmasq-" + version;
+  p.version_bind = "dnsmasq-" + version;
+  // Dnsmasq answers *.bind but not id.server.
+  p.id_server = std::nullopt;
+  p.id_server_rcode = dnswire::Rcode::REFUSED;
+  return p;
+}
+
+SoftwareProfile pihole(const std::string& version) {
+  SoftwareProfile p;
+  p.name = "dnsmasq-pi-hole-" + version;
+  p.version_bind = "dnsmasq-pi-hole-" + version;
+  p.id_server_rcode = dnswire::Rcode::REFUSED;
+  return p;
+}
+
+SoftwareProfile unbound(const std::string& version, std::optional<std::string> identity) {
+  SoftwareProfile p;
+  p.name = "unbound " + version;
+  p.version_bind = "unbound " + version;
+  p.id_server = std::move(identity);
+  p.id_server_rcode = dnswire::Rcode::REFUSED;
+  return p;
+}
+
+SoftwareProfile bind9(const std::string& version_string, std::optional<std::string> hostname) {
+  SoftwareProfile p;
+  p.name = version_string;
+  p.version_bind = version_string;
+  p.id_server = std::move(hostname);
+  p.id_server_rcode = dnswire::Rcode::SERVFAIL;
+  return p;
+}
+
+SoftwareProfile powerdns(const std::string& version) {
+  SoftwareProfile p;
+  p.name = "PowerDNS Recursor " + version;
+  p.version_bind = "PowerDNS Recursor " + version;
+  p.id_server = std::nullopt;
+  p.id_server_rcode = dnswire::Rcode::REFUSED;
+  return p;
+}
+
+SoftwareProfile windows_dns(const std::string& label) {
+  SoftwareProfile p;
+  p.name = label;
+  p.version_bind = label;
+  p.id_server_rcode = dnswire::Rcode::NOTIMP;
+  return p;
+}
+
+SoftwareProfile xdns(const std::string& dnsmasq_version) {
+  // §5: XDNS "also implements a response to version.bind". RDK-B's DNS
+  // forwarder is dnsmasq-based, so the string looks like a dnsmasq string.
+  SoftwareProfile p = dnsmasq(dnsmasq_version);
+  p.name = "XDNS (dnsmasq-" + dnsmasq_version + ")";
+  return p;
+}
+
+SoftwareProfile custom_string(const std::string& value) {
+  SoftwareProfile p;
+  p.name = value;
+  p.version_bind = value;
+  p.id_server_rcode = dnswire::Rcode::REFUSED;
+  return p;
+}
+
+SoftwareProfile chaos_refuser(const std::string& name, dnswire::Rcode rcode) {
+  SoftwareProfile p;
+  p.name = name;
+  p.version_bind = std::nullopt;
+  p.version_bind_rcode = rcode;
+  p.id_server = std::nullopt;
+  p.id_server_rcode = rcode;
+  return p;
+}
+
+SoftwareProfile chaos_nxdomain(const std::string& name) {
+  return chaos_refuser(name, dnswire::Rcode::NXDOMAIN);
+}
+
+SoftwareProfile chaos_forwarder(const std::string& name) {
+  SoftwareProfile p = chaos_refuser(name, dnswire::Rcode::REFUSED);
+  p.forwards_unknown_chaos = true;
+  return p;
+}
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,73 @@
+// Resolver-software personalities: how a given piece of DNS software
+// answers the CHAOS-class debugging queries. These determine the strings
+// in the paper's Table 3 / Table 5 and drive the §3.2 comparison.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dnswire/types.h"
+
+namespace dnslocate::resolvers {
+
+/// How one piece of resolver software responds to version.bind / id.server.
+struct SoftwareProfile {
+  /// Display name for reports, e.g. "dnsmasq-2.85".
+  std::string name;
+
+  /// TXT string answered to CH TXT version.bind; nullopt means the software
+  /// answers with `version_bind_rcode` instead.
+  std::optional<std::string> version_bind;
+  dnswire::Rcode version_bind_rcode = dnswire::Rcode::REFUSED;
+
+  /// TXT string answered to CH TXT id.server (and hostname.bind).
+  std::optional<std::string> id_server;
+  dnswire::Rcode id_server_rcode = dnswire::Rcode::NOTIMP;
+
+  /// §6 limitation case: a forwarder that does not implement the CHAOS
+  /// queries and *forwards them upstream* instead of answering. This is the
+  /// configuration that can make the technique misclassify a benign
+  /// open-port CPE as an interceptor.
+  bool forwards_unknown_chaos = false;
+};
+
+// --- catalog of the software the paper observed (Table 5) ---
+
+/// Dnsmasq: "explicitly designed to run on CPE" — the dominant CPE string.
+SoftwareProfile dnsmasq(const std::string& version = "2.85");
+
+/// Pi-hole's dnsmasq fork ("dnsmasq-pi-hole-2.87").
+SoftwareProfile pihole(const std::string& version = "2.87");
+
+/// Unbound ("unbound 1.9.0"); id_server configurable (often a hostname).
+SoftwareProfile unbound(const std::string& version = "1.9.0",
+                        std::optional<std::string> identity = std::nullopt);
+
+/// BIND; version strings like "9.16.15" or "9.11.4-P2-RedHat-9.11.4".
+SoftwareProfile bind9(const std::string& version_string = "9.16.15",
+                      std::optional<std::string> hostname = std::nullopt);
+
+/// PowerDNS Recursor.
+SoftwareProfile powerdns(const std::string& version = "4.1.11");
+
+/// Windows Server DNS; returns operator-styled strings ("Windows NS").
+SoftwareProfile windows_dns(const std::string& label = "Windows NS");
+
+/// XDNS — the RDK-B/XB6 resolver component (§5). Built on dnsmasq, so its
+/// version.bind string is a dnsmasq string.
+SoftwareProfile xdns(const std::string& dnsmasq_version = "2.78");
+
+/// An operator-configured custom string ("none", "huuh?", ...).
+SoftwareProfile custom_string(const std::string& value);
+
+/// A closed-lipped resolver: refuses all CHAOS queries.
+SoftwareProfile chaos_refuser(const std::string& name, dnswire::Rcode rcode);
+
+/// A cheap CPE forwarder that answers every CHAOS query with NXDOMAIN
+/// (the probe-11992 CPE in the paper's Table 3).
+SoftwareProfile chaos_nxdomain(const std::string& name);
+
+/// A forwarder that punts CHAOS queries upstream (§6 misclassification).
+SoftwareProfile chaos_forwarder(const std::string& name);
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,25 @@
+#include "resolvers/special_names.h"
+
+namespace dnslocate::resolvers {
+
+const dnswire::DnsName& whoami_akamai() {
+  static const dnswire::DnsName name = *dnswire::DnsName::parse("whoami.akamai.com");
+  return name;
+}
+
+const dnswire::DnsName& google_myaddr() {
+  static const dnswire::DnsName name = *dnswire::DnsName::parse("o-o.myaddr.l.google.com");
+  return name;
+}
+
+const dnswire::DnsName& opendns_debug() {
+  static const dnswire::DnsName name = *dnswire::DnsName::parse("debug.opendns.com");
+  return name;
+}
+
+const dnswire::DnsName& bogon_probe_domain() {
+  static const dnswire::DnsName name = *dnswire::DnsName::parse("probe.dnslocate.example");
+  return name;
+}
+
+}  // namespace dnslocate::resolvers

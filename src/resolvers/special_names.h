@@ -1,0 +1,25 @@
+// The special query names the localization technique sends (paper Table 1
+// and §4.1.2), plus the generic probe domain used for bogon queries.
+#pragma once
+
+#include "dnswire/name.h"
+
+namespace dnslocate::resolvers {
+
+/// "whoami.akamai.com" — Akamai's resolver-identification name; answers with
+/// the address of the resolver that asked the authoritative (§4.1.2).
+const dnswire::DnsName& whoami_akamai();
+
+/// "o-o.myaddr.l.google.com" — Google's equivalent (Table 1, Google DNS
+/// location query); TXT answer contains the asking resolver's address.
+const dnswire::DnsName& google_myaddr();
+
+/// "debug.opendns.com" — OpenDNS's diagnostic name (Table 1); answers
+/// "server mNN.XXX" only when resolved through OpenDNS.
+const dnswire::DnsName& opendns_debug();
+
+/// "probe.dnslocate.example" — the "generic domain we control" used for the
+/// §3.3 bogon queries. Present in the default zone store.
+const dnswire::DnsName& bogon_probe_domain();
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,77 @@
+#include "resolvers/zone.h"
+
+#include "resolvers/special_names.h"
+
+namespace dnslocate::resolvers {
+
+void ZoneStore::add(dnswire::ResourceRecord record) {
+  names_[record.name].records.push_back(std::move(record));
+  ++record_count_;
+}
+
+ZoneStore::Result ZoneStore::lookup(const dnswire::DnsName& name,
+                                    dnswire::RecordType type) const {
+  Result result;
+  dnswire::DnsName current = name;
+  for (int depth = 0; depth < 8; ++depth) {
+    auto it = names_.find(current);
+    if (it == names_.end()) {
+      result.rcode = result.answers.empty() ? dnswire::Rcode::NXDOMAIN : dnswire::Rcode::NOERROR;
+      return result;
+    }
+    // Exact type match?
+    bool found = false;
+    for (const auto& rr : it->second.records) {
+      if (rr.type == type || type == dnswire::RecordType::ANY) {
+        result.answers.push_back(rr);
+        found = true;
+      }
+    }
+    if (found) {
+      result.rcode = dnswire::Rcode::NOERROR;
+      return result;
+    }
+    // CNAME at this name?
+    for (const auto& rr : it->second.records) {
+      if (rr.type == dnswire::RecordType::CNAME) {
+        result.answers.push_back(rr);
+        current = std::get<dnswire::CnameRecord>(rr.rdata).target;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // NODATA: the name exists but has no records of this type.
+      result.rcode = dnswire::Rcode::NOERROR;
+      return result;
+    }
+  }
+  result.rcode = dnswire::Rcode::SERVFAIL;  // CNAME chain too deep
+  return result;
+}
+
+bool ZoneStore::has_name(const dnswire::DnsName& name) const { return names_.contains(name); }
+
+std::shared_ptr<const ZoneStore> ZoneStore::global_internet() {
+  static const std::shared_ptr<const ZoneStore> store = [] {
+    auto zones = std::make_shared<ZoneStore>();
+    auto name = [](const char* text) { return *dnswire::DnsName::parse(text); };
+    auto v4 = [](const char* text) { return *netbase::Ipv4Address::parse(text); };
+    auto v6 = [](const char* text) { return *netbase::Ipv6Address::parse(text); };
+
+    zones->add(dnswire::make_a(name("example.com"), v4("93.184.216.34")));
+    zones->add(dnswire::make_aaaa(name("example.com"), v6("2606:2800:220:1:248:1893:25c8:1946")));
+    zones->add(dnswire::make_a(name("www.example.com"), v4("93.184.216.34")));
+    zones->add(dnswire::make_a(name("dnslocate.example"), v4("198.51.100.53")));
+    zones->add(dnswire::make_a(bogon_probe_domain(), v4("198.51.100.77")));
+    zones->add(dnswire::make_aaaa(bogon_probe_domain(), v6("2001:db8:77::77")));
+    zones->add(dnswire::make_cname(name("alias.example.com"), name("example.com")));
+    zones->add(dnswire::make_txt(name("txt.example.com"), "hello from the zone store"));
+    zones->add(dnswire::make_a(name("cdn.example.net"), v4("203.0.113.10")));
+    zones->add(dnswire::make_a(name("mail.example.org"), v4("203.0.113.25")));
+    return zones;
+  }();
+  return store;
+}
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,53 @@
+// A flat zone store: the simulation's stand-in for the global DNS.
+//
+// Full recursion is not simulated — resolvers answer directly from a shared
+// ZoneStore (see DESIGN.md §2). Dynamic names whose answers depend on *who*
+// resolved them (whoami.akamai.com, o-o.myaddr.l.google.com) are handled by
+// the resolver behaviours, not here.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dnswire/message.h"
+
+namespace dnslocate::resolvers {
+
+/// Maps (name, type) to record sets; CNAMEs are followed by lookup().
+class ZoneStore {
+ public:
+  /// Add a record. Name matching is case-insensitive.
+  void add(dnswire::ResourceRecord record);
+
+  /// Result of a lookup.
+  struct Result {
+    dnswire::Rcode rcode = dnswire::Rcode::NXDOMAIN;
+    std::vector<dnswire::ResourceRecord> answers;  // includes CNAME chain
+  };
+
+  /// Look up `name`/`type` (IN class), following up to 8 CNAMEs.
+  /// NOERROR with empty answers = NODATA (name exists, no such type).
+  [[nodiscard]] Result lookup(const dnswire::DnsName& name, dnswire::RecordType type) const;
+
+  /// True if any record exists at `name`.
+  [[nodiscard]] bool has_name(const dnswire::DnsName& name) const;
+
+  [[nodiscard]] std::size_t record_count() const { return record_count_; }
+
+  /// The default "global Internet" zone used across experiments: a handful
+  /// of ordinary domains plus the bogon-probe domain.
+  static std::shared_ptr<const ZoneStore> global_internet();
+
+ private:
+  struct NameEntry {
+    std::vector<dnswire::ResourceRecord> records;
+  };
+  std::unordered_map<dnswire::DnsName, NameEntry, dnswire::DnsNameCaseHash,
+                     dnswire::DnsNameCaseEq>
+      names_;
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace dnslocate::resolvers

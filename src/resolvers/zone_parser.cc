@@ -1,0 +1,297 @@
+#include "resolvers/zone_parser.h"
+
+#include <charconv>
+
+namespace dnslocate::resolvers {
+namespace {
+
+/// Split a line into tokens; quoted strings stay single tokens (quotes
+/// stripped); ';' starts a comment.
+std::vector<std::string> tokenize(std::string_view line, bool& bad_quote) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  bad_quote = false;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == ';') break;
+    if (c == ' ' || c == '\t') {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t close = line.find('"', i + 1);
+      if (close == std::string_view::npos) {
+        bad_quote = true;
+        return tokens;
+      }
+      tokens.emplace_back(line.substr(i + 1, close - i - 1));
+      i = close + 1;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t' && line[end] != ';')
+      ++end;
+    tokens.emplace_back(line.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+bool parse_u32(const std::string& text, std::uint32_t& out) {
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && p == text.data() + text.size();
+}
+
+/// Resolve a possibly-relative owner/target name against the origin.
+std::optional<dnswire::DnsName> resolve_name(const std::string& token,
+                                             const dnswire::DnsName& origin) {
+  if (token == "@") return origin;
+  if (!token.empty() && token.back() == '.') return dnswire::DnsName::parse(token);
+  auto relative = dnswire::DnsName::parse(token);
+  if (!relative) return std::nullopt;
+  std::vector<std::string> labels = relative->labels();
+  for (const auto& label : origin.labels()) labels.push_back(label);
+  return dnswire::DnsName::from_labels(std::move(labels));
+}
+
+}  // namespace
+
+namespace {
+
+/// Pre-pass implementing RFC 1035 §5.1 parentheses: newlines between '(' and
+/// ')' are soft, so multi-line records (the usual SOA layout) join into one
+/// logical line. Parentheses inside quotes and comments are ignored.
+std::string join_parenthesized_lines(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  int depth = 0;
+  bool in_quote = false;
+  bool in_comment = false;
+  for (char c : text) {
+    if (c == '\n') {
+      in_comment = false;
+      if (depth > 0) {
+        out.push_back(' ');  // soft newline inside parentheses
+        continue;
+      }
+      out.push_back('\n');
+      continue;
+    }
+    if (in_comment) {
+      // Dropped, but the line-ending logic above still runs.
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '"') in_quote = !in_quote;
+    if (!in_quote) {
+      if (c == ';') {
+        in_comment = true;
+        out.push_back(' ');
+        continue;
+      }
+      if (c == '(') {
+        ++depth;
+        out.push_back(' ');
+        continue;
+      }
+      if (c == ')') {
+        if (depth > 0) --depth;
+        out.push_back(' ');
+        continue;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+ZoneParseResult parse_master_file(std::string_view raw_text, ZoneStore& store,
+                                  const dnswire::DnsName& origin_in) {
+  ZoneParseResult result;
+  std::string joined = join_parenthesized_lines(raw_text);
+  std::string_view text = joined;
+  dnswire::DnsName origin = origin_in;
+  std::uint32_t default_ttl = 3600;
+  dnswire::DnsName last_owner = origin;
+  std::size_t line_number = 0;
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t newline = text.find('\n', start);
+    std::string_view line = newline == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, newline - start);
+    ++line_number;
+    start = newline == std::string_view::npos ? text.size() + 1 : newline + 1;
+
+    bool bad_quote = false;
+    std::vector<std::string> tokens = tokenize(line, bad_quote);
+    if (bad_quote) {
+      result.errors.push_back({line_number, "unterminated quoted string"});
+      continue;
+    }
+    if (tokens.empty()) continue;
+
+    auto fail = [&](std::string message) {
+      result.errors.push_back({line_number, std::move(message)});
+    };
+
+    // Directives.
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) {
+        fail("$ORIGIN needs exactly one argument");
+        continue;
+      }
+      auto parsed = dnswire::DnsName::parse(tokens[1]);
+      if (!parsed) {
+        fail("bad $ORIGIN name");
+        continue;
+      }
+      origin = *parsed;
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2 || !parse_u32(tokens[1], default_ttl)) {
+        fail("bad $TTL");
+      }
+      continue;
+    }
+
+    // Record line: [owner] [ttl] [IN] TYPE rdata...
+    std::size_t cursor = 0;
+    dnswire::DnsName owner = last_owner;
+    // Leading whitespace (stripped by the tokenizer) normally signals owner
+    // reuse; detect it from the raw line instead.
+    bool has_owner = !line.empty() && line[0] != ' ' && line[0] != '\t';
+    if (has_owner) {
+      auto resolved = resolve_name(tokens[0], origin);
+      if (!resolved) {
+        fail("bad owner name '" + tokens[0] + "'");
+        continue;
+      }
+      owner = *resolved;
+      ++cursor;
+    }
+    last_owner = owner;
+
+    std::uint32_t ttl = default_ttl;
+    if (cursor < tokens.size() && parse_u32(tokens[cursor], ttl)) ++cursor;
+    if (cursor < tokens.size() && (tokens[cursor] == "IN" || tokens[cursor] == "in")) ++cursor;
+    if (cursor >= tokens.size()) {
+      fail("missing record type");
+      continue;
+    }
+    std::string type = tokens[cursor++];
+    std::vector<std::string> rdata(tokens.begin() + static_cast<long>(cursor), tokens.end());
+
+    auto need = [&](std::size_t count) {
+      if (rdata.size() == count) return true;
+      fail(type + " expects " + std::to_string(count) + " rdata field(s)");
+      return false;
+    };
+
+    if (type == "A") {
+      if (!need(1)) continue;
+      auto addr = netbase::Ipv4Address::parse(rdata[0]);
+      if (!addr) {
+        fail("bad IPv4 address '" + rdata[0] + "'");
+        continue;
+      }
+      store.add(dnswire::make_a(owner, *addr, ttl));
+    } else if (type == "AAAA") {
+      if (!need(1)) continue;
+      auto addr = netbase::Ipv6Address::parse(rdata[0]);
+      if (!addr) {
+        fail("bad IPv6 address '" + rdata[0] + "'");
+        continue;
+      }
+      store.add(dnswire::make_aaaa(owner, *addr, ttl));
+    } else if (type == "CNAME" || type == "NS" || type == "PTR") {
+      if (!need(1)) continue;
+      auto target = resolve_name(rdata[0], origin);
+      if (!target) {
+        fail("bad target name '" + rdata[0] + "'");
+        continue;
+      }
+      if (type == "CNAME") {
+        store.add(dnswire::make_cname(owner, *target, ttl));
+      } else {
+        dnswire::ResourceRecord rr;
+        rr.name = owner;
+        rr.klass = dnswire::RecordClass::IN;
+        rr.ttl = ttl;
+        if (type == "NS") {
+          rr.type = dnswire::RecordType::NS;
+          rr.rdata = dnswire::NsRecord{*target};
+        } else {
+          rr.type = dnswire::RecordType::PTR;
+          rr.rdata = dnswire::PtrRecord{*target};
+        }
+        store.add(std::move(rr));
+      }
+    } else if (type == "TXT") {
+      if (rdata.empty()) {
+        fail("TXT needs at least one string");
+        continue;
+      }
+      dnswire::TxtRecord txt;
+      txt.strings = rdata;
+      store.add(dnswire::ResourceRecord{owner, dnswire::RecordType::TXT,
+                                        dnswire::RecordClass::IN, ttl, std::move(txt)});
+    } else if (type == "MX") {
+      if (!need(2)) continue;
+      dnswire::MxRecord mx;
+      auto exchange = resolve_name(rdata[1], origin);
+      std::uint32_t preference = 0;
+      if (!parse_u32(rdata[0], preference) || preference > 0xffff || !exchange) {
+        fail("bad MX rdata");
+        continue;
+      }
+      mx.preference = static_cast<std::uint16_t>(preference);
+      mx.exchange = *exchange;
+      store.add(dnswire::ResourceRecord{owner, dnswire::RecordType::MX,
+                                        dnswire::RecordClass::IN, ttl, std::move(mx)});
+    } else if (type == "SRV") {
+      if (!need(4)) continue;
+      dnswire::SrvRecord srv;
+      std::uint32_t priority = 0, weight = 0, port = 0;
+      auto target = resolve_name(rdata[3], origin);
+      if (!parse_u32(rdata[0], priority) || !parse_u32(rdata[1], weight) ||
+          !parse_u32(rdata[2], port) || priority > 0xffff || weight > 0xffff ||
+          port > 0xffff || !target) {
+        fail("bad SRV rdata");
+        continue;
+      }
+      srv.priority = static_cast<std::uint16_t>(priority);
+      srv.weight = static_cast<std::uint16_t>(weight);
+      srv.port = static_cast<std::uint16_t>(port);
+      srv.target = *target;
+      store.add(dnswire::ResourceRecord{owner, dnswire::RecordType::SRV,
+                                        dnswire::RecordClass::IN, ttl, std::move(srv)});
+    } else if (type == "SOA") {
+      if (!need(7)) continue;
+      auto mname = resolve_name(rdata[0], origin);
+      auto rname = resolve_name(rdata[1], origin);
+      dnswire::SoaRecord soa;
+      if (!mname || !rname || !parse_u32(rdata[2], soa.serial) ||
+          !parse_u32(rdata[3], soa.refresh) || !parse_u32(rdata[4], soa.retry) ||
+          !parse_u32(rdata[5], soa.expire) || !parse_u32(rdata[6], soa.minimum)) {
+        fail("bad SOA rdata");
+        continue;
+      }
+      soa.mname = *mname;
+      soa.rname = *rname;
+      store.add(dnswire::ResourceRecord{owner, dnswire::RecordType::SOA,
+                                        dnswire::RecordClass::IN, ttl, std::move(soa)});
+    } else {
+      fail("unsupported record type '" + type + "'");
+      continue;
+    }
+    ++result.records_added;
+  }
+  return result;
+}
+
+}  // namespace dnslocate::resolvers

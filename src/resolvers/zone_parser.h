@@ -1,0 +1,38 @@
+// A master-file (RFC 1035 §5) parser for loading ZoneStore contents from
+// text — the format operators actually write zones in. Supported subset:
+// $ORIGIN / $TTL directives, comments, blank lines, @, relative names,
+// per-record TTL and class, and the record types this library models
+// (A, AAAA, CNAME, NS, PTR, TXT with quoted strings, single-line SOA).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resolvers/zone.h"
+
+namespace dnslocate::resolvers {
+
+/// One parse problem (the parser recovers and continues).
+struct ZoneParseError {
+  std::size_t line = 0;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+struct ZoneParseResult {
+  std::size_t records_added = 0;
+  std::vector<ZoneParseError> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Parse `text` into `store`. `origin` seeds $ORIGIN (may be overridden by
+/// a directive); relative names are appended to the current origin.
+ZoneParseResult parse_master_file(std::string_view text, ZoneStore& store,
+                                  const dnswire::DnsName& origin = dnswire::DnsName{});
+
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,111 @@
+// NAT with connection tracking: masquerading (SNAT) and destination NAT
+// (DNAT), including the DNAT interception rules the paper observed in CPE
+// (XB6/XDNS) and in ISP middleboxes.
+//
+// The reply-direction un-rewrite performed by conntrack is exactly what
+// makes interception "transparent": the alternate resolver's response is
+// restored to carry the *original* destination (the target resolver) as its
+// source address — i.e. the spoofing the paper describes in §2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "simnet/device.h"
+#include "simnet/packet.h"
+
+namespace dnslocate::simnet {
+
+/// A DNAT rule: divert matching new flows to `new_dst`.
+struct DnatRule {
+  /// Only packets arriving on this port match (e.g. the CPE's LAN port);
+  /// nullopt matches every arrival port. Locally generated packets
+  /// (in_port == nullopt at the hook) never match DNAT rules.
+  std::optional<PortId> in_port;
+  /// Destination UDP port to match (53 for DNS interception).
+  std::uint16_t match_dport = 53;
+  /// Restrict to one family — the paper found most interceptors act on
+  /// IPv4 only (§4.1.1). nullopt matches both.
+  std::optional<netbase::IpFamily> family;
+  /// If non-empty, only these destinations are diverted ("only one resolver
+  /// intercepted" pattern).
+  std::vector<netbase::IpAddress> match_dsts;
+  /// Destinations never diverted ("only one resolver allowed" pattern, or
+  /// the ISP's own resolver).
+  std::vector<netbase::IpAddress> exempt_dsts;
+  /// Where diverted flows go (per family; the matching one is used).
+  std::optional<netbase::IpAddress> new_dst_v4;
+  std::optional<netbase::IpAddress> new_dst_v6;
+  /// Optionally rewrite the destination port as well.
+  std::optional<std::uint16_t> new_dport;
+  /// Replication (Liu et al. §3.1): forward the original query *and* send a
+  /// diverted copy, producing two responses racing back to the client.
+  bool replicate = false;
+  /// Interceptors that "discard queries to unroutable addresses" (§3.3):
+  /// leave bogon-addressed queries alone so normal routing drops them.
+  bool exempt_bogon_dsts = false;
+  /// The inverse: a rule that *only* matches bogon destinations. Models
+  /// policy-routed DNS proxies that answer whatever lands on them even when
+  /// the diversion policy is scoped to specific resolvers.
+  bool match_bogons_only = false;
+
+  /// True if this rule matches the packet as a new flow.
+  [[nodiscard]] bool matches(const UdpPacket& packet, std::optional<PortId> in) const;
+  /// Diverted destination for the packet's family, if configured.
+  [[nodiscard]] std::optional<netbase::IpAddress> target_for(const UdpPacket& packet) const;
+};
+
+/// A source-NAT (masquerade) rule: flows leaving `out_port` get their source
+/// rewritten to the device address of the matching family.
+struct SnatRule {
+  PortId out_port = 0;
+  std::optional<netbase::IpAddress> to_source_v4;
+  std::optional<netbase::IpAddress> to_source_v6;
+};
+
+/// NAT hook implementing both rule types over a shared conntrack table.
+class NatHook : public PacketHook {
+ public:
+  void add_dnat_rule(DnatRule rule) { dnat_rules_.push_back(std::move(rule)); }
+  void add_snat_rule(SnatRule rule) { snat_rules_.push_back(std::move(rule)); }
+
+  HookVerdict prerouting(Simulator&, Device&, UdpPacket&, std::optional<PortId> in_port) override;
+  HookVerdict postrouting(Simulator&, Device&, UdpPacket&, PortId out_port) override;
+
+  // Counters for tests and the case-study narrative.
+  [[nodiscard]] std::uint64_t dnat_hits() const { return dnat_hits_; }
+  [[nodiscard]] std::uint64_t snat_hits() const { return snat_hits_; }
+  [[nodiscard]] std::uint64_t unnat_hits() const { return unnat_hits_; }
+  [[nodiscard]] std::size_t conntrack_size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    FlowKey orig;        // flow as first seen, pre-translation
+    FlowKey translated;  // flow as it leaves this device
+  };
+
+  /// Applies the reply-direction restoration if `packet` is the reply of a
+  /// tracked flow. Returns true if a rewrite happened.
+  bool try_unnat(Simulator& sim, Device& device, UdpPacket& packet);
+
+  /// RELATED handling for ICMP errors: translates the destination and the
+  /// quoted tuple of errors about tracked flows (both for errors transiting
+  /// this NAT and for errors this device generated post-translation).
+  bool try_icmp_related(Simulator& sim, Device& device, UdpPacket& packet);
+
+  void reindex(std::uint64_t entry_id);
+
+  std::vector<DnatRule> dnat_rules_;
+  std::vector<SnatRule> snat_rules_;
+  std::vector<Entry> entries_;
+  std::unordered_map<FlowKey, std::uint64_t> by_orig_;
+  std::unordered_map<FlowKey, std::uint64_t> by_reply_;  // keyed by translated.inverted()
+  std::uint16_t next_ephemeral_ = 33000;
+  std::uint64_t dnat_hits_ = 0;
+  std::uint64_t snat_hits_ = 0;
+  std::uint64_t unnat_hits_ = 0;
+};
+
+}  // namespace dnslocate::simnet

@@ -1,0 +1,32 @@
+#include "simnet/packet.h"
+
+namespace dnslocate::simnet {
+
+std::string_view to_string(Channel channel) {
+  switch (channel) {
+    case Channel::udp: return "udp";
+    case Channel::dot_strict: return "dot-strict";
+    case Channel::dot_opportunistic: return "dot-opportunistic";
+  }
+  return "?";
+}
+
+std::string_view to_string(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::udp: return "udp";
+    case PacketKind::icmp_ttl_exceeded: return "icmp-ttl-exceeded";
+  }
+  return "?";
+}
+
+std::string UdpPacket::to_string() const {
+  return src_endpoint().to_string() + " -> " + dst_endpoint().to_string() +
+         " ttl=" + std::to_string(ttl) + " len=" + std::to_string(payload.size());
+}
+
+std::string FlowKey::to_string() const {
+  return netbase::Endpoint{src, sport}.to_string() + " -> " +
+         netbase::Endpoint{dst, dport}.to_string();
+}
+
+}  // namespace dnslocate::simnet

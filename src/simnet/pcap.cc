@@ -1,0 +1,117 @@
+#include "simnet/pcap.h"
+
+#include <cstdio>
+
+namespace dnslocate::simnet {
+namespace {
+
+constexpr std::uint32_t kMagicMicroseconds = 0xa1b2c3d4;
+constexpr std::uint32_t kLinktypeRaw = 101;  // raw IP, family from version nibble
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16le(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16le(out, static_cast<std::uint16_t>(v >> 16));
+}
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+bool wanted(const PcapOptions& options, TraceEvent event) {
+  for (TraceEvent e : options.events)
+    if (e == event) return true;
+  return false;
+}
+
+bool exportable(const TraceRecord& record, const PcapOptions& options) {
+  return wanted(options, record.event) && record.packet.kind == PacketKind::udp &&
+         record.packet.families_consistent();
+}
+
+/// Raw IP + UDP frame for one packet.
+std::vector<std::uint8_t> synthesize_frame(const UdpPacket& packet) {
+  std::vector<std::uint8_t> frame;
+  std::uint16_t udp_length = static_cast<std::uint16_t>(8 + packet.payload.size());
+  if (packet.src.is_v4()) {
+    std::uint16_t total = static_cast<std::uint16_t>(20 + udp_length);
+    frame.push_back(0x45);  // version 4, IHL 5
+    frame.push_back(0);     // DSCP/ECN
+    put_u16be(frame, total);
+    put_u16be(frame, 0);       // identification
+    put_u16be(frame, 0x4000);  // DF
+    frame.push_back(packet.ttl);
+    frame.push_back(17);  // UDP
+    put_u16be(frame, 0);  // header checksum (offload convention)
+    auto src = packet.src.v4().to_bytes();
+    auto dst = packet.dst.v4().to_bytes();
+    frame.insert(frame.end(), src.begin(), src.end());
+    frame.insert(frame.end(), dst.begin(), dst.end());
+  } else {
+    frame.push_back(0x60);  // version 6
+    frame.push_back(0);
+    put_u16be(frame, 0);  // flow label
+    put_u16be(frame, udp_length);
+    frame.push_back(17);          // next header: UDP
+    frame.push_back(packet.ttl);  // hop limit
+    const auto& src = packet.src.v6().bytes();
+    const auto& dst = packet.dst.v6().bytes();
+    frame.insert(frame.end(), src.begin(), src.end());
+    frame.insert(frame.end(), dst.begin(), dst.end());
+  }
+  put_u16be(frame, packet.sport);
+  put_u16be(frame, packet.dport);
+  put_u16be(frame, udp_length);
+  put_u16be(frame, 0);  // UDP checksum 0 = unset
+  frame.insert(frame.end(), packet.payload.begin(), packet.payload.end());
+  return frame;
+}
+
+}  // namespace
+
+std::size_t pcap_packet_count(const TraceSink& trace, const PcapOptions& options) {
+  std::size_t count = 0;
+  for (const auto& record : trace.records())
+    if (exportable(record, options)) ++count;
+  return count;
+}
+
+std::vector<std::uint8_t> to_pcap(const TraceSink& trace, const PcapOptions& options) {
+  std::vector<std::uint8_t> out;
+  // Global header.
+  put_u32le(out, kMagicMicroseconds);
+  put_u16le(out, 2);   // version major
+  put_u16le(out, 4);   // version minor
+  put_u32le(out, 0);   // thiszone
+  put_u32le(out, 0);   // sigfigs
+  put_u32le(out, 65535);  // snaplen
+  put_u32le(out, kLinktypeRaw);
+
+  for (const auto& record : trace.records()) {
+    if (!exportable(record, options)) continue;
+    std::vector<std::uint8_t> frame = synthesize_frame(record.packet);
+    auto micros = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(record.at).count());
+    put_u32le(out, static_cast<std::uint32_t>(micros / 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(micros % 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(frame.size()));  // incl_len
+    put_u32le(out, static_cast<std::uint32_t>(frame.size()));  // orig_len
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  return out;
+}
+
+bool write_pcap_file(const TraceSink& trace, const std::string& path,
+                     const PcapOptions& options) {
+  std::vector<std::uint8_t> bytes = to_pcap(trace, options);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  return written == bytes.size();
+}
+
+}  // namespace dnslocate::simnet

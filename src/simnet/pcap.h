@@ -1,0 +1,33 @@
+// Pcap export of simulation traces: turns a TraceSink's transmitted packets
+// into a standard .pcap file (LINKTYPE_RAW) that Wireshark/tcpdump can open
+// — handy for inspecting the XB6 case study's DNAT behaviour with familiar
+// tooling, and for regression-diffing captures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/trace.h"
+
+namespace dnslocate::simnet {
+
+struct PcapOptions {
+  /// Which trace events become packets. `transmitted` alone gives one frame
+  /// per link emission (the tcpdump view); adding others duplicates frames.
+  std::vector<TraceEvent> events = {TraceEvent::transmitted};
+};
+
+/// Serialize the trace to pcap bytes (file format, host-endian magic).
+/// Packets are synthesized as raw IPv4/IPv6 + UDP; checksums are zero
+/// (offload convention). ICMP records are skipped.
+std::vector<std::uint8_t> to_pcap(const TraceSink& trace, const PcapOptions& options = {});
+
+/// Convenience: write to_pcap() output to `path`. Returns false on I/O error.
+bool write_pcap_file(const TraceSink& trace, const std::string& path,
+                     const PcapOptions& options = {});
+
+/// Number of records that would be exported (for tests / callers).
+std::size_t pcap_packet_count(const TraceSink& trace, const PcapOptions& options = {});
+
+}  // namespace dnslocate::simnet

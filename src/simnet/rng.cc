@@ -1,0 +1,58 @@
+#include "simnet/rng.h"
+
+namespace dnslocate::simnet {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  // Lemire's multiply-shift rejection method for unbiased bounded draws.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0) return uniform(weights.size());
+  double draw = uniform01() * total;
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] > 0 ? weights[i] : 0;
+    if (draw < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xa5a5a5a55a5a5a5aull); }
+
+}  // namespace dnslocate::simnet

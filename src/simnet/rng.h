@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation (splitmix64 core).
+//
+// Every stochastic choice in the simulator and the fleet generator draws
+// from one of these, seeded explicitly, so whole experiments replay
+// bit-identically from a seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dnslocate::simnet {
+
+/// splitmix64: tiny, fast, passes BigCrush for this use, and trivially
+/// seedable. Not for cryptography.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Index drawn from the discrete distribution given by `weights`
+  /// (weights need not be normalized; all-zero weights pick uniformly).
+  std::size_t weighted(std::span<const double> weights);
+
+  /// A child RNG whose stream is independent of this one's future draws.
+  /// Used to give each simulated probe its own stream, so adding a probe
+  /// never perturbs the randomness of others.
+  Rng fork();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dnslocate::simnet

@@ -1,0 +1,79 @@
+#include "simnet/simulator.h"
+
+namespace dnslocate::simnet {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+std::pair<PortId, PortId> Simulator::connect(Device& a, Device& b, LinkConfig config) {
+  PortId a_port = next_port_[a.id()]++;
+  PortId b_port = next_port_[b.id()]++;
+  links_[PortKey{a.id(), a_port}] = PortPeer{&b, b_port, config};
+  links_[PortKey{b.id(), b_port}] = PortPeer{&a, a_port, config};
+  return {a_port, b_port};
+}
+
+void Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  queue_.push(Event{now_ + delay, ++seq_counter_, std::move(fn)});
+}
+
+void Simulator::transmit(Device& from, PortId port, UdpPacket packet) {
+  auto it = links_.find(PortKey{from.id(), port});
+  if (it == links_.end()) {
+    trace_event(from, TraceEvent::dropped_no_route, packet, "unconnected port");
+    return;
+  }
+  PortPeer& peer = it->second;
+  if (peer.config.loss_rate > 0 && rng_.bernoulli(peer.config.loss_rate)) {
+    trace_event(from, TraceEvent::dropped_loss, packet);
+    return;
+  }
+
+  // Serialization and FIFO queueing when the link has a finite rate.
+  SimDuration wait{0};
+  SimDuration serialization{0};
+  if (peer.config.bandwidth_bps > 0) {
+    // Approximate on-the-wire size: payload + IP/UDP headers.
+    std::uint64_t bits = (packet.payload.size() + 28) * 8;
+    serialization = SimDuration(
+        static_cast<SimDuration::rep>(bits * 1'000'000'000ull / peer.config.bandwidth_bps));
+    SimTime start = std::max(now_, peer.busy_until);
+    wait = start - now_;
+    if (wait > peer.config.max_queue_delay) {
+      trace_event(from, TraceEvent::dropped_loss, packet, "queue overflow");
+      return;
+    }
+    peer.busy_until = start + serialization;
+  }
+
+  trace_event(from, TraceEvent::transmitted, packet);
+  Device* to = peer.peer;
+  PortId to_port = peer.peer_port;
+  schedule(wait + serialization + peer.config.latency,
+           [this, to, to_port, pkt = std::move(packet)]() mutable {
+             to->receive(*this, std::move(pkt), to_port);
+           });
+}
+
+std::size_t Simulator::run_until_idle(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && step()) ++processed;
+  return processed;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.at;
+  event.fn();
+  return true;
+}
+
+void Simulator::trace_event(const Device& device, TraceEvent event, const UdpPacket& packet,
+                            std::string detail) {
+  if (trace_ != nullptr) trace_->record(now_, device.name(), event, packet, std::move(detail));
+}
+
+}  // namespace dnslocate::simnet

@@ -1,0 +1,119 @@
+// Deterministic discrete-event simulator: owns devices, links, the event
+// queue, and simulated time. One Simulator instance models one independent
+// slice of Internet (a probe's home, its ISP, transit, and the resolvers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "simnet/device.h"
+#include "simnet/rng.h"
+#include "simnet/time.h"
+#include "simnet/trace.h"
+
+namespace dnslocate::simnet {
+
+/// Per-link properties.
+struct LinkConfig {
+  SimDuration latency = std::chrono::milliseconds(1);
+  double loss_rate = 0.0;  // i.i.d. per-packet loss probability
+  /// Link rate in bits/second; 0 = infinite (no serialization delay, no
+  /// queueing). With a rate set, packets serialize one at a time and a
+  /// FIFO queue forms; arrivals that would wait longer than
+  /// `max_queue_delay` are tail-dropped.
+  std::uint64_t bandwidth_bps = 0;
+  SimDuration max_queue_delay = std::chrono::milliseconds(50);
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Construct and register a device. The simulator owns it; the returned
+  /// reference stays valid for the simulator's lifetime.
+  template <typename D = Device, typename... Args>
+  D& add_device(Args&&... args) {
+    auto owned = std::make_unique<D>(std::forward<Args>(args)...);
+    D& ref = *owned;
+    devices_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Connect two devices with a bidirectional link; returns the pair of
+  /// freshly allocated port ids (a's port, b's port).
+  std::pair<PortId, PortId> connect(Device& a, Device& b, LinkConfig config = {});
+
+  /// Schedule `fn` to run after `delay`.
+  void schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Transmit `packet` out of `port` on `from`; the peer receives it after
+  /// the link latency unless the link loss model drops it.
+  void transmit(Device& from, PortId port, UdpPacket packet);
+
+  /// Run events until the queue drains or `max_events` fire.
+  /// Returns the number of events processed.
+  std::size_t run_until_idle(std::size_t max_events = 100'000'000);
+
+  /// Process a single event; returns false when the queue is empty.
+  /// Lets synchronous clients (SimTransport) interleave with the sim.
+  bool step();
+
+  /// Fresh id for a new packet lineage.
+  std::uint64_t next_trace_id() { return ++trace_counter_; }
+
+  /// Optional trace sink (not owned). Null disables tracing.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] TraceSink* trace() const { return trace_; }
+
+  /// Record a trace event if tracing is enabled.
+  void trace_event(const Device& device, TraceEvent event, const UdpPacket& packet,
+                   std::string detail = {});
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+  struct PortPeer {
+    Device* peer = nullptr;
+    PortId peer_port = 0;
+    LinkConfig config;
+    SimTime busy_until{};  // transmitter state (per direction)
+  };
+  struct PortKey {
+    std::uint64_t device_id;
+    PortId port;
+    friend bool operator==(const PortKey&, const PortKey&) = default;
+  };
+  struct PortKeyHash {
+    std::size_t operator()(const PortKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.device_id * 1000003ull + k.port);
+    }
+  };
+
+  SimTime now_ = kSimStart;
+  Rng rng_;
+  std::uint64_t seq_counter_ = 0;
+  std::uint64_t trace_counter_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<PortKey, PortPeer, PortKeyHash> links_;
+  std::unordered_map<std::uint64_t, PortId> next_port_;  // per-device allocator
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace dnslocate::simnet

@@ -1,0 +1,18 @@
+// Simulated time. The simulator never reads the wall clock; all timing is
+// event-driven and deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dnslocate::simnet {
+
+/// Nanoseconds since simulation start.
+using SimTime = std::chrono::nanoseconds;
+using SimDuration = std::chrono::nanoseconds;
+
+using namespace std::chrono_literals;  // NOLINT: ergonomic for 5ms-style literals
+
+inline constexpr SimTime kSimStart{0};
+
+}  // namespace dnslocate::simnet

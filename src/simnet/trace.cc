@@ -1,0 +1,56 @@
+#include "simnet/trace.h"
+
+namespace dnslocate::simnet {
+
+std::string_view to_string(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::transmitted: return "transmitted";
+    case TraceEvent::received: return "received";
+    case TraceEvent::delivered: return "delivered";
+    case TraceEvent::forwarded: return "forwarded";
+    case TraceEvent::dropped_no_route: return "dropped_no_route";
+    case TraceEvent::dropped_ttl: return "dropped_ttl";
+    case TraceEvent::dropped_no_listener: return "dropped_no_listener";
+    case TraceEvent::dropped_by_hook: return "dropped_by_hook";
+    case TraceEvent::dropped_loss: return "dropped_loss";
+    case TraceEvent::dnat_rewritten: return "dnat_rewritten";
+    case TraceEvent::snat_rewritten: return "snat_rewritten";
+    case TraceEvent::unnat_rewritten: return "unnat_rewritten";
+    case TraceEvent::replicated: return "replicated";
+  }
+  return "?";
+}
+
+std::string TraceRecord::to_string() const {
+  std::string out = "[" + std::to_string(at.count() / 1000) + "us] ";
+  out += device;
+  out += ": ";
+  out += simnet::to_string(event);
+  out += " ";
+  out += packet.to_string();
+  if (!detail.empty()) out += "  (" + detail + ")";
+  return out;
+}
+
+void TraceSink::record(SimTime at, const std::string& device, TraceEvent event,
+                       const UdpPacket& packet, std::string detail) {
+  records_.push_back(TraceRecord{at, device, event, packet, std::move(detail)});
+}
+
+std::string TraceSink::render() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += r.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t TraceSink::count(TraceEvent event) const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (r.event == event) ++n;
+  return n;
+}
+
+}  // namespace dnslocate::simnet

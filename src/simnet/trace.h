@@ -1,0 +1,64 @@
+// Packet tracing: an optional observer that records datapath events.
+// Used by the XB6 case-study example to print the DNAT role-switch, and by
+// tests to assert on path properties (e.g. "the query never left the AS").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/packet.h"
+#include "simnet/time.h"
+
+namespace dnslocate::simnet {
+
+/// What happened to a packet at a device.
+enum class TraceEvent {
+  transmitted,    // left a device via a link
+  received,       // arrived at a device
+  delivered,      // handed to a local UDP app
+  forwarded,      // routed onward
+  dropped_no_route,
+  dropped_ttl,
+  dropped_no_listener,  // addressed to the device but no app on that port
+  dropped_by_hook,      // a filter dropped it
+  dropped_loss,         // link loss
+  dnat_rewritten,       // destination rewritten by NAT
+  snat_rewritten,       // source rewritten by NAT
+  unnat_rewritten,      // reply direction restored (the "spoofed" response)
+  replicated,           // interceptor duplicated the query
+};
+
+std::string_view to_string(TraceEvent event);
+
+/// One trace record.
+struct TraceRecord {
+  SimTime at{};
+  std::string device;
+  TraceEvent event{};
+  UdpPacket packet;   // post-event view of the packet
+  std::string detail; // e.g. "dst 1.1.1.1:53 -> 10.0.0.1:53"
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Collects trace records. Attach to a Simulator with set_trace().
+class TraceSink {
+ public:
+  void record(SimTime at, const std::string& device, TraceEvent event, const UdpPacket& packet,
+              std::string detail = {});
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// All records for a given trace_id lineage, rendered line by line.
+  [[nodiscard]] std::string render() const;
+
+  /// Count of records matching an event type.
+  [[nodiscard]] std::size_t count(TraceEvent event) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace dnslocate::simnet

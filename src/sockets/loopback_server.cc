@@ -1,0 +1,152 @@
+#include "sockets/loopback_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+
+namespace dnslocate::sockets {
+
+LoopbackDnsServer::LoopbackDnsServer(std::shared_ptr<resolvers::DnsResponder> responder,
+                                     bool serve_tcp)
+    : responder_(std::move(responder)) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("LoopbackDnsServer: socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // OS-assigned
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd_);
+    throw std::runtime_error("LoopbackDnsServer: bind() failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  endpoint_ = netbase::Endpoint{netbase::Ipv4Address(127, 0, 0, 1), ntohs(addr.sin_port)};
+
+  if (serve_tcp) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) {
+      ::close(fd_);
+      throw std::runtime_error("LoopbackDnsServer: tcp socket() failed");
+    }
+    int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    // Same port number as the UDP socket (distinct port spaces).
+    if (::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(tcp_fd_, 8) < 0) {
+      ::close(fd_);
+      ::close(tcp_fd_);
+      throw std::runtime_error("LoopbackDnsServer: tcp bind/listen failed");
+    }
+  }
+
+  thread_ = std::thread([this] { serve(); });
+}
+
+LoopbackDnsServer::~LoopbackDnsServer() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) ::close(fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+}
+
+void LoopbackDnsServer::serve_udp_datagram() {
+  std::uint8_t buffer[4096];
+  sockaddr_storage from{};
+  socklen_t from_len = sizeof from;
+  ssize_t n = ::recvfrom(fd_, buffer, sizeof buffer, 0, reinterpret_cast<sockaddr*>(&from),
+                         &from_len);
+  if (n <= 0) return;
+
+  auto query = dnswire::decode_message({buffer, static_cast<std::size_t>(n)});
+  if (!query || query->is_response()) return;
+  ++queries_served_;
+
+  resolvers::QueryContext context;
+  if (from.ss_family == AF_INET) {
+    const auto* sa = reinterpret_cast<const sockaddr_in*>(&from);
+    std::array<std::uint8_t, 4> bytes{};
+    std::memcpy(bytes.data(), &sa->sin_addr, 4);
+    context.client = netbase::Ipv4Address::from_bytes(bytes);
+  }
+  context.server_ip = endpoint_.address;
+
+  auto response = responder_->respond(*query, context);
+  if (!response) return;
+  // UDP answers obey the advertised payload limit.
+  resolvers::DnsServerApp::truncate_to_fit(
+      *response, resolvers::DnsServerApp::udp_payload_limit(*query));
+  std::vector<std::uint8_t> wire = dnswire::encode_message(*response);
+  ::sendto(fd_, wire.data(), wire.size(), 0, reinterpret_cast<const sockaddr*>(&from),
+           from_len);
+}
+
+void LoopbackDnsServer::serve_tcp_connection() {
+  int conn = ::accept(tcp_fd_, nullptr, nullptr);
+  if (conn < 0) return;
+
+  auto read_all = [&](std::uint8_t* data, std::size_t size) {
+    std::size_t got = 0;
+    while (got < size) {
+      pollfd pfd{conn, POLLIN, 0};
+      if (::poll(&pfd, 1, 1000) <= 0) return false;
+      ssize_t n = ::recv(conn, data + got, size - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+
+  std::uint8_t prefix[2];
+  if (read_all(prefix, 2)) {
+    std::size_t length = static_cast<std::size_t>(prefix[0]) << 8 | prefix[1];
+    std::vector<std::uint8_t> body(length);
+    if (length > 0 && read_all(body.data(), length)) {
+      auto query = dnswire::decode_message(body);
+      if (query && !query->is_response()) {
+        ++tcp_queries_served_;
+        resolvers::QueryContext context;
+        context.client = netbase::Ipv4Address(127, 0, 0, 1);
+        context.server_ip = endpoint_.address;
+        auto response = responder_->respond(*query, context);
+        if (response) {
+          // No truncation over TCP (RFC 7766).
+          std::vector<std::uint8_t> wire = dnswire::encode_message(*response);
+          std::vector<std::uint8_t> framed;
+          framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+          framed.push_back(static_cast<std::uint8_t>(wire.size() & 0xff));
+          framed.insert(framed.end(), wire.begin(), wire.end());
+          ::send(conn, framed.data(), framed.size(), MSG_NOSIGNAL);
+        }
+      }
+    }
+  }
+  ::close(conn);
+}
+
+void LoopbackDnsServer::serve() {
+  while (running_.load()) {
+    pollfd pfds[2];
+    pfds[0] = {fd_, POLLIN, 0};
+    nfds_t count = 1;
+    if (tcp_fd_ >= 0) {
+      pfds[1] = {tcp_fd_, POLLIN, 0};
+      count = 2;
+    }
+    int ready = ::poll(pfds, count, 50);
+    if (ready <= 0) continue;
+    if (pfds[0].revents & POLLIN) serve_udp_datagram();
+    if (count == 2 && (pfds[1].revents & POLLIN)) serve_tcp_connection();
+  }
+}
+
+}  // namespace dnslocate::sockets

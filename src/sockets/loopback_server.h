@@ -1,0 +1,51 @@
+// An in-process UDP DNS server bound to 127.0.0.1, backed by the same
+// DnsResponder behaviours as the simulator. Lets the socket transport and
+// the full pipeline be exercised end-to-end over real sockets in tests,
+// with no network access.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "netbase/endpoint.h"
+#include "resolvers/server_app.h"
+
+namespace dnslocate::sockets {
+
+class LoopbackDnsServer {
+ public:
+  /// Binds 127.0.0.1 on an OS-assigned port and serves `responder` on a
+  /// background thread until destruction. With `serve_tcp`, also listens on
+  /// the same port number over TCP (RFC 7766 framing). Throws
+  /// std::runtime_error when a socket cannot be created.
+  explicit LoopbackDnsServer(std::shared_ptr<resolvers::DnsResponder> responder,
+                             bool serve_tcp = false);
+  ~LoopbackDnsServer();
+
+  LoopbackDnsServer(const LoopbackDnsServer&) = delete;
+  LoopbackDnsServer& operator=(const LoopbackDnsServer&) = delete;
+
+  /// Where to send queries.
+  [[nodiscard]] netbase::Endpoint endpoint() const { return endpoint_; }
+
+  [[nodiscard]] std::uint64_t queries_served() const { return queries_served_.load(); }
+  [[nodiscard]] std::uint64_t tcp_queries_served() const { return tcp_queries_served_.load(); }
+
+ private:
+  void serve();
+  void serve_udp_datagram();
+  void serve_tcp_connection();
+
+  std::shared_ptr<resolvers::DnsResponder> responder_;
+  int fd_ = -1;
+  int tcp_fd_ = -1;
+  netbase::Endpoint endpoint_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::uint64_t> queries_served_{0};
+  std::atomic<std::uint64_t> tcp_queries_served_{0};
+  std::thread thread_;
+};
+
+}  // namespace dnslocate::sockets

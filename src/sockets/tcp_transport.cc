@@ -1,0 +1,169 @@
+#include "sockets/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+
+namespace dnslocate::sockets {
+namespace {
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+socklen_t to_sockaddr(const netbase::Endpoint& endpoint, sockaddr_storage& storage) {
+  std::memset(&storage, 0, sizeof storage);
+  if (endpoint.address.is_v4()) {
+    auto* sa = reinterpret_cast<sockaddr_in*>(&storage);
+    sa->sin_family = AF_INET;
+    sa->sin_port = htons(endpoint.port);
+    auto bytes = endpoint.address.v4().to_bytes();
+    std::memcpy(&sa->sin_addr, bytes.data(), 4);
+    return sizeof(sockaddr_in);
+  }
+  auto* sa = reinterpret_cast<sockaddr_in6*>(&storage);
+  sa->sin6_family = AF_INET6;
+  sa->sin6_port = htons(endpoint.port);
+  const auto& bytes = endpoint.address.v6().bytes();
+  std::memcpy(&sa->sin6_addr, bytes.data(), 16);
+  return sizeof(sockaddr_in6);
+}
+
+using Clock = std::chrono::steady_clock;
+
+/// Wait until the fd is ready for `events` or the deadline passes.
+bool wait_ready(int fd, short events, Clock::time_point deadline) {
+  while (true) {
+    auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+    if (remaining.count() <= 0) return false;
+    pollfd pfd{fd, events, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready > 0) return true;
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready == 0) return false;
+    return false;
+  }
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size, Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    if (!wait_ready(fd, POLLOUT, deadline)) return false;
+    ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool recv_all(int fd, std::uint8_t* data, std::size_t size, Clock::time_point deadline) {
+  std::size_t received = 0;
+  while (received < size) {
+    if (!wait_ready(fd, POLLIN, deadline)) return false;
+    ssize_t n = ::recv(fd, data + received, size - received, 0);
+    if (n == 0) return false;  // peer closed early
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TcpTransport::supports_family(netbase::IpFamily family) const {
+  int domain = family == netbase::IpFamily::v4 ? AF_INET : AF_INET6;
+  Fd fd(::socket(domain, SOCK_STREAM, 0));
+  return fd.valid();
+}
+
+core::QueryResult TcpTransport::query(const netbase::Endpoint& server,
+                                      const dnswire::Message& message,
+                                      const core::QueryOptions& options) {
+  core::QueryResult result;
+  int domain = server.address.is_v4() ? AF_INET : AF_INET6;
+  Fd fd(::socket(domain, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return result;
+
+  auto started = Clock::now();
+  auto deadline = started + options.timeout;
+
+  sockaddr_storage dest{};
+  socklen_t dest_len = to_sockaddr(server, dest);
+  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&dest), dest_len);
+  if (rc < 0 && errno != EINPROGRESS) return result;
+  if (rc < 0) {
+    if (!wait_ready(fd.get(), POLLOUT, deadline)) return result;
+    int error = 0;
+    socklen_t len = sizeof error;
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &error, &len);
+    if (error != 0) return result;
+  }
+
+  // RFC 7766 §8: two-octet length prefix, then the message.
+  std::vector<std::uint8_t> wire = dnswire::encode_message(message);
+  if (wire.size() > 0xffff) return result;
+  std::vector<std::uint8_t> framed;
+  framed.reserve(wire.size() + 2);
+  framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+  framed.push_back(static_cast<std::uint8_t>(wire.size() & 0xff));
+  framed.insert(framed.end(), wire.begin(), wire.end());
+  if (!send_all(fd.get(), framed.data(), framed.size(), deadline)) return result;
+
+  std::uint8_t length_prefix[2];
+  if (!recv_all(fd.get(), length_prefix, 2, deadline)) return result;
+  std::size_t length = static_cast<std::size_t>(length_prefix[0]) << 8 | length_prefix[1];
+  if (length == 0) return result;
+  std::vector<std::uint8_t> body(length);
+  if (!recv_all(fd.get(), body.data(), length, deadline)) return result;
+
+  auto response = dnswire::decode_message(body);
+  if (!response || !dnswire::is_acceptable_response(message, *response)) return result;
+  result.status = core::QueryResult::Status::answered;
+  result.rtt =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - started);
+  result.response = *response;
+  result.all_responses.push_back(std::move(*response));
+  return result;
+}
+
+core::QueryResult FallbackTransport::query(const netbase::Endpoint& server,
+                                           const dnswire::Message& message,
+                                           const core::QueryOptions& options) {
+  core::QueryResult result = udp_.query(server, message, options);
+  if (result.answered() && result.response->flags.tc) {
+    ++tcp_retries_;
+    core::QueryResult tcp_result = tcp_.query(server, message, options);
+    if (tcp_result.answered()) return tcp_result;
+    // TCP failed: the truncated UDP answer is still the best we have.
+  }
+  return result;
+}
+
+}  // namespace dnslocate::sockets

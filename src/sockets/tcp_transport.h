@@ -1,0 +1,46 @@
+// DNS over TCP (RFC 7766): the transport clients fall back to when a UDP
+// response comes back truncated (TC=1). One connection per query — the
+// simple, correct behaviour for a measurement tool.
+#pragma once
+
+#include <chrono>
+
+#include "core/transport.h"
+
+namespace dnslocate::sockets {
+
+/// Plain TCP DNS transport with 2-octet length framing.
+class TcpTransport : public core::QueryTransport {
+ public:
+  core::QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
+                          const core::QueryOptions& options = {}) override;
+
+  [[nodiscard]] bool supports_family(netbase::IpFamily family) const override;
+};
+
+/// UDP-first transport with automatic TCP retry when the UDP answer is
+/// truncated — what a stub resolver actually does. The localization
+/// pipeline itself never needs this (its answers are small), but tools
+/// built on the library do.
+class FallbackTransport : public core::QueryTransport {
+ public:
+  FallbackTransport(core::QueryTransport& udp, core::QueryTransport& tcp)
+      : udp_(udp), tcp_(tcp) {}
+
+  core::QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
+                          const core::QueryOptions& options = {}) override;
+
+  [[nodiscard]] bool supports_family(netbase::IpFamily family) const override {
+    return udp_.supports_family(family);
+  }
+  [[nodiscard]] bool supports_ttl() const override { return udp_.supports_ttl(); }
+
+  [[nodiscard]] std::uint64_t tcp_retries() const { return tcp_retries_; }
+
+ private:
+  core::QueryTransport& udp_;
+  core::QueryTransport& tcp_;
+  std::uint64_t tcp_retries_ = 0;
+};
+
+}  // namespace dnslocate::sockets

@@ -1,0 +1,130 @@
+#include "sockets/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+
+namespace dnslocate::sockets {
+namespace {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+/// Build a sockaddr for the endpoint. Returns the length used.
+socklen_t to_sockaddr(const netbase::Endpoint& endpoint, sockaddr_storage& storage) {
+  std::memset(&storage, 0, sizeof storage);
+  if (endpoint.address.is_v4()) {
+    auto* sa = reinterpret_cast<sockaddr_in*>(&storage);
+    sa->sin_family = AF_INET;
+    sa->sin_port = htons(endpoint.port);
+    auto bytes = endpoint.address.v4().to_bytes();
+    std::memcpy(&sa->sin_addr, bytes.data(), 4);
+    return sizeof(sockaddr_in);
+  }
+  auto* sa = reinterpret_cast<sockaddr_in6*>(&storage);
+  sa->sin6_family = AF_INET6;
+  sa->sin6_port = htons(endpoint.port);
+  const auto& bytes = endpoint.address.v6().bytes();
+  std::memcpy(&sa->sin6_addr, bytes.data(), 16);
+  return sizeof(sockaddr_in6);
+}
+
+std::chrono::steady_clock::time_point now() { return std::chrono::steady_clock::now(); }
+
+}  // namespace
+
+bool UdpTransport::supports_family(netbase::IpFamily family) const {
+  int domain = family == netbase::IpFamily::v4 ? AF_INET : AF_INET6;
+  Fd fd(::socket(domain, SOCK_DGRAM, 0));
+  return fd.valid();
+}
+
+core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
+                                        const dnswire::Message& message,
+                                        const core::QueryOptions& options) {
+  core::QueryResult result;
+  int domain = server.address.is_v4() ? AF_INET : AF_INET6;
+  Fd fd(::socket(domain, SOCK_DGRAM, 0));
+  if (!fd.valid()) return result;
+
+  if (options.ttl) {
+    int ttl = *options.ttl;
+    if (server.address.is_v4())
+      ::setsockopt(fd.get(), IPPROTO_IP, IP_TTL, &ttl, sizeof ttl);
+    else
+      ::setsockopt(fd.get(), IPPROTO_IPV6, IPV6_UNICAST_HOPS, &ttl, sizeof ttl);
+  }
+
+  sockaddr_storage dest{};
+  socklen_t dest_len = to_sockaddr(server, dest);
+  std::vector<std::uint8_t> wire = dnswire::encode_message(message);
+  auto sent_at = now();
+  if (::sendto(fd.get(), wire.data(), wire.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dest), dest_len) < 0)
+    return result;
+
+  auto deadline = sent_at + options.timeout;
+  std::optional<std::chrono::steady_clock::time_point> duplicate_deadline;
+
+  while (true) {
+    auto horizon = duplicate_deadline ? std::min(*duplicate_deadline, deadline) : deadline;
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(horizon - now());
+    if (remaining.count() <= 0) break;
+
+    pollfd pfd{fd.get(), POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
+
+    std::uint8_t buffer[4096];
+    sockaddr_storage from{};
+    socklen_t from_len = sizeof from;
+    ssize_t n = ::recvfrom(fd.get(), buffer, sizeof buffer, 0,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n <= 0) continue;
+
+    auto response = dnswire::decode_message({buffer, static_cast<std::size_t>(n)});
+    if (!response || !dnswire::is_acceptable_response(message, *response)) continue;
+
+    if (!result.answered()) {
+      result.status = core::QueryResult::Status::answered;
+      result.response = *response;
+      result.rtt = std::chrono::duration_cast<std::chrono::microseconds>(now() - sent_at);
+      duplicate_deadline = now() + config_.duplicate_window;
+    }
+    result.all_responses.push_back(std::move(*response));
+  }
+  return result;
+}
+
+core::QueryResult UdpTransport::query(const netbase::Endpoint& server,
+                                      const dnswire::Message& message,
+                                      const core::QueryOptions& options) {
+  core::QueryResult result = attempt(server, message, options);
+  for (unsigned retry = 0; retry < config_.retries && !result.answered(); ++retry)
+    result = attempt(server, message, options);
+  return result;
+}
+
+}  // namespace dnslocate::sockets

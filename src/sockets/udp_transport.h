@@ -1,0 +1,43 @@
+// Real-network QueryTransport over POSIX UDP sockets. This is what makes
+// the library deployable: the same LocalizationPipeline that runs against
+// the simulator runs, unchanged, against the actual Internet from any host
+// that can send DNS queries (no root needed — except for the optional TTL
+// probing, which uses the IP_TTL/IPV6_UNICAST_HOPS socket options and works
+// unprivileged on Linux too).
+#pragma once
+
+#include <chrono>
+
+#include "core/transport.h"
+
+namespace dnslocate::sockets {
+
+class UdpTransport : public core::QueryTransport {
+ public:
+  struct Config {
+    /// Collect duplicate responses (query replication) for this long after
+    /// the first response arrives.
+    std::chrono::milliseconds duplicate_window{200};
+    /// Number of retransmissions on timeout (0 = single shot). The
+    /// localization technique treats timeouts as meaningful, so retries
+    /// default off.
+    unsigned retries = 0;
+  };
+
+  UdpTransport() = default;
+  explicit UdpTransport(Config config) : config_(config) {}
+
+  core::QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
+                          const core::QueryOptions& options = {}) override;
+
+  [[nodiscard]] bool supports_family(netbase::IpFamily family) const override;
+  [[nodiscard]] bool supports_ttl() const override { return true; }
+
+ private:
+  core::QueryResult attempt(const netbase::Endpoint& server, const dnswire::Message& message,
+                            const core::QueryOptions& options);
+
+  Config config_;
+};
+
+}  // namespace dnslocate::sockets

@@ -1,0 +1,151 @@
+// Classifier tests: per-resolver standard-response validation and the
+// LocationVerdict mapping (§3.1), parameterized over answer corpora.
+#include <gtest/gtest.h>
+
+#include "core/classify.h"
+#include "dnswire/debug_queries.h"
+
+namespace dnslocate::core {
+namespace {
+
+using resolvers::PublicResolverKind;
+
+QueryResult answered_txt(const std::string& text, dnswire::Rcode rcode = dnswire::Rcode::NOERROR) {
+  QueryResult result;
+  result.status = QueryResult::Status::answered;
+  auto query = dnswire::make_chaos_query(1, dnswire::version_bind());
+  if (rcode == dnswire::Rcode::NOERROR) {
+    result.response = dnswire::make_txt_response(query, text);
+  } else {
+    result.response = dnswire::make_response(query, rcode);
+  }
+  result.all_responses.push_back(*result.response);
+  return result;
+}
+
+QueryResult timeout() { return QueryResult{}; }
+
+// --- per-resolver format validators ---
+
+struct FormatCase {
+  const char* text;
+  bool standard;
+};
+
+struct CloudflareFormat : ::testing::TestWithParam<FormatCase> {};
+TEST_P(CloudflareFormat, Validates) {
+  EXPECT_EQ(is_cloudflare_standard(GetParam().text), GetParam().standard) << GetParam().text;
+}
+INSTANTIATE_TEST_SUITE_P(Corpus, CloudflareFormat,
+                         ::testing::Values(FormatCase{"IAD", true}, FormatCase{"SFO", true},
+                                           FormatCase{"FRA", true}, FormatCase{"NRT", true},
+                                           FormatCase{"iad", false},       // must be uppercase
+                                           FormatCase{"ZZZ", false},       // unknown site
+                                           FormatCase{"IA", false}, FormatCase{"IADX", false},
+                                           FormatCase{"", false},
+                                           FormatCase{"routing.v2.pw", false},
+                                           FormatCase{"unbound 1.9.0", false}));
+
+struct GoogleFormat : ::testing::TestWithParam<FormatCase> {};
+TEST_P(GoogleFormat, Validates) {
+  EXPECT_EQ(is_google_standard(GetParam().text), GetParam().standard) << GetParam().text;
+}
+INSTANTIATE_TEST_SUITE_P(Corpus, GoogleFormat,
+                         ::testing::Values(FormatCase{"172.253.211.15", true},
+                                           FormatCase{"172.217.34.9", true},
+                                           FormatCase{"74.125.41.1", true},
+                                           FormatCase{"2404:6800:4000::5", true},
+                                           FormatCase{"62.183.62.69", false},   // not Google space
+                                           FormatCase{"185.194.112.32", false},
+                                           FormatCase{"192.168.1.1", false},
+                                           FormatCase{"not-an-ip", false}, FormatCase{"", false}));
+
+struct Quad9Format : ::testing::TestWithParam<FormatCase> {};
+TEST_P(Quad9Format, Validates) {
+  EXPECT_EQ(is_quad9_standard(GetParam().text), GetParam().standard) << GetParam().text;
+}
+INSTANTIATE_TEST_SUITE_P(Corpus, Quad9Format,
+                         ::testing::Values(FormatCase{"res100.iad.rrdns.pch.net", true},
+                                           FormatCase{"res1.sfo.rrdns.pch.net", true},
+                                           FormatCase{"res.iad.rrdns.pch.net", false},
+                                           FormatCase{"res100.zzz.rrdns.pch.net", false},
+                                           FormatCase{"res100.iad.rrdns.pch.org", false},
+                                           FormatCase{"res100.iad.pch.net", false},
+                                           FormatCase{"resXX.iad.rrdns.pch.net", false},
+                                           FormatCase{"", false}));
+
+struct OpenDnsFormat : ::testing::TestWithParam<FormatCase> {};
+TEST_P(OpenDnsFormat, Validates) {
+  EXPECT_EQ(is_opendns_standard(GetParam().text), GetParam().standard) << GetParam().text;
+}
+INSTANTIATE_TEST_SUITE_P(Corpus, OpenDnsFormat,
+                         ::testing::Values(FormatCase{"server m84.iad", true},
+                                           FormatCase{"server m1.fra", true},
+                                           FormatCase{"server 84.iad", false},
+                                           FormatCase{"server m84.zzz", false},
+                                           FormatCase{"m84.iad", false},
+                                           FormatCase{"server m84", false},
+                                           FormatCase{"server mXX.iad", false}));
+
+// --- verdict mapping ---
+
+TEST(ClassifyLocation, StandardAnswerIsStandard) {
+  EXPECT_EQ(classify_location_response(PublicResolverKind::cloudflare, answered_txt("ORD")),
+            LocationVerdict::standard);
+  EXPECT_EQ(
+      classify_location_response(PublicResolverKind::google, answered_txt("172.253.211.15")),
+      LocationVerdict::standard);
+}
+
+TEST(ClassifyLocation, WrongShapeIsNonstandard) {
+  EXPECT_EQ(classify_location_response(PublicResolverKind::cloudflare,
+                                       answered_txt("routing.v2.pw")),
+            LocationVerdict::nonstandard);
+  EXPECT_EQ(classify_location_response(PublicResolverKind::google, answered_txt("10.0.0.1")),
+            LocationVerdict::nonstandard);
+}
+
+TEST(ClassifyLocation, ErrorRcodeIsErrorStatus) {
+  for (auto rcode : {dnswire::Rcode::NOTIMP, dnswire::Rcode::REFUSED, dnswire::Rcode::SERVFAIL,
+                     dnswire::Rcode::NXDOMAIN}) {
+    EXPECT_EQ(classify_location_response(PublicResolverKind::quad9, answered_txt("", rcode)),
+              LocationVerdict::error_status);
+  }
+}
+
+TEST(ClassifyLocation, TimeoutIsTimeoutNotInterception) {
+  EXPECT_EQ(classify_location_response(PublicResolverKind::opendns, timeout()),
+            LocationVerdict::timed_out);
+  EXPECT_FALSE(indicates_interception(LocationVerdict::timed_out));
+  EXPECT_FALSE(indicates_interception(LocationVerdict::standard));
+  EXPECT_TRUE(indicates_interception(LocationVerdict::nonstandard));
+  EXPECT_TRUE(indicates_interception(LocationVerdict::error_status));
+}
+
+TEST(ClassifyLocation, EmptyNoerrorAnswerIsNonstandard) {
+  QueryResult result;
+  result.status = QueryResult::Status::answered;
+  auto query = dnswire::make_chaos_query(1, dnswire::version_bind());
+  result.response = dnswire::make_response(query);  // NOERROR, no answers
+  EXPECT_EQ(classify_location_response(PublicResolverKind::cloudflare, result),
+            LocationVerdict::nonstandard);
+}
+
+TEST(ClassifyLocation, DisplayRendering) {
+  EXPECT_EQ(location_response_display(answered_txt("IAD")), "IAD");
+  EXPECT_EQ(location_response_display(answered_txt("", dnswire::Rcode::NOTIMP)), "NOTIMP");
+  EXPECT_EQ(location_response_display(timeout()), "timeout");
+
+  // An A answer renders as the address.
+  QueryResult a_result;
+  a_result.status = QueryResult::Status::answered;
+  auto query = dnswire::make_query(1, *dnswire::DnsName::parse("x.com"), dnswire::RecordType::A);
+  auto response = dnswire::make_response(query);
+  response.answers.push_back(
+      dnswire::make_a(*dnswire::DnsName::parse("x.com"), netbase::Ipv4Address(9, 8, 7, 6)));
+  a_result.response = response;
+  EXPECT_EQ(location_response_display(a_result), "9.8.7.6");
+}
+
+}  // namespace
+}  // namespace dnslocate::core

@@ -1,0 +1,132 @@
+// Replication and DNS-0x20 probing tests: the complementary interception
+// signals beyond the paper's core pipeline.
+#include <gtest/gtest.h>
+
+#include "atlas/scenario.h"
+#include "core/dns0x20.h"
+#include "core/replication.h"
+#include "cpe/cpe_device.h"
+
+namespace dnslocate::core {
+namespace {
+
+using resolvers::PublicResolverKind;
+
+TEST(Replication, CleanPathHasSingleResponses) {
+  atlas::ScenarioConfig config;
+  atlas::Scenario scenario(config);
+  ReplicationProber prober;
+  auto report = prober.run(scenario.transport());
+  EXPECT_FALSE(report.any_replicated());
+  for (const auto& [kind, obs] : report.per_resolver) {
+    EXPECT_EQ(obs.responses, 1u) << to_string(kind);
+    EXPECT_FALSE(obs.payloads_differ);
+  }
+}
+
+TEST(Replication, ReplicatingMiddleboxProducesTwoResponses) {
+  atlas::ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.replicate = true;
+  atlas::Scenario scenario(config);
+  ReplicationProber prober;
+  auto report = prober.run(scenario.transport());
+  EXPECT_TRUE(report.any_replicated());
+  for (const auto& [kind, obs] : report.per_resolver) {
+    EXPECT_EQ(obs.responses, 2u) << to_string(kind);
+    // Interceptor's copy answers differently from the real resolver.
+    EXPECT_TRUE(obs.payloads_differ) << to_string(kind);
+  }
+}
+
+TEST(Replication, InterceptorResponseArrivesFirst) {
+  // "the interceptor's response nearly always arrives first and is accepted
+  // by the client" (§3.1) — in our topology the ISP resolver is closer.
+  atlas::ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.replicate = true;
+  atlas::Scenario scenario(config);
+  ReplicationProber prober;
+  auto report = prober.run(scenario.transport());
+  const auto& cf = report.per_resolver.at(PublicResolverKind::cloudflare);
+  // First (accepted) response is the interceptor's — a non-standard answer.
+  EXPECT_NE(cf.first_display, "IAD");
+}
+
+TEST(Replication, PipelineStillFlagsReplicatedProbes) {
+  // Replication and interception are indistinguishable for step 1 (§3.1):
+  // the accepted (first) response is the interceptor's.
+  atlas::ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.replicate = true;
+  atlas::Scenario scenario(config);
+  LocalizationPipeline pipeline(scenario.pipeline_config());
+  auto verdict = pipeline.run(scenario.transport());
+  EXPECT_TRUE(verdict.intercepted());
+}
+
+TEST(Dns0x20, EncoderIsDeterministicAndMixesCase) {
+  simnet::Rng a(7), b(7);
+  std::string one = Dns0x20Prober::encode_0x20("probe.dnslocate.example", a);
+  std::string two = Dns0x20Prober::encode_0x20("probe.dnslocate.example", b);
+  EXPECT_EQ(one, two);
+  // Statistically certain to differ from the all-lowercase original.
+  EXPECT_NE(one, "probe.dnslocate.example");
+  // Case-insensitively it is still the same name.
+  EXPECT_TRUE(dnswire::DnsName::parse(one)->equals_ignore_case(
+      *dnswire::DnsName::parse("probe.dnslocate.example")));
+  // Digits and dots untouched.
+  std::string digits = Dns0x20Prober::encode_0x20("a1.b2", a);
+  EXPECT_EQ(digits[1], '1');
+  EXPECT_EQ(digits[2], '.');
+}
+
+TEST(Dns0x20, DnatInterceptorPreservesCase) {
+  // A pure DNAT middlebox relays the client's bytes; the echo survives even
+  // though the query is intercepted — 0x20 alone cannot see this class.
+  atlas::ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  atlas::Scenario scenario(config);
+  Dns0x20Prober prober;
+  auto report = prober.run(scenario.transport());
+  for (const auto& [kind, echo] : report.per_resolver)
+    EXPECT_EQ(echo, CaseEchoResult::preserved) << to_string(kind);
+}
+
+TEST(Dns0x20, LowercasingProxyIsDetected) {
+  // A CPE forwarder that re-encodes queries in lowercase loses the pattern.
+  atlas::ScenarioConfig config;
+  config.cpe.kind = atlas::CpeStyle::Kind::intercept_dnsmasq;
+  atlas::Scenario scenario(config);
+  // Rebuild the forwarder with the lowercasing quirk.
+  auto& handles = scenario.cpe_handles();
+  resolvers::ForwarderConfig forwarder_config = handles.forwarder->config();
+  forwarder_config.lowercases_queries = true;
+  auto quirky = std::make_shared<resolvers::DnsForwarderApp>(forwarder_config);
+  quirky->attach(*handles.device);
+
+  Dns0x20Prober prober;
+  auto report = prober.run(scenario.transport());
+  for (const auto& [kind, echo] : report.per_resolver)
+    EXPECT_EQ(echo, CaseEchoResult::rewritten) << to_string(kind);
+}
+
+TEST(Dns0x20, CasePreservingProxyEscapes0x20ButNotVersionBind) {
+  // The standard (case-preserving) intercepting forwarder: invisible to
+  // 0x20, caught by the paper's version.bind comparison — the reason the
+  // technique is built on version.bind.
+  atlas::ScenarioConfig config;
+  config.cpe.kind = atlas::CpeStyle::Kind::intercept_dnsmasq;
+  atlas::Scenario scenario(config);
+
+  Dns0x20Prober prober;
+  auto echo_report = prober.run(scenario.transport());
+  for (const auto& [kind, echo] : echo_report.per_resolver)
+    EXPECT_EQ(echo, CaseEchoResult::preserved) << to_string(kind);
+
+  LocalizationPipeline pipeline(scenario.pipeline_config());
+  EXPECT_EQ(pipeline.run(scenario.transport()).location, InterceptorLocation::cpe);
+}
+
+}  // namespace
+}  // namespace dnslocate::core

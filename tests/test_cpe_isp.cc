@@ -1,0 +1,222 @@
+// CPE and ISP construction tests: preset configurations, datapath wiring,
+// interception rule materialization, and border behaviour.
+#include <gtest/gtest.h>
+
+#include "atlas/scenario.h"
+#include "cpe/presets.h"
+#include "dnswire/debug_queries.h"
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "isp/isp_network.h"
+
+namespace dnslocate {
+namespace {
+
+cpe::HomeAddressing home() {
+  cpe::HomeAddressing h;
+  h.wan_v4 = *netbase::IpAddress::parse("203.0.113.7");
+  h.isp_resolver_v4 = netbase::Endpoint{*netbase::IpAddress::parse("198.51.100.2"), 53};
+  return h;
+}
+
+TEST(CpePresets, BenignClosedHasNoForwarderNoIntercept) {
+  auto config = cpe::benign_closed(home());
+  EXPECT_FALSE(config.forwarder_enabled);
+  EXPECT_EQ(config.intercept_v4, cpe::InterceptMode::none);
+  EXPECT_EQ(config.intercept_v6, cpe::InterceptMode::none);
+}
+
+TEST(CpePresets, OpenDnsmasqForwardsButDoesNotIntercept) {
+  auto config = cpe::benign_open_dnsmasq(home(), "2.80");
+  EXPECT_TRUE(config.forwarder_enabled);
+  EXPECT_EQ(config.intercept_v4, cpe::InterceptMode::none);
+  EXPECT_EQ(*config.forwarder.software.version_bind, "dnsmasq-2.80");
+}
+
+TEST(CpePresets, Xb6VariantsShareSoftwareDifferInDnat) {
+  auto buggy = cpe::xb6_buggy(home());
+  auto healthy = cpe::xb6_healthy(home());
+  EXPECT_EQ(buggy.forwarder.software.version_bind, healthy.forwarder.software.version_bind);
+  EXPECT_EQ(buggy.intercept_v4, cpe::InterceptMode::dnat_to_self);
+  EXPECT_EQ(buggy.intercept_v6, cpe::InterceptMode::none);  // v4-only, §4.1.1
+  EXPECT_EQ(healthy.intercept_v4, cpe::InterceptMode::none);
+}
+
+TEST(CpePresets, PiholeInterceptsToItsDnsmasq) {
+  auto config = cpe::pihole(home(), "2.87");
+  EXPECT_EQ(config.intercept_v4, cpe::InterceptMode::dnat_to_self);
+  EXPECT_EQ(*config.forwarder.software.version_bind, "dnsmasq-pi-hole-2.87");
+}
+
+TEST(CpePresets, UnboundIdentityIsConfigurable) {
+  auto config = cpe::intercepting_unbound(home(), "1.9.0", "routing.v2.pw");
+  EXPECT_EQ(*config.forwarder.software.id_server, "routing.v2.pw");
+  EXPECT_EQ(*config.forwarder.software.version_bind, "unbound 1.9.0");
+}
+
+TEST(CpePresets, DnatToResolverHasNoLocalForwarder) {
+  auto config = cpe::intercepting_to_resolver(home());
+  EXPECT_FALSE(config.forwarder_enabled);
+  EXPECT_EQ(config.intercept_v4, cpe::InterceptMode::dnat_to_resolver);
+}
+
+TEST(CpePresets, InterceptModeNames) {
+  EXPECT_EQ(to_string(cpe::InterceptMode::none), "none");
+  EXPECT_EQ(to_string(cpe::InterceptMode::dnat_to_self), "dnat_to_self");
+  EXPECT_EQ(to_string(cpe::InterceptMode::dnat_to_resolver), "dnat_to_resolver");
+}
+
+TEST(CpeBuild, HandlesExposeWiring) {
+  simnet::Simulator sim(1);
+  auto& host = sim.add_device<simnet::Device>("host");
+  auto& wan_peer = sim.add_device<simnet::Device>("wan");
+  auto config = cpe::benign_open_dnsmasq(home());
+  auto handles = cpe::build_cpe(sim, config, host, wan_peer);
+  ASSERT_NE(handles.device, nullptr);
+  EXPECT_TRUE(handles.device->has_local_ip(*netbase::IpAddress::parse("203.0.113.7")));
+  EXPECT_TRUE(handles.device->has_local_ip(*netbase::IpAddress::parse("192.168.1.1")));
+  EXPECT_TRUE(handles.device->is_udp_bound(53));
+  EXPECT_NE(handles.forwarder, nullptr);
+  EXPECT_NE(handles.nat, nullptr);
+  // Routes resolve: LAN addresses out the LAN port, world out the WAN port.
+  EXPECT_EQ(handles.device->route_for(*netbase::IpAddress::parse("192.168.1.10")),
+            handles.lan_port);
+  EXPECT_EQ(handles.device->route_for(*netbase::IpAddress::parse("8.8.8.8")),
+            handles.wan_port);
+}
+
+TEST(CpeBuild, ClosedCpeBindsNothing) {
+  simnet::Simulator sim(1);
+  auto& host = sim.add_device<simnet::Device>("host");
+  auto& wan_peer = sim.add_device<simnet::Device>("wan");
+  auto handles = cpe::build_cpe(sim, cpe::benign_closed(home()), host, wan_peer);
+  EXPECT_FALSE(handles.device->is_udp_bound(53));
+  EXPECT_EQ(handles.forwarder, nullptr);
+}
+
+// --- ISP construction ---
+
+TEST(IspBuild, MiddleboxOnlyWhenEnabled) {
+  simnet::Simulator sim(1);
+  auto& core_router = sim.add_device<simnet::Device>("core");
+  core_router.set_forwarding(true);
+
+  isp::IspConfig off;
+  auto handles_off = isp::build_isp(sim, off, core_router);
+  EXPECT_EQ(handles_off.middlebox, nullptr);
+  EXPECT_EQ(handles_off.blocking_resolver, nullptr);
+  EXPECT_NE(handles_off.resolver, nullptr);
+
+  isp::IspConfig on;
+  on.name = "isp2";
+  on.policy.middlebox_enabled = true;
+  auto handles_on = isp::build_isp(sim, on, core_router);
+  EXPECT_NE(handles_on.middlebox, nullptr);
+}
+
+TEST(IspBuild, BlockingResolverOnlyWhenPolicyNeedsIt) {
+  simnet::Simulator sim(1);
+  auto& core_router = sim.add_device<simnet::Device>("core");
+  core_router.set_forwarding(true);
+
+  isp::IspConfig plain;
+  plain.policy.middlebox_enabled = true;  // transparent divert
+  EXPECT_EQ(isp::build_isp(sim, plain, core_router).blocking_resolver, nullptr);
+
+  isp::IspConfig blocking;
+  blocking.name = "isp2";
+  blocking.policy.middlebox_enabled = true;
+  blocking.policy.target_actions[resolvers::PublicResolverKind::quad9] =
+      isp::TargetAction::divert_block;
+  auto handles = isp::build_isp(sim, blocking, core_router);
+  EXPECT_NE(handles.blocking_resolver, nullptr);
+  EXPECT_TRUE(handles.blocking_address_v4.has_value());
+  // The filter lives next to the resolver.
+  EXPECT_EQ(handles.blocking_address_v4->v4().value(),
+            handles.resolver_address_v4.v4().value() + 1);
+}
+
+TEST(IspBuild, ResolverAnswersItsOwnCustomers) {
+  simnet::Simulator sim(1);
+  auto& core_router = sim.add_device<simnet::Device>("core");
+  core_router.set_forwarding(true);
+  isp::IspConfig config;
+  auto handles = isp::build_isp(sim, config, core_router);
+
+  // A host attached directly to the access router.
+  auto& host = sim.add_device<simnet::Device>("host");
+  auto [host_up, access_down] = sim.connect(host, *handles.access);
+  host.add_local_ip(*netbase::IpAddress::parse("203.0.113.10"));
+  host.set_default_route(host_up);
+  handles.access->add_route(*netbase::Prefix::parse("203.0.113.10/32"), access_down);
+
+  struct Sink : simnet::UdpApp {
+    std::vector<simnet::UdpPacket> received;
+    void on_datagram(simnet::Simulator&, simnet::Device&, const simnet::UdpPacket& p) override {
+      received.push_back(p);
+    }
+  } sink;
+  host.bind_udp(5555, &sink);
+
+  auto query = dnswire::make_query(1, *dnswire::DnsName::parse("example.com"),
+                                   dnswire::RecordType::A);
+  simnet::UdpPacket packet;
+  packet.src = *netbase::IpAddress::parse("203.0.113.10");
+  packet.dst = config.resolver_v4;
+  packet.sport = 5555;
+  packet.dport = 53;
+  packet.payload = dnswire::encode_message(query);
+  host.send_local(sim, packet);
+  sim.run_until_idle();
+
+  ASSERT_EQ(sink.received.size(), 1u);
+  auto response = dnswire::decode_message(sink.received[0].payload);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->first_address().has_value());
+  EXPECT_EQ(handles.resolver_app->queries_seen(), 1u);
+}
+
+TEST(Scenario, AddressingHelpersAreConsistent) {
+  for (std::uint32_t asn : {7922u, 3320u, 64512u}) {
+    auto prefix = atlas::customer_prefix_v4(asn);
+    EXPECT_TRUE(prefix.contains(atlas::customer_address_v4(asn, 1)));
+    EXPECT_TRUE(prefix.contains(atlas::customer_address_v4(asn, 9999)));
+    EXPECT_TRUE(prefix.contains(atlas::isp_resolver_v4(asn)));
+    EXPECT_FALSE(atlas::customer_address_v4(asn, 1).is_bogon());
+    EXPECT_NE(atlas::customer_address_v4(asn, 1), atlas::customer_address_v4(asn, 2));
+    EXPECT_NE(atlas::customer_address_v4(asn, 1), atlas::isp_resolver_v4(asn));
+
+    auto prefix6 = atlas::customer_prefix_v6(asn);
+    EXPECT_TRUE(prefix6.contains(atlas::customer_address_v6(asn, 1)));
+    EXPECT_TRUE(prefix6.contains(atlas::isp_resolver_v6(asn)));
+    EXPECT_FALSE(atlas::customer_address_v6(asn, 1).is_bogon());
+  }
+  // Different ASNs get disjoint v6 space (v4 may collide only mod 251).
+  EXPECT_NE(atlas::customer_prefix_v6(7922), atlas::customer_prefix_v6(3320));
+}
+
+TEST(Scenario, GroundTruthExpectations) {
+  atlas::ScenarioConfig config;
+  config.cpe.kind = atlas::CpeStyle::Kind::pihole;
+  EXPECT_EQ(atlas::Scenario(config).ground_truth().expected, core::InterceptorLocation::cpe);
+
+  atlas::ScenarioConfig isp_config;
+  isp_config.isp_policy.middlebox_enabled = true;
+  auto truth = atlas::Scenario(isp_config).ground_truth();
+  EXPECT_TRUE(truth.isp_intercepts_v4);
+  EXPECT_TRUE(truth.isp_answers_bogons);
+  EXPECT_EQ(truth.expected, core::InterceptorLocation::isp);
+
+  atlas::ScenarioConfig scoped;
+  scoped.isp_policy.middlebox_enabled = true;
+  scoped.isp_policy.intercept_all_port53 = false;
+  scoped.isp_policy.target_actions[resolvers::PublicResolverKind::google] =
+      isp::TargetAction::divert;
+  auto scoped_truth = atlas::Scenario(scoped).ground_truth();
+  EXPECT_TRUE(scoped_truth.isp_intercepts_v4);
+  EXPECT_FALSE(scoped_truth.isp_answers_bogons);
+  EXPECT_EQ(scoped_truth.expected, core::InterceptorLocation::unknown);
+}
+
+}  // namespace
+}  // namespace dnslocate

@@ -1,0 +1,79 @@
+// describe()/summarize() rendering tests over real pipeline verdicts.
+#include <gtest/gtest.h>
+
+#include "atlas/scenario.h"
+#include "core/describe.h"
+
+namespace dnslocate::core {
+namespace {
+
+ProbeVerdict verdict_for(atlas::ScenarioConfig config) {
+  atlas::Scenario scenario(config);
+  LocalizationPipeline pipeline(scenario.pipeline_config());
+  return pipeline.run(scenario.transport());
+}
+
+TEST(Describe, CleanVerdict) {
+  auto verdict = verdict_for({});
+  EXPECT_EQ(summarize(verdict), "not intercepted");
+  std::string text = describe(verdict);
+  EXPECT_NE(text.find("verdict: not intercepted"), std::string::npos);
+  EXPECT_NE(text.find("step 1"), std::string::npos);
+  EXPECT_EQ(text.find("step 2"), std::string::npos);  // never ran
+  EXPECT_NE(text.find("IAD"), std::string::npos);     // a standard answer shown
+}
+
+TEST(Describe, CpeVerdictShowsComparison) {
+  atlas::ScenarioConfig config;
+  config.cpe.kind = atlas::CpeStyle::Kind::xb6_buggy;
+  auto verdict = verdict_for(config);
+  std::string summary = summarize(verdict);
+  EXPECT_NE(summary.find("CPE"), std::string::npos);
+  EXPECT_NE(summary.find("dnsmasq"), std::string::npos);
+  EXPECT_NE(summary.find("4/4 resolvers"), std::string::npos);
+
+  std::string text = describe(verdict);
+  EXPECT_NE(text.find("step 2"), std::string::npos);
+  EXPECT_NE(text.find("identical strings: the CPE is the interceptor"), std::string::npos);
+  EXPECT_NE(text.find("CPE public IP -> \"dnsmasq"), std::string::npos);
+}
+
+TEST(Describe, IspVerdictShowsBogonEvidence) {
+  atlas::ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  auto verdict = verdict_for(config);
+  std::string text = describe(verdict);
+  EXPECT_NE(text.find("step 3"), std::string::npos);
+  EXPECT_NE(text.find("answered: the interceptor is inside the AS"), std::string::npos);
+  EXPECT_NE(text.find("transparency: Transparent"), std::string::npos);
+}
+
+TEST(Describe, UnknownVerdictExplainsSilence) {
+  atlas::ScenarioConfig config;
+  config.external_interceptor = true;
+  auto verdict = verdict_for(config);
+  std::string text = describe(verdict);
+  EXPECT_NE(text.find("silent: interceptor beyond the AS"), std::string::npos);
+}
+
+TEST(Describe, OptionsControlSections) {
+  atlas::ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.home_ipv6 = true;
+  auto verdict = verdict_for(config);
+
+  DescribeOptions no_extras;
+  no_extras.include_v6 = false;
+  no_extras.include_transparency = false;
+  std::string text = describe(verdict, no_extras);
+  EXPECT_EQ(text.find("transparency:"), std::string::npos);
+  // v6 service addresses never mentioned.
+  EXPECT_EQ(text.find("[2001:"), std::string::npos);
+
+  DescribeOptions with_v6;
+  std::string full = describe(verdict, with_v6);
+  EXPECT_NE(full.find("[2001:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnslocate::core

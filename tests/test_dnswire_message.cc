@@ -1,0 +1,127 @@
+// Message-level API tests: builders, accessors, rendering, debug queries.
+#include <gtest/gtest.h>
+
+#include "dnswire/debug_queries.h"
+#include "dnswire/message.h"
+
+namespace dnslocate::dnswire {
+namespace {
+
+DnsName name(const char* text) { return *DnsName::parse(text); }
+
+TEST(Message, MakeQueryDefaults) {
+  Message query = make_query(0x1234, name("example.com"), RecordType::AAAA);
+  EXPECT_EQ(query.id, 0x1234);
+  EXPECT_FALSE(query.is_response());
+  EXPECT_TRUE(query.flags.rd);
+  ASSERT_NE(query.question(), nullptr);
+  EXPECT_EQ(query.question()->type, RecordType::AAAA);
+  EXPECT_EQ(query.question()->klass, RecordClass::IN);
+}
+
+TEST(Message, MakeResponseEchoesQuestionAndId) {
+  Message query = make_query(7, name("a.b"), RecordType::A);
+  query.flags.rd = false;
+  Message response = make_response(query, Rcode::REFUSED);
+  EXPECT_TRUE(response.is_response());
+  EXPECT_EQ(response.id, 7);
+  EXPECT_EQ(response.rcode(), Rcode::REFUSED);
+  EXPECT_FALSE(response.flags.rd);  // copied from the query
+  EXPECT_TRUE(response.flags.ra);
+  ASSERT_EQ(response.questions.size(), 1u);
+  EXPECT_EQ(response.questions[0], query.questions[0]);
+}
+
+TEST(Message, MakeTxtResponseCarriesClassAndText) {
+  Message query = make_chaos_query(3, version_bind());
+  Message response = make_txt_response(query, "dnsmasq-2.85");
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(response.answers[0].klass, RecordClass::CH);
+  EXPECT_EQ(response.first_txt(), "dnsmasq-2.85");
+}
+
+TEST(Message, FirstAnswerFiltersOnType) {
+  Message query = make_query(1, name("x"), RecordType::A);
+  Message response = make_response(query);
+  response.answers.push_back(make_cname(name("x"), name("y")));
+  response.answers.push_back(make_a(name("y"), netbase::Ipv4Address(1, 2, 3, 4)));
+  EXPECT_EQ(response.first_answer(RecordType::A)->type, RecordType::A);
+  EXPECT_EQ(response.first_answer(RecordType::TXT), nullptr);
+  // first_address skips the CNAME.
+  EXPECT_EQ(response.first_address()->to_string(), "1.2.3.4");
+}
+
+TEST(Message, FirstAddressPrefersEarliestAddressRecord) {
+  Message response;
+  response.answers.push_back(
+      make_aaaa(name("x"), *netbase::Ipv6Address::parse("2001:db8::1")));
+  response.answers.push_back(make_a(name("x"), netbase::Ipv4Address(9, 9, 9, 9)));
+  EXPECT_TRUE(response.first_address()->is_v6());
+}
+
+TEST(Message, EmptyAccessors) {
+  Message empty;
+  EXPECT_EQ(empty.question(), nullptr);
+  EXPECT_EQ(empty.first_txt(), std::nullopt);
+  EXPECT_EQ(empty.first_address(), std::nullopt);
+}
+
+TEST(Message, RenderingMentionsEverySection) {
+  Message query = make_query(1, name("example.com"), RecordType::A);
+  Message response = make_response(query);
+  response.answers.push_back(make_a(name("example.com"), netbase::Ipv4Address(1, 2, 3, 4)));
+  response.authorities.push_back(ResourceRecord{name("example.com"), RecordType::NS,
+                                                RecordClass::IN, 60,
+                                                NsRecord{name("ns1.example.com")}});
+  response.additionals.push_back(make_txt(name("meta"), "x"));
+  std::string text = response.to_string();
+  EXPECT_NE(text.find("question: example.com IN A"), std::string::npos);
+  EXPECT_NE(text.find("answer: example.com 300 IN A 1.2.3.4"), std::string::npos);
+  EXPECT_NE(text.find("authority:"), std::string::npos);
+  EXPECT_NE(text.find("additional:"), std::string::npos);
+  EXPECT_NE(text.find("NOERROR"), std::string::npos);
+}
+
+TEST(Message, RecordRenderingPerType) {
+  EXPECT_EQ(make_a(name("a.b"), netbase::Ipv4Address(1, 2, 3, 4), 60).to_string(),
+            "a.b 60 IN A 1.2.3.4");
+  EXPECT_EQ(make_txt(name("t"), "hi", RecordClass::CH).to_string(), "t 0 CH TXT \"hi\"");
+  EXPECT_EQ(make_cname(name("a"), name("b"), 5).to_string(), "a 5 IN CNAME b");
+  ResourceRecord soa{name("z"), RecordType::SOA, RecordClass::IN, 1,
+                     SoaRecord{name("m"), name("r"), 42, 1, 2, 3, 4}};
+  EXPECT_EQ(soa.to_string(), "z 1 IN SOA m r 42");
+  ResourceRecord raw{name("w"), static_cast<RecordType>(250), RecordClass::IN, 1,
+                     RawRecord{{1, 2, 3}}};
+  EXPECT_NE(raw.to_string().find("\\# 3"), std::string::npos);
+}
+
+TEST(DebugQueries, WellKnownNames) {
+  EXPECT_EQ(version_bind().to_string(), "version.bind");
+  EXPECT_EQ(id_server().to_string(), "id.server");
+  EXPECT_EQ(hostname_bind().to_string(), "hostname.bind");
+}
+
+TEST(DebugQueries, ChaosQueryPredicate) {
+  Message query = make_chaos_query(1, version_bind());
+  EXPECT_TRUE(is_chaos_query_for(query, version_bind()));
+  EXPECT_TRUE(is_chaos_query_for(query, *DnsName::parse("VERSION.BIND")));
+  EXPECT_FALSE(is_chaos_query_for(query, id_server()));
+  // An IN-class query for the same name is not a CHAOS debug query.
+  Message in_query = make_query(1, version_bind(), RecordType::TXT);
+  EXPECT_FALSE(is_chaos_query_for(in_query, version_bind()));
+  // Neither is a CH query of the wrong type.
+  Message wrong_type = make_query(1, version_bind(), RecordType::A, RecordClass::CH);
+  EXPECT_FALSE(is_chaos_query_for(wrong_type, version_bind()));
+}
+
+TEST(Types, ToStringCoverage) {
+  EXPECT_EQ(to_string(RecordType::AAAA), "AAAA");
+  EXPECT_EQ(to_string(RecordType::OPT), "OPT");
+  EXPECT_EQ(to_string(static_cast<RecordType>(999)), "TYPE?");
+  EXPECT_EQ(to_string(RecordClass::CH), "CH");
+  EXPECT_EQ(to_string(Rcode::NXDOMAIN), "NXDOMAIN");
+  EXPECT_EQ(to_string(Opcode::QUERY), "QUERY");
+}
+
+}  // namespace
+}  // namespace dnslocate::dnswire

@@ -1,0 +1,137 @@
+// Unit tests: DnsName parsing, validation, case handling.
+#include <gtest/gtest.h>
+
+#include "dnswire/name.h"
+
+namespace dnslocate::dnswire {
+namespace {
+
+TEST(DnsName, ParsesOrdinaryNames) {
+  auto name = DnsName::parse("www.example.com");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->label_count(), 3u);
+  EXPECT_EQ(name->labels()[0], "www");
+  EXPECT_EQ(name->to_string(), "www.example.com");
+}
+
+TEST(DnsName, TrailingDotIsAbsorbed) {
+  EXPECT_EQ(DnsName::parse("example.com.")->to_string(), "example.com");
+  EXPECT_EQ(*DnsName::parse("example.com."), *DnsName::parse("example.com"));
+}
+
+TEST(DnsName, RootForms) {
+  auto root = DnsName::parse(".");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->to_string(), ".");
+  EXPECT_EQ(root->wire_length(), 1u);
+  EXPECT_FALSE(DnsName::parse("").has_value());
+}
+
+TEST(DnsName, RejectsEmptyLabels) {
+  EXPECT_FALSE(DnsName::parse("a..b").has_value());
+  EXPECT_FALSE(DnsName::parse(".a").has_value());
+  EXPECT_FALSE(DnsName::parse("..").has_value());
+}
+
+TEST(DnsName, EnforcesLabelLength) {
+  std::string label63(63, 'a');
+  std::string label64(64, 'a');
+  EXPECT_TRUE(DnsName::parse(label63 + ".com").has_value());
+  EXPECT_FALSE(DnsName::parse(label64 + ".com").has_value());
+}
+
+TEST(DnsName, EnforcesTotalLength) {
+  // Four 63-octet labels: wire length 4*(1+63)+1 = 257 > 255.
+  std::string label(63, 'x');
+  std::string too_long = label + "." + label + "." + label + "." + label;
+  EXPECT_FALSE(DnsName::parse(too_long).has_value());
+  // Three labels + short tail fits: 3*64 + 1*61 + 1 byte root = 254+... compute
+  std::string fits = label + "." + label + "." + label + "." + std::string(59, 'y');
+  ASSERT_TRUE(DnsName::parse(fits).has_value());
+  EXPECT_LE(DnsName::parse(fits)->wire_length(), kMaxNameLength);
+}
+
+TEST(DnsName, CaseInsensitiveEqualityPreservesCase) {
+  auto lower = *DnsName::parse("version.bind");
+  auto upper = *DnsName::parse("VERSION.BIND");
+  EXPECT_TRUE(lower.equals_ignore_case(upper));
+  EXPECT_NE(lower, upper);                     // byte-wise compare differs
+  EXPECT_EQ(upper.to_string(), "VERSION.BIND");  // case preserved
+  EXPECT_EQ(upper.to_lower(), lower);
+}
+
+TEST(DnsName, CaseHashMatchesCaseEquality) {
+  DnsNameCaseHash hash;
+  auto a = *DnsName::parse("ExAmPlE.CoM");
+  auto b = *DnsName::parse("example.com");
+  EXPECT_EQ(hash(a), hash(b));
+  auto c = *DnsName::parse("example.org");
+  EXPECT_NE(hash(a), hash(c));
+}
+
+TEST(DnsName, EndsWith) {
+  auto name = *DnsName::parse("a.b.example.com");
+  EXPECT_TRUE(name.ends_with(*DnsName::parse("example.com")));
+  EXPECT_TRUE(name.ends_with(*DnsName::parse("EXAMPLE.com")));
+  EXPECT_TRUE(name.ends_with(name));
+  EXPECT_TRUE(name.ends_with(DnsName{}));  // root suffixes everything
+  EXPECT_FALSE(name.ends_with(*DnsName::parse("b.example.org")));
+  EXPECT_FALSE((*DnsName::parse("example.com")).ends_with(name));
+  // Label-boundary check: "xexample.com" does not end with "example.com".
+  EXPECT_FALSE((*DnsName::parse("xexample.com")).ends_with(*DnsName::parse("example.com")));
+}
+
+TEST(DnsName, Parent) {
+  auto name = *DnsName::parse("a.b.c");
+  EXPECT_EQ(name.parent().to_string(), "b.c");
+  EXPECT_EQ(name.parent().parent().to_string(), "c");
+  EXPECT_TRUE(name.parent().parent().parent().is_root());
+  EXPECT_TRUE(DnsName{}.parent().is_root());
+}
+
+TEST(DnsName, WireLength) {
+  EXPECT_EQ(DnsName::parse("example.com")->wire_length(), 13u);  // 7+1 + 3+1 + 1
+  EXPECT_EQ(DnsName::parse("a")->wire_length(), 3u);
+}
+
+TEST(DnsName, FromLabelsValidation) {
+  EXPECT_TRUE(DnsName::from_labels({"a", "b"}).has_value());
+  EXPECT_FALSE(DnsName::from_labels({"a", ""}).has_value());
+  EXPECT_FALSE(DnsName::from_labels({std::string(64, 'a')}).has_value());
+  EXPECT_TRUE(DnsName::from_labels({}).has_value());  // root
+}
+
+}  // namespace
+}  // namespace dnslocate::dnswire
+
+#include "simnet/rng.h"
+
+namespace dnslocate::dnswire {
+namespace {
+
+// Property: any valid random name survives to_string -> parse intact.
+TEST(DnsName, RandomNamesRoundTripThroughPresentation) {
+  simnet::Rng rng(777);
+  const char alphabet[] = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::string> labels;
+    std::size_t count = 1 + rng.uniform(5);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string label;
+      std::size_t length = 1 + rng.uniform(20);
+      for (std::size_t j = 0; j < length; ++j)
+        label.push_back(alphabet[rng.uniform(sizeof alphabet - 1)]);
+      labels.push_back(std::move(label));
+    }
+    auto built = DnsName::from_labels(labels);
+    ASSERT_TRUE(built.has_value());
+    auto reparsed = DnsName::parse(built->to_string());
+    ASSERT_TRUE(reparsed.has_value()) << built->to_string();
+    EXPECT_EQ(*reparsed, *built);
+    EXPECT_EQ(reparsed->wire_length(), built->wire_length());
+  }
+}
+
+}  // namespace
+}  // namespace dnslocate::dnswire

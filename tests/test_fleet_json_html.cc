@@ -1,0 +1,165 @@
+// Custom fleets from JSON plans, the plan round trip, MX/SRV records, and
+// the HTML report generator.
+#include <gtest/gtest.h>
+
+#include "atlas/fleet_json.h"
+#include "atlas/measurement.h"
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "report/html_report.h"
+#include "resolvers/zone_parser.h"
+
+namespace dnslocate {
+namespace {
+
+TEST(FleetJson, ParsesAndGeneratesACustomStudy) {
+  const char* plan_text = R"({
+    "seed": 7, "scale": 1.0, "ipv6_fraction": 0.5,
+    "orgs": [
+      {"org": "TestNet", "asn": 64601, "country": "US", "probes": 40,
+       "cpe_xb6": 2, "isp_allfour": 1, "one_intercepted": 1},
+      {"org": "OtherNet", "asn": 64602, "country": "DE", "probes": 20,
+       "cpe_custom": "weird-box 9"}
+    ]
+  })";
+  auto result = atlas::fleet_from_json(plan_text);
+  ASSERT_TRUE(result.ok()) << result.errors[0];
+  ASSERT_EQ(result.plan.size(), 2u);
+  EXPECT_EQ(result.config.seed, 7u);
+  EXPECT_EQ(result.plan[0].cpe_xb6, 2);
+  EXPECT_EQ(result.plan[1].cpe_custom, "weird-box 9");
+
+  auto fleet = result.generate();
+  EXPECT_EQ(fleet.size(), 60u);
+  std::size_t interceptors = 0, xb6 = 0, custom = 0;
+  for (const auto& spec : fleet) {
+    if (spec.scenario.cpe.intercepts()) ++interceptors;
+    if (spec.scenario.cpe.kind == atlas::CpeStyle::Kind::xb6_buggy) ++xb6;
+    if (spec.scenario.cpe.kind == atlas::CpeStyle::Kind::intercept_custom) ++custom;
+  }
+  EXPECT_EQ(xb6, 2u);
+  EXPECT_EQ(custom, 1u);
+  EXPECT_EQ(interceptors, 3u);
+
+  // And the custom fleet measures end-to-end.
+  auto run = atlas::run_fleet(fleet);
+  EXPECT_EQ(run.intercepted_count(), 5u);  // 3 CPE + 1 ISP + 1 scoped
+  EXPECT_EQ(run.count_location(core::InterceptorLocation::cpe), 3u);
+}
+
+TEST(FleetJson, ReportsSchemaErrors) {
+  EXPECT_FALSE(atlas::fleet_from_json("not json").ok());
+  EXPECT_FALSE(atlas::fleet_from_json("[]").ok());
+  EXPECT_FALSE(atlas::fleet_from_json("{}").ok());  // missing orgs
+  auto missing_org = atlas::fleet_from_json(R"({"orgs":[{"probes":5}]})");
+  ASSERT_EQ(missing_org.errors.size(), 1u);
+  EXPECT_NE(missing_org.errors[0].find("missing \"org\""), std::string::npos);
+  auto bad_scale = atlas::fleet_from_json(R"({"scale": 2, "orgs":[{"org":"x","probes":1}]})");
+  EXPECT_FALSE(bad_scale.ok());
+  auto negative =
+      atlas::fleet_from_json(R"({"orgs":[{"org":"x","probes":5,"cpe_xb6":-1}]})");
+  EXPECT_FALSE(negative.ok());
+}
+
+TEST(FleetJson, BuiltinPlanRoundTrips) {
+  const auto& plan = atlas::builtin_fleet_plan();
+  atlas::FleetConfig config;
+  std::string json = atlas::fleet_to_json(plan, config);
+  auto reloaded = atlas::fleet_from_json(json);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.errors[0];
+  ASSERT_EQ(reloaded.plan.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(reloaded.plan[i].org, plan[i].org);
+    EXPECT_EQ(reloaded.plan[i].probes, plan[i].probes);
+    EXPECT_EQ(reloaded.plan[i].cpe_xb6, plan[i].cpe_xb6);
+    EXPECT_EQ(reloaded.plan[i].v6_intercept, plan[i].v6_intercept);
+    EXPECT_EQ(reloaded.plan[i].cpe_custom, plan[i].cpe_custom);
+  }
+  // Same fleet either way.
+  auto a = atlas::generate_fleet({});
+  auto b = reloaded.generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 131)
+    EXPECT_EQ(a[i].scenario.cpe.kind, b[i].scenario.cpe.kind);
+}
+
+// --- MX / SRV ---
+
+dnswire::DnsName name(const char* text) { return *dnswire::DnsName::parse(text); }
+
+TEST(MxSrv, CodecRoundTrip) {
+  dnswire::Message query = dnswire::make_query(1, name("example.com"), dnswire::RecordType::MX);
+  dnswire::Message response = dnswire::make_response(query);
+  response.answers.push_back(dnswire::ResourceRecord{
+      name("example.com"), dnswire::RecordType::MX, dnswire::RecordClass::IN, 300,
+      dnswire::MxRecord{10, name("mail.example.com")}});
+  response.answers.push_back(dnswire::ResourceRecord{
+      name("_dns._udp.example.com"), dnswire::RecordType::SRV, dnswire::RecordClass::IN, 300,
+      dnswire::SrvRecord{5, 10, 53, name("ns.example.com")}});
+  for (bool compress : {true, false}) {
+    auto decoded = dnswire::decode_message(
+        dnswire::encode_message(response, {.compress_names = compress}));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, response) << "compress=" << compress;
+  }
+  EXPECT_EQ(response.answers[0].to_string(), "example.com 300 IN MX 10 mail.example.com");
+  EXPECT_NE(response.answers[1].to_string().find("5 10 53 ns.example.com"),
+            std::string::npos);
+}
+
+TEST(MxSrv, ZoneParserSupport) {
+  resolvers::ZoneStore store;
+  auto result = resolvers::parse_master_file(
+      "$ORIGIN z.test.\n"
+      "@ IN MX 10 mail\n"
+      "_sip._udp IN SRV 1 2 5060 sip.z.test.\n"
+      "bad IN MX banana mail\n",
+      store);
+  EXPECT_EQ(result.records_added, 2u);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].line, 4u);
+
+  auto mx = store.lookup(name("z.test"), dnswire::RecordType::MX);
+  ASSERT_EQ(mx.answers.size(), 1u);
+  EXPECT_EQ(std::get<dnswire::MxRecord>(mx.answers[0].rdata).exchange, name("mail.z.test"));
+  auto srv = store.lookup(name("_sip._udp.z.test"), dnswire::RecordType::SRV);
+  ASSERT_EQ(srv.answers.size(), 1u);
+  EXPECT_EQ(std::get<dnswire::SrvRecord>(srv.answers[0].rdata).port, 5060);
+}
+
+// --- HTML report ---
+
+TEST(HtmlReport, EscapesAndContainsEverySection) {
+  EXPECT_EQ(report::html_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+
+  atlas::FleetConfig config;
+  config.scale = 0.02;
+  auto run = atlas::run_fleet(atlas::generate_fleet(config));
+  report::HtmlReportOptions options;
+  options.title = "test <report>";
+  std::string html = report::html_report(run, options);
+
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("test &lt;report&gt;"), std::string::npos);
+  EXPECT_NE(html.find("Table 4"), std::string::npos);
+  EXPECT_NE(html.find("Table 5"), std::string::npos);
+  EXPECT_NE(html.find("Figure 3"), std::string::npos);
+  EXPECT_NE(html.find("Figure 4a"), std::string::npos);
+  EXPECT_NE(html.find("Figure 4b"), std::string::npos);
+  EXPECT_NE(html.find("ground truth"), std::string::npos);
+  EXPECT_NE(html.find("dnsmasq-2.78"), std::string::npos);  // a Table-5 string
+  EXPECT_NE(html.find("class=\"bar\""), std::string::npos);
+  // No unescaped raw angle brackets from data (crude check: the known
+  // Comcast org renders escaped-free but intact).
+  EXPECT_NE(html.find("Comcast (AS7922)"), std::string::npos);
+}
+
+TEST(HtmlReport, EmptyRunStillRenders) {
+  atlas::MeasurementRun run;
+  std::string html = report::html_report(run);
+  EXPECT_NE(html.find("0 probes measured"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnslocate

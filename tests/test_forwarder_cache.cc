@@ -1,0 +1,173 @@
+// Forwarder cache tests: hits, TTL aging and expiry, negative caching, LRU
+// eviction, and the CH-class exclusion.
+#include <gtest/gtest.h>
+
+#include "dnswire/debug_queries.h"
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "resolvers/forwarder.h"
+#include "resolvers/resolver_behavior.h"
+#include "resolvers/server_app.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::resolvers {
+namespace {
+
+netbase::IpAddress ip(const char* text) { return *netbase::IpAddress::parse(text); }
+dnswire::DnsName name(const char* text) { return *dnswire::DnsName::parse(text); }
+
+struct SinkApp : simnet::UdpApp {
+  std::vector<simnet::UdpPacket> received;
+  void on_datagram(simnet::Simulator&, simnet::Device&, const simnet::UdpPacket& p) override {
+    received.push_back(p);
+  }
+  std::optional<dnswire::Message> message(std::size_t i) const {
+    return dnswire::decode_message(received.at(i).payload);
+  }
+};
+
+struct CacheWorld {
+  simnet::Simulator sim{1};
+  simnet::Device& client;
+  simnet::Device& gateway;
+  simnet::Device& upstream;
+  std::unique_ptr<DnsForwarderApp> forwarder;
+  std::shared_ptr<DnsServerApp> upstream_app;
+  std::shared_ptr<ZoneStore> zones = std::make_shared<ZoneStore>();
+  SinkApp client_app;
+  std::uint16_t next_id = 1;
+
+  explicit CacheWorld(std::size_t capacity = 150)
+      : client(sim.add_device<simnet::Device>("client")),
+        gateway(sim.add_device<simnet::Device>("gateway")),
+        upstream(sim.add_device<simnet::Device>("upstream")) {
+    gateway.set_forwarding(true);
+    auto [c_up, gw_lan] = sim.connect(client, gateway);
+    auto [gw_wan, up_down] = sim.connect(gateway, upstream);
+    client.add_local_ip(ip("192.168.1.10"));
+    client.set_default_route(c_up);
+    gateway.add_local_ip(ip("192.168.1.1"));
+    gateway.add_route(*netbase::Prefix::parse("192.168.1.0/24"), gw_lan);
+    gateway.set_default_route(gw_wan);
+    upstream.add_local_ip(ip("198.51.100.2"));
+    upstream.set_default_route(up_down);
+
+    zones->add(dnswire::make_a(name("a.example"), netbase::Ipv4Address(1, 1, 1, 10), 100));
+    zones->add(dnswire::make_a(name("b.example"), netbase::Ipv4Address(1, 1, 1, 11), 100));
+    zones->add(dnswire::make_a(name("c.example"), netbase::Ipv4Address(1, 1, 1, 12), 100));
+
+    ForwarderConfig config;
+    config.software = dnsmasq();
+    config.upstream_v4 = netbase::Endpoint{ip("198.51.100.2"), 53};
+    config.cache_enabled = true;
+    config.cache_capacity = capacity;
+    forwarder = std::make_unique<DnsForwarderApp>(config);
+    forwarder->attach(gateway);
+
+    ResolverConfig resolver_config;
+    resolver_config.software = bind9();
+    resolver_config.egress_v4 = ip("198.51.100.2");
+    resolver_config.zones = zones;
+    upstream_app =
+        std::make_shared<DnsServerApp>(std::make_shared<ResolverBehavior>(resolver_config));
+    upstream.bind_udp(53, upstream_app.get());
+    client.bind_udp(5555, &client_app);
+  }
+
+  void query(const char* qname, dnswire::RecordClass klass = dnswire::RecordClass::IN) {
+    auto message = dnswire::make_query(next_id++, name(qname), dnswire::RecordType::A, klass);
+    simnet::UdpPacket p;
+    p.src = ip("192.168.1.10");
+    p.dst = ip("192.168.1.1");
+    p.sport = 5555;
+    p.dport = 53;
+    p.payload = dnswire::encode_message(message);
+    client.send_local(sim, p);
+    sim.run_until_idle();
+  }
+};
+
+TEST(ForwarderCache, SecondQueryIsServedFromCache) {
+  CacheWorld world;
+  world.query("a.example");
+  world.query("a.example");
+  EXPECT_EQ(world.forwarder->forwarded_upstream(), 1u);  // only the first
+  EXPECT_EQ(world.forwarder->cache_hits(), 1u);
+  EXPECT_EQ(world.upstream_app->queries_seen(), 1u);
+  ASSERT_EQ(world.client_app.received.size(), 2u);
+  // Both answers carry the same address.
+  EXPECT_EQ(world.client_app.message(0)->first_address(),
+            world.client_app.message(1)->first_address());
+  // Ids match each client query, not the cached copy's.
+  EXPECT_EQ(world.client_app.message(1)->id, 2);
+}
+
+TEST(ForwarderCache, TtlAgesWhileCached) {
+  CacheWorld world;
+  world.query("a.example");
+  std::uint32_t fresh_ttl = world.client_app.message(0)->answers[0].ttl;
+  // Let 40 simulated seconds pass before re-asking.
+  world.sim.schedule(std::chrono::seconds(40), [] {});
+  world.sim.run_until_idle();
+  world.query("a.example");
+  std::uint32_t aged_ttl = world.client_app.message(1)->answers[0].ttl;
+  EXPECT_EQ(fresh_ttl, 100u);
+  EXPECT_LE(aged_ttl, 60u);
+  EXPECT_GT(aged_ttl, 0u);
+}
+
+TEST(ForwarderCache, ExpiredEntryGoesUpstreamAgain) {
+  CacheWorld world;
+  world.query("a.example");
+  world.sim.schedule(std::chrono::seconds(150), [] {});  // > TTL 100
+  world.sim.run_until_idle();
+  world.query("a.example");
+  EXPECT_EQ(world.forwarder->forwarded_upstream(), 2u);
+  EXPECT_EQ(world.forwarder->cache_hits(), 0u);
+}
+
+TEST(ForwarderCache, NegativeAnswersAreCachedBriefly) {
+  CacheWorld world;
+  world.query("missing.example");
+  world.query("missing.example");
+  EXPECT_EQ(world.forwarder->forwarded_upstream(), 1u);
+  EXPECT_EQ(world.client_app.message(1)->rcode(), dnswire::Rcode::NXDOMAIN);
+}
+
+TEST(ForwarderCache, ChaosQueriesBypassTheCache) {
+  CacheWorld world;
+  world.query("version.bind", dnswire::RecordClass::CH);
+  world.query("version.bind", dnswire::RecordClass::CH);
+  EXPECT_EQ(world.forwarder->cache_hits(), 0u);
+  EXPECT_EQ(world.forwarder->cache_misses(), 0u);
+  EXPECT_EQ(world.forwarder->chaos_answered(), 2u);
+}
+
+TEST(ForwarderCache, LruEvictsTheColdestEntry) {
+  CacheWorld world(/*capacity=*/2);
+  world.query("a.example");
+  world.query("b.example");
+  world.query("a.example");  // refresh a -> b becomes coldest
+  world.query("c.example");  // evicts b
+  EXPECT_EQ(world.forwarder->cache_size(), 2u);
+  world.query("a.example");  // hit
+  EXPECT_EQ(world.forwarder->cache_hits(), 2u);
+  world.query("b.example");  // miss -> upstream again
+  EXPECT_EQ(world.forwarder->forwarded_upstream(), 4u);  // a, b, c, b
+}
+
+TEST(ForwarderCache, CacheKeyIsCaseInsensitive) {
+  CacheWorld world;
+  world.query("a.example");
+  world.query("A.EXAMPLE");
+  EXPECT_EQ(world.forwarder->cache_hits(), 1u);
+}
+
+TEST(ForwarderCache, DisabledByDefault) {
+  simnet::Simulator sim(1);
+  ForwarderConfig config;
+  EXPECT_FALSE(config.cache_enabled);
+}
+
+}  // namespace
+}  // namespace dnslocate::resolvers

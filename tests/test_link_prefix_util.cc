@@ -1,0 +1,190 @@
+// Link bandwidth/queueing model and prefix subnetting utilities, plus
+// response-acceptance checks.
+#include <gtest/gtest.h>
+
+#include "dnswire/message.h"
+#include "netbase/prefix.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate {
+namespace {
+
+using netbase::IpAddress;
+using netbase::Prefix;
+
+// ---------- prefix utilities ----------
+
+TEST(PrefixUtil, SplitV4) {
+  auto halves = netbase::split(*Prefix::parse("10.0.0.0/8"));
+  ASSERT_TRUE(halves.has_value());
+  EXPECT_EQ(halves->first.to_string(), "10.0.0.0/9");
+  EXPECT_EQ(halves->second.to_string(), "10.128.0.0/9");
+  // The halves tile the parent exactly.
+  EXPECT_TRUE((*Prefix::parse("10.0.0.0/8")).contains(halves->first));
+  EXPECT_TRUE((*Prefix::parse("10.0.0.0/8")).contains(halves->second));
+  EXPECT_FALSE(halves->first.contains(halves->second.address()));
+}
+
+TEST(PrefixUtil, SplitV6AndHostPrefixes) {
+  auto halves = netbase::split(*Prefix::parse("2001:db8::/32"));
+  ASSERT_TRUE(halves.has_value());
+  EXPECT_EQ(halves->first.to_string(), "2001:db8::/33");
+  EXPECT_EQ(halves->second.to_string(), "2001:db8:8000::/33");
+  EXPECT_FALSE(netbase::split(*Prefix::parse("1.2.3.4/32")).has_value());
+  EXPECT_FALSE(netbase::split(*Prefix::parse("::1/128")).has_value());
+}
+
+TEST(PrefixUtil, SplitRecursesToHosts) {
+  // Repeated splitting of a /24 yields 256 host prefixes.
+  std::vector<Prefix> frontier{*Prefix::parse("192.0.2.0/24")};
+  while (frontier.front().length() < 32) {
+    std::vector<Prefix> next;
+    for (const auto& prefix : frontier) {
+      auto halves = netbase::split(prefix);
+      ASSERT_TRUE(halves.has_value());
+      next.push_back(halves->first);
+      next.push_back(halves->second);
+    }
+    frontier = std::move(next);
+  }
+  EXPECT_EQ(frontier.size(), 256u);
+  EXPECT_EQ(frontier.front().address().to_string(), "192.0.2.0");
+  EXPECT_EQ(frontier.back().address().to_string(), "192.0.2.255");
+}
+
+TEST(PrefixUtil, NthAddress) {
+  auto prefix = *Prefix::parse("192.0.2.0/24");
+  EXPECT_EQ(netbase::nth_address(prefix, 0)->to_string(), "192.0.2.0");
+  EXPECT_EQ(netbase::nth_address(prefix, 77)->to_string(), "192.0.2.77");
+  EXPECT_EQ(netbase::nth_address(prefix, 255)->to_string(), "192.0.2.255");
+  EXPECT_FALSE(netbase::nth_address(prefix, 256).has_value());
+
+  auto v6 = *Prefix::parse("2001:db8::/64");
+  EXPECT_EQ(netbase::nth_address(v6, 0x1234)->to_string(), "2001:db8::1234");
+}
+
+TEST(PrefixUtil, AddressCount) {
+  EXPECT_EQ(netbase::address_count(*Prefix::parse("192.0.2.0/24")), 256u);
+  EXPECT_EQ(netbase::address_count(*Prefix::parse("1.2.3.4/32")), 1u);
+  EXPECT_EQ(netbase::address_count(*Prefix::parse("2001:db8::/64")), ~0ull);  // saturates
+}
+
+// ---------- response acceptance (RFC 5452-style) ----------
+
+TEST(ResponseAcceptance, ChecksIdQuestionAndDirection) {
+  auto name = *dnswire::DnsName::parse("example.com");
+  auto query = dnswire::make_query(0x1234, name, dnswire::RecordType::A);
+  auto good = dnswire::make_response(query);
+  EXPECT_TRUE(dnswire::is_acceptable_response(query, good));
+
+  auto wrong_id = good;
+  wrong_id.id = 0x1235;
+  EXPECT_FALSE(dnswire::is_acceptable_response(query, wrong_id));
+
+  auto not_a_response = query;
+  EXPECT_FALSE(dnswire::is_acceptable_response(query, not_a_response));
+
+  auto wrong_name = good;
+  wrong_name.questions[0].name = *dnswire::DnsName::parse("evil.com");
+  EXPECT_FALSE(dnswire::is_acceptable_response(query, wrong_name));
+
+  auto wrong_type = good;
+  wrong_type.questions[0].type = dnswire::RecordType::AAAA;
+  EXPECT_FALSE(dnswire::is_acceptable_response(query, wrong_type));
+
+  // Case differences are fine (0x20 handled separately).
+  auto case_changed = good;
+  case_changed.questions[0].name = *dnswire::DnsName::parse("EXAMPLE.COM");
+  EXPECT_TRUE(dnswire::is_acceptable_response(query, case_changed));
+}
+
+// ---------- link bandwidth & queueing ----------
+
+struct SinkApp : simnet::UdpApp {
+  std::vector<simnet::SimTime> arrivals;
+  void on_datagram(simnet::Simulator& sim, simnet::Device&, const simnet::UdpPacket&) override {
+    arrivals.push_back(sim.now());
+  }
+};
+
+struct Wire {
+  simnet::Simulator sim{1};
+  simnet::Device& a;
+  simnet::Device& b;
+  SinkApp sink;
+  simnet::PortId a_port;
+
+  explicit Wire(simnet::LinkConfig config)
+      : a(sim.add_device<simnet::Device>("a")), b(sim.add_device<simnet::Device>("b")) {
+    auto [ap, bp] = sim.connect(a, b, config);
+    (void)bp;
+    a_port = ap;
+    a.add_local_ip(*netbase::IpAddress::parse("10.0.0.1"));
+    b.add_local_ip(*netbase::IpAddress::parse("10.0.0.2"));
+    a.set_default_route(a_port);
+    b.bind_udp(53, &sink);
+  }
+
+  void send(std::size_t payload_size) {
+    simnet::UdpPacket packet;
+    packet.src = *netbase::IpAddress::parse("10.0.0.1");
+    packet.dst = *netbase::IpAddress::parse("10.0.0.2");
+    packet.sport = 1;
+    packet.dport = 53;
+    packet.payload.assign(payload_size, 0xab);
+    a.send_local(sim, packet);
+  }
+};
+
+TEST(LinkBandwidth, SerializationDelayAddsUp) {
+  simnet::LinkConfig config;
+  config.latency = std::chrono::milliseconds(1);
+  config.bandwidth_bps = 8'000'000;  // 1 byte/us
+  Wire wire(config);
+  wire.send(972);  // 972 + 28 header = 1000 bytes -> 1 ms serialization
+  wire.sim.run_until_idle();
+  ASSERT_EQ(wire.sink.arrivals.size(), 1u);
+  EXPECT_EQ(wire.sink.arrivals[0], std::chrono::milliseconds(2));  // 1ms ser + 1ms prop
+}
+
+TEST(LinkBandwidth, BackToBackPacketsQueue) {
+  simnet::LinkConfig config;
+  config.latency = std::chrono::milliseconds(0);
+  config.bandwidth_bps = 8'000'000;
+  config.max_queue_delay = std::chrono::seconds(1);
+  Wire wire(config);
+  for (int i = 0; i < 3; ++i) wire.send(972);  // 1ms each on the wire
+  wire.sim.run_until_idle();
+  ASSERT_EQ(wire.sink.arrivals.size(), 3u);
+  EXPECT_EQ(wire.sink.arrivals[0], std::chrono::milliseconds(1));
+  EXPECT_EQ(wire.sink.arrivals[1], std::chrono::milliseconds(2));
+  EXPECT_EQ(wire.sink.arrivals[2], std::chrono::milliseconds(3));
+}
+
+TEST(LinkBandwidth, QueueOverflowTailDrops) {
+  simnet::LinkConfig config;
+  config.latency = std::chrono::milliseconds(0);
+  config.bandwidth_bps = 8'000'000;
+  config.max_queue_delay = std::chrono::microseconds(2500);  // fits ~2 queued + 1 serializing
+  Wire wire(config);
+  simnet::TraceSink trace;
+  wire.sim.set_trace(&trace);
+  for (int i = 0; i < 10; ++i) wire.send(972);
+  wire.sim.run_until_idle();
+  EXPECT_LT(wire.sink.arrivals.size(), 10u);
+  EXPECT_GE(wire.sink.arrivals.size(), 3u);
+  EXPECT_GT(trace.count(simnet::TraceEvent::dropped_loss), 0u);
+}
+
+TEST(LinkBandwidth, ZeroBandwidthMeansNoSerialization) {
+  simnet::LinkConfig config;
+  config.latency = std::chrono::milliseconds(1);
+  Wire wire(config);
+  for (int i = 0; i < 5; ++i) wire.send(1400);
+  wire.sim.run_until_idle();
+  ASSERT_EQ(wire.sink.arrivals.size(), 5u);
+  for (const auto& at : wire.sink.arrivals) EXPECT_EQ(at, std::chrono::milliseconds(1));
+}
+
+}  // namespace
+}  // namespace dnslocate

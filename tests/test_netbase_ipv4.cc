@@ -1,0 +1,95 @@
+// Unit tests: IPv4 address parsing, formatting, classification.
+#include <gtest/gtest.h>
+
+#include "netbase/ipv4.h"
+
+namespace dnslocate::netbase {
+namespace {
+
+TEST(Ipv4Address, ParsesDottedQuad) {
+  auto addr = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0xc0000201u);
+  EXPECT_EQ(addr->to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4Address, ParsesExtremes) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+struct BadV4 : ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadV4, Rejected) { EXPECT_FALSE(Ipv4Address::parse(GetParam()).has_value()); }
+
+INSTANTIATE_TEST_SUITE_P(Malformed, BadV4,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.256",
+                                           "a.b.c.d", "1..2.3", "1.2.3.4 ", " 1.2.3.4",
+                                           "01.2.3.4", "1.2.3.04", "1,2,3,4", "1.2.3.4x",
+                                           "-1.2.3.4", "999999999999.1.1.1"));
+
+TEST(Ipv4Address, RoundTripsAllOctetBoundaries) {
+  for (std::uint32_t octet : {0u, 1u, 9u, 10u, 99u, 100u, 127u, 128u, 199u, 200u, 255u}) {
+    Ipv4Address addr(static_cast<std::uint8_t>(octet), 0, 255,
+                     static_cast<std::uint8_t>(octet));
+    auto reparsed = Ipv4Address::parse(addr.to_string());
+    ASSERT_TRUE(reparsed.has_value()) << addr.to_string();
+    EXPECT_EQ(*reparsed, addr);
+  }
+}
+
+TEST(Ipv4Address, ByteOrderIsNetwork) {
+  Ipv4Address addr(1, 2, 3, 4);
+  auto bytes = addr.to_bytes();
+  EXPECT_EQ(bytes[0], 1);
+  EXPECT_EQ(bytes[3], 4);
+  EXPECT_EQ(Ipv4Address::from_bytes(bytes), addr);
+}
+
+TEST(Ipv4Address, ClassifiesPrivateRanges) {
+  EXPECT_TRUE(Ipv4Address(10, 0, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(172, 31, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Address(172, 32, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(192, 168, 1, 1).is_private());
+  EXPECT_FALSE(Ipv4Address(192, 169, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Address(8, 8, 8, 8).is_private());
+}
+
+TEST(Ipv4Address, ClassifiesSpecialRanges) {
+  EXPECT_TRUE(Ipv4Address(127, 0, 0, 1).is_loopback());
+  EXPECT_TRUE(Ipv4Address(169, 254, 1, 1).is_link_local());
+  EXPECT_TRUE(Ipv4Address(100, 64, 0, 1).is_shared_cgn());
+  EXPECT_TRUE(Ipv4Address(100, 127, 255, 255).is_shared_cgn());
+  EXPECT_FALSE(Ipv4Address(100, 128, 0, 0).is_shared_cgn());
+  EXPECT_TRUE(Ipv4Address(192, 0, 2, 7).is_test_net());
+  EXPECT_TRUE(Ipv4Address(198, 51, 100, 7).is_test_net());
+  EXPECT_TRUE(Ipv4Address(203, 0, 113, 7).is_test_net());
+  EXPECT_TRUE(Ipv4Address(240, 9, 9, 9).is_reserved_class_e());
+  EXPECT_TRUE(Ipv4Address(224, 0, 0, 1).is_multicast());
+  EXPECT_TRUE(Ipv4Address(255, 255, 255, 255).is_broadcast());
+}
+
+TEST(Ipv4Address, BogonUnionCoversAllSpecials) {
+  const Ipv4Address bogons[] = {
+      {0, 1, 2, 3},       {10, 1, 1, 1},     {100, 64, 1, 1},   {127, 1, 1, 1},
+      {169, 254, 9, 9},   {172, 20, 0, 1},   {192, 0, 0, 7},    {192, 0, 2, 9},
+      {192, 168, 0, 9},   {198, 18, 0, 1},   {198, 19, 255, 1}, {198, 51, 100, 1},
+      {203, 0, 113, 200}, {224, 1, 1, 1},    {240, 9, 9, 9},    {255, 255, 255, 255},
+  };
+  for (const auto& addr : bogons) EXPECT_TRUE(addr.is_bogon()) << addr.to_string();
+
+  const Ipv4Address routable[] = {
+      {8, 8, 8, 8}, {1, 1, 1, 1}, {9, 9, 9, 9}, {208, 67, 222, 222},
+      {93, 184, 216, 34}, {198, 17, 0, 1}, {198, 20, 0, 1}, {100, 128, 0, 1},
+  };
+  for (const auto& addr : routable) EXPECT_FALSE(addr.is_bogon()) << addr.to_string();
+}
+
+TEST(Ipv4Address, OrderingIsNumeric) {
+  EXPECT_LT(Ipv4Address(1, 0, 0, 0), Ipv4Address(2, 0, 0, 0));
+  EXPECT_LT(Ipv4Address(1, 2, 3, 4), Ipv4Address(1, 2, 3, 5));
+}
+
+}  // namespace
+}  // namespace dnslocate::netbase

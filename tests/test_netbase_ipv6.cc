@@ -1,0 +1,114 @@
+// Unit tests: IPv6 parsing (RFC 4291) and canonical formatting (RFC 5952).
+#include <gtest/gtest.h>
+
+#include "netbase/ipv6.h"
+
+namespace dnslocate::netbase {
+namespace {
+
+TEST(Ipv6Address, ParsesFullForm) {
+  auto addr = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hextet(0), 0x2001);
+  EXPECT_EQ(addr->hextet(1), 0x0db8);
+  EXPECT_EQ(addr->hextet(7), 0x0001);
+}
+
+/// (input, canonical output) pairs covering the RFC 5952 rules.
+struct CanonicalCase {
+  const char* input;
+  const char* canonical;
+};
+
+struct Canonical6 : ::testing::TestWithParam<CanonicalCase> {};
+
+TEST_P(Canonical6, ParseAndFormat) {
+  auto addr = Ipv6Address::parse(GetParam().input);
+  ASSERT_TRUE(addr.has_value()) << GetParam().input;
+  EXPECT_EQ(addr->to_string(), GetParam().canonical);
+  // Canonical form must reparse to the same address.
+  auto reparsed = Ipv6Address::parse(addr->to_string());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, *addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc5952, Canonical6,
+    ::testing::Values(
+        CanonicalCase{"2001:db8::1", "2001:db8::1"},
+        CanonicalCase{"2001:DB8::1", "2001:db8::1"},                  // lowercase
+        CanonicalCase{"::", "::"},                                    // all zero
+        CanonicalCase{"::1", "::1"},                                  // loopback
+        CanonicalCase{"1::", "1::"},                                  // trailing run
+        CanonicalCase{"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"},   // leftmost tie...
+        CanonicalCase{"2001:0:0:1:0:0:0:1", "2001:0:0:1::1"},         // longest run wins
+        CanonicalCase{"2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1"},// single 0 not compressed
+        CanonicalCase{"2606:4700:4700::1111", "2606:4700:4700::1111"},
+        CanonicalCase{"2001:4860:4860::8888", "2001:4860:4860::8888"},
+        CanonicalCase{"2620:fe::fe", "2620:fe::fe"},
+        CanonicalCase{"100::9", "100::9"},
+        CanonicalCase{"0:0:0:0:0:0:0:0", "::"},
+        CanonicalCase{"fe80:0:0:0:0:0:0:1", "fe80::1"}));
+
+TEST(Ipv6Address, ParsesEmbeddedV4) {
+  auto addr = Ipv6Address::parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_TRUE(addr->is_v4_mapped());
+  EXPECT_EQ(addr->hextet(6), 0xc000);
+  EXPECT_EQ(addr->hextet(7), 0x0201);
+  EXPECT_EQ(*addr, Ipv6Address::mapped_v4(Ipv4Address(192, 0, 2, 1)));
+}
+
+TEST(Ipv6Address, ParsesFullFormWithEmbeddedV4) {
+  auto addr = Ipv6Address::parse("64:ff9b:0:0:0:0:192.0.2.33");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->hextet(0), 0x64);
+  EXPECT_EQ(addr->hextet(7), 0x0221);
+}
+
+struct BadV6 : ::testing::TestWithParam<const char*> {};
+
+TEST_P(BadV6, Rejected) { EXPECT_FALSE(Ipv6Address::parse(GetParam()).has_value()); }
+
+INSTANTIATE_TEST_SUITE_P(Malformed, BadV6,
+                         ::testing::Values("", ":", ":::", "1:2:3:4:5:6:7",      // too few
+                                           "1:2:3:4:5:6:7:8:9",                  // too many
+                                           "1::2::3",                            // two ::
+                                           "12345::", "g::1", "1:2:3:4:5:6:7:8::",
+                                           "::1.2.3.256", "1.2.3.4",
+                                           "2001:db8::1::"));
+
+TEST(Ipv6Address, Classification) {
+  EXPECT_TRUE(Ipv6Address::parse("::")->is_unspecified());
+  EXPECT_TRUE(Ipv6Address::parse("::1")->is_loopback());
+  EXPECT_TRUE(Ipv6Address::parse("fe80::1")->is_link_local());
+  EXPECT_TRUE(Ipv6Address::parse("febf::1")->is_link_local());
+  EXPECT_FALSE(Ipv6Address::parse("fec0::1")->is_link_local());
+  EXPECT_TRUE(Ipv6Address::parse("fd00:1::1")->is_unique_local());
+  EXPECT_TRUE(Ipv6Address::parse("fc00::1")->is_unique_local());
+  EXPECT_TRUE(Ipv6Address::parse("ff02::1")->is_multicast());
+  EXPECT_TRUE(Ipv6Address::parse("2001:db8::7")->is_documentation());
+  EXPECT_TRUE(Ipv6Address::parse("100::9")->is_discard_only());
+  EXPECT_FALSE(Ipv6Address::parse("100:0:0:1::9")->is_discard_only());
+}
+
+TEST(Ipv6Address, BogonUnion) {
+  const char* bogons[] = {"::", "::1",      "fe80::1", "fd00::1", "ff02::1",
+                          "2001:db8::1", "100::9",  "::ffff:10.0.0.1"};
+  for (const char* text : bogons)
+    EXPECT_TRUE(Ipv6Address::parse(text)->is_bogon()) << text;
+
+  const char* routable[] = {"2606:4700:4700::1111", "2001:4860:4860::8888", "2620:fe::fe",
+                            "2a00:1450::1", "2001:db7::1"};
+  for (const char* text : routable)
+    EXPECT_FALSE(Ipv6Address::parse(text)->is_bogon()) << text;
+}
+
+TEST(Ipv6Address, HextetRoundTrip) {
+  auto addr = Ipv6Address::from_hextets({0x2a00, 0x1234, 0, 0, 0, 0, 0xbeef, 0x1});
+  EXPECT_EQ(addr.to_string(), "2a00:1234::beef:1");
+  EXPECT_EQ(addr.hextet(6), 0xbeef);
+}
+
+}  // namespace
+}  // namespace dnslocate::netbase

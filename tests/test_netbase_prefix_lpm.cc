@@ -1,0 +1,275 @@
+// Unit & property tests: prefixes, longest-prefix matching, bogon catalog,
+// endpoints.
+#include <gtest/gtest.h>
+
+#include "netbase/bogon.h"
+#include "netbase/endpoint.h"
+#include "netbase/lpm.h"
+#include "simnet/rng.h"
+
+namespace dnslocate::netbase {
+namespace {
+
+TEST(Prefix, ParsesAndMasks) {
+  auto prefix = Prefix::parse("192.0.2.77/24");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->to_string(), "192.0.2.0/24");  // host bits cleared
+  EXPECT_EQ(prefix->length(), 24u);
+}
+
+TEST(Prefix, BareAddressIsHostPrefix) {
+  EXPECT_EQ(Prefix::parse("10.0.0.1")->length(), 32u);
+  EXPECT_EQ(Prefix::parse("2001:db8::1")->length(), 128u);
+}
+
+TEST(Prefix, RejectsBadInput) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("banana/8").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/8x").has_value());
+}
+
+TEST(Prefix, ContainsAddress) {
+  auto prefix = *Prefix::parse("172.16.0.0/12");
+  EXPECT_TRUE(prefix.contains(*IpAddress::parse("172.16.0.1")));
+  EXPECT_TRUE(prefix.contains(*IpAddress::parse("172.31.255.255")));
+  EXPECT_FALSE(prefix.contains(*IpAddress::parse("172.32.0.0")));
+  EXPECT_FALSE(prefix.contains(*IpAddress::parse("2001:db8::1")));  // family mismatch
+}
+
+TEST(Prefix, ContainsPrefix) {
+  auto outer = *Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(outer.contains(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(*Prefix::parse("0.0.0.0/0")));
+  EXPECT_FALSE((*Prefix::parse("10.1.0.0/16")).contains(outer));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  auto all_v4 = *Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(all_v4.contains(*IpAddress::parse("255.255.255.255")));
+  auto all_v6 = *Prefix::parse("::/0");
+  EXPECT_TRUE(all_v6.contains(*IpAddress::parse("2001:db8::1")));
+  EXPECT_FALSE(all_v4.contains(*IpAddress::parse("::1")));
+}
+
+TEST(Prefix, V6Masking) {
+  auto prefix = *Prefix::parse("2001:db8:abcd:1234::/48");
+  EXPECT_EQ(prefix.to_string(), "2001:db8:abcd::/48");
+  auto odd = *Prefix::parse("ffff:ffff:ffff:ffff::/37");
+  EXPECT_EQ(odd.to_string(), "ffff:ffff:f800::/37");
+}
+
+TEST(CommonPrefixLength, Basics) {
+  EXPECT_EQ(common_prefix_length(*IpAddress::parse("10.0.0.0"), *IpAddress::parse("10.0.0.0")),
+            32u);
+  EXPECT_EQ(common_prefix_length(*IpAddress::parse("10.0.0.0"), *IpAddress::parse("11.0.0.0")),
+            7u);
+  EXPECT_EQ(common_prefix_length(*IpAddress::parse("0.0.0.0"), *IpAddress::parse("128.0.0.0")),
+            0u);
+  EXPECT_EQ(common_prefix_length(*IpAddress::parse("2001:db8::"),
+                                 *IpAddress::parse("2001:db8::1")),
+            127u);
+  EXPECT_EQ(common_prefix_length(*IpAddress::parse("10.0.0.0"), *IpAddress::parse("::1")), 0u);
+}
+
+TEST(LpmTable, LongestMatchWins) {
+  LpmTable<std::string> table;
+  table.insert(*Prefix::parse("0.0.0.0/0"), "default");
+  table.insert(*Prefix::parse("10.0.0.0/8"), "ten");
+  table.insert(*Prefix::parse("10.1.0.0/16"), "ten-one");
+  table.insert(*Prefix::parse("10.1.2.0/24"), "ten-one-two");
+
+  EXPECT_EQ(*table.lookup(*IpAddress::parse("10.1.2.3")), "ten-one-two");
+  EXPECT_EQ(*table.lookup(*IpAddress::parse("10.1.9.9")), "ten-one");
+  EXPECT_EQ(*table.lookup(*IpAddress::parse("10.9.9.9")), "ten");
+  EXPECT_EQ(*table.lookup(*IpAddress::parse("11.0.0.1")), "default");
+}
+
+TEST(LpmTable, FamiliesAreSeparate) {
+  LpmTable<int> table;
+  table.insert(*Prefix::parse("0.0.0.0/0"), 4);
+  EXPECT_EQ(table.lookup(*IpAddress::parse("2001:db8::1")), nullptr);
+  table.insert(*Prefix::parse("::/0"), 6);
+  EXPECT_EQ(*table.lookup(*IpAddress::parse("2001:db8::1")), 6);
+  EXPECT_EQ(*table.lookup(*IpAddress::parse("8.8.8.8")), 4);
+}
+
+TEST(LpmTable, InsertReplacesAndCounts) {
+  LpmTable<int> table;
+  EXPECT_TRUE(table.empty());
+  table.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  table.insert(*Prefix::parse("10.0.0.0/8"), 2);  // replacement
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(*table.lookup(*IpAddress::parse("10.1.1.1")), 2);
+  EXPECT_EQ(*table.lookup_exact(*Prefix::parse("10.0.0.0/8")), 2);
+  EXPECT_EQ(table.lookup_exact(*Prefix::parse("10.0.0.0/9")), nullptr);
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.lookup(*IpAddress::parse("10.1.1.1")), nullptr);
+}
+
+// Property: for random prefix sets, the trie agrees with a brute-force scan.
+TEST(LpmTable, AgreesWithBruteForce) {
+  simnet::Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    LpmTable<std::size_t> table;
+    std::vector<Prefix> prefixes;
+    for (int i = 0; i < 60; ++i) {
+      Ipv4Address addr(static_cast<std::uint32_t>(rng.next_u64()));
+      unsigned length = static_cast<unsigned>(rng.uniform(33));
+      Prefix prefix(IpAddress(addr), length);
+      // Last insert wins in the trie; mirror that by deduplicating.
+      bool duplicate = false;
+      for (auto& existing : prefixes)
+        if (existing == prefix) duplicate = true;
+      if (duplicate) continue;
+      prefixes.push_back(prefix);
+      table.insert(prefix, prefixes.size() - 1);
+    }
+    for (int probe = 0; probe < 200; ++probe) {
+      IpAddress addr{Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()))};
+      const std::size_t* got = table.lookup(addr);
+      // Brute force: best (longest) containing prefix.
+      std::optional<std::size_t> want;
+      unsigned best = 0;
+      for (std::size_t i = 0; i < prefixes.size(); ++i) {
+        if (prefixes[i].contains(addr) && (!want || prefixes[i].length() >= best)) {
+          // Ties cannot happen: equal-length containing prefixes are equal.
+          want = i;
+          best = prefixes[i].length();
+        }
+      }
+      if (want.has_value()) {
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, *want);
+      } else {
+        EXPECT_EQ(got, nullptr);
+      }
+    }
+  }
+}
+
+TEST(BogonCatalog, StandardCatalogMatchesAddressClassifiers) {
+  BogonCatalog catalog = BogonCatalog::standard();
+  simnet::Rng rng(7);
+  // Property: catalog membership must equal the per-address is_bogon() for
+  // both families, across random addresses.
+  for (int i = 0; i < 2000; ++i) {
+    Ipv4Address v4(static_cast<std::uint32_t>(rng.next_u64()));
+    EXPECT_EQ(catalog.is_bogon(IpAddress(v4)), v4.is_bogon()) << v4.to_string();
+  }
+  for (int i = 0; i < 2000; ++i) {
+    Ipv6Address::Bytes bytes{};
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    Ipv6Address v6(bytes);
+    EXPECT_EQ(catalog.is_bogon(IpAddress(v6)), v6.is_bogon()) << v6.to_string();
+  }
+}
+
+TEST(BogonCatalog, ClassifiesByRegistryName) {
+  BogonCatalog catalog = BogonCatalog::standard();
+  EXPECT_EQ(catalog.classify(*IpAddress::parse("10.1.2.3")), "private-use (RFC 1918)");
+  EXPECT_EQ(catalog.classify(*IpAddress::parse("100::1")), "discard-only (RFC 6666)");
+  EXPECT_EQ(catalog.classify(*IpAddress::parse("8.8.8.8")), "");
+}
+
+TEST(BogonCatalog, DefaultProbesAreBogons) {
+  BogonCatalog catalog = BogonCatalog::standard();
+  EXPECT_TRUE(catalog.is_bogon(BogonCatalog::default_probe_v4()));
+  EXPECT_TRUE(catalog.is_bogon(BogonCatalog::default_probe_v6()));
+}
+
+TEST(Endpoint, ParseAndFormat) {
+  auto v4 = Endpoint::parse("192.0.2.1:53");
+  ASSERT_TRUE(v4.has_value());
+  EXPECT_EQ(v4->port, 53);
+  EXPECT_EQ(v4->to_string(), "192.0.2.1:53");
+
+  auto v6 = Endpoint::parse("[2001:db8::1]:5353");
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_EQ(v6->port, 5353);
+  EXPECT_EQ(v6->to_string(), "[2001:db8::1]:5353");
+}
+
+TEST(Endpoint, RejectsBadInput) {
+  EXPECT_FALSE(Endpoint::parse("192.0.2.1").has_value());
+  EXPECT_FALSE(Endpoint::parse("192.0.2.1:65536").has_value());
+  EXPECT_FALSE(Endpoint::parse("2001:db8::1:53").has_value());  // needs brackets
+  EXPECT_FALSE(Endpoint::parse("[2001:db8::1]53").has_value());
+  EXPECT_FALSE(Endpoint::parse(":53").has_value());
+  EXPECT_FALSE(Endpoint::parse("192.0.2.1:").has_value());
+}
+
+TEST(IpAddress, ParsePrefersV4ThenV6) {
+  EXPECT_TRUE(IpAddress::parse("1.2.3.4")->is_v4());
+  EXPECT_TRUE(IpAddress::parse("::1")->is_v6());
+  EXPECT_FALSE(IpAddress::parse("nonsense").has_value());
+}
+
+TEST(IpAddress, HashDistinguishesFamilies) {
+  std::hash<IpAddress> hasher;
+  auto v4 = *IpAddress::parse("1.2.3.4");
+  auto mapped = *IpAddress::parse("::ffff:1.2.3.4");
+  EXPECT_NE(v4, mapped);
+  // Not a strict requirement, but they should not collide in practice.
+  EXPECT_NE(hasher(v4), hasher(mapped));
+}
+
+}  // namespace
+}  // namespace dnslocate::netbase
+
+namespace dnslocate::netbase {
+namespace {
+
+// v6 counterpart of the v4 brute-force property.
+TEST(LpmTable, AgreesWithBruteForceV6) {
+  simnet::Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    LpmTable<std::size_t> table;
+    std::vector<Prefix> prefixes;
+    for (int i = 0; i < 40; ++i) {
+      Ipv6Address::Bytes bytes{};
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+      unsigned length = static_cast<unsigned>(rng.uniform(129));
+      Prefix prefix(IpAddress(Ipv6Address(bytes)), length);
+      bool duplicate = false;
+      for (auto& existing : prefixes)
+        if (existing == prefix) duplicate = true;
+      if (duplicate) continue;
+      prefixes.push_back(prefix);
+      table.insert(prefix, prefixes.size() - 1);
+    }
+    for (int probe = 0; probe < 100; ++probe) {
+      Ipv6Address::Bytes bytes{};
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+      // Half the probes land inside a random prefix to exercise matches.
+      if (probe % 2 == 0 && !prefixes.empty()) {
+        const Prefix& base = prefixes[rng.uniform(prefixes.size())];
+        bytes = base.address().v6().bytes();
+        bytes[15] ^= static_cast<std::uint8_t>(rng.next_u64());
+      }
+      IpAddress addr{Ipv6Address(bytes)};
+      const std::size_t* got = table.lookup(addr);
+      std::optional<std::size_t> want;
+      unsigned best = 0;
+      for (std::size_t i = 0; i < prefixes.size(); ++i) {
+        if (prefixes[i].contains(addr) && (!want || prefixes[i].length() >= best)) {
+          want = i;
+          best = prefixes[i].length();
+        }
+      }
+      if (want.has_value()) {
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, *want);
+      } else {
+        EXPECT_EQ(got, nullptr);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnslocate::netbase

@@ -1,0 +1,274 @@
+// End-to-end: the full localization pipeline over every scenario class,
+// checked against the simulator's ground truth. This is the heart of the
+// reproduction — each TEST mirrors a case from §3/§4/§5 of the paper.
+#include <gtest/gtest.h>
+
+#include "atlas/scenario.h"
+
+namespace dnslocate {
+namespace {
+
+using atlas::CpeStyle;
+using atlas::Scenario;
+using atlas::ScenarioConfig;
+using core::InterceptorLocation;
+using core::LocalizationPipeline;
+
+core::ProbeVerdict run_scenario(const ScenarioConfig& config) {
+  Scenario scenario(config);
+  LocalizationPipeline pipeline(scenario.pipeline_config());
+  return pipeline.run(scenario.transport());
+}
+
+TEST(PipelineScenarios, CleanPathIsNotIntercepted) {
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::benign_closed;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::not_intercepted);
+  EXPECT_FALSE(verdict.detection.any_intercepted());
+  // All sixteen v4 location probes must have standard answers.
+  for (const auto& probe : verdict.detection.probes) {
+    if (probe.family == netbase::IpFamily::v4)
+      EXPECT_EQ(probe.verdict, core::LocationVerdict::standard)
+          << to_string(probe.kind) << " answered " << probe.display;
+  }
+}
+
+TEST(PipelineScenarios, OpenPortForwarderAloneIsNotInterception) {
+  // Port 53 open on the CPE must not be mistaken for interception (§3.2's
+  // "this result alone is insufficient").
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::benign_open_dnsmasq;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::not_intercepted);
+}
+
+TEST(PipelineScenarios, Xb6BugIsLocatedAtCpe) {
+  // §5: the XB6's XDNS DNATs every LAN query to its own forwarder.
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::xb6_buggy;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::cpe);
+  ASSERT_TRUE(verdict.cpe_check.has_value());
+  EXPECT_TRUE(verdict.cpe_check->cpe_is_interceptor);
+  // The XDNS forwarder is dnsmasq-based: the version.bind string must say so.
+  ASSERT_TRUE(verdict.cpe_check->cpe.has_string());
+  EXPECT_EQ(verdict.cpe_check->cpe.txt->substr(0, 7), "dnsmasq");
+  // Every intercepted resolver returns the identical string (Table 3).
+  for (const auto& [kind, obs] : verdict.cpe_check->resolver_answers)
+    EXPECT_EQ(obs.txt, verdict.cpe_check->cpe.txt) << to_string(kind);
+}
+
+TEST(PipelineScenarios, HealthyXb6IsNotIntercepted) {
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::xb6_healthy;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::not_intercepted);
+}
+
+TEST(PipelineScenarios, PiholeIsLocatedAtCpe) {
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::pihole;
+  config.cpe.version = "2.87";
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::cpe);
+  ASSERT_TRUE(verdict.cpe_check->cpe.has_string());
+  EXPECT_EQ(*verdict.cpe_check->cpe.txt, "dnsmasq-pi-hole-2.87");
+}
+
+TEST(PipelineScenarios, UnboundCpeShowsItsIdentity) {
+  // Probe 21823's shape in Tables 2/3: an unbound forwarder with a custom
+  // id.server identity intercepting everything.
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::intercept_unbound;
+  config.cpe.version = "1.9.0";
+  config.cpe.identity = "routing.v2.pw";
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::cpe);
+  EXPECT_EQ(*verdict.cpe_check->cpe.txt, "unbound 1.9.0");
+
+  // The Cloudflare location query (CH id.server) surfaces the identity.
+  bool saw_identity = false;
+  for (const auto& probe : verdict.detection.probes) {
+    if (probe.kind == resolvers::PublicResolverKind::cloudflare &&
+        probe.family == netbase::IpFamily::v4 && probe.display == "routing.v2.pw")
+      saw_identity = true;
+  }
+  EXPECT_TRUE(saw_identity);
+}
+
+TEST(PipelineScenarios, IspMiddleboxIsLocatedWithinIsp) {
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::benign_closed;
+  config.isp_policy.middlebox_enabled = true;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::isp);
+  EXPECT_TRUE(verdict.detection.all_four_intercepted(netbase::IpFamily::v4));
+  ASSERT_TRUE(verdict.bogon.has_value());
+  EXPECT_TRUE(verdict.bogon->within_isp());
+}
+
+TEST(PipelineScenarios, IspMiddleboxWithOpenPortCpeStillIsp) {
+  // The CPE's own dnsmasq answers version.bind with its own string, which
+  // differs from the ISP resolver's -> correctly not classified CPE.
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::benign_open_dnsmasq;
+  config.isp_policy.middlebox_enabled = true;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::isp);
+  ASSERT_TRUE(verdict.cpe_check.has_value());
+  EXPECT_FALSE(verdict.cpe_check->cpe_is_interceptor);
+  EXPECT_TRUE(verdict.cpe_check->cpe.has_string());  // port 53 answered
+}
+
+TEST(PipelineScenarios, BogonDiscardingInterceptorIsUnknown) {
+  // §3.3: "either the interceptor was outside the AS, or the interceptor
+  // discards queries to unroutable addresses" -> no conclusion.
+  ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.ignore_bogon_queries = true;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::unknown);
+}
+
+TEST(PipelineScenarios, ExternalInterceptorIsUnknown) {
+  ScenarioConfig config;
+  config.external_interceptor = true;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::unknown);
+  EXPECT_TRUE(verdict.detection.all_four_intercepted(netbase::IpFamily::v4));
+  ASSERT_TRUE(verdict.bogon.has_value());
+  EXPECT_FALSE(verdict.bogon->within_isp());
+}
+
+TEST(PipelineScenarios, ScopedInterceptorOnlyFlagsItsTarget) {
+  ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.intercept_all_port53 = false;
+  config.isp_policy.target_actions[resolvers::PublicResolverKind::cloudflare] =
+      isp::TargetAction::divert;
+  config.isp_policy.scoped_answers_bogons = true;
+  auto verdict = run_scenario(config);
+  auto intercepted = verdict.detection.intercepted_kinds(netbase::IpFamily::v4);
+  ASSERT_EQ(intercepted.size(), 1u);
+  EXPECT_EQ(intercepted[0], resolvers::PublicResolverKind::cloudflare);
+  EXPECT_EQ(verdict.location, InterceptorLocation::isp);
+}
+
+TEST(PipelineScenarios, OneAllowedPatternSparesTheExemptResolver) {
+  ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.target_actions[resolvers::PublicResolverKind::google] =
+      isp::TargetAction::pass;
+  auto verdict = run_scenario(config);
+  auto intercepted = verdict.detection.intercepted_kinds(netbase::IpFamily::v4);
+  EXPECT_EQ(intercepted.size(), 3u);
+  EXPECT_FALSE(verdict.detection.of(resolvers::PublicResolverKind::google).intercepted_v4);
+  EXPECT_EQ(verdict.location, InterceptorLocation::isp);
+}
+
+TEST(PipelineScenarios, BlockingInterceptorIsStatusModified) {
+  ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.default_action = isp::TargetAction::divert_block;
+  auto verdict = run_scenario(config);
+  EXPECT_TRUE(verdict.detection.any_intercepted());
+  ASSERT_TRUE(verdict.transparency.has_value());
+  EXPECT_EQ(verdict.transparency->overall, core::TransparencyClass::status_modified);
+}
+
+TEST(PipelineScenarios, MixedPolicyIsBoth) {
+  ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.target_actions[resolvers::PublicResolverKind::quad9] =
+      isp::TargetAction::divert_block;
+  auto verdict = run_scenario(config);
+  ASSERT_TRUE(verdict.transparency.has_value());
+  EXPECT_EQ(verdict.transparency->overall, core::TransparencyClass::both);
+}
+
+TEST(PipelineScenarios, TransparentInterceptorIsTransparent) {
+  ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  auto verdict = run_scenario(config);
+  ASSERT_TRUE(verdict.transparency.has_value());
+  EXPECT_EQ(verdict.transparency->overall, core::TransparencyClass::transparent);
+}
+
+TEST(PipelineScenarios, KnownLimitationChaosForwarderMisclassifies) {
+  // §6: open port 53 + forwarder that punts CHAOS upstream + ISP interceptor
+  // => the technique (correctly, per its stated limitation) concludes CPE.
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::benign_open_chaos_forwarder;
+  config.isp_policy.middlebox_enabled = true;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::cpe);  // the documented FP
+  Scenario scenario(config);
+  EXPECT_EQ(scenario.ground_truth().expected, InterceptorLocation::isp);
+}
+
+TEST(PipelineScenarios, V6OnlyInterceptionIsDetected) {
+  ScenarioConfig config;
+  config.home_ipv6 = true;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.intercept_all_port53 = false;
+  config.isp_policy.target_actions_v6[resolvers::PublicResolverKind::google] =
+      isp::TargetAction::divert;
+  auto verdict = run_scenario(config);
+  EXPECT_FALSE(verdict.detection.any_intercepted(netbase::IpFamily::v4));
+  EXPECT_TRUE(verdict.detection.of(resolvers::PublicResolverKind::google).intercepted_v6);
+  EXPECT_TRUE(verdict.intercepted());
+}
+
+TEST(PipelineScenarios, V4InterceptionDoesNotTouchV6) {
+  // §4.1.1: interceptors acting on v4 rarely touch v6; our v4-only
+  // middlebox must leave the v6 location queries standard.
+  ScenarioConfig config;
+  config.home_ipv6 = true;
+  config.isp_policy.middlebox_enabled = true;  // v4 only by default
+  auto verdict = run_scenario(config);
+  EXPECT_TRUE(verdict.detection.any_intercepted(netbase::IpFamily::v4));
+  EXPECT_FALSE(verdict.detection.any_intercepted(netbase::IpFamily::v6));
+}
+
+TEST(PipelineScenarios, DnatToResolverCpeStillLocatedAtCpe) {
+  // A CPE that DNATs straight to the ISP resolver: every version.bind
+  // (including the one addressed to the CPE) is answered by the same
+  // resolver -> identical strings -> CPE per §3.2.
+  ScenarioConfig config;
+  config.cpe.kind = CpeStyle::Kind::intercept_to_resolver;
+  auto verdict = run_scenario(config);
+  EXPECT_EQ(verdict.location, InterceptorLocation::cpe);
+}
+
+TEST(PipelineScenarios, GroundTruthMatchesVerdictOnWellBehavedCases) {
+  // Sweep the scenario classes whose expected verdict the technique should
+  // reproduce exactly.
+  struct Case {
+    CpeStyle::Kind cpe;
+    bool middlebox;
+    InterceptorLocation expected;
+  };
+  const Case cases[] = {
+      {CpeStyle::Kind::benign_closed, false, InterceptorLocation::not_intercepted},
+      {CpeStyle::Kind::benign_open_dnsmasq, false, InterceptorLocation::not_intercepted},
+      {CpeStyle::Kind::xb6_buggy, false, InterceptorLocation::cpe},
+      {CpeStyle::Kind::pihole, false, InterceptorLocation::cpe},
+      {CpeStyle::Kind::intercept_dnsmasq, false, InterceptorLocation::cpe},
+      {CpeStyle::Kind::benign_closed, true, InterceptorLocation::isp},
+      {CpeStyle::Kind::benign_open_dnsmasq, true, InterceptorLocation::isp},
+  };
+  for (const Case& c : cases) {
+    ScenarioConfig config;
+    config.cpe.kind = c.cpe;
+    config.isp_policy.middlebox_enabled = c.middlebox;
+    Scenario scenario(config);
+    EXPECT_EQ(scenario.ground_truth().expected, c.expected);
+    auto verdict = run_scenario(config);
+    EXPECT_EQ(verdict.location, c.expected)
+        << "cpe=" << static_cast<int>(c.cpe) << " middlebox=" << c.middlebox;
+  }
+}
+
+}  // namespace
+}  // namespace dnslocate

@@ -1,0 +1,218 @@
+// Report layer tests: table/CSV rendering, bar charts, and the aggregators
+// over hand-built measurement runs.
+#include <gtest/gtest.h>
+
+#include "report/aggregate.h"
+
+namespace dnslocate::report {
+namespace {
+
+using atlas::MeasurementRun;
+using atlas::ProbeRecord;
+using core::InterceptorLocation;
+using resolvers::PublicResolverKind;
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"a", "long-header"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-cell", "2"});
+  std::string out = table.render();
+  // Every line has the same length.
+  std::size_t first_line = out.find('\n');
+  std::size_t expected = first_line;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    EXPECT_EQ(end - start, expected);
+    start = end + 1;
+  }
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable table({"name", "value"});
+  table.add_row({"plain", "1"});
+  table.add_row({"with,comma", "quote\"inside"});
+  std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_EQ(csv.find("plain,1"), std::string{"name,value\n"}.size());
+}
+
+TEST(TextTable, ShortRowsPadToHeaderWidth) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(BarChart, ScalesAndKeepsSmallSegmentsVisible) {
+  BarChart chart({{'#', "big"}, {'x', "small"}});
+  chart.add_bar(Bar{"row1", {{1000, '#'}, {1, 'x'}}});
+  chart.add_bar(Bar{"r2", {{10, '#'}, {0, 'x'}}});
+  std::string out = chart.render(40);
+  // The 1-count segment still paints one glyph.
+  EXPECT_NE(out.find('x'), std::string::npos);
+  // Zero segments paint nothing, counts still printed.
+  EXPECT_NE(out.find("(10/0)"), std::string::npos);
+  EXPECT_NE(out.find("legend: #=big x=small"), std::string::npos);
+}
+
+/// Build a synthetic record.
+ProbeRecord record(const std::string& org, const std::string& country,
+                   InterceptorLocation measured, InterceptorLocation expected,
+                   core::TransparencyClass transparency = core::TransparencyClass::transparent) {
+  ProbeRecord r;
+  r.org = atlas::OrgInfo{org, 1, country};
+  r.verdict.location = measured;
+  r.truth.expected = expected;
+  if (measured != InterceptorLocation::not_intercepted) {
+    core::TransparencyReport report;
+    report.overall = transparency;
+    r.verdict.transparency = report;
+    // Mark all four resolvers intercepted so Table 4 sees them.
+    for (auto kind : resolvers::all_public_resolvers()) {
+      auto& summary = r.verdict.detection.per_resolver[static_cast<std::size_t>(kind)];
+      summary.kind = kind;
+      summary.tested_v4 = true;
+      summary.intercepted_v4 = true;
+    }
+  } else {
+    for (auto kind : resolvers::all_public_resolvers()) {
+      auto& summary = r.verdict.detection.per_resolver[static_cast<std::size_t>(kind)];
+      summary.kind = kind;
+      summary.tested_v4 = true;
+    }
+  }
+  return r;
+}
+
+MeasurementRun synthetic_run() {
+  MeasurementRun run;
+  run.records.push_back(record("OrgA", "US", InterceptorLocation::cpe,
+                               InterceptorLocation::cpe));
+  run.records.push_back(record("OrgA", "US", InterceptorLocation::isp,
+                               InterceptorLocation::isp,
+                               core::TransparencyClass::status_modified));
+  run.records.push_back(record("OrgB", "DE", InterceptorLocation::unknown,
+                               InterceptorLocation::isp, core::TransparencyClass::both));
+  run.records.push_back(record("OrgB", "DE", InterceptorLocation::not_intercepted,
+                               InterceptorLocation::not_intercepted));
+  return run;
+}
+
+TEST(Aggregate, Table4CountsTestedAndIntercepted) {
+  auto rows = table4_rows(synthetic_run());
+  ASSERT_EQ(rows.size(), 5u);  // 4 resolvers + All Intercepted
+  EXPECT_EQ(rows[0].total_v4, 4u);
+  EXPECT_EQ(rows[0].intercepted_v4, 3u);
+  EXPECT_EQ(rows[4].resolver, "All Intercepted");
+  EXPECT_EQ(rows[4].intercepted_v4, 3u);
+  EXPECT_EQ(rows[0].total_v6, 0u);
+}
+
+TEST(Aggregate, Figure3GroupsByOrgAndTransparency) {
+  auto rows = figure3_rows(synthetic_run());
+  ASSERT_EQ(rows.size(), 2u);
+  // OrgA: 1 transparent + 1 modified; OrgB: 1 both.
+  const Fig3Row* org_a = nullptr;
+  for (const auto& row : rows)
+    if (row.org == "OrgA") org_a = &row;
+  ASSERT_NE(org_a, nullptr);
+  EXPECT_EQ(org_a->transparent, 1u);
+  EXPECT_EQ(org_a->status_modified, 1u);
+  EXPECT_EQ(org_a->total(), 2u);
+}
+
+TEST(Aggregate, Figure4ByCountryAndOrg) {
+  auto by_country = figure4_by_country(synthetic_run());
+  ASSERT_EQ(by_country.size(), 2u);
+  const Fig4Row* us = nullptr;
+  for (const auto& row : by_country)
+    if (row.label == "US") us = &row;
+  ASSERT_NE(us, nullptr);
+  EXPECT_EQ(us->cpe, 1u);
+  EXPECT_EQ(us->isp, 1u);
+  EXPECT_EQ(us->unknown, 0u);
+
+  auto by_org = figure4_by_org(synthetic_run());
+  EXPECT_EQ(by_org.size(), 2u);
+}
+
+TEST(Aggregate, TopNTruncates) {
+  MeasurementRun run;
+  for (int i = 0; i < 30; ++i)
+    run.records.push_back(record("Org" + std::to_string(i), "US", InterceptorLocation::isp,
+                                 InterceptorLocation::isp));
+  EXPECT_EQ(figure4_by_org(run, 15).size(), 15u);
+  EXPECT_EQ(figure3_rows(run, 15).size(), 15u);
+}
+
+TEST(Aggregate, ConfusionMatrixAndAccuracy) {
+  auto matrix = accuracy_matrix(synthetic_run());
+  EXPECT_EQ(matrix.total(), 4u);
+  EXPECT_EQ(matrix.correct(), 3u);  // one unknown-vs-isp miss
+  EXPECT_DOUBLE_EQ(matrix.accuracy(), 0.75);
+  auto rendered = render_confusion(matrix).render();
+  EXPECT_NE(rendered.find("within ISP"), std::string::npos);
+}
+
+TEST(Aggregate, EmptyRunIsSafe) {
+  MeasurementRun run;
+  EXPECT_EQ(run.intercepted_count(), 0u);
+  EXPECT_TRUE(figure3_rows(run).empty());
+  EXPECT_TRUE(figure4_by_org(run).empty());
+  EXPECT_TRUE(table5_rows(run).empty());
+  EXPECT_DOUBLE_EQ(accuracy_matrix(run).accuracy(), 1.0);
+  EXPECT_EQ(table4_rows(run)[0].total_v4, 0u);
+}
+
+TEST(Aggregate, PatternCensusBuckets) {
+  MeasurementRun run;
+  ProbeRecord two = record("O", "US", InterceptorLocation::isp, InterceptorLocation::isp);
+  // Rewrite to exactly two intercepted resolvers.
+  two.verdict.detection.per_resolver[0].intercepted_v4 = false;
+  two.verdict.detection.per_resolver[1].intercepted_v4 = false;
+  run.records.push_back(two);
+  auto census = pattern_census(run, netbase::IpFamily::v4);
+  EXPECT_EQ(census.other, 1u);
+  EXPECT_EQ(census.all_four, 0u);
+}
+
+}  // namespace
+}  // namespace dnslocate::report
+
+namespace dnslocate::report {
+namespace {
+
+TEST(TextTable, MarkdownEscapesPipes) {
+  TextTable table({"a", "b"});
+  table.add_row({"x|y", "2"});
+  std::string md = table.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("x\\|y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnslocate::report
+
+#include "report/summary.h"
+
+namespace dnslocate::report {
+namespace {
+
+TEST(Summary, DescribesARealRun) {
+  atlas::FleetConfig config;
+  config.scale = 0.02;
+  auto run = atlas::run_fleet(atlas::generate_fleet(config));
+  std::string summary = run_summary(run);
+  EXPECT_NE(summary.find("transparently intercepted"), std::string::npos);
+  EXPECT_NE(summary.find("at the CPE"), std::string::npos);
+  EXPECT_NE(summary.find("Comcast"), std::string::npos);
+  EXPECT_NE(summary.find("misattributions"), std::string::npos);  // the 3 §6 FPs
+}
+
+TEST(Summary, EmptyRun) { EXPECT_EQ(run_summary({}), "No probes measured."); }
+
+}  // namespace
+}  // namespace dnslocate::report

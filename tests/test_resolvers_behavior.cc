@@ -1,0 +1,263 @@
+// Resolver behaviour tests: software profiles, CHAOS answers, the dynamic
+// whoami/myaddr names, filtering resolvers, and the four public-resolver
+// personalities (Table 1 formats).
+#include <gtest/gtest.h>
+
+#include "dnswire/debug_queries.h"
+#include "resolvers/public_resolver.h"
+#include "resolvers/resolver_behavior.h"
+#include "resolvers/special_names.h"
+
+namespace dnslocate::resolvers {
+namespace {
+
+dnswire::DnsName name(const char* text) { return *dnswire::DnsName::parse(text); }
+
+QueryContext context() {
+  QueryContext ctx;
+  ctx.client = *netbase::IpAddress::parse("203.0.113.9");
+  ctx.server_ip = *netbase::IpAddress::parse("198.51.100.2");
+  return ctx;
+}
+
+std::optional<std::string> txt_of(const std::optional<dnswire::Message>& response) {
+  if (!response) return std::nullopt;
+  return response->first_txt();
+}
+
+TEST(SoftwareProfile, CatalogStringsMatchTable5Classes) {
+  EXPECT_EQ(*dnsmasq("2.85").version_bind, "dnsmasq-2.85");
+  EXPECT_EQ(*pihole("2.87").version_bind, "dnsmasq-pi-hole-2.87");
+  EXPECT_EQ(*unbound("1.9.0").version_bind, "unbound 1.9.0");
+  EXPECT_EQ(*bind9("9.16.15").version_bind, "9.16.15");
+  EXPECT_EQ(*powerdns("4.1.11").version_bind, "PowerDNS Recursor 4.1.11");
+  EXPECT_EQ(*windows_dns().version_bind, "Windows NS");
+  EXPECT_EQ(*custom_string("huuh?").version_bind, "huuh?");
+  EXPECT_EQ(xdns().version_bind->substr(0, 7), "dnsmasq");  // §5: XDNS is dnsmasq-based
+  EXPECT_FALSE(chaos_refuser("x", dnswire::Rcode::NOTIMP).version_bind.has_value());
+  EXPECT_TRUE(chaos_forwarder("x").forwards_unknown_chaos);
+}
+
+TEST(ResolverBehavior, AnswersVersionBindFromProfile) {
+  ResolverConfig config;
+  config.software = unbound("1.13.1");
+  ResolverBehavior resolver(config);
+  auto response =
+      resolver.respond(dnswire::make_chaos_query(1, dnswire::version_bind()), context());
+  EXPECT_EQ(txt_of(response), "unbound 1.13.1");
+}
+
+TEST(ResolverBehavior, RefusesChaosWhenProfileHasNoString) {
+  ResolverConfig config;
+  config.software = chaos_refuser("quiet", dnswire::Rcode::NOTIMP);
+  ResolverBehavior resolver(config);
+  auto response =
+      resolver.respond(dnswire::make_chaos_query(1, dnswire::version_bind()), context());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->rcode(), dnswire::Rcode::NOTIMP);
+}
+
+TEST(ResolverBehavior, HostnameBindAliasesIdServer) {
+  ResolverConfig config;
+  config.software = unbound("1.9.0", "my-identity");
+  ResolverBehavior resolver(config);
+  EXPECT_EQ(txt_of(resolver.respond(dnswire::make_chaos_query(1, dnswire::id_server()),
+                                    context())),
+            "my-identity");
+  EXPECT_EQ(txt_of(resolver.respond(dnswire::make_chaos_query(2, dnswire::hostname_bind()),
+                                    context())),
+            "my-identity");
+}
+
+TEST(ResolverBehavior, UnknownChaosNameIsRefused) {
+  ResolverConfig config;
+  config.software = dnsmasq();
+  ResolverBehavior resolver(config);
+  auto response =
+      resolver.respond(dnswire::make_chaos_query(1, name("authors.bind")), context());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->rcode(), dnswire::Rcode::REFUSED);
+}
+
+TEST(ResolverBehavior, AnswersMyaddrWithOwnEgress) {
+  ResolverConfig config;
+  config.software = bind9();
+  config.egress_v4 = *netbase::IpAddress::parse("198.51.100.77");
+  ResolverBehavior resolver(config);
+  auto query = dnswire::make_query(1, google_myaddr(), dnswire::RecordType::TXT);
+  EXPECT_EQ(txt_of(resolver.respond(query, context())), "198.51.100.77");
+}
+
+TEST(ResolverBehavior, AnswersWhoamiWithEgressPerFamily) {
+  ResolverConfig config;
+  config.software = bind9();
+  config.egress_v4 = *netbase::IpAddress::parse("198.51.100.77");
+  config.egress_v6 = *netbase::IpAddress::parse("2a00:77::77");
+  ResolverBehavior resolver(config);
+
+  auto a = resolver.respond(dnswire::make_query(1, whoami_akamai(), dnswire::RecordType::A),
+                            context());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->first_address()->to_string(), "198.51.100.77");
+
+  auto aaaa = resolver.respond(
+      dnswire::make_query(2, whoami_akamai(), dnswire::RecordType::AAAA), context());
+  ASSERT_TRUE(aaaa.has_value());
+  EXPECT_EQ(aaaa->first_address()->to_string(), "2a00:77::77");
+}
+
+TEST(ResolverBehavior, ResolvesFromZones) {
+  ResolverConfig config;
+  config.software = bind9();
+  ResolverBehavior resolver(config);
+  auto response = resolver.respond(
+      dnswire::make_query(1, name("example.com"), dnswire::RecordType::A), context());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->rcode(), dnswire::Rcode::NOERROR);
+  EXPECT_TRUE(response->first_address().has_value());
+  EXPECT_TRUE(response->flags.qr);
+  EXPECT_TRUE(response->flags.ra);
+}
+
+TEST(ResolverBehavior, NxdomainForUnknownNames) {
+  ResolverConfig config;
+  config.software = bind9();
+  ResolverBehavior resolver(config);
+  auto response = resolver.respond(
+      dnswire::make_query(1, name("no-such-name.test"), dnswire::RecordType::A), context());
+  EXPECT_EQ(response->rcode(), dnswire::Rcode::NXDOMAIN);
+}
+
+TEST(ResolverBehavior, BlockAllRefusesEverythingOrdinary) {
+  ResolverConfig config;
+  config.software = chaos_refuser("filter", dnswire::Rcode::NOTIMP);
+  config.block_all_rcode = dnswire::Rcode::REFUSED;
+  config.egress_v4 = *netbase::IpAddress::parse("198.51.100.88");
+  ResolverBehavior resolver(config);
+  // Ordinary resolution, whoami, and myaddr all blocked...
+  EXPECT_EQ(resolver
+                .respond(dnswire::make_query(1, name("example.com"), dnswire::RecordType::A),
+                         context())
+                ->rcode(),
+            dnswire::Rcode::REFUSED);
+  EXPECT_EQ(resolver
+                .respond(dnswire::make_query(2, whoami_akamai(), dnswire::RecordType::A),
+                         context())
+                ->rcode(),
+            dnswire::Rcode::REFUSED);
+  // ...but CHAOS still follows the profile (NOTIMP here).
+  EXPECT_EQ(resolver.respond(dnswire::make_chaos_query(3, dnswire::version_bind()), context())
+                ->rcode(),
+            dnswire::Rcode::NOTIMP);
+}
+
+TEST(ResolverBehavior, NonQueryOpcodesAreNotimp) {
+  ResolverConfig config;
+  config.software = bind9();
+  ResolverBehavior resolver(config);
+  auto query = dnswire::make_query(1, name("example.com"), dnswire::RecordType::A);
+  query.flags.opcode = dnswire::Opcode::UPDATE;
+  EXPECT_EQ(resolver.respond(query, context())->rcode(), dnswire::Rcode::NOTIMP);
+}
+
+TEST(ResolverBehavior, QuestionlessQueryIsFormerr) {
+  ResolverConfig config;
+  config.software = bind9();
+  ResolverBehavior resolver(config);
+  dnswire::Message query;
+  query.id = 9;
+  EXPECT_EQ(resolver.respond(query, context())->rcode(), dnswire::Rcode::FORMERR);
+}
+
+// --- public resolver personalities ---
+
+TEST(PublicResolver, CloudflareIdServerIsUppercaseIata) {
+  PublicResolverBehavior cloudflare(PublicResolverKind::cloudflare, 0, 0);
+  auto response =
+      cloudflare.respond(dnswire::make_chaos_query(1, dnswire::id_server()), context());
+  EXPECT_EQ(txt_of(response), "IAD");
+  EXPECT_EQ(cloudflare.expected_location_answer(), "IAD");
+  // version.bind is refused (only Quad9 answers it among the four, §3.2).
+  EXPECT_EQ(cloudflare.respond(dnswire::make_chaos_query(2, dnswire::version_bind()), context())
+                ->rcode(),
+            dnswire::Rcode::REFUSED);
+}
+
+TEST(PublicResolver, Quad9AnswersBothDebugQueries) {
+  PublicResolverBehavior quad9(PublicResolverKind::quad9, 0, 0);
+  auto id = txt_of(quad9.respond(dnswire::make_chaos_query(1, dnswire::id_server()), context()));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, "res100.iad.rrdns.pch.net");
+  auto version =
+      txt_of(quad9.respond(dnswire::make_chaos_query(2, dnswire::version_bind()), context()));
+  EXPECT_EQ(version, "Q9-P-9.16.15");
+}
+
+TEST(PublicResolver, GoogleMyaddrReturnsGoogleEgress) {
+  PublicResolverBehavior google(PublicResolverKind::google, 3, 1);
+  auto response = google.respond(
+      dnswire::make_query(1, google_myaddr(), dnswire::RecordType::TXT), context());
+  auto txt = txt_of(response);
+  ASSERT_TRUE(txt.has_value());
+  auto addr = netbase::IpAddress::parse(*txt);
+  ASSERT_TRUE(addr.has_value());
+  bool in_google = false;
+  for (const auto& prefix :
+       PublicResolverSpec::get(PublicResolverKind::google).egress_prefixes)
+    if (prefix.contains(*addr)) in_google = true;
+  EXPECT_TRUE(in_google) << *txt;
+  // Google answers CHAOS with NOTIMP.
+  EXPECT_EQ(google.respond(dnswire::make_chaos_query(2, dnswire::version_bind()), context())
+                ->rcode(),
+            dnswire::Rcode::NOTIMP);
+}
+
+TEST(PublicResolver, OpenDnsDebugOnlyAnswersViaOpenDns) {
+  PublicResolverBehavior opendns(PublicResolverKind::opendns, 0, 4);
+  auto via_opendns = txt_of(opendns.respond(
+      dnswire::make_query(1, opendns_debug(), dnswire::RecordType::TXT), context()));
+  EXPECT_EQ(via_opendns, "server m84.iad");
+
+  PublicResolverBehavior google(PublicResolverKind::google, 0, 0);
+  auto via_google = google.respond(
+      dnswire::make_query(2, opendns_debug(), dnswire::RecordType::TXT), context());
+  ASSERT_TRUE(via_google.has_value());
+  EXPECT_EQ(via_google->rcode(), dnswire::Rcode::NXDOMAIN);
+}
+
+TEST(PublicResolver, SitesVaryByIndex) {
+  PublicResolverBehavior iad(PublicResolverKind::cloudflare, 0, 0);
+  PublicResolverBehavior sfo(PublicResolverKind::cloudflare, 1, 0);
+  EXPECT_NE(iad.expected_location_answer(), sfo.expected_location_answer());
+  EXPECT_EQ(iad.site(), "iad");
+  EXPECT_EQ(sfo.site(), "sfo");
+}
+
+TEST(PublicResolver, SpecsHaveRealServiceAddresses) {
+  const auto& cf = PublicResolverSpec::get(PublicResolverKind::cloudflare);
+  EXPECT_EQ(cf.service_v4[0].to_string(), "1.1.1.1");
+  EXPECT_EQ(cf.service_v6[0].to_string(), "2606:4700:4700::1111");
+  const auto& g = PublicResolverSpec::get(PublicResolverKind::google);
+  EXPECT_EQ(g.service_v4[0].to_string(), "8.8.8.8");
+  const auto& q9 = PublicResolverSpec::get(PublicResolverKind::quad9);
+  EXPECT_EQ(q9.service_v4[0].to_string(), "9.9.9.9");
+  const auto& od = PublicResolverSpec::get(PublicResolverKind::opendns);
+  EXPECT_EQ(od.service_v4[0].to_string(), "208.67.222.222");
+  for (auto kind : all_public_resolvers()) {
+    const auto& spec = PublicResolverSpec::get(kind);
+    EXPECT_FALSE(spec.egress_prefixes.empty());
+    for (const auto& addr : spec.service_v4) EXPECT_TRUE(addr.is_v4());
+    for (const auto& addr : spec.service_v6) EXPECT_TRUE(addr.is_v6());
+  }
+}
+
+TEST(PublicResolver, KnownSiteValidation) {
+  EXPECT_TRUE(is_known_site("iad"));
+  EXPECT_TRUE(is_known_site("IAD"));
+  EXPECT_FALSE(is_known_site("zzz"));
+  EXPECT_FALSE(is_known_site("ia"));
+  EXPECT_FALSE(is_known_site("iadx"));
+}
+
+}  // namespace
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,279 @@
+// Forwarder tests: CHAOS answered locally (or punted upstream), ordinary
+// queries proxied with id rewriting, pending-table hygiene, upstream
+// timeouts, and the answer-from-the-addressed-IP rule.
+#include <gtest/gtest.h>
+
+#include "dnswire/debug_queries.h"
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "resolvers/forwarder.h"
+#include "resolvers/resolver_behavior.h"
+#include "resolvers/server_app.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::resolvers {
+namespace {
+
+netbase::IpAddress ip(const char* text) { return *netbase::IpAddress::parse(text); }
+dnswire::DnsName name(const char* text) { return *dnswire::DnsName::parse(text); }
+
+struct SinkApp : simnet::UdpApp {
+  std::vector<simnet::UdpPacket> received;
+  void on_datagram(simnet::Simulator&, simnet::Device&, const simnet::UdpPacket& p) override {
+    received.push_back(p);
+  }
+  std::optional<dnswire::Message> last_message() const {
+    if (received.empty()) return std::nullopt;
+    return dnswire::decode_message(received.back().payload);
+  }
+};
+
+/// client -- gateway(forwarder) -- upstream(resolver)
+struct ForwarderWorld {
+  simnet::Simulator sim{1};
+  simnet::Device& client;
+  simnet::Device& gateway;
+  simnet::Device& upstream;
+  std::unique_ptr<DnsForwarderApp> forwarder;
+  std::shared_ptr<DnsServerApp> upstream_app;
+  SinkApp client_app;
+  std::uint16_t query_id = 100;
+
+  explicit ForwarderWorld(SoftwareProfile software = dnsmasq("2.85"),
+                          bool upstream_alive = true)
+      : client(sim.add_device<simnet::Device>("client")),
+        gateway(sim.add_device<simnet::Device>("gateway")),
+        upstream(sim.add_device<simnet::Device>("upstream")) {
+    gateway.set_forwarding(true);
+    auto [c_up, gw_lan] = sim.connect(client, gateway);
+    auto [gw_wan, up_down] = sim.connect(gateway, upstream);
+    (void)gw_lan;
+    client.add_local_ip(ip("192.168.1.10"));
+    client.set_default_route(c_up);
+    gateway.add_local_ip(ip("192.168.1.1"));
+    gateway.add_local_ip(ip("203.0.113.7"));
+    gateway.add_route(*netbase::Prefix::parse("192.168.1.0/24"),
+                      0 /* first port = LAN side */);
+    gateway.set_default_route(gw_wan);
+    upstream.add_local_ip(ip("198.51.100.2"));
+    upstream.set_default_route(up_down);
+
+    ForwarderConfig config;
+    config.software = std::move(software);
+    config.upstream_v4 = netbase::Endpoint{ip("198.51.100.2"), 53};
+    config.pending_timeout = std::chrono::seconds(2);
+    forwarder = std::make_unique<DnsForwarderApp>(config);
+    forwarder->attach(gateway);
+
+    if (upstream_alive) {
+      ResolverConfig resolver_config;
+      resolver_config.software = bind9("9.11.3");
+      resolver_config.egress_v4 = ip("198.51.100.2");
+      upstream_app =
+          std::make_shared<DnsServerApp>(std::make_shared<ResolverBehavior>(resolver_config));
+      upstream.bind_udp(53, upstream_app.get());
+    }
+    client.bind_udp(5555, &client_app);
+  }
+
+  void query(const dnswire::Message& message, const char* dst = "192.168.1.1") {
+    simnet::UdpPacket p;
+    p.src = ip("192.168.1.10");
+    p.dst = ip(dst);
+    p.sport = 5555;
+    p.dport = 53;
+    p.payload = dnswire::encode_message(message);
+    client.send_local(sim, p);
+    sim.run_until_idle();
+  }
+};
+
+TEST(Forwarder, AnswersVersionBindLocally) {
+  ForwarderWorld world;
+  world.query(dnswire::make_chaos_query(1, dnswire::version_bind()));
+  auto response = world.client_app.last_message();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->first_txt(), "dnsmasq-2.85");
+  EXPECT_EQ(world.forwarder->chaos_answered(), 1u);
+  EXPECT_EQ(world.forwarder->forwarded_upstream(), 0u);
+}
+
+TEST(Forwarder, DnsmasqRefusesIdServer) {
+  ForwarderWorld world;
+  world.query(dnswire::make_chaos_query(1, dnswire::id_server()));
+  auto response = world.client_app.last_message();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->rcode(), dnswire::Rcode::REFUSED);
+}
+
+TEST(Forwarder, ProxiesOrdinaryQueriesAndRestoresId) {
+  ForwarderWorld world;
+  auto query = dnswire::make_query(0xbeef, name("example.com"), dnswire::RecordType::A);
+  world.query(query);
+  auto response = world.client_app.last_message();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->id, 0xbeef);  // restored, not the upstream id
+  EXPECT_TRUE(response->first_address().has_value());
+  EXPECT_EQ(world.forwarder->forwarded_upstream(), 1u);
+  EXPECT_EQ(world.forwarder->replies_relayed(), 1u);
+  EXPECT_EQ(world.forwarder->pending_count(), 0u);  // entry consumed
+}
+
+TEST(Forwarder, RepliesFromTheAddressedIp) {
+  ForwarderWorld world;
+  // Query the gateway's *public* IP: the answer must come from that IP.
+  world.query(dnswire::make_query(7, name("example.com"), dnswire::RecordType::A),
+              "203.0.113.7");
+  ASSERT_EQ(world.client_app.received.size(), 1u);
+  EXPECT_EQ(world.client_app.received[0].src, ip("203.0.113.7"));
+}
+
+TEST(Forwarder, ChaosForwarderPuntsUpstream) {
+  ForwarderWorld world(chaos_forwarder("vendor"));
+  world.query(dnswire::make_chaos_query(1, dnswire::version_bind()));
+  auto response = world.client_app.last_message();
+  ASSERT_TRUE(response.has_value());
+  // The upstream BIND answered with its version string.
+  EXPECT_EQ(response->first_txt(), "9.11.3");
+  EXPECT_EQ(world.forwarder->chaos_answered(), 0u);
+  EXPECT_EQ(world.forwarder->forwarded_upstream(), 1u);
+}
+
+TEST(Forwarder, ChaosNxdomainProfileAnswersNxdomain) {
+  ForwarderWorld world(chaos_nxdomain("vendor"));
+  world.query(dnswire::make_chaos_query(1, dnswire::version_bind()));
+  auto response = world.client_app.last_message();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->rcode(), dnswire::Rcode::NXDOMAIN);
+}
+
+TEST(Forwarder, UpstreamTimeoutLeavesClientSilent) {
+  ForwarderWorld world(dnsmasq(), /*upstream_alive=*/false);
+  world.query(dnswire::make_query(5, name("example.com"), dnswire::RecordType::A));
+  EXPECT_TRUE(world.client_app.received.empty());
+  // The pending entry is expired by the scheduled cleanup.
+  EXPECT_EQ(world.forwarder->pending_count(), 0u);
+}
+
+TEST(Forwarder, QuestionlessQueryGetsFormerr) {
+  ForwarderWorld world;
+  dnswire::Message empty;
+  empty.id = 3;
+  world.query(empty);
+  auto response = world.client_app.last_message();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->rcode(), dnswire::Rcode::FORMERR);
+}
+
+TEST(Forwarder, ConcurrentQueriesKeepIdsStraight) {
+  ForwarderWorld world;
+  // Two in-flight queries for different names; answers must map back to the
+  // right client ids.
+  auto q1 = dnswire::make_query(0x1111, name("example.com"), dnswire::RecordType::A);
+  auto q2 = dnswire::make_query(0x2222, name("cdn.example.net"), dnswire::RecordType::A);
+  simnet::UdpPacket p1, p2;
+  for (auto* pair : {&p1, &p2}) {
+    pair->src = ip("192.168.1.10");
+    pair->dst = ip("192.168.1.1");
+    pair->dport = 53;
+  }
+  p1.sport = 5555;
+  p1.payload = dnswire::encode_message(q1);
+  p2.sport = 5555;
+  p2.payload = dnswire::encode_message(q2);
+  world.client.send_local(world.sim, p1);
+  world.client.send_local(world.sim, p2);
+  world.sim.run_until_idle();
+
+  ASSERT_EQ(world.client_app.received.size(), 2u);
+  std::map<std::uint16_t, std::string> answers;
+  for (const auto& packet : world.client_app.received) {
+    auto message = dnswire::decode_message(packet.payload);
+    ASSERT_TRUE(message.has_value());
+    answers[message->id] = message->question()->name.to_string();
+  }
+  EXPECT_EQ(answers[0x1111], "example.com");
+  EXPECT_EQ(answers[0x2222], "cdn.example.net");
+}
+
+TEST(Forwarder, MalformedPayloadIsIgnored) {
+  ForwarderWorld world;
+  simnet::UdpPacket p;
+  p.src = ip("192.168.1.10");
+  p.dst = ip("192.168.1.1");
+  p.sport = 5555;
+  p.dport = 53;
+  p.payload = {0x01, 0x02, 0x03};
+  world.client.send_local(world.sim, p);
+  world.sim.run_until_idle();
+  EXPECT_TRUE(world.client_app.received.empty());
+}
+
+}  // namespace
+}  // namespace dnslocate::resolvers
+
+namespace dnslocate::resolvers {
+namespace {
+
+TEST(Forwarder, FailsOverToSecondaryUpstream) {
+  // Primary upstream dead; secondary alive on a second device.
+  ForwarderWorld world(dnsmasq(), /*upstream_alive=*/false);
+  auto& backup = world.sim.add_device<simnet::Device>("backup");
+  auto [backup_up, gw_to_backup] = world.sim.connect(backup, world.gateway);
+  backup.add_local_ip(*netbase::IpAddress::parse("198.51.100.9"));
+  backup.set_default_route(backup_up);
+  world.gateway.add_route(*netbase::Prefix::parse("198.51.100.9/32"), gw_to_backup);
+
+  ResolverConfig config;
+  config.software = bind9("9.11.3");
+  config.egress_v4 = *netbase::IpAddress::parse("198.51.100.9");
+  auto backup_app =
+      std::make_shared<DnsServerApp>(std::make_shared<ResolverBehavior>(config));
+  backup.bind_udp(53, backup_app.get());
+
+  // Rebuild the forwarder with a fallback upstream.
+  ForwarderConfig forwarder_config = world.forwarder->config();
+  forwarder_config.upstream_fallback_v4 =
+      netbase::Endpoint{*netbase::IpAddress::parse("198.51.100.9"), 53};
+  forwarder_config.failover_after = std::chrono::milliseconds(200);
+  auto failing_over = std::make_unique<DnsForwarderApp>(forwarder_config);
+  failing_over->attach(world.gateway);
+
+  world.query(dnswire::make_query(0x9aaa, name("example.com"), dnswire::RecordType::A));
+  auto response = world.client_app.last_message();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->id, 0x9aaa);
+  EXPECT_TRUE(response->first_address().has_value());
+  EXPECT_EQ(failing_over->failovers(), 1u);
+  EXPECT_EQ(backup_app->queries_seen(), 1u);
+}
+
+TEST(Forwarder, NoFailoverWhenPrimaryAnswers) {
+  ForwarderWorld world;  // primary alive
+  ForwarderConfig forwarder_config = world.forwarder->config();
+  forwarder_config.upstream_fallback_v4 =
+      netbase::Endpoint{*netbase::IpAddress::parse("198.51.100.9"), 53};
+  auto failing_over = std::make_unique<DnsForwarderApp>(forwarder_config);
+  failing_over->attach(world.gateway);
+
+  world.query(dnswire::make_query(0x9bbb, name("example.com"), dnswire::RecordType::A));
+  EXPECT_EQ(world.client_app.received.size(), 1u);
+  // The scheduled failover check fires but finds the pending entry gone.
+  EXPECT_EQ(failing_over->failovers(), 0u);
+}
+
+TEST(Device, CountersTrackTheDatapath) {
+  ForwarderWorld world;
+  world.query(dnswire::make_query(1, name("example.com"), dnswire::RecordType::A));
+  const auto& gateway_counters = world.gateway.counters();
+  // Gateway: client query delivered to the forwarder, upstream reply
+  // delivered back to it; nothing forwarded (all local apps), no drops.
+  EXPECT_EQ(gateway_counters.delivered, 2u);
+  EXPECT_EQ(gateway_counters.dropped, 0u);
+  const auto& client_counters = world.client.counters();
+  EXPECT_EQ(client_counters.received, 1u);
+  EXPECT_EQ(client_counters.delivered, 1u);
+}
+
+}  // namespace
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,93 @@
+// Zone store tests: lookups, CNAME chasing, NODATA vs NXDOMAIN, depth limit.
+#include <gtest/gtest.h>
+
+#include "resolvers/special_names.h"
+#include "resolvers/zone.h"
+
+namespace dnslocate::resolvers {
+namespace {
+
+dnswire::DnsName name(const char* text) { return *dnswire::DnsName::parse(text); }
+
+TEST(ZoneStore, DirectLookup) {
+  ZoneStore zones;
+  zones.add(dnswire::make_a(name("example.com"), netbase::Ipv4Address(1, 2, 3, 4)));
+  auto result = zones.lookup(name("example.com"), dnswire::RecordType::A);
+  EXPECT_EQ(result.rcode, dnswire::Rcode::NOERROR);
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(std::get<dnswire::ARecord>(result.answers[0].rdata).address,
+            netbase::Ipv4Address(1, 2, 3, 4));
+}
+
+TEST(ZoneStore, LookupIsCaseInsensitive) {
+  ZoneStore zones;
+  zones.add(dnswire::make_a(name("Example.COM"), netbase::Ipv4Address(1, 2, 3, 4)));
+  EXPECT_EQ(zones.lookup(name("eXaMpLe.CoM"), dnswire::RecordType::A).rcode,
+            dnswire::Rcode::NOERROR);
+  EXPECT_TRUE(zones.has_name(name("EXAMPLE.COM")));
+}
+
+TEST(ZoneStore, MissingNameIsNxdomain) {
+  ZoneStore zones;
+  zones.add(dnswire::make_a(name("example.com"), netbase::Ipv4Address(1, 2, 3, 4)));
+  EXPECT_EQ(zones.lookup(name("other.com"), dnswire::RecordType::A).rcode,
+            dnswire::Rcode::NXDOMAIN);
+}
+
+TEST(ZoneStore, WrongTypeIsNodata) {
+  ZoneStore zones;
+  zones.add(dnswire::make_a(name("example.com"), netbase::Ipv4Address(1, 2, 3, 4)));
+  auto result = zones.lookup(name("example.com"), dnswire::RecordType::AAAA);
+  EXPECT_EQ(result.rcode, dnswire::Rcode::NOERROR);  // name exists
+  EXPECT_TRUE(result.answers.empty());
+}
+
+TEST(ZoneStore, FollowsCnameChain) {
+  ZoneStore zones;
+  zones.add(dnswire::make_cname(name("a.example.com"), name("b.example.com")));
+  zones.add(dnswire::make_cname(name("b.example.com"), name("c.example.com")));
+  zones.add(dnswire::make_a(name("c.example.com"), netbase::Ipv4Address(9, 9, 9, 9)));
+  auto result = zones.lookup(name("a.example.com"), dnswire::RecordType::A);
+  EXPECT_EQ(result.rcode, dnswire::Rcode::NOERROR);
+  ASSERT_EQ(result.answers.size(), 3u);  // both CNAMEs + the A
+  EXPECT_EQ(result.answers[0].type, dnswire::RecordType::CNAME);
+  EXPECT_EQ(result.answers[2].type, dnswire::RecordType::A);
+}
+
+TEST(ZoneStore, CnameToMissingNameKeepsPartialChain) {
+  ZoneStore zones;
+  zones.add(dnswire::make_cname(name("a.example.com"), name("gone.example.com")));
+  auto result = zones.lookup(name("a.example.com"), dnswire::RecordType::A);
+  // The chain was followed; the terminal is missing. Real resolvers return
+  // the partial chain with NOERROR or NXDOMAIN; we keep the chain.
+  EXPECT_EQ(result.answers.size(), 1u);
+}
+
+TEST(ZoneStore, CnameLoopHitsDepthLimit) {
+  ZoneStore zones;
+  zones.add(dnswire::make_cname(name("x.example.com"), name("y.example.com")));
+  zones.add(dnswire::make_cname(name("y.example.com"), name("x.example.com")));
+  auto result = zones.lookup(name("x.example.com"), dnswire::RecordType::A);
+  EXPECT_EQ(result.rcode, dnswire::Rcode::SERVFAIL);
+}
+
+TEST(ZoneStore, AnyQueryReturnsEverything) {
+  ZoneStore zones;
+  zones.add(dnswire::make_a(name("example.com"), netbase::Ipv4Address(1, 2, 3, 4)));
+  zones.add(dnswire::make_txt(name("example.com"), "hi"));
+  auto result = zones.lookup(name("example.com"), dnswire::RecordType::ANY);
+  EXPECT_EQ(result.answers.size(), 2u);
+}
+
+TEST(ZoneStore, GlobalInternetHasTheProbeDomain) {
+  auto zones = ZoneStore::global_internet();
+  EXPECT_GT(zones->record_count(), 5u);
+  auto result = zones->lookup(bogon_probe_domain(), dnswire::RecordType::A);
+  EXPECT_EQ(result.rcode, dnswire::Rcode::NOERROR);
+  EXPECT_FALSE(result.answers.empty());
+  // Both families resolvable for the probe domain.
+  EXPECT_FALSE(zones->lookup(bogon_probe_domain(), dnswire::RecordType::AAAA).answers.empty());
+}
+
+}  // namespace
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,178 @@
+// DnsServerApp unit tests: delivery, response sourcing, processing delay,
+// malformed handling, truncation and DoT counters.
+#include <gtest/gtest.h>
+
+#include "dnswire/debug_queries.h"
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "resolvers/resolver_behavior.h"
+#include "resolvers/server_app.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::resolvers {
+namespace {
+
+netbase::IpAddress ip(const char* text) { return *netbase::IpAddress::parse(text); }
+dnswire::DnsName name(const char* text) { return *dnswire::DnsName::parse(text); }
+
+struct SinkApp : simnet::UdpApp {
+  std::vector<simnet::UdpPacket> received;
+  std::vector<simnet::SimTime> at;
+  void on_datagram(simnet::Simulator& sim, simnet::Device&,
+                   const simnet::UdpPacket& packet) override {
+    received.push_back(packet);
+    at.push_back(sim.now());
+  }
+};
+
+struct ServerWorld {
+  simnet::Simulator sim{1};
+  simnet::Device& client;
+  simnet::Device& server;
+  std::shared_ptr<DnsServerApp> app;
+  SinkApp client_app;
+
+  ServerWorld()
+      : client(sim.add_device<simnet::Device>("client")),
+        server(sim.add_device<simnet::Device>("server")) {
+    auto [c_up, s_down] = sim.connect(client, server,
+                                      {.latency = std::chrono::milliseconds(1)});
+    client.add_local_ip(ip("10.0.0.1"));
+    client.set_default_route(c_up);
+    server.add_local_ip(ip("10.0.0.53"));
+    server.add_local_ip(ip("10.0.0.54"));  // second service address
+    server.set_default_route(s_down);
+
+    ResolverConfig config;
+    config.software = unbound("1.17.0");
+    config.egress_v4 = ip("10.0.0.53");
+    app = std::make_shared<DnsServerApp>(std::make_shared<ResolverBehavior>(config));
+    server.bind_udp(53, app.get());
+    client.bind_udp(4000, &client_app);
+  }
+
+  void send(const std::vector<std::uint8_t>& payload, const char* dst = "10.0.0.53",
+            simnet::Channel channel = simnet::Channel::udp,
+            std::optional<netbase::IpAddress> expected_peer = std::nullopt) {
+    simnet::UdpPacket packet;
+    packet.src = ip("10.0.0.1");
+    packet.dst = ip(dst);
+    packet.sport = 4000;
+    packet.dport = 53;
+    packet.channel = channel;
+    packet.tls_expected_peer = expected_peer;
+    packet.payload = payload;
+    client.send_local(sim, packet);
+    sim.run_until_idle();
+  }
+};
+
+TEST(DnsServerApp, AnswersFromTheAddressedIp) {
+  ServerWorld world;
+  auto query = dnswire::make_query(9, name("example.com"), dnswire::RecordType::A);
+  world.send(dnswire::encode_message(query), "10.0.0.54");
+  ASSERT_EQ(world.client_app.received.size(), 1u);
+  EXPECT_EQ(world.client_app.received[0].src, ip("10.0.0.54"));
+  EXPECT_EQ(world.client_app.received[0].sport, 53);
+  EXPECT_EQ(world.app->queries_seen(), 1u);
+  EXPECT_EQ(world.app->responses_sent(), 1u);
+}
+
+TEST(DnsServerApp, ProcessingDelayIsApplied) {
+  ServerWorld world;
+  world.app->set_processing_delay(std::chrono::milliseconds(5));
+  auto query = dnswire::make_query(1, name("example.com"), dnswire::RecordType::A);
+  world.send(dnswire::encode_message(query));
+  ASSERT_EQ(world.client_app.at.size(), 1u);
+  // 1ms there + 5ms processing + 1ms back.
+  EXPECT_EQ(world.client_app.at[0], std::chrono::milliseconds(7));
+}
+
+TEST(DnsServerApp, MalformedAndResponsePayloadsAreDropped) {
+  ServerWorld world;
+  world.send({0x01, 0x02});  // garbage
+  auto response = dnswire::make_response(
+      dnswire::make_query(1, name("example.com"), dnswire::RecordType::A));
+  world.send(dnswire::encode_message(response));  // a response, not a query
+  EXPECT_TRUE(world.client_app.received.empty());
+  EXPECT_EQ(world.app->malformed_dropped(), 2u);
+  EXPECT_EQ(world.app->responses_sent(), 0u);
+}
+
+TEST(DnsServerApp, TruncatesOversizeUdpAnswers) {
+  ServerWorld world;
+  // Put a huge TXT in the zone via a custom responder answering 900 bytes.
+  struct BigTxt : DnsResponder {
+    std::optional<dnswire::Message> respond(const dnswire::Message& query,
+                                            const QueryContext&) override {
+      return dnswire::make_txt_response(query, std::string(900, 'x'));
+    }
+  };
+  auto big = std::make_shared<DnsServerApp>(std::make_shared<BigTxt>());
+  world.server.bind_udp(53, big.get());
+
+  auto query = dnswire::make_query(1, name("big.example"), dnswire::RecordType::TXT);
+  world.send(dnswire::encode_message(query));
+  ASSERT_EQ(world.client_app.received.size(), 1u);
+  EXPECT_LE(world.client_app.received[0].payload.size(), 512u);
+  auto decoded = dnswire::decode_message(world.client_app.received[0].payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->flags.tc);
+  EXPECT_TRUE(decoded->answers.empty());
+  EXPECT_EQ(big->truncated(), 1u);
+
+  // With EDNS advertising 4096, the same answer fits.
+  query.additionals.push_back(dnswire::ResourceRecord{
+      dnswire::DnsName{}, dnswire::RecordType::OPT, dnswire::RecordClass::IN, 0,
+      dnswire::OptRecord{4096, {}}});
+  world.send(dnswire::encode_message(query));
+  ASSERT_EQ(world.client_app.received.size(), 2u);
+  auto full = dnswire::decode_message(world.client_app.received[1].payload);
+  EXPECT_FALSE(full->flags.tc);
+  EXPECT_EQ(full->first_txt()->size(), 900u);
+}
+
+TEST(DnsServerApp, StrictDotRejectionIsCounted) {
+  ServerWorld world;
+  auto query = dnswire::make_chaos_query(1, dnswire::version_bind());
+  // Client "dialled" some other server; this one cannot present that cert.
+  world.send(dnswire::encode_message(query), "10.0.0.53", simnet::Channel::dot_strict,
+             ip("1.1.1.1"));
+  EXPECT_TRUE(world.client_app.received.empty());
+  EXPECT_EQ(world.app->tls_rejected(), 1u);
+  // Correct identity passes.
+  world.send(dnswire::encode_message(query), "10.0.0.53", simnet::Channel::dot_strict,
+             ip("10.0.0.53"));
+  EXPECT_EQ(world.client_app.received.size(), 1u);
+}
+
+TEST(DnsServerApp, ReplyKeepsTheChannel) {
+  ServerWorld world;
+  auto query = dnswire::make_query(2, name("example.com"), dnswire::RecordType::A);
+  world.send(dnswire::encode_message(query), "10.0.0.53",
+             simnet::Channel::dot_opportunistic);
+  ASSERT_EQ(world.client_app.received.size(), 1u);
+  EXPECT_EQ(world.client_app.received[0].channel, simnet::Channel::dot_opportunistic);
+}
+
+TEST(DnsServerApp, DotSkipsTruncation) {
+  struct BigTxt : DnsResponder {
+    std::optional<dnswire::Message> respond(const dnswire::Message& query,
+                                            const QueryContext&) override {
+      return dnswire::make_txt_response(query, std::string(900, 'x'));
+    }
+  };
+  ServerWorld world;
+  auto big = std::make_shared<DnsServerApp>(std::make_shared<BigTxt>());
+  world.server.bind_udp(53, big.get());
+  auto query = dnswire::make_query(1, name("big.example"), dnswire::RecordType::TXT);
+  world.send(dnswire::encode_message(query), "10.0.0.53",
+             simnet::Channel::dot_opportunistic);
+  ASSERT_EQ(world.client_app.received.size(), 1u);
+  auto decoded = dnswire::decode_message(world.client_app.received[0].payload);
+  EXPECT_FALSE(decoded->flags.tc);  // stream transport, no 512-byte limit
+  EXPECT_EQ(big->truncated(), 0u);
+}
+
+}  // namespace
+}  // namespace dnslocate::resolvers

@@ -1,0 +1,296 @@
+// NAT/conntrack tests: masquerading, DNAT interception, reply restoration
+// (the transparent-spoofing mechanism), rule matching, and replication.
+#include <gtest/gtest.h>
+
+#include "simnet/nat.h"
+#include "simnet/simulator.h"
+
+namespace dnslocate::simnet {
+namespace {
+
+netbase::IpAddress ip(const char* text) { return *netbase::IpAddress::parse(text); }
+
+/// Echo app: answers every datagram with src/dst swapped and a marker byte.
+struct EchoApp : UdpApp {
+  int echoes = 0;
+  void on_datagram(Simulator& sim, Device& self, const UdpPacket& packet) override {
+    ++echoes;
+    UdpPacket reply;
+    reply.src = packet.dst;
+    reply.dst = packet.src;
+    reply.sport = packet.dport;
+    reply.dport = packet.sport;
+    reply.payload = packet.payload;
+    reply.payload.push_back(0xee);
+    self.send_local(sim, reply);
+  }
+};
+
+struct SinkApp : UdpApp {
+  std::vector<UdpPacket> received;
+  void on_datagram(Simulator&, Device&, const UdpPacket& packet) override {
+    received.push_back(packet);
+  }
+};
+
+/// client(192.168.1.10) -- router(NAT, lan .1 / wan 203.0.113.7) -- server(8.8.8.8)
+/// plus an "alt" server (10.5.0.5-style public 198.51.99.5) for DNAT targets.
+struct NatWorld {
+  Simulator sim{1};
+  Device& client;
+  Device& router;
+  Device& server;
+  Device& alt;
+  PortId client_up = 0, router_lan = 0, router_wan = 0, server_up = 0, alt_up = 0;
+  std::shared_ptr<NatHook> nat = std::make_shared<NatHook>();
+  EchoApp server_app, alt_app;
+  SinkApp client_app;
+
+  NatWorld()
+      : client(sim.add_device<Device>("client")),
+        router(sim.add_device<Device>("router")),
+        server(sim.add_device<Device>("server")),
+        alt(sim.add_device<Device>("alt")) {
+    router.set_forwarding(true);
+    auto [c, rl] = sim.connect(client, router);
+    client_up = c;
+    router_lan = rl;
+    auto [rw, s] = sim.connect(router, server);
+    router_wan = rw;
+    server_up = s;
+    auto [rw2, a] = sim.connect(router, alt);
+    alt_up = a;
+
+    client.add_local_ip(ip("192.168.1.10"));
+    client.set_default_route(client_up);
+    router.add_local_ip(ip("192.168.1.1"));
+    router.add_local_ip(ip("203.0.113.7"));
+    router.add_route(*netbase::Prefix::parse("192.168.1.0/24"), router_lan);
+    router.add_route(*netbase::Prefix::parse("66.55.44.0/24"), rw2);
+    router.set_default_route(router_wan);
+    server.add_local_ip(ip("8.8.8.8"));
+    server.set_default_route(server_up);
+    alt.add_local_ip(ip("66.55.44.5"));
+    alt.set_default_route(alt_up);
+
+    SnatRule snat;
+    snat.out_port = router_wan;
+    snat.to_source_v4 = ip("203.0.113.7");
+    nat->add_snat_rule(snat);
+    router.add_hook(nat);
+
+    server.bind_udp(53, &server_app);
+    alt.bind_udp(53, &alt_app);
+    client.bind_udp(5555, &client_app);
+  }
+
+  void send_query(const char* dst, std::uint16_t dport = 53) {
+    UdpPacket p;
+    p.src = ip("192.168.1.10");
+    p.dst = ip(dst);
+    p.sport = 5555;
+    p.dport = dport;
+    p.payload = {42};
+    client.send_local(sim, p);
+    sim.run_until_idle();
+  }
+};
+
+TEST(Nat, MasqueradeRewritesSourceAndRestoresReply) {
+  NatWorld world;
+  world.send_query("8.8.8.8");
+
+  ASSERT_EQ(world.server_app.echoes, 1);
+  ASSERT_EQ(world.client_app.received.size(), 1u);
+  const UdpPacket& reply = world.client_app.received[0];
+  // The client sees the reply from exactly where it sent the query.
+  EXPECT_EQ(reply.src, ip("8.8.8.8"));
+  EXPECT_EQ(reply.sport, 53);
+  EXPECT_EQ(reply.dst, ip("192.168.1.10"));
+  EXPECT_EQ(reply.dport, 5555);
+  EXPECT_EQ(world.nat->snat_hits(), 1u);
+  EXPECT_EQ(world.nat->unnat_hits(), 1u);
+}
+
+TEST(Nat, RouterOwnTrafficIsNotMasqueraded) {
+  NatWorld world;
+  UdpPacket p;
+  p.src = ip("203.0.113.7");
+  p.dst = ip("8.8.8.8");
+  p.sport = 5353;
+  p.dport = 53;
+  p.payload = {1};
+  world.router.send_local(world.sim, p);
+  world.sim.run_until_idle();
+  EXPECT_EQ(world.nat->snat_hits(), 0u);
+  EXPECT_EQ(world.server_app.echoes, 1);
+}
+
+TEST(Nat, DnatDivertsAndSpoofsTransparently) {
+  NatWorld world;
+  DnatRule rule;
+  rule.in_port = world.router_lan;
+  rule.match_dport = 53;
+  rule.new_dst_v4 = ip("66.55.44.5");
+  world.nat->add_dnat_rule(rule);
+
+  world.send_query("8.8.8.8");
+  // The real server never saw it; the alternate did.
+  EXPECT_EQ(world.server_app.echoes, 0);
+  EXPECT_EQ(world.alt_app.echoes, 1);
+  // The client cannot tell: the reply claims to come from 8.8.8.8.
+  ASSERT_EQ(world.client_app.received.size(), 1u);
+  EXPECT_EQ(world.client_app.received[0].src, ip("8.8.8.8"));
+  EXPECT_EQ(world.client_app.received[0].sport, 53);
+  EXPECT_EQ(world.nat->dnat_hits(), 1u);
+}
+
+TEST(Nat, DnatOnlyMatchesConfiguredPort) {
+  NatWorld world;
+  DnatRule rule;
+  rule.in_port = world.router_lan;
+  rule.match_dport = 53;
+  rule.new_dst_v4 = ip("66.55.44.5");
+  world.nat->add_dnat_rule(rule);
+
+  world.send_query("8.8.8.8", 5353);  // not DNS
+  EXPECT_EQ(world.alt_app.echoes, 0);
+  EXPECT_EQ(world.nat->dnat_hits(), 0u);
+}
+
+TEST(Nat, DnatRespectsInPortScope) {
+  NatWorld world;
+  DnatRule rule;
+  rule.in_port = world.router_wan;  // wrong side
+  rule.match_dport = 53;
+  rule.new_dst_v4 = ip("66.55.44.5");
+  world.nat->add_dnat_rule(rule);
+  world.send_query("8.8.8.8");
+  EXPECT_EQ(world.server_app.echoes, 1);
+  EXPECT_EQ(world.alt_app.echoes, 0);
+}
+
+TEST(Nat, DnatExemptAndMatchLists) {
+  NatWorld world;
+  DnatRule rule;
+  rule.in_port = world.router_lan;
+  rule.exempt_dsts = {ip("8.8.8.8")};
+  rule.new_dst_v4 = ip("66.55.44.5");
+  world.nat->add_dnat_rule(rule);
+  world.send_query("8.8.8.8");
+  EXPECT_EQ(world.server_app.echoes, 1);  // exempt passes through
+
+  DnatRule scoped;
+  scoped.in_port = world.router_lan;
+  scoped.match_dsts = {ip("9.9.9.9")};
+  scoped.new_dst_v4 = ip("66.55.44.5");
+  world.nat->add_dnat_rule(scoped);
+  world.send_query("9.9.9.9");
+  EXPECT_EQ(world.alt_app.echoes, 1);  // scoped match diverted
+  world.send_query("8.8.8.8");
+  EXPECT_EQ(world.server_app.echoes, 2);  // non-matching still passes
+}
+
+TEST(Nat, DnatFamilyScoping) {
+  NatWorld world;
+  DnatRule rule;
+  rule.in_port = world.router_lan;
+  rule.family = netbase::IpFamily::v6;  // v6-only rule, v4 query below
+  rule.new_dst_v4 = ip("66.55.44.5");
+  world.nat->add_dnat_rule(rule);
+  world.send_query("8.8.8.8");
+  EXPECT_EQ(world.server_app.echoes, 1);
+  EXPECT_EQ(world.alt_app.echoes, 0);
+}
+
+TEST(Nat, BogonMatchingFlags) {
+  NatWorld world;
+  DnatRule rule;
+  rule.in_port = world.router_lan;
+  rule.exempt_bogon_dsts = true;
+  rule.new_dst_v4 = ip("66.55.44.5");
+  world.nat->add_dnat_rule(rule);
+  world.send_query("240.9.9.9");  // bogon: rule must not fire
+  EXPECT_EQ(world.alt_app.echoes, 0);
+  world.send_query("8.8.8.8");  // routable: diverted
+  EXPECT_EQ(world.alt_app.echoes, 1);
+
+  NatWorld world2;
+  DnatRule only_bogons;
+  only_bogons.in_port = world2.router_lan;
+  only_bogons.match_bogons_only = true;
+  only_bogons.new_dst_v4 = ip("66.55.44.5");
+  world2.nat->add_dnat_rule(only_bogons);
+  world2.send_query("8.8.8.8");
+  EXPECT_EQ(world2.alt_app.echoes, 0);
+  world2.send_query("240.9.9.9");
+  EXPECT_EQ(world2.alt_app.echoes, 1);
+  // And the spoofed reply claims to come from the bogon address.
+  ASSERT_EQ(world2.client_app.received.size(), 2u);
+  EXPECT_EQ(world2.client_app.received[1].src, ip("240.9.9.9"));
+}
+
+TEST(Nat, RuleOrderIsMatchOrder) {
+  NatWorld world;
+  DnatRule first;
+  first.in_port = world.router_lan;
+  first.match_dsts = {ip("8.8.8.8")};
+  first.new_dst_v4 = ip("66.55.44.5");
+  DnatRule second;
+  second.in_port = world.router_lan;
+  second.new_dst_v4 = ip("8.8.8.8");  // catch-all would send it elsewhere
+  world.nat->add_dnat_rule(first);
+  world.nat->add_dnat_rule(second);
+  world.send_query("8.8.8.8");
+  EXPECT_EQ(world.alt_app.echoes, 1);  // first rule won
+}
+
+TEST(Nat, ReplicationProducesTwoResponses) {
+  NatWorld world;
+  DnatRule rule;
+  rule.in_port = world.router_lan;
+  rule.new_dst_v4 = ip("66.55.44.5");
+  rule.replicate = true;
+  world.nat->add_dnat_rule(rule);
+
+  world.send_query("8.8.8.8");
+  EXPECT_EQ(world.server_app.echoes, 1);  // original continued
+  EXPECT_EQ(world.alt_app.echoes, 1);     // clone diverted
+  ASSERT_EQ(world.client_app.received.size(), 2u);
+  // Both responses claim the original destination as their source —
+  // indistinguishable at the client, exactly as Liu et al. observed.
+  EXPECT_EQ(world.client_app.received[0].src, ip("8.8.8.8"));
+  EXPECT_EQ(world.client_app.received[1].src, ip("8.8.8.8"));
+}
+
+TEST(Nat, ConcurrentFlowsKeepSeparateConntrackEntries) {
+  NatWorld world;
+  for (std::uint16_t sport = 6000; sport < 6010; ++sport) {
+    UdpPacket p;
+    p.src = ip("192.168.1.10");
+    p.dst = ip("8.8.8.8");
+    p.sport = sport;
+    p.dport = 53;
+    p.payload = {static_cast<std::uint8_t>(sport & 0xff)};
+    world.client.bind_udp(sport, &world.client_app);
+    world.client.send_local(world.sim, p);
+  }
+  world.sim.run_until_idle();
+  EXPECT_EQ(world.client_app.received.size(), 10u);
+  EXPECT_EQ(world.nat->conntrack_size(), 10u);
+  // Replies landed on the right flows (payload echoes carry the marker).
+  for (const auto& reply : world.client_app.received)
+    EXPECT_EQ(reply.payload.size(), 2u);
+}
+
+TEST(Nat, EstablishedFlowReusesTranslation) {
+  NatWorld world;
+  world.send_query("8.8.8.8");
+  world.send_query("8.8.8.8");  // same 4-tuple again
+  EXPECT_EQ(world.server_app.echoes, 2);
+  EXPECT_EQ(world.client_app.received.size(), 2u);
+  EXPECT_EQ(world.nat->conntrack_size(), 1u);  // one entry, reused
+}
+
+}  // namespace
+}  // namespace dnslocate::simnet

@@ -1,0 +1,132 @@
+// Topology internals: backbone wiring, ISP reachability, blocking-resolver
+// plumbing, external interceptor scope, and pipeline replication flag.
+#include <gtest/gtest.h>
+
+#include "atlas/scenario.h"
+#include "dnswire/debug_queries.h"
+#include "isp/backbone.h"
+#include "isp/isp_network.h"
+
+namespace dnslocate {
+namespace {
+
+using resolvers::PublicResolverKind;
+
+TEST(Backbone, AllServiceAddressesAreLocalOnTheirSites) {
+  simnet::Simulator sim(1);
+  auto backbone = isp::build_backbone(sim, {});
+  for (PublicResolverKind kind : resolvers::all_public_resolvers()) {
+    const auto& spec = resolvers::PublicResolverSpec::get(kind);
+    simnet::Device* device = backbone.resolver_devices.at(kind);
+    for (const auto& addr : spec.service_v4) EXPECT_TRUE(device->has_local_ip(addr));
+    for (const auto& addr : spec.service_v6) EXPECT_TRUE(device->has_local_ip(addr));
+    EXPECT_TRUE(device->is_udp_bound(netbase::kDnsPort));
+    EXPECT_TRUE(device->is_udp_bound(netbase::kDotPort));
+  }
+  // The core routes every service address.
+  for (PublicResolverKind kind : resolvers::all_public_resolvers()) {
+    const auto& spec = resolvers::PublicResolverSpec::get(kind);
+    for (const auto& addr : spec.service_v4)
+      EXPECT_TRUE(backbone.core->route_for(addr).has_value()) << addr.to_string();
+  }
+}
+
+TEST(Backbone, ExternalInterceptorOnlyWhenRequested) {
+  simnet::Simulator sim(1);
+  auto plain = isp::build_backbone(sim, {});
+  EXPECT_EQ(plain.external_interceptor, nullptr);
+  EXPECT_EQ(plain.external_alt_resolver, nullptr);
+
+  isp::BackboneConfig config;
+  config.external_interceptor = true;
+  auto intercepting = isp::build_backbone(sim, config);
+  EXPECT_NE(intercepting.external_interceptor, nullptr);
+  ASSERT_NE(intercepting.external_alt_resolver, nullptr);
+  EXPECT_TRUE(
+      intercepting.external_alt_resolver->has_local_ip(intercepting.external_alt_address));
+}
+
+TEST(Backbone, SiteIndexChangesAnswers) {
+  simnet::Simulator sim(1);
+  isp::BackboneConfig iad_config;
+  iad_config.site_index = 0;
+  auto iad = isp::build_backbone(sim, iad_config);
+  isp::BackboneConfig sfo_config;
+  sfo_config.site_index = 1;
+  auto sfo = isp::build_backbone(sim, sfo_config);
+  EXPECT_EQ(iad.behaviors.at(PublicResolverKind::cloudflare)->expected_location_answer(),
+            "IAD");
+  EXPECT_EQ(sfo.behaviors.at(PublicResolverKind::cloudflare)->expected_location_answer(),
+            "SFO");
+}
+
+TEST(IspTopology, BlockingResolverIsRoutableEverywhere) {
+  simnet::Simulator sim(1);
+  auto backbone = isp::build_backbone(sim, {});
+  isp::IspConfig config;
+  config.policy.middlebox_enabled = true;
+  config.policy.target_actions[PublicResolverKind::quad9] = isp::TargetAction::divert_block;
+  auto handles = isp::build_isp(sim, config, *backbone.core);
+  ASSERT_TRUE(handles.blocking_address_v4.has_value());
+  // Reachable from the access router and from the core.
+  EXPECT_TRUE(handles.access->route_for(*handles.blocking_address_v4).has_value());
+  EXPECT_TRUE(backbone.core->route_for(*handles.blocking_address_v4).has_value());
+  EXPECT_TRUE(handles.blocking_resolver->is_udp_bound(netbase::kDnsPort));
+}
+
+TEST(IspTopology, RoutersHaveInterfaceAddressesForIcmp) {
+  simnet::Simulator sim(1);
+  auto backbone = isp::build_backbone(sim, {});
+  isp::IspConfig config;
+  auto handles = isp::build_isp(sim, config, *backbone.core);
+  EXPECT_TRUE(handles.access->local_ip(netbase::IpFamily::v4).has_value());
+  EXPECT_TRUE(handles.border->local_ip(netbase::IpFamily::v4).has_value());
+  EXPECT_TRUE(backbone.core->local_ip(netbase::IpFamily::v4).has_value());
+  // The access and border addresses sit inside the ISP's own space.
+  EXPECT_TRUE(config.customer_prefix_v4.contains(
+      *handles.access->local_ip(netbase::IpFamily::v4)));
+}
+
+TEST(IspTopology, CountersSeeTheFleetTraffic) {
+  atlas::ScenarioConfig config;
+  atlas::Scenario scenario(config);
+  core::LocalizationPipeline pipeline(scenario.pipeline_config());
+  pipeline.run(scenario.transport());
+  // Everything the host sent traversed the CPE and the access router.
+  const auto& cpe_counters = scenario.cpe_handles().device->counters();
+  const auto& access_counters = scenario.isp_handles().access->counters();
+  EXPECT_GT(cpe_counters.forwarded, 10u);
+  EXPECT_GT(access_counters.forwarded, 10u);
+  EXPECT_EQ(access_counters.delivered, 0u);  // nothing addressed to it
+}
+
+TEST(Pipeline, ReplicationFlagRecordsDuplicates) {
+  atlas::ScenarioConfig config;
+  config.isp_policy.middlebox_enabled = true;
+  config.isp_policy.replicate = true;
+  atlas::Scenario scenario(config);
+  core::PipelineConfig pipeline_config = scenario.pipeline_config();
+  pipeline_config.detect_replication = true;
+  core::LocalizationPipeline pipeline(pipeline_config);
+  auto verdict = pipeline.run(scenario.transport());
+  ASSERT_TRUE(verdict.replication.has_value());
+  EXPECT_TRUE(verdict.replication->any_replicated());
+
+  // Flag off (default): no report.
+  core::LocalizationPipeline plain(scenario.pipeline_config());
+  EXPECT_FALSE(plain.run(scenario.transport()).replication.has_value());
+}
+
+TEST(Pipeline, NonInterceptedSkipsReplicationProbe) {
+  atlas::ScenarioConfig config;
+  atlas::Scenario scenario(config);
+  core::PipelineConfig pipeline_config = scenario.pipeline_config();
+  pipeline_config.detect_replication = true;
+  core::LocalizationPipeline pipeline(pipeline_config);
+  auto verdict = pipeline.run(scenario.transport());
+  EXPECT_EQ(verdict.location, core::InterceptorLocation::not_intercepted);
+  EXPECT_FALSE(verdict.replication.has_value());  // short-circuited at step 1
+}
+
+}  // namespace
+}  // namespace dnslocate

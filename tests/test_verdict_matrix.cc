@@ -1,0 +1,148 @@
+// Parameterized verdict matrix: every (CPE style × ISP policy) combination
+// in a grid, asserting the pipeline's verdict equals the scenario's ground
+// truth everywhere outside the single documented §6 limitation. This is the
+// property the whole reproduction rests on, swept exhaustively.
+#include <gtest/gtest.h>
+
+#include "atlas/scenario.h"
+
+namespace dnslocate {
+namespace {
+
+using atlas::CpeStyle;
+using atlas::Scenario;
+using atlas::ScenarioConfig;
+using core::InterceptorLocation;
+using resolvers::PublicResolverKind;
+
+enum class IspFlavor {
+  none,
+  allfour,           // catch-all divert, answers bogons
+  allfour_nobogon,   // catch-all divert, discards bogons
+  blocker,           // catch-all divert_block
+  scoped_bogon,      // Google only, proxy answers bogons
+  scoped_silent,     // Google only, bogons die normally
+  one_allowed,       // catch-all except Quad9
+};
+
+const char* isp_name(IspFlavor flavor) {
+  switch (flavor) {
+    case IspFlavor::none: return "none";
+    case IspFlavor::allfour: return "allfour";
+    case IspFlavor::allfour_nobogon: return "allfour_nobogon";
+    case IspFlavor::blocker: return "blocker";
+    case IspFlavor::scoped_bogon: return "scoped_bogon";
+    case IspFlavor::scoped_silent: return "scoped_silent";
+    case IspFlavor::one_allowed: return "one_allowed";
+  }
+  return "?";
+}
+
+isp::IspPolicy make_policy(IspFlavor flavor) {
+  isp::IspPolicy policy;
+  switch (flavor) {
+    case IspFlavor::none:
+      break;
+    case IspFlavor::allfour:
+      policy.middlebox_enabled = true;
+      break;
+    case IspFlavor::allfour_nobogon:
+      policy.middlebox_enabled = true;
+      policy.ignore_bogon_queries = true;
+      break;
+    case IspFlavor::blocker:
+      policy.middlebox_enabled = true;
+      policy.default_action = isp::TargetAction::divert_block;
+      break;
+    case IspFlavor::scoped_bogon:
+      policy.middlebox_enabled = true;
+      policy.intercept_all_port53 = false;
+      policy.target_actions[PublicResolverKind::google] = isp::TargetAction::divert;
+      policy.scoped_answers_bogons = true;
+      break;
+    case IspFlavor::scoped_silent:
+      policy.middlebox_enabled = true;
+      policy.intercept_all_port53 = false;
+      policy.target_actions[PublicResolverKind::google] = isp::TargetAction::divert;
+      break;
+    case IspFlavor::one_allowed:
+      policy.middlebox_enabled = true;
+      policy.target_actions[PublicResolverKind::quad9] = isp::TargetAction::pass;
+      break;
+  }
+  return policy;
+}
+
+struct MatrixCase {
+  CpeStyle::Kind cpe;
+  IspFlavor isp;
+};
+
+/// The grid cells where the technique is *documented* to misattribute
+/// (§6): a CHAOS-forwarding open-port CPE behind an interceptor that
+/// diverts to the SAME resolver the CPE forwards to. A blocking middlebox
+/// escapes the trap — its filtering resolver's CHAOS rcode differs from the
+/// upstream resolver's string, so the comparison correctly fails.
+bool is_known_limitation(const MatrixCase& c) {
+  return c.cpe == CpeStyle::Kind::benign_open_chaos_forwarder &&
+         c.isp != IspFlavor::none && c.isp != IspFlavor::blocker;
+}
+
+struct VerdictMatrix : ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(VerdictMatrix, VerdictMatchesGroundTruth) {
+  ScenarioConfig config;
+  config.cpe.kind = GetParam().cpe;
+  config.isp_policy = make_policy(GetParam().isp);
+  Scenario scenario(config);
+  core::LocalizationPipeline pipeline(scenario.pipeline_config());
+  auto verdict = pipeline.run(scenario.transport());
+
+  if (is_known_limitation(GetParam())) {
+    // The documented failure mode: attributed to the CPE instead.
+    EXPECT_EQ(verdict.location, InterceptorLocation::cpe)
+        << "cpe=" << static_cast<int>(GetParam().cpe) << " isp=" << isp_name(GetParam().isp);
+    return;
+  }
+  EXPECT_EQ(verdict.location, scenario.ground_truth().expected)
+      << "cpe=" << static_cast<int>(GetParam().cpe) << " isp=" << isp_name(GetParam().isp);
+
+  // Interception evidence consistency: a CPE verdict always carries the
+  // matching version.bind strings; an ISP verdict always carries bogon
+  // evidence.
+  if (verdict.location == InterceptorLocation::cpe) {
+    ASSERT_TRUE(verdict.cpe_check.has_value());
+    EXPECT_TRUE(verdict.cpe_check->cpe_is_interceptor);
+  }
+  if (verdict.location == InterceptorLocation::isp) {
+    ASSERT_TRUE(verdict.bogon.has_value());
+    EXPECT_TRUE(verdict.bogon->within_isp());
+  }
+}
+
+std::vector<MatrixCase> matrix() {
+  std::vector<MatrixCase> cases;
+  for (CpeStyle::Kind cpe :
+       {CpeStyle::Kind::benign_closed, CpeStyle::Kind::benign_open_dnsmasq,
+        CpeStyle::Kind::benign_open_chaos_nxdomain, CpeStyle::Kind::benign_open_chaos_forwarder,
+        CpeStyle::Kind::xb6_healthy, CpeStyle::Kind::xb6_buggy, CpeStyle::Kind::pihole,
+        CpeStyle::Kind::intercept_dnsmasq, CpeStyle::Kind::intercept_unbound,
+        CpeStyle::Kind::intercept_to_resolver}) {
+    for (IspFlavor isp :
+         {IspFlavor::none, IspFlavor::allfour, IspFlavor::allfour_nobogon, IspFlavor::blocker,
+          IspFlavor::scoped_bogon, IspFlavor::scoped_silent, IspFlavor::one_allowed}) {
+      cases.push_back({cpe, isp});
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return "cpe" + std::to_string(static_cast<int>(info.param.cpe)) + "_" +
+         isp_name(info.param.isp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, VerdictMatrix, ::testing::ValuesIn(matrix()), case_name);
+
+}  // namespace
+}  // namespace dnslocate
