@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dot.dir/ablation_dot.cc.o"
+  "CMakeFiles/ablation_dot.dir/ablation_dot.cc.o.d"
+  "ablation_dot"
+  "ablation_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

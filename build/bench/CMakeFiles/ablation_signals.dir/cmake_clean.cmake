@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signals.dir/ablation_signals.cc.o"
+  "CMakeFiles/ablation_signals.dir/ablation_signals.cc.o.d"
+  "ablation_signals"
+  "ablation_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_versionbind.dir/ablation_versionbind.cc.o"
+  "CMakeFiles/ablation_versionbind.dir/ablation_versionbind.cc.o.d"
+  "ablation_versionbind"
+  "ablation_versionbind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_versionbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

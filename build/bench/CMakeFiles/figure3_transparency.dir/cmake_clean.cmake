@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_transparency.dir/figure3_transparency.cc.o"
+  "CMakeFiles/figure3_transparency.dir/figure3_transparency.cc.o.d"
+  "figure3_transparency"
+  "figure3_transparency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

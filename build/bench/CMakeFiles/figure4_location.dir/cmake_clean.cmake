@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_location.dir/figure4_location.cc.o"
+  "CMakeFiles/figure4_location.dir/figure4_location.cc.o.d"
+  "figure4_location"
+  "figure4_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

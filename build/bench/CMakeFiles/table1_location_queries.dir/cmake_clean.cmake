@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_location_queries.dir/table1_location_queries.cc.o"
+  "CMakeFiles/table1_location_queries.dir/table1_location_queries.cc.o.d"
+  "table1_location_queries"
+  "table1_location_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_location_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

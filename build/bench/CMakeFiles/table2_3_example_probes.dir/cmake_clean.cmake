@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_3_example_probes.dir/table2_3_example_probes.cc.o"
+  "CMakeFiles/table2_3_example_probes.dir/table2_3_example_probes.cc.o.d"
+  "table2_3_example_probes"
+  "table2_3_example_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_3_example_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

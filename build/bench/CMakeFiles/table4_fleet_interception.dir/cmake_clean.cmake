@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fleet_interception.dir/table4_fleet_interception.cc.o"
+  "CMakeFiles/table4_fleet_interception.dir/table4_fleet_interception.cc.o.d"
+  "table4_fleet_interception"
+  "table4_fleet_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fleet_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_version_strings.dir/table5_version_strings.cc.o"
+  "CMakeFiles/table5_version_strings.dir/table5_version_strings.cc.o.d"
+  "table5_version_strings"
+  "table5_version_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_version_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

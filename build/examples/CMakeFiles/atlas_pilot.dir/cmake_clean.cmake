@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_pilot.dir/atlas_pilot.cpp.o"
+  "CMakeFiles/atlas_pilot.dir/atlas_pilot.cpp.o.d"
+  "atlas_pilot"
+  "atlas_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

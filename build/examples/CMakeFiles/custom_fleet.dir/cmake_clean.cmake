@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_fleet.dir/custom_fleet.cpp.o"
+  "CMakeFiles/custom_fleet.dir/custom_fleet.cpp.o.d"
+  "custom_fleet"
+  "custom_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

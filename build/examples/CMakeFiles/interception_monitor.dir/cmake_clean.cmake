@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interception_monitor.dir/interception_monitor.cpp.o"
+  "CMakeFiles/interception_monitor.dir/interception_monitor.cpp.o.d"
+  "interception_monitor"
+  "interception_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interception_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

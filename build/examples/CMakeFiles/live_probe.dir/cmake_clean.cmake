@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_probe.dir/live_probe.cpp.o"
+  "CMakeFiles/live_probe.dir/live_probe.cpp.o.d"
+  "live_probe"
+  "live_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xb6_case_study.dir/xb6_case_study.cpp.o"
+  "CMakeFiles/xb6_case_study.dir/xb6_case_study.cpp.o.d"
+  "xb6_case_study"
+  "xb6_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xb6_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_server.dir/zone_server.cpp.o"
+  "CMakeFiles/zone_server.dir/zone_server.cpp.o.d"
+  "zone_server"
+  "zone_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

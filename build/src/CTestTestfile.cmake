@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netbase")
+subdirs("jsonio")
+subdirs("dnswire")
+subdirs("simnet")
+subdirs("resolvers")
+subdirs("cpe")
+subdirs("isp")
+subdirs("core")
+subdirs("atlas")
+subdirs("sockets")
+subdirs("report")

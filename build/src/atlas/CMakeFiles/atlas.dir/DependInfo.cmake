@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atlas/fleet.cc" "src/atlas/CMakeFiles/atlas.dir/fleet.cc.o" "gcc" "src/atlas/CMakeFiles/atlas.dir/fleet.cc.o.d"
+  "/root/repo/src/atlas/fleet_json.cc" "src/atlas/CMakeFiles/atlas.dir/fleet_json.cc.o" "gcc" "src/atlas/CMakeFiles/atlas.dir/fleet_json.cc.o.d"
+  "/root/repo/src/atlas/longitudinal.cc" "src/atlas/CMakeFiles/atlas.dir/longitudinal.cc.o" "gcc" "src/atlas/CMakeFiles/atlas.dir/longitudinal.cc.o.d"
+  "/root/repo/src/atlas/measurement.cc" "src/atlas/CMakeFiles/atlas.dir/measurement.cc.o" "gcc" "src/atlas/CMakeFiles/atlas.dir/measurement.cc.o.d"
+  "/root/repo/src/atlas/scenario.cc" "src/atlas/CMakeFiles/atlas.dir/scenario.cc.o" "gcc" "src/atlas/CMakeFiles/atlas.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpe/CMakeFiles/cpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolvers/CMakeFiles/resolvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonio/CMakeFiles/jsonio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnswire/CMakeFiles/dnswire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas.dir/fleet.cc.o"
+  "CMakeFiles/atlas.dir/fleet.cc.o.d"
+  "CMakeFiles/atlas.dir/fleet_json.cc.o"
+  "CMakeFiles/atlas.dir/fleet_json.cc.o.d"
+  "CMakeFiles/atlas.dir/longitudinal.cc.o"
+  "CMakeFiles/atlas.dir/longitudinal.cc.o.d"
+  "CMakeFiles/atlas.dir/measurement.cc.o"
+  "CMakeFiles/atlas.dir/measurement.cc.o.d"
+  "CMakeFiles/atlas.dir/scenario.cc.o"
+  "CMakeFiles/atlas.dir/scenario.cc.o.d"
+  "libatlas.a"
+  "libatlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cc" "src/core/CMakeFiles/core.dir/classify.cc.o" "gcc" "src/core/CMakeFiles/core.dir/classify.cc.o.d"
+  "/root/repo/src/core/cpe_localizer.cc" "src/core/CMakeFiles/core.dir/cpe_localizer.cc.o" "gcc" "src/core/CMakeFiles/core.dir/cpe_localizer.cc.o.d"
+  "/root/repo/src/core/describe.cc" "src/core/CMakeFiles/core.dir/describe.cc.o" "gcc" "src/core/CMakeFiles/core.dir/describe.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/core.dir/detector.cc.o.d"
+  "/root/repo/src/core/dns0x20.cc" "src/core/CMakeFiles/core.dir/dns0x20.cc.o" "gcc" "src/core/CMakeFiles/core.dir/dns0x20.cc.o.d"
+  "/root/repo/src/core/dot_probe.cc" "src/core/CMakeFiles/core.dir/dot_probe.cc.o" "gcc" "src/core/CMakeFiles/core.dir/dot_probe.cc.o.d"
+  "/root/repo/src/core/isp_localizer.cc" "src/core/CMakeFiles/core.dir/isp_localizer.cc.o" "gcc" "src/core/CMakeFiles/core.dir/isp_localizer.cc.o.d"
+  "/root/repo/src/core/path_probe.cc" "src/core/CMakeFiles/core.dir/path_probe.cc.o" "gcc" "src/core/CMakeFiles/core.dir/path_probe.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/core/CMakeFiles/core.dir/replication.cc.o" "gcc" "src/core/CMakeFiles/core.dir/replication.cc.o.d"
+  "/root/repo/src/core/sim_transport.cc" "src/core/CMakeFiles/core.dir/sim_transport.cc.o" "gcc" "src/core/CMakeFiles/core.dir/sim_transport.cc.o.d"
+  "/root/repo/src/core/transparency.cc" "src/core/CMakeFiles/core.dir/transparency.cc.o" "gcc" "src/core/CMakeFiles/core.dir/transparency.cc.o.d"
+  "/root/repo/src/core/ttl_probe.cc" "src/core/CMakeFiles/core.dir/ttl_probe.cc.o" "gcc" "src/core/CMakeFiles/core.dir/ttl_probe.cc.o.d"
+  "/root/repo/src/core/verdict.cc" "src/core/CMakeFiles/core.dir/verdict.cc.o" "gcc" "src/core/CMakeFiles/core.dir/verdict.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnswire/CMakeFiles/dnswire.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolvers/CMakeFiles/resolvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

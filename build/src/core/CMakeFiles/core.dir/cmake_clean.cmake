@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/classify.cc.o"
+  "CMakeFiles/core.dir/classify.cc.o.d"
+  "CMakeFiles/core.dir/cpe_localizer.cc.o"
+  "CMakeFiles/core.dir/cpe_localizer.cc.o.d"
+  "CMakeFiles/core.dir/describe.cc.o"
+  "CMakeFiles/core.dir/describe.cc.o.d"
+  "CMakeFiles/core.dir/detector.cc.o"
+  "CMakeFiles/core.dir/detector.cc.o.d"
+  "CMakeFiles/core.dir/dns0x20.cc.o"
+  "CMakeFiles/core.dir/dns0x20.cc.o.d"
+  "CMakeFiles/core.dir/dot_probe.cc.o"
+  "CMakeFiles/core.dir/dot_probe.cc.o.d"
+  "CMakeFiles/core.dir/isp_localizer.cc.o"
+  "CMakeFiles/core.dir/isp_localizer.cc.o.d"
+  "CMakeFiles/core.dir/path_probe.cc.o"
+  "CMakeFiles/core.dir/path_probe.cc.o.d"
+  "CMakeFiles/core.dir/pipeline.cc.o"
+  "CMakeFiles/core.dir/pipeline.cc.o.d"
+  "CMakeFiles/core.dir/replication.cc.o"
+  "CMakeFiles/core.dir/replication.cc.o.d"
+  "CMakeFiles/core.dir/sim_transport.cc.o"
+  "CMakeFiles/core.dir/sim_transport.cc.o.d"
+  "CMakeFiles/core.dir/transparency.cc.o"
+  "CMakeFiles/core.dir/transparency.cc.o.d"
+  "CMakeFiles/core.dir/ttl_probe.cc.o"
+  "CMakeFiles/core.dir/ttl_probe.cc.o.d"
+  "CMakeFiles/core.dir/verdict.cc.o"
+  "CMakeFiles/core.dir/verdict.cc.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

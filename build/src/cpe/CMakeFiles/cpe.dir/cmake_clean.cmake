@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpe.dir/cpe_device.cc.o"
+  "CMakeFiles/cpe.dir/cpe_device.cc.o.d"
+  "CMakeFiles/cpe.dir/presets.cc.o"
+  "CMakeFiles/cpe.dir/presets.cc.o.d"
+  "libcpe.a"
+  "libcpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnswire/debug_queries.cc" "src/dnswire/CMakeFiles/dnswire.dir/debug_queries.cc.o" "gcc" "src/dnswire/CMakeFiles/dnswire.dir/debug_queries.cc.o.d"
+  "/root/repo/src/dnswire/decoder.cc" "src/dnswire/CMakeFiles/dnswire.dir/decoder.cc.o" "gcc" "src/dnswire/CMakeFiles/dnswire.dir/decoder.cc.o.d"
+  "/root/repo/src/dnswire/encoder.cc" "src/dnswire/CMakeFiles/dnswire.dir/encoder.cc.o" "gcc" "src/dnswire/CMakeFiles/dnswire.dir/encoder.cc.o.d"
+  "/root/repo/src/dnswire/message.cc" "src/dnswire/CMakeFiles/dnswire.dir/message.cc.o" "gcc" "src/dnswire/CMakeFiles/dnswire.dir/message.cc.o.d"
+  "/root/repo/src/dnswire/name.cc" "src/dnswire/CMakeFiles/dnswire.dir/name.cc.o" "gcc" "src/dnswire/CMakeFiles/dnswire.dir/name.cc.o.d"
+  "/root/repo/src/dnswire/record.cc" "src/dnswire/CMakeFiles/dnswire.dir/record.cc.o" "gcc" "src/dnswire/CMakeFiles/dnswire.dir/record.cc.o.d"
+  "/root/repo/src/dnswire/types.cc" "src/dnswire/CMakeFiles/dnswire.dir/types.cc.o" "gcc" "src/dnswire/CMakeFiles/dnswire.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

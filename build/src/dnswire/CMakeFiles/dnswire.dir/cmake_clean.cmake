@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnswire.dir/debug_queries.cc.o"
+  "CMakeFiles/dnswire.dir/debug_queries.cc.o.d"
+  "CMakeFiles/dnswire.dir/decoder.cc.o"
+  "CMakeFiles/dnswire.dir/decoder.cc.o.d"
+  "CMakeFiles/dnswire.dir/encoder.cc.o"
+  "CMakeFiles/dnswire.dir/encoder.cc.o.d"
+  "CMakeFiles/dnswire.dir/message.cc.o"
+  "CMakeFiles/dnswire.dir/message.cc.o.d"
+  "CMakeFiles/dnswire.dir/name.cc.o"
+  "CMakeFiles/dnswire.dir/name.cc.o.d"
+  "CMakeFiles/dnswire.dir/record.cc.o"
+  "CMakeFiles/dnswire.dir/record.cc.o.d"
+  "CMakeFiles/dnswire.dir/types.cc.o"
+  "CMakeFiles/dnswire.dir/types.cc.o.d"
+  "libdnswire.a"
+  "libdnswire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnswire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

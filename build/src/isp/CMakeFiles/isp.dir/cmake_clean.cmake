@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp.dir/backbone.cc.o"
+  "CMakeFiles/isp.dir/backbone.cc.o.d"
+  "CMakeFiles/isp.dir/isp_network.cc.o"
+  "CMakeFiles/isp.dir/isp_network.cc.o.d"
+  "libisp.a"
+  "libisp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

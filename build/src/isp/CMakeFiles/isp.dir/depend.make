@@ -1,0 +1,2 @@
+# Empty dependencies file for isp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsonio.dir/json.cc.o"
+  "CMakeFiles/jsonio.dir/json.cc.o.d"
+  "libjsonio.a"
+  "libjsonio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsonio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

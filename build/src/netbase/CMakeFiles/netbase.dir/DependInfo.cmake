@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netbase/bogon.cc" "src/netbase/CMakeFiles/netbase.dir/bogon.cc.o" "gcc" "src/netbase/CMakeFiles/netbase.dir/bogon.cc.o.d"
+  "/root/repo/src/netbase/endpoint.cc" "src/netbase/CMakeFiles/netbase.dir/endpoint.cc.o" "gcc" "src/netbase/CMakeFiles/netbase.dir/endpoint.cc.o.d"
+  "/root/repo/src/netbase/ip_address.cc" "src/netbase/CMakeFiles/netbase.dir/ip_address.cc.o" "gcc" "src/netbase/CMakeFiles/netbase.dir/ip_address.cc.o.d"
+  "/root/repo/src/netbase/ipv4.cc" "src/netbase/CMakeFiles/netbase.dir/ipv4.cc.o" "gcc" "src/netbase/CMakeFiles/netbase.dir/ipv4.cc.o.d"
+  "/root/repo/src/netbase/ipv6.cc" "src/netbase/CMakeFiles/netbase.dir/ipv6.cc.o" "gcc" "src/netbase/CMakeFiles/netbase.dir/ipv6.cc.o.d"
+  "/root/repo/src/netbase/prefix.cc" "src/netbase/CMakeFiles/netbase.dir/prefix.cc.o" "gcc" "src/netbase/CMakeFiles/netbase.dir/prefix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase.dir/bogon.cc.o"
+  "CMakeFiles/netbase.dir/bogon.cc.o.d"
+  "CMakeFiles/netbase.dir/endpoint.cc.o"
+  "CMakeFiles/netbase.dir/endpoint.cc.o.d"
+  "CMakeFiles/netbase.dir/ip_address.cc.o"
+  "CMakeFiles/netbase.dir/ip_address.cc.o.d"
+  "CMakeFiles/netbase.dir/ipv4.cc.o"
+  "CMakeFiles/netbase.dir/ipv4.cc.o.d"
+  "CMakeFiles/netbase.dir/ipv6.cc.o"
+  "CMakeFiles/netbase.dir/ipv6.cc.o.d"
+  "CMakeFiles/netbase.dir/prefix.cc.o"
+  "CMakeFiles/netbase.dir/prefix.cc.o.d"
+  "libnetbase.a"
+  "libnetbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

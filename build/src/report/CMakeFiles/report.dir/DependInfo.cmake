@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/aggregate.cc" "src/report/CMakeFiles/report.dir/aggregate.cc.o" "gcc" "src/report/CMakeFiles/report.dir/aggregate.cc.o.d"
+  "/root/repo/src/report/barchart.cc" "src/report/CMakeFiles/report.dir/barchart.cc.o" "gcc" "src/report/CMakeFiles/report.dir/barchart.cc.o.d"
+  "/root/repo/src/report/html_report.cc" "src/report/CMakeFiles/report.dir/html_report.cc.o" "gcc" "src/report/CMakeFiles/report.dir/html_report.cc.o.d"
+  "/root/repo/src/report/results_io.cc" "src/report/CMakeFiles/report.dir/results_io.cc.o" "gcc" "src/report/CMakeFiles/report.dir/results_io.cc.o.d"
+  "/root/repo/src/report/stats.cc" "src/report/CMakeFiles/report.dir/stats.cc.o" "gcc" "src/report/CMakeFiles/report.dir/stats.cc.o.d"
+  "/root/repo/src/report/summary.cc" "src/report/CMakeFiles/report.dir/summary.cc.o" "gcc" "src/report/CMakeFiles/report.dir/summary.cc.o.d"
+  "/root/repo/src/report/table.cc" "src/report/CMakeFiles/report.dir/table.cc.o" "gcc" "src/report/CMakeFiles/report.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atlas/CMakeFiles/atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonio/CMakeFiles/jsonio.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpe/CMakeFiles/cpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolvers/CMakeFiles/resolvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnswire/CMakeFiles/dnswire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report.dir/aggregate.cc.o"
+  "CMakeFiles/report.dir/aggregate.cc.o.d"
+  "CMakeFiles/report.dir/barchart.cc.o"
+  "CMakeFiles/report.dir/barchart.cc.o.d"
+  "CMakeFiles/report.dir/html_report.cc.o"
+  "CMakeFiles/report.dir/html_report.cc.o.d"
+  "CMakeFiles/report.dir/results_io.cc.o"
+  "CMakeFiles/report.dir/results_io.cc.o.d"
+  "CMakeFiles/report.dir/stats.cc.o"
+  "CMakeFiles/report.dir/stats.cc.o.d"
+  "CMakeFiles/report.dir/summary.cc.o"
+  "CMakeFiles/report.dir/summary.cc.o.d"
+  "CMakeFiles/report.dir/table.cc.o"
+  "CMakeFiles/report.dir/table.cc.o.d"
+  "libreport.a"
+  "libreport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolvers/forwarder.cc" "src/resolvers/CMakeFiles/resolvers.dir/forwarder.cc.o" "gcc" "src/resolvers/CMakeFiles/resolvers.dir/forwarder.cc.o.d"
+  "/root/repo/src/resolvers/public_resolver.cc" "src/resolvers/CMakeFiles/resolvers.dir/public_resolver.cc.o" "gcc" "src/resolvers/CMakeFiles/resolvers.dir/public_resolver.cc.o.d"
+  "/root/repo/src/resolvers/resolver_behavior.cc" "src/resolvers/CMakeFiles/resolvers.dir/resolver_behavior.cc.o" "gcc" "src/resolvers/CMakeFiles/resolvers.dir/resolver_behavior.cc.o.d"
+  "/root/repo/src/resolvers/server_app.cc" "src/resolvers/CMakeFiles/resolvers.dir/server_app.cc.o" "gcc" "src/resolvers/CMakeFiles/resolvers.dir/server_app.cc.o.d"
+  "/root/repo/src/resolvers/software.cc" "src/resolvers/CMakeFiles/resolvers.dir/software.cc.o" "gcc" "src/resolvers/CMakeFiles/resolvers.dir/software.cc.o.d"
+  "/root/repo/src/resolvers/special_names.cc" "src/resolvers/CMakeFiles/resolvers.dir/special_names.cc.o" "gcc" "src/resolvers/CMakeFiles/resolvers.dir/special_names.cc.o.d"
+  "/root/repo/src/resolvers/zone.cc" "src/resolvers/CMakeFiles/resolvers.dir/zone.cc.o" "gcc" "src/resolvers/CMakeFiles/resolvers.dir/zone.cc.o.d"
+  "/root/repo/src/resolvers/zone_parser.cc" "src/resolvers/CMakeFiles/resolvers.dir/zone_parser.cc.o" "gcc" "src/resolvers/CMakeFiles/resolvers.dir/zone_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnswire/CMakeFiles/dnswire.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolvers.dir/forwarder.cc.o"
+  "CMakeFiles/resolvers.dir/forwarder.cc.o.d"
+  "CMakeFiles/resolvers.dir/public_resolver.cc.o"
+  "CMakeFiles/resolvers.dir/public_resolver.cc.o.d"
+  "CMakeFiles/resolvers.dir/resolver_behavior.cc.o"
+  "CMakeFiles/resolvers.dir/resolver_behavior.cc.o.d"
+  "CMakeFiles/resolvers.dir/server_app.cc.o"
+  "CMakeFiles/resolvers.dir/server_app.cc.o.d"
+  "CMakeFiles/resolvers.dir/software.cc.o"
+  "CMakeFiles/resolvers.dir/software.cc.o.d"
+  "CMakeFiles/resolvers.dir/special_names.cc.o"
+  "CMakeFiles/resolvers.dir/special_names.cc.o.d"
+  "CMakeFiles/resolvers.dir/zone.cc.o"
+  "CMakeFiles/resolvers.dir/zone.cc.o.d"
+  "CMakeFiles/resolvers.dir/zone_parser.cc.o"
+  "CMakeFiles/resolvers.dir/zone_parser.cc.o.d"
+  "libresolvers.a"
+  "libresolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

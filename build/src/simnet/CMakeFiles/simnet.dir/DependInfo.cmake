@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/device.cc" "src/simnet/CMakeFiles/simnet.dir/device.cc.o" "gcc" "src/simnet/CMakeFiles/simnet.dir/device.cc.o.d"
+  "/root/repo/src/simnet/nat.cc" "src/simnet/CMakeFiles/simnet.dir/nat.cc.o" "gcc" "src/simnet/CMakeFiles/simnet.dir/nat.cc.o.d"
+  "/root/repo/src/simnet/packet.cc" "src/simnet/CMakeFiles/simnet.dir/packet.cc.o" "gcc" "src/simnet/CMakeFiles/simnet.dir/packet.cc.o.d"
+  "/root/repo/src/simnet/pcap.cc" "src/simnet/CMakeFiles/simnet.dir/pcap.cc.o" "gcc" "src/simnet/CMakeFiles/simnet.dir/pcap.cc.o.d"
+  "/root/repo/src/simnet/rng.cc" "src/simnet/CMakeFiles/simnet.dir/rng.cc.o" "gcc" "src/simnet/CMakeFiles/simnet.dir/rng.cc.o.d"
+  "/root/repo/src/simnet/simulator.cc" "src/simnet/CMakeFiles/simnet.dir/simulator.cc.o" "gcc" "src/simnet/CMakeFiles/simnet.dir/simulator.cc.o.d"
+  "/root/repo/src/simnet/trace.cc" "src/simnet/CMakeFiles/simnet.dir/trace.cc.o" "gcc" "src/simnet/CMakeFiles/simnet.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnswire/CMakeFiles/dnswire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet.dir/device.cc.o"
+  "CMakeFiles/simnet.dir/device.cc.o.d"
+  "CMakeFiles/simnet.dir/nat.cc.o"
+  "CMakeFiles/simnet.dir/nat.cc.o.d"
+  "CMakeFiles/simnet.dir/packet.cc.o"
+  "CMakeFiles/simnet.dir/packet.cc.o.d"
+  "CMakeFiles/simnet.dir/pcap.cc.o"
+  "CMakeFiles/simnet.dir/pcap.cc.o.d"
+  "CMakeFiles/simnet.dir/rng.cc.o"
+  "CMakeFiles/simnet.dir/rng.cc.o.d"
+  "CMakeFiles/simnet.dir/simulator.cc.o"
+  "CMakeFiles/simnet.dir/simulator.cc.o.d"
+  "CMakeFiles/simnet.dir/trace.cc.o"
+  "CMakeFiles/simnet.dir/trace.cc.o.d"
+  "libsimnet.a"
+  "libsimnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

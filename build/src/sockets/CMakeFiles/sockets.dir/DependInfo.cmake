@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sockets/loopback_server.cc" "src/sockets/CMakeFiles/sockets.dir/loopback_server.cc.o" "gcc" "src/sockets/CMakeFiles/sockets.dir/loopback_server.cc.o.d"
+  "/root/repo/src/sockets/tcp_transport.cc" "src/sockets/CMakeFiles/sockets.dir/tcp_transport.cc.o" "gcc" "src/sockets/CMakeFiles/sockets.dir/tcp_transport.cc.o.d"
+  "/root/repo/src/sockets/udp_transport.cc" "src/sockets/CMakeFiles/sockets.dir/udp_transport.cc.o" "gcc" "src/sockets/CMakeFiles/sockets.dir/udp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnswire/CMakeFiles/dnswire.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolvers/CMakeFiles/resolvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

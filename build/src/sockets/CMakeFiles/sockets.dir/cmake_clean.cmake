@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sockets.dir/loopback_server.cc.o"
+  "CMakeFiles/sockets.dir/loopback_server.cc.o.d"
+  "CMakeFiles/sockets.dir/tcp_transport.cc.o"
+  "CMakeFiles/sockets.dir/tcp_transport.cc.o.d"
+  "CMakeFiles/sockets.dir/udp_transport.cc.o"
+  "CMakeFiles/sockets.dir/udp_transport.cc.o.d"
+  "libsockets.a"
+  "libsockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atlas_fleet.dir/test_atlas_fleet.cc.o"
+  "CMakeFiles/test_atlas_fleet.dir/test_atlas_fleet.cc.o.d"
+  "test_atlas_fleet"
+  "test_atlas_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atlas_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_classify.dir/test_core_classify.cc.o"
+  "CMakeFiles/test_core_classify.dir/test_core_classify.cc.o.d"
+  "test_core_classify"
+  "test_core_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

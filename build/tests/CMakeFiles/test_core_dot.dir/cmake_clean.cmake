@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dot.dir/test_core_dot.cc.o"
+  "CMakeFiles/test_core_dot.dir/test_core_dot.cc.o.d"
+  "test_core_dot"
+  "test_core_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

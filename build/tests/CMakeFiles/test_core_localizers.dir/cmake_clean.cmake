@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_localizers.dir/test_core_localizers.cc.o"
+  "CMakeFiles/test_core_localizers.dir/test_core_localizers.cc.o.d"
+  "test_core_localizers"
+  "test_core_localizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_localizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

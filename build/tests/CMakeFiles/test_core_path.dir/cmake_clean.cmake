@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_path.dir/test_core_path.cc.o"
+  "CMakeFiles/test_core_path.dir/test_core_path.cc.o.d"
+  "test_core_path"
+  "test_core_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

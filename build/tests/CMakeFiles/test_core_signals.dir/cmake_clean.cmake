@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_signals.dir/test_core_signals.cc.o"
+  "CMakeFiles/test_core_signals.dir/test_core_signals.cc.o.d"
+  "test_core_signals"
+  "test_core_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

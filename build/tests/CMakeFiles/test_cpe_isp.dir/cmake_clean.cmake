@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpe_isp.dir/test_cpe_isp.cc.o"
+  "CMakeFiles/test_cpe_isp.dir/test_cpe_isp.cc.o.d"
+  "test_cpe_isp"
+  "test_cpe_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpe_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

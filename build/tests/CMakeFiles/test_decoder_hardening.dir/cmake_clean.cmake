@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decoder_hardening.dir/test_decoder_hardening.cc.o"
+  "CMakeFiles/test_decoder_hardening.dir/test_decoder_hardening.cc.o.d"
+  "test_decoder_hardening"
+  "test_decoder_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decoder_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_describe.dir/test_describe.cc.o"
+  "CMakeFiles/test_describe.dir/test_describe.cc.o.d"
+  "test_describe"
+  "test_describe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_describe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnswire_codec.dir/test_dnswire_codec.cc.o"
+  "CMakeFiles/test_dnswire_codec.dir/test_dnswire_codec.cc.o.d"
+  "test_dnswire_codec"
+  "test_dnswire_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnswire_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

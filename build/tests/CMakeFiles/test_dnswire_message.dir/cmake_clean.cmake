@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnswire_message.dir/test_dnswire_message.cc.o"
+  "CMakeFiles/test_dnswire_message.dir/test_dnswire_message.cc.o.d"
+  "test_dnswire_message"
+  "test_dnswire_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnswire_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

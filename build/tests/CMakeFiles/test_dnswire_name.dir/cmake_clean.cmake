@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dnswire_name.dir/test_dnswire_name.cc.o"
+  "CMakeFiles/test_dnswire_name.dir/test_dnswire_name.cc.o.d"
+  "test_dnswire_name"
+  "test_dnswire_name.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dnswire_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet_json_html.dir/test_fleet_json_html.cc.o"
+  "CMakeFiles/test_fleet_json_html.dir/test_fleet_json_html.cc.o.d"
+  "test_fleet_json_html"
+  "test_fleet_json_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet_json_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

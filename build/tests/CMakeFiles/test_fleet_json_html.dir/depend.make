@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fleet_json_html.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forwarder_cache.dir/test_forwarder_cache.cc.o"
+  "CMakeFiles/test_forwarder_cache.dir/test_forwarder_cache.cc.o.d"
+  "test_forwarder_cache"
+  "test_forwarder_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forwarder_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

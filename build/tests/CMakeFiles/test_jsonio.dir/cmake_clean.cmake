@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jsonio.dir/test_jsonio.cc.o"
+  "CMakeFiles/test_jsonio.dir/test_jsonio.cc.o.d"
+  "test_jsonio"
+  "test_jsonio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jsonio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

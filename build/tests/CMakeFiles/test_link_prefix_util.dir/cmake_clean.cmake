@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_prefix_util.dir/test_link_prefix_util.cc.o"
+  "CMakeFiles/test_link_prefix_util.dir/test_link_prefix_util.cc.o.d"
+  "test_link_prefix_util"
+  "test_link_prefix_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_prefix_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nat_extended.dir/test_nat_extended.cc.o"
+  "CMakeFiles/test_nat_extended.dir/test_nat_extended.cc.o.d"
+  "test_nat_extended"
+  "test_nat_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nat_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

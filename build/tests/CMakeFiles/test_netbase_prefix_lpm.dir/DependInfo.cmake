@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_netbase_prefix_lpm.cc" "tests/CMakeFiles/test_netbase_prefix_lpm.dir/test_netbase_prefix_lpm.cc.o" "gcc" "tests/CMakeFiles/test_netbase_prefix_lpm.dir/test_netbase_prefix_lpm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/report.dir/DependInfo.cmake"
+  "/root/repo/build/src/atlas/CMakeFiles/atlas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpe/CMakeFiles/cpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolvers/CMakeFiles/resolvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnswire/CMakeFiles/dnswire.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsonio/CMakeFiles/jsonio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

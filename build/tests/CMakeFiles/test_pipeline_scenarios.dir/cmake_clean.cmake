@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_scenarios.dir/test_pipeline_scenarios.cc.o"
+  "CMakeFiles/test_pipeline_scenarios.dir/test_pipeline_scenarios.cc.o.d"
+  "test_pipeline_scenarios"
+  "test_pipeline_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

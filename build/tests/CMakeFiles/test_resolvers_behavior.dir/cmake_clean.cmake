@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolvers_behavior.dir/test_resolvers_behavior.cc.o"
+  "CMakeFiles/test_resolvers_behavior.dir/test_resolvers_behavior.cc.o.d"
+  "test_resolvers_behavior"
+  "test_resolvers_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolvers_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolvers_forwarder.dir/test_resolvers_forwarder.cc.o"
+  "CMakeFiles/test_resolvers_forwarder.dir/test_resolvers_forwarder.cc.o.d"
+  "test_resolvers_forwarder"
+  "test_resolvers_forwarder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolvers_forwarder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolvers_zone.dir/test_resolvers_zone.cc.o"
+  "CMakeFiles/test_resolvers_zone.dir/test_resolvers_zone.cc.o.d"
+  "test_resolvers_zone"
+  "test_resolvers_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolvers_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

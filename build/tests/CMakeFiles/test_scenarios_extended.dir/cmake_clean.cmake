@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenarios_extended.dir/test_scenarios_extended.cc.o"
+  "CMakeFiles/test_scenarios_extended.dir/test_scenarios_extended.cc.o.d"
+  "test_scenarios_extended"
+  "test_scenarios_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenarios_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

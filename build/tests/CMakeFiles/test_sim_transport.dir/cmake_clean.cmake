@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_transport.dir/test_sim_transport.cc.o"
+  "CMakeFiles/test_sim_transport.dir/test_sim_transport.cc.o.d"
+  "test_sim_transport"
+  "test_sim_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet_core.dir/test_simnet_core.cc.o"
+  "CMakeFiles/test_simnet_core.dir/test_simnet_core.cc.o.d"
+  "test_simnet_core"
+  "test_simnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet_nat.dir/test_simnet_nat.cc.o"
+  "CMakeFiles/test_simnet_nat.dir/test_simnet_nat.cc.o.d"
+  "test_simnet_nat"
+  "test_simnet_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

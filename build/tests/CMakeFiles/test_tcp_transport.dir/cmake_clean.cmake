@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_transport.dir/test_tcp_transport.cc.o"
+  "CMakeFiles/test_tcp_transport.dir/test_tcp_transport.cc.o.d"
+  "test_tcp_transport"
+  "test_tcp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

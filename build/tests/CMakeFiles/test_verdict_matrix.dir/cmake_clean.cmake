@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verdict_matrix.dir/test_verdict_matrix.cc.o"
+  "CMakeFiles/test_verdict_matrix.dir/test_verdict_matrix.cc.o.d"
+  "test_verdict_matrix"
+  "test_verdict_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verdict_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zone_parser_pcap.dir/test_zone_parser_pcap.cc.o"
+  "CMakeFiles/test_zone_parser_pcap.dir/test_zone_parser_pcap.cc.o.d"
+  "test_zone_parser_pcap"
+  "test_zone_parser_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zone_parser_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
