@@ -1,6 +1,6 @@
 // dnsq: a minimal dig-style query tool over the library's socket transport.
 //
-//   dnsq [@server] name [type] [+chaos] [+ttl=N] [+timeout=MS] [+short]
+//   dnsq [@server] name [type] [+chaos] [+ttl=N] [+timeout=MS] [+retry=N] [+short]
 //
 // Examples:
 //   dnsq @1.1.1.1 id.server TXT +chaos        # the paper's location query
@@ -35,7 +35,8 @@ dnswire::RecordType parse_type(const std::string& text) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [@server] name [type] [+chaos] [+ttl=N] [+timeout=MS] [+short]\n",
+               "usage: %s [@server] name [type] [+chaos] [+ttl=N] [+timeout=MS] [+retry=N]"
+               " [+short]\n",
                argv0);
   return 2;
 }
@@ -72,6 +73,13 @@ int main(int argc, char** argv) {
       options.ttl = static_cast<std::uint8_t>(std::atoi(arg.c_str() + 5));
     } else if (arg.rfind("+timeout=", 0) == 0) {
       options.timeout = std::chrono::milliseconds(std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("+retry=", 0) == 0) {
+      int attempts = std::atoi(arg.c_str() + 7);
+      if (attempts < 1) {
+        std::fprintf(stderr, "bad +retry value: %s (want attempts >= 1)\n", arg.c_str() + 7);
+        return 2;
+      }
+      options.retry = core::RetryPolicy::standard(static_cast<unsigned>(attempts));
     } else if (arg[0] == '+') {
       return usage(argv[0]);
     } else if (qname.empty()) {
@@ -97,8 +105,10 @@ int main(int argc, char** argv) {
   core::QueryResult result = transport.query(server, query, options);
 
   if (!result.answered()) {
-    std::printf(";; no response from %s within %lld ms\n", server.to_string().c_str(),
-                static_cast<long long>(options.timeout.count()));
+    std::printf(";; no response from %s within %lld ms (%u attempt%s)\n",
+                server.to_string().c_str(),
+                static_cast<long long>(options.timeout.count()), result.retry.attempts,
+                result.retry.attempts == 1 ? "" : "s");
     return 1;
   }
   if (short_output) {
@@ -114,9 +124,12 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  std::printf(";; server %s, rtt %lld us%s\n", server.to_string().c_str(),
+  std::printf(";; server %s, rtt %lld us%s", server.to_string().c_str(),
               static_cast<long long>(result.rtt.count()),
               result.replicated() ? ", REPLICATED (multiple responses!)" : "");
+  if (result.retry.retries() > 0)
+    std::printf(", answered on attempt %u", result.retry.attempts);
+  std::printf("\n");
   std::fputs(result.response->to_string().c_str(), stdout);
   return 0;
 }

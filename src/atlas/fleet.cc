@@ -210,6 +210,9 @@ std::vector<ProbeSpec> generate_fleet_from_plan(const std::vector<OrgQuota>& pla
       sc.instance = static_cast<unsigned>(probe_rng.uniform(4));
       sc.home_ipv6 = probe_rng.bernoulli(config.ipv6_fraction);
       sc.isp_resolver_software = isp_resolver_software(plan.asn);
+      sc.faults = config.faults;
+      sc.fault_classes = config.fault_classes;
+      sc.retry = config.retry;
 
       // `allow_chaos_forwarder` is false for homes whose ISP intercepts:
       // pairing the two creates the (deliberately quota'd) §6

@@ -36,6 +36,12 @@ struct FleetConfig {
   double scale = 1.0;
   /// Fraction of homes with working IPv6 (Table 4: ~3.7k of ~9.6k).
   double ipv6_fraction = 0.39;
+  /// Fault profile copied into every probe's scenario (inactive by
+  /// default); applies to the scenario's `fault_classes` links.
+  simnet::FaultProfile faults;
+  std::vector<std::string> fault_classes = {"access"};
+  /// Retry policy copied into every probe's scenario (single-shot default).
+  core::RetryPolicy retry;
 };
 
 /// Per-organization plan row: population size plus explicit interception

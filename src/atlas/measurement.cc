@@ -49,6 +49,8 @@ ProbeRecord run_probe(const ProbeSpec& spec, bool strip_raw_responses) {
   record.truth = scenario.ground_truth();
   core::LocalizationPipeline pipeline(scenario.pipeline_config());
   record.verdict = pipeline.run(scenario.transport());
+  record.drops = scenario.sim().drops();
+  record.faults = scenario.fault_plan().counters();
   if (strip_raw_responses) strip_verdict(record.verdict);
   return record;
 }

@@ -17,6 +17,10 @@ struct ProbeRecord {
   bool tested_v6 = false;
   core::ProbeVerdict verdict;
   GroundTruth truth;
+  /// Per-cause drop tallies from the probe's simulator (world-wide, not just
+  /// the measurement path) and the fault plan's injection counters.
+  simnet::DropCounters drops;
+  simnet::FaultPlan::Counters faults;
 };
 
 /// Fleet-level results.

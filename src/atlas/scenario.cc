@@ -127,8 +127,21 @@ GroundTruth Scenario::compute_ground_truth(const ScenarioConfig& config) {
 Scenario::Scenario(const ScenarioConfig& config)
     : config_(config),
       sim_(config.seed),
+      fault_plan_(config.fault_seed != 0 ? config.fault_seed
+                                         : config.seed ^ 0xfa0175eedull),
       cpe_wan_v4_(customer_address_v4(config.asn, config.home_index)),
       ground_truth_(compute_ground_truth(config)) {
+  // --- faults: attach the plan before any link carries traffic ---
+  if (config.faults.active()) {
+    if (config.fault_classes.empty()) {
+      fault_plan_.set_default_profile(config.faults);
+    } else {
+      for (const std::string& fault_class : config.fault_classes)
+        fault_plan_.set_class_profile(fault_class, config.faults);
+    }
+    sim_.set_fault_plan(&fault_plan_);
+  }
+
   // --- backbone: transit core + public resolvers (+ external interceptor) ---
   isp::BackboneConfig backbone_config;
   backbone_config.site_index = config.site_index;
@@ -182,6 +195,7 @@ core::PipelineConfig Scenario::pipeline_config() const {
   core::PipelineConfig pipeline;
   pipeline.cpe_public_ip = cpe_wan_v4_;
   pipeline.detection.test_v6 = true;  // SimTransport reports v6 support itself
+  if (config_.retry.enabled()) pipeline.apply_retry_policy(config_.retry);
   return pipeline;
 }
 

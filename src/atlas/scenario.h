@@ -57,6 +57,18 @@ struct ScenarioConfig {
   bool home_ipv6 = false;
   std::size_t site_index = 0;  // anycast site the probe's region maps to
   unsigned instance = 0;
+
+  /// Link-fault injection (inactive by default). The profile applies to the
+  /// link classes named in `fault_classes`; an empty list applies it to
+  /// every link in the world.
+  simnet::FaultProfile faults;
+  std::vector<std::string> fault_classes = {"access"};  // the last mile
+  /// Seed for the fault plan's independent stream; 0 derives it from
+  /// `seed` so existing scenarios stay bit-identical.
+  std::uint64_t fault_seed = 0;
+  /// Retry policy stamped onto every pipeline step's QueryOptions
+  /// (single-shot by default, matching the paper).
+  core::RetryPolicy retry;
 };
 
 /// What is *actually* happening, independent of what the technique infers.
@@ -79,6 +91,7 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
 
   [[nodiscard]] simnet::Simulator& sim() { return sim_; }
+  [[nodiscard]] simnet::FaultPlan& fault_plan() { return fault_plan_; }
   [[nodiscard]] core::SimTransport& transport() { return *transport_; }
   [[nodiscard]] simnet::Device& host() { return *host_; }
   [[nodiscard]] cpe::CpeHandles& cpe_handles() { return cpe_; }
@@ -97,6 +110,7 @@ class Scenario {
 
   ScenarioConfig config_;
   simnet::Simulator sim_;
+  simnet::FaultPlan fault_plan_;
   isp::BackboneHandles backbone_;
   isp::IspHandles isp_;
   simnet::Device* host_ = nullptr;

@@ -36,12 +36,9 @@ class MappedTransport : public QueryTransport {
 
   QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
                     const QueryOptions& options = {}) override {
-    if (auto it = mappings_.find(server); it != mappings_.end())
-      return inner_.query(it->second, message, options);
-    if (auto it = mappings_.find(netbase::Endpoint{server.address, 0}); it != mappings_.end())
-      return inner_.query(it->second, message, options);
-    if (policy_ == UnmappedPolicy::pass_through) return inner_.query(server, message, options);
-    return QueryResult{};  // hermetic: unmapped queries time out
+    QueryResult result = route(server, message, options);
+    record_telemetry(result);
+    return result;
   }
 
   [[nodiscard]] bool supports_family(netbase::IpFamily family) const override {
@@ -53,6 +50,18 @@ class MappedTransport : public QueryTransport {
   }
 
  private:
+  QueryResult route(const netbase::Endpoint& server, const dnswire::Message& message,
+                    const QueryOptions& options) {
+    if (auto it = mappings_.find(server); it != mappings_.end())
+      return inner_.query(it->second, message, options);
+    if (auto it = mappings_.find(netbase::Endpoint{server.address, 0}); it != mappings_.end())
+      return inner_.query(it->second, message, options);
+    if (policy_ == UnmappedPolicy::pass_through) return inner_.query(server, message, options);
+    QueryResult result;  // hermetic: unmapped queries time out
+    result.retry.timeouts = 1;
+    return result;
+  }
+
   QueryTransport& inner_;
   UnmappedPolicy policy_;
   std::unordered_map<netbase::Endpoint, netbase::Endpoint> mappings_;

@@ -4,6 +4,7 @@ namespace dnslocate::core {
 
 ProbeVerdict LocalizationPipeline::run(QueryTransport& transport) {
   ProbeVerdict verdict;
+  TransportTelemetry before = transport.telemetry();
 
   // Step 1: which resolvers are intercepted? (§3.1)
   InterceptionDetector detector(config_.detection);
@@ -17,6 +18,7 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport) {
   auto suspects = verdict.detection.intercepted_kinds(family);
   if (suspects.empty()) {
     verdict.location = InterceptorLocation::not_intercepted;
+    verdict.telemetry = transport.telemetry() - before;
     return verdict;
   }
 
@@ -50,6 +52,7 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport) {
     TransparencyTester tester(transparency_config);
     verdict.transparency = tester.run(transport, suspects);
   }
+  verdict.telemetry = transport.telemetry() - before;
   return verdict;
 }
 

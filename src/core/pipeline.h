@@ -29,6 +29,17 @@ struct PipelineConfig {
   /// records which one it was).
   bool detect_replication = false;
   ReplicationProber::Config replication;
+
+  /// Stamp one retry policy onto every step's QueryOptions. Safe by
+  /// construction with respect to §3.3: exhausted retries still report a
+  /// timeout, so silence stays silence (see core/retry.h).
+  void apply_retry_policy(const RetryPolicy& policy) {
+    detection.query.retry = policy;
+    cpe_check.query.retry = policy;
+    bogon.query.retry = policy;
+    transparency.query.retry = policy;
+    replication.query.retry = policy;
+  }
 };
 
 /// Everything the pipeline learned about one vantage point.
@@ -39,6 +50,9 @@ struct ProbeVerdict {
   std::optional<TransparencyReport> transparency;
   std::optional<ReplicationReport> replication;   // when detect_replication
   InterceptorLocation location = InterceptorLocation::not_intercepted;
+  /// Transport activity for this probe's run: queries, retry attempts, and
+  /// timeouts — the loss-resilience observability the fault ablation reads.
+  TransportTelemetry telemetry;
 
   [[nodiscard]] bool intercepted() const {
     return location != InterceptorLocation::not_intercepted;

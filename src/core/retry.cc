@@ -1,0 +1,43 @@
+#include "core/retry.h"
+
+namespace dnslocate::core {
+
+std::chrono::milliseconds RetryPolicy::backoff_before(unsigned attempt) const {
+  if (attempt <= 1) return std::chrono::milliseconds(0);
+  double scale = 1.0;
+  for (unsigned i = 2; i < attempt; ++i) scale *= backoff_multiplier;
+  auto backoff = std::chrono::milliseconds(
+      static_cast<std::chrono::milliseconds::rep>(static_cast<double>(initial_backoff.count()) *
+                                                  scale));
+  return backoff < max_backoff ? backoff : max_backoff;
+}
+
+RetryPolicy RetryPolicy::standard(unsigned attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  return policy;
+}
+
+void rerandomize_query(dnswire::Message& message, const RetryPolicy& policy,
+                       simnet::Rng& rng) {
+  if (policy.fresh_id_per_attempt)
+    message.id = static_cast<std::uint16_t>(rng.next_u64() & 0xffff);
+  if (policy.rerandomize_0x20 && !message.questions.empty()) {
+    // Re-roll the 0x20 case bits of the question name. A response echoing a
+    // *previous* attempt's pattern still matches (the acceptance check is
+    // case-insensitive), but a 0x20-validating caller comparing patterns
+    // must compare against this attempt's name.
+    std::string cased = message.questions.front().name.to_string();
+    for (char& c : cased) {
+      if (c >= 'a' && c <= 'z') {
+        if (rng.bernoulli(0.5)) c = static_cast<char>(c - 'a' + 'A');
+      } else if (c >= 'A' && c <= 'Z') {
+        if (rng.bernoulli(0.5)) c = static_cast<char>(c - 'A' + 'a');
+      }
+    }
+    if (auto name = dnswire::DnsName::parse(cased))
+      message.questions.front().name = *name;
+  }
+}
+
+}  // namespace dnslocate::core

@@ -1,0 +1,62 @@
+// Adaptive retry/backoff for DNS queries.
+//
+// The localization technique treats timeouts as *signal* (§3.3), so naive
+// retransmission is not free: it must never convert silence into a false
+// positive. The policy here keeps the semantics safe by construction —
+// every attempt gets a fresh transaction ID (and, optionally, a fresh
+// DNS-0x20 case pattern), so a late response to an earlier attempt no
+// longer matches and is discarded instead of being mistaken for an answer
+// to the retry. Exhausting the attempt budget still reports a timeout;
+// retries only reduce the chance that packet loss masquerades as silence.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "dnswire/message.h"
+#include "simnet/rng.h"
+
+namespace dnslocate::core {
+
+/// Backoff schedule and per-query attempt budget, shared by the simulated
+/// and the real-socket transports.
+struct RetryPolicy {
+  /// Total attempts per query (1 = single shot, the paper's default —
+  /// timeouts are meaningful, so retries are opt-in).
+  unsigned max_attempts = 1;
+  /// Wait before the second attempt; grows geometrically afterwards.
+  std::chrono::milliseconds initial_backoff{250};
+  double backoff_multiplier = 2.0;
+  /// Ceiling on any single backoff interval.
+  std::chrono::milliseconds max_backoff{2000};
+  /// Draw a fresh transaction ID per attempt (stale responses are then
+  /// rejected by the ID check rather than accepted by the retry).
+  bool fresh_id_per_attempt = true;
+  /// Re-randomize the 0x20 case pattern of the question name per attempt.
+  bool rerandomize_0x20 = true;
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+
+  /// Backoff to wait before attempt number `attempt` (attempts count from
+  /// 1; attempt 1 has no backoff).
+  [[nodiscard]] std::chrono::milliseconds backoff_before(unsigned attempt) const;
+
+  /// The conventional "three tries, exponential backoff" profile.
+  static RetryPolicy standard(unsigned attempts = 3);
+};
+
+/// Per-query retry telemetry, carried on QueryResult and aggregated by the
+/// pipeline into the probe verdict.
+struct RetryTelemetry {
+  std::uint32_t attempts = 1;   // attempts actually sent
+  std::uint32_t timeouts = 0;   // attempts that ended in silence
+  std::chrono::milliseconds backoff_waited{0};
+
+  [[nodiscard]] std::uint32_t retries() const { return attempts > 0 ? attempts - 1 : 0; }
+};
+
+/// Mutate `message` for a fresh attempt per `policy`: new transaction ID
+/// and/or re-randomized 0x20 case bits, drawn from `rng`.
+void rerandomize_query(dnswire::Message& message, const RetryPolicy& policy, simnet::Rng& rng);
+
+}  // namespace dnslocate::core

@@ -4,6 +4,16 @@
 #include "dnswire/encoder.h"
 
 namespace dnslocate::core {
+namespace {
+
+/// FNV-1a over the payload, used to recognise byte-identical duplicates.
+std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : payload) h = (h ^ b) * 0x100000001b3ull;
+  return h;
+}
+
+}  // namespace
 
 SimTransport::SimTransport(simnet::Simulator& sim, simnet::Device& host)
     : sim_(sim), host_(host) {}
@@ -26,6 +36,15 @@ void SimTransport::on_datagram(simnet::Simulator&, simnet::Device&,
   if (!message || !collecting_->query ||
       !dnswire::is_acceptable_response(*collecting_->query, *message))
     return;
+  // A byte-identical datagram from the same source is network duplication
+  // (or a fault-injected copy), not query replication: a real stub cannot
+  // tell the two packets apart either, so the copy is discarded rather than
+  // being allowed to fabricate a replication verdict.
+  std::uint64_t fingerprint = payload_hash(packet.payload);
+  for (const auto& [src, hash] : collecting_->seen)
+    if (src == packet.src_endpoint() && hash == fingerprint) return;
+  collecting_->seen.emplace_back(packet.src_endpoint(), fingerprint);
+
   if (!collecting_->result.answered()) {
     collecting_->result.status = QueryResult::Status::answered;
     collecting_->result.response = *message;
@@ -35,8 +54,9 @@ void SimTransport::on_datagram(simnet::Simulator&, simnet::Device&,
   collecting_->result.all_responses.push_back(std::move(*message));
 }
 
-QueryResult SimTransport::query(const netbase::Endpoint& server,
-                                const dnswire::Message& message, const QueryOptions& options) {
+QueryResult SimTransport::attempt(const netbase::Endpoint& server,
+                                  const dnswire::Message& message,
+                                  const QueryOptions& options) {
   Collecting state;
   state.port = next_port_++;
   if (next_port_ < 40000) next_port_ = 40000;
@@ -77,6 +97,39 @@ QueryResult SimTransport::query(const netbase::Endpoint& server,
   host_.unbind_udp(state.port);
   collecting_ = nullptr;
   return state.result;
+}
+
+QueryResult SimTransport::query(const netbase::Endpoint& server,
+                                const dnswire::Message& message, const QueryOptions& options) {
+  unsigned budget = std::max(1u, options.retry.max_attempts);
+  dnswire::Message attempt_message = message;
+  RetryTelemetry telemetry;
+  QueryResult result;
+  std::optional<netbase::IpAddress> icmp_from;
+
+  for (unsigned attempt_number = 1; attempt_number <= budget; ++attempt_number) {
+    if (attempt_number > 1) {
+      // Backoff in simulated time: let the world run until the wait ends,
+      // then mutate the query so stale responses no longer match.
+      auto backoff = options.retry.backoff_before(attempt_number);
+      telemetry.backoff_waited += backoff;
+      bool waited = false;
+      sim_.schedule(std::chrono::duration_cast<simnet::SimDuration>(backoff),
+                    [&waited]() { waited = true; });
+      while (!waited && sim_.step()) {
+      }
+      rerandomize_query(attempt_message, options.retry, sim_.rng());
+    }
+    result = attempt(server, attempt_message, options);
+    telemetry.attempts = attempt_number;
+    if (!result.icmp_from && icmp_from) result.icmp_from = icmp_from;
+    if (result.answered()) break;
+    ++telemetry.timeouts;
+    if (result.icmp_from) icmp_from = result.icmp_from;  // keep across attempts
+  }
+  result.retry = telemetry;
+  record_telemetry(result);
+  return result;
 }
 
 }  // namespace dnslocate::core

@@ -26,18 +26,23 @@ class SimTransport : public QueryTransport, private simnet::UdpApp {
   [[nodiscard]] bool supports_ttl() const override { return true; }
   [[nodiscard]] bool supports_channel(simnet::Channel) const override { return true; }
 
+  /// Datagrams sent, counting every retry attempt.
   [[nodiscard]] std::uint64_t queries_sent() const { return queries_sent_; }
 
  private:
   void on_datagram(simnet::Simulator& sim, simnet::Device& self,
                    const simnet::UdpPacket& packet) override;
 
+  /// One send + collect-until-deadline cycle (a single attempt).
+  QueryResult attempt(const netbase::Endpoint& server, const dnswire::Message& message,
+                      const QueryOptions& options);
+
   simnet::Simulator& sim_;
   simnet::Device& host_;
   std::uint16_t next_port_ = 40000;
   std::uint64_t queries_sent_ = 0;
 
-  // Per-query collection state (valid only inside query()).
+  // Per-attempt collection state (valid only inside attempt()).
   struct Collecting {
     std::uint16_t port = 0;
     std::uint16_t id = 0;
@@ -45,6 +50,10 @@ class SimTransport : public QueryTransport, private simnet::UdpApp {
     bool deadline_passed = false;
     QueryResult result;
     simnet::SimTime sent_at{};
+    /// (source, payload hash) of accepted responses — network-duplicated
+    /// copies are byte-identical and are dropped, so fault-injected
+    /// duplication cannot fabricate a replication verdict.
+    std::vector<std::pair<netbase::Endpoint, std::uint64_t>> seen;
   };
   Collecting* collecting_ = nullptr;
 };

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/retry.h"
 #include "dnswire/message.h"
 #include "netbase/endpoint.h"
 #include "simnet/packet.h"
@@ -26,6 +27,9 @@ struct QueryOptions {
   /// Transport channel. DoT channels model RFC 7858's strict and
   /// opportunistic privacy profiles; check supports_channel() first.
   simnet::Channel channel = simnet::Channel::udp;
+  /// Retransmission policy. Defaults to single-shot: the technique treats
+  /// timeouts as signal, so retries are an explicit opt-in.
+  RetryPolicy retry;
 };
 
 /// Outcome of one query.
@@ -43,9 +47,48 @@ struct QueryResult {
   /// Router that reported ICMP Time Exceeded for this query, if any —
   /// the raw material of traceroute-style interceptor localization.
   std::optional<netbase::IpAddress> icmp_from;
+  /// How many attempts this query took and how many timed out.
+  RetryTelemetry retry;
 
   [[nodiscard]] bool answered() const { return status == Status::answered; }
   [[nodiscard]] bool replicated() const { return all_responses.size() > 1; }
+};
+
+/// Running tally of transport activity, kept by every QueryTransport. The
+/// pipeline snapshots it around a run to surface retry/timeout counts in
+/// the probe verdict; the report layer aggregates them fleet-wide.
+struct TransportTelemetry {
+  std::uint64_t queries = 0;    // query() calls
+  std::uint64_t attempts = 0;   // datagrams sent (>= queries with retries)
+  std::uint64_t retries = 0;    // attempts beyond each query's first
+  std::uint64_t timeouts = 0;   // attempts that ended in silence
+  std::uint64_t answered = 0;   // queries that got an acceptable response
+
+  void note(const QueryResult& result) {
+    ++queries;
+    attempts += result.retry.attempts;
+    retries += result.retry.retries();
+    timeouts += result.retry.timeouts;
+    if (result.answered()) ++answered;
+  }
+
+  TransportTelemetry& operator+=(const TransportTelemetry& other) {
+    queries += other.queries;
+    attempts += other.attempts;
+    retries += other.retries;
+    timeouts += other.timeouts;
+    answered += other.answered;
+    return *this;
+  }
+
+  friend TransportTelemetry operator-(TransportTelemetry a, const TransportTelemetry& b) {
+    a.queries -= b.queries;
+    a.attempts -= b.attempts;
+    a.retries -= b.retries;
+    a.timeouts -= b.timeouts;
+    a.answered -= b.answered;
+    return a;
+  }
 };
 
 /// Synchronous DNS query interface.
@@ -56,6 +99,11 @@ class QueryTransport {
   /// Send `query` to `server` and wait for a response or timeout.
   virtual QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
                             const QueryOptions& options = {}) = 0;
+
+  /// Cumulative telemetry since construction (or reset_telemetry()).
+  /// Implementations record each completed query via record_telemetry().
+  [[nodiscard]] const TransportTelemetry& telemetry() const { return telemetry_; }
+  void reset_telemetry() { telemetry_ = TransportTelemetry{}; }
 
   /// Whether this transport can reach the given family at all.
   [[nodiscard]] virtual bool supports_family(netbase::IpFamily family) const = 0;
@@ -68,6 +116,12 @@ class QueryTransport {
   [[nodiscard]] virtual bool supports_channel(simnet::Channel channel) const {
     return channel == simnet::Channel::udp;
   }
+
+ protected:
+  void record_telemetry(const QueryResult& result) { telemetry_.note(result); }
+
+ private:
+  TransportTelemetry telemetry_;
 };
 
 }  // namespace dnslocate::core

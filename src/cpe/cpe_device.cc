@@ -47,10 +47,10 @@ CpeHandles build_cpe(simnet::Simulator& sim, const CpeConfig& config, simnet::De
   if (config.lan_v6) device.add_local_ip(*config.lan_v6);
   if (config.wan_v6) device.add_local_ip(*config.wan_v6);
 
-  auto [lan_port, lan_peer_port] = sim.connect(device, lan_peer,
-                                               {.latency = std::chrono::microseconds(300)});
-  auto [wan_port, wan_peer_port] = sim.connect(device, wan_peer,
-                                               {.latency = std::chrono::milliseconds(2)});
+  auto [lan_port, lan_peer_port] = sim.connect(
+      device, lan_peer, {.latency = std::chrono::microseconds(300), .fault_class = "lan"});
+  auto [wan_port, wan_peer_port] = sim.connect(
+      device, wan_peer, {.latency = std::chrono::milliseconds(2), .fault_class = "access"});
   handles.lan_port = lan_port;
   handles.wan_port = wan_port;
   handles.lan_peer_port = lan_peer_port;

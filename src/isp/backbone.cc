@@ -22,7 +22,8 @@ BackboneHandles build_backbone(simnet::Simulator& sim, const BackboneConfig& con
     for (const auto& addr : spec.service_v6) device.add_local_ip(addr);
 
     auto [uplink, core_port] =
-        sim.connect(device, core, {.latency = std::chrono::milliseconds(6)});
+        sim.connect(device, core,
+                    {.latency = std::chrono::milliseconds(6), .fault_class = "transit"});
     device.set_default_route(uplink);
     for (const auto& addr : spec.service_v4)
       core.add_route(netbase::Prefix(addr, 32), core_port);
@@ -49,7 +50,8 @@ BackboneHandles build_backbone(simnet::Simulator& sim, const BackboneConfig& con
     auto& alt = sim.add_device<simnet::Device>("transit-interceptor-resolver");
     alt.add_local_ip(handles.external_alt_address);
     auto [alt_uplink, core_to_alt] =
-        sim.connect(alt, core, {.latency = std::chrono::milliseconds(3)});
+        sim.connect(alt, core,
+                    {.latency = std::chrono::milliseconds(3), .fault_class = "transit"});
     alt.set_default_route(alt_uplink);
     core.add_route(netbase::Prefix(handles.external_alt_address, 32), core_to_alt);
     handles.external_alt_resolver = &alt;

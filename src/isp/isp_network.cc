@@ -59,16 +59,19 @@ IspHandles build_isp(simnet::Simulator& sim, const IspConfig& config,
   handles.border = &border;
 
   auto [access_to_border, border_to_access] =
-      sim.connect(access, border, {.latency = std::chrono::milliseconds(2)});
+      sim.connect(access, border,
+                  {.latency = std::chrono::milliseconds(2), .fault_class = "isp"});
   auto [border_to_core, core_to_border] =
-      sim.connect(border, transit_core, {.latency = std::chrono::milliseconds(8)});
+      sim.connect(border, transit_core,
+                  {.latency = std::chrono::milliseconds(8), .fault_class = "transit"});
 
   // --- ISP resolver ---
   auto& resolver = sim.add_device<simnet::Device>(config.name + "-resolver");
   resolver.add_local_ip(config.resolver_v4);
   if (config.resolver_v6) resolver.add_local_ip(*config.resolver_v6);
   auto [resolver_uplink, access_to_resolver] =
-      sim.connect(resolver, access, {.latency = std::chrono::milliseconds(1)});
+      sim.connect(resolver, access,
+                  {.latency = std::chrono::milliseconds(1), .fault_class = "isp"});
   resolver.set_default_route(resolver_uplink);
   handles.resolver = &resolver;
   handles.resolver_address_v4 = config.resolver_v4;
@@ -97,7 +100,8 @@ IspHandles build_isp(simnet::Simulator& sim, const IspConfig& config,
     auto& blocker = sim.add_device<simnet::Device>(config.name + "-filter");
     blocker.add_local_ip(blocking_v4);
     auto [blocker_uplink, access_to_blocker] =
-        sim.connect(blocker, access, {.latency = std::chrono::milliseconds(1)});
+        sim.connect(blocker, access,
+                    {.latency = std::chrono::milliseconds(1), .fault_class = "isp"});
     blocker.set_default_route(blocker_uplink);
     handles.blocking_resolver = &blocker;
     handles.blocking_address_v4 = blocking_v4;

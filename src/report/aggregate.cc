@@ -1,6 +1,7 @@
 #include "report/aggregate.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace dnslocate::report {
 namespace {
@@ -195,6 +196,49 @@ TextTable render_confusion(const ConfusionMatrix& matrix) {
                    std::to_string(matrix.cells[i][3])});
   }
   return table;
+}
+
+RetryCensus retry_census(const MeasurementRun& run) {
+  RetryCensus census;
+  for (const ProbeRecord& record : run.records) {
+    ++census.probes;
+    census.totals += record.verdict.telemetry;
+    if (record.verdict.telemetry.retries > 0) ++census.probes_with_retries;
+    if (record.verdict.telemetry.timeouts > 0) ++census.probes_with_timeouts;
+  }
+  return census;
+}
+
+TextTable render_retry_census(const RetryCensus& census) {
+  TextTable table({"Metric", "Value"});
+  table.add_row({"probes", std::to_string(census.probes)});
+  table.add_row({"queries", std::to_string(census.totals.queries)});
+  table.add_row({"attempts", std::to_string(census.totals.attempts)});
+  table.add_row({"retries", std::to_string(census.totals.retries)});
+  table.add_row({"attempt timeouts", std::to_string(census.totals.timeouts)});
+  table.add_row({"answered queries", std::to_string(census.totals.answered)});
+  table.add_row({"probes with retries", std::to_string(census.probes_with_retries)});
+  table.add_row({"probes with timeouts", std::to_string(census.probes_with_timeouts)});
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", census.attempts_per_query());
+  table.add_row({"attempts per query", buffer});
+  return table;
+}
+
+LocalizationAccuracy localization_accuracy(const MeasurementRun& run) {
+  LocalizationAccuracy accuracy;
+  for (const ProbeRecord& record : run.records) {
+    if (record.truth.expected == InterceptorLocation::not_intercepted) continue;
+    ++accuracy.intercepted_truth;
+    if (record.verdict.location == record.truth.expected) {
+      ++accuracy.correct;
+    } else if (record.verdict.location == InterceptorLocation::not_intercepted) {
+      ++accuracy.missed;
+    } else {
+      ++accuracy.wrong_layer;
+    }
+  }
+  return accuracy;
 }
 
 PatternCensus pattern_census(const MeasurementRun& run, netbase::IpFamily family) {

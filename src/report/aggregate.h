@@ -83,4 +83,43 @@ struct PatternCensus {
 
 PatternCensus pattern_census(const atlas::MeasurementRun& run, netbase::IpFamily family);
 
+// --- retry / timeout census (loss-resilience observability) ---
+
+/// Fleet-wide transport telemetry: how many queries, retry attempts, and
+/// attempt timeouts the pipeline spent, summed over probe verdicts.
+struct RetryCensus {
+  core::TransportTelemetry totals;
+  std::size_t probes = 0;
+  std::size_t probes_with_retries = 0;
+  std::size_t probes_with_timeouts = 0;
+
+  /// Mean attempts per query (1.0 when retries never fired).
+  [[nodiscard]] double attempts_per_query() const {
+    return totals.queries == 0
+               ? 0.0
+               : static_cast<double>(totals.attempts) / static_cast<double>(totals.queries);
+  }
+};
+
+RetryCensus retry_census(const atlas::MeasurementRun& run);
+TextTable render_retry_census(const RetryCensus& census);
+
+/// Accuracy restricted to probes whose ground truth is "intercepted": the
+/// localization part of the task (CPE / ISP / unknown), where loss-induced
+/// misclassification concentrates.
+struct LocalizationAccuracy {
+  std::size_t intercepted_truth = 0;  // probes that are actually intercepted
+  std::size_t correct = 0;
+  std::size_t missed = 0;       // classified not_intercepted (false negative)
+  std::size_t wrong_layer = 0;  // intercepted but at the wrong location
+
+  [[nodiscard]] double accuracy() const {
+    return intercepted_truth == 0
+               ? 1.0
+               : static_cast<double>(correct) / static_cast<double>(intercepted_truth);
+  }
+};
+
+LocalizationAccuracy localization_accuracy(const atlas::MeasurementRun& run);
+
 }  // namespace dnslocate::report

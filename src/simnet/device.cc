@@ -76,6 +76,7 @@ void Device::receive(Simulator& sim, UdpPacket packet, PortId in_port) {
   sim.trace_event(*this, TraceEvent::received, packet);
   if (!run_prerouting(sim, packet, in_port)) {
     ++counters_.dropped;
+    ++sim.drops().by_hook;
     return;
   }
   deliver_or_forward(sim, std::move(packet));
@@ -86,6 +87,7 @@ void Device::deliver_or_forward(Simulator& sim, UdpPacket&& packet) {
     auto it = udp_bindings_.find(packet.dport);
     if (it == udp_bindings_.end()) {
       ++counters_.dropped;
+      ++sim.drops().no_listener;
       sim.trace_event(*this, TraceEvent::dropped_no_listener, packet);
       return;
     }
@@ -96,6 +98,7 @@ void Device::deliver_or_forward(Simulator& sim, UdpPacket&& packet) {
   }
   if (!forwarding_) {
     ++counters_.dropped;
+    ++sim.drops().no_route;
     sim.trace_event(*this, TraceEvent::dropped_no_route, packet, "forwarding disabled");
     return;
   }
@@ -105,6 +108,7 @@ void Device::deliver_or_forward(Simulator& sim, UdpPacket&& packet) {
 void Device::forward(Simulator& sim, UdpPacket&& packet) {
   if (packet.ttl <= 1) {
     ++counters_.dropped;
+    ++sim.drops().ttl_expired;
     sim.trace_event(*this, TraceEvent::dropped_ttl, packet);
     send_ttl_exceeded(sim, packet);
     return;
@@ -112,17 +116,20 @@ void Device::forward(Simulator& sim, UdpPacket&& packet) {
   --packet.ttl;
   if (drop_bogons_ && packet.dst.is_bogon()) {
     ++counters_.dropped;
+    ++sim.drops().no_route;
     sim.trace_event(*this, TraceEvent::dropped_no_route, packet, "bogon destination");
     return;
   }
   std::optional<PortId> out = route_for(packet.dst);
   if (!out) {
     ++counters_.dropped;
+    ++sim.drops().no_route;
     sim.trace_event(*this, TraceEvent::dropped_no_route, packet);
     return;
   }
   if (!run_postrouting(sim, packet, *out)) {
     ++counters_.dropped;
+    ++sim.drops().by_hook;
     return;
   }
   ++counters_.forwarded;
@@ -133,10 +140,14 @@ void Device::forward(Simulator& sim, UdpPacket&& packet) {
 void Device::send_local(Simulator& sim, UdpPacket packet) {
   std::optional<PortId> out = route_for(packet.dst);
   if (!out) {
+    ++sim.drops().no_route;
     sim.trace_event(*this, TraceEvent::dropped_no_route, packet, "local out");
     return;
   }
-  if (!run_postrouting(sim, packet, *out)) return;
+  if (!run_postrouting(sim, packet, *out)) {
+    ++sim.drops().by_hook;
+    return;
+  }
   sim.transmit(*this, *out, std::move(packet));
 }
 

@@ -4,7 +4,14 @@ namespace dnslocate::simnet {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
+std::uint64_t Simulator::ordinal_of(const Device& device) {
+  auto [it, inserted] = ordinals_.try_emplace(device.id(), ordinals_.size());
+  return it->second;
+}
+
 std::pair<PortId, PortId> Simulator::connect(Device& a, Device& b, LinkConfig config) {
+  ordinal_of(a);
+  ordinal_of(b);
   PortId a_port = next_port_[a.id()]++;
   PortId b_port = next_port_[b.id()]++;
   links_[PortKey{a.id(), a_port}] = PortPeer{&b, b_port, config};
@@ -24,8 +31,40 @@ void Simulator::transmit(Device& from, PortId port, UdpPacket packet) {
   }
   PortPeer& peer = it->second;
   if (peer.config.loss_rate > 0 && rng_.bernoulli(peer.config.loss_rate)) {
+    ++drops_.link_loss;
     trace_event(from, TraceEvent::dropped_loss, packet);
     return;
+  }
+
+  // Fault injection: consult the plan per directed link.
+  SimDuration fault_delay{0};
+  bool duplicate = false;
+  if (faults_ != nullptr) {
+    std::uint64_t link_key = ordinal_of(from) * 1000003ull + port;
+    FaultPlan::Decision decision = faults_->decide(link_key, peer.config.fault_class, packet);
+    if (decision.drop) {
+      if (decision.burst)
+        ++drops_.fault_burst;
+      else
+        ++drops_.fault_random;
+      trace_event(from, TraceEvent::dropped_fault, packet,
+                  decision.burst ? "burst loss" : "random loss");
+      return;
+    }
+    if (decision.truncate_to) {
+      packet.payload.resize(*decision.truncate_to);
+      trace_event(from, TraceEvent::fault_truncated, packet,
+                  "payload cut to " + std::to_string(*decision.truncate_to) + " bytes");
+    }
+    if (decision.extra_delay > SimDuration{0}) {
+      fault_delay = decision.extra_delay;
+      trace_event(from, TraceEvent::fault_delayed, packet,
+                  "+" + std::to_string(decision.extra_delay.count() / 1000) + "us");
+    }
+    if (decision.duplicate) {
+      duplicate = true;
+      trace_event(from, TraceEvent::fault_duplicated, packet);
+    }
   }
 
   // Serialization and FIFO queueing when the link has a finite rate.
@@ -39,6 +78,7 @@ void Simulator::transmit(Device& from, PortId port, UdpPacket packet) {
     SimTime start = std::max(now_, peer.busy_until);
     wait = start - now_;
     if (wait > peer.config.max_queue_delay) {
+      ++drops_.queue_overflow;
       trace_event(from, TraceEvent::dropped_loss, packet, "queue overflow");
       return;
     }
@@ -48,10 +88,18 @@ void Simulator::transmit(Device& from, PortId port, UdpPacket packet) {
   trace_event(from, TraceEvent::transmitted, packet);
   Device* to = peer.peer;
   PortId to_port = peer.peer_port;
-  schedule(wait + serialization + peer.config.latency,
-           [this, to, to_port, pkt = std::move(packet)]() mutable {
-             to->receive(*this, std::move(pkt), to_port);
-           });
+  SimDuration delivery = wait + serialization + peer.config.latency + fault_delay;
+  if (duplicate) {
+    // The copy rides behind the original; it is byte-identical, as a
+    // network-duplicated datagram would be.
+    SimDuration gap = faults_->profile_for(peer.config.fault_class).duplicate_gap;
+    schedule(delivery + gap, [this, to, to_port, pkt = packet]() mutable {
+      to->receive(*this, std::move(pkt), to_port);
+    });
+  }
+  schedule(delivery, [this, to, to_port, pkt = std::move(packet)]() mutable {
+    to->receive(*this, std::move(pkt), to_port);
+  });
 }
 
 std::size_t Simulator::run_until_idle(std::size_t max_events) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "simnet/device.h"
+#include "simnet/fault.h"
 #include "simnet/rng.h"
 #include "simnet/time.h"
 #include "simnet/trace.h"
@@ -28,6 +29,9 @@ struct LinkConfig {
   /// `max_queue_delay` are tail-dropped.
   std::uint64_t bandwidth_bps = 0;
   SimDuration max_queue_delay = std::chrono::milliseconds(50);
+  /// Fault-plan profile selector ("lan", "access", "isp", "transit", ...).
+  /// Empty means the plan's default profile applies.
+  std::string fault_class;
 };
 
 class Simulator {
@@ -73,6 +77,14 @@ class Simulator {
   void set_trace(TraceSink* sink) { trace_ = sink; }
   [[nodiscard]] TraceSink* trace() const { return trace_; }
 
+  /// Optional fault-injection plan (not owned). Null disables injection.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+  [[nodiscard]] FaultPlan* fault_plan() const { return faults_; }
+
+  /// Per-cause drop tally, always on (devices report their drops here too).
+  [[nodiscard]] const DropCounters& drops() const { return drops_; }
+  DropCounters& drops() { return drops_; }
+
   /// Record a trace event if tracing is enabled.
   void trace_event(const Device& device, TraceEvent event, const UdpPacket& packet,
                    std::string detail = {});
@@ -105,6 +117,12 @@ class Simulator {
     }
   };
 
+  /// Per-simulator device ordinal, assigned in connect() order. Fault-plan
+  /// link keys are built from this (not Device::id(), which comes from a
+  /// process-wide counter and so varies with thread interleaving when many
+  /// simulators run concurrently).
+  std::uint64_t ordinal_of(const Device& device);
+
   SimTime now_ = kSimStart;
   Rng rng_;
   std::uint64_t seq_counter_ = 0;
@@ -113,7 +131,10 @@ class Simulator {
   std::vector<std::unique_ptr<Device>> devices_;
   std::unordered_map<PortKey, PortPeer, PortKeyHash> links_;
   std::unordered_map<std::uint64_t, PortId> next_port_;  // per-device allocator
+  std::unordered_map<std::uint64_t, std::uint64_t> ordinals_;  // device id -> ordinal
   TraceSink* trace_ = nullptr;
+  FaultPlan* faults_ = nullptr;
+  DropCounters drops_;
 };
 
 }  // namespace dnslocate::simnet

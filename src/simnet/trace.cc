@@ -13,6 +13,10 @@ std::string_view to_string(TraceEvent event) {
     case TraceEvent::dropped_no_listener: return "dropped_no_listener";
     case TraceEvent::dropped_by_hook: return "dropped_by_hook";
     case TraceEvent::dropped_loss: return "dropped_loss";
+    case TraceEvent::dropped_fault: return "dropped_fault";
+    case TraceEvent::fault_duplicated: return "fault_duplicated";
+    case TraceEvent::fault_delayed: return "fault_delayed";
+    case TraceEvent::fault_truncated: return "fault_truncated";
     case TraceEvent::dnat_rewritten: return "dnat_rewritten";
     case TraceEvent::snat_rewritten: return "snat_rewritten";
     case TraceEvent::unnat_rewritten: return "unnat_rewritten";

@@ -23,6 +23,10 @@ enum class TraceEvent {
   dropped_no_listener,  // addressed to the device but no app on that port
   dropped_by_hook,      // a filter dropped it
   dropped_loss,         // link loss
+  dropped_fault,        // fault-plan loss (burst or residual random)
+  fault_duplicated,     // fault plan delivered a second copy
+  fault_delayed,        // fault plan reordered / jittered the delivery
+  fault_truncated,      // fault plan chopped the payload
   dnat_rewritten,       // destination rewritten by NAT
   snat_rewritten,       // source rewritten by NAT
   unnat_rewritten,      // reply direction restored (the "spoofed" response)
@@ -30,6 +34,37 @@ enum class TraceEvent {
 };
 
 std::string_view to_string(TraceEvent event);
+
+/// Per-cause drop tally. The Simulator keeps one (always on, independent of
+/// any TraceSink) so tests and the fault ablation can attribute every lost
+/// packet to its cause.
+struct DropCounters {
+  std::uint64_t no_route = 0;        // unroutable / forwarding disabled / bogon
+  std::uint64_t ttl_expired = 0;
+  std::uint64_t no_listener = 0;     // delivered locally, no app on the port
+  std::uint64_t by_hook = 0;         // a PacketHook returned drop
+  std::uint64_t link_loss = 0;       // LinkConfig::loss_rate (i.i.d.)
+  std::uint64_t queue_overflow = 0;  // finite-rate link tail drop
+  std::uint64_t fault_burst = 0;     // FaultPlan bad-state loss
+  std::uint64_t fault_random = 0;    // FaultPlan good-state loss
+
+  [[nodiscard]] std::uint64_t total() const {
+    return no_route + ttl_expired + no_listener + by_hook + link_loss + queue_overflow +
+           fault_burst + fault_random;
+  }
+
+  DropCounters& operator+=(const DropCounters& other) {
+    no_route += other.no_route;
+    ttl_expired += other.ttl_expired;
+    no_listener += other.no_listener;
+    by_hook += other.by_hook;
+    link_loss += other.link_loss;
+    queue_overflow += other.queue_overflow;
+    fault_burst += other.fault_burst;
+    fault_random += other.fault_random;
+    return *this;
+  }
+};
 
 /// One trace record.
 struct TraceRecord {

@@ -8,9 +8,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
+#include "core/retry.h"
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
+#include "simnet/rng.h"
 
 namespace dnslocate::sockets {
 namespace {
@@ -52,6 +55,13 @@ socklen_t to_sockaddr(const netbase::Endpoint& endpoint, sockaddr_storage& stora
 
 std::chrono::steady_clock::time_point now() { return std::chrono::steady_clock::now(); }
 
+/// FNV-1a over a byte range, used to recognise byte-identical duplicates.
+std::uint64_t bytes_hash(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) h = (h ^ data[i]) * 0x100000001b3ull;
+  return h;
+}
+
 }  // namespace
 
 bool UdpTransport::supports_family(netbase::IpFamily family) const {
@@ -86,6 +96,9 @@ core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
 
   auto deadline = sent_at + options.timeout;
   std::optional<std::chrono::steady_clock::time_point> duplicate_deadline;
+  // (source bytes, payload hash) of accepted responses: a byte-identical
+  // datagram from the same source is network duplication, not replication.
+  std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>> seen;
 
   while (true) {
     auto horizon = duplicate_deadline ? std::min(*duplicate_deadline, deadline) : deadline;
@@ -107,6 +120,18 @@ core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
     auto response = dnswire::decode_message({buffer, static_cast<std::size_t>(n)});
     if (!response || !dnswire::is_acceptable_response(message, *response)) continue;
 
+    std::vector<std::uint8_t> source(reinterpret_cast<std::uint8_t*>(&from),
+                                     reinterpret_cast<std::uint8_t*>(&from) + from_len);
+    std::uint64_t fingerprint = bytes_hash(buffer, static_cast<std::size_t>(n));
+    bool duplicate = false;
+    for (const auto& [src, hash] : seen)
+      if (hash == fingerprint && src == source) {
+        duplicate = true;
+        break;
+      }
+    if (duplicate) continue;
+    seen.emplace_back(std::move(source), fingerprint);
+
     if (!result.answered()) {
       result.status = core::QueryResult::Status::answered;
       result.response = *response;
@@ -121,9 +146,30 @@ core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
 core::QueryResult UdpTransport::query(const netbase::Endpoint& server,
                                       const dnswire::Message& message,
                                       const core::QueryOptions& options) {
-  core::QueryResult result = attempt(server, message, options);
-  for (unsigned retry = 0; retry < config_.retries && !result.answered(); ++retry)
-    result = attempt(server, message, options);
+  // Per-query options win; the transport-level default applies otherwise.
+  const core::RetryPolicy& policy = options.retry.enabled() ? options.retry : config_.retry;
+  unsigned budget = std::max(1u, policy.max_attempts);
+  dnswire::Message attempt_message = message;
+  simnet::Rng rng(config_.retry_seed ^ (static_cast<std::uint64_t>(message.id) << 32));
+  core::RetryTelemetry telemetry;
+  core::QueryResult result;
+
+  for (unsigned attempt_number = 1; attempt_number <= budget; ++attempt_number) {
+    if (attempt_number > 1) {
+      auto backoff = policy.backoff_before(attempt_number);
+      telemetry.backoff_waited += backoff;
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      // Fresh transaction ID (and 0x20 pattern): a straggling response to
+      // an earlier attempt fails the ID check instead of answering this one.
+      core::rerandomize_query(attempt_message, policy, rng);
+    }
+    result = attempt(server, attempt_message, options);
+    telemetry.attempts = attempt_number;
+    if (result.answered()) break;
+    ++telemetry.timeouts;
+  }
+  result.retry = telemetry;
+  record_telemetry(result);
   return result;
 }
 

@@ -18,10 +18,14 @@ class UdpTransport : public core::QueryTransport {
     /// Collect duplicate responses (query replication) for this long after
     /// the first response arrives.
     std::chrono::milliseconds duplicate_window{200};
-    /// Number of retransmissions on timeout (0 = single shot). The
+    /// Default retry policy for queries whose QueryOptions carry none. The
     /// localization technique treats timeouts as meaningful, so retries
-    /// default off.
-    unsigned retries = 0;
+    /// default off (single shot); when enabled, each attempt backs off
+    /// exponentially and is re-randomized (fresh transaction ID, fresh
+    /// 0x20 case bits) so stale responses cannot satisfy the retry.
+    core::RetryPolicy retry;
+    /// Seed for the per-attempt re-randomization stream.
+    std::uint64_t retry_seed = 0x5eed5eed;
   };
 
   UdpTransport() = default;
