@@ -4,12 +4,19 @@
 // real study could not compute.
 //
 // Usage: atlas_pilot [scale] [--export results.jsonl] [--html report.html]
-//                    [--plan plan.json] [--threads N]
+//                    [--plan plan.json] [--threads N] [--journal run.journal]
+//                    [--resume] [--probe-deadline-ms N] [--max-failures N]
 //   scale in (0,1]; default 1.0 = ~9,650 probes.
 //   --export writes the per-probe dataset as JSONL (reload it with
 //   report::run_from_jsonl for offline aggregation).
 //   --html renders the whole study as one self-contained HTML page.
 //   --plan measures a custom fleet described in JSON (atlas/fleet_json.h).
+//   --journal checkpoints every completed probe to an append-only journal;
+//   --resume restarts from that journal, re-measuring only what is missing.
+//   --probe-deadline-ms bounds each probe's wall clock (overruns are recorded
+//   as deadline_exceeded with a partial verdict, never a fabricated one).
+//   --max-failures stops dispatching new probes after N failures; the journal
+//   stays intact so the run can be resumed after the cause is fixed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +36,10 @@ int main(int argc, char** argv) {
   const char* export_path = nullptr;
   const char* html_path = nullptr;
   const char* plan_path = nullptr;
+  const char* journal_path = nullptr;
+  bool resume = false;
+  long probe_deadline_ms = 0;
+  long max_failures = 0;
   unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
@@ -37,6 +48,14 @@ int main(int argc, char** argv) {
       html_path = argv[++i];
     } else if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
       plan_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--probe-deadline-ms") == 0 && i + 1 < argc) {
+      probe_deadline_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-failures") == 0 && i + 1 < argc) {
+      max_failures = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else {
@@ -44,6 +63,10 @@ int main(int argc, char** argv) {
     }
   }
   if (scale <= 0 || scale > 1) scale = 1.0;
+  if (resume && journal_path == nullptr) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 1;
+  }
 
   std::vector<atlas::ProbeSpec> fleet;
   if (plan_path != nullptr) {
@@ -70,6 +93,9 @@ int main(int argc, char** argv) {
 
   atlas::MeasurementOptions options;
   options.threads = threads;
+  if (journal_path != nullptr) options.journal_path = journal_path;
+  if (probe_deadline_ms > 0) options.probe_deadline = std::chrono::milliseconds(probe_deadline_ms);
+  if (max_failures > 0) options.max_failures = static_cast<std::size_t>(max_failures);
   std::size_t last_percent = 0;
   options.progress = [&](std::size_t done, std::size_t total) {
     std::size_t percent = done * 100 / total;
@@ -78,7 +104,24 @@ int main(int argc, char** argv) {
       last_percent = percent;
     }
   };
-  auto run = atlas::run_fleet(fleet, options);
+
+  atlas::MeasurementRun run;
+  if (resume) {
+    atlas::ResumeReport report;
+    run = atlas::resume_fleet(journal_path, fleet, options, &report);
+    for (const auto& warning : report.warnings)
+      std::fprintf(stderr, "resume: %s\n", warning.c_str());
+    std::printf("resumed from %s: %zu reused, %zu re-run after failure, %zu damaged\n",
+                journal_path, report.reused, report.rerun_failed, report.damaged);
+  } else {
+    run = atlas::run_fleet(fleet, options);
+  }
+  if (run.stopped_early())
+    std::printf("stopped early after %zu failures; %zu probes not run "
+                "(journal intact — rerun with --resume)\n",
+                run.count_outcome(atlas::ProbeOutcome::failed) +
+                    run.count_outcome(atlas::ProbeOutcome::deadline_exceeded),
+                run.not_run);
 
   std::printf("\n--- Table 4 ---\n%s", report::render_table4(run).render().c_str());
   std::printf("\n--- Table 5 ---\n%s", report::render_table5(run).render().c_str());
@@ -104,6 +147,18 @@ int main(int argc, char** argv) {
   std::printf("\n--- technique vs ground truth ---\n%s",
               report::render_confusion(matrix).render().c_str());
   std::printf("accuracy: %.4f\n", matrix.accuracy());
+
+  auto census = report::run_census(run);
+  std::printf("\n--- run health ---\n%s", report::render_run_census(census).render().c_str());
+  if (!census.slowest.empty()) {
+    std::printf("slowest probes:\n");
+    for (const auto& note : census.slowest)
+      std::printf("  probe %u (%s): %.1f ms\n", note.probe_id, note.org.c_str(),
+                  static_cast<double>(note.elapsed.count()) / 1000.0);
+  }
+  for (const auto& note : census.failures)
+    std::printf("failure: probe %u (%s) %s: %s\n", note.probe_id, note.org.c_str(),
+                std::string(to_string(note.outcome)).c_str(), note.error.c_str());
 
   std::printf("\n--- summary ---\n%s\n", report::run_summary(run).c_str());
   return 0;

@@ -5,7 +5,16 @@
 // The study here asks a question the paper's §5 raises: if an ISP ships the
 // buggy XB6 to a fraction of its customers, how does the detected CPE
 // interception scale with that fraction?
+//
+// Usage: custom_fleet [--journal PREFIX] [--resume] [--probe-deadline-ms N]
+//                     [--max-failures N]
+//   --journal checkpoints each iteration to PREFIX-<buggy>.jsonl; --resume
+//   picks up a study that was killed partway (finished iterations are
+//   replayed from their journals instead of re-measured).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "atlas/fleet_json.h"
 #include "atlas/measurement.h"
@@ -14,7 +23,27 @@
 
 using namespace dnslocate;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* journal_prefix = nullptr;
+  bool resume = false;
+  long probe_deadline_ms = 0;
+  long max_failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      journal_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--probe-deadline-ms") == 0 && i + 1 < argc) {
+      probe_deadline_ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-failures") == 0 && i + 1 < argc) {
+      max_failures = std::atol(argv[++i]);
+    }
+  }
+  if (resume && journal_prefix == nullptr) {
+    std::fprintf(stderr, "--resume requires --journal PREFIX\n");
+    return 1;
+  }
+
   std::puts("custom study: buggy-XB6 deployment fraction vs detected CPE interception\n");
 
   report::TextTable table({"buggy XB6 routers", "fleet size", "detected CPE",
@@ -38,7 +67,31 @@ int main() {
       return 1;
     }
     auto fleet = parsed.generate();
-    auto run = atlas::run_fleet(fleet);
+
+    atlas::MeasurementOptions options;
+    if (probe_deadline_ms > 0)
+      options.probe_deadline = std::chrono::milliseconds(probe_deadline_ms);
+    if (max_failures > 0) options.max_failures = static_cast<std::size_t>(max_failures);
+    std::string journal_path;
+    if (journal_prefix != nullptr) {
+      journal_path = std::string(journal_prefix) + "-" + std::to_string(buggy) + ".jsonl";
+      options.journal_path = journal_path;
+    }
+
+    atlas::MeasurementRun run;
+    if (resume) {
+      atlas::ResumeReport report;
+      run = atlas::resume_fleet(journal_path, fleet, options, &report);
+      for (const auto& warning : report.warnings)
+        std::fprintf(stderr, "resume (%d buggy): %s\n", buggy, warning.c_str());
+      std::printf("  %d buggy: resumed %zu probes from %s\n", buggy, report.reused,
+                  journal_path.c_str());
+    } else {
+      run = atlas::run_fleet(fleet, options);
+    }
+    if (run.stopped_early())
+      std::fprintf(stderr, "  %d buggy: stopped early, %zu probes not run\n", buggy,
+                   run.not_run);
     auto matrix = report::accuracy_matrix(run);
 
     char accuracy[16];

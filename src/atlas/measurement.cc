@@ -1,8 +1,12 @@
 #include "atlas/measurement.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
+
+#include "atlas/journal.h"
 
 namespace dnslocate::atlas {
 namespace {
@@ -22,7 +26,178 @@ void strip_verdict(core::ProbeVerdict& verdict) {
   }
 }
 
+/// Run one probe under supervision: a cancellation token enforcing the
+/// wall-clock budget, and a try/catch turning escaped exceptions into a
+/// failed record instead of std::terminate in a worker thread.
+ProbeRecord supervised_run(const ProbeSpec& spec, const MeasurementOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  core::CancelToken token =
+      options.probe_deadline.count() > 0
+          ? core::CancelToken::with_deadline(start + options.probe_deadline)
+          : core::CancelToken{};
+  ProbeRecord record;
+  try {
+    record = options.runner ? options.runner(spec, token)
+                            : run_probe(spec, token, options.strip_raw_responses);
+    record.outcome = ProbeOutcome::ok;
+  } catch (const std::exception& e) {
+    record = ProbeRecord{};
+    record.outcome = ProbeOutcome::failed;
+    record.error = e.what();
+  } catch (...) {
+    record = ProbeRecord{};
+    record.outcome = ProbeOutcome::failed;
+    record.error = "unknown exception";
+  }
+  // Identity fields survive even when the probe never got to fill them.
+  record.probe_id = spec.probe_id;
+  record.org = spec.org;
+  record.tested_v6 = spec.scenario.home_ipv6;
+  if (record.outcome == ProbeOutcome::ok && token.deadline_exceeded()) {
+    // Budget blown: completed stages are kept (the verdict is partial, per
+    // the pipeline's skip flags) but the probe is accounted as over
+    // deadline — graceful degradation, never a fabricated verdict.
+    record.outcome = ProbeOutcome::deadline_exceeded;
+    record.error = "probe exceeded its deadline of " +
+                   std::to_string(options.probe_deadline.count()) + "ms";
+  }
+  record.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return record;
+}
+
+/// Shared implementation of run_fleet and resume_fleet. `preloaded` maps
+/// fleet indices to records restored from a journal; those probes are not
+/// re-executed.
+MeasurementRun run_fleet_supervised(
+    const std::vector<ProbeSpec>& fleet, const MeasurementOptions& options,
+    const std::unordered_map<std::size_t, ProbeRecord>* preloaded) {
+  std::vector<ProbeRecord> records(fleet.size());
+  std::vector<char> completed(fleet.size(), 0);
+  std::size_t preloaded_count = 0;
+  if (preloaded != nullptr) {
+    for (const auto& [index, record] : *preloaded) {
+      records[index] = record;
+      completed[index] = 1;
+      ++preloaded_count;
+    }
+  }
+
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.journal_path.empty()) {
+    JournalHeader header;
+    header.fingerprint = fleet_fingerprint(fleet);
+    header.fleet_size = fleet.size();
+    journal = std::make_unique<JournalWriter>(options.journal_path, header,
+                                              options.journal_sync_interval);
+    // Re-journal the reused records so the journal stays self-contained and
+    // a resumed run can itself be resumed.
+    std::vector<const ProbeRecord*> reused;
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+      if (completed[i]) reused.push_back(&records[i]);
+    journal->append_batch(reused);
+  }
+
+  unsigned threads = options.threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(std::max<std::size_t>(
+                                            1, fleet.size())));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{preloaded_count};
+  std::atomic<std::size_t> failures{0};
+  std::atomic<bool> stop{false};
+  std::mutex progress_mutex;
+
+  // Completed records are serialized to the journal in small batches rather
+  // than one by one: each probe evicts the serializer's working set from
+  // cache, so per-record appends pay a cold-start an order of magnitude
+  // above the serializer's steady-state cost. Batching keeps checkpointing
+  // in the noise while a crash still loses at most the last batch.
+  constexpr std::size_t kJournalBatch = 32;
+  std::mutex pending_mutex;
+  std::vector<std::size_t> pending;
+  auto journal_record = [&](std::size_t i) {
+    std::vector<std::size_t> batch;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex);
+      pending.push_back(i);
+      if (pending.size() >= kJournalBatch) batch.swap(pending);
+    }
+    if (batch.empty()) return;
+    std::vector<const ProbeRecord*> refs;
+    refs.reserve(batch.size());
+    for (std::size_t j : batch) refs.push_back(&records[j]);
+    journal->append_batch(refs);
+  };
+
+  auto worker = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= fleet.size()) return;
+      if (completed[i]) continue;  // restored from the journal
+      records[i] = supervised_run(fleet[i], options);
+      completed[i] = 1;
+      if (journal) journal_record(i);
+      if (records[i].outcome != ProbeOutcome::ok && options.max_failures > 0 &&
+          failures.fetch_add(1) + 1 >= options.max_failures)
+        stop.store(true, std::memory_order_relaxed);
+      std::size_t finished = done.fetch_add(1) + 1;
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options.progress(finished, fleet.size());
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    // Each probe owns its simulator, so workers share nothing but the output
+    // slots (disjoint) and the shared counters.
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+  }
+
+  if (journal) {
+    std::vector<const ProbeRecord*> refs;
+    refs.reserve(pending.size());
+    for (std::size_t j : pending) refs.push_back(&records[j]);
+    journal->append_batch(refs);
+    pending.clear();
+    journal->sync();
+  }
+
+  MeasurementRun run;
+  run.records.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (completed[i])
+      run.records.push_back(std::move(records[i]));
+    else
+      ++run.not_run;
+  }
+  return run;
+}
+
 }  // namespace
+
+std::string_view to_string(ProbeOutcome outcome) {
+  switch (outcome) {
+    case ProbeOutcome::ok: return "ok";
+    case ProbeOutcome::failed: return "failed";
+    case ProbeOutcome::deadline_exceeded: return "deadline_exceeded";
+  }
+  return "ok";
+}
+
+std::optional<ProbeOutcome> probe_outcome_from(std::string_view name) {
+  if (name == "ok") return ProbeOutcome::ok;
+  if (name == "failed") return ProbeOutcome::failed;
+  if (name == "deadline_exceeded") return ProbeOutcome::deadline_exceeded;
+  return std::nullopt;
+}
 
 std::size_t MeasurementRun::intercepted_count() const {
   std::size_t count = 0;
@@ -38,7 +213,19 @@ std::size_t MeasurementRun::count_location(core::InterceptorLocation location) c
   return count;
 }
 
+std::size_t MeasurementRun::count_outcome(ProbeOutcome outcome) const {
+  std::size_t count = 0;
+  for (const auto& record : records)
+    if (record.outcome == outcome) ++count;
+  return count;
+}
+
 ProbeRecord run_probe(const ProbeSpec& spec, bool strip_raw_responses) {
+  return run_probe(spec, core::CancelToken{}, strip_raw_responses);
+}
+
+ProbeRecord run_probe(const ProbeSpec& spec, const core::CancelToken& cancel,
+                      bool strip_raw_responses) {
   ProbeRecord record;
   record.probe_id = spec.probe_id;
   record.org = spec.org;
@@ -48,7 +235,7 @@ ProbeRecord run_probe(const ProbeSpec& spec, bool strip_raw_responses) {
   Scenario scenario(spec.scenario);
   record.truth = scenario.ground_truth();
   core::LocalizationPipeline pipeline(scenario.pipeline_config());
-  record.verdict = pipeline.run(scenario.transport());
+  record.verdict = pipeline.run(scenario.transport(), cancel);
   record.drops = scenario.sim().drops();
   record.faults = scenario.fault_plan().counters();
   if (strip_raw_responses) strip_verdict(record.verdict);
@@ -57,44 +244,57 @@ ProbeRecord run_probe(const ProbeSpec& spec, bool strip_raw_responses) {
 
 MeasurementRun run_fleet(const std::vector<ProbeSpec>& fleet,
                          const MeasurementOptions& options) {
-  MeasurementRun run;
-  run.records.resize(fleet.size());
+  return run_fleet_supervised(fleet, options, nullptr);
+}
 
-  unsigned threads = options.threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(std::max<std::size_t>(
-                                            1, fleet.size())));
+MeasurementRun resume_fleet(const std::string& journal_path,
+                            const std::vector<ProbeSpec>& fleet,
+                            const MeasurementOptions& options, ResumeReport* report) {
+  ResumeReport local;
+  ResumeReport& out = report != nullptr ? *report : local;
+  out = ResumeReport{};
 
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < fleet.size(); ++i) {
-      run.records[i] = run_probe(fleet[i], options.strip_raw_responses);
-      if (options.progress) options.progress(i + 1, fleet.size());
+  MeasurementOptions resumed = options;
+  resumed.journal_path = journal_path;  // keep checkpointing where we resumed
+
+  auto loaded = load_journal(journal_path);
+  out.damaged = loaded.damaged;
+  out.warnings = loaded.warnings;
+
+  std::unordered_map<std::size_t, ProbeRecord> preloaded;
+  if (!loaded.ok()) {
+    out.warnings.push_back("journal unusable (" + loaded.error + "); running from scratch");
+  } else if (loaded.header.fingerprint != fleet_fingerprint(fleet) ||
+             loaded.header.fleet_size != fleet.size()) {
+    out.warnings.push_back(
+        "journal fingerprint does not match this fleet "
+        "(different seed, scale, or configuration); ignoring " +
+        std::to_string(loaded.records.size()) + " journaled records");
+  } else {
+    out.journal_matched = true;
+    std::unordered_map<std::uint32_t, std::size_t> index_of;
+    index_of.reserve(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) index_of[fleet[i].probe_id] = i;
+    for (auto& record : loaded.records) {
+      auto it = index_of.find(record.probe_id);
+      if (it == index_of.end()) {
+        out.warnings.push_back("journaled probe " + std::to_string(record.probe_id) +
+                               " is not in the fleet; dropped");
+        continue;
+      }
+      if (record.outcome != ProbeOutcome::ok) {
+        // Failures get a fresh attempt on resume: transient faults heal, and
+        // deterministic ones reproduce the same record.
+        ++out.rerun_failed;
+        continue;
+      }
+      // Last record wins if a probe was journaled twice (rewrite + append).
+      preloaded[it->second] = std::move(record);
     }
-    return run;
+    out.reused = preloaded.size();
   }
 
-  // Each probe owns its simulator, so workers share nothing but the output
-  // slots (disjoint) and the progress counter.
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
-  std::mutex progress_mutex;
-  auto worker = [&] {
-    while (true) {
-      std::size_t i = next.fetch_add(1);
-      if (i >= fleet.size()) return;
-      run.records[i] = run_probe(fleet[i], options.strip_raw_responses);
-      std::size_t completed = done.fetch_add(1) + 1;
-      if (options.progress) {
-        std::lock_guard<std::mutex> lock(progress_mutex);
-        options.progress(completed, fleet.size());
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
-  return run;
+  return run_fleet_supervised(fleet, resumed, &preloaded);
 }
 
 }  // namespace dnslocate::atlas

@@ -1,5 +1,7 @@
 #include "atlas/scenario.h"
 
+#include <stdexcept>
+
 namespace dnslocate::atlas {
 
 bool CpeStyle::intercepts() const {
@@ -131,6 +133,11 @@ Scenario::Scenario(const ScenarioConfig& config)
                                          : config.seed ^ 0xfa0175eedull),
       cpe_wan_v4_(customer_address_v4(config.asn, config.home_index)),
       ground_truth_(compute_ground_truth(config)) {
+  // Home addresses are 1-based; index 0 would land the CPE on the boundary
+  // of the ISP's infrastructure block (see customer_address_v4).
+  if (config.home_index == 0)
+    throw std::invalid_argument("ScenarioConfig::home_index must be >= 1");
+
   // --- faults: attach the plan before any link carries traffic ---
   if (config.faults.active()) {
     if (config.fault_classes.empty()) {

@@ -1,0 +1,77 @@
+// Cooperative cancellation for long-running probe work.
+//
+// A CancelToken is a cheap copyable handle to shared cancellation state.
+// The fleet supervisor hands one to each probe; the pipeline checks it
+// between stages and the socket transports honour it inside their waits, so
+// a probe that blows its wall-clock budget stops at the next checkpoint and
+// returns a *partial* verdict instead of hanging the worker. Cancellation is
+// advisory, never preemptive: completed work is kept, skipped work is marked
+// skipped, and no stage ever fabricates a result because time ran out.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+namespace dnslocate::core {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert token: never cancels. The default for all existing call sites.
+  CancelToken() = default;
+
+  /// Manually cancellable token (cancel() flips it).
+  static CancelToken manual() { return CancelToken(std::make_shared<State>()); }
+
+  /// Token that auto-cancels once `deadline` passes.
+  static CancelToken with_deadline(Clock::time_point deadline) {
+    CancelToken token(std::make_shared<State>());
+    token.state_->deadline = deadline;
+    return token;
+  }
+
+  /// Token that auto-cancels `budget` from now.
+  static CancelToken after(std::chrono::milliseconds budget) {
+    return with_deadline(Clock::now() + budget);
+  }
+
+  /// Request cancellation. No-op on an inert token.
+  void cancel() const {
+    if (state_) state_->flag.store(true, std::memory_order_relaxed);
+  }
+
+  /// Whether work should stop: manually cancelled or past the deadline.
+  [[nodiscard]] bool cancelled() const {
+    if (!state_) return false;
+    if (state_->flag.load(std::memory_order_relaxed)) return true;
+    return state_->deadline && Clock::now() >= *state_->deadline;
+  }
+
+  /// Whether the deadline (if any) has passed — distinguishes a blown
+  /// budget from a manual stop.
+  [[nodiscard]] bool deadline_exceeded() const {
+    return state_ && state_->deadline && Clock::now() >= *state_->deadline;
+  }
+
+  [[nodiscard]] std::optional<Clock::time_point> deadline() const {
+    return state_ ? state_->deadline : std::nullopt;
+  }
+
+  /// Whether this token can ever cancel (i.e. is not the inert default).
+  [[nodiscard]] bool active() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    std::optional<Clock::time_point> deadline;
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dnslocate::core

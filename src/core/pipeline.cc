@@ -1,13 +1,41 @@
 #include "core/pipeline.h"
 
 namespace dnslocate::core {
+namespace {
 
-ProbeVerdict LocalizationPipeline::run(QueryTransport& transport) {
+void mark_skipped(ProbeVerdict& verdict, PipelineStage stage) {
+  verdict.skipped_stages |=
+      static_cast<std::uint8_t>(1u << static_cast<unsigned>(stage));
+}
+
+}  // namespace
+
+ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelToken& cancel) {
   ProbeVerdict verdict;
   TransportTelemetry before = transport.telemetry();
+  auto finish = [&]() -> ProbeVerdict {
+    verdict.telemetry = transport.telemetry() - before;
+    return verdict;
+  };
+
+  // A working copy so the token reaches every step's QueryOptions without
+  // mutating the pipeline's own configuration.
+  PipelineConfig config = config_;
+  if (cancel.active()) config.apply_cancel(cancel);
+
+  if (cancel.cancelled()) {
+    // Out of budget before any query was sent: nothing ran, nothing is
+    // claimed. Every configured stage is marked skipped.
+    mark_skipped(verdict, PipelineStage::detection);
+    mark_skipped(verdict, PipelineStage::cpe_check);
+    mark_skipped(verdict, PipelineStage::bogon);
+    if (config.detect_replication) mark_skipped(verdict, PipelineStage::replication);
+    if (config.run_transparency) mark_skipped(verdict, PipelineStage::transparency);
+    return finish();
+  }
 
   // Step 1: which resolvers are intercepted? (§3.1)
-  InterceptionDetector detector(config_.detection);
+  InterceptionDetector detector(config.detection);
   verdict.detection = detector.run(transport);
   // IPv6 interception is rare and handled jointly with v4 in the paper's
   // analyses (§4.1.1); localization proceeds on the v4 observations, falling
@@ -18,42 +46,62 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport) {
   auto suspects = verdict.detection.intercepted_kinds(family);
   if (suspects.empty()) {
     verdict.location = InterceptorLocation::not_intercepted;
-    verdict.telemetry = transport.telemetry() - before;
-    return verdict;
+    return finish();
+  }
+
+  if (cancel.cancelled()) {
+    // Interception is established but the budget is gone: localization is
+    // honestly "unknown" — never a fabricated CPE/ISP attribution.
+    verdict.location = InterceptorLocation::unknown;
+    mark_skipped(verdict, PipelineStage::cpe_check);
+    mark_skipped(verdict, PipelineStage::bogon);
+    if (config.detect_replication) mark_skipped(verdict, PipelineStage::replication);
+    if (config.run_transparency) mark_skipped(verdict, PipelineStage::transparency);
+    return finish();
   }
 
   // Step 2: version.bind comparison against the CPE's public IP (§3.2).
-  if (config_.cpe_public_ip) {
-    CpeLocalizer::Config cpe_config = config_.cpe_check;
+  if (config.cpe_public_ip) {
+    CpeLocalizer::Config cpe_config = config.cpe_check;
     cpe_config.family = family;
     CpeLocalizer cpe(cpe_config);
-    verdict.cpe_check = cpe.run(transport, *config_.cpe_public_ip, suspects);
+    verdict.cpe_check = cpe.run(transport, *config.cpe_public_ip, suspects);
   }
 
   if (verdict.cpe_check && verdict.cpe_check->cpe_is_interceptor) {
     verdict.location = InterceptorLocation::cpe;
+  } else if (cancel.cancelled()) {
+    verdict.location = InterceptorLocation::unknown;
+    mark_skipped(verdict, PipelineStage::bogon);
   } else {
     // Step 3: bogon probing (§3.3).
-    IspLocalizer isp(config_.bogon);
+    IspLocalizer isp(config.bogon);
     verdict.bogon = isp.run(transport);
     verdict.location = verdict.bogon->within_isp() ? InterceptorLocation::isp
                                                    : InterceptorLocation::unknown;
   }
 
-  if (config_.detect_replication) {
-    ReplicationProber prober(config_.replication);
-    verdict.replication = prober.run(transport);
+  if (config.detect_replication) {
+    if (cancel.cancelled()) {
+      mark_skipped(verdict, PipelineStage::replication);
+    } else {
+      ReplicationProber prober(config.replication);
+      verdict.replication = prober.run(transport);
+    }
   }
 
   // §4.1.2: is the interception transparent?
-  if (config_.run_transparency) {
-    TransparencyTester::Config transparency_config = config_.transparency;
-    transparency_config.family = family;
-    TransparencyTester tester(transparency_config);
-    verdict.transparency = tester.run(transport, suspects);
+  if (config.run_transparency) {
+    if (cancel.cancelled()) {
+      mark_skipped(verdict, PipelineStage::transparency);
+    } else {
+      TransparencyTester::Config transparency_config = config.transparency;
+      transparency_config.family = family;
+      TransparencyTester tester(transparency_config);
+      verdict.transparency = tester.run(transport, suspects);
+    }
   }
-  verdict.telemetry = transport.telemetry() - before;
-  return verdict;
+  return finish();
 }
 
 }  // namespace dnslocate::core

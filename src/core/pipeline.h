@@ -40,6 +40,25 @@ struct PipelineConfig {
     transparency.query.retry = policy;
     replication.query.retry = policy;
   }
+
+  /// Stamp one cancellation token onto every step's QueryOptions so the
+  /// transports bound their waits by it (see core/cancellation.h).
+  void apply_cancel(const CancelToken& token) {
+    detection.query.cancel = token;
+    cpe_check.query.cancel = token;
+    bogon.query.cancel = token;
+    transparency.query.cancel = token;
+    replication.query.cancel = token;
+  }
+};
+
+/// The pipeline's stages, as bit positions in ProbeVerdict::skipped_stages.
+enum class PipelineStage : std::uint8_t {
+  detection = 0,
+  cpe_check = 1,
+  bogon = 2,
+  replication = 3,
+  transparency = 4,
 };
 
 /// Everything the pipeline learned about one vantage point.
@@ -53,9 +72,20 @@ struct ProbeVerdict {
   /// Transport activity for this probe's run: queries, retry attempts, and
   /// timeouts — the loss-resilience observability the fault ablation reads.
   TransportTelemetry telemetry;
+  /// Stages the run skipped because its cancellation token fired, as a
+  /// bitmask of (1 << PipelineStage). A partial verdict keeps completed
+  /// stages and never upgrades a skipped stage into an interception claim:
+  /// skipped localization leaves `location` at `unknown` (interception was
+  /// already detected) or `not_intercepted` (nothing was detected — and
+  /// nothing is claimed).
+  std::uint8_t skipped_stages = 0;
 
   [[nodiscard]] bool intercepted() const {
     return location != InterceptorLocation::not_intercepted;
+  }
+  [[nodiscard]] bool partial() const { return skipped_stages != 0; }
+  [[nodiscard]] bool stage_skipped(PipelineStage stage) const {
+    return (skipped_stages & static_cast<std::uint8_t>(1u << static_cast<unsigned>(stage))) != 0;
   }
 };
 
@@ -67,7 +97,10 @@ class LocalizationPipeline {
  public:
   explicit LocalizationPipeline(PipelineConfig config = {}) : config_(std::move(config)) {}
 
-  ProbeVerdict run(QueryTransport& transport);
+  /// Run the decision procedure. `cancel` is checked between stages: once
+  /// it fires, remaining stages are marked skipped and the verdict returns
+  /// partial (the inert default token never fires).
+  ProbeVerdict run(QueryTransport& transport, const CancelToken& cancel = {});
 
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 

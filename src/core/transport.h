@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/cancellation.h"
 #include "core/retry.h"
 #include "dnswire/message.h"
 #include "netbase/endpoint.h"
@@ -30,6 +31,11 @@ struct QueryOptions {
   /// Retransmission policy. Defaults to single-shot: the technique treats
   /// timeouts as signal, so retries are an explicit opt-in.
   RetryPolicy retry;
+  /// Cooperative cancellation: socket transports bound their waits (poll
+  /// horizons, retry backoffs) by this token so a supervised probe can be
+  /// stopped mid-query. Cancellation reports the query as timed out — it
+  /// never fabricates an answer. The inert default never cancels.
+  CancelToken cancel;
 };
 
 /// Outcome of one query.

@@ -225,6 +225,60 @@ TextTable render_retry_census(const RetryCensus& census) {
   return table;
 }
 
+RunCensus run_census(const MeasurementRun& run, std::size_t top_n) {
+  RunCensus census;
+  census.not_run = run.not_run;
+  for (const ProbeRecord& record : run.records) {
+    ++census.probes;
+    switch (record.outcome) {
+      case atlas::ProbeOutcome::ok: ++census.ok; break;
+      case atlas::ProbeOutcome::failed: ++census.failed; break;
+      case atlas::ProbeOutcome::deadline_exceeded: ++census.deadline_exceeded; break;
+    }
+    if (record.verdict.partial()) ++census.partial_verdicts;
+    census.telemetry += record.verdict.telemetry;
+    census.drops += record.drops;
+    census.faults.burst_drops += record.faults.burst_drops;
+    census.faults.random_drops += record.faults.random_drops;
+    census.faults.reordered += record.faults.reordered;
+    census.faults.duplicated += record.faults.duplicated;
+    census.faults.truncated += record.faults.truncated;
+    census.faults.jittered += record.faults.jittered;
+    census.total_elapsed += record.elapsed;
+
+    RunCensus::ProbeNote note{record.probe_id, record.org.org, record.elapsed,
+                              record.outcome, record.error};
+    if (record.outcome != atlas::ProbeOutcome::ok && census.failures.size() < top_n)
+      census.failures.push_back(note);
+    census.slowest.push_back(std::move(note));
+  }
+  std::sort(census.slowest.begin(), census.slowest.end(),
+            [](const RunCensus::ProbeNote& a, const RunCensus::ProbeNote& b) {
+              return a.elapsed != b.elapsed ? a.elapsed > b.elapsed
+                                            : a.probe_id < b.probe_id;
+            });
+  if (census.slowest.size() > top_n) census.slowest.resize(top_n);
+  return census;
+}
+
+TextTable render_run_census(const RunCensus& census) {
+  TextTable table({"Metric", "Value"});
+  table.add_row({"probes measured", std::to_string(census.probes)});
+  table.add_row({"ok", std::to_string(census.ok)});
+  table.add_row({"failed", std::to_string(census.failed)});
+  table.add_row({"deadline exceeded", std::to_string(census.deadline_exceeded)});
+  table.add_row({"partial verdicts", std::to_string(census.partial_verdicts)});
+  table.add_row({"not run (stopped early)", std::to_string(census.not_run)});
+  table.add_row({"queries", std::to_string(census.telemetry.queries)});
+  table.add_row({"retry attempts", std::to_string(census.telemetry.retries)});
+  table.add_row({"attempt timeouts", std::to_string(census.telemetry.timeouts)});
+  table.add_row({"fault drops", std::to_string(census.faults.drops())});
+  table.add_row({"injected faults",
+                 std::to_string(census.faults.reordered + census.faults.duplicated +
+                                census.faults.truncated + census.faults.jittered)});
+  return table;
+}
+
 LocalizationAccuracy localization_accuracy(const MeasurementRun& run) {
   LocalizationAccuracy accuracy;
   for (const ProbeRecord& record : run.records) {

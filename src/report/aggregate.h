@@ -104,6 +104,42 @@ struct RetryCensus {
 RetryCensus retry_census(const atlas::MeasurementRun& run);
 TextTable render_retry_census(const RetryCensus& census);
 
+// --- run health census (fleet supervision observability) ---
+
+/// Fleet-wide supervision summary: per-outcome counts, partial verdicts,
+/// transport/fault totals, the slowest probes, and every failure with its
+/// error text. This is the operator's first look at a long campaign — did
+/// anything crash, hang, or get skipped, and where did the time go?
+struct RunCensus {
+  std::size_t probes = 0;  // records present in the run
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t partial_verdicts = 0;  // stages skipped by cancellation
+  std::size_t not_run = 0;           // planned but never started (early stop)
+  core::TransportTelemetry telemetry;
+  simnet::DropCounters drops;
+  simnet::FaultPlan::Counters faults;
+  std::chrono::microseconds total_elapsed{0};
+
+  struct ProbeNote {
+    std::uint32_t probe_id = 0;
+    std::string org;
+    std::chrono::microseconds elapsed{0};
+    atlas::ProbeOutcome outcome = atlas::ProbeOutcome::ok;
+    std::string error;
+  };
+  std::vector<ProbeNote> slowest;   // top-N by elapsed, descending
+  std::vector<ProbeNote> failures;  // first N non-ok probes with error text
+
+  [[nodiscard]] std::size_t failure_count() const { return failed + deadline_exceeded; }
+};
+
+RunCensus run_census(const atlas::MeasurementRun& run, std::size_t top_n = 5);
+/// Outcome/telemetry table (deterministic; no wall-clock columns). The
+/// slowest-probe timings are rendered separately by the examples.
+TextTable render_run_census(const RunCensus& census);
+
 /// Accuracy restricted to probes whose ground truth is "intercepted": the
 /// localization part of the task (CPE / ISP / unknown), where loss-induced
 /// misclassification concentrates.

@@ -158,6 +158,47 @@ std::string html_report(const atlas::MeasurementRun& run, const HtmlReportOption
     out += "</tbody></table></section>\n";
   }
 
+  // Run health: supervision outcomes and transport/fault totals. Only the
+  // deterministic fields are rendered — wall-clock timings stay out so a
+  // resumed run's report is byte-identical to an uninterrupted one.
+  {
+    auto census = run_census(run);
+    open_section(out, "Run health");
+    table_header(out, {"Metric", "Value"});
+    auto row = [&out](const char* metric, std::size_t value) {
+      out += "<tr>";
+      cell(out, metric);
+      cell(out, std::to_string(value));
+      out += "</tr>\n";
+    };
+    row("probes measured", census.probes);
+    row("ok", census.ok);
+    row("failed", census.failed);
+    row("deadline exceeded", census.deadline_exceeded);
+    row("partial verdicts", census.partial_verdicts);
+    row("not run (stopped early)", census.not_run);
+    row("queries", census.telemetry.queries);
+    row("retry attempts", census.telemetry.retries);
+    row("attempt timeouts", census.telemetry.timeouts);
+    row("fault drops", census.faults.drops());
+    row("injected faults", census.faults.reordered + census.faults.duplicated +
+                               census.faults.truncated + census.faults.jittered);
+    out += "</tbody></table>\n";
+    if (!census.failures.empty()) {
+      table_header(out, {"Probe", "Organization", "Outcome", "Error"});
+      for (const auto& note : census.failures) {
+        out += "<tr>";
+        cell(out, std::to_string(note.probe_id));
+        cell(out, note.org);
+        cell(out, std::string(to_string(note.outcome)));
+        cell(out, note.error);
+        out += "</tr>\n";
+      }
+      out += "</tbody></table>\n";
+    }
+    out += "</section>\n";
+  }
+
   out += "</body></html>\n";
   return out;
 }

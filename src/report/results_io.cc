@@ -45,6 +45,13 @@ Value probe_to_json(const atlas::ProbeRecord& record) {
   out["tested_v6"] = record.tested_v6;
   out["location"] =
       std::string(kLocationNames[static_cast<std::size_t>(record.verdict.location)]);
+  // Supervision fields, emitted only when non-default so pre-supervision
+  // exports stay byte-identical (missing = a clean, complete probe).
+  if (record.outcome != atlas::ProbeOutcome::ok)
+    out["outcome"] = std::string(to_string(record.outcome));
+  if (!record.error.empty()) out["probe_error"] = record.error;
+  if (record.verdict.skipped_stages != 0)
+    out["skipped_stages"] = static_cast<std::uint64_t>(record.verdict.skipped_stages);
 
   Object detection;
   for (const auto& summary : record.verdict.detection.per_resolver)
@@ -112,6 +119,14 @@ JsonlLoadResult run_from_jsonl(std::string_view text) {
       continue;
     }
     record.verdict.location = *location;
+
+    if ((*value)["outcome"].is_string()) {
+      if (auto outcome = atlas::probe_outcome_from((*value)["outcome"].as_string()))
+        record.outcome = *outcome;
+    }
+    record.error = (*value)["probe_error"].as_string();
+    record.verdict.skipped_stages =
+        static_cast<std::uint8_t>((*value)["skipped_stages"].as_int());
 
     const auto& detection = (*value)["detection"];
     for (auto kind : resolvers::all_public_resolvers()) {

@@ -55,6 +55,28 @@ socklen_t to_sockaddr(const netbase::Endpoint& endpoint, sockaddr_storage& stora
 
 std::chrono::steady_clock::time_point now() { return std::chrono::steady_clock::now(); }
 
+/// Granularity at which waits re-check a manually-cancellable token (a
+/// deadline token needs no polling — it caps the wait horizon directly).
+constexpr std::chrono::milliseconds kCancelPollSlice{50};
+
+/// Sleep for `backoff`, returning early (false) if the token fires. The wait
+/// is sliced so a manual cancel interrupts it, and capped by the token's
+/// deadline so a supervised probe never sleeps past its budget.
+bool interruptible_backoff(std::chrono::milliseconds backoff, const core::CancelToken& cancel) {
+  if (!cancel.active()) {
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    return true;
+  }
+  auto wake = now() + backoff;
+  if (auto deadline = cancel.deadline()) wake = std::min(wake, *deadline);
+  while (!cancel.cancelled()) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(wake - now());
+    if (remaining.count() <= 0) break;
+    std::this_thread::sleep_for(std::min(remaining, kCancelPollSlice));
+  }
+  return !cancel.cancelled();
+}
+
 /// FNV-1a over a byte range, used to recognise byte-identical duplicates.
 std::uint64_t bytes_hash(const std::uint8_t* data, std::size_t size) {
   std::uint64_t h = 0xcbf29ce484222325ull;
@@ -95,20 +117,27 @@ core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
     return result;
 
   auto deadline = sent_at + options.timeout;
+  // A cancellation deadline caps the collection window; a manual token is
+  // re-checked every poll slice.
+  if (auto cancel_deadline = options.cancel.deadline())
+    deadline = std::min(deadline, *cancel_deadline);
   std::optional<std::chrono::steady_clock::time_point> duplicate_deadline;
   // (source bytes, payload hash) of accepted responses: a byte-identical
   // datagram from the same source is network duplication, not replication.
   std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>> seen;
 
   while (true) {
+    if (options.cancel.cancelled()) break;
     auto horizon = duplicate_deadline ? std::min(*duplicate_deadline, deadline) : deadline;
     auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(horizon - now());
     if (remaining.count() <= 0) break;
+    if (options.cancel.active()) remaining = std::min(remaining, kCancelPollSlice);
 
     pollfd pfd{fd.get(), POLLIN, 0};
     int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
     if (ready < 0 && errno == EINTR) continue;
-    if (ready <= 0) break;
+    if (ready < 0) break;
+    if (ready == 0) continue;  // slice elapsed or horizon reached; loop re-checks
 
     std::uint8_t buffer[4096];
     sockaddr_storage from{};
@@ -158,11 +187,15 @@ core::QueryResult UdpTransport::query(const netbase::Endpoint& server,
     if (attempt_number > 1) {
       auto backoff = policy.backoff_before(attempt_number);
       telemetry.backoff_waited += backoff;
-      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+      // The backoff wait honours the cancellation token: a supervised probe
+      // stopped mid-backoff abandons its remaining attempts (reported as a
+      // timeout — cancellation never manufactures an answer).
+      if (!interruptible_backoff(backoff, options.cancel)) break;
       // Fresh transaction ID (and 0x20 pattern): a straggling response to
       // an earlier attempt fails the ID check instead of answering this one.
       core::rerandomize_query(attempt_message, policy, rng);
     }
+    if (options.cancel.cancelled()) break;
     result = attempt(server, attempt_message, options);
     telemetry.attempts = attempt_number;
     if (result.answered()) break;

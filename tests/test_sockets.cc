@@ -59,6 +59,29 @@ TEST(UdpTransport, TimesOutWhenNothingListens) {
   EXPECT_EQ(result.status, core::QueryResult::Status::timed_out);
 }
 
+TEST(UdpTransport, CancellationCutsRetrySleepsShort) {
+  // Three attempts with 2s timeouts and a 2s backoff would take ~8s against
+  // a dead endpoint; a 50ms cancellation budget must cut the poll horizon
+  // and the inter-attempt backoff short, reporting an honest timeout.
+  UdpTransport transport;
+  netbase::Endpoint dead{*netbase::IpAddress::parse("127.0.0.1"), 1};
+  auto query = dnswire::make_query(2, *dnswire::DnsName::parse("example.com"),
+                                   dnswire::RecordType::A);
+  core::QueryOptions options;
+  options.timeout = std::chrono::milliseconds(2000);
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = std::chrono::milliseconds(2000);
+  options.cancel = core::CancelToken::after(std::chrono::milliseconds(50));
+
+  auto start = std::chrono::steady_clock::now();
+  auto result = transport.query(dead, query, options);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_FALSE(result.answered());
+  EXPECT_EQ(result.status, core::QueryResult::Status::timed_out);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1000));
+}
+
 TEST(UdpTransport, SupportsV4) {
   UdpTransport transport;
   EXPECT_TRUE(transport.supports_family(netbase::IpFamily::v4));
