@@ -4,19 +4,14 @@
 // real study could not compute.
 //
 // Usage: atlas_pilot [scale] [--export results.jsonl] [--html report.html]
-//                    [--plan plan.json] [--threads N] [--journal run.journal]
-//                    [--resume] [--probe-deadline-ms N] [--max-failures N]
+//                    [--plan plan.json] [--threads N] [common flags]
 //   scale in (0,1]; default 1.0 = ~9,650 probes.
 //   --export writes the per-probe dataset as JSONL (reload it with
 //   report::run_from_jsonl for offline aggregation).
 //   --html renders the whole study as one self-contained HTML page.
 //   --plan measures a custom fleet described in JSON (atlas/fleet_json.h).
-//   --journal checkpoints every completed probe to an append-only journal;
-//   --resume restarts from that journal, re-measuring only what is missing.
-//   --probe-deadline-ms bounds each probe's wall clock (overruns are recorded
-//   as deadline_exceeded with a partial verdict, never a fabricated one).
-//   --max-failures stops dispatching new probes after N failures; the journal
-//   stays intact so the run can be resumed after the cause is fixed.
+//   Common flags (journaling, supervision, observability) are shared with
+//   custom_fleet; see examples/cli_common.h for the list.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +19,7 @@
 #include <sstream>
 
 #include "atlas/fleet_json.h"
+#include "cli_common.h"
 #include "report/aggregate.h"
 #include "report/html_report.h"
 #include "report/results_io.h"
@@ -36,26 +32,17 @@ int main(int argc, char** argv) {
   const char* export_path = nullptr;
   const char* html_path = nullptr;
   const char* plan_path = nullptr;
-  const char* journal_path = nullptr;
-  bool resume = false;
-  long probe_deadline_ms = 0;
-  long max_failures = 0;
   unsigned threads = 1;
+  examples::CommonCli common;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+    if (common.parse(argc, argv, i)) {
+      continue;
+    } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
       export_path = argv[++i];
     } else if (std::strcmp(argv[i], "--html") == 0 && i + 1 < argc) {
       html_path = argv[++i];
     } else if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
       plan_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
-      journal_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--resume") == 0) {
-      resume = true;
-    } else if (std::strcmp(argv[i], "--probe-deadline-ms") == 0 && i + 1 < argc) {
-      probe_deadline_ms = std::atol(argv[++i]);
-    } else if (std::strcmp(argv[i], "--max-failures") == 0 && i + 1 < argc) {
-      max_failures = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::atoi(argv[++i]));
     } else {
@@ -63,10 +50,9 @@ int main(int argc, char** argv) {
     }
   }
   if (scale <= 0 || scale > 1) scale = 1.0;
-  if (resume && journal_path == nullptr) {
-    std::fprintf(stderr, "--resume requires --journal PATH\n");
-    return 1;
-  }
+  if (!common.validate()) return 1;
+  const char* journal_path = common.journal;
+  common.enable_observability();
 
   std::vector<atlas::ProbeSpec> fleet;
   if (plan_path != nullptr) {
@@ -94,8 +80,7 @@ int main(int argc, char** argv) {
   atlas::MeasurementOptions options;
   options.threads = threads;
   if (journal_path != nullptr) options.journal_path = journal_path;
-  if (probe_deadline_ms > 0) options.probe_deadline = std::chrono::milliseconds(probe_deadline_ms);
-  if (max_failures > 0) options.max_failures = static_cast<std::size_t>(max_failures);
+  common.apply(options);
   std::size_t last_percent = 0;
   options.progress = [&](std::size_t done, std::size_t total) {
     std::size_t percent = done * 100 / total;
@@ -106,7 +91,7 @@ int main(int argc, char** argv) {
   };
 
   atlas::MeasurementRun run;
-  if (resume) {
+  if (common.resume) {
     atlas::ResumeReport report;
     run = atlas::resume_fleet(journal_path, fleet, options, &report);
     for (const auto& warning : report.warnings)
@@ -161,5 +146,6 @@ int main(int argc, char** argv) {
                 std::string(to_string(note.outcome)).c_str(), note.error.c_str());
 
   std::printf("\n--- summary ---\n%s\n", report::run_summary(run).c_str());
+  common.export_observability();
   return 0;
 }

@@ -1,0 +1,122 @@
+// Flags shared by the example binaries (atlas_pilot, custom_fleet): the
+// supervision knobs and the observability outputs. One parser, one help
+// text, one behaviour — the binaries only keep their tool-specific flags.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "atlas/measurement.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace dnslocate::examples {
+
+/// Common flag values. `journal` is a path for atlas_pilot and a prefix for
+/// custom_fleet (which runs several journaled iterations) — the flag and its
+/// validation are shared, the interpretation is the caller's.
+struct CommonCli {
+  const char* journal = nullptr;
+  bool resume = false;
+  long probe_deadline_ms = 0;
+  long max_failures = 0;
+  const char* metrics_out = nullptr;
+  const char* trace_out = nullptr;
+  long trace_buffer_events = 8192;
+
+  static constexpr const char* kUsage =
+      "  --journal PATH        checkpoint completed probes to an append-only journal\n"
+      "  --resume              restart from the journal, re-measuring only what is missing\n"
+      "  --probe-deadline-ms N bound each probe's wall clock (overruns recorded as\n"
+      "                        deadline_exceeded with a partial verdict)\n"
+      "  --max-failures N      stop dispatching new probes after N failures\n"
+      "  --metrics-out PATH    write registry metrics as Prometheus text exposition\n"
+      "  --trace-out PATH      write spans as Chrome trace-event JSON (load in Perfetto\n"
+      "                        or chrome://tracing)\n"
+      "  --trace-buffer-events N  per-thread span ring capacity (default 8192)\n";
+
+  /// Try to consume argv[i] (and its value) as a common flag. Returns true
+  /// if consumed, advancing `i` past any value. Callers put this first in
+  /// their argument loop and handle tool-specific flags on false.
+  bool parse(int argc, char** argv, int& i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (const char* v = value("--journal")) {
+      journal = v;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (const char* v2 = value("--probe-deadline-ms")) {
+      probe_deadline_ms = std::atol(v2);
+    } else if (const char* v3 = value("--max-failures")) {
+      max_failures = std::atol(v3);
+    } else if (const char* v4 = value("--metrics-out")) {
+      metrics_out = v4;
+    } else if (const char* v5 = value("--trace-out")) {
+      trace_out = v5;
+    } else if (const char* v6 = value("--trace-buffer-events")) {
+      trace_buffer_events = std::atol(v6);
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  /// Flag combinations that cannot work; prints to stderr, returns false.
+  [[nodiscard]] bool validate() const {
+    if (resume && journal == nullptr) {
+      std::fprintf(stderr, "--resume requires --journal PATH\n");
+      return false;
+    }
+    if (trace_buffer_events <= 0) {
+      std::fprintf(stderr, "--trace-buffer-events must be positive\n");
+      return false;
+    }
+    return true;
+  }
+
+  /// Copy the supervision knobs onto measurement options. The journal path
+  /// is NOT applied here (atlas_pilot uses it verbatim, custom_fleet derives
+  /// per-iteration paths from it).
+  void apply(atlas::MeasurementOptions& options) const {
+    if (probe_deadline_ms > 0)
+      options.probe_deadline = std::chrono::milliseconds(probe_deadline_ms);
+    if (max_failures > 0) options.max_failures = static_cast<std::size_t>(max_failures);
+  }
+
+  /// Turn the observability subsystem on if any output was requested. Must
+  /// run before worker threads spawn (the enable flags are unsynchronized).
+  void enable_observability() const {
+    if (metrics_out == nullptr && trace_out == nullptr) return;
+    obs::Config config;
+    config.metrics = metrics_out != nullptr;
+    config.tracing = trace_out != nullptr;
+    config.trace_buffer_events = static_cast<std::size_t>(trace_buffer_events);
+    obs::enable(config);
+  }
+
+  /// Write the requested exports. Call after the run, once workers joined.
+  void export_observability() const {
+    if (metrics_out != nullptr) {
+      std::ofstream out(metrics_out);
+      out << obs::prometheus_text();
+      std::printf("wrote metrics to %s\n", metrics_out);
+    }
+    if (trace_out != nullptr) {
+      std::ofstream out(trace_out);
+      out << obs::chrome_trace_json();
+      std::uint64_t lost = obs::collector().dropped();
+      if (lost > 0)
+        std::fprintf(stderr,
+                     "trace: %llu spans overwritten (raise --trace-buffer-events)\n",
+                     static_cast<unsigned long long>(lost));
+      std::printf("wrote trace to %s (open in Perfetto or chrome://tracing)\n", trace_out);
+    }
+  }
+};
+
+}  // namespace dnslocate::examples

@@ -6,11 +6,12 @@
 // buggy XB6 to a fraction of its customers, how does the detected CPE
 // interception scale with that fraction?
 //
-// Usage: custom_fleet [--journal PREFIX] [--resume] [--probe-deadline-ms N]
-//                     [--max-failures N]
-//   --journal checkpoints each iteration to PREFIX-<buggy>.jsonl; --resume
-//   picks up a study that was killed partway (finished iterations are
-//   replayed from their journals instead of re-measured).
+// Usage: custom_fleet [common flags]
+//   --journal checkpoints each iteration to PREFIX-<buggy>.jsonl (the shared
+//   flag's value is interpreted as a prefix here); --resume picks up a study
+//   that was killed partway (finished iterations are replayed from their
+//   journals instead of re-measured). The rest of the shared flags —
+//   supervision and observability — are listed in examples/cli_common.h.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,31 +19,20 @@
 
 #include "atlas/fleet_json.h"
 #include "atlas/measurement.h"
+#include "cli_common.h"
 #include "report/aggregate.h"
 #include "report/table.h"
 
 using namespace dnslocate;
 
 int main(int argc, char** argv) {
-  const char* journal_prefix = nullptr;
-  bool resume = false;
-  long probe_deadline_ms = 0;
-  long max_failures = 0;
+  examples::CommonCli common;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
-      journal_prefix = argv[++i];
-    } else if (std::strcmp(argv[i], "--resume") == 0) {
-      resume = true;
-    } else if (std::strcmp(argv[i], "--probe-deadline-ms") == 0 && i + 1 < argc) {
-      probe_deadline_ms = std::atol(argv[++i]);
-    } else if (std::strcmp(argv[i], "--max-failures") == 0 && i + 1 < argc) {
-      max_failures = std::atol(argv[++i]);
-    }
+    common.parse(argc, argv, i);
   }
-  if (resume && journal_prefix == nullptr) {
-    std::fprintf(stderr, "--resume requires --journal PREFIX\n");
-    return 1;
-  }
+  if (!common.validate()) return 1;
+  const char* journal_prefix = common.journal;
+  common.enable_observability();
 
   std::puts("custom study: buggy-XB6 deployment fraction vs detected CPE interception\n");
 
@@ -69,9 +59,7 @@ int main(int argc, char** argv) {
     auto fleet = parsed.generate();
 
     atlas::MeasurementOptions options;
-    if (probe_deadline_ms > 0)
-      options.probe_deadline = std::chrono::milliseconds(probe_deadline_ms);
-    if (max_failures > 0) options.max_failures = static_cast<std::size_t>(max_failures);
+    common.apply(options);
     std::string journal_path;
     if (journal_prefix != nullptr) {
       journal_path = std::string(journal_prefix) + "-" + std::to_string(buggy) + ".jsonl";
@@ -79,7 +67,7 @@ int main(int argc, char** argv) {
     }
 
     atlas::MeasurementRun run;
-    if (resume) {
+    if (common.resume) {
       atlas::ResumeReport report;
       run = atlas::resume_fleet(journal_path, fleet, options, &report);
       for (const auto& warning : report.warnings)
@@ -104,5 +92,6 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
   std::puts("\nDetected CPE interception tracks the deployed buggy-router count");
   std::puts("one-for-one — the technique measures exactly the deployment knob.");
+  common.export_observability();
   return 0;
 }

@@ -10,10 +10,30 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "resolvers/public_resolver.h"
 
 namespace dnslocate::atlas {
 namespace {
+
+/// fsync the journal file, timing the call. Durability syncs are the one
+/// genuinely slow operation on the checkpoint path, so their latency gets
+/// its own histogram and span.
+void fsync_journal(std::FILE* file) {
+  obs::Span fsync_span("journal/fsync");
+  if (obs::metrics_enabled()) {
+    static obs::Counter& fsyncs = obs::registry().counter("journal_fsyncs_total");
+    static obs::Histogram& fsync_us = obs::registry().histogram("journal_fsync_us");
+    std::uint64_t start = obs::now_ns();
+    ::fsync(::fileno(file));
+    fsync_us.record_always((obs::now_ns() - start) / 1000);
+    fsyncs.add_always(1);
+    return;
+  }
+  ::fsync(::fileno(file));
+}
 
 using jsonio::Object;
 using jsonio::Value;
@@ -530,7 +550,7 @@ JournalWriter::~JournalWriter() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ != nullptr) {
     std::fflush(file_);
-    ::fsync(::fileno(file_));
+    fsync_journal(file_);
     std::fclose(file_);
     file_ = nullptr;
   }
@@ -555,11 +575,18 @@ void JournalWriter::append(const ProbeRecord& record) {
 
 void JournalWriter::append_batch(const std::vector<const ProbeRecord*>& batch) {
   if (batch.empty()) return;
+  obs::Span append_span("journal/append_batch");
   std::string lines;
   lines.reserve(batch.size() * 1400);
   for (const ProbeRecord* record : batch) append_record_line(lines, *record);
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return;
+  if (obs::metrics_enabled()) {
+    static obs::Counter& records = obs::registry().counter("journal_records_total");
+    static obs::Counter& bytes = obs::registry().counter("journal_bytes_total");
+    records.add_always(batch.size());
+    bytes.add_always(lines.size());
+  }
   std::fwrite(lines.data(), 1, lines.size(), file_);
   // Hand the batch to the OS right away: page cache survives a killed
   // process, so a crash of *this* program loses at most one partial line
@@ -570,7 +597,7 @@ void JournalWriter::append_batch(const std::vector<const ProbeRecord*>& batch) {
   written_ += batch.size();
   auto now = std::chrono::steady_clock::now();
   if (now - last_sync_ >= sync_interval_) {
-    ::fsync(::fileno(file_));
+    fsync_journal(file_);
     last_sync_ = now;
   }
 }
@@ -579,7 +606,7 @@ void JournalWriter::sync() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (file_ == nullptr) return;
   std::fflush(file_);
-  ::fsync(::fileno(file_));
+  fsync_journal(file_);
   last_sync_ = std::chrono::steady_clock::now();
 }
 

@@ -7,9 +7,64 @@
 #include <unordered_map>
 
 #include "atlas/journal.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace dnslocate::atlas {
 namespace {
+
+/// Observability clock driven by the probe's simulator: every span and
+/// histogram recorded while the probe runs carries simulated nanoseconds,
+/// so two runs of the same scenario export identical traces.
+class SimulatorClock final : public obs::ClockSource {
+ public:
+  explicit SimulatorClock(const simnet::Simulator& sim) : sim_(sim) {}
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(sim_.now().count());
+  }
+
+ private:
+  const simnet::Simulator& sim_;
+};
+
+/// Mirror a completed probe's drop and fault counters into the metrics
+/// registry. This is the single seam through which simulated-network drops
+/// reach the registry, so registry totals agree exactly with the sums the
+/// census computes from the same per-record structs.
+void note_probe_metrics(const ProbeRecord& record) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& no_route = obs::registry().counter("sim_drop_no_route_total");
+  static obs::Counter& ttl_expired = obs::registry().counter("sim_drop_ttl_expired_total");
+  static obs::Counter& no_listener = obs::registry().counter("sim_drop_no_listener_total");
+  static obs::Counter& by_hook = obs::registry().counter("sim_drop_by_hook_total");
+  static obs::Counter& link_loss = obs::registry().counter("sim_drop_link_loss_total");
+  static obs::Counter& queue_overflow =
+      obs::registry().counter("sim_drop_queue_overflow_total");
+  static obs::Counter& fault_burst = obs::registry().counter("sim_drop_fault_burst_total");
+  static obs::Counter& fault_random = obs::registry().counter("sim_drop_fault_random_total");
+  no_route.add_always(record.drops.no_route);
+  ttl_expired.add_always(record.drops.ttl_expired);
+  no_listener.add_always(record.drops.no_listener);
+  by_hook.add_always(record.drops.by_hook);
+  link_loss.add_always(record.drops.link_loss);
+  queue_overflow.add_always(record.drops.queue_overflow);
+  fault_burst.add_always(record.drops.fault_burst);
+  fault_random.add_always(record.drops.fault_random);
+
+  static obs::Counter& f_burst = obs::registry().counter("fault_burst_drops_total");
+  static obs::Counter& f_random = obs::registry().counter("fault_random_drops_total");
+  static obs::Counter& f_reordered = obs::registry().counter("fault_reordered_total");
+  static obs::Counter& f_duplicated = obs::registry().counter("fault_duplicated_total");
+  static obs::Counter& f_truncated = obs::registry().counter("fault_truncated_total");
+  static obs::Counter& f_jittered = obs::registry().counter("fault_jittered_total");
+  f_burst.add_always(record.faults.burst_drops);
+  f_random.add_always(record.faults.random_drops);
+  f_reordered.add_always(record.faults.reordered);
+  f_duplicated.add_always(record.faults.duplicated);
+  f_truncated.add_always(record.faults.truncated);
+  f_jittered.add_always(record.faults.jittered);
+}
 
 void strip_result(core::QueryResult& result) {
   result.all_responses.clear();
@@ -63,6 +118,20 @@ ProbeRecord supervised_run(const ProbeSpec& spec, const MeasurementOptions& opti
   }
   record.elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
+  if (obs::metrics_enabled()) {
+    static obs::Counter& ok = obs::registry().counter("probe_ok_total");
+    static obs::Counter& failed = obs::registry().counter("probe_failed_total");
+    static obs::Counter& deadline = obs::registry().counter("probe_deadline_total");
+    static obs::Counter& partial = obs::registry().counter("probe_partial_total");
+    static obs::Histogram& wall = obs::registry().histogram("probe_wall_us");
+    switch (record.outcome) {
+      case ProbeOutcome::ok: ok.add_always(1); break;
+      case ProbeOutcome::failed: failed.add_always(1); break;
+      case ProbeOutcome::deadline_exceeded: deadline.add_always(1); break;
+    }
+    if (record.verdict.skipped_stages != 0) partial.add_always(1);
+    wall.record_always(static_cast<std::uint64_t>(record.elapsed.count()));
+  }
   return record;
 }
 
@@ -233,11 +302,18 @@ ProbeRecord run_probe(const ProbeSpec& spec, const core::CancelToken& cancel,
   record.truth = GroundTruth{};
 
   Scenario scenario(spec.scenario);
+  // Everything inside this probe reads simulated time and is attributed to
+  // this probe id: spans land in the per-probe trace lane, deterministically.
+  SimulatorClock clock(scenario.sim());
+  obs::ScopedClock clock_scope(&clock);
+  obs::ScopedProbe probe_scope(spec.probe_id);
+  obs::Span probe_span("probe/run");
   record.truth = scenario.ground_truth();
   core::LocalizationPipeline pipeline(scenario.pipeline_config());
   record.verdict = pipeline.run(scenario.transport(), cancel);
   record.drops = scenario.sim().drops();
   record.faults = scenario.fault_plan().counters();
+  note_probe_metrics(record);
   if (strip_raw_responses) strip_verdict(record.verdict);
   return record;
 }

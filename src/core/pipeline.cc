@@ -1,16 +1,28 @@
 #include "core/pipeline.h"
 
+#include "obs/span.h"
+
 namespace dnslocate::core {
 namespace {
 
 void mark_skipped(ProbeVerdict& verdict, PipelineStage stage) {
   verdict.skipped_stages |=
       static_cast<std::uint8_t>(1u << static_cast<unsigned>(stage));
+  if (obs::metrics_enabled()) {
+    static obs::Counter& skipped =
+        obs::registry().counter("pipeline_stages_skipped_total");
+    skipped.add_always(1);
+  }
 }
 
 }  // namespace
 
 ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelToken& cancel) {
+  obs::Span run_span("pipeline/run");
+  if (obs::metrics_enabled()) {
+    static obs::Counter& runs = obs::registry().counter("pipeline_runs_total");
+    runs.add_always(1);
+  }
   ProbeVerdict verdict;
   TransportTelemetry before = transport.telemetry();
   auto finish = [&]() -> ProbeVerdict {
@@ -35,8 +47,11 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
   }
 
   // Step 1: which resolvers are intercepted? (§3.1)
-  InterceptionDetector detector(config.detection);
-  verdict.detection = detector.run(transport);
+  {
+    obs::Span span("pipeline/detection");
+    InterceptionDetector detector(config.detection);
+    verdict.detection = detector.run(transport);
+  }
   // IPv6 interception is rare and handled jointly with v4 in the paper's
   // analyses (§4.1.1); localization proceeds on the v4 observations, falling
   // back to v6 when only v6 is intercepted.
@@ -62,6 +77,7 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
 
   // Step 2: version.bind comparison against the CPE's public IP (§3.2).
   if (config.cpe_public_ip) {
+    obs::Span span("pipeline/cpe_check");
     CpeLocalizer::Config cpe_config = config.cpe_check;
     cpe_config.family = family;
     CpeLocalizer cpe(cpe_config);
@@ -75,6 +91,7 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
     mark_skipped(verdict, PipelineStage::bogon);
   } else {
     // Step 3: bogon probing (§3.3).
+    obs::Span span("pipeline/bogon");
     IspLocalizer isp(config.bogon);
     verdict.bogon = isp.run(transport);
     verdict.location = verdict.bogon->within_isp() ? InterceptorLocation::isp
@@ -85,6 +102,7 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
     if (cancel.cancelled()) {
       mark_skipped(verdict, PipelineStage::replication);
     } else {
+      obs::Span span("pipeline/replication");
       ReplicationProber prober(config.replication);
       verdict.replication = prober.run(transport);
     }
@@ -95,6 +113,7 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
     if (cancel.cancelled()) {
       mark_skipped(verdict, PipelineStage::transparency);
     } else {
+      obs::Span span("pipeline/transparency");
       TransparencyTester::Config transparency_config = config.transparency;
       transparency_config.family = family;
       TransparencyTester tester(transparency_config);

@@ -2,6 +2,8 @@
 
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
+#include "obs/clock.h"
+#include "obs/span.h"
 
 namespace dnslocate::core {
 namespace {
@@ -12,6 +14,20 @@ std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload) {
   for (std::uint8_t b : payload) h = (h ^ b) * 0x100000001b3ull;
   return h;
 }
+
+/// Observability clock driven by the simulator: spans and histograms
+/// recorded while a simulated query runs carry simulated-nanosecond
+/// timestamps, so traces replay bit-identically across runs and hosts.
+class SimulatorClock final : public obs::ClockSource {
+ public:
+  explicit SimulatorClock(const simnet::Simulator& sim) : sim_(sim) {}
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(sim_.now().count());
+  }
+
+ private:
+  const simnet::Simulator& sim_;
+};
 
 }  // namespace
 
@@ -57,6 +73,7 @@ void SimTransport::on_datagram(simnet::Simulator&, simnet::Device&,
 QueryResult SimTransport::attempt(const netbase::Endpoint& server,
                                   const dnswire::Message& message,
                                   const QueryOptions& options) {
+  obs::Span attempt_span("transport/attempt");
   Collecting state;
   state.port = next_port_++;
   if (next_port_ < 40000) next_port_ = 40000;
@@ -101,6 +118,11 @@ QueryResult SimTransport::attempt(const netbase::Endpoint& server,
 
 QueryResult SimTransport::query(const netbase::Endpoint& server,
                                 const dnswire::Message& message, const QueryOptions& options) {
+  // All telemetry inside this query reads simulated time (deterministic),
+  // even when the caller did not install a probe-wide simulated clock.
+  SimulatorClock clock(sim_);
+  obs::ScopedClock clock_scope(&clock);
+  obs::Span query_span("transport/query");
   unsigned budget = std::max(1u, options.retry.max_attempts);
   dnswire::Message attempt_message = message;
   RetryTelemetry telemetry;

@@ -14,6 +14,7 @@
 #include "core/retry.h"
 #include "dnswire/message.h"
 #include "netbase/endpoint.h"
+#include "obs/metrics.h"
 #include "simnet/packet.h"
 
 namespace dnslocate::core {
@@ -97,6 +98,30 @@ struct TransportTelemetry {
   }
 };
 
+/// Mirror one completed query onto the process-wide metrics registry. This
+/// is the single seam every transport's record_telemetry passes through, so
+/// the registry's transport_* totals agree exactly with the summed
+/// TransportTelemetry structs the report layer aggregates. The RTT
+/// histogram inherits the transport's clock: simulated time under
+/// SimTransport, wall time under real sockets (see obs/clock.h).
+inline void note_transport_metrics(const QueryResult& result) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& queries = obs::registry().counter("transport_queries_total");
+  static obs::Counter& attempts = obs::registry().counter("transport_attempts_total");
+  static obs::Counter& retries = obs::registry().counter("transport_retries_total");
+  static obs::Counter& timeouts = obs::registry().counter("transport_timeouts_total");
+  static obs::Counter& answered = obs::registry().counter("transport_answered_total");
+  static obs::Histogram& rtt_us = obs::registry().histogram("transport_rtt_us");
+  queries.add_always(1);
+  attempts.add_always(result.retry.attempts);
+  retries.add_always(result.retry.retries());
+  timeouts.add_always(result.retry.timeouts);
+  if (result.answered()) {
+    answered.add_always(1);
+    rtt_us.record_always(static_cast<std::uint64_t>(result.rtt.count()));
+  }
+}
+
 /// Synchronous DNS query interface.
 class QueryTransport {
  public:
@@ -124,7 +149,10 @@ class QueryTransport {
   }
 
  protected:
-  void record_telemetry(const QueryResult& result) { telemetry_.note(result); }
+  void record_telemetry(const QueryResult& result) {
+    telemetry_.note(result);
+    note_transport_metrics(result);
+  }
 
  private:
   TransportTelemetry telemetry_;

@@ -1,0 +1,16 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace dnslocate::obs::detail {
+
+thread_local const ClockSource* t_clock = nullptr;
+
+std::uint64_t steady_now_ns() {
+  static const std::chrono::steady_clock::time_point anchor = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - anchor)
+                                        .count());
+}
+
+}  // namespace dnslocate::obs::detail

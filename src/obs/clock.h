@@ -1,0 +1,56 @@
+// Timestamp source for spans and latency histograms.
+//
+// The default is the process steady clock (anchored at first use, so
+// timestamps start near zero). Simulated contexts install a per-thread
+// override wrapping the simulator's event clock: a probe measured over
+// `SimTransport` then stamps every span and histogram sample with simulated
+// nanoseconds, making fleet traces bit-identical across runs and hosts —
+// the wall clock never leaks into simulated telemetry. Real-socket
+// transports leave the default in place and measure wall time, which is the
+// honest reading there. See ISSUE/ARCHITECTURE "Observability".
+#pragma once
+
+#include <cstdint>
+
+namespace dnslocate::obs {
+
+/// Source of "now" in nanoseconds. Implementations must be monotone
+/// per-thread for the duration of their installation.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  [[nodiscard]] virtual std::uint64_t now_ns() const = 0;
+};
+
+namespace detail {
+extern thread_local const ClockSource* t_clock;
+/// Steady clock nanoseconds since the process anchor (first call).
+std::uint64_t steady_now_ns();
+}  // namespace detail
+
+/// Current time from this thread's installed clock (steady by default).
+[[nodiscard]] inline std::uint64_t now_ns() {
+  const ClockSource* clock = detail::t_clock;
+  return clock != nullptr ? clock->now_ns() : detail::steady_now_ns();
+}
+
+/// True when a simulated (or otherwise overridden) clock is installed.
+[[nodiscard]] inline bool thread_clock_overridden() { return detail::t_clock != nullptr; }
+
+/// RAII install of a clock source for the current thread; restores the
+/// previous source (nesting-safe — SimTransport installs inside run_probe's
+/// installation without harm).
+class ScopedClock {
+ public:
+  explicit ScopedClock(const ClockSource* source) : previous_(detail::t_clock) {
+    detail::t_clock = source;
+  }
+  ~ScopedClock() { detail::t_clock = previous_; }
+  ScopedClock(const ScopedClock&) = delete;
+  ScopedClock& operator=(const ScopedClock&) = delete;
+
+ private:
+  const ClockSource* previous_;
+};
+
+}  // namespace dnslocate::obs

@@ -1,0 +1,162 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dnslocate::obs {
+namespace {
+
+/// Trace lanes: probe-attributed spans live in their own per-probe rows
+/// under one synthetic process; everything else is laid out per OS thread.
+constexpr int kThreadPid = 1;
+constexpr int kProbePid = 2;
+
+struct Lane {
+  int pid = kThreadPid;
+  std::uint32_t tid = 0;
+  friend bool operator==(const Lane&, const Lane&) = default;
+  friend auto operator<=>(const Lane&, const Lane&) = default;
+};
+
+Lane lane_of(const SpanEvent& event) {
+  if (event.probe != 0) return Lane{kProbePid, event.probe - 1};
+  return Lane{kThreadPid, event.thread};
+}
+
+void append_ts_us(std::string& out, std::uint64_t ns) {
+  // Microseconds with fixed 3-decimal nanosecond remainder: precise,
+  // locale-independent, and byte-stable across hosts.
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64 ".%03" PRIu64, ns / 1000, ns % 1000);
+  out += buffer;
+}
+
+void append_metadata(std::string& out, int pid, std::uint32_t tid, const char* kind,
+                     const std::string& label, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += R"({"name":")";
+  out += kind;
+  out += R"(","ph":"M","pid":)";
+  out += std::to_string(pid);
+  out += R"(,"tid":)";
+  out += std::to_string(tid);
+  out += R"(,"args":{"name":)";
+  out += jsonio::escape(label);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanEvent>& events) {
+  std::vector<SpanEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    Lane la = lane_of(a), lb = lane_of(b);
+    if (la != lb) return la < lb;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.depth < b.depth;  // outer span first at equal start
+  });
+
+  std::string out;
+  out.reserve(sorted.size() * 140 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // Name the synthetic processes and each lane that appears.
+  append_metadata(out, kThreadPid, 0, "process_name", "dnslocate threads (wall clock)", first);
+  append_metadata(out, kProbePid, 0, "process_name", "dnslocate probes (sim clock)", first);
+  Lane last_lane{-1, 0};
+  for (const SpanEvent& event : sorted) {
+    Lane lane = lane_of(event);
+    if (lane == last_lane) continue;
+    last_lane = lane;
+    std::string label = lane.pid == kProbePid ? "probe " + std::to_string(lane.tid)
+                                              : "thread " + std::to_string(lane.tid);
+    append_metadata(out, lane.pid, lane.tid, "thread_name", label, first);
+  }
+
+  for (const SpanEvent& event : sorted) {
+    Lane lane = lane_of(event);
+    std::uint64_t duration = event.end_ns >= event.start_ns ? event.end_ns - event.start_ns : 0;
+    if (!first) out += ",\n";
+    first = false;
+    out += R"({"name":)";
+    out += jsonio::escape(event.name != nullptr ? event.name : "?");
+    out += R"(,"cat":"dnslocate","ph":"X","ts":)";
+    append_ts_us(out, event.start_ns);
+    out += R"(,"dur":)";
+    append_ts_us(out, duration);
+    out += R"(,"pid":)";
+    out += std::to_string(lane.pid);
+    out += R"(,"tid":)";
+    out += std::to_string(lane.tid);
+    out += R"(,"args":{"depth":)";
+    out += std::to_string(event.depth);
+    out += R"(,"clock":")";
+    out += event.sim_clock ? "sim" : "steady";
+    out += "\"}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string chrome_trace_json() { return chrome_trace_json(collector().gather()); }
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [index, count] : histogram.buckets) {
+      cumulative += count;
+      // The upper bound of bucket `index` is the lower bound of the next.
+      out += name + "_bucket{le=\"" +
+             std::to_string(Histogram::bucket_lower_bound(index + 1)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count) + "\n";
+    out += name + "_sum " + std::to_string(histogram.sum) + "\n";
+    out += name + "_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
+}
+
+std::string prometheus_text() { return prometheus_text(registry().snapshot()); }
+
+jsonio::Value metrics_json(const MetricsSnapshot& snapshot) {
+  jsonio::Object root;
+  jsonio::Object counters;
+  for (const auto& [name, value] : snapshot.counters) counters[name] = value;
+  root["counters"] = std::move(counters);
+  jsonio::Object gauges;
+  for (const auto& [name, value] : snapshot.gauges) gauges[name] = value;
+  root["gauges"] = std::move(gauges);
+  jsonio::Object histograms;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    jsonio::Object h;
+    h["count"] = histogram.count;
+    h["sum"] = histogram.sum;
+    jsonio::Array buckets;
+    for (const auto& [index, count] : histogram.buckets) {
+      jsonio::Array pair;
+      pair.emplace_back(Histogram::bucket_lower_bound(index));
+      pair.emplace_back(count);
+      buckets.push_back(std::move(pair));
+    }
+    h["buckets"] = std::move(buckets);
+    histograms[name] = std::move(h);
+  }
+  root["histograms"] = std::move(histograms);
+  return root;
+}
+
+}  // namespace dnslocate::obs

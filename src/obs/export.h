@@ -1,0 +1,43 @@
+// Exporters for the observability subsystem:
+//
+//  - chrome_trace_json: Chrome trace-event format ("traceEvents" array of
+//    complete "ph":"X" events), loadable in about:tracing and Perfetto.
+//    Probe-attributed spans get their own lane (pid 2, tid = probe id,
+//    simulated-clock timestamps — deterministic); unattributed spans are
+//    laid out per OS thread (pid 1, tid = thread ordinal, wall clock).
+//    Events are emitted sorted by (pid, tid, ts), so ts is monotone within
+//    every lane.
+//  - prometheus_text: Prometheus-style text exposition (# TYPE lines,
+//    histograms as cumulative _bucket{le=...}/_sum/_count). A dump, not a
+//    scrape endpoint: only occupied buckets are listed, plus +Inf.
+//  - metrics_json: the same snapshot as a jsonio tree, for embedding into
+//    the HTML report.
+//
+// All three are deterministic for a deterministic input (name-ordered
+// metrics, stable event ordering).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jsonio/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace dnslocate::obs {
+
+/// Render span events as Chrome trace-event JSON.
+std::string chrome_trace_json(const std::vector<SpanEvent>& events);
+/// Convenience: export everything currently in the process collector.
+std::string chrome_trace_json();
+
+/// Render a metrics snapshot as Prometheus text exposition.
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+/// Convenience: export the process registry.
+std::string prometheus_text();
+
+/// Metrics snapshot as a JSON tree (counters/gauges as numbers, histograms
+/// as {count, sum, buckets: [[lower_bound, count], ...]}).
+jsonio::Value metrics_json(const MetricsSnapshot& snapshot);
+
+}  // namespace dnslocate::obs

@@ -1,0 +1,137 @@
+#include "obs/metrics.h"
+
+#include <functional>
+#include <thread>
+
+namespace dnslocate::obs {
+
+namespace detail {
+bool g_metrics_enabled = false;
+bool g_tracing_enabled = false;
+}  // namespace detail
+
+namespace {
+Config g_config;
+}  // namespace
+
+void enable(const Config& config) {
+  g_config = config;
+  if (g_config.trace_buffer_events == 0) g_config.trace_buffer_events = 1;
+  detail::g_metrics_enabled = config.metrics;
+  detail::g_tracing_enabled = config.tracing;
+}
+
+void disable() {
+  detail::g_metrics_enabled = false;
+  detail::g_tracing_enabled = false;
+}
+
+const Config& config() { return g_config; }
+
+std::size_t shard_index() {
+  thread_local const std::size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kCounterShards;
+  return index;
+}
+
+Histogram::Snapshot& Histogram::Snapshot::merge(const Snapshot& other) {
+  // Merge two ascending (index, count) lists; equal indices add.
+  std::vector<std::pair<std::size_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0, b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() || other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first, buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+  count += other.count;
+  sum += other.sum;
+  return *this;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) snap.buckets.emplace_back(i, n);
+  }
+  snap.count = count();
+  snap.sum = sum();
+  return snap;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>(std::string(name)))
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>(std::string(name))).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::string(name)))
+             .first;
+  return *it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) snap.counters.emplace_back(name, counter->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) snap.gauges.emplace_back(name, gauge->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    snap.histograms.emplace_back(name, histogram->snapshot());
+  return snap;
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace dnslocate::obs

@@ -1,0 +1,221 @@
+// Process-wide metrics registry: lock-free sharded counters, gauges, and
+// log-linear-bucket latency histograms with deterministic merge.
+//
+// Design goals, in order:
+//  1. Zero cost when disabled. Observability is compiled in unconditionally,
+//     but with the runtime flag off every record path is a single branch on a
+//     plain (non-atomic) bool — no atomic operations, no TLS, no allocation.
+//  2. Exactness when enabled. Counters are sharded across cache lines and
+//     incremented with relaxed atomics, so concurrent increments sum exactly
+//     (the fleet-wide totals must agree to the digit with the per-probe
+//     structs they mirror — see docs/ARCHITECTURE.md, "Observability").
+//  3. Deterministic export. Snapshots iterate metrics in name order and
+//     histogram merge is bucket-wise addition: associative, commutative, and
+//     independent of thread interleaving.
+//
+// The enable flag is intentionally a plain bool: it must be flipped while the
+// process is quiescent (before worker threads spawn / after they join), which
+// is how the examples, benches, and tests use it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnslocate::obs {
+
+/// Runtime configuration, set by enable().
+struct Config {
+  bool metrics = false;
+  bool tracing = false;
+  /// Capacity (events) of each per-thread span ring buffer.
+  std::size_t trace_buffer_events = 8192;
+};
+
+/// Turn observability on. Call while single-threaded (startup, or between
+/// fleet runs); the flag reads are deliberately unsynchronized.
+void enable(const Config& config);
+/// Turn everything off again (the registry keeps its values until reset()).
+void disable();
+[[nodiscard]] const Config& config();
+
+namespace detail {
+// Plain bools: one predictable branch on the fast path, no atomics.
+extern bool g_metrics_enabled;
+extern bool g_tracing_enabled;
+}  // namespace detail
+
+[[nodiscard]] inline bool metrics_enabled() { return detail::g_metrics_enabled; }
+[[nodiscard]] inline bool tracing_enabled() { return detail::g_tracing_enabled; }
+
+/// Shard count for counters. Threads hash onto shards; the value is the sum.
+inline constexpr std::size_t kCounterShards = 16;
+
+/// Stable per-thread shard index (cached in a thread_local).
+std::size_t shard_index();
+
+/// Monotone counter, sharded to keep concurrent increments off a shared
+/// cache line. value() sums the shards — exact regardless of interleaving.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void add(std::uint64_t delta = 1) {
+    if (!metrics_enabled()) return;
+    shards_[shard_index()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Record regardless of the runtime flag (tests and internal bookkeeping).
+  void add_always(std::uint64_t delta = 1) {
+    shards_[shard_index()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Shard& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kCounterShards> shards_{};
+  std::string name_;
+};
+
+/// Last-write-wins signed gauge (set) with relaxed add for deltas.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void set(std::int64_t value) {
+    if (!metrics_enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::string name_;
+};
+
+/// Log-linear-bucket histogram over unsigned 64-bit values (HdrHistogram
+/// style): values below 2^kSubBucketBits land in unit-wide buckets; above
+/// that, each power-of-two octave is split into 2^kSubBucketBits linear
+/// sub-buckets, so relative error is bounded by 1/2^kSubBucketBits across
+/// the whole range. Bucket boundaries depend only on these constants, so a
+/// merge (bucket-wise add) is associative, commutative, and deterministic.
+class Histogram {
+ public:
+  static constexpr unsigned kSubBucketBits = 4;  // 16 sub-buckets per octave
+  static constexpr std::size_t kSubBucketCount = 1u << kSubBucketBits;
+  static constexpr std::size_t kBucketCount =
+      kSubBucketCount + (64 - kSubBucketBits) * kSubBucketCount;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void record(std::uint64_t value) {
+    if (!metrics_enabled()) return;
+    record_always(value);
+  }
+  void record_always(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a value (stable across processes and hosts).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) {
+    if (value < kSubBucketCount) return static_cast<std::size_t>(value);
+    unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+    unsigned shift = msb - kSubBucketBits;
+    std::size_t sub = static_cast<std::size_t>(value >> shift) & (kSubBucketCount - 1);
+    std::size_t octave = msb - kSubBucketBits + 1;
+    return octave * kSubBucketCount + sub;
+  }
+
+  /// Smallest value mapping to `index` (the exported bucket boundary).
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(std::size_t index) {
+    if (index < kSubBucketCount) return index;
+    std::size_t octave = index / kSubBucketCount;
+    std::uint64_t sub = index % kSubBucketCount;
+    return (kSubBucketCount + sub) << (octave - 1);
+  }
+
+  /// A point-in-time copy, and the unit of deterministic merging.
+  struct Snapshot {
+    std::vector<std::pair<std::size_t, std::uint64_t>> buckets;  // (index, count), ascending
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    Snapshot& merge(const Snapshot& other);
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Fold another histogram's occupancy into this one (deterministic).
+  void merge_from(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::string name_;
+};
+
+/// Everything the exporters need, captured at one instant, name-sorted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+/// Name -> metric registry. Lookup takes a mutex; instrumentation sites
+/// cache the returned reference in a function-local static, so the lock is
+/// paid once per site, not per event. Metrics are never deleted (reset()
+/// only zeroes them), so cached references stay valid for process lifetime.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zero every metric (benches and tests; handles stay valid).
+  void reset();
+
+  /// Deterministic (name-ordered) copy of every metric.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry the instrumentation records into.
+Registry& registry();
+
+}  // namespace dnslocate::obs

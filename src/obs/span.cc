@@ -1,0 +1,76 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace dnslocate::obs {
+
+namespace detail {
+thread_local std::uint16_t t_span_depth = 0;
+thread_local std::uint32_t t_probe = 0;
+}  // namespace detail
+
+std::vector<SpanEvent> TraceRing::events() const {
+  std::vector<SpanEvent> out;
+  std::size_t have = static_cast<std::size_t>(std::min<std::uint64_t>(next_, events_.size()));
+  out.reserve(have);
+  std::size_t start = next_ > events_.size() ? next_ % events_.size() : 0;
+  for (std::size_t i = 0; i < have; ++i) out.push_back(events_[(start + i) % events_.size()]);
+  return out;
+}
+
+namespace {
+/// Per-thread handle: keeps the ring alive (the collector may clear() while
+/// this thread still exists) and re-registers when the collector's
+/// generation moves on.
+struct ThreadRing {
+  std::shared_ptr<TraceRing> ring;
+  std::uint64_t generation = ~std::uint64_t{0};
+};
+thread_local ThreadRing t_ring;
+}  // namespace
+
+TraceRing& TraceCollector::ring_for_this_thread() {
+  if (t_ring.ring != nullptr &&
+      t_ring.generation == generation_.load(std::memory_order_acquire))
+    return *t_ring.ring;
+  return register_ring();
+}
+
+TraceRing& TraceCollector::register_ring() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  t_ring.ring = std::make_shared<TraceRing>(config().trace_buffer_events, next_ordinal_++);
+  t_ring.generation = generation_.load(std::memory_order_relaxed);
+  rings_.push_back(t_ring.ring);
+  return *t_ring.ring;
+}
+
+std::vector<SpanEvent> TraceCollector::gather() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanEvent> out;
+  for (const auto& ring : rings_) {
+    auto events = ring->events();
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  return out;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rings_.clear();
+  next_ordinal_ = 0;
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+TraceCollector& collector() {
+  static TraceCollector instance;
+  return instance;
+}
+
+}  // namespace dnslocate::obs

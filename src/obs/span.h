@@ -1,0 +1,155 @@
+// Scoped tracing spans, recorded into fixed-size per-thread ring buffers.
+//
+// A Span is an RAII region: construction stamps the start, destruction
+// stamps the end and pushes one fixed-size event into the calling thread's
+// ring. Rings never allocate after creation and never block — when full
+// they overwrite the oldest event and count the loss, so tracing a
+// multi-hour fleet costs bounded memory. Nesting is tracked with a
+// thread-local depth, and ScopedProbe attributes every span opened inside
+// it to a probe id, which the Chrome-trace exporter uses as the trace "tid"
+// (per-probe lanes with simulated-clock timestamps are monotone and
+// deterministic; see obs/clock.h).
+//
+// Span names must be string literals (or otherwise outlive the collector):
+// events store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace dnslocate::obs {
+
+/// One completed span. `probe` is probe_id + 1 (0 = unattributed);
+/// `sim_clock` records whether the timestamps came from a simulated clock.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t probe = 0;
+  std::uint32_t thread = 0;  // ring owner's ordinal (registration order)
+  std::uint16_t depth = 0;
+  bool sim_clock = false;
+};
+
+/// Fixed-capacity single-producer ring of span events. The owning thread
+/// pushes; readers must only look while the producer is quiescent (after
+/// joins / between runs), which is when exports happen.
+class TraceRing {
+ public:
+  TraceRing(std::size_t capacity, std::uint32_t thread_ordinal)
+      : events_(capacity), thread_(thread_ordinal) {}
+
+  void push(const SpanEvent& event) {
+    SpanEvent& slot = events_[next_ % events_.size()];
+    slot = event;
+    slot.thread = thread_;
+    ++next_;
+  }
+
+  /// Events in record order, oldest first (at most `capacity`).
+  [[nodiscard]] std::vector<SpanEvent> events() const;
+  [[nodiscard]] std::uint64_t recorded() const { return next_; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return next_ > events_.size() ? next_ - events_.size() : 0;
+  }
+  [[nodiscard]] std::size_t capacity() const { return events_.size(); }
+  [[nodiscard]] std::uint32_t thread_ordinal() const { return thread_; }
+
+ private:
+  std::vector<SpanEvent> events_;
+  std::uint64_t next_ = 0;
+  std::uint32_t thread_;
+};
+
+/// Owns every thread's ring. Threads register lazily on their first span;
+/// rings outlive their threads (shared_ptr), so a fleet's worker spans are
+/// still exportable after the pool joins.
+class TraceCollector {
+ public:
+  /// The calling thread's ring. The fast path is one TLS read and one
+  /// relaxed generation check; the mutex is taken only on first use per
+  /// thread (and again after clear() invalidates the cached ring).
+  TraceRing& ring_for_this_thread();
+
+  /// Every event from every ring, oldest-first per ring, rings in
+  /// registration order. Call only at quiescent points.
+  [[nodiscard]] std::vector<SpanEvent> gather() const;
+
+  /// Events lost to ring overwrite, summed over rings.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drop all rings (live threads re-register on their next span).
+  void clear();
+
+ private:
+  TraceRing& register_ring();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<TraceRing>> rings_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::uint32_t next_ordinal_ = 0;
+};
+
+/// The process-wide collector the spans record into.
+TraceCollector& collector();
+
+namespace detail {
+extern thread_local std::uint16_t t_span_depth;
+extern thread_local std::uint32_t t_probe;  // probe_id + 1; 0 = none
+}  // namespace detail
+
+/// Probe id attributed to spans on this thread (probe_id + 1; 0 = none).
+[[nodiscard]] inline std::uint32_t current_probe() { return detail::t_probe; }
+
+/// RAII probe attribution: spans opened on this thread while alive carry
+/// `probe_id`. Nests (inner wins, outer restored).
+class ScopedProbe {
+ public:
+  explicit ScopedProbe(std::uint32_t probe_id) : previous_(detail::t_probe) {
+    detail::t_probe = probe_id + 1;
+  }
+  ~ScopedProbe() { detail::t_probe = previous_; }
+  ScopedProbe(const ScopedProbe&) = delete;
+  ScopedProbe& operator=(const ScopedProbe&) = delete;
+
+ private:
+  std::uint32_t previous_;
+};
+
+/// RAII span. When tracing is disabled, construction and destruction are a
+/// single branch each — no clock read, no TLS write, no ring access.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (!tracing_enabled()) return;
+    name_ = name;
+    start_ = now_ns();
+    depth_ = detail::t_span_depth++;
+  }
+  ~Span() {
+    if (name_ == nullptr) return;
+    --detail::t_span_depth;
+    SpanEvent event;
+    event.name = name_;
+    event.start_ns = start_;
+    event.end_ns = now_ns();
+    event.probe = detail::t_probe;
+    event.depth = depth_;
+    event.sim_clock = thread_clock_overridden();
+    collector().ring_for_this_thread().push(event);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+  std::uint16_t depth_ = 0;
+};
+
+}  // namespace dnslocate::obs

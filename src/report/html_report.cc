@@ -1,5 +1,7 @@
 #include "report/html_report.h"
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "report/aggregate.h"
 #include "report/stats.h"
 
@@ -197,6 +199,38 @@ std::string html_report(const atlas::MeasurementRun& run, const HtmlReportOption
       out += "</tbody></table>\n";
     }
     out += "</section>\n";
+  }
+
+  // Observability: only rendered when the metrics registry was live during
+  // the run, so default reports stay byte-for-byte what they were before.
+  if (obs::metrics_enabled()) {
+    auto snapshot = obs::registry().snapshot();
+    open_section(out, "Observability");
+    table_header(out, {"Metric", "Value"});
+    for (const auto& [name, value] : snapshot.counters) {
+      out += "<tr>";
+      cell(out, name);
+      cell(out, std::to_string(value));
+      out += "</tr>\n";
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      out += "<tr>";
+      cell(out, name);
+      cell(out, std::to_string(value));
+      out += "</tr>\n";
+    }
+    for (const auto& [name, hist] : snapshot.histograms) {
+      out += "<tr>";
+      cell(out, name);
+      cell(out, std::to_string(hist.count) + " samples, sum " + std::to_string(hist.sum));
+      out += "</tr>\n";
+    }
+    out += "</tbody></table>\n";
+    // The full snapshot rides along machine-readable; tools can pull it
+    // back out of the report with a JSON parse of this one element.
+    out += "<script type=\"application/json\" id=\"dnslocate-metrics\">";
+    out += obs::metrics_json(snapshot).dump();
+    out += "</script>\n</section>\n";
   }
 
   out += "</body></html>\n";

@@ -1,5 +1,7 @@
 #include "simnet/simulator.h"
 
+#include "obs/metrics.h"
+
 namespace dnslocate::simnet {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
@@ -24,6 +26,10 @@ void Simulator::schedule(SimDuration delay, std::function<void()> fn) {
 }
 
 void Simulator::transmit(Device& from, PortId port, UdpPacket packet) {
+  if (obs::metrics_enabled()) {
+    static obs::Counter& transmits = obs::registry().counter("simnet_transmits_total");
+    transmits.add_always(1);
+  }
   auto it = links_.find(PortKey{from.id(), port});
   if (it == links_.end()) {
     trace_event(from, TraceEvent::dropped_no_route, packet, "unconnected port");
@@ -110,6 +116,10 @@ std::size_t Simulator::run_until_idle(std::size_t max_events) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
+  if (obs::metrics_enabled()) {
+    static obs::Counter& events = obs::registry().counter("simnet_events_total");
+    events.add_always(1);
+  }
   // priority_queue::top is const; the handler is moved out via const_cast,
   // which is safe because the element is popped immediately after.
   Event event = std::move(const_cast<Event&>(queue_.top()));

@@ -12,6 +12,7 @@
 
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
+#include "obs/span.h"
 
 namespace dnslocate::sockets {
 namespace {
@@ -106,6 +107,19 @@ bool TcpTransport::supports_family(netbase::IpFamily family) const {
 core::QueryResult TcpTransport::query(const netbase::Endpoint& server,
                                       const dnswire::Message& message,
                                       const core::QueryOptions& options) {
+  obs::Span query_span("transport/query_tcp");
+  core::QueryResult result = query_once(server, message, options);
+  // TCP is single-shot: one attempt, counted as a timeout when it yielded
+  // no acceptable response (connection failures look like silence too).
+  result.retry.attempts = 1;
+  result.retry.timeouts = result.answered() ? 0 : 1;
+  record_telemetry(result);
+  return result;
+}
+
+core::QueryResult TcpTransport::query_once(const netbase::Endpoint& server,
+                                           const dnswire::Message& message,
+                                           const core::QueryOptions& options) {
   core::QueryResult result;
   int domain = server.address.is_v4() ? AF_INET : AF_INET6;
   Fd fd(::socket(domain, SOCK_STREAM | SOCK_NONBLOCK, 0));
@@ -159,6 +173,11 @@ core::QueryResult FallbackTransport::query(const netbase::Endpoint& server,
   core::QueryResult result = udp_.query(server, message, options);
   if (result.answered() && result.response->flags.tc) {
     ++tcp_retries_;
+    if (obs::metrics_enabled()) {
+      static obs::Counter& fallbacks =
+          obs::registry().counter("transport_tcp_fallbacks_total");
+      fallbacks.add_always(1);
+    }
     core::QueryResult tcp_result = tcp_.query(server, message, options);
     if (tcp_result.answered()) return tcp_result;
     // TCP failed: the truncated UDP answer is still the best we have.

@@ -16,6 +16,10 @@ class TcpTransport : public core::QueryTransport {
                           const core::QueryOptions& options = {}) override;
 
   [[nodiscard]] bool supports_family(netbase::IpFamily family) const override;
+
+ private:
+  core::QueryResult query_once(const netbase::Endpoint& server, const dnswire::Message& message,
+                               const core::QueryOptions& options);
 };
 
 /// UDP-first transport with automatic TCP retry when the UDP answer is

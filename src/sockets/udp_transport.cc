@@ -13,6 +13,7 @@
 #include "core/retry.h"
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
+#include "obs/span.h"
 #include "simnet/rng.h"
 
 namespace dnslocate::sockets {
@@ -95,6 +96,7 @@ bool UdpTransport::supports_family(netbase::IpFamily family) const {
 core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
                                         const dnswire::Message& message,
                                         const core::QueryOptions& options) {
+  obs::Span attempt_span("transport/attempt");
   core::QueryResult result;
   int domain = server.address.is_v4() ? AF_INET : AF_INET6;
   Fd fd(::socket(domain, SOCK_DGRAM, 0));
@@ -175,6 +177,7 @@ core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
 core::QueryResult UdpTransport::query(const netbase::Endpoint& server,
                                       const dnswire::Message& message,
                                       const core::QueryOptions& options) {
+  obs::Span query_span("transport/query");
   // Per-query options win; the transport-level default applies otherwise.
   const core::RetryPolicy& policy = options.retry.enabled() ? options.retry : config_.retry;
   unsigned budget = std::max(1u, policy.max_attempts);

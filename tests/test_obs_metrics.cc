@@ -1,0 +1,156 @@
+// The metrics registry: counters sum exactly under contention, the
+// enable flag really gates recording, and histogram bucketing/merging is
+// deterministic.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+using namespace dnslocate::obs;
+
+namespace {
+
+/// Every test starts from a disabled, zeroed registry.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disable();
+    registry().reset();
+  }
+  void TearDown() override {
+    disable();
+    registry().reset();
+  }
+};
+
+TEST_F(ObsMetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  Config config;
+  config.metrics = true;
+  enable(config);
+  Counter& counter = registry().counter("test_concurrent_total");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  for (auto& thread : pool) thread.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsMetricsTest, DisabledCounterRecordsNothing) {
+  Counter& counter = registry().counter("test_disabled_total");
+  counter.add(5);
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add_always(5);  // the always path ignores the flag
+  EXPECT_EQ(counter.value(), 5u);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAndAdd) {
+  Config config;
+  config.metrics = true;
+  enable(config);
+  Gauge& gauge = registry().gauge("test_gauge");
+  gauge.set(42);
+  EXPECT_EQ(gauge.value(), 42);
+  gauge.add(-50);
+  EXPECT_EQ(gauge.value(), -8);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketBoundaries) {
+  // Values below 16 land in unit buckets...
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower_bound(v), v);
+  }
+  // ...and above, each bucket's lower bound maps back to its own index,
+  // and every value maps to a bucket whose range contains it.
+  for (std::size_t index = 16; index < 600; ++index) {
+    std::uint64_t lower = Histogram::bucket_lower_bound(index);
+    EXPECT_EQ(Histogram::bucket_index(lower), index) << "lower bound of " << index;
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower_bound(index + 1) - 1), index)
+        << "last value of " << index;
+  }
+  // Relative error is bounded: bucket width / lower bound <= 1/16.
+  std::uint64_t lower = Histogram::bucket_lower_bound(300);
+  std::uint64_t width = Histogram::bucket_lower_bound(301) - lower;
+  EXPECT_LE(width * 16, lower + 15);
+}
+
+TEST_F(ObsMetricsTest, HistogramMergeIsAssociativeAndDeterministic) {
+  Histogram a("a"), b("b"), c("c");
+  for (std::uint64_t v : {1ull, 17ull, 1000ull, 123456ull}) a.record_always(v);
+  for (std::uint64_t v : {2ull, 17ull, 99999ull}) b.record_always(v);
+  for (std::uint64_t v : {1ull, 1ull, 7'000'000'000ull}) c.record_always(v);
+
+  // (a + b) + c == a + (b + c), element for element.
+  Histogram::Snapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  Histogram::Snapshot ab_c = ab;
+  ab_c.merge(c.snapshot());
+
+  Histogram::Snapshot bc = b.snapshot();
+  bc.merge(c.snapshot());
+  Histogram::Snapshot a_bc = a.snapshot();
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c.count, 10u);
+  EXPECT_EQ(ab_c.sum, 1 + 17 + 1000 + 123456 + 2 + 17 + 99999ull + 1 + 1 + 7'000'000'000ull);
+
+  // Merging is commutative too.
+  Histogram::Snapshot ba = b.snapshot();
+  ba.merge(a.snapshot());
+  EXPECT_EQ(ab, ba);
+}
+
+TEST_F(ObsMetricsTest, HistogramConcurrentRecordCountsExactly) {
+  Config config;
+  config.metrics = true;
+  enable(config);
+  Histogram& hist = registry().histogram("test_hist_us");
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t)
+    pool.emplace_back([&hist, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        hist.record(static_cast<std::uint64_t>(t) * 1000 + (i % 97));
+    });
+  for (auto& thread : pool) thread.join();
+
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto& [index, count] : hist.snapshot().buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST_F(ObsMetricsTest, SnapshotIsNameOrderedAndResetZeroes) {
+  Config config;
+  config.metrics = true;
+  enable(config);
+  registry().counter("zz_total").add(1);
+  registry().counter("aa_total").add(2);
+  registry().gauge("mm_gauge").set(3);
+
+  MetricsSnapshot snapshot = registry().snapshot();
+  ASSERT_GE(snapshot.counters.size(), 2u);
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i)
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+
+  // Reset zeroes values but keeps handles (and names) alive.
+  Counter& held = registry().counter("aa_total");
+  registry().reset();
+  EXPECT_EQ(held.value(), 0u);
+  held.add(7);
+  EXPECT_EQ(registry().counter("aa_total").value(), 7u);
+}
+
+}  // namespace

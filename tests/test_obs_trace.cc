@@ -1,0 +1,205 @@
+// Tracing spans and exporters: nesting depth, ring overflow semantics,
+// probe attribution, and the validity/determinism of the Chrome-trace and
+// Prometheus outputs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "jsonio/json.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+using namespace dnslocate::obs;
+namespace jsonio = dnslocate::jsonio;
+
+namespace {
+
+/// Deterministic test clock: returns a fixed sequence of instants.
+class StepClock final : public ClockSource {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() const override { return now_ += 1000; }
+
+ private:
+  mutable std::uint64_t now_ = 0;
+};
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disable();
+    registry().reset();
+    collector().clear();
+  }
+  void TearDown() override {
+    disable();
+    registry().reset();
+    collector().clear();
+  }
+
+  void enable_tracing(std::size_t ring = 64) {
+    Config config;
+    config.metrics = true;
+    config.tracing = true;
+    config.trace_buffer_events = ring;
+    enable(config);
+  }
+};
+
+TEST_F(ObsTraceTest, SpansNestAndRecordDepth) {
+  enable_tracing();
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+    }
+  }
+  auto events = collector().gather();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].end_ns, events[0].end_ns);
+}
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  {
+    Span span("never");
+  }
+  EXPECT_TRUE(collector().gather().empty());
+}
+
+TEST_F(ObsTraceTest, RingOverwritesOldestAndCountsDrops) {
+  enable_tracing(/*ring=*/4);
+  for (int i = 0; i < 10; ++i) {
+    Span span("looped");
+  }
+  auto events = collector().gather();
+  EXPECT_EQ(events.size(), 4u);  // capacity bounds retention
+  EXPECT_EQ(collector().dropped(), 6u);
+}
+
+TEST_F(ObsTraceTest, ScopedProbeAttributesSpans) {
+  enable_tracing();
+  EXPECT_EQ(current_probe(), 0u);
+  {
+    ScopedProbe probe(41);
+    EXPECT_EQ(current_probe(), 42u);  // stored as probe_id + 1
+    Span span("attributed");
+  }
+  EXPECT_EQ(current_probe(), 0u);
+  {
+    Span span("unattributed");
+  }
+  auto events = collector().gather();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].probe, 42u);
+  EXPECT_EQ(events[1].probe, 0u);
+}
+
+TEST_F(ObsTraceTest, ChromeTraceIsValidJsonWithMonotoneTsPerLane) {
+  enable_tracing();
+  std::thread worker([] {
+    for (int i = 0; i < 5; ++i) {
+      Span span("worker_span");
+    }
+  });
+  worker.join();
+  {
+    ScopedProbe probe(7);
+    Span span("probe_span");
+  }
+  for (int i = 0; i < 5; ++i) {
+    Span span("main_span");
+  }
+
+  auto parsed = jsonio::parse(chrome_trace_json());
+  ASSERT_TRUE(parsed.has_value());
+  const auto& events = (*parsed)["traceEvents"];
+  ASSERT_TRUE(events.is_array());
+  ASSERT_FALSE(events.as_array().empty());
+
+  // ts must be monotone within each (pid, tid) lane, and every complete
+  // event needs name/ph/ts/dur.
+  std::map<std::pair<double, double>, double> last_ts;
+  std::size_t complete = 0;
+  for (const auto& event : events.as_array()) {
+    const std::string& ph = event["ph"].as_string();
+    if (ph == "M") continue;  // metadata names the lanes
+    EXPECT_EQ(ph, "X");
+    EXPECT_TRUE(event["name"].is_string());
+    EXPECT_TRUE(event["dur"].is_number());
+    ++complete;
+    auto lane = std::make_pair(event["pid"].as_number(), event["tid"].as_number());
+    double ts = event["ts"].as_number();
+    auto it = last_ts.find(lane);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second);
+    }
+    last_ts[lane] = ts;
+  }
+  EXPECT_EQ(complete, 11u);
+  // The probe-attributed span got its own deterministic lane (pid 2).
+  bool saw_probe_lane = false;
+  for (const auto& entry : last_ts) saw_probe_lane |= entry.first.first == 2.0;
+  EXPECT_TRUE(saw_probe_lane);
+}
+
+TEST_F(ObsTraceTest, TraceExportIsDeterministicUnderAFixedClock) {
+  enable_tracing();
+  auto record = [] {
+    StepClock clock;
+    ScopedClock scope(&clock);
+    ScopedProbe probe(3);
+    Span outer("outer");
+    Span inner("inner");
+  };
+  record();
+  std::string first = chrome_trace_json();
+  collector().clear();
+  record();
+  std::string second = chrome_trace_json();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"clock\":\"sim\""), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, PrometheusTextShape) {
+  Config config;
+  config.metrics = true;
+  enable(config);
+  registry().counter("shape_total").add(3);
+  registry().gauge("shape_gauge").set(-2);
+  registry().histogram("shape_us").record(100);
+  registry().histogram("shape_us").record(100000);
+
+  std::string text = prometheus_text();
+  EXPECT_NE(text.find("# TYPE shape_total counter"), std::string::npos);
+  EXPECT_NE(text.find("shape_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE shape_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("shape_gauge -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE shape_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("shape_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("shape_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("shape_us_sum 100100"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, MetricsJsonRoundTrips) {
+  Config config;
+  config.metrics = true;
+  enable(config);
+  registry().counter("json_total").add(9);
+  registry().histogram("json_us").record(50);
+
+  auto parsed = jsonio::parse(metrics_json(registry().snapshot()).dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["counters"]["json_total"].as_int(), 9);
+  EXPECT_EQ((*parsed)["histograms"]["json_us"]["count"].as_int(), 1);
+}
+
+}  // namespace
