@@ -26,6 +26,8 @@ struct CommonCli {
   const char* metrics_out = nullptr;
   const char* trace_out = nullptr;
   long trace_buffer_events = 8192;
+  atlas::QueryEngine engine = atlas::QueryEngine::async;
+  long max_inflight = 64;
 
   static constexpr const char* kUsage =
       "  --journal PATH        checkpoint completed probes to an append-only journal\n"
@@ -33,6 +35,12 @@ struct CommonCli {
       "  --probe-deadline-ms N bound each probe's wall clock (overruns recorded as\n"
       "                        deadline_exceeded with a partial verdict)\n"
       "  --max-failures N      stop dispatching new probes after N failures\n"
+      "  --engine MODE         per-stage query execution: 'async' (batched fan-out,\n"
+      "                        default) or 'blocking' (historical sequential loop);\n"
+      "                        both produce identical verdicts\n"
+      "  --max-inflight N      cap concurrently outstanding queries per batch when a\n"
+      "                        socket engine fans out (default 64; simulated probes\n"
+      "                        ignore this)\n"
       "  --metrics-out PATH    write registry metrics as Prometheus text exposition\n"
       "  --trace-out PATH      write spans as Chrome trace-event JSON (load in Perfetto\n"
       "                        or chrome://tracing)\n"
@@ -60,6 +68,15 @@ struct CommonCli {
       trace_out = v5;
     } else if (const char* v6 = value("--trace-buffer-events")) {
       trace_buffer_events = std::atol(v6);
+    } else if (const char* v7 = value("--engine")) {
+      auto parsed = atlas::query_engine_from(v7);
+      if (!parsed) {
+        std::fprintf(stderr, "--engine must be 'blocking' or 'async' (got '%s')\n", v7);
+        std::exit(2);
+      }
+      engine = *parsed;
+    } else if (const char* v8 = value("--max-inflight")) {
+      max_inflight = std::atol(v8);
     } else {
       return false;
     }
@@ -76,6 +93,10 @@ struct CommonCli {
       std::fprintf(stderr, "--trace-buffer-events must be positive\n");
       return false;
     }
+    if (max_inflight <= 0) {
+      std::fprintf(stderr, "--max-inflight must be positive\n");
+      return false;
+    }
     return true;
   }
 
@@ -86,6 +107,8 @@ struct CommonCli {
     if (probe_deadline_ms > 0)
       options.probe_deadline = std::chrono::milliseconds(probe_deadline_ms);
     if (max_failures > 0) options.max_failures = static_cast<std::size_t>(max_failures);
+    options.engine = engine;
+    options.max_inflight = static_cast<std::size_t>(max_inflight);
   }
 
   /// Turn the observability subsystem on if any output was requested. Must

@@ -92,8 +92,9 @@ ProbeRecord supervised_run(const ProbeSpec& spec, const MeasurementOptions& opti
           : core::CancelToken{};
   ProbeRecord record;
   try {
-    record = options.runner ? options.runner(spec, token)
-                            : run_probe(spec, token, options.strip_raw_responses);
+    record = options.runner
+                 ? options.runner(spec, token)
+                 : run_probe(spec, token, options.strip_raw_responses, options.engine);
     record.outcome = ProbeOutcome::ok;
   } catch (const std::exception& e) {
     record = ProbeRecord{};
@@ -268,6 +269,20 @@ std::optional<ProbeOutcome> probe_outcome_from(std::string_view name) {
   return std::nullopt;
 }
 
+std::string_view to_string(QueryEngine engine) {
+  switch (engine) {
+    case QueryEngine::blocking: return "blocking";
+    case QueryEngine::async: return "async";
+  }
+  return "async";
+}
+
+std::optional<QueryEngine> query_engine_from(std::string_view name) {
+  if (name == "blocking") return QueryEngine::blocking;
+  if (name == "async") return QueryEngine::async;
+  return std::nullopt;
+}
+
 std::size_t MeasurementRun::intercepted_count() const {
   std::size_t count = 0;
   for (const auto& record : records)
@@ -294,7 +309,7 @@ ProbeRecord run_probe(const ProbeSpec& spec, bool strip_raw_responses) {
 }
 
 ProbeRecord run_probe(const ProbeSpec& spec, const core::CancelToken& cancel,
-                      bool strip_raw_responses) {
+                      bool strip_raw_responses, QueryEngine engine) {
   ProbeRecord record;
   record.probe_id = spec.probe_id;
   record.org = spec.org;
@@ -310,7 +325,14 @@ ProbeRecord run_probe(const ProbeSpec& spec, const core::CancelToken& cancel,
   obs::Span probe_span("probe/run");
   record.truth = scenario.ground_truth();
   core::LocalizationPipeline pipeline(scenario.pipeline_config());
-  record.verdict = pipeline.run(scenario.transport(), cancel);
+  // SimTransport serves both engine interfaces; the cast selects whether the
+  // pipeline fans out per-stage batches or replays the historical
+  // one-query-at-a-time loop. Both yield byte-identical verdicts.
+  record.verdict =
+      engine == QueryEngine::async
+          ? pipeline.run(static_cast<core::AsyncQueryTransport&>(scenario.transport()),
+                         cancel)
+          : pipeline.run(static_cast<core::QueryTransport&>(scenario.transport()), cancel);
   record.drops = scenario.sim().drops();
   record.faults = scenario.fault_plan().counters();
   note_probe_metrics(record);

@@ -203,6 +203,9 @@ core::PipelineConfig Scenario::pipeline_config() const {
   pipeline.cpe_public_ip = cpe_wan_v4_;
   pipeline.detection.test_v6 = true;  // SimTransport reports v6 support itself
   if (config_.retry.enabled()) pipeline.apply_retry_policy(config_.retry);
+  // Transaction IDs come from this probe's own seeded stream: hard to spoof
+  // (unpredictable to an off-path attacker), yet bit-reproducible per seed.
+  pipeline.query_id_seed = simnet::Rng(config_.seed ^ 0x1d5eed1d5eedULL).next_u64();
   return pipeline;
 }
 

@@ -1,14 +1,12 @@
 #include "core/cpe_localizer.h"
 
 #include "dnswire/debug_queries.h"
+#include "core/sim_transport.h"
 
 namespace dnslocate::core {
 
-VersionBindObservation CpeLocalizer::observe(QueryTransport& transport,
-                                             const netbase::Endpoint& server) {
+VersionBindObservation CpeLocalizer::interpret(const QueryResult& result) {
   VersionBindObservation obs;
-  dnswire::Message query = dnswire::make_chaos_query(next_id_++, dnswire::version_bind());
-  QueryResult result = transport.query(server, query, config_.query);
   if (!result.answered()) {
     obs.display = "timeout";
     return obs;
@@ -24,21 +22,34 @@ VersionBindObservation CpeLocalizer::observe(QueryTransport& transport,
   return obs;
 }
 
-CpeCheckReport CpeLocalizer::run(QueryTransport& transport,
+CpeCheckReport CpeLocalizer::run(AsyncQueryTransport& engine,
                                  const netbase::IpAddress& cpe_public_ip,
-                                 const std::vector<resolvers::PublicResolverKind>& suspects) {
-  CpeCheckReport report;
-
-  // "First, we issue a version.bind query to the CPE's own public IP
-  // address. By usual IP routing rules, this query cannot travel beyond the
-  // CPE..." (§3.2)
-  report.cpe = observe(transport, netbase::Endpoint{cpe_public_ip, netbase::kDnsPort});
-
+                                 const std::vector<resolvers::PublicResolverKind>& suspects,
+                                 bool* drained) {
+  // Slot 0: version.bind to the CPE's own public IP. "By usual IP routing
+  // rules, this query cannot travel beyond the CPE..." (§3.2). Slots 1..N:
+  // the same question to each intercepted resolver's primary address.
+  QueryBatch batch;
+  simnet::Rng ids(config_.id_seed);
+  batch.add(netbase::Endpoint{cpe_public_ip, netbase::kDnsPort},
+            dnswire::make_chaos_query(random_query_id(ids), dnswire::version_bind()),
+            config_.query);
   for (resolvers::PublicResolverKind kind : suspects) {
     const auto& spec = resolvers::PublicResolverSpec::get(kind);
     auto addrs = spec.service_addrs(config_.family);
-    VersionBindObservation obs =
-        observe(transport, netbase::Endpoint{addrs[0], netbase::kDnsPort});
+    batch.add(netbase::Endpoint{addrs[0], netbase::kDnsPort},
+              dnswire::make_chaos_query(random_query_id(ids), dnswire::version_bind()),
+              config_.query);
+  }
+
+  engine.run(batch);
+  if (drained != nullptr) *drained = batch.drained();
+
+  CpeCheckReport report;
+  report.cpe = interpret(batch.result(0));
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    resolvers::PublicResolverKind kind = suspects[i];
+    VersionBindObservation obs = interpret(batch.result(1 + i));
     bool matches = report.cpe.has_string() && obs.has_string() && *report.cpe.txt == *obs.txt;
     if (matches) report.matching.push_back(kind);
     report.resolver_answers.emplace(kind, std::move(obs));
@@ -50,6 +61,19 @@ CpeCheckReport CpeLocalizer::run(QueryTransport& transport,
   report.cpe_is_interceptor =
       report.cpe.has_string() && !suspects.empty() && report.matching.size() == suspects.size();
   return report;
+}
+
+CpeCheckReport CpeLocalizer::run(QueryTransport& transport,
+                                 const netbase::IpAddress& cpe_public_ip,
+                                 const std::vector<resolvers::PublicResolverKind>& suspects) {
+  BlockingBatchAdapter adapter(transport);
+  return run(adapter, cpe_public_ip, suspects);
+}
+
+CpeCheckReport CpeLocalizer::run(SimTransport& transport,
+                                 const netbase::IpAddress& cpe_public_ip,
+                                 const std::vector<resolvers::PublicResolverKind>& suspects) {
+  return run(static_cast<AsyncQueryTransport&>(transport), cpe_public_ip, suspects);
 }
 
 }  // namespace dnslocate::core

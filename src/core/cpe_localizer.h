@@ -11,10 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "core/query_batch.h"
 #include "core/transport.h"
 #include "resolvers/public_resolver.h"
 
 namespace dnslocate::core {
+
+class SimTransport;
 
 /// One version.bind observation.
 struct VersionBindObservation {
@@ -47,6 +50,9 @@ class CpeLocalizer {
     /// Family used for the comparison queries (interception is
     /// overwhelmingly v4; the CPE public IP is a v4 address).
     netbase::IpFamily family = netbase::IpFamily::v4;
+    /// Seed for the transaction-ID stream (the pipeline derives this from
+    /// the probe seed; the default only matters for direct stage calls).
+    std::uint64_t id_seed = 0x2000;
   };
 
   CpeLocalizer() = default;
@@ -54,14 +60,22 @@ class CpeLocalizer {
 
   /// `cpe_public_ip` is the WAN address of the home router; `suspects` are
   /// the resolvers step 1 found intercepted (primary addresses are queried).
+  /// The CPE query and every suspect query go out as one batch.
+  CpeCheckReport run(AsyncQueryTransport& engine, const netbase::IpAddress& cpe_public_ip,
+                     const std::vector<resolvers::PublicResolverKind>& suspects,
+                     bool* drained = nullptr);
+  /// Sequential compatibility path over a plain transport.
   CpeCheckReport run(QueryTransport& transport, const netbase::IpAddress& cpe_public_ip,
+                     const std::vector<resolvers::PublicResolverKind>& suspects);
+  /// SimTransport serves both interfaces; prefer its (byte-identical)
+  /// batched cascade.
+  CpeCheckReport run(SimTransport& transport, const netbase::IpAddress& cpe_public_ip,
                      const std::vector<resolvers::PublicResolverKind>& suspects);
 
  private:
-  VersionBindObservation observe(QueryTransport& transport, const netbase::Endpoint& server);
+  static VersionBindObservation interpret(const QueryResult& result);
 
   Config config_;
-  std::uint16_t next_id_ = 0x2000;
 };
 
 }  // namespace dnslocate::core

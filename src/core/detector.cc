@@ -1,4 +1,5 @@
 #include "core/detector.h"
+#include "core/sim_transport.h"
 
 namespace dnslocate::core {
 
@@ -16,54 +17,92 @@ bool DetectionReport::all_four_intercepted(netbase::IpFamily family) const {
   return true;
 }
 
-DetectionReport InterceptionDetector::run(QueryTransport& transport) {
-  DetectionReport report;
+DetectionReport InterceptionDetector::run(AsyncQueryTransport& engine, bool* drained) {
+  // Declarative plan: every (resolver, family, address) probe, in the fixed
+  // order the sequential detector always used. IDs are drawn at build time,
+  // so the set of datagrams is engine-independent.
+  struct Planned {
+    resolvers::PublicResolverKind kind{};
+    netbase::IpFamily family{};
+    netbase::Endpoint server;
+  };
+  QueryBatch batch;
+  std::vector<Planned> plan;
+  simnet::Rng ids(config_.id_seed);
 
+  QueryTransport& transport = engine.transport();
   for (resolvers::PublicResolverKind kind : resolvers::all_public_resolvers()) {
     const auto& spec = resolvers::PublicResolverSpec::get(kind);
-    auto& summary = report.per_resolver[static_cast<std::size_t>(kind)];
-    summary.kind = kind;
-
     for (netbase::IpFamily family : {netbase::IpFamily::v4, netbase::IpFamily::v6}) {
       if (family == netbase::IpFamily::v6 && !config_.test_v6) continue;
       if (!transport.supports_family(family)) continue;
 
-      bool tested = false;
-      bool intercepted = false;
-      bool any_answered = false;
       auto addrs = spec.service_addrs(family);
       std::size_t count = config_.use_secondary_addresses ? addrs.size() : 1;
       for (std::size_t i = 0; i < count; ++i) {
-        LocationProbe probe;
-        probe.kind = kind;
-        probe.family = family;
-        probe.server = netbase::Endpoint{addrs[i], netbase::kDnsPort};
-
+        netbase::Endpoint server{addrs[i], netbase::kDnsPort};
         dnswire::Message query =
-            dnswire::make_query(next_id_++, spec.location_query.name, spec.location_query.type,
-                                spec.location_query.klass);
-        probe.result = transport.query(probe.server, query, config_.query);
-        probe.verdict = classify_location_response(kind, probe.result);
-        probe.display = location_response_display(probe.result);
-
-        tested = true;
-        if (indicates_interception(probe.verdict)) intercepted = true;
-        if (probe.result.answered()) any_answered = true;
-        report.probes.push_back(std::move(probe));
-      }
-
-      if (family == netbase::IpFamily::v4) {
-        summary.tested_v4 = tested;
-        summary.intercepted_v4 = intercepted;
-        summary.unreachable_v4 = tested && !any_answered;
-      } else {
-        summary.tested_v6 = tested;
-        summary.intercepted_v6 = intercepted;
-        summary.unreachable_v6 = tested && !any_answered;
+            dnswire::make_query(random_query_id(ids), spec.location_query.name,
+                                spec.location_query.type, spec.location_query.klass);
+        batch.add(server, std::move(query), config_.query);
+        plan.push_back(Planned{kind, family, server});
       }
     }
   }
+
+  engine.run(batch);
+  if (drained != nullptr) *drained = batch.drained();
+
+  DetectionReport report;
+  struct FamilyTally {
+    bool tested = false;
+    bool intercepted = false;
+    bool any_answered = false;
+  };
+  std::array<std::array<FamilyTally, 2>, 4> tally{};
+
+  for (std::size_t k = 0; k < report.per_resolver.size(); ++k)
+    report.per_resolver[k].kind = static_cast<resolvers::PublicResolverKind>(k);
+
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const Planned& planned = plan[i];
+    LocationProbe probe;
+    probe.kind = planned.kind;
+    probe.family = planned.family;
+    probe.server = planned.server;
+    probe.result = batch.result(i);
+    probe.verdict = classify_location_response(planned.kind, probe.result);
+    probe.display = location_response_display(probe.result);
+
+    FamilyTally& t = tally[static_cast<std::size_t>(planned.kind)]
+                          [planned.family == netbase::IpFamily::v4 ? 0 : 1];
+    t.tested = true;
+    if (indicates_interception(probe.verdict)) t.intercepted = true;
+    if (probe.result.answered()) t.any_answered = true;
+    report.probes.push_back(std::move(probe));
+  }
+
+  for (std::size_t k = 0; k < report.per_resolver.size(); ++k) {
+    auto& summary = report.per_resolver[k];
+    const FamilyTally& v4 = tally[k][0];
+    const FamilyTally& v6 = tally[k][1];
+    summary.tested_v4 = v4.tested;
+    summary.intercepted_v4 = v4.intercepted;
+    summary.unreachable_v4 = v4.tested && !v4.any_answered;
+    summary.tested_v6 = v6.tested;
+    summary.intercepted_v6 = v6.intercepted;
+    summary.unreachable_v6 = v6.tested && !v6.any_answered;
+  }
   return report;
+}
+
+DetectionReport InterceptionDetector::run(QueryTransport& transport) {
+  BlockingBatchAdapter adapter(transport);
+  return run(adapter);
+}
+
+DetectionReport InterceptionDetector::run(SimTransport& transport) {
+  return run(static_cast<AsyncQueryTransport&>(transport));
 }
 
 }  // namespace dnslocate::core

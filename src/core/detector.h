@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "core/classify.h"
+#include "core/query_batch.h"
 #include "core/transport.h"
 
 namespace dnslocate::core {
+
+class SimTransport;
 
 /// One location-query observation.
 struct LocationProbe {
@@ -69,16 +72,27 @@ class InterceptionDetector {
     /// Also probe the secondary service addresses (1.0.0.1, 8.8.4.4, ...).
     bool use_secondary_addresses = true;
     QueryOptions query;
+    /// Seed for the transaction-ID stream (the pipeline derives this from
+    /// the probe seed; the default only matters for direct stage calls).
+    std::uint64_t id_seed = 0x1000;
   };
 
   InterceptionDetector() = default;
   explicit InterceptionDetector(Config config) : config_(config) {}
 
+  /// Build the full detection query set (4 resolvers × families × addresses),
+  /// fan it out on `engine`, and interpret the results by index. When the
+  /// engine drained the batch (cancellation mid-flight), `*drained` is set so
+  /// the caller can mark the stage skipped instead of trusting the report.
+  DetectionReport run(AsyncQueryTransport& engine, bool* drained = nullptr);
+  /// Sequential compatibility path over a plain transport.
   DetectionReport run(QueryTransport& transport);
+  /// SimTransport serves both interfaces; prefer its (byte-identical)
+  /// batched cascade.
+  DetectionReport run(SimTransport& transport);
 
  private:
   Config config_;
-  std::uint16_t next_id_ = 0x1000;
 };
 
 }  // namespace dnslocate::core

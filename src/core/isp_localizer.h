@@ -10,10 +10,13 @@
 #include <optional>
 #include <string>
 
+#include "core/query_batch.h"
 #include "core/transport.h"
 #include "netbase/bogon.h"
 
 namespace dnslocate::core {
+
+class SimTransport;
 
 /// One bogon-probe observation set (per family).
 struct BogonFamilyReport {
@@ -51,18 +54,24 @@ class IspLocalizer {
     netbase::Endpoint bogon_v4{netbase::BogonCatalog::default_probe_v4(), netbase::kDnsPort};
     netbase::Endpoint bogon_v6{netbase::BogonCatalog::default_probe_v6(), netbase::kDnsPort};
     bool test_v6 = true;
+    /// Seed for the transaction-ID stream (the pipeline derives this from
+    /// the probe seed; the default only matters for direct stage calls).
+    std::uint64_t id_seed = 0x3000;
   };
 
   IspLocalizer() = default;
   explicit IspLocalizer(Config config) : config_(std::move(config)) {}
 
+  /// Both bogon targets, A probe + version.bind each, as one batch.
+  BogonReport run(AsyncQueryTransport& engine, bool* drained = nullptr);
+  /// Sequential compatibility path over a plain transport.
   BogonReport run(QueryTransport& transport);
+  /// SimTransport serves both interfaces; prefer its (byte-identical)
+  /// batched cascade.
+  BogonReport run(SimTransport& transport);
 
  private:
-  BogonFamilyReport probe_family(QueryTransport& transport, const netbase::Endpoint& target);
-
   Config config_;
-  std::uint16_t next_id_ = 0x3000;
 };
 
 }  // namespace dnslocate::core

@@ -9,10 +9,35 @@
 #pragma once
 
 #include <unordered_map>
+#include <vector>
 
+#include "core/query_batch.h"
 #include "core/transport.h"
 
 namespace dnslocate::core {
+
+/// The endpoint-rewrite table shared by the blocking and batched mapped
+/// transports. Port 0 in a `from` entry matches any port on that address.
+class EndpointMap {
+ public:
+  void map(const netbase::Endpoint& from, const netbase::Endpoint& to) {
+    mappings_[from] = to;
+  }
+  void map_address(const netbase::IpAddress& from, const netbase::Endpoint& to) {
+    mappings_[netbase::Endpoint{from, 0}] = to;
+  }
+
+  /// The rewritten endpoint for `server`, if one is mapped.
+  [[nodiscard]] std::optional<netbase::Endpoint> resolve(const netbase::Endpoint& server) const {
+    if (auto it = mappings_.find(server); it != mappings_.end()) return it->second;
+    if (auto it = mappings_.find(netbase::Endpoint{server.address, 0}); it != mappings_.end())
+      return it->second;
+    return std::nullopt;
+  }
+
+ private:
+  std::unordered_map<netbase::Endpoint, netbase::Endpoint> mappings_;
+};
 
 class MappedTransport : public QueryTransport {
  public:
@@ -28,10 +53,10 @@ class MappedTransport : public QueryTransport {
   /// Route queries for `from` to `to` instead. Port 0 in `from` matches any
   /// port on that address.
   void map(const netbase::Endpoint& from, const netbase::Endpoint& to) {
-    mappings_[from] = to;
+    mappings_.map(from, to);
   }
   void map_address(const netbase::IpAddress& from, const netbase::Endpoint& to) {
-    mappings_[netbase::Endpoint{from, 0}] = to;
+    mappings_.map_address(from, to);
   }
 
   QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
@@ -52,10 +77,7 @@ class MappedTransport : public QueryTransport {
  private:
   QueryResult route(const netbase::Endpoint& server, const dnswire::Message& message,
                     const QueryOptions& options) {
-    if (auto it = mappings_.find(server); it != mappings_.end())
-      return inner_.query(it->second, message, options);
-    if (auto it = mappings_.find(netbase::Endpoint{server.address, 0}); it != mappings_.end())
-      return inner_.query(it->second, message, options);
+    if (auto target = mappings_.resolve(server)) return inner_.query(*target, message, options);
     if (policy_ == UnmappedPolicy::pass_through) return inner_.query(server, message, options);
     QueryResult result;  // hermetic: unmapped queries time out
     result.retry.timeouts = 1;
@@ -64,7 +86,77 @@ class MappedTransport : public QueryTransport {
 
   QueryTransport& inner_;
   UnmappedPolicy policy_;
-  std::unordered_map<netbase::Endpoint, netbase::Endpoint> mappings_;
+  EndpointMap mappings_;
+};
+
+/// Batched counterpart of MappedTransport: rewrites every spec's endpoint
+/// through the map, delegates the rewritten batch to the inner engine in one
+/// fan-out, and copies results back by index. Unmapped endpoints follow the
+/// same policy (pass through, or hermetically time out without ever touching
+/// the wire). Like MappedTransport, it keeps its own telemetry — the
+/// pipeline snapshots the outermost transport.
+class MappedBatchTransport final : public QueryTransport, public AsyncQueryTransport {
+ public:
+  explicit MappedBatchTransport(AsyncQueryTransport& inner,
+                                MappedTransport::UnmappedPolicy policy =
+                                    MappedTransport::UnmappedPolicy::timeout)
+      : inner_(inner), policy_(policy) {}
+
+  void map(const netbase::Endpoint& from, const netbase::Endpoint& to) {
+    mappings_.map(from, to);
+  }
+  void map_address(const netbase::IpAddress& from, const netbase::Endpoint& to) {
+    mappings_.map_address(from, to);
+  }
+
+  void run(QueryBatch& batch) override {
+    QueryBatch rewritten;
+    std::vector<std::size_t> origin;  // rewritten slot -> original slot
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const QuerySpec& spec = batch.spec(i);
+      if (auto target = mappings_.resolve(spec.server)) {
+        rewritten.add(*target, spec.message, spec.options);
+        origin.push_back(i);
+      } else if (policy_ == MappedTransport::UnmappedPolicy::pass_through) {
+        rewritten.add(spec.server, spec.message, spec.options);
+        origin.push_back(i);
+      } else {
+        batch.result(i).retry.timeouts = 1;  // hermetic timeout, zero attempts
+      }
+    }
+    inner_.run(rewritten);
+    for (std::size_t j = 0; j < rewritten.size(); ++j)
+      batch.result(origin[j]) = rewritten.result(j);
+    if (rewritten.drained()) batch.mark_drained();
+    for (std::size_t i = 0; i < batch.size(); ++i) record_telemetry(batch.result(i));
+  }
+
+  [[nodiscard]] QueryTransport& transport() override { return *this; }
+
+  QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
+                    const QueryOptions& options = {}) override {
+    QueryBatch batch;
+    batch.add(server, message, options);
+    run(batch);
+    return batch.result(0);
+  }
+
+  [[nodiscard]] bool supports_family(netbase::IpFamily family) const override {
+    return inner_transport().supports_family(family);
+  }
+  [[nodiscard]] bool supports_ttl() const override { return inner_transport().supports_ttl(); }
+  [[nodiscard]] bool supports_channel(simnet::Channel channel) const override {
+    return inner_transport().supports_channel(channel);
+  }
+
+ private:
+  // A reference member stays mutable inside const methods, so the inner
+  // engine's (non-const) transport() is reachable for capability checks.
+  [[nodiscard]] QueryTransport& inner_transport() const { return inner_.transport(); }
+
+  AsyncQueryTransport& inner_;
+  MappedTransport::UnmappedPolicy policy_;
+  EndpointMap mappings_;
 };
 
 }  // namespace dnslocate::core

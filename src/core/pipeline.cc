@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "core/sim_transport.h"
 #include "obs/span.h"
 
 namespace dnslocate::core {
@@ -15,14 +16,23 @@ void mark_skipped(ProbeVerdict& verdict, PipelineStage stage) {
   }
 }
 
+/// Independent per-stage ID stream derived from the probe-level seed, so no
+/// stage's draw count perturbs another's IDs.
+std::uint64_t stage_id_seed(std::uint64_t query_id_seed, PipelineStage stage) {
+  constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+  return simnet::Rng(query_id_seed ^ (kGolden * (static_cast<std::uint64_t>(stage) + 1)))
+      .next_u64();
+}
+
 }  // namespace
 
-ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelToken& cancel) {
+ProbeVerdict LocalizationPipeline::run(AsyncQueryTransport& engine, const CancelToken& cancel) {
   obs::Span run_span("pipeline/run");
   if (obs::metrics_enabled()) {
     static obs::Counter& runs = obs::registry().counter("pipeline_runs_total");
     runs.add_always(1);
   }
+  QueryTransport& transport = engine.transport();
   ProbeVerdict verdict;
   TransportTelemetry before = transport.telemetry();
   auto finish = [&]() -> ProbeVerdict {
@@ -30,28 +40,42 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
     return verdict;
   };
 
-  // A working copy so the token reaches every step's QueryOptions without
-  // mutating the pipeline's own configuration.
+  // A working copy so the token and derived ID seeds reach every step's
+  // config without mutating the pipeline's own configuration.
   PipelineConfig config = config_;
   if (cancel.active()) config.apply_cancel(cancel);
+  config.detection.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::detection);
+  config.cpe_check.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::cpe_check);
+  config.bogon.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::bogon);
+  config.replication.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::replication);
+  config.transparency.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::transparency);
+
+  auto skip_tail = [&](bool include_cpe_and_bogon) {
+    if (include_cpe_and_bogon) {
+      mark_skipped(verdict, PipelineStage::cpe_check);
+      mark_skipped(verdict, PipelineStage::bogon);
+    }
+    if (config.detect_replication) mark_skipped(verdict, PipelineStage::replication);
+    if (config.run_transparency) mark_skipped(verdict, PipelineStage::transparency);
+  };
 
   if (cancel.cancelled()) {
     // Out of budget before any query was sent: nothing ran, nothing is
     // claimed. Every configured stage is marked skipped.
     mark_skipped(verdict, PipelineStage::detection);
-    mark_skipped(verdict, PipelineStage::cpe_check);
-    mark_skipped(verdict, PipelineStage::bogon);
-    if (config.detect_replication) mark_skipped(verdict, PipelineStage::replication);
-    if (config.run_transparency) mark_skipped(verdict, PipelineStage::transparency);
+    skip_tail(true);
     return finish();
   }
 
   // Step 1: which resolvers are intercepted? (§3.1)
+  bool detection_drained = false;
   {
     obs::Span span("pipeline/detection");
     InterceptionDetector detector(config.detection);
-    verdict.detection = detector.run(transport);
+    verdict.detection = detector.run(engine, &detection_drained);
   }
+  if (detection_drained) mark_skipped(verdict, PipelineStage::detection);
+
   // IPv6 interception is rare and handled jointly with v4 in the paper's
   // analyses (§4.1.1); localization proceeds on the v4 observations, falling
   // back to v6 when only v6 is intercepted.
@@ -60,42 +84,56 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
                                  : netbase::IpFamily::v6;
   auto suspects = verdict.detection.intercepted_kinds(family);
   if (suspects.empty()) {
+    // With a drained detection batch the verdict stays partial: "nothing was
+    // detected" is only a claim when detection actually completed.
     verdict.location = InterceptorLocation::not_intercepted;
+    if (detection_drained) skip_tail(true);
     return finish();
   }
 
-  if (cancel.cancelled()) {
+  if (detection_drained || cancel.cancelled()) {
     // Interception is established but the budget is gone: localization is
     // honestly "unknown" — never a fabricated CPE/ISP attribution.
     verdict.location = InterceptorLocation::unknown;
-    mark_skipped(verdict, PipelineStage::cpe_check);
-    mark_skipped(verdict, PipelineStage::bogon);
-    if (config.detect_replication) mark_skipped(verdict, PipelineStage::replication);
-    if (config.run_transparency) mark_skipped(verdict, PipelineStage::transparency);
+    skip_tail(true);
     return finish();
   }
 
   // Step 2: version.bind comparison against the CPE's public IP (§3.2).
+  bool cpe_drained = false;
   if (config.cpe_public_ip) {
     obs::Span span("pipeline/cpe_check");
     CpeLocalizer::Config cpe_config = config.cpe_check;
     cpe_config.family = family;
     CpeLocalizer cpe(cpe_config);
-    verdict.cpe_check = cpe.run(transport, *config.cpe_public_ip, suspects);
+    CpeCheckReport report =
+        cpe.run(engine, *config.cpe_public_ip, suspects, &cpe_drained);
+    if (cpe_drained) {
+      mark_skipped(verdict, PipelineStage::cpe_check);
+    } else {
+      verdict.cpe_check = std::move(report);
+    }
   }
 
   if (verdict.cpe_check && verdict.cpe_check->cpe_is_interceptor) {
     verdict.location = InterceptorLocation::cpe;
-  } else if (cancel.cancelled()) {
+  } else if (cpe_drained || cancel.cancelled()) {
     verdict.location = InterceptorLocation::unknown;
     mark_skipped(verdict, PipelineStage::bogon);
   } else {
     // Step 3: bogon probing (§3.3).
     obs::Span span("pipeline/bogon");
     IspLocalizer isp(config.bogon);
-    verdict.bogon = isp.run(transport);
-    verdict.location = verdict.bogon->within_isp() ? InterceptorLocation::isp
-                                                   : InterceptorLocation::unknown;
+    bool bogon_drained = false;
+    BogonReport report = isp.run(engine, &bogon_drained);
+    if (bogon_drained) {
+      mark_skipped(verdict, PipelineStage::bogon);
+      verdict.location = InterceptorLocation::unknown;
+    } else {
+      verdict.bogon = std::move(report);
+      verdict.location = verdict.bogon->within_isp() ? InterceptorLocation::isp
+                                                     : InterceptorLocation::unknown;
+    }
   }
 
   if (config.detect_replication) {
@@ -104,7 +142,13 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
     } else {
       obs::Span span("pipeline/replication");
       ReplicationProber prober(config.replication);
-      verdict.replication = prober.run(transport);
+      bool drained = false;
+      ReplicationReport report = prober.run(engine, &drained);
+      if (drained) {
+        mark_skipped(verdict, PipelineStage::replication);
+      } else {
+        verdict.replication = std::move(report);
+      }
     }
   }
 
@@ -117,10 +161,25 @@ ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelTo
       TransparencyTester::Config transparency_config = config.transparency;
       transparency_config.family = family;
       TransparencyTester tester(transparency_config);
-      verdict.transparency = tester.run(transport, suspects);
+      bool drained = false;
+      TransparencyReport report = tester.run(engine, suspects, &drained);
+      if (drained) {
+        mark_skipped(verdict, PipelineStage::transparency);
+      } else {
+        verdict.transparency = std::move(report);
+      }
     }
   }
   return finish();
+}
+
+ProbeVerdict LocalizationPipeline::run(QueryTransport& transport, const CancelToken& cancel) {
+  BlockingBatchAdapter adapter(transport);
+  return run(adapter, cancel);
+}
+
+ProbeVerdict LocalizationPipeline::run(SimTransport& transport, const CancelToken& cancel) {
+  return run(static_cast<AsyncQueryTransport&>(transport), cancel);
 }
 
 }  // namespace dnslocate::core

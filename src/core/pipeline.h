@@ -13,6 +13,8 @@
 
 namespace dnslocate::core {
 
+class SimTransport;
+
 /// Pipeline configuration.
 struct PipelineConfig {
   /// Public (WAN) address of the client's CPE. Without it step 2 cannot run
@@ -29,6 +31,13 @@ struct PipelineConfig {
   /// records which one it was).
   bool detect_replication = false;
   ReplicationProber::Config replication;
+
+  /// Seed for the probe's transaction-ID streams. The pipeline derives an
+  /// independent per-stage stream from this (overriding the stage configs'
+  /// own id_seed defaults), so IDs are unpredictable to an off-path spoofer
+  /// yet replay bit-identically per seed — and are fixed at batch-build
+  /// time, identical under the blocking and async engines.
+  std::uint64_t query_id_seed = 0x1d5eed;
 
   /// Stamp one retry policy onto every step's QueryOptions. Safe by
   /// construction with respect to §3.3: exhausted retries still report a
@@ -97,10 +106,21 @@ class LocalizationPipeline {
  public:
   explicit LocalizationPipeline(PipelineConfig config = {}) : config_(std::move(config)) {}
 
-  /// Run the decision procedure. `cancel` is checked between stages: once
-  /// it fires, remaining stages are marked skipped and the verdict returns
-  /// partial (the inert default token never fires).
+  /// Run the decision procedure, fanning each stage's query set out on
+  /// `engine`. `cancel` is checked between stages: once it fires, remaining
+  /// stages are marked skipped and the verdict returns partial (the inert
+  /// default token never fires). An engine that drains a batch mid-flight
+  /// (async cancellation) gets that stage marked skipped too — its partial
+  /// report is never upgraded into a localization claim.
+  ProbeVerdict run(AsyncQueryTransport& engine, const CancelToken& cancel = {});
+  /// Sequential compatibility path: wraps `transport` in a
+  /// BlockingBatchAdapter, which reproduces the historical per-query loop
+  /// byte for byte.
   ProbeVerdict run(QueryTransport& transport, const CancelToken& cancel = {});
+  /// SimTransport implements both interfaces; this exact-match overload
+  /// resolves the ambiguity in favour of the batched engine, whose simulated
+  /// cascade is byte-identical to the sequential loop (see sim_transport.h).
+  ProbeVerdict run(SimTransport& transport, const CancelToken& cancel = {});
 
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 

@@ -1,17 +1,26 @@
 #include "core/replication.h"
+#include "core/sim_transport.h"
 
 namespace dnslocate::core {
 
-ReplicationReport ReplicationProber::run(QueryTransport& transport) {
-  ReplicationReport report;
-  for (resolvers::PublicResolverKind kind : resolvers::all_public_resolvers()) {
+ReplicationReport ReplicationProber::run(AsyncQueryTransport& engine, bool* drained) {
+  QueryBatch batch;
+  simnet::Rng ids(config_.id_seed);
+  auto kinds = resolvers::all_public_resolvers();
+  for (resolvers::PublicResolverKind kind : kinds) {
     const auto& spec = resolvers::PublicResolverSpec::get(kind);
-    netbase::Endpoint server{spec.service_v4[0], netbase::kDnsPort};
-    dnswire::Message query =
-        dnswire::make_query(next_id_++, spec.location_query.name, spec.location_query.type,
-                            spec.location_query.klass);
-    QueryResult result = transport.query(server, query, config_.query);
+    batch.add(netbase::Endpoint{spec.service_v4[0], netbase::kDnsPort},
+              dnswire::make_query(random_query_id(ids), spec.location_query.name,
+                                  spec.location_query.type, spec.location_query.klass),
+              config_.query);
+  }
 
+  engine.run(batch);
+  if (drained != nullptr) *drained = batch.drained();
+
+  ReplicationReport report;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const QueryResult& result = batch.result(i);
     ReplicationObservation obs;
     obs.responses = result.all_responses.size();
     obs.replicated = result.replicated();
@@ -23,9 +32,18 @@ ReplicationReport ReplicationProber::run(QueryTransport& transport) {
       obs.last_display = location_response_display(last);
       obs.payloads_differ = result.all_responses.front() != result.all_responses.back();
     }
-    report.per_resolver.emplace(kind, std::move(obs));
+    report.per_resolver.emplace(kinds[i], std::move(obs));
   }
   return report;
+}
+
+ReplicationReport ReplicationProber::run(QueryTransport& transport) {
+  BlockingBatchAdapter adapter(transport);
+  return run(adapter);
+}
+
+ReplicationReport ReplicationProber::run(SimTransport& transport) {
+  return run(static_cast<AsyncQueryTransport&>(transport));
 }
 
 }  // namespace dnslocate::core

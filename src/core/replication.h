@@ -11,9 +11,12 @@
 #include <string>
 
 #include "core/classify.h"
+#include "core/query_batch.h"
 #include "core/transport.h"
 
 namespace dnslocate::core {
+
+class SimTransport;
 
 /// Replication evidence for one resolver.
 struct ReplicationObservation {
@@ -39,18 +42,25 @@ class ReplicationProber {
  public:
   struct Config {
     QueryOptions query;
+    /// Seed for the transaction-ID stream (the pipeline derives this from
+    /// the probe seed; the default only matters for direct stage calls).
+    std::uint64_t id_seed = 0x8000;
   };
 
   ReplicationProber() = default;
   explicit ReplicationProber(Config config) : config_(config) {}
 
-  /// Send each resolver's location query and count the responses that race
-  /// back before the timeout.
+  /// Send each resolver's location query (one batch, all four resolvers)
+  /// and count the responses that race back before the timeout.
+  ReplicationReport run(AsyncQueryTransport& engine, bool* drained = nullptr);
+  /// Sequential compatibility path over a plain transport.
   ReplicationReport run(QueryTransport& transport);
+  /// SimTransport serves both interfaces; prefer its (byte-identical)
+  /// batched cascade.
+  ReplicationReport run(SimTransport& transport);
 
  private:
   Config config_;
-  std::uint16_t next_id_ = 0x8000;
 };
 
 }  // namespace dnslocate::core

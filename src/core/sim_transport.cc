@@ -154,4 +154,20 @@ QueryResult SimTransport::query(const netbase::Endpoint& server,
   return result;
 }
 
+void SimTransport::run(QueryBatch& batch) {
+  SimulatorClock clock(sim_);
+  obs::ScopedClock clock_scope(&clock);
+  obs::Span span("batch/sim_run");
+  std::uint64_t started_ns = obs::now_ns();
+  // Strict submission order: each query's cascade runs to its horizon before
+  // the next begins, so the simulator's shared RNG stream is consumed in
+  // exactly the sequential engine's order (see the header's determinism
+  // note). Simulated time advances; wall time barely does.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const QuerySpec& spec = batch.spec(i);
+    batch.result(i) = query(spec.server, spec.message, spec.options);
+  }
+  note_batch_metrics(batch.size(), obs::now_ns() - started_ns, batch.empty() ? 0 : 1, false);
+}
+
 }  // namespace dnslocate::core

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "core/query_batch.h"
 #include "core/transport.h"
 #include "simnet/simulator.h"
 
@@ -13,7 +14,7 @@ namespace dnslocate::core {
 /// ephemeral port, injects the datagram, and drives the simulator until the
 /// response arrives and the timeout horizon passes (so replicated duplicates
 /// are captured deterministically).
-class SimTransport : public QueryTransport, private simnet::UdpApp {
+class SimTransport : public QueryTransport, private simnet::UdpApp, public AsyncQueryTransport {
  public:
   /// `host` is the measurement device (the RIPE-Atlas-probe stand-in).
   /// It must already be wired into a topology with a default route.
@@ -21,6 +22,16 @@ class SimTransport : public QueryTransport, private simnet::UdpApp {
 
   QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
                     const QueryOptions& options = {}) override;
+
+  /// Deterministic batch path: one simulator cascade per query, in strict
+  /// submission order within a single run() call. Overlapping queries in
+  /// simulated time would interleave draws on the simulator's shared RNG
+  /// stream and permute traces; running them back-to-back keeps verdicts
+  /// and traces byte-identical to the sequential engine, and simulated
+  /// waits cost no wall-clock, so nothing is lost by not overlapping.
+  void run(QueryBatch& batch) override;
+
+  [[nodiscard]] QueryTransport& transport() override { return *this; }
 
   [[nodiscard]] bool supports_family(netbase::IpFamily family) const override;
   [[nodiscard]] bool supports_ttl() const override { return true; }

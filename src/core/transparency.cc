@@ -1,6 +1,7 @@
 #include "core/transparency.h"
 
 #include "resolvers/special_names.h"
+#include "core/sim_transport.h"
 
 namespace dnslocate::core {
 
@@ -15,22 +16,32 @@ std::string_view to_string(ResolverTransparency value) {
 }
 
 TransparencyReport TransparencyTester::run(
-    QueryTransport& transport, const std::vector<resolvers::PublicResolverKind>& intercepted) {
+    AsyncQueryTransport& engine, const std::vector<resolvers::PublicResolverKind>& intercepted,
+    bool* drained) {
+  QueryBatch batch;
+  simnet::Rng ids(config_.id_seed);
+  dnswire::RecordType qtype = config_.family == netbase::IpFamily::v4
+                                  ? dnswire::RecordType::A
+                                  : dnswire::RecordType::AAAA;
+  for (resolvers::PublicResolverKind kind : intercepted) {
+    const auto& spec = resolvers::PublicResolverSpec::get(kind);
+    auto addrs = spec.service_addrs(config_.family);
+    batch.add(netbase::Endpoint{addrs[0], netbase::kDnsPort},
+              dnswire::make_query(random_query_id(ids), resolvers::whoami_akamai(), qtype),
+              config_.query);
+  }
+
+  engine.run(batch);
+  if (drained != nullptr) *drained = batch.drained();
+
   TransparencyReport report;
   bool any_transparent = false;
   bool any_modified = false;
 
-  for (resolvers::PublicResolverKind kind : intercepted) {
+  for (std::size_t i = 0; i < intercepted.size(); ++i) {
+    resolvers::PublicResolverKind kind = intercepted[i];
     const auto& spec = resolvers::PublicResolverSpec::get(kind);
-    auto addrs = spec.service_addrs(config_.family);
-    netbase::Endpoint server{addrs[0], netbase::kDnsPort};
-
-    dnswire::RecordType qtype = config_.family == netbase::IpFamily::v4
-                                    ? dnswire::RecordType::A
-                                    : dnswire::RecordType::AAAA;
-    dnswire::Message query =
-        dnswire::make_query(next_id_++, resolvers::whoami_akamai(), qtype);
-    QueryResult result = transport.query(server, query, config_.query);
+    const QueryResult& result = batch.result(i);
 
     TransparencyObservation obs;
     if (!result.answered()) {
@@ -67,6 +78,17 @@ TransparencyReport TransparencyTester::run(
   else
     report.overall = TransparencyClass::indeterminate;
   return report;
+}
+
+TransparencyReport TransparencyTester::run(
+    QueryTransport& transport, const std::vector<resolvers::PublicResolverKind>& intercepted) {
+  BlockingBatchAdapter adapter(transport);
+  return run(adapter, intercepted);
+}
+
+TransparencyReport TransparencyTester::run(
+    SimTransport& transport, const std::vector<resolvers::PublicResolverKind>& intercepted) {
+  return run(static_cast<AsyncQueryTransport&>(transport), intercepted);
 }
 
 }  // namespace dnslocate::core

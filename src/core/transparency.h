@@ -9,11 +9,14 @@
 #include <string>
 #include <vector>
 
+#include "core/query_batch.h"
 #include "core/transport.h"
 #include "core/verdict.h"
 #include "resolvers/public_resolver.h"
 
 namespace dnslocate::core {
+
+class SimTransport;
 
 /// Per-resolver transparency observation.
 enum class ResolverTransparency {
@@ -41,17 +44,28 @@ class TransparencyTester {
   struct Config {
     QueryOptions query;
     netbase::IpFamily family = netbase::IpFamily::v4;
+    /// Seed for the transaction-ID stream (the pipeline derives this from
+    /// the probe seed; the default only matters for direct stage calls).
+    std::uint64_t id_seed = 0x4000;
   };
 
   TransparencyTester() = default;
   explicit TransparencyTester(Config config) : config_(config) {}
 
+  /// One whoami query per intercepted resolver, fanned out as one batch.
+  TransparencyReport run(AsyncQueryTransport& engine,
+                         const std::vector<resolvers::PublicResolverKind>& intercepted,
+                         bool* drained = nullptr);
+  /// Sequential compatibility path over a plain transport.
   TransparencyReport run(QueryTransport& transport,
+                         const std::vector<resolvers::PublicResolverKind>& intercepted);
+  /// SimTransport serves both interfaces; prefer its (byte-identical)
+  /// batched cascade.
+  TransparencyReport run(SimTransport& transport,
                          const std::vector<resolvers::PublicResolverKind>& intercepted);
 
  private:
   Config config_;
-  std::uint16_t next_id_ = 0x4000;
 };
 
 }  // namespace dnslocate::core

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -15,8 +16,9 @@
 namespace dnslocate::sockets {
 
 LoopbackDnsServer::LoopbackDnsServer(std::shared_ptr<resolvers::DnsResponder> responder,
-                                     bool serve_tcp)
-    : responder_(std::move(responder)) {
+                                     bool serve_tcp,
+                                     std::chrono::milliseconds response_delay)
+    : responder_(std::move(responder)), response_delay_(response_delay) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) throw std::runtime_error("LoopbackDnsServer: socket() failed");
 
@@ -86,8 +88,25 @@ void LoopbackDnsServer::serve_udp_datagram() {
   resolvers::DnsServerApp::truncate_to_fit(
       *response, resolvers::DnsServerApp::udp_payload_limit(*query));
   std::vector<std::uint8_t> wire = dnswire::encode_message(*response);
+  if (response_delay_.count() > 0) {
+    // Hold the answer in the deferred queue; the serve loop flushes it when
+    // due, so other clients' queries keep being ingested in the meantime.
+    pending_.push_back(PendingSend{std::chrono::steady_clock::now() + response_delay_,
+                                   std::move(wire), from, from_len});
+    return;
+  }
   ::sendto(fd_, wire.data(), wire.size(), 0, reinterpret_cast<const sockaddr*>(&from),
            from_len);
+}
+
+void LoopbackDnsServer::flush_due_sends() {
+  auto now = std::chrono::steady_clock::now();
+  while (!pending_.empty() && pending_.front().due <= now) {
+    const PendingSend& send = pending_.front();
+    ::sendto(fd_, send.wire.data(), send.wire.size(), 0,
+             reinterpret_cast<const sockaddr*>(&send.to), send.to_len);
+    pending_.pop_front();
+  }
 }
 
 void LoopbackDnsServer::serve_tcp_connection() {
@@ -142,7 +161,14 @@ void LoopbackDnsServer::serve() {
       pfds[1] = {tcp_fd_, POLLIN, 0};
       count = 2;
     }
-    int ready = ::poll(pfds, count, 50);
+    int timeout_ms = 50;
+    if (!pending_.empty()) {
+      auto until_due = std::chrono::duration_cast<std::chrono::milliseconds>(
+          pending_.front().due - std::chrono::steady_clock::now());
+      timeout_ms = static_cast<int>(std::clamp<long long>(until_due.count(), 0, 50));
+    }
+    int ready = ::poll(pfds, count, timeout_ms);
+    flush_due_sends();
     if (ready <= 0) continue;
     if (pfds[0].revents & POLLIN) serve_udp_datagram();
     if (count == 2 && (pfds[1].revents & POLLIN)) serve_tcp_connection();

@@ -4,10 +4,15 @@
 // with no network access.
 #pragma once
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "netbase/endpoint.h"
 #include "resolvers/server_app.h"
@@ -20,8 +25,15 @@ class LoopbackDnsServer {
   /// background thread until destruction. With `serve_tcp`, also listens on
   /// the same port number over TCP (RFC 7766 framing). Throws
   /// std::runtime_error when a socket cannot be created.
+  ///
+  /// `response_delay` holds each UDP answer back by that duration without
+  /// blocking the serve loop (deferred-send queue): the server keeps
+  /// ingesting queries while answers are pending, so concurrent clients see
+  /// realistic overlapping round-trip latency rather than head-of-line
+  /// serialization.
   explicit LoopbackDnsServer(std::shared_ptr<resolvers::DnsResponder> responder,
-                             bool serve_tcp = false);
+                             bool serve_tcp = false,
+                             std::chrono::milliseconds response_delay = {});
   ~LoopbackDnsServer();
 
   LoopbackDnsServer(const LoopbackDnsServer&) = delete;
@@ -34,14 +46,25 @@ class LoopbackDnsServer {
   [[nodiscard]] std::uint64_t tcp_queries_served() const { return tcp_queries_served_.load(); }
 
  private:
+  /// A UDP answer waiting out the configured response delay.
+  struct PendingSend {
+    std::chrono::steady_clock::time_point due;
+    std::vector<std::uint8_t> wire;
+    sockaddr_storage to;
+    socklen_t to_len;
+  };
+
   void serve();
   void serve_udp_datagram();
   void serve_tcp_connection();
+  void flush_due_sends();
 
   std::shared_ptr<resolvers::DnsResponder> responder_;
   int fd_ = -1;
   int tcp_fd_ = -1;
   netbase::Endpoint endpoint_;
+  std::chrono::milliseconds response_delay_{0};
+  std::deque<PendingSend> pending_;  // serve-thread only; due times ascend
   std::atomic<bool> running_{true};
   std::atomic<std::uint64_t> queries_served_{0};
   std::atomic<std::uint64_t> tcp_queries_served_{0};

@@ -1,0 +1,98 @@
+// Hashed timer wheel for the async query engine: every per-query deadline
+// (attempt timeout, retry backoff, duplicate-collection window) is one entry
+// here, and the engine's single poll() loop asks the wheel how long it may
+// sleep instead of each query sleeping on its own thread.
+//
+// Scale note: an engine caps in-flight queries in the tens, so the wheel
+// favours simplicity over asymptotics — slots are flat vectors, rescheduling
+// is lazy (a slot entry is live only if it still matches the key's current
+// deadline), and next_deadline() is an exact scan of the active set.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace dnslocate::sockets {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  explicit TimerWheel(std::chrono::milliseconds tick = std::chrono::milliseconds(10),
+                      std::size_t slots = 256)
+      : tick_(tick), slots_(slots) {}
+
+  /// Arm (or re-arm) the timer for `key`. A key has at most one live
+  /// deadline: rescheduling supersedes the previous entry, which dies lazily
+  /// in its old slot.
+  void schedule(std::uint64_t key, TimePoint deadline) {
+    active_[key] = deadline;
+    std::uint64_t slot_tick = std::max(tick_of(deadline), last_tick_);
+    slots_[static_cast<std::size_t>(slot_tick % slots_.size())].push_back(
+        Entry{key, deadline});
+  }
+
+  /// Disarm `key` (no-op if not armed). The stale slot entry dies lazily.
+  void cancel(std::uint64_t key) { active_.erase(key); }
+
+  [[nodiscard]] bool empty() const { return active_.empty(); }
+  [[nodiscard]] std::size_t size() const { return active_.size(); }
+
+  /// Exact earliest live deadline — the engine's poll() horizon.
+  [[nodiscard]] std::optional<TimePoint> next_deadline() const {
+    std::optional<TimePoint> earliest;
+    for (const auto& [key, deadline] : active_)
+      if (!earliest || deadline < *earliest) earliest = deadline;
+    return earliest;
+  }
+
+  /// Advance the wheel to `now`, collecting every key whose live deadline
+  /// has passed. Due keys are disarmed before being returned.
+  [[nodiscard]] std::vector<std::uint64_t> advance(TimePoint now) {
+    std::vector<std::uint64_t> due;
+    std::uint64_t now_tick = tick_of(now);
+    // Scan every slot the hand passed over since the last advance (clamped
+    // to one full revolution — beyond that the slots repeat). Re-scanning
+    // the starting slot is harmless: entries are judged by deadline.
+    std::uint64_t steps = now_tick >= last_tick_ ? now_tick - last_tick_ : 0;
+    steps = std::min<std::uint64_t>(steps, slots_.size() - 1);
+    for (std::uint64_t t = last_tick_; t <= last_tick_ + steps; ++t) {
+      auto& slot = slots_[static_cast<std::size_t>(t % slots_.size())];
+      std::size_t kept = 0;
+      for (Entry& entry : slot) {
+        auto it = active_.find(entry.key);
+        if (it == active_.end() || it->second != entry.deadline) continue;  // superseded
+        if (entry.deadline <= now) {
+          due.push_back(entry.key);
+          active_.erase(it);
+          continue;
+        }
+        slot[kept++] = entry;  // future round of this slot
+      }
+      slot.resize(kept);
+    }
+    last_tick_ = now_tick;
+    return due;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    TimePoint deadline;
+  };
+
+  [[nodiscard]] std::uint64_t tick_of(TimePoint when) const {
+    return static_cast<std::uint64_t>(when.time_since_epoch() / tick_);
+  }
+
+  std::chrono::milliseconds tick_;
+  std::vector<std::vector<Entry>> slots_;
+  std::unordered_map<std::uint64_t, TimePoint> active_;
+  std::uint64_t last_tick_ = 0;
+};
+
+}  // namespace dnslocate::sockets

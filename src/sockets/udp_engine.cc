@@ -1,0 +1,441 @@
+#include "sockets/udp_engine.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+
+#include "core/retry.h"
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+#include "obs/clock.h"
+#include "obs/span.h"
+#include "simnet/rng.h"
+#include "sockets/timer_wheel.h"
+
+namespace dnslocate::sockets {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+socklen_t to_sockaddr(const netbase::Endpoint& endpoint, sockaddr_storage& storage) {
+  std::memset(&storage, 0, sizeof storage);
+  if (endpoint.address.is_v4()) {
+    auto* sa = reinterpret_cast<sockaddr_in*>(&storage);
+    sa->sin_family = AF_INET;
+    sa->sin_port = htons(endpoint.port);
+    auto bytes = endpoint.address.v4().to_bytes();
+    std::memcpy(&sa->sin_addr, bytes.data(), 4);
+    return sizeof(sockaddr_in);
+  }
+  auto* sa = reinterpret_cast<sockaddr_in6*>(&storage);
+  sa->sin6_family = AF_INET6;
+  sa->sin6_port = htons(endpoint.port);
+  const auto& bytes = endpoint.address.v6().bytes();
+  std::memcpy(&sa->sin6_addr, bytes.data(), 16);
+  return sizeof(sockaddr_in6);
+}
+
+/// Decode the kernel-filled source address of a datagram.
+std::optional<netbase::Endpoint> from_sockaddr(const sockaddr_storage& storage) {
+  if (storage.ss_family == AF_INET) {
+    const auto* sa = reinterpret_cast<const sockaddr_in*>(&storage);
+    std::array<std::uint8_t, 4> bytes{};
+    std::memcpy(bytes.data(), &sa->sin_addr, 4);
+    return netbase::Endpoint{netbase::Ipv4Address::from_bytes(bytes), ntohs(sa->sin_port)};
+  }
+  if (storage.ss_family == AF_INET6) {
+    const auto* sa = reinterpret_cast<const sockaddr_in6*>(&storage);
+    netbase::Ipv6Address::Bytes bytes{};
+    std::memcpy(bytes.data(), &sa->sin6_addr, 16);
+    return netbase::Endpoint{netbase::Ipv6Address(bytes), ntohs(sa->sin6_port)};
+  }
+  return std::nullopt;
+}
+
+/// Granularity at which the event loop re-checks manually-cancellable
+/// tokens (same slice the blocking transport uses).
+constexpr std::chrono::milliseconds kCancelPollSlice{50};
+
+std::uint64_t bytes_hash(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) h = (h ^ data[i]) * 0x100000001b3ull;
+  return h;
+}
+
+/// Per-query execution state: the same timeline UdpTransport walks with
+/// blocking waits, expressed as an explicit machine the event loop advances.
+struct QueryState {
+  enum class Phase {
+    queued,       // admitted but no datagram sent yet (over max_inflight)
+    waiting,      // attempt on the wire, no answer yet
+    collecting,   // answered; gathering replication duplicates
+    backing_off,  // between attempts
+    done,
+  };
+
+  const core::QuerySpec* spec = nullptr;
+  Phase phase = Phase::queued;
+  core::RetryPolicy policy;
+  unsigned budget = 1;
+  unsigned attempt = 0;  // attempts sent so far
+  dnswire::Message attempt_message;
+  simnet::Rng rng{0};
+
+  Clock::time_point sent_at{};
+  Clock::time_point attempt_deadline{};
+  std::optional<Clock::time_point> duplicate_deadline;
+
+  core::QueryResult result;
+  core::RetryTelemetry telemetry;
+  std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>> seen;
+
+  [[nodiscard]] bool in_flight() const {
+    return phase == Phase::waiting || phase == Phase::collecting;
+  }
+  /// The horizon the timer wheel should wake this query at.
+  [[nodiscard]] Clock::time_point horizon() const {
+    if (phase == Phase::collecting && duplicate_deadline)
+      return std::min(attempt_deadline, *duplicate_deadline);
+    return attempt_deadline;
+  }
+};
+
+}  // namespace
+
+bool UdpEngine::supports_family(netbase::IpFamily family) const {
+  int domain = family == netbase::IpFamily::v4 ? AF_INET : AF_INET6;
+  Fd fd(::socket(domain, SOCK_DGRAM, 0));
+  return fd.valid();
+}
+
+void UdpEngine::run(core::QueryBatch& batch) {
+  obs::Span run_span("engine/batch_run");
+  std::uint64_t started_ns = obs::now_ns();
+  if (batch.empty()) {
+    core::note_batch_metrics(0, obs::now_ns() - started_ns, 0, false);
+    return;
+  }
+
+  std::vector<QueryState> states(batch.size());
+  std::deque<std::size_t> admission;       // not yet sent, in submission order
+  std::unordered_multimap<std::uint16_t, std::size_t> by_id;  // live attempt IDs
+  TimerWheel wheel;
+  Fd socket_v4;
+  Fd socket_v6;
+  std::size_t inflight = 0;
+  std::size_t peak_inflight = 0;
+  std::size_t completed = 0;
+  bool drained = false;
+  bool any_cancelable = false;
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    QueryState& q = states[i];
+    q.spec = &batch.spec(i);
+    q.policy = q.spec->options.retry.enabled() ? q.spec->options.retry : config_.retry;
+    q.budget = std::max(1u, q.policy.max_attempts);
+    q.attempt_message = q.spec->message;
+    // Same re-randomization stream UdpTransport derives, keyed by the
+    // original transaction ID, so a retried attempt's fresh ID and 0x20
+    // pattern are identical under either engine.
+    q.rng = simnet::Rng(config_.retry_seed ^
+                        (static_cast<std::uint64_t>(q.spec->message.id) << 32));
+    if (q.spec->options.cancel.active()) any_cancelable = true;
+    admission.push_back(i);
+  }
+
+  auto socket_for = [&](const netbase::Endpoint& server) -> int {
+    Fd& fd = server.address.is_v4() ? socket_v4 : socket_v6;
+    if (!fd.valid()) {
+      int domain = server.address.is_v4() ? AF_INET : AF_INET6;
+      fd.reset(::socket(domain, SOCK_DGRAM | SOCK_NONBLOCK, 0));
+    }
+    return fd.get();
+  };
+
+  auto unmap_id = [&](std::size_t i) {
+    auto range = by_id.equal_range(states[i].attempt_message.id);
+    for (auto it = range.first; it != range.second; ++it)
+      if (it->second == i) {
+        by_id.erase(it);
+        break;
+      }
+  };
+
+  auto complete = [&](std::size_t i) {
+    QueryState& q = states[i];
+    if (q.in_flight()) {
+      --inflight;
+      unmap_id(i);
+    }
+    wheel.cancel(i);
+    q.phase = QueryState::Phase::done;
+    q.result.retry = q.telemetry;
+    batch.result(i) = q.result;
+    record_telemetry(batch.result(i));
+    ++completed;
+  };
+
+  auto send_attempt = [&](std::size_t i) {
+    QueryState& q = states[i];
+    ++q.attempt;
+    q.telemetry.attempts = q.attempt;
+    if (q.attempt > 1) core::rerandomize_query(q.attempt_message, q.policy, q.rng);
+
+    int fd = socket_for(q.spec->server);
+    bool sent = false;
+    if (fd >= 0) {
+      if (q.spec->options.ttl) {
+        int ttl = *q.spec->options.ttl;
+        if (q.spec->server.address.is_v4())
+          ::setsockopt(fd, IPPROTO_IP, IP_TTL, &ttl, sizeof ttl);
+        else
+          ::setsockopt(fd, IPPROTO_IPV6, IPV6_UNICAST_HOPS, &ttl, sizeof ttl);
+      }
+      sockaddr_storage dest{};
+      socklen_t dest_len = to_sockaddr(q.spec->server, dest);
+      std::vector<std::uint8_t> wire = dnswire::encode_message(q.attempt_message);
+      sent = ::sendto(fd, wire.data(), wire.size(), 0,
+                      reinterpret_cast<const sockaddr*>(&dest), dest_len) >= 0;
+    }
+
+    q.sent_at = Clock::now();
+    if (!sent) {
+      // Unsendable attempt (no socket / network down): burns the attempt
+      // immediately, like UdpTransport's attempt() returning straight away.
+      ++q.telemetry.timeouts;
+      if (q.attempt < q.budget) {
+        auto backoff = q.policy.backoff_before(q.attempt + 1);
+        q.telemetry.backoff_waited += backoff;
+        q.phase = QueryState::Phase::backing_off;
+        q.attempt_deadline = q.sent_at + backoff;
+        wheel.schedule(i, q.attempt_deadline);
+      } else {
+        complete(i);
+      }
+      return;
+    }
+
+    q.attempt_deadline = q.sent_at + q.spec->options.timeout;
+    if (auto cancel_deadline = q.spec->options.cancel.deadline())
+      q.attempt_deadline = std::min(q.attempt_deadline, *cancel_deadline);
+    q.phase = QueryState::Phase::waiting;
+    by_id.emplace(q.attempt_message.id, i);
+    wheel.schedule(i, q.horizon());
+  };
+
+  auto admit = [&] {
+    while (inflight < std::max<std::size_t>(1, config_.max_inflight) && !admission.empty()) {
+      std::size_t i = admission.front();
+      admission.pop_front();
+      QueryState& q = states[i];
+      if (q.spec->options.cancel.cancelled()) {
+        // Drained before it was ever sent: an honest timeout with zero
+        // attempts, never a fabricated answer.
+        drained = true;
+        complete(i);
+        continue;
+      }
+      ++inflight;
+      peak_inflight = std::max(peak_inflight, inflight);
+      send_attempt(i);
+      if (states[i].phase == QueryState::Phase::done ||
+          states[i].phase == QueryState::Phase::backing_off)
+        --inflight;  // send failed; slot freed (complete() handled done case)
+    }
+  };
+
+  auto on_timer = [&](std::size_t i) {
+    QueryState& q = states[i];
+    switch (q.phase) {
+      case QueryState::Phase::collecting:
+        complete(i);  // duplicate window (or deadline) over; answer stands
+        break;
+      case QueryState::Phase::waiting: {
+        // Attempt timed out.
+        unmap_id(i);
+        --inflight;
+        ++q.telemetry.timeouts;
+        if (q.attempt < q.budget && !q.spec->options.cancel.cancelled()) {
+          auto backoff = q.policy.backoff_before(q.attempt + 1);
+          q.telemetry.backoff_waited += backoff;
+          q.phase = QueryState::Phase::backing_off;
+          q.attempt_deadline = Clock::now() + backoff;
+          wheel.schedule(i, q.attempt_deadline);
+        } else {
+          q.phase = QueryState::Phase::done;  // complete() below re-checks flight state
+          wheel.cancel(i);
+          q.result.retry = q.telemetry;
+          batch.result(i) = q.result;
+          record_telemetry(batch.result(i));
+          ++completed;
+        }
+        break;
+      }
+      case QueryState::Phase::backing_off:
+        // Backoff over: the slot was freed at timeout, so re-admit through
+        // the in-flight cap.
+        ++inflight;
+        peak_inflight = std::max(peak_inflight, inflight);
+        send_attempt(i);
+        if (q.phase == QueryState::Phase::done || q.phase == QueryState::Phase::backing_off)
+          --inflight;
+        break;
+      case QueryState::Phase::queued:
+      case QueryState::Phase::done:
+        break;
+    }
+  };
+
+  auto drain_cancelled = [&] {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      QueryState& q = states[i];
+      if (q.phase == QueryState::Phase::done || q.phase == QueryState::Phase::queued) continue;
+      if (!q.spec->options.cancel.cancelled()) continue;
+      if (q.phase == QueryState::Phase::collecting) {
+        complete(i);  // already answered — the answer is kept, never dropped
+        continue;
+      }
+      if (q.phase == QueryState::Phase::waiting) ++q.telemetry.timeouts;
+      drained = true;
+      complete(i);
+    }
+  };
+
+  auto receive_on = [&](int fd) {
+    while (true) {
+      std::uint8_t buffer[4096];
+      sockaddr_storage from{};
+      socklen_t from_len = sizeof from;
+      ssize_t n = ::recvfrom(fd, buffer, sizeof buffer, 0,
+                             reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n <= 0) break;  // EAGAIN: drained the socket
+
+      auto response = dnswire::decode_message({buffer, static_cast<std::size_t>(n)});
+      if (!response) continue;
+      auto source = from_sockaddr(from);
+      if (!source) continue;
+
+      // Demux: transaction ID narrows to candidates, then the full RFC 5452
+      // acceptance predicate (ID + opcode + echoed 0x20-encoded question)
+      // and the source endpoint pin the response to one in-flight query.
+      auto range = by_id.equal_range(response->id);
+      for (auto it = range.first; it != range.second; ++it) {
+        std::size_t i = it->second;
+        QueryState& q = states[i];
+        if (!q.in_flight()) continue;
+        if (*source != q.spec->server) continue;
+        if (!dnswire::is_acceptable_response(q.attempt_message, *response)) continue;
+
+        std::vector<std::uint8_t> source_bytes(reinterpret_cast<std::uint8_t*>(&from),
+                                               reinterpret_cast<std::uint8_t*>(&from) + from_len);
+        std::uint64_t fingerprint = bytes_hash(buffer, static_cast<std::size_t>(n));
+        bool duplicate = false;
+        for (const auto& [src, hash] : q.seen)
+          if (hash == fingerprint && src == source_bytes) {
+            duplicate = true;
+            break;
+          }
+        if (duplicate) break;
+        q.seen.emplace_back(std::move(source_bytes), fingerprint);
+
+        if (!q.result.answered()) {
+          q.result.status = core::QueryResult::Status::answered;
+          q.result.response = *response;
+          q.result.rtt =
+              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - q.sent_at);
+          q.duplicate_deadline = Clock::now() + config_.duplicate_window;
+          q.phase = QueryState::Phase::collecting;
+          wheel.schedule(i, q.horizon());
+        }
+        q.result.all_responses.push_back(std::move(*response));
+        break;
+      }
+    }
+  };
+
+  admit();
+  while (completed < batch.size()) {
+    drain_cancelled();
+    admit();
+    if (completed >= batch.size()) break;
+
+    auto now = Clock::now();
+    for (std::size_t i : wheel.advance(now)) on_timer(i);
+    drain_cancelled();
+    admit();
+    if (completed >= batch.size()) break;
+
+    auto horizon = wheel.next_deadline();
+    auto timeout = std::chrono::milliseconds(1000);
+    if (horizon) {
+      timeout = std::chrono::duration_cast<std::chrono::milliseconds>(*horizon - Clock::now());
+      // Round up so a wake never lands just before the deadline it serves.
+      timeout = std::max(timeout, std::chrono::milliseconds(0)) + std::chrono::milliseconds(1);
+    }
+    if (any_cancelable) timeout = std::min(timeout, kCancelPollSlice);
+
+    pollfd pfds[2];
+    nfds_t nfds = 0;
+    if (socket_v4.valid()) pfds[nfds++] = pollfd{socket_v4.get(), POLLIN, 0};
+    if (socket_v6.valid()) pfds[nfds++] = pollfd{socket_v6.get(), POLLIN, 0};
+    if (nfds == 0) {
+      // No socket could be opened; timers alone drive progress.
+      std::this_thread::sleep_for(std::min(timeout, std::chrono::milliseconds(5)));
+      continue;
+    }
+
+    int ready = ::poll(pfds, nfds, static_cast<int>(timeout.count()));
+    if (ready < 0 && errno != EINTR) break;
+    if (ready > 0)
+      for (nfds_t p = 0; p < nfds; ++p)
+        if ((pfds[p].revents & POLLIN) != 0) receive_on(pfds[p].fd);
+  }
+
+  // Safety net: a broken poll loop must still fill every slot (as timeouts).
+  for (std::size_t i = 0; i < states.size(); ++i)
+    if (states[i].phase != QueryState::Phase::done) {
+      states[i].result.retry = states[i].telemetry;
+      batch.result(i) = states[i].result;
+      record_telemetry(batch.result(i));
+    }
+
+  if (drained) batch.mark_drained();
+  core::note_batch_metrics(batch.size(), obs::now_ns() - started_ns, peak_inflight, drained);
+}
+
+core::QueryResult UdpEngine::query(const netbase::Endpoint& server,
+                                   const dnswire::Message& message,
+                                   const core::QueryOptions& options) {
+  core::QueryBatch batch;
+  batch.add(server, message, options);
+  run(batch);
+  return batch.result(0);
+}
+
+}  // namespace dnslocate::sockets
