@@ -96,9 +96,10 @@ int main() {
     std::snprintf(loss_label, sizeof loss_label, "%.0f%%", point.loss * 100.0);
     std::snprintf(local_label, sizeof local_label, "%zu/%zu", point.localization.correct,
                   point.localization.intercepted_truth);
-    std::printf("%-12s %-8s %-10.4f %-14s %-10" PRIu64 " %-10u %-10" PRIu64 "\n",
+    std::printf("%-12s %-8s %-10.4f %-14s %-10" PRIu64 " %-10zu %-10" PRIu64 "\n",
                 loss_label, point.retries ? "on" : "off", point.matrix.accuracy(),
-                local_label, point.census.totals.attempts, point.census.totals.timeouts,
+                local_label, point.census.totals.attempts,
+                static_cast<std::size_t>(point.census.totals.timeouts),
                 point.faults.drops());
   }
 

@@ -57,7 +57,7 @@ void BM_LpmLookup(benchmark::State& state) {
   simnet::Rng rng(7);
   for (int i = 0; i < 1000; ++i) {
     auto addr = netbase::Ipv4Address(static_cast<std::uint32_t>(rng.next_u64()));
-    table.insert(netbase::Prefix(netbase::IpAddress(addr), 8u + i % 17u), i);
+    table.insert(netbase::Prefix(netbase::IpAddress(addr), 8u + static_cast<unsigned>(i) % 17u), i);
   }
   std::vector<netbase::IpAddress> probes;
   for (int i = 0; i < 64; ++i)

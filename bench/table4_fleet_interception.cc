@@ -34,13 +34,13 @@ int main() {
   bench::heading("interception proportions (Wilson 95% intervals)");
   auto all_rows = report::table4_rows(run);
   for (const auto& row : all_rows) {
-    auto v4 = report::wilson_interval(row.intercepted_v4, row.total_v4);
-    auto v6 = report::wilson_interval(row.intercepted_v6, row.total_v6);
-    std::printf("%-16s v4 %s   v6 %s\n", row.resolver.c_str(), v4.to_string().c_str(),
-                v6.to_string().c_str());
+    auto ci_v4 = report::wilson_interval(row.intercepted_v4, row.total_v4);
+    auto ci_v6 = report::wilson_interval(row.intercepted_v6, row.total_v6);
+    std::printf("%-16s v4 %s   v6 %s\n", row.resolver.c_str(), ci_v4.to_string().c_str(),
+                ci_v6.to_string().c_str());
     if (row.resolver != "All Intercepted") {
       // The paper's v4-vs-v6 contrast must be statistically unambiguous.
-      if (!report::clearly_different(v4, v6))
+      if (!report::clearly_different(ci_v4, ci_v6))
         std::printf("  (warning: v4 and v6 intervals overlap for %s)\n",
                     row.resolver.c_str());
     }

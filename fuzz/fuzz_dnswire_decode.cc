@@ -1,0 +1,56 @@
+// libFuzzer harness for the DNS wire decoder — the parser XDRI showed is
+// the soft underbelly of residential-router DNS. Properties enforced:
+//
+//  1. decode_message never crashes, overreads, or hangs on arbitrary bytes
+//     (asan/ubsan catch the former; pointer-loop caps bound the latter).
+//  2. Anything that decodes re-encodes, and the re-encoded bytes decode
+//     again (round-trip closure, with and without name compression).
+//  3. Re-encoding the re-decoded message is byte-stable (encoder is a
+//     function of the parsed value, not of the original byte quirks).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "dnswire/decoder.h"
+#include "dnswire/encoder.h"
+
+using dnslocate::dnswire::DecodeError;
+using dnslocate::dnswire::DecodeOptions;
+using dnslocate::dnswire::EncodeOptions;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::span<const std::uint8_t> wire(data, size);
+
+  DecodeError error;
+  auto lax = dnslocate::dnswire::decode_message(wire, &error, DecodeOptions{});
+  // Strict mode must agree with lax mode on everything but trailing bytes.
+  auto strict =
+      dnslocate::dnswire::decode_message(wire, nullptr, DecodeOptions{.reject_trailing_bytes = true});
+  if (strict.has_value() && !lax.has_value()) {
+    std::fprintf(stderr, "strict decode accepted what lax decode rejected\n");
+    std::abort();
+  }
+  if (!lax.has_value()) return 0;
+
+  for (bool compress : {false, true}) {
+    std::vector<std::uint8_t> encoded =
+        dnslocate::dnswire::encode_message(*lax, EncodeOptions{.compress_names = compress});
+    DecodeError rt_error;
+    auto redecoded = dnslocate::dnswire::decode_message(encoded, &rt_error, DecodeOptions{});
+    if (!redecoded.has_value()) {
+      std::fprintf(stderr, "round-trip decode failed (compress=%d): %s\n", compress,
+                   rt_error.to_string().c_str());
+      std::abort();
+    }
+    std::vector<std::uint8_t> re_encoded =
+        dnslocate::dnswire::encode_message(*redecoded, EncodeOptions{.compress_names = compress});
+    if (re_encoded != encoded) {
+      std::fprintf(stderr, "encode(decode(encode(m))) not byte-stable (compress=%d)\n",
+                   compress);
+      std::abort();
+    }
+  }
+  return 0;
+}

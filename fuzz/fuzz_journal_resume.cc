@@ -1,0 +1,47 @@
+// libFuzzer harness for journal salvage/resume — the crash-tolerance layer
+// must never fabricate evidence, whatever bytes a crash left on disk.
+// Properties enforced:
+//
+//  1. parse_journal never crashes or overreads on arbitrary journal text;
+//     damaged lines are dropped with warnings, never invented.
+//  2. Every record it salvages round-trips: dump -> parse -> from_json ->
+//     dump is byte-identical, and journal_record_dump agrees byte-for-byte
+//     with journal_record_to_json(...).dump() — the checksum covers exactly
+//     those bytes, so any divergence silently breaks crash recovery.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "atlas/journal.h"
+#include "jsonio/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  dnslocate::atlas::JournalLoadResult result = dnslocate::atlas::parse_journal(text);
+  if (!result.ok()) return 0;
+
+  for (const dnslocate::atlas::ProbeRecord& record : result.records) {
+    std::string dump = dnslocate::atlas::journal_record_dump(record);
+    std::string tree_dump = dnslocate::atlas::journal_record_to_json(record).dump();
+    if (dump != tree_dump) {
+      std::fprintf(stderr, "journal_record_dump diverges from the jsonio tree dump\n");
+      std::abort();
+    }
+    auto parsed = dnslocate::jsonio::parse(dump);
+    if (!parsed) {
+      std::fprintf(stderr, "salvaged record dump is not valid JSON\n");
+      std::abort();
+    }
+    auto restored = dnslocate::atlas::journal_record_from_json(*parsed);
+    if (!restored) {
+      std::fprintf(stderr, "salvaged record does not re-parse\n");
+      std::abort();
+    }
+    if (dnslocate::atlas::journal_record_dump(*restored) != dump) {
+      std::fprintf(stderr, "record round-trip is not byte-stable\n");
+      std::abort();
+    }
+  }
+  return 0;
+}

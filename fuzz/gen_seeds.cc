@@ -1,0 +1,169 @@
+// Regenerates the checked-in seed corpora under fuzz/corpus/ from the same
+// vectors the unit tests exercise: valid queries/responses across every
+// RDATA type, truncations, compression-pointer pathologies, and journal
+// files that are intact, truncated mid-line, and bit-flipped.
+//
+//   gen_seeds <corpus-root>     # writes <root>/dnswire/* and <root>/journal/*
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "atlas/journal.h"
+#include "dnswire/encoder.h"
+#include "dnswire/message.h"
+#include "dnswire/record.h"
+#include "netbase/ipv4.h"
+#include "netbase/ipv6.h"
+
+namespace fs = std::filesystem;
+using namespace dnslocate;  // tool-only TU; keeps the vector table readable
+
+namespace {
+
+void write_bytes(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_text(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+dnswire::DnsName name(const char* text) { return *dnswire::DnsName::parse(text); }
+
+std::vector<std::uint8_t> query_example() {
+  dnswire::Message m;
+  m.id = 0x1234;
+  m.questions.push_back({name("whoami.akamai.net"), dnswire::RecordType::A,
+                         dnswire::RecordClass::IN});
+  return dnswire::encode_message(m);
+}
+
+std::vector<std::uint8_t> response_all_types(bool compress) {
+  dnswire::Message m;
+  m.id = 0xbeef;
+  m.flags.qr = true;
+  m.flags.ra = true;
+  m.questions.push_back({name("o-o.myaddr.l.google.com"), dnswire::RecordType::TXT,
+                         dnswire::RecordClass::IN});
+  m.answers.push_back(dnswire::make_txt(name("o-o.myaddr.l.google.com"), "192.0.2.33"));
+  m.answers.push_back(dnswire::make_a(name("example.com"), netbase::Ipv4Address(192, 0, 2, 1)));
+  m.answers.push_back(dnswire::make_cname(name("www.example.com"), name("example.com")));
+  dnswire::SoaRecord soa{name("ns1.example.com"), name("hostmaster.example.com"),
+                         2021, 7200, 900, 1209600, 300};
+  m.authorities.push_back({name("example.com"), dnswire::RecordType::SOA,
+                           dnswire::RecordClass::IN, 3600, soa});
+  dnswire::MxRecord mx{10, name("mail.example.com")};
+  m.additionals.push_back({name("example.com"), dnswire::RecordType::MX,
+                           dnswire::RecordClass::IN, 3600, mx});
+  dnswire::SrvRecord srv{0, 5, 853, name("dot.example.com")};
+  m.additionals.push_back({name("_dns._tcp.example.com"), dnswire::RecordType::SRV,
+                           dnswire::RecordClass::IN, 300, srv});
+  dnswire::OptRecord opt;
+  opt.udp_payload_size = 4096;
+  m.additionals.push_back({name("."), dnswire::RecordType::OPT, dnswire::RecordClass::IN,
+                           0, opt});
+  return dnswire::encode_message(m, {.compress_names = compress});
+}
+
+/// Hand-crafted header + QNAME whose compression pointer points at itself.
+std::vector<std::uint8_t> pointer_loop() {
+  std::vector<std::uint8_t> wire = {0xab, 0xcd, 0x01, 0x00, 0x00, 0x01,
+                                    0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.push_back(0xc0);  // pointer ...
+  wire.push_back(0x0c);  // ... to itself (offset 12)
+  wire.push_back(0x00);  // qtype/qclass
+  wire.push_back(0x01);
+  wire.push_back(0x00);
+  wire.push_back(0x01);
+  return wire;
+}
+
+/// QNAME with reserved label bits (01) — the bad_label path.
+std::vector<std::uint8_t> reserved_label_bits() {
+  std::vector<std::uint8_t> wire = {0x00, 0x02, 0x00, 0x00, 0x00, 0x01,
+                                    0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.push_back(0x40);  // label type 01: reserved
+  wire.push_back('x');
+  wire.push_back(0x00);
+  return wire;
+}
+
+std::string journal_text() {
+  atlas::JournalHeader header;
+  header.fingerprint = 0x0123456789abcdefull;
+  header.fleet_size = 3;
+  fs::path tmp = fs::temp_directory_path() / "dnslocate_gen_seeds_journal.jsonl";
+  {
+    atlas::JournalWriter writer(tmp.string(), header);
+    atlas::ProbeRecord ok;
+    ok.probe_id = 1;
+    ok.org.asn = 7922;
+    ok.tested_v6 = true;
+    ok.elapsed = std::chrono::microseconds(4242);
+    writer.append(ok);
+    atlas::ProbeRecord failed;
+    failed.probe_id = 2;
+    failed.outcome = atlas::ProbeOutcome::failed;
+    failed.error = "transport exploded";
+    writer.append(failed);
+    atlas::ProbeRecord late;
+    late.probe_id = 3;
+    late.outcome = atlas::ProbeOutcome::deadline_exceeded;
+    late.verdict.skipped_stages = 0x18;  // replication + transparency bits
+    writer.append(late);
+    writer.sync();
+  }
+  std::ifstream in(tmp, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  fs::remove(tmp);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: gen_seeds <corpus-root>\n");
+    return 2;
+  }
+  fs::path root(argv[1]);
+  fs::create_directories(root / "dnswire");
+  fs::create_directories(root / "journal");
+
+  // --- dnswire seeds -------------------------------------------------------
+  write_bytes(root / "dnswire" / "query_a.bin", query_example());
+  write_bytes(root / "dnswire" / "response_compressed.bin", response_all_types(true));
+  write_bytes(root / "dnswire" / "response_uncompressed.bin", response_all_types(false));
+  std::vector<std::uint8_t> truncated = response_all_types(true);
+  truncated.resize(truncated.size() * 3 / 5);
+  write_bytes(root / "dnswire" / "response_truncated.bin", truncated);
+  write_bytes(root / "dnswire" / "pointer_loop.bin", pointer_loop());
+  write_bytes(root / "dnswire" / "reserved_label.bin", reserved_label_bits());
+  std::vector<std::uint8_t> trailing = query_example();
+  trailing.insert(trailing.end(), {0xde, 0xad, 0xbe, 0xef});
+  write_bytes(root / "dnswire" / "query_trailing_bytes.bin", trailing);
+  write_bytes(root / "dnswire" / "header_only.bin",
+              {0x00, 0x01, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00});
+
+  // --- journal seeds -------------------------------------------------------
+  std::string intact = journal_text();
+  write_text(root / "journal" / "intact.jsonl", intact);
+  write_text(root / "journal" / "truncated_tail.jsonl",
+             intact.substr(0, intact.size() - intact.size() / 4));
+  std::string flipped = intact;
+  flipped[intact.size() / 2] ^= 0x20;  // corrupt one record body mid-file
+  write_text(root / "journal" / "bitflip_body.jsonl", flipped);
+  std::string bad_header = intact;
+  bad_header[10] ^= 0x01;  // corrupt the header line
+  write_text(root / "journal" / "bitflip_header.jsonl", bad_header);
+  write_text(root / "journal" / "header_only.jsonl",
+             intact.substr(0, intact.find('\n') + 1));
+
+  std::printf("gen_seeds: corpora written under %s\n", root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Corpus-replay driver used when the toolchain has no libFuzzer (GCC).
+// Mirrors libFuzzer's file-replay CLI shape: every non-flag argument is a
+// corpus file or directory, flags (-runs=0, -max_total_time=30, ...) are
+// ignored, and each input is fed once to LLVMFuzzerTestOneInput. With
+// -mutate=N (also understood, and harmlessly warned about, by libFuzzer)
+// each input is additionally replayed N times with deterministic splitmix64
+// bit flips — a seedable smoke approximation of a short fuzzing run.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  long mutations = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      if (std::strncmp(argv[i], "-mutate=", 8) == 0) mutations = std::atol(argv[i] + 8);
+      continue;  // ignore libFuzzer-style flags
+    }
+    std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p))
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+    } else {
+      inputs.push_back(p);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());  // deterministic replay order
+
+  std::size_t executed = 0;
+  for (const auto& path : inputs) {
+    std::vector<std::uint8_t> bytes = read_file(path);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++executed;
+    // Deterministic neighbourhood: flip 1-4 bits per round, seeded only by
+    // the input length and round index so runs are reproducible everywhere.
+    for (long round = 0; round < mutations; ++round) {
+      std::vector<std::uint8_t> mutated = bytes;
+      if (mutated.empty()) break;
+      std::uint64_t state = 0x6a09e667f3bcc908ull ^ (mutated.size() * 0x10001u) ^
+                            static_cast<std::uint64_t>(round);
+      std::uint64_t flips = 1 + (splitmix64(state) & 3);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        std::uint64_t r = splitmix64(state);
+        mutated[r % mutated.size()] ^= static_cast<std::uint8_t>(1u << ((r >> 32) & 7));
+      }
+      LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+      ++executed;
+    }
+  }
+  std::printf("standalone fuzz driver: executed %zu input(s) from %zu file(s)\n", executed,
+              inputs.size());
+  return 0;
+}

@@ -79,7 +79,8 @@ class Reader {
       expanded += 1u + len;
       if (expanded > kMaxNameLength)
         return fail(DecodeError::Code::name_too_long, "name > 255 octets");
-      labels.emplace_back(reinterpret_cast<const char*>(wire_.data() + cursor + 1), len);
+      auto body = wire_.subspan(cursor + 1, len);
+      labels.emplace_back(body.begin(), body.end());
       cursor += 1u + len;
     }
 
@@ -124,7 +125,7 @@ bool decode_rdata(Reader& r, RecordType type, std::uint16_t rdlength, Rdata& out
           return r.fail(DecodeError::Code::bad_rdata, "TXT string overruns rdata");
         std::span<const std::uint8_t> b;
         if (!r.bytes(len, b)) return false;
-        txt.strings.emplace_back(reinterpret_cast<const char*>(b.data()), b.size());
+        txt.strings.emplace_back(b.begin(), b.end());
       }
       // RFC 1035 requires at least one character-string.
       if (txt.strings.empty())

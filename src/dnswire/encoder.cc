@@ -1,10 +1,24 @@
 #include "dnswire/encoder.h"
 
 #include <map>
+#include <stdexcept>
 #include <string>
 
 namespace dnslocate::dnswire {
 namespace {
+
+/// Checked narrowing for wire fields. Counts, character-string lengths, and
+/// RDLENGTH are u8/u16 on the wire; a value that does not fit is an
+/// unencodable message, never a silent truncation (a truncated RDLENGTH
+/// would desynchronize every later record in the message).
+std::uint16_t checked_u16(std::size_t v, const char* field) {
+  if (v > 0xffff) throw std::length_error(std::string(field) + " exceeds 65535");
+  return static_cast<std::uint16_t>(v);
+}
+std::uint8_t checked_u8(std::size_t v, const char* field) {
+  if (v > 0xff) throw std::length_error(std::string(field) + " exceeds 255");
+  return static_cast<std::uint8_t>(v);
+}
 
 /// Append helpers over a byte vector.
 class Writer {
@@ -51,14 +65,14 @@ class Compressor {
         auto it = offsets_.find(key);
         if (it != offsets_.end()) {
           // Pointer: two bytes, top bits 11.
-          w.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+          w.u16(static_cast<std::uint16_t>(0xc000 | it->second));  // offset < 0x4000 by construction
           return;
         }
         // Compression pointers can only address offsets < 0x4000.
         if (w.size() < 0x4000) offsets_.emplace(std::move(key), w.size());
       }
       const std::string& label = labels[i];
-      w.u8(static_cast<std::uint8_t>(label.size()));
+      w.u8(checked_u8(label.size(), "label length"));
       w.text(label);
     }
     w.u8(0);  // root
@@ -94,7 +108,7 @@ void write_rdata(Writer& w, Compressor& compressor, const ResourceRecord& rr) {
           w.bytes(rd.address.bytes());
         } else if constexpr (std::is_same_v<T, TxtRecord>) {
           for (const auto& s : rd.strings) {
-            w.u8(static_cast<std::uint8_t>(s.size()));
+            w.u8(checked_u8(s.size(), "TXT character-string length"));
             w.text(s);
           }
         } else if constexpr (std::is_same_v<T, CnameRecord>) {
@@ -128,7 +142,7 @@ void write_rdata(Writer& w, Compressor& compressor, const ResourceRecord& rr) {
         }
       },
       rr.rdata);
-  w.patch_u16(len_offset, static_cast<std::uint16_t>(w.size() - start));
+  w.patch_u16(len_offset, checked_u16(w.size() - start, "RDLENGTH"));
 }
 
 void write_record(Writer& w, Compressor& compressor, const ResourceRecord& rr) {
@@ -155,10 +169,10 @@ std::vector<std::uint8_t> encode_message(const Message& message, EncodeOptions o
 
   w.u16(message.id);
   w.u16(message.flags.to_wire());
-  w.u16(static_cast<std::uint16_t>(message.questions.size()));
-  w.u16(static_cast<std::uint16_t>(message.answers.size()));
-  w.u16(static_cast<std::uint16_t>(message.authorities.size()));
-  w.u16(static_cast<std::uint16_t>(message.additionals.size()));
+  w.u16(checked_u16(message.questions.size(), "QDCOUNT"));
+  w.u16(checked_u16(message.answers.size(), "ANCOUNT"));
+  w.u16(checked_u16(message.authorities.size(), "NSCOUNT"));
+  w.u16(checked_u16(message.additionals.size(), "ARCOUNT"));
 
   for (const auto& q : message.questions) {
     compressor.write_name(w, q.name);

@@ -17,7 +17,10 @@ struct EncodeOptions {
 };
 
 /// Encode a message to wire format. Inputs are assumed validated (DnsName
-/// enforces label/name limits at construction), so encoding cannot fail.
+/// enforces label/name limits at construction). Wire fields are narrowed
+/// with bounds checks: a message whose section counts, TXT character-string
+/// lengths, or RDATA sizes exceed their u8/u16 wire width throws
+/// std::length_error rather than silently truncating.
 std::vector<std::uint8_t> encode_message(const Message& message, EncodeOptions options = {});
 
 /// Encode a bare name, uncompressed — used by tests and the zone store.

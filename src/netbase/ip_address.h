@@ -55,7 +55,6 @@ class IpAddress {
 template <>
 struct std::hash<dnslocate::netbase::IpAddress> {
   std::size_t operator()(const dnslocate::netbase::IpAddress& a) const noexcept {
-    using namespace dnslocate::netbase;
     if (a.is_v4()) return std::hash<std::uint32_t>{}(a.v4().value());
     std::size_t h = 0x9e3779b97f4a7c15ull;
     for (auto b : a.v6().bytes()) h = (h ^ b) * 0x100000001b3ull;

@@ -35,8 +35,8 @@ void DnsForwarderApp::on_datagram(simnet::Simulator& sim, simnet::Device& self,
 void DnsForwarderApp::handle_client_query(simnet::Simulator& sim, simnet::Device& self,
                                           const simnet::UdpPacket& packet,
                                           const dnswire::Message& query) {
-  Pending direct{packet.src,  packet.sport, packet.dst,     query.id,
-                 sim.now(),   packet.dport, packet.channel};
+  Pending direct{packet.src,  packet.sport, packet.dst, query.id,
+                 sim.now(),   packet.dport, packet.channel, false, {}};
   const dnswire::Question* question = query.question();
   if (!question) {
     reply_to_client(sim, self, direct, dnswire::make_response(query, dnswire::Rcode::FORMERR));
@@ -160,7 +160,9 @@ void DnsForwarderApp::forward_upstream(simnet::Simulator& sim, simnet::Device& s
                                   query.id,
                                   sim.now() + config_.pending_timeout,
                                   packet.dport,
-                                  packet.channel};
+                                  packet.channel,
+                                  false,
+                                  {}};
 
   dnswire::Message upstream_query = query;
   upstream_query.id = upstream_id;

@@ -11,7 +11,8 @@ namespace dnslocate::simnet {
 using SimTime = std::chrono::nanoseconds;
 using SimDuration = std::chrono::nanoseconds;
 
-using namespace std::chrono_literals;  // NOLINT: ergonomic for 5ms-style literals
+// dnslint: allow(header-hygiene): chrono_literals is a std-sanctioned literals-only namespace; importing it keeps 5ms-style durations readable tree-wide
+using namespace std::chrono_literals;  // NOLINT
 
 inline constexpr SimTime kSimStart{0};
 

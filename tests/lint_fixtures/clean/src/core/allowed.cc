@@ -1,0 +1,15 @@
+// Fixture: reasoned suppressions silence findings — same line and
+// line-above forms both count.
+#include <cstdlib>
+#include <random>
+
+namespace dnslocate::fixture {
+
+int justified() {
+  int a = rand();  // dnslint: allow(determinism): fixture exercises the same-line allow form
+  // dnslint: allow(determinism): fixture exercises the line-above allow form
+  std::mt19937 engine;
+  return a + static_cast<int>(engine());
+}
+
+}  // namespace dnslocate::fixture

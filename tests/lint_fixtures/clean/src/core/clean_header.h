@@ -1,0 +1,10 @@
+// Fixture: a hygienic header — #pragma once, qualified names only.
+#pragma once
+
+#include <string>
+
+namespace dnslocate::fixture {
+
+inline std::string greet(const std::string& name) { return "hello " + name; }
+
+}  // namespace dnslocate::fixture

@@ -1,0 +1,31 @@
+// Fixture: idiomatic dnslocate code the linter must NOT flag — seeded
+// entropy, monotonic clocks, RAII file handles, and rule-pattern lookalikes
+// hidden in comments, strings, and identifiers.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace dnslocate::fixture {
+
+// Commented-out violations stay invisible to the token scan:
+//   std::random_device dev; rand(); poll(&pfd, 1, -1);
+
+struct Closer {
+  std::ofstream log;
+  void finish() { log.close(); }  // member .close() is RAII, not a naked close()
+};
+
+std::string benign(std::uint64_t seed) {
+  auto t0 = std::chrono::steady_clock::now();  // monotonic: allowed
+  int random_seed = static_cast<int>(seed);    // ident contains "rand": allowed
+  std::string note = "never call rand() or memcpy() on wire bytes";  // string literal
+  std::FILE* f = std::fopen("/dev/null", "we");
+  if (f) std::fclose(f);  // fclose is not close()
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  return note + std::to_string(random_seed) +
+         std::to_string(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+}  // namespace dnslocate::fixture

@@ -1,0 +1,23 @@
+// Fixture: every determinism (R1) pattern must fire.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace dnslocate::fixture {
+
+unsigned ambient_entropy() {
+  std::random_device dev;                       // finding: random_device
+  std::mt19937 unseeded;                        // finding: unseeded engine
+  std::mt19937_64 braced{};                     // finding: unseeded engine
+  srand(42);                                    // finding: srand()
+  unsigned mix = static_cast<unsigned>(rand()); // finding: rand()
+  auto wall = std::chrono::system_clock::now(); // finding: system_clock
+  auto stamp = std::time(nullptr);              // finding: wall-clock time()
+  return mix ^ dev() ^ static_cast<unsigned>(unseeded()) ^
+         static_cast<unsigned>(braced()) ^
+         static_cast<unsigned>(wall.time_since_epoch().count()) ^
+         static_cast<unsigned>(stamp);
+}
+
+}  // namespace dnslocate::fixture

@@ -1,0 +1,16 @@
+// Fixture: every header-hygiene (R4) pattern must fire — legacy include
+// guard instead of #pragma once, plus a namespace-polluting directive.
+#ifndef BAD_HEADER_H_
+#define BAD_HEADER_H_
+
+#include <string>
+
+using namespace std;  // finding: using namespace in a header
+
+namespace dnslocate::fixture {
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace dnslocate::fixture
+
+#endif  // BAD_HEADER_H_

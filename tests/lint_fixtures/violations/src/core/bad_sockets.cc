@@ -1,0 +1,19 @@
+// Fixture: every raii-sockets (R3) pattern must fire (path is outside
+// src/sockets/).
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dnslocate::fixture {
+
+int leaky_probe() {
+  int fd = socket(AF_INET, SOCK_DGRAM, 0);   // finding: naked socket()
+  pollfd pfd{fd, POLLIN, 0};
+  poll(&pfd, 1, -1);                          // findings: naked poll() + infinite timeout
+  char buf[512];
+  recvfrom(fd, buf, sizeof buf, 0, nullptr, nullptr);  // finding: naked recvfrom()
+  ::close(fd);                                // finding: naked close()
+  return fd;
+}
+
+}  // namespace dnslocate::fixture

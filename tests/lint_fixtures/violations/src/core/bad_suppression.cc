@@ -1,0 +1,14 @@
+// Fixture: suppressions that do not follow the policy are findings
+// themselves — a reason string is mandatory and the rule must exist.
+#include <cstdlib>
+
+namespace dnslocate::fixture {
+
+int sloppy_allows() {
+  int a = rand();  // dnslint: allow(determinism)
+  // dnslint: allow(make-it-stop): rule does not exist
+  int b = rand();
+  return a + b;
+}
+
+}  // namespace dnslocate::fixture

@@ -1,0 +1,17 @@
+// Fixture: every wire-bounds (R2) pattern must fire (path is src/dnswire/).
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dnslocate::fixture {
+
+std::string sloppy_parse(const std::vector<std::uint8_t>& wire) {
+  std::uint16_t id = 0;
+  std::memcpy(&id, wire.data(), 2);                          // finding: memcpy
+  const char* raw = reinterpret_cast<const char*>(wire.data()); // finding: reinterpret_cast
+  const std::uint8_t* past_header = wire.data() + 12;        // finding: .data() arithmetic
+  return std::string(raw, 2) + std::to_string(id) + std::to_string(*past_header);
+}
+
+}  // namespace dnslocate::fixture

@@ -1,0 +1,12 @@
+// Fixture: the deadline half of R3 applies even inside the src/sockets/
+// owners — an infinite poll() can hang a probe forever.
+#include <poll.h>
+
+namespace dnslocate::fixture {
+
+int wait_forever(int fd) {
+  pollfd pfd{fd, POLLIN, 0};
+  return ::poll(&pfd, 1, -1);  // finding: poll() with infinite timeout
+}
+
+}  // namespace dnslocate::fixture

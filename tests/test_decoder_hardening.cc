@@ -284,11 +284,14 @@ TEST(DecoderProperty, TruncationAtEveryByteBoundaryIsSafe) {
   for (int i = 0; i < 25; ++i) {
     auto wire = encode_message(corpus.random_message(), {.compress_names = true});
     for (std::size_t cut = 0; cut < wire.size(); ++cut) {
-      std::vector<std::uint8_t> prefix(wire.begin(), wire.begin() + cut);
+      std::vector<std::uint8_t> prefix(wire.begin(),
+                                       wire.begin() + static_cast<std::ptrdiff_t>(cut));
       // Must never crash or over-read; most prefixes fail, some short ones
       // happen to parse — either way the result is well-formed.
       auto decoded = decode_message(prefix);
-      if (cut < 12) EXPECT_FALSE(decoded.has_value()) << "header cannot fit in " << cut;
+      if (cut < 12) {
+        EXPECT_FALSE(decoded.has_value()) << "header cannot fit in " << cut;
+      }
     }
   }
 }

@@ -1,0 +1,167 @@
+// dnslint's own tests: every rule R1-R4 fires on its fixture, suppressions
+// with reasons are honoured, reasonless/unknown allows are findings, and
+// clean code stays clean. Fixture trees live under tests/lint_fixtures/
+// (DNSLINT_FIXTURES points there; the same trees gate the CLI via the
+// dnslint_fixture_* ctest entries).
+#include "dnslint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lint = dnslocate::lint;
+
+namespace {
+
+std::vector<lint::Finding> lint_tree(const std::string& root) {
+  std::vector<std::string> files = lint::discover_sources(root, "");
+  return lint::lint_paths(root, files);
+}
+
+std::set<std::string> rules_fired(const std::vector<lint::Finding>& findings) {
+  std::set<std::string> rules;
+  for (const auto& f : findings) rules.insert(f.rule);
+  return rules;
+}
+
+std::size_t count_rule(const std::vector<lint::Finding>& findings, std::string_view rule,
+                       std::string_view path_fragment = "") {
+  return static_cast<std::size_t>(std::count_if(findings.begin(), findings.end(), [&](const auto& f) {
+    return f.rule == rule && f.path.find(path_fragment) != std::string::npos;
+  }));
+}
+
+const std::string kViolations = std::string(DNSLINT_FIXTURES) + "/violations";
+const std::string kClean = std::string(DNSLINT_FIXTURES) + "/clean";
+
+TEST(DnslintFixtures, EveryRuleFiresOnViolationTree) {
+  auto findings = lint_tree(kViolations);
+  auto rules = rules_fired(findings);
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleDeterminism)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleWireBounds)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleRaiiSockets)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleHeaderHygiene)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleBadSuppression)));
+}
+
+TEST(DnslintFixtures, DeterminismCatchesEveryEntropySource) {
+  auto findings = lint_tree(kViolations);
+  // random_device, two unseeded engines, srand, rand, system_clock, time().
+  EXPECT_GE(count_rule(findings, lint::kRuleDeterminism, "bad_determinism"), 7u);
+}
+
+TEST(DnslintFixtures, WireBoundsCatchesRawAccess) {
+  auto findings = lint_tree(kViolations);
+  // memcpy, reinterpret_cast, .data() arithmetic (x2: memcpy line + raw line).
+  EXPECT_GE(count_rule(findings, lint::kRuleWireBounds, "bad_wire"), 3u);
+}
+
+TEST(DnslintFixtures, RaiiSocketsCatchesNakedCallsAndInfinitePoll) {
+  auto findings = lint_tree(kViolations);
+  EXPECT_GE(count_rule(findings, lint::kRuleRaiiSockets, "bad_sockets"), 4u);
+  // The deadline half applies inside src/sockets/ too...
+  EXPECT_EQ(count_rule(findings, lint::kRuleRaiiSockets, "bad_poll"), 1u);
+}
+
+TEST(DnslintFixtures, HeaderHygieneCatchesGuardAndUsingNamespace) {
+  auto findings = lint_tree(kViolations);
+  EXPECT_GE(count_rule(findings, lint::kRuleHeaderHygiene, "bad_header"), 3u);
+}
+
+TEST(DnslintFixtures, BadSuppressionsAreFindings) {
+  auto findings = lint_tree(kViolations);
+  // Reasonless allow + unknown rule; and the reasonless allow does NOT
+  // suppress, so the rand() beneath it still fires.
+  EXPECT_GE(count_rule(findings, lint::kRuleBadSuppression, "bad_suppression"), 2u);
+  EXPECT_GE(count_rule(findings, lint::kRuleDeterminism, "bad_suppression"), 1u);
+}
+
+TEST(DnslintFixtures, CleanTreeIsClean) {
+  auto findings = lint_tree(kClean);
+  for (const auto& f : findings) ADD_FAILURE() << f.to_string();
+  EXPECT_TRUE(findings.empty());
+}
+
+// ------------------------------------------------------------------------
+// Inline-content cases: scoping and scrubbing behaviour pinned precisely.
+
+TEST(DnslintRules, RulesAreScopedByPath) {
+  const std::string wire_sin = "void f(char* d, const char* s) { memcpy(d, s, 4); }\n";
+  // memcpy is only a finding under src/dnswire/.
+  EXPECT_EQ(lint::lint_file("src/dnswire/x.cc", wire_sin).size(), 1u);
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", wire_sin).empty());
+  EXPECT_TRUE(lint::lint_file("tests/x.cc", wire_sin).empty());
+
+  const std::string socket_sin = "int f() { return socket(2, 2, 0); }\n";
+  EXPECT_EQ(lint::lint_file("src/core/x.cc", socket_sin).size(), 1u);
+  EXPECT_TRUE(lint::lint_file("src/sockets/x.cc", socket_sin).empty());
+}
+
+TEST(DnslintRules, SeamFilesMayTouchEntropyAndClock) {
+  const std::string seam = "#include <random>\nstd::random_device dev;\n";
+  EXPECT_TRUE(lint::lint_file("src/simnet/rng.cc", seam).empty());
+  EXPECT_TRUE(lint::lint_file("src/obs/clock.cc", seam).empty());
+  EXPECT_FALSE(lint::lint_file("src/core/detector.cc", seam).empty());
+}
+
+TEST(DnslintRules, ScrubberIgnoresCommentsStringsAndRawStrings) {
+  const std::string hidden =
+      "// rand() in a comment\n"
+      "/* std::random_device in a block\n   comment */\n"
+      "const char* s = \"rand() memcpy( system_clock\";\n"
+      "const char* r = R\"(rand() poll(x, -1))\";\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", hidden).empty());
+}
+
+TEST(DnslintRules, SuppressionNeedsMatchingRuleAndLine) {
+  // allow(wire-bounds) does not silence a determinism finding.
+  const std::string wrong_rule =
+      "int x = rand();  // dnslint: allow(wire-bounds): wrong rule\n";
+  auto findings = lint::lint_file("src/core/x.cc", wrong_rule);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, std::string(lint::kRuleDeterminism));
+
+  // A line-above allow does not reach two lines down.
+  const std::string too_far =
+      "// dnslint: allow(determinism): only covers the next line\n"
+      "int a = 0;\n"
+      "int b = rand();\n";
+  EXPECT_EQ(lint::lint_file("src/core/x.cc", too_far).size(), 1u);
+}
+
+TEST(DnslintRules, FindingsCarryFileLineAndRule) {
+  const std::string content = "int a;\nint b = rand();\n";
+  auto findings = lint::lint_file("src/core/x.cc", content);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+  EXPECT_EQ(findings[0].path, "src/core/x.cc");
+  EXPECT_NE(findings[0].to_string().find("src/core/x.cc:2: error: [determinism]"),
+            std::string::npos);
+}
+
+TEST(DnslintRules, MemberCallsAndQualifiedLookalikesAreNotFlagged) {
+  const std::string benign =
+      "auto t = sim.time();\n"            // member time() is sim time
+      "stream.close();\n"                 // RAII close
+      "auto v = obj->poll();\n"           // member poll
+      "int fclose_result = std::fclose(f);\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", benign).empty());
+}
+
+TEST(DnslintDiscovery, WalksHeadersAndSources) {
+  auto files = lint::discover_sources(kViolations, "");
+  ASSERT_FALSE(files.empty());
+  bool has_header = false, has_source = false;
+  for (const auto& f : files) {
+    if (f.find("bad_header.h") != std::string::npos) has_header = true;
+    if (f.find("bad_wire.cc") != std::string::npos) has_source = true;
+  }
+  EXPECT_TRUE(has_header);
+  EXPECT_TRUE(has_source);
+}
+
+}  // namespace

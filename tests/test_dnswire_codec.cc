@@ -304,5 +304,38 @@ TEST_P(CodecProperty, RandomMessagesRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// Wire fields are narrowed with bounds checks: values that cannot fit a
+// u8/u16 field make the message unencodable instead of silently truncating
+// (a wrong RDLENGTH would desynchronize every later record).
+TEST(Encoder, OversizedTxtCharacterStringThrows) {
+  Message m;
+  TxtRecord txt;
+  txt.strings.push_back(std::string(256, 'x'));  // character-strings cap at 255
+  m.answers.push_back({*DnsName::parse("big.example.com"), RecordType::TXT,
+                       RecordClass::IN, 300, txt});
+  EXPECT_THROW((void)encode_message(m), std::length_error);
+}
+
+TEST(Encoder, OversizedRdataThrows) {
+  Message m;
+  RawRecord raw;
+  raw.data.assign(65536, 0xaa);  // RDLENGTH is u16
+  m.answers.push_back({*DnsName::parse("blob.example.com"), static_cast<RecordType>(10),
+                       RecordClass::IN, 300, raw});
+  EXPECT_THROW((void)encode_message(m), std::length_error);
+}
+
+TEST(Encoder, InRangeRdlengthStaysExact) {
+  Message m;
+  RawRecord raw;
+  raw.data.assign(65535, 0xaa);  // largest encodable RDATA
+  m.answers.push_back({*DnsName::parse("blob.example.com"), static_cast<RecordType>(10),
+                       RecordClass::IN, 300, raw});
+  auto wire = encode_message(m);
+  auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, m);
+}
+
 }  // namespace
 }  // namespace dnslocate::dnswire

@@ -28,9 +28,10 @@ TEST(PipelineScenarios, CleanPathIsNotIntercepted) {
   EXPECT_FALSE(verdict.detection.any_intercepted());
   // All sixteen v4 location probes must have standard answers.
   for (const auto& probe : verdict.detection.probes) {
-    if (probe.family == netbase::IpFamily::v4)
+    if (probe.family == netbase::IpFamily::v4) {
       EXPECT_EQ(probe.verdict, core::LocationVerdict::standard)
           << to_string(probe.kind) << " answered " << probe.display;
+    }
   }
 }
 

@@ -35,8 +35,8 @@ struct ServerWorld {
   ServerWorld()
       : client(sim.add_device<simnet::Device>("client")),
         server(sim.add_device<simnet::Device>("server")) {
-    auto [c_up, s_down] = sim.connect(client, server,
-                                      {.latency = std::chrono::milliseconds(1)});
+    auto [c_up, s_down] = sim.connect(
+        client, server, {.latency = std::chrono::milliseconds(1), .fault_class = {}});
     client.add_local_ip(ip("10.0.0.1"));
     client.set_default_route(c_up);
     server.add_local_ip(ip("10.0.0.53"));

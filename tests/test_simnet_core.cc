@@ -134,7 +134,8 @@ struct TwoHosts {
 
   TwoHosts()
       : a(sim.add_device<Device>("a")), b(sim.add_device<Device>("b")) {
-    auto [ap, bp] = sim.connect(a, b, {.latency = std::chrono::milliseconds(5)});
+    auto [ap, bp] =
+        sim.connect(a, b, {.latency = std::chrono::milliseconds(5), .fault_class = {}});
     a_port = ap;
     b_port = bp;
     a.add_local_ip(*netbase::IpAddress::parse("10.0.0.1"));
@@ -264,7 +265,8 @@ TEST(Device, LinkLossDropsDeterministically) {
   auto& a = sim.add_device<Device>("a");
   auto& b = sim.add_device<Device>("b");
   auto [a_p, b_p] = sim.connect(a, b, {.latency = std::chrono::milliseconds(1),
-                                       .loss_rate = 0.5});
+                                       .loss_rate = 0.5,
+                                       .fault_class = {}});
   (void)b_p;
   a.add_local_ip(*netbase::IpAddress::parse("10.0.0.1"));
   b.add_local_ip(*netbase::IpAddress::parse("10.0.0.2"));
@@ -284,7 +286,8 @@ TEST(Device, LinkLossDropsDeterministically) {
   auto& a2 = sim2.add_device<Device>("a");
   auto& b2 = sim2.add_device<Device>("b");
   auto [a2_p, b2_p] = sim2.connect(a2, b2, {.latency = std::chrono::milliseconds(1),
-                                            .loss_rate = 0.5});
+                                            .loss_rate = 0.5,
+                                            .fault_class = {}});
   (void)b2_p;
   a2.add_local_ip(*netbase::IpAddress::parse("10.0.0.1"));
   b2.add_local_ip(*netbase::IpAddress::parse("10.0.0.2"));

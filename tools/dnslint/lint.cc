@@ -1,0 +1,534 @@
+#include "dnslint/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+#include "jsonio/json.h"
+
+namespace dnslocate::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// A comment extracted during scrubbing (directives live in comments).
+struct CommentSpan {
+  std::size_t line = 0;  // 1-based line of the comment's first character
+  bool owns_line = false;  // nothing but whitespace precedes it on that line
+  std::string text;
+};
+
+/// Source with comment/string/char-literal bodies blanked to spaces.
+/// Same length and line structure as the input, so token scans cannot be
+/// fooled by quoted or commented-out code.
+struct Scrubbed {
+  std::string code;
+  std::vector<CommentSpan> comments;
+};
+
+Scrubbed scrub(std::string_view src) {
+  Scrubbed out;
+  out.code.assign(src.size(), ' ');
+  enum class State { code, line_comment, block_comment, str, chr, raw_str };
+  State state = State::code;
+  std::size_t line = 1;
+  std::size_t line_start = 0;  // offset of the current line's first char
+  CommentSpan current;
+  std::string raw_delim;  // for raw string literals: the )delim" terminator
+
+  auto line_owned = [&](std::size_t begin) {
+    for (std::size_t j = line_start; j < begin; ++j) {
+      char c = src[j];
+      if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::code:
+        if (c == '/' && next == '/') {
+          state = State::line_comment;
+          current = CommentSpan{line, line_owned(i), ""};
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::block_comment;
+          current = CommentSpan{line, line_owned(i), ""};
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? Look back for R prefix.
+          if (i > 0 && src[i - 1] == 'R' && (i < 2 || !is_ident_char(src[i - 2]))) {
+            state = State::raw_str;
+            raw_delim = ")";
+            for (std::size_t j = i + 1; j < src.size() && src[j] != '('; ++j)
+              raw_delim.push_back(src[j]);
+            raw_delim.push_back('"');
+            out.code[i] = '"';
+          } else {
+            state = State::str;
+            out.code[i] = '"';
+          }
+        } else if (c == '\'') {
+          // Distinguish char literals from digit separators (1'000'000).
+          if (i > 0 && is_ident_char(src[i - 1]) && is_ident_char(next)) {
+            out.code[i] = c;  // digit separator: keep
+          } else {
+            state = State::chr;
+            out.code[i] = '\'';
+          }
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case State::line_comment:
+        if (c == '\n') {
+          state = State::code;
+          out.comments.push_back(std::move(current));
+        } else {
+          current.text.push_back(c);
+        }
+        break;
+      case State::block_comment:
+        if (c == '*' && next == '/') {
+          state = State::code;
+          out.comments.push_back(std::move(current));
+          ++i;
+        } else {
+          current.text.push_back(c);
+        }
+        break;
+      case State::str:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::code;
+          out.code[i] = '"';
+        }
+        break;
+      case State::chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::code;
+          out.code[i] = '\'';
+        }
+        break;
+      case State::raw_str:
+        if (c == ')' && src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::code;
+          out.code[i] = '"';
+        }
+        break;
+    }
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      line_start = i + 1;
+    }
+  }
+  if (state == State::line_comment || state == State::block_comment)
+    out.comments.push_back(std::move(current));
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Find `word` as a whole identifier in `line`, starting at `from`.
+std::size_t find_ident(std::string_view line, std::string_view word, std::size_t from = 0) {
+  while (from < line.size()) {
+    std::size_t pos = line.find(word, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    std::size_t end = pos + word.size();
+    bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t skip_ws(std::string_view line, std::size_t pos) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  return pos;
+}
+
+/// Is the identifier at [pos, pos+len) called as a function (next token '(')?
+bool is_call(std::string_view line, std::size_t pos, std::size_t len) {
+  std::size_t after = skip_ws(line, pos + len);
+  return after < line.size() && line[after] == '(';
+}
+
+/// Is the identifier at `pos` a member access (`x.foo`, `x->foo`)? A plain
+/// `::foo` (global namespace) still counts as a bare call.
+bool is_member_access(std::string_view line, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t')) --i;
+  if (i == 0) return false;
+  if (line[i - 1] == '.') {
+    // Rule out floating literals like `1.close` (nonsense) — treat any '.'
+    // as member access.
+    return true;
+  }
+  if (line[i - 1] == '>' && i >= 2 && line[i - 2] == '-') return true;
+  return false;
+}
+
+/// Is the identifier at `pos` qualified by something other than the global
+/// namespace (e.g. `std::time`, `obj::time`)? Returns the qualifier.
+std::string_view qualifier(std::string_view line, std::size_t pos) {
+  if (pos < 2 || line[pos - 1] != ':' || line[pos - 2] != ':') return {};
+  std::size_t end = pos - 2;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(line[begin - 1])) --begin;
+  return line.substr(begin, end - begin);
+}
+
+struct Suppression {
+  std::string rule;
+  bool used = false;
+};
+
+struct Directives {
+  // line (1-based) -> suppressions covering that line
+  std::vector<std::pair<std::size_t, Suppression>> allows;
+  std::vector<Finding> errors;  // bad-suppression findings
+};
+
+constexpr std::array<std::string_view, 4> kKnownRules = {
+    kRuleDeterminism, kRuleWireBounds, kRuleRaiiSockets, kRuleHeaderHygiene};
+
+Directives parse_directives(std::string_view path, const Scrubbed& s) {
+  static const std::regex kDirective(
+      R"(dnslint:\s*allow\(([A-Za-z0-9_-]+)\)(\s*:\s*(\S[^]*?))?\s*$)");
+  Directives out;
+  for (const CommentSpan& c : s.comments) {
+    std::size_t mention = c.text.find("dnslint:");
+    if (mention == std::string::npos) continue;
+    std::smatch m;
+    std::string text = c.text;
+    if (!std::regex_search(text, m, kDirective)) {
+      out.errors.push_back(Finding{std::string(path), c.line, std::string(kRuleBadSuppression),
+                                   "malformed dnslint directive (expected "
+                                   "`dnslint: allow(<rule>): <reason>`)"});
+      continue;
+    }
+    std::string rule = m[1].str();
+    bool known = std::find(kKnownRules.begin(), kKnownRules.end(), rule) != kKnownRules.end();
+    if (!known) {
+      out.errors.push_back(Finding{std::string(path), c.line, std::string(kRuleBadSuppression),
+                                   "allow() names unknown rule '" + rule + "'"});
+      continue;
+    }
+    if (!m[2].matched || m[3].str().empty()) {
+      out.errors.push_back(Finding{std::string(path), c.line, std::string(kRuleBadSuppression),
+                                   "allow(" + rule + ") must carry a reason: "
+                                   "`// dnslint: allow(" + rule + "): <why>`"});
+      continue;
+    }
+    // A directive covers its own line; a comment that owns its line also
+    // covers the line below it.
+    out.allows.emplace_back(c.line, Suppression{rule});
+    if (c.owns_line) out.allows.emplace_back(c.line + 1, Suppression{rule});
+  }
+  return out;
+}
+
+struct PathScope {
+  bool in_src = false;
+  bool in_dnswire = false;
+  bool in_sockets = false;
+  bool is_header = false;
+  bool determinism_seam = false;  // the allowlisted clock/entropy seam
+};
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+PathScope classify_path(std::string_view path) {
+  PathScope scope;
+  scope.in_src = starts_with(path, "src/");
+  scope.in_dnswire = starts_with(path, "src/dnswire/");
+  scope.in_sockets = starts_with(path, "src/sockets/");
+  scope.is_header = path.size() >= 2 && path.substr(path.size() - 2) == ".h";
+  // The seam that is allowed to touch ambient entropy and the wall clock:
+  // simnet's seeded RNG + simulated time, and obs's ScopedClock.
+  scope.determinism_seam = path == "src/simnet/rng.h" || path == "src/simnet/rng.cc" ||
+                           path == "src/simnet/time.h" || path == "src/obs/clock.h" ||
+                           path == "src/obs/clock.cc";
+  return scope;
+}
+
+using Sink = std::vector<Finding>;
+
+void add(Sink& sink, std::string_view path, std::size_t line, std::string_view rule,
+         std::string message) {
+  sink.push_back(Finding{std::string(path), line, std::string(rule), std::move(message)});
+}
+
+// ---------------------------------------------------------------- R1 -------
+
+void check_determinism(std::string_view path, const std::vector<std::string_view>& lines,
+                       Sink& sink) {
+  static const std::regex kUnseededEngine(
+      R"(\b(mt19937(_64)?|default_random_engine|minstd_rand0?|ranlux24|ranlux48)\s+[A-Za-z_]\w*\s*(;|\{\s*\}|\(\s*\)))");
+  static const std::regex kNullTime(R"(\btime\s*\(\s*(nullptr|NULL|0)?\s*\))");
+  constexpr std::array<std::string_view, 3> kBannedIdents = {"random_device", "system_clock",
+                                                             "gettimeofday"};
+  constexpr std::array<std::string_view, 4> kBannedCalls = {"rand", "srand", "rand_r",
+                                                            "drand48"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    std::size_t lineno = i + 1;
+    for (std::string_view ident : kBannedIdents) {
+      if (find_ident(line, ident) != std::string_view::npos)
+        add(sink, path, lineno, kRuleDeterminism,
+            std::string(ident) + " is nondeterministic; route through the seeded "
+            "simnet entropy / obs::ScopedClock seam");
+    }
+    for (std::string_view ident : kBannedCalls) {
+      std::size_t pos = find_ident(line, ident);
+      if (pos != std::string_view::npos && is_call(line, pos, ident.size()) &&
+          !is_member_access(line, pos))
+        add(sink, path, lineno, kRuleDeterminism,
+            std::string(ident) + "() draws ambient entropy; use simnet::Rng "
+            "(seeded) instead");
+    }
+    // std::time(nullptr) and friends read the wall clock.
+    std::size_t pos = find_ident(line, "time");
+    if (pos != std::string_view::npos && !is_member_access(line, pos)) {
+      std::string_view qual = qualifier(line, pos);
+      std::string tail(line.substr(pos));
+      std::smatch m;
+      if (std::regex_search(tail, m, kNullTime) && m.position(0) == 0 &&
+          (qual == "std" || (qual.empty() && m[1].matched)))
+        add(sink, path, lineno, kRuleDeterminism,
+            "time() reads the wall clock; use the sim clock / obs::ScopedClock");
+    }
+    std::string text(line);
+    std::smatch m;
+    if (std::regex_search(text, m, kUnseededEngine))
+      add(sink, path, lineno, kRuleDeterminism,
+          m[1].str() + " constructed without a seed is implementation-seeded; "
+          "pass an explicit seed derived from the probe/scenario seed");
+  }
+}
+
+// ---------------------------------------------------------------- R2 -------
+
+void check_wire_bounds(std::string_view path, const std::vector<std::string_view>& lines,
+                       Sink& sink) {
+  static const std::regex kDataArith(R"(\.\s*data\s*\(\s*\)\s*[+\[])");
+  constexpr std::array<std::string_view, 5> kRawCopies = {"memcpy", "memmove", "strcpy",
+                                                          "strncpy", "alloca"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    std::size_t lineno = i + 1;
+    for (std::string_view ident : kRawCopies) {
+      std::size_t pos = find_ident(line, ident);
+      if (pos != std::string_view::npos && is_call(line, pos, ident.size()))
+        add(sink, path, lineno, kRuleWireBounds,
+            std::string(ident) + "() bypasses the bounds-checked cursor helpers; "
+            "use Reader/Writer primitives (or std::span copies) instead");
+    }
+    if (find_ident(line, "reinterpret_cast") != std::string_view::npos)
+      add(sink, path, lineno, kRuleWireBounds,
+          "reinterpret_cast over wire bytes defeats bounds/type checking; "
+          "construct from a bounds-checked std::span instead");
+    std::string text(line);
+    if (std::regex_search(text, kDataArith))
+      add(sink, path, lineno, kRuleWireBounds,
+          "raw pointer arithmetic on .data(); use subspan()/cursor helpers "
+          "so every access stays bounds-checked");
+  }
+}
+
+// ---------------------------------------------------------------- R3 -------
+
+void check_raii_sockets(std::string_view path, const std::vector<std::string_view>& lines,
+                        bool in_sockets, Sink& sink) {
+  static const std::regex kInfinitePoll(R"(\bpoll\s*\([^;()]*,\s*-1\s*\))");
+  constexpr std::array<std::string_view, 9> kOwnedCalls = {
+      "socket", "close", "recvfrom", "sendto", "recv", "accept",
+      "setsockopt", "poll", "select"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    std::size_t lineno = i + 1;
+    if (!in_sockets) {
+      for (std::string_view ident : kOwnedCalls) {
+        std::size_t pos = find_ident(line, ident);
+        if (pos != std::string_view::npos && is_call(line, pos, ident.size()) &&
+            !is_member_access(line, pos)) {
+          std::string_view qual = qualifier(line, pos);
+          if (qual == "std") continue;  // std::accept etc. do not exist; be safe
+          add(sink, path, lineno, kRuleRaiiSockets,
+              "naked " + std::string(ident) + "() outside src/sockets/; socket "
+              "lifetimes belong to the RAII owners in src/sockets/");
+        }
+      }
+    }
+    // Everywhere (owners included): poll must carry a finite deadline.
+    std::string text(line);
+    if (std::regex_search(text, kInfinitePoll))
+      add(sink, path, lineno, kRuleRaiiSockets,
+          "poll() with an infinite (-1) timeout can hang a probe forever; "
+          "every wait needs a deadline");
+  }
+}
+
+// ---------------------------------------------------------------- R4 -------
+
+void check_header_hygiene(std::string_view path, const std::vector<std::string_view>& lines,
+                          Sink& sink) {
+  static const std::regex kGuardDefine(R"(^\s*#\s*ifndef\s+\w+_H(_|PP)?_?\s*$)");
+  std::size_t pragma_count = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    std::size_t lineno = i + 1;
+    if (find_ident(line, "using") != std::string_view::npos) {
+      std::size_t upos = find_ident(line, "using");
+      std::size_t npos = find_ident(line, "namespace", upos);
+      if (npos != std::string_view::npos && skip_ws(line, upos + 5) == npos)
+        add(sink, path, lineno, kRuleHeaderHygiene,
+            "`using namespace` in a header leaks into every includer; qualify "
+            "names or move the directive into a .cc file");
+    }
+    std::string text(line);
+    std::smatch m;
+    static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+    if (std::regex_search(text, m, kPragmaOnce)) {
+      ++pragma_count;
+      if (pragma_count == 2)
+        add(sink, path, lineno, kRuleHeaderHygiene, "duplicate #pragma once");
+    }
+    if (std::regex_search(text, m, kGuardDefine))
+      add(sink, path, lineno, kRuleHeaderHygiene,
+          "legacy include guard; this tree standardizes on #pragma once");
+  }
+  if (pragma_count == 0)
+    add(sink, path, 1, kRuleHeaderHygiene, "header is missing #pragma once");
+}
+
+}  // namespace
+
+std::string Finding::to_string() const {
+  return path + ":" + std::to_string(line) + ": error: [" + rule + "] " + message;
+}
+
+std::vector<Finding> lint_file(std::string_view path, std::string_view content) {
+  PathScope scope = classify_path(path);
+  Scrubbed s = scrub(content);
+  Directives directives = parse_directives(path, s);
+  std::vector<std::string_view> lines = split_lines(s.code);
+
+  Sink raw;
+  if (scope.in_src && !scope.determinism_seam) check_determinism(path, lines, raw);
+  if (scope.in_dnswire) check_wire_bounds(path, lines, raw);
+  if (scope.in_src) check_raii_sockets(path, lines, scope.in_sockets, raw);
+  if (scope.in_src && scope.is_header) check_header_hygiene(path, lines, raw);
+
+  Sink out = std::move(directives.errors);
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (auto& [line, allow] : directives.allows) {
+      if (line == f.line && allow.rule == f.rule) {
+        allow.used = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
+  });
+  return out;
+}
+
+std::vector<Finding> lint_paths(const std::string& root, const std::vector<std::string>& files) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> out;
+  fs::path root_abs = fs::absolute(fs::path(root)).lexically_normal();
+  for (const std::string& file : files) {
+    fs::path abs = fs::absolute(fs::path(file)).lexically_normal();
+    std::string rel = abs.lexically_relative(root_abs).generic_string();
+    if (rel.empty() || starts_with(rel, "..")) rel = abs.generic_string();
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      out.push_back(Finding{rel, 0, std::string(kRuleBadSuppression), "unreadable file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string content = buf.str();
+    std::vector<Finding> findings = lint_file(rel, content);
+    out.insert(out.end(), std::make_move_iterator(findings.begin()),
+               std::make_move_iterator(findings.end()));
+  }
+  return out;
+}
+
+std::vector<std::string> discover_sources(const std::string& root,
+                                          const std::string& compile_commands_path) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  fs::path root_abs = fs::absolute(fs::path(root)).lexically_normal();
+  fs::path src = root_abs / "src";
+
+  if (!compile_commands_path.empty()) {
+    std::ifstream in(compile_commands_path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (auto db = jsonio::parse(buf.str()); db && db->is_array()) {
+        for (const jsonio::Value& entry : db->as_array()) {
+          if (!entry.is_object()) continue;
+          const jsonio::Value& file = entry["file"];
+          if (!file.is_string()) continue;
+          fs::path p = fs::path(file.as_string());
+          if (p.is_relative()) p = fs::path(entry["directory"].as_string()) / p;
+          p = p.lexically_normal();
+          std::string rel = p.lexically_relative(root_abs).generic_string();
+          if (starts_with(rel, "src/")) files.push_back(p.generic_string());
+        }
+      }
+    }
+  }
+
+  if (fs::exists(src)) {
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp")
+        files.push_back(entry.path().lexically_normal().generic_string());
+    }
+  }
+
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace dnslocate::lint

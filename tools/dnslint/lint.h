@@ -1,0 +1,66 @@
+// dnslint — project-invariant static analysis for the dnslocate tree.
+//
+// The compiler cannot see the two properties the whole reproduction rests
+// on: measurements are deterministic (seeded IDs, sim-clock time) and wire
+// parsing never reads out of bounds. dnslint enforces them as machine
+// checks over a token/line-level view of the source:
+//
+//   R1 determinism     — no ambient entropy or wall-clock reads outside the
+//                        allowlisted clock/entropy seam (obs::ScopedClock,
+//                        simnet::Rng / simnet time).
+//   R2 wire-bounds     — buffer access in src/dnswire/ goes through the
+//                        bounds-checked cursor helpers: no raw memcpy/
+//                        pointer arithmetic/reinterpret_cast over wire bytes.
+//   R3 raii-sockets    — no naked socket()/close()/recvfrom()/poll() calls
+//                        outside the src/sockets/ owners, and no poll() with
+//                        an infinite (-1) timeout anywhere.
+//   R4 header-hygiene  — headers use #pragma once (exactly once, no legacy
+//                        include guards) and never `using namespace`.
+//
+// Suppressions: `// dnslint: allow(<rule>): <reason>` on the offending line
+// or alone on the line above. The reason string is mandatory — an allow()
+// without one is itself a finding (bad-suppression).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnslocate::lint {
+
+/// Stable rule identifiers (used in diagnostics and allow() directives).
+inline constexpr std::string_view kRuleDeterminism = "determinism";
+inline constexpr std::string_view kRuleWireBounds = "wire-bounds";
+inline constexpr std::string_view kRuleRaiiSockets = "raii-sockets";
+inline constexpr std::string_view kRuleHeaderHygiene = "header-hygiene";
+inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
+
+/// One diagnostic.
+struct Finding {
+  std::string path;     // as given to lint_file (repo-relative by convention)
+  std::size_t line = 0; // 1-based
+  std::string rule;     // one of the kRule* ids
+  std::string message;  // human-readable detail
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Lint one file's contents. `path` decides which rules apply (R2 only under
+/// src/dnswire/, R3 ownership outside src/sockets/, R4 for headers) and must
+/// be relative to the repo root (forward slashes).
+std::vector<Finding> lint_file(std::string_view path, std::string_view content);
+
+/// Lint files on disk. Each entry of `files` is an absolute or cwd-relative
+/// path; `root` is stripped to obtain the repo-relative path used for rule
+/// scoping. Unreadable files produce a finding rather than a crash.
+std::vector<Finding> lint_paths(const std::string& root,
+                                const std::vector<std::string>& files);
+
+/// Discover lintable sources: every *.cc listed in `compile_commands_path`
+/// (empty string = skip) that lives under root/src, plus every *.h / *.cc
+/// found by walking root/src (the walk catches headers, which never appear
+/// in a compilation database). Returns absolute paths, sorted, deduplicated.
+std::vector<std::string> discover_sources(const std::string& root,
+                                          const std::string& compile_commands_path);
+
+}  // namespace dnslocate::lint

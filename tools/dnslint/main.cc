@@ -1,0 +1,60 @@
+// dnslint CLI. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+//   dnslint --root <repo> [--compile-commands build/compile_commands.json]
+//           [file...]
+//
+// With no positional files, lints every source discovered under <root>/src
+// (compilation database entries plus a directory walk for headers).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dnslint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compile_commands;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dnslint: %s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = next();
+      if (!v) return 2;
+      root = v;
+    } else if (arg == "--compile-commands") {
+      const char* v = next();
+      if (!v) return 2;
+      compile_commands = v;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: dnslint --root <repo> [--compile-commands <json>] [file...]\n");
+      return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "dnslint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+
+  if (files.empty()) {
+    files = dnslocate::lint::discover_sources(root, compile_commands);
+    if (files.empty()) {
+      std::fprintf(stderr, "dnslint: no sources found under %s/src\n", root.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<dnslocate::lint::Finding> findings = dnslocate::lint::lint_paths(root, files);
+  for (const auto& f : findings) std::printf("%s\n", f.to_string().c_str());
+  std::printf("dnslint: %zu finding(s) across %zu file(s) scanned\n", findings.size(),
+              files.size());
+  return findings.empty() ? 0 : 1;
+}
