@@ -98,11 +98,7 @@ std::string verdict_signature(const core::ProbeVerdict& verdict) {
   return signature;
 }
 
-double median(std::vector<double> values) {
-  std::sort(values.begin(), values.end());
-  std::size_t n = values.size();
-  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
-}
+using bench::median;
 
 core::PipelineConfig bench_config(const netbase::IpAddress& cpe_ip) {
   core::PipelineConfig config;

@@ -1,16 +1,63 @@
 // Shared helpers for the experiment harnesses in bench/.
+//
+// The timing scheme most benches share: shared runners are noisy enough that
+// comparing two independent minima cannot resolve a few percent — the
+// quiet-machine floor itself drifts between runs. So a bench times
+// back-to-back A/B pairs (order alternating to cancel drift), computes the
+// ratio within each pair, and takes the median across pairs: spikes hit
+// individual pairs hard but move the median very little.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "atlas/measurement.h"
+#include "report/aggregate.h"
 
 namespace dnslocate::bench {
 
 /// Print a section header in a consistent style.
 inline void heading(const std::string& title) {
   std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/// Median of a sample (by value: sorts a copy).
+inline double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+/// Wall-clock milliseconds for one invocation of `fn`.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  std::forward<Fn>(fn)();
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Time one fleet execution; the run itself lands in `out` when non-null so
+/// equality gates can compare results across configurations.
+inline double run_ms(const std::vector<atlas::ProbeSpec>& fleet,
+                     const atlas::MeasurementOptions& options, atlas::MeasurementRun* out) {
+  atlas::MeasurementRun run;
+  double ms = time_ms([&] { run = atlas::run_fleet(fleet, options); });
+  if (out != nullptr) *out = std::move(run);
+  return ms;
+}
+
+/// Cell-for-cell equality of two confusion matrices — the standard
+/// "configuration B changed no verdict" gate.
+inline bool same_matrix(const report::ConfusionMatrix& a, const report::ConfusionMatrix& b) {
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (a.cells[i][j] != b.cells[i][j]) return false;
+  return true;
 }
 
 /// Generate and measure the default fleet (deterministic from the seed).

@@ -23,29 +23,9 @@ using namespace dnslocate;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double run_ms(const std::vector<atlas::ProbeSpec>& fleet,
-              const atlas::MeasurementOptions& options, atlas::MeasurementRun* out) {
-  auto start = Clock::now();
-  auto run = atlas::run_fleet(fleet, options);
-  auto elapsed = std::chrono::duration<double, std::milli>(Clock::now() - start);
-  if (out != nullptr) *out = std::move(run);
-  return elapsed.count();
-}
-
-bool same_matrix(const report::ConfusionMatrix& a, const report::ConfusionMatrix& b) {
-  for (std::size_t i = 0; i < 4; ++i)
-    for (std::size_t j = 0; j < 4; ++j)
-      if (a.cells[i][j] != b.cells[i][j]) return false;
-  return true;
-}
-
-double median(std::vector<double> values) {
-  std::sort(values.begin(), values.end());
-  std::size_t n = values.size();
-  return n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
-}
+using bench::median;
+using bench::run_ms;
+using bench::same_matrix;
 
 }  // namespace
 

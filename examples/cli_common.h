@@ -28,6 +28,7 @@ struct CommonCli {
   long trace_buffer_events = 8192;
   atlas::QueryEngine engine = atlas::QueryEngine::async;
   long max_inflight = 64;
+  long shards = 1;
 
   static constexpr const char* kUsage =
       "  --journal PATH        checkpoint completed probes to an append-only journal\n"
@@ -41,6 +42,9 @@ struct CommonCli {
       "  --max-inflight N      cap concurrently outstanding queries per batch when a\n"
       "                        socket engine fans out (default 64; simulated probes\n"
       "                        ignore this)\n"
+      "  --shards N            shard the fleet across N worker shards (stable hash of\n"
+      "                        probe id; per-probe results are identical at any shard\n"
+      "                        count; 0 = one shard per hardware thread)\n"
       "  --metrics-out PATH    write registry metrics as Prometheus text exposition\n"
       "  --trace-out PATH      write spans as Chrome trace-event JSON (load in Perfetto\n"
       "                        or chrome://tracing)\n"
@@ -77,6 +81,8 @@ struct CommonCli {
       engine = *parsed;
     } else if (const char* v8 = value("--max-inflight")) {
       max_inflight = std::atol(v8);
+    } else if (const char* v9 = value("--shards")) {
+      shards = std::atol(v9);
     } else {
       return false;
     }
@@ -97,6 +103,10 @@ struct CommonCli {
       std::fprintf(stderr, "--max-inflight must be positive\n");
       return false;
     }
+    if (shards < 0) {
+      std::fprintf(stderr, "--shards must be non-negative (0 = hardware threads)\n");
+      return false;
+    }
     return true;
   }
 
@@ -109,6 +119,7 @@ struct CommonCli {
     if (max_failures > 0) options.max_failures = static_cast<std::size_t>(max_failures);
     options.engine = engine;
     options.max_inflight = static_cast<std::size_t>(max_inflight);
+    options.shards = static_cast<unsigned>(shards);
   }
 
   /// Turn the observability subsystem on if any output was requested. Must

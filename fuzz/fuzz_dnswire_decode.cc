@@ -35,7 +35,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
   if (!lax.has_value()) return 0;
 
   for (bool compress : {false, true}) {
-    std::vector<std::uint8_t> encoded =
+    dnslocate::dnswire::WireBuffer encoded =
         dnslocate::dnswire::encode_message(*lax, EncodeOptions{.compress_names = compress});
     DecodeError rt_error;
     auto redecoded = dnslocate::dnswire::decode_message(encoded, &rt_error, DecodeOptions{});
@@ -44,7 +44,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
                    rt_error.to_string().c_str());
       std::abort();
     }
-    std::vector<std::uint8_t> re_encoded =
+    dnslocate::dnswire::WireBuffer re_encoded =
         dnslocate::dnswire::encode_message(*redecoded, EncodeOptions{.compress_names = compress});
     if (re_encoded != encoded) {
       std::fprintf(stderr, "encode(decode(encode(m))) not byte-stable (compress=%d)\n",

@@ -6,6 +6,7 @@
 //   gen_seeds <corpus-root>     # writes <root>/dnswire/* and <root>/journal/*
 #include <cstdio>
 #include <filesystem>
+#include <span>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -22,7 +23,7 @@ using namespace dnslocate;  // tool-only TU; keeps the vector table readable
 
 namespace {
 
-void write_bytes(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+void write_bytes(const fs::path& path, std::span<const std::uint8_t> bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
@@ -35,7 +36,7 @@ void write_text(const fs::path& path, const std::string& text) {
 
 dnswire::DnsName name(const char* text) { return *dnswire::DnsName::parse(text); }
 
-std::vector<std::uint8_t> query_example() {
+dnswire::WireBuffer query_example() {
   dnswire::Message m;
   m.id = 0x1234;
   m.questions.push_back({name("whoami.akamai.net"), dnswire::RecordType::A,
@@ -43,7 +44,7 @@ std::vector<std::uint8_t> query_example() {
   return dnswire::encode_message(m);
 }
 
-std::vector<std::uint8_t> response_all_types(bool compress) {
+dnswire::WireBuffer response_all_types(bool compress) {
   dnswire::Message m;
   m.id = 0xbeef;
   m.flags.qr = true;
@@ -139,16 +140,17 @@ int main(int argc, char** argv) {
   write_bytes(root / "dnswire" / "query_a.bin", query_example());
   write_bytes(root / "dnswire" / "response_compressed.bin", response_all_types(true));
   write_bytes(root / "dnswire" / "response_uncompressed.bin", response_all_types(false));
-  std::vector<std::uint8_t> truncated = response_all_types(true);
+  dnswire::WireBuffer truncated = response_all_types(true);
   truncated.resize(truncated.size() * 3 / 5);
   write_bytes(root / "dnswire" / "response_truncated.bin", truncated);
   write_bytes(root / "dnswire" / "pointer_loop.bin", pointer_loop());
   write_bytes(root / "dnswire" / "reserved_label.bin", reserved_label_bits());
-  std::vector<std::uint8_t> trailing = query_example();
+  dnswire::WireBuffer trailing = query_example();
   trailing.insert(trailing.end(), {0xde, 0xad, 0xbe, 0xef});
   write_bytes(root / "dnswire" / "query_trailing_bytes.bin", trailing);
-  write_bytes(root / "dnswire" / "header_only.bin",
-              {0x00, 0x01, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00});
+  const std::vector<std::uint8_t> header_only = {0x00, 0x01, 0x80, 0x00, 0x00, 0x00,
+                                                 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  write_bytes(root / "dnswire" / "header_only.bin", header_only);
 
   // --- journal seeds -------------------------------------------------------
   std::string intact = journal_text();

@@ -6,7 +6,11 @@
 #include <thread>
 #include <unordered_map>
 
+#include <filesystem>
+
 #include "atlas/journal.h"
+#include "atlas/sharding.h"
+#include "netbase/arena.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -173,18 +177,130 @@ MeasurementRun run_fleet_supervised(
   threads = std::min<unsigned>(threads, static_cast<unsigned>(std::max<std::size_t>(
                                             1, fleet.size())));
 
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{preloaded_count};
-  std::atomic<std::size_t> failures{0};
-  std::atomic<bool> stop{false};
-  std::mutex progress_mutex;
-
   // Completed records are serialized to the journal in small batches rather
   // than one by one: each probe evicts the serializer's working set from
   // cache, so per-record appends pay a cold-start an order of magnitude
   // above the serializer's steady-state cost. Batching keeps checkpointing
   // in the noise while a crash still loses at most the last batch.
   constexpr std::size_t kJournalBatch = 32;
+
+  unsigned shards = options.shards;
+  if (shards == 0) shards = std::max(1u, std::thread::hardware_concurrency());
+  shards = std::min<unsigned>(shards,
+                              static_cast<unsigned>(std::max<std::size_t>(1, fleet.size())));
+
+  if (shards > 1) {
+    // Sharded executor: probes partition by a stable hash of their id
+    // (atlas/sharding.h); each shard is one worker thread running its
+    // probes in fleet order and journaling to its own segment file. Every
+    // probe owns its simulator, seeded from its own ScenarioConfig, so the
+    // records a sharded run produces are byte-identical to a 1-shard run —
+    // the shard only decides *where* a probe executes, never *how*.
+    std::vector<std::vector<std::size_t>> parts = partition_fleet(fleet, shards);
+    std::uint64_t fingerprint = fleet_fingerprint(fleet);
+
+    std::atomic<std::size_t> done{preloaded_count};
+    std::atomic<std::size_t> failures{0};
+    std::atomic<bool> stop{false};
+    std::mutex progress_mutex;
+
+    auto shard_worker = [&](unsigned shard) {
+      // Shard-local byte arena, seeded from the fleet fingerprint and shard
+      // index. The seed cannot influence probe results (anything observable
+      // would break shard-count invariance); it drives only arena-internal
+      // state and reserves the seam for future shard-local scratch.
+      netbase::ByteArena arena(shard_seed(fingerprint, shard));
+      netbase::ScopedArena scoped(arena);
+
+      std::unique_ptr<JournalWriter> segment;
+      if (!options.journal_path.empty()) {
+        JournalHeader header;
+        header.fingerprint = fingerprint;
+        header.fleet_size = fleet.size();
+        segment = std::make_unique<JournalWriter>(
+            shard_segment_path(options.journal_path, shard, shards), header,
+            options.journal_sync_interval);
+      }
+      std::vector<const ProbeRecord*> batch;
+
+      for (std::size_t i : parts[shard]) {
+        if (stop.load(std::memory_order_relaxed)) break;
+        if (completed[i]) continue;  // restored from the journal
+        records[i] = supervised_run(fleet[i], options);
+        completed[i] = 1;
+        if (segment) {
+          batch.push_back(&records[i]);
+          if (batch.size() >= kJournalBatch) {
+            segment->append_batch(batch);
+            batch.clear();
+          }
+        }
+        if (records[i].outcome != ProbeOutcome::ok && options.max_failures > 0 &&
+            failures.fetch_add(1) + 1 >= options.max_failures)
+          stop.store(true, std::memory_order_relaxed);
+        std::size_t finished = done.fetch_add(1) + 1;
+        if (options.progress) {
+          std::lock_guard<std::mutex> lock(progress_mutex);
+          options.progress(finished, fleet.size());
+        }
+      }
+      if (segment) {
+        segment->append_batch(batch);
+        segment->sync();
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(shards);
+    for (unsigned shard = 0; shard < shards; ++shard) pool.emplace_back(shard_worker, shard);
+    for (auto& thread : pool) thread.join();
+
+    bool all_completed = true;
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+      if (!completed[i]) all_completed = false;
+
+    if (journal) {
+      if (all_completed) {
+        // Clean completion: consolidate into the base journal (reused
+        // records are already there; append the newly run ones in fleet
+        // order) and drop the segments, so the on-disk state is exactly what
+        // an unsharded run leaves. An interrupted run skips this, leaving
+        // the segments for resume_fleet to merge.
+        std::vector<const ProbeRecord*> fresh;
+        for (std::size_t i = 0; i < fleet.size(); ++i)
+          if (completed[i] && (preloaded == nullptr || preloaded->find(i) == preloaded->end()))
+            fresh.push_back(&records[i]);
+        journal->append_batch(fresh);
+        journal->sync();
+        // Remove every segment of this base path, not just this run's
+        // shard count: a resumed run may leave stale segments from the
+        // interrupted run's (different) shard count behind otherwise.
+        for (const std::string& segment : find_shard_segments(options.journal_path)) {
+          std::error_code ec;
+          std::filesystem::remove(segment, ec);
+        }
+      } else {
+        journal->sync();
+      }
+    }
+
+    MeasurementRun run;
+    run.records.reserve(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (completed[i])
+        run.records.push_back(std::move(records[i]));
+      else
+        ++run.not_run;
+    }
+    return run;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{preloaded_count};
+  std::atomic<std::size_t> failures{0};
+  std::atomic<bool> stop{false};
+  std::mutex progress_mutex;
+
   std::mutex pending_mutex;
   std::vector<std::size_t> pending;
   auto journal_record = [&](std::size_t i) {
@@ -355,24 +471,28 @@ MeasurementRun resume_fleet(const std::string& journal_path,
   MeasurementOptions resumed = options;
   resumed.journal_path = journal_path;  // keep checkpointing where we resumed
 
-  auto loaded = load_journal(journal_path);
-  out.damaged = loaded.damaged;
-  out.warnings = loaded.warnings;
+  std::uint64_t fingerprint = fleet_fingerprint(fleet);
+  std::unordered_map<std::uint32_t, std::size_t> index_of;
+  index_of.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) index_of[fleet[i].probe_id] = i;
 
   std::unordered_map<std::size_t, ProbeRecord> preloaded;
-  if (!loaded.ok()) {
-    out.warnings.push_back("journal unusable (" + loaded.error + "); running from scratch");
-  } else if (loaded.header.fingerprint != fleet_fingerprint(fleet) ||
-             loaded.header.fleet_size != fleet.size()) {
-    out.warnings.push_back(
-        "journal fingerprint does not match this fleet "
-        "(different seed, scale, or configuration); ignoring " +
-        std::to_string(loaded.records.size()) + " journaled records");
-  } else {
+  auto absorb = [&](JournalLoadResult& loaded, const std::string& source) {
+    out.damaged += loaded.damaged;
+    for (auto& warning : loaded.warnings) out.warnings.push_back(std::move(warning));
+    if (!loaded.ok()) {
+      out.warnings.push_back(source + " unusable (" + loaded.error + ")");
+      return;
+    }
+    if (loaded.header.fingerprint != fingerprint || loaded.header.fleet_size != fleet.size()) {
+      out.warnings.push_back(
+          source +
+          " fingerprint does not match this fleet "
+          "(different seed, scale, or configuration); ignoring " +
+          std::to_string(loaded.records.size()) + " journaled records");
+      return;
+    }
     out.journal_matched = true;
-    std::unordered_map<std::uint32_t, std::size_t> index_of;
-    index_of.reserve(fleet.size());
-    for (std::size_t i = 0; i < fleet.size(); ++i) index_of[fleet[i].probe_id] = i;
     for (auto& record : loaded.records) {
       auto it = index_of.find(record.probe_id);
       if (it == index_of.end()) {
@@ -389,9 +509,21 @@ MeasurementRun resume_fleet(const std::string& journal_path,
       // Last record wins if a probe was journaled twice (rewrite + append).
       preloaded[it->second] = std::move(record);
     }
-    out.reused = preloaded.size();
+  };
+
+  auto loaded = load_journal(journal_path);
+  absorb(loaded, "journal");
+
+  // A sharded run that was interrupted leaves per-shard segment files next
+  // to the base journal (a clean completion consolidates and removes them).
+  // Absorb every segment with a matching header — the shard count that wrote
+  // them is irrelevant, and this resume may itself use a different one.
+  for (const std::string& segment_path : find_shard_segments(journal_path)) {
+    auto segment = load_journal(segment_path);
+    absorb(segment, "journal segment " + segment_path);
   }
 
+  out.reused = preloaded.size();
   return run_fleet_supervised(fleet, resumed, &preloaded);
 }
 

@@ -79,8 +79,16 @@ struct MeasurementOptions {
   bool strip_raw_responses = true;
   /// Worker threads. Probes are fully independent (each owns its
   /// simulator), so the fleet parallelizes perfectly; 0 = use the hardware
-  /// concurrency, 1 = sequential.
+  /// concurrency, 1 = sequential. Ignored when `shards` > 1 (each shard is
+  /// one worker thread).
   unsigned threads = 1;
+  /// Shard the fleet across this many worker shards, one thread per shard.
+  /// Probes are assigned by a stable hash of their probe id
+  /// (atlas/sharding.h), each shard journals to its own segment file, and
+  /// per-probe results are byte-identical at any shard count — 1 (the
+  /// default, unsharded) behaves exactly like the work-stealing pool.
+  /// 0 = one shard per hardware thread.
+  unsigned shards = 1;
   /// Called after each probe completes (progress reporting). Invoked under
   /// a mutex when threads > 1.
   std::function<void(std::size_t done, std::size_t total)> progress;

@@ -1,5 +1,7 @@
 #include "core/sim_transport.h"
 
+#include <span>
+
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
 #include "obs/clock.h"
@@ -9,7 +11,7 @@ namespace dnslocate::core {
 namespace {
 
 /// FNV-1a over the payload, used to recognise byte-identical duplicates.
-std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload) {
+std::uint64_t payload_hash(std::span<const std::uint8_t> payload) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (std::uint8_t b : payload) h = (h ^ b) * 0x100000001b3ull;
   return h;

@@ -7,8 +7,8 @@ namespace {
 
 class Reader {
  public:
-  Reader(std::span<const std::uint8_t> wire, DecodeError* error)
-      : wire_(wire), error_(error) {}
+  Reader(std::span<const std::uint8_t> wire, DecodeError* error, std::size_t start = 0)
+      : wire_(wire), error_(error), offset_(start) {}
 
   [[nodiscard]] std::size_t offset() const { return offset_; }
   [[nodiscard]] std::size_t remaining() const { return wire_.size() - offset_; }
@@ -244,7 +244,7 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> wire, Decode
     q.klass = static_cast<RecordClass>(klass);
     m.questions.push_back(std::move(q));
   }
-  auto section = [&](std::uint16_t count, std::vector<ResourceRecord>& out) {
+  auto section = [&](std::uint16_t count, RecordSection& out) {
     for (std::uint16_t i = 0; i < count; ++i) {
       ResourceRecord rr;
       if (!decode_record(r, rr)) return false;
@@ -263,5 +263,33 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> wire, Decode
   }
   return m;
 }
+
+namespace detail {
+
+std::optional<DnsName> decode_name_at(std::span<const std::uint8_t> wire, std::size_t offset,
+                                      DecodeError* error) {
+  if (offset > wire.size()) {
+    if (error) *error = DecodeError{DecodeError::Code::truncated, offset, "name offset"};
+    return std::nullopt;
+  }
+  Reader r(wire, error, offset);
+  DnsName name;
+  if (!r.name(name)) return std::nullopt;
+  return name;
+}
+
+std::optional<ResourceRecord> decode_record_at(std::span<const std::uint8_t> wire,
+                                               std::size_t offset, DecodeError* error) {
+  if (offset > wire.size()) {
+    if (error) *error = DecodeError{DecodeError::Code::truncated, offset, "record offset"};
+    return std::nullopt;
+  }
+  Reader r(wire, error, offset);
+  ResourceRecord rr;
+  if (!decode_record(r, rr)) return std::nullopt;
+  return rr;
+}
+
+}  // namespace detail
 
 }  // namespace dnslocate::dnswire

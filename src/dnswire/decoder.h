@@ -41,4 +41,21 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> wire,
                                       DecodeError* error = nullptr,
                                       DecodeOptions options = {});
 
+namespace detail {
+
+/// Decode a (possibly compressed) name starting at `offset` within `wire`.
+/// Compression pointers resolve against the whole buffer, which is why the
+/// full message span is required. Used by the zero-copy view (view.h) to
+/// materialize names lazily with exactly the decoder's validation.
+std::optional<DnsName> decode_name_at(std::span<const std::uint8_t> wire, std::size_t offset,
+                                      DecodeError* error = nullptr);
+
+/// Decode one resource record starting at `offset` within `wire`, applying
+/// the same typed RDATA validation decode_message performs.
+std::optional<ResourceRecord> decode_record_at(std::span<const std::uint8_t> wire,
+                                               std::size_t offset,
+                                               DecodeError* error = nullptr);
+
+}  // namespace detail
+
 }  // namespace dnslocate::dnswire

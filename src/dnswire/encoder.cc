@@ -23,7 +23,7 @@ std::uint8_t checked_u8(std::size_t v, const char* field) {
 /// Append helpers over a byte vector.
 class Writer {
  public:
-  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+  explicit Writer(WireBuffer& out) : out_(out) {}
 
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
@@ -48,7 +48,7 @@ class Writer {
   [[nodiscard]] std::size_t size() const { return out_.size(); }
 
  private:
-  std::vector<std::uint8_t>& out_;
+  WireBuffer& out_;
 };
 
 /// Tracks offsets of previously written name suffixes for compression.
@@ -161,8 +161,8 @@ void write_record(Writer& w, Compressor& compressor, const ResourceRecord& rr) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_message(const Message& message, EncodeOptions options) {
-  std::vector<std::uint8_t> out;
+WireBuffer encode_message(const Message& message, EncodeOptions options) {
+  WireBuffer out;
   out.reserve(512);
   Writer w(out);
   Compressor compressor(options.compress_names);
@@ -185,8 +185,8 @@ std::vector<std::uint8_t> encode_message(const Message& message, EncodeOptions o
   return out;
 }
 
-std::vector<std::uint8_t> encode_name(const DnsName& name) {
-  std::vector<std::uint8_t> out;
+WireBuffer encode_name(const DnsName& name) {
+  WireBuffer out;
   Writer w(out);
   Compressor compressor(false);
   compressor.write_name(w, name);

@@ -6,8 +6,14 @@
 #include <vector>
 
 #include "dnswire/message.h"
+#include "netbase/arena.h"
 
 namespace dnslocate::dnswire {
+
+/// Encoded wire bytes. Arena-backed (netbase::ByteArena): steady-state
+/// encodes recycle capacity instead of touching the heap, which matters at
+/// fleet scale where every hop of every packet carries one of these.
+using WireBuffer = netbase::ByteBuffer;
 
 /// Encoding options.
 struct EncodeOptions {
@@ -21,9 +27,9 @@ struct EncodeOptions {
 /// with bounds checks: a message whose section counts, TXT character-string
 /// lengths, or RDATA sizes exceed their u8/u16 wire width throws
 /// std::length_error rather than silently truncating.
-std::vector<std::uint8_t> encode_message(const Message& message, EncodeOptions options = {});
+WireBuffer encode_message(const Message& message, EncodeOptions options = {});
 
 /// Encode a bare name, uncompressed — used by tests and the zone store.
-std::vector<std::uint8_t> encode_name(const DnsName& name);
+WireBuffer encode_name(const DnsName& name);
 
 }  // namespace dnslocate::dnswire

@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <vector>
 
 #include "dnswire/record.h"
 #include "netbase/ip_address.h"
+#include "netbase/small_vector.h"
 
 namespace dnslocate::dnswire {
 
@@ -40,14 +40,22 @@ struct Flags {
   friend auto operator<=>(const Flags&, const Flags&) = default;
 };
 
+/// Question section storage: probe queries carry exactly one question, so
+/// the single inline slot covers every message this library builds itself.
+using QuestionSection = netbase::SmallVector<Question, 1>;
+
+/// Record section storage: inline capacity sized for the answer shapes the
+/// interception classifiers see (address + CNAME + TXT fits without a spill).
+using RecordSection = netbase::SmallVector<ResourceRecord, 3>;
+
 /// A full DNS message.
 struct Message {
   std::uint16_t id = 0;
   Flags flags;
-  std::vector<Question> questions;
-  std::vector<ResourceRecord> answers;
-  std::vector<ResourceRecord> authorities;
-  std::vector<ResourceRecord> additionals;
+  QuestionSection questions;
+  RecordSection answers;
+  RecordSection authorities;
+  RecordSection additionals;
 
   /// First question, if any (the overwhelmingly common single-question case).
   [[nodiscard]] const Question* question() const {

@@ -1,0 +1,231 @@
+#include "dnswire/view.h"
+
+#include <string>
+
+namespace dnslocate::dnswire {
+namespace {
+
+char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Structural cursor: the same bounds and name discipline as the owning
+/// decoder's Reader, but labels are skipped, never copied.
+class Walker {
+ public:
+  Walker(std::span<const std::uint8_t> wire, DecodeError* error)
+      : wire_(wire), error_(error) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+  [[nodiscard]] std::size_t remaining() const { return wire_.size() - offset_; }
+
+  bool fail(DecodeError::Code code, std::string context) {
+    if (error_ && !failed_) *error_ = DecodeError{code, offset_, std::move(context)};
+    failed_ = true;
+    return false;
+  }
+
+  bool u8(std::uint8_t& out) {
+    if (remaining() < 1) return fail(DecodeError::Code::truncated, "u8");
+    out = wire_[offset_++];
+    return true;
+  }
+  bool u16(std::uint16_t& out) {
+    if (remaining() < 2) return fail(DecodeError::Code::truncated, "u16");
+    out = static_cast<std::uint16_t>((std::uint16_t{wire_[offset_]} << 8) | wire_[offset_ + 1]);
+    offset_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    std::uint16_t hi = 0, lo = 0;
+    if (!u16(hi) || !u16(lo)) return false;
+    out = (std::uint32_t{hi} << 16) | lo;
+    return true;
+  }
+  bool skip(std::size_t n, const char* what) {
+    if (remaining() < n) return fail(DecodeError::Code::truncated, what);
+    offset_ += n;
+    return true;
+  }
+
+  /// Validate a (possibly compressed) name without materializing labels.
+  /// Identical acceptance rules to Reader::name: backward pointers only, a
+  /// 64-jump cap, reserved label bits rejected, expansion capped at 255.
+  bool skip_name() {
+    std::size_t cursor = offset_;
+    bool jumped = false;
+    std::size_t jumps = 0;
+    std::size_t expanded = 1;  // root byte
+
+    while (true) {
+      if (cursor >= wire_.size()) return fail(DecodeError::Code::truncated, "name");
+      std::uint8_t len = wire_[cursor];
+      if ((len & 0xc0) == 0xc0) {
+        if (cursor + 1 >= wire_.size())
+          return fail(DecodeError::Code::truncated, "name pointer");
+        std::size_t target =
+            (static_cast<std::size_t>(len & 0x3f) << 8) | wire_[cursor + 1];
+        if (!jumped) offset_ = cursor + 2;
+        if (target >= cursor) return fail(DecodeError::Code::bad_pointer, "forward pointer");
+        if (++jumps > 64) return fail(DecodeError::Code::bad_pointer, "pointer loop");
+        cursor = target;
+        jumped = true;
+        continue;
+      }
+      if ((len & 0xc0) != 0) return fail(DecodeError::Code::bad_label, "reserved label bits");
+      if (len == 0) {
+        if (!jumped) offset_ = cursor + 1;
+        return true;
+      }
+      if (cursor + 1 + len > wire_.size())
+        return fail(DecodeError::Code::truncated, "label body");
+      expanded += 1u + len;
+      if (expanded > kMaxNameLength)
+        return fail(DecodeError::Code::name_too_long, "name > 255 octets");
+      cursor += 1u + len;
+    }
+  }
+
+ private:
+  std::span<const std::uint8_t> wire_;
+  DecodeError* error_;
+  std::size_t offset_ = 0;
+  bool failed_ = false;
+};
+
+/// Iterate the labels of a wire name, calling `visit(label_span)` for each.
+/// Assumes the name already passed skip_name (no validation re-done beyond
+/// what safe traversal needs).
+template <typename Visit>
+bool for_each_label(std::span<const std::uint8_t> wire, std::size_t offset, Visit&& visit) {
+  std::size_t cursor = offset;
+  std::size_t jumps = 0;
+  while (cursor < wire.size()) {
+    std::uint8_t len = wire[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (cursor + 1 >= wire.size() || ++jumps > 64) return false;
+      cursor = (static_cast<std::size_t>(len & 0x3f) << 8) | wire[cursor + 1];
+      continue;
+    }
+    if (len == 0) return true;
+    if ((len & 0xc0) != 0 || cursor + 1 + len > wire.size()) return false;
+    if (!visit(wire.subspan(cursor + 1, len))) return false;
+    cursor += 1u + len;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<DnsName> QuestionView::name() const {
+  return detail::decode_name_at(wire_, name_offset_);
+}
+
+bool QuestionView::name_equals(const DnsName& other) const {
+  const auto& labels = other.labels();
+  std::size_t next = 0;
+  bool ok = for_each_label(wire_, name_offset_, [&](std::span<const std::uint8_t> label) {
+    if (next >= labels.size()) return false;
+    const std::string& expected = labels[next++];
+    if (label.size() != expected.size()) return false;
+    for (std::size_t i = 0; i < label.size(); ++i) {
+      if (ascii_lower(static_cast<char>(label[i])) != ascii_lower(expected[i])) return false;
+    }
+    return true;
+  });
+  return ok && next == labels.size();
+}
+
+std::optional<Question> QuestionView::to_question() const {
+  std::optional<DnsName> n = name();
+  if (!n) return std::nullopt;
+  return Question{std::move(*n), type_, klass_};
+}
+
+std::optional<DnsName> RecordView::name() const {
+  return detail::decode_name_at(wire_, name_offset_);
+}
+
+std::optional<ResourceRecord> RecordView::to_record(DecodeError* error) const {
+  return detail::decode_record_at(wire_, name_offset_, error);
+}
+
+std::optional<Message> MessageView::to_message(DecodeError* error) const {
+  Message m;
+  m.id = id_;
+  m.flags = flags_;
+  for (const QuestionView& qv : questions_) {
+    std::optional<Question> q = qv.to_question();
+    if (!q) return std::nullopt;
+    m.questions.push_back(std::move(*q));
+  }
+  auto section = [&](const auto& views, RecordSection& out) {
+    for (const RecordView& rv : views) {
+      std::optional<ResourceRecord> rr = rv.to_record(error);
+      if (!rr) return false;
+      out.push_back(std::move(*rr));
+    }
+    return true;
+  };
+  if (!section(answers_, m.answers) || !section(authorities_, m.authorities) ||
+      !section(additionals_, m.additionals))
+    return std::nullopt;
+  return m;
+}
+
+std::optional<MessageView> decode_view(std::span<const std::uint8_t> wire, DecodeError* error,
+                                       DecodeOptions options) {
+  Walker w(wire, error);
+  MessageView view;
+  view.wire_ = wire;
+
+  std::uint16_t flags_wire = 0, qdcount = 0, ancount = 0, nscount = 0, arcount = 0;
+  if (!w.u16(view.id_) || !w.u16(flags_wire) || !w.u16(qdcount) || !w.u16(ancount) ||
+      !w.u16(nscount) || !w.u16(arcount))
+    return std::nullopt;
+  view.flags_ = Flags::from_wire(flags_wire);
+
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    QuestionView qv;
+    qv.wire_ = wire;
+    qv.name_offset_ = w.offset();
+    std::uint16_t type = 0, klass = 0;
+    if (!w.skip_name() || !w.u16(type) || !w.u16(klass)) return std::nullopt;
+    qv.type_ = static_cast<RecordType>(type);
+    qv.klass_ = static_cast<RecordClass>(klass);
+    view.questions_.push_back(qv);
+  }
+
+  auto section = [&](std::uint16_t count, auto& out) {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      RecordView rv;
+      rv.wire_ = wire;
+      rv.name_offset_ = w.offset();
+      std::uint16_t type = 0, klass = 0, rdlength = 0;
+      std::uint32_t ttl = 0;
+      if (!w.skip_name() || !w.u16(type) || !w.u16(klass) || !w.u32(ttl) || !w.u16(rdlength))
+        return false;
+      rv.type_ = static_cast<RecordType>(type);
+      rv.raw_klass_ = klass;
+      rv.ttl_ = ttl;
+      rv.rdata_offset_ = w.offset();
+      rv.rdata_length_ = rdlength;
+      if (!w.skip(rdlength, "rdata")) return false;
+      out.push_back(rv);
+    }
+    return true;
+  };
+  if (!section(ancount, view.answers_) || !section(nscount, view.authorities_) ||
+      !section(arcount, view.additionals_))
+    return std::nullopt;
+
+  view.trailing_ = w.remaining();
+  if (options.reject_trailing_bytes && view.trailing_ > 0) {
+    w.fail(DecodeError::Code::trailing_bytes,
+           std::to_string(view.trailing_) + " bytes after message");
+    return std::nullopt;
+  }
+  return view;
+}
+
+}  // namespace dnslocate::dnswire

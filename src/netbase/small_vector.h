@@ -1,0 +1,187 @@
+// A vector with inline storage for the first N elements. DNS messages are
+// overwhelmingly one question and a handful of records (§4 of the paper: the
+// probe queries carry exactly one question; interception verdicts hinge on
+// responses with 0–3 answers), so the record sections of dnswire::Message fit
+// inline and a decoded message costs zero section allocations on the hot path.
+// Spills to the heap transparently past N — no operation ever fails for size.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dnslocate::netbase {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be at least one element");
+
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using reference = T&;
+  using const_reference = const T&;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() noexcept = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) unchecked_emplace(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (const T& v : other) unchecked_emplace(v);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (const T& v : other) unchecked_emplace(v);
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    destroy_all();
+    release_heap();
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+    steal_from(other);
+    return *this;
+  }
+
+  ~SmallVector() {
+    destroy_all();
+    release_heap();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// True while elements live in the inline buffer (no heap spill yet).
+  [[nodiscard]] bool is_inline() const noexcept { return data_ == inline_data(); }
+
+  [[nodiscard]] T* data() noexcept { return data_; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+
+  [[nodiscard]] iterator begin() noexcept { return data_; }
+  [[nodiscard]] iterator end() noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data_; }
+  [[nodiscard]] const_iterator end() const noexcept { return data_ + size_; }
+  [[nodiscard]] const_iterator cbegin() const noexcept { return begin(); }
+  [[nodiscard]] const_iterator cend() const noexcept { return end(); }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& front() { return data_[0]; }
+  [[nodiscard]] const T& front() const { return data_[0]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted <= capacity_) return;
+    grow_to(wanted);
+  }
+
+  void clear() noexcept {
+    destroy_all();
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow_to(capacity_ * 2);
+    return unchecked_emplace(std::forward<Args>(args)...);
+  }
+
+  void pop_back() {
+    --size_;
+    std::destroy_at(data_ + size_);
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+  friend auto operator<=>(const SmallVector& a, const SmallVector& b) {
+    return std::lexicographical_compare_three_way(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* inline_data() noexcept { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_data() const noexcept {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  template <typename... Args>
+  T& unchecked_emplace(Args&&... args) {
+    T* slot = data_ + size_;
+    std::construct_at(slot, std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void grow_to(std::size_t wanted) {
+    std::size_t next = std::max(wanted, capacity_ * 2);
+    T* fresh = static_cast<T*>(
+        ::operator new(next * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      std::construct_at(fresh + i, std::move(data_[i]));
+      std::destroy_at(data_ + i);
+    }
+    release_heap();
+    data_ = fresh;
+    capacity_ = next;
+  }
+
+  /// Move-construct from `other`, leaving it empty. Inline payloads move
+  /// element-by-element; heap payloads transfer ownership of the buffer.
+  void steal_from(SmallVector& other) noexcept {
+    if (other.is_inline()) {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        std::construct_at(inline_data() + i, std::move(other.data_[i]));
+        std::destroy_at(other.data_ + i);
+      }
+      size_ = other.size_;
+      other.size_ = 0;
+      return;
+    }
+    data_ = other.data_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    other.data_ = other.inline_data();
+    other.capacity_ = N;
+    other.size_ = 0;
+  }
+
+  void destroy_all() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) std::destroy_at(data_ + i);
+  }
+
+  void release_heap() noexcept {
+    if (!is_inline())
+      ::operator delete(static_cast<void*>(data_), std::align_val_t{alignof(T)});
+  }
+
+  alignas(T) std::byte inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace dnslocate::netbase

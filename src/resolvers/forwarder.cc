@@ -168,7 +168,7 @@ void DnsForwarderApp::forward_upstream(simnet::Simulator& sim, simnet::Device& s
   upstream_query.id = upstream_id;
   if (config_.lowercases_queries)
     for (auto& question : upstream_query.questions) question.name = question.name.to_lower();
-  std::vector<std::uint8_t> upstream_payload = dnswire::encode_message(upstream_query);
+  dnswire::WireBuffer upstream_payload = dnswire::encode_message(upstream_query);
   if (config_.upstream_fallback_v4 && upstream->address.is_v4())
     pending_[upstream_id].retry_payload = upstream_payload;
 

@@ -13,6 +13,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "dnswire/encoder.h"
 #include "dnswire/message.h"
 #include "netbase/endpoint.h"
 #include "resolvers/software.h"
@@ -83,7 +84,7 @@ class DnsForwarderApp : public simnet::UdpApp {
     std::uint16_t service_port = netbase::kDnsPort;  // 53 or 853
     simnet::Channel channel = simnet::Channel::udp;
     bool failed_over = false;
-    std::vector<std::uint8_t> retry_payload;  // upstream query bytes for failover
+    dnswire::WireBuffer retry_payload;  // upstream query bytes for failover
   };
 
   void handle_client_query(simnet::Simulator& sim, simnet::Device& self,

@@ -24,7 +24,7 @@ class ZoneStore {
   /// Result of a lookup.
   struct Result {
     dnswire::Rcode rcode = dnswire::Rcode::NXDOMAIN;
-    std::vector<dnswire::ResourceRecord> answers;  // includes CNAME chain
+    dnswire::RecordSection answers;  // includes CNAME chain
   };
 
   /// Look up `name`/`type` (IN class), following up to 8 CNAMEs.

@@ -21,7 +21,7 @@ std::pair<PortId, PortId> Simulator::connect(Device& a, Device& b, LinkConfig co
   return {a_port, b_port};
 }
 
-void Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+void Simulator::schedule(SimDuration delay, EventFn fn) {
   queue_.push(Event{now_ + delay, ++seq_counter_, std::move(fn)});
 }
 
@@ -103,9 +103,14 @@ void Simulator::transmit(Device& from, PortId port, UdpPacket packet) {
       to->receive(*this, std::move(pkt), to_port);
     });
   }
-  schedule(delivery, [this, to, to_port, pkt = std::move(packet)]() mutable {
+  auto deliver = [this, to, to_port, pkt = std::move(packet)]() mutable {
     to->receive(*this, std::move(pkt), to_port);
-  });
+  };
+  // The delivery closure is the hot path: it must ride EventFn's inline
+  // buffer, or every packet hop costs a heap allocation again.
+  static_assert(sizeof(deliver) <= EventFn::kInlineCapacity);
+  static_assert(std::is_nothrow_move_constructible_v<decltype(deliver)>);
+  schedule(delivery, std::move(deliver));
 }
 
 std::size_t Simulator::run_until_idle(std::size_t max_events) {

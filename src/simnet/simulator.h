@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "simnet/device.h"
+#include "simnet/event_fn.h"
 #include "simnet/fault.h"
 #include "simnet/rng.h"
 #include "simnet/time.h"
@@ -55,8 +56,9 @@ class Simulator {
   /// freshly allocated port ids (a's port, b's port).
   std::pair<PortId, PortId> connect(Device& a, Device& b, LinkConfig config = {});
 
-  /// Schedule `fn` to run after `delay`.
-  void schedule(SimDuration delay, std::function<void()> fn);
+  /// Schedule `fn` to run after `delay`. EventFn keeps packet-delivery
+  /// closures in inline storage — see event_fn.h.
+  void schedule(SimDuration delay, EventFn fn);
 
   /// Transmit `packet` out of `port` on `from`; the peer receives it after
   /// the link latency unless the link loss model drops it.
@@ -93,7 +95,7 @@ class Simulator {
   struct Event {
     SimTime at;
     std::uint64_t seq;  // FIFO tie-break for determinism
-    std::function<void()> fn;
+    EventFn fn;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {

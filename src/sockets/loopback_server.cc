@@ -87,7 +87,7 @@ void LoopbackDnsServer::serve_udp_datagram() {
   // UDP answers obey the advertised payload limit.
   resolvers::DnsServerApp::truncate_to_fit(
       *response, resolvers::DnsServerApp::udp_payload_limit(*query));
-  std::vector<std::uint8_t> wire = dnswire::encode_message(*response);
+  dnswire::WireBuffer wire = dnswire::encode_message(*response);
   if (response_delay_.count() > 0) {
     // Hold the answer in the deferred queue; the serve loop flushes it when
     // due, so other clients' queries keep being ingested in the meantime.
@@ -139,7 +139,7 @@ void LoopbackDnsServer::serve_tcp_connection() {
         auto response = responder_->respond(*query, context);
         if (response) {
           // No truncation over TCP (RFC 7766).
-          std::vector<std::uint8_t> wire = dnswire::encode_message(*response);
+          dnswire::WireBuffer wire = dnswire::encode_message(*response);
           std::vector<std::uint8_t> framed;
           framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
           framed.push_back(static_cast<std::uint8_t>(wire.size() & 0xff));

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "netbase/endpoint.h"
+#include "dnswire/encoder.h"
 #include "resolvers/server_app.h"
 
 namespace dnslocate::sockets {
@@ -49,7 +50,7 @@ class LoopbackDnsServer {
   /// A UDP answer waiting out the configured response delay.
   struct PendingSend {
     std::chrono::steady_clock::time_point due;
-    std::vector<std::uint8_t> wire;
+    dnswire::WireBuffer wire;
     sockaddr_storage to;
     socklen_t to_len;
   };

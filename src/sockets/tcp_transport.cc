@@ -141,7 +141,7 @@ core::QueryResult TcpTransport::query_once(const netbase::Endpoint& server,
   }
 
   // RFC 7766 §8: two-octet length prefix, then the message.
-  std::vector<std::uint8_t> wire = dnswire::encode_message(message);
+  dnswire::WireBuffer wire = dnswire::encode_message(message);
   if (wire.size() > 0xffff) return result;
   std::vector<std::uint8_t> framed;
   framed.reserve(wire.size() + 2);

@@ -15,6 +15,7 @@
 #include "core/retry.h"
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
+#include "dnswire/view.h"
 #include "obs/clock.h"
 #include "obs/span.h"
 #include "simnet/rng.h"
@@ -219,7 +220,7 @@ void UdpEngine::run(core::QueryBatch& batch) {
       }
       sockaddr_storage dest{};
       socklen_t dest_len = to_sockaddr(q.spec->server, dest);
-      std::vector<std::uint8_t> wire = dnswire::encode_message(q.attempt_message);
+      dnswire::WireBuffer wire = dnswire::encode_message(q.attempt_message);
       sent = ::sendto(fd, wire.data(), wire.size(), 0,
                       reinterpret_cast<const sockaddr*>(&dest), dest_len) >= 0;
     }
@@ -336,7 +337,15 @@ void UdpEngine::run(core::QueryBatch& batch) {
                              reinterpret_cast<sockaddr*>(&from), &from_len);
       if (n <= 0) break;  // EAGAIN: drained the socket
 
-      auto response = dnswire::decode_message({buffer, static_cast<std::size_t>(n)});
+      // Prefilter with the zero-copy view: a structural walk yields the
+      // transaction ID and QR bit without materializing names or records,
+      // so datagrams that match no in-flight query (scans, stray retries,
+      // late duplicates after completion) never pay for a full decode.
+      auto view = dnswire::decode_view({buffer, static_cast<std::size_t>(n)});
+      if (!view || !view->is_response()) continue;
+      if (by_id.find(view->id()) == by_id.end()) continue;
+
+      auto response = view->to_message();
       if (!response) continue;
       auto source = from_sockaddr(from);
       if (!source) continue;

@@ -112,7 +112,7 @@ core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
 
   sockaddr_storage dest{};
   socklen_t dest_len = to_sockaddr(server, dest);
-  std::vector<std::uint8_t> wire = dnswire::encode_message(message);
+  dnswire::WireBuffer wire = dnswire::encode_message(message);
   auto sent_at = now();
   if (::sendto(fd.get(), wire.data(), wire.size(), 0,
                reinterpret_cast<const sockaddr*>(&dest), dest_len) < 0)

@@ -1,0 +1,133 @@
+// The shared scenario corpus: one configuration per scenario family the
+// pipeline distinguishes — every verdict class, both interception locations,
+// scoped and blocking policies, v6-only interception, and a faulty lossy link
+// with retries. Used by the engine-equivalence suite (blocking vs async) and
+// the fleet-sharding suite (1 vs N shards); both prove their executors
+// byte-identical over exactly this corpus, so the two invariances compose.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/scenario.h"
+#include "core/describe.h"
+#include "core/pipeline.h"
+
+namespace dnslocate::testing_corpus {
+
+/// Everything the equality gates compare: the rendered evidence trail plus
+/// the location, the skipped-stage mask, and the telemetry counts. RTTs are
+/// the one engine-dependent field and are not part of describe().
+inline std::string signature(const core::ProbeVerdict& verdict) {
+  std::string s = core::describe(verdict);
+  s += "\nlocation=" + std::string(core::to_string(verdict.location));
+  s += " skipped=" + std::to_string(verdict.skipped_stages);
+  s += " queries=" + std::to_string(verdict.telemetry.queries);
+  s += " attempts=" + std::to_string(verdict.telemetry.attempts);
+  s += " retries=" + std::to_string(verdict.telemetry.retries);
+  s += " timeouts=" + std::to_string(verdict.telemetry.timeouts);
+  s += " answered=" + std::to_string(verdict.telemetry.answered);
+  return s;
+}
+
+struct Case {
+  const char* name;
+  atlas::ScenarioConfig config;
+};
+
+inline std::vector<Case> corpus() {
+  using atlas::CpeStyle;
+  using atlas::ScenarioConfig;
+  using resolvers::PublicResolverKind;
+
+  std::vector<Case> cases;
+
+  cases.push_back({"benign_closed", {}});
+
+  {
+    ScenarioConfig c;
+    c.cpe.kind = CpeStyle::Kind::benign_open_dnsmasq;
+    cases.push_back({"benign_open_dnsmasq", c});
+  }
+  {
+    ScenarioConfig c;
+    c.cpe.kind = CpeStyle::Kind::xb6_buggy;
+    cases.push_back({"xb6_buggy", c});
+  }
+  {
+    ScenarioConfig c;
+    c.cpe.kind = CpeStyle::Kind::xb6_healthy;
+    cases.push_back({"xb6_healthy", c});
+  }
+  {
+    ScenarioConfig c;
+    c.cpe.kind = CpeStyle::Kind::pihole;
+    c.cpe.version = "2.87";
+    cases.push_back({"pihole", c});
+  }
+  {
+    ScenarioConfig c;
+    c.cpe.kind = CpeStyle::Kind::intercept_unbound;
+    c.cpe.version = "1.9.0";
+    c.cpe.identity = "routing.v2.pw";
+    cases.push_back({"intercept_unbound", c});
+  }
+  {
+    ScenarioConfig c;
+    c.isp_policy.middlebox_enabled = true;
+    cases.push_back({"isp_middlebox", c});
+  }
+  {
+    ScenarioConfig c;
+    c.cpe.kind = CpeStyle::Kind::benign_open_dnsmasq;
+    c.isp_policy.middlebox_enabled = true;
+    cases.push_back({"isp_middlebox_open_cpe", c});
+  }
+  {
+    ScenarioConfig c;
+    c.isp_policy.middlebox_enabled = true;
+    c.isp_policy.ignore_bogon_queries = true;
+    cases.push_back({"bogon_discarding", c});
+  }
+  {
+    ScenarioConfig c;
+    c.external_interceptor = true;
+    cases.push_back({"external_interceptor", c});
+  }
+  {
+    ScenarioConfig c;
+    c.isp_policy.middlebox_enabled = true;
+    c.isp_policy.intercept_all_port53 = false;
+    c.isp_policy.target_actions[PublicResolverKind::cloudflare] = isp::TargetAction::divert;
+    c.isp_policy.scoped_answers_bogons = true;
+    cases.push_back({"scoped_cloudflare", c});
+  }
+  {
+    ScenarioConfig c;
+    c.isp_policy.middlebox_enabled = true;
+    c.isp_policy.default_action = isp::TargetAction::divert_block;
+    cases.push_back({"blocking_interceptor", c});
+  }
+  {
+    ScenarioConfig c;
+    c.home_ipv6 = true;
+    c.isp_policy.middlebox_enabled = true;
+    c.isp_policy.intercept_all_port53 = false;
+    c.isp_policy.target_actions_v6[PublicResolverKind::google] = isp::TargetAction::divert;
+    cases.push_back({"v6_only_interception", c});
+  }
+  {
+    // Lossy access link + retries: the retry/backoff/re-randomization
+    // machinery must also replay identically under the batched cascade.
+    atlas::ScenarioConfig c;
+    c.isp_policy.middlebox_enabled = true;
+    c.faults.p_good_to_bad = 0.05;
+    c.faults.jitter_max = std::chrono::milliseconds(5);
+    c.retry.max_attempts = 3;
+    cases.push_back({"faulty_link_with_retries", c});
+  }
+
+  return cases;
+}
+
+}  // namespace dnslocate::testing_corpus

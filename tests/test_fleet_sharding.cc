@@ -1,0 +1,217 @@
+// Shard-count invariance: the sharded fleet executor must produce
+// byte-identical per-probe verdicts — and identical downstream aggregates —
+// at any shard count, because a shard decides only *where* a probe runs,
+// never *how*. Proved over the shared scenario corpus at 1, 2, 4, and 7
+// shards, including an interrupted journaled run that resumes under a
+// *different* shard count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "atlas/journal.h"
+#include "atlas/measurement.h"
+#include "atlas/sharding.h"
+#include "report/aggregate.h"
+#include "report/results_io.h"
+#include "scenario_corpus.h"
+
+namespace dnslocate {
+namespace {
+
+using atlas::MeasurementOptions;
+using atlas::MeasurementRun;
+using atlas::ProbeSpec;
+using testing_corpus::corpus;
+using testing_corpus::signature;
+
+/// One probe per corpus scenario, with ids spread out so the stable hash
+/// distributes them non-trivially across shard counts.
+std::vector<ProbeSpec> corpus_fleet() {
+  std::vector<ProbeSpec> fleet;
+  std::uint32_t id = 1000;
+  for (const auto& c : corpus()) {
+    ProbeSpec spec;
+    spec.probe_id = id;
+    id += 7;  // non-contiguous ids: shard_of must not depend on density
+    spec.org.org = c.name;
+    spec.org.asn = 64500 + (id % 17);
+    spec.org.country = "--";
+    spec.scenario = c.config;
+    fleet.push_back(std::move(spec));
+  }
+  return fleet;
+}
+
+/// probe_id -> full verdict signature, the byte-level equality gate.
+std::map<std::uint32_t, std::string> signatures_of(const MeasurementRun& run) {
+  std::map<std::uint32_t, std::string> out;
+  for (const auto& record : run.records) out[record.probe_id] = signature(record.verdict);
+  return out;
+}
+
+MeasurementRun run_with_shards(const std::vector<ProbeSpec>& fleet, unsigned shards) {
+  MeasurementOptions options;
+  options.shards = shards;
+  return atlas::run_fleet(fleet, options);
+}
+
+TEST(FleetSharding, ShardAssignmentIsStableAndComplete) {
+  auto fleet = corpus_fleet();
+  for (unsigned shards : {1u, 2u, 4u, 7u}) {
+    auto parts = atlas::partition_fleet(fleet, shards);
+    ASSERT_EQ(parts.size(), shards);
+    std::set<std::size_t> seen;
+    for (unsigned k = 0; k < shards; ++k) {
+      std::size_t previous = 0;
+      bool first = true;
+      for (std::size_t i : parts[k]) {
+        EXPECT_TRUE(seen.insert(i).second) << "index " << i << " in two shards";
+        EXPECT_EQ(atlas::shard_of(fleet[i].probe_id, shards), k);
+        // Fleet order is preserved within a shard.
+        if (!first) {
+          EXPECT_GT(i, previous);
+        }
+        previous = i;
+        first = false;
+      }
+    }
+    EXPECT_EQ(seen.size(), fleet.size());
+  }
+  // Assignment is a function of the probe id alone: repeated calls agree.
+  for (const auto& spec : fleet)
+    EXPECT_EQ(atlas::shard_of(spec.probe_id, 4), atlas::shard_of(spec.probe_id, 4));
+}
+
+TEST(FleetSharding, ShardSeedsAreDistinctPerShard) {
+  std::set<std::uint64_t> seeds;
+  for (unsigned k = 0; k < 8; ++k) seeds.insert(atlas::shard_seed(0x9650u, k));
+  EXPECT_EQ(seeds.size(), 8u);
+}
+
+TEST(FleetSharding, VerdictsAreByteIdenticalAcrossShardCounts) {
+  auto fleet = corpus_fleet();
+  auto baseline = run_with_shards(fleet, 1);
+  ASSERT_EQ(baseline.records.size(), fleet.size());
+  auto expected = signatures_of(baseline);
+
+  for (unsigned shards : {2u, 4u, 7u}) {
+    auto run = run_with_shards(fleet, shards);
+    ASSERT_EQ(run.records.size(), fleet.size()) << shards << " shards";
+    EXPECT_EQ(signatures_of(run), expected) << shards << " shards";
+    // Record order is the fleet order regardless of which shard ran what.
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+      EXPECT_EQ(run.records[i].probe_id, fleet[i].probe_id);
+  }
+}
+
+TEST(FleetSharding, AccuracyMatrixIsIdenticalAcrossShardCounts) {
+  auto fleet = corpus_fleet();
+  auto baseline = report::accuracy_matrix(run_with_shards(fleet, 1));
+  for (unsigned shards : {2u, 4u, 7u}) {
+    auto matrix = report::accuracy_matrix(run_with_shards(fleet, shards));
+    for (int expected = 0; expected < 4; ++expected)
+      for (int measured = 0; measured < 4; ++measured)
+        EXPECT_EQ(matrix.cells[expected][measured], baseline.cells[expected][measured])
+            << shards << " shards, cell [" << expected << "][" << measured << "]";
+    EXPECT_EQ(matrix.total(), baseline.total());
+    EXPECT_EQ(matrix.correct(), baseline.correct());
+  }
+}
+
+TEST(FleetSharding, CleanShardedRunConsolidatesJournalSegments) {
+  auto fleet = corpus_fleet();
+  std::string journal = ::testing::TempDir() + "sharded_clean.journal";
+  std::remove(journal.c_str());
+
+  MeasurementOptions options;
+  options.shards = 4;
+  options.journal_path = journal;
+  auto run = atlas::run_fleet(fleet, options);
+  ASSERT_EQ(run.records.size(), fleet.size());
+
+  // Segments were consolidated into the base journal and removed.
+  EXPECT_TRUE(atlas::find_shard_segments(journal).empty());
+  auto loaded = atlas::load_journal(journal);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.records.size(), fleet.size());
+  EXPECT_EQ(loaded.header.fingerprint, atlas::fleet_fingerprint(fleet));
+}
+
+TEST(FleetSharding, InterruptedShardedRunResumesUnderDifferentShardCount) {
+  auto fleet = corpus_fleet();
+  auto baseline = run_with_shards(fleet, 1);
+
+  std::string journal = ::testing::TempDir() + "sharded_interrupt.journal";
+  std::remove(journal.c_str());
+  for (const std::string& stale : atlas::find_shard_segments(journal))
+    std::remove(stale.c_str());
+
+  // First attempt: 4 shards, and the probe in the middle of the fleet dies.
+  // max_failures stops the run early, so some probes never start and the
+  // shard segments stay on disk — the crash-shaped state resume must handle.
+  std::uint32_t doomed = fleet[fleet.size() / 2].probe_id;
+  MeasurementOptions interrupted;
+  interrupted.shards = 4;
+  interrupted.journal_path = journal;
+  interrupted.max_failures = 1;
+  interrupted.runner = [doomed](const ProbeSpec& spec, const core::CancelToken& cancel) {
+    if (spec.probe_id == doomed) throw std::runtime_error("injected crash");
+    return atlas::run_probe(spec, cancel, /*strip_raw_responses=*/true);
+  };
+  auto first = atlas::run_fleet(fleet, interrupted);
+  ASSERT_TRUE(first.stopped_early());
+  ASSERT_FALSE(atlas::find_shard_segments(journal).empty());
+
+  // Resume under a *different* shard count (7): the failed probe gets a
+  // fresh (healthy) attempt, completed probes are reused from the base
+  // journal and the segments, and the merged result matches an
+  // uninterrupted 1-shard run at the journal's fidelity contract —
+  // byte-identical through the export paths (the journal persists the
+  // verdict summary, not the rendered evidence prose, so describe() text of
+  // reused records is not part of the contract; location, outcome, and
+  // telemetry are).
+  MeasurementOptions resumed_options;
+  resumed_options.shards = 7;
+  atlas::ResumeReport report;
+  auto resumed = atlas::resume_fleet(journal, fleet, resumed_options, &report);
+  EXPECT_TRUE(report.journal_matched);
+  EXPECT_GT(report.reused, 0u);
+  EXPECT_LT(report.reused, fleet.size());  // the interruption left real work
+  ASSERT_EQ(resumed.records.size(), fleet.size());
+  EXPECT_EQ(report::run_to_jsonl(resumed), report::run_to_jsonl(baseline));
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& got = resumed.records[i];
+    const auto& want = baseline.records[i];
+    EXPECT_EQ(got.probe_id, want.probe_id);
+    EXPECT_EQ(got.outcome, want.outcome) << "probe " << got.probe_id;
+    EXPECT_EQ(got.verdict.location, want.verdict.location) << "probe " << got.probe_id;
+    EXPECT_EQ(got.verdict.skipped_stages, want.verdict.skipped_stages)
+        << "probe " << got.probe_id;
+    EXPECT_EQ(got.verdict.telemetry.queries, want.verdict.telemetry.queries)
+        << "probe " << got.probe_id;
+    EXPECT_EQ(got.verdict.telemetry.answered, want.verdict.telemetry.answered)
+        << "probe " << got.probe_id;
+  }
+
+  // The resumed run completed cleanly, so it consolidated: no segments
+  // remain and the base journal alone replays the whole fleet.
+  EXPECT_TRUE(atlas::find_shard_segments(journal).empty());
+  auto loaded = atlas::load_journal(journal);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  EXPECT_EQ(loaded.records.size(), fleet.size());
+}
+
+TEST(FleetSharding, ShardSegmentPathsNameShardAndCount) {
+  EXPECT_EQ(atlas::shard_segment_path("run.journal", 0, 4), "run.journal.shard-0-of-4");
+  EXPECT_EQ(atlas::shard_segment_path("/tmp/x/run.journal", 3, 7),
+            "/tmp/x/run.journal.shard-3-of-7");
+}
+
+}  // namespace
+}  // namespace dnslocate

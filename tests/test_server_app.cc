@@ -51,7 +51,7 @@ struct ServerWorld {
     client.bind_udp(4000, &client_app);
   }
 
-  void send(const std::vector<std::uint8_t>& payload, const char* dst = "10.0.0.53",
+  void send(const simnet::Payload& payload, const char* dst = "10.0.0.53",
             simnet::Channel channel = simnet::Channel::udp,
             std::optional<netbase::IpAddress> expected_peer = std::nullopt) {
     simnet::UdpPacket packet;
