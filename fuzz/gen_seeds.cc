@@ -94,6 +94,64 @@ std::vector<std::uint8_t> reserved_label_bits() {
   return wire;
 }
 
+// --- adversary-shaped wire (simnet/adversary.h's observable outputs) -----
+// What the DPI personalities and spoofing injectors actually put on the
+// wire, so the decoder's fuzz corpus covers the same ambiguities the
+// arbitration layer has to survive: case-folded echoes, EDNS-stripped
+// queries, self-contradictory TC responses, and forged racing answers.
+
+/// A mixed-case 0x20 query carrying an OPT record — the input a DPI box
+/// case-folds and/or EDNS-strips.
+dnswire::Message query_mixed_case_edns() {
+  dnswire::Message m;
+  m.id = 0x2020;
+  m.questions.push_back({name("WhOaMi.AkAmAi.NeT"), dnswire::RecordType::A,
+                         dnswire::RecordClass::IN});
+  dnswire::OptRecord opt;
+  opt.udp_payload_size = 1232;
+  m.additionals.push_back({name("."), dnswire::RecordType::OPT, dnswire::RecordClass::IN,
+                           0, opt});
+  return m;
+}
+
+/// The same query after dpi_foldix + dpi_optstrip mangling: question
+/// lowercased, OPT gone (a 512-byte ceiling the client never asked for).
+dnswire::WireBuffer adversary_folded_stripped() {
+  dnswire::Message m = query_mixed_case_edns();
+  m.questions.front().name = name("whoami.akamai.net");
+  m.additionals.clear();
+  return dnswire::encode_message(m);
+}
+
+/// dpi_truncor's output: TC set while the answer section is intact — a
+/// self-contradictory message no real server emits.
+dnswire::WireBuffer adversary_tc_with_answers() {
+  dnswire::Message m;
+  m.id = 0x7c7c;
+  m.flags.qr = true;
+  m.flags.ra = true;
+  m.flags.tc = true;
+  m.questions.push_back({name("whoami.akamai.net"), dnswire::RecordType::A,
+                         dnswire::RecordClass::IN});
+  m.answers.push_back(dnswire::make_a(name("whoami.akamai.net"),
+                                      netbase::Ipv4Address(192, 0, 2, 33)));
+  return dnswire::encode_message(m);
+}
+
+/// An on-path spoofer's forged location answer: copied ID and casing (it
+/// passes RFC 5452 and must be caught by arbitration), payload that matches
+/// no resolver's catalogue.
+dnswire::WireBuffer adversary_spoofed_txt() {
+  dnswire::Message m;
+  m.id = 0x2020;
+  m.flags.qr = true;
+  m.flags.ra = true;
+  m.questions.push_back({name("WhOaMi.AkAmAi.NeT"), dnswire::RecordType::TXT,
+                         dnswire::RecordClass::IN});
+  m.answers.push_back(dnswire::make_txt(name("WhOaMi.AkAmAi.NeT"), "SPOOFED"));
+  return dnswire::encode_message(m);
+}
+
 std::string journal_text() {
   atlas::JournalHeader header;
   header.fingerprint = 0x0123456789abcdefull;
@@ -151,6 +209,12 @@ int main(int argc, char** argv) {
   const std::vector<std::uint8_t> header_only = {0x00, 0x01, 0x80, 0x00, 0x00, 0x00,
                                                  0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
   write_bytes(root / "dnswire" / "header_only.bin", header_only);
+  write_bytes(root / "dnswire" / "adversary_query_mixed_case_edns.bin",
+              dnswire::encode_message(query_mixed_case_edns()));
+  write_bytes(root / "dnswire" / "adversary_query_folded_stripped.bin",
+              adversary_folded_stripped());
+  write_bytes(root / "dnswire" / "adversary_tc_with_answers.bin", adversary_tc_with_answers());
+  write_bytes(root / "dnswire" / "adversary_spoofed_txt.bin", adversary_spoofed_txt());
 
   // --- journal seeds -------------------------------------------------------
   std::string intact = journal_text();

@@ -213,6 +213,8 @@ std::vector<ProbeSpec> generate_fleet_from_plan(const std::vector<OrgQuota>& pla
       sc.faults = config.faults;
       sc.fault_classes = config.fault_classes;
       sc.retry = config.retry;
+      sc.adversary = config.adversary;
+      sc.run_fingerprint = config.run_fingerprint;
 
       // `allow_chaos_forwarder` is false for homes whose ISP intercepts:
       // pairing the two creates the (deliberately quota'd) §6

@@ -42,6 +42,12 @@ struct FleetConfig {
   std::vector<std::string> fault_classes = {"access"};
   /// Retry policy copied into every probe's scenario (single-shot default).
   core::RetryPolicy retry;
+  /// Adversaries copied into every probe's scenario (inactive by default) —
+  /// the knob bench/ablation_adversary sweeps.
+  AdversaryConfig adversary;
+  /// Run the pipeline's active fingerprint stage on every probe
+  /// (core/fingerprint.h) — how the ablation names the DPI personalities.
+  bool run_fingerprint = false;
 };
 
 /// Per-organization plan row: population size plus explicit interception

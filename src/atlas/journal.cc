@@ -41,7 +41,8 @@ using jsonio::Value;
 constexpr std::string_view kFormatName = "dnslocate-journal";
 constexpr std::uint32_t kFormatVersion = 1;
 
-constexpr std::string_view kLocationNames[] = {"not_intercepted", "cpe", "isp", "unknown"};
+constexpr std::string_view kLocationNames[] = {"not_intercepted", "cpe", "isp", "unknown",
+                                               "contested"};
 constexpr std::string_view kTransparencyNames[] = {"transparent", "status_modified", "both",
                                                    "indeterminate"};
 
@@ -156,7 +157,7 @@ simnet::FaultPlan::Counters faults_from_json(const Value& value) {
 }
 
 std::optional<core::InterceptorLocation> location_from(const std::string& name) {
-  for (std::size_t i = 0; i < 4; ++i)
+  for (std::size_t i = 0; i < std::size(kLocationNames); ++i)
     if (kLocationNames[i] == name) return static_cast<core::InterceptorLocation>(i);
   return std::nullopt;
 }

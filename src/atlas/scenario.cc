@@ -156,6 +156,14 @@ Scenario::Scenario(const ScenarioConfig& config)
   backbone_config.external_interceptor = config.external_interceptor;
   backbone_ = isp::build_backbone(sim_, backbone_config);
 
+  // --- adversaries: spoofer on the transit core ---
+  // Installed right after the backbone so the hook sees queries exactly as
+  // the core forwards them (after any external-interceptor DNAT).
+  if (config.adversary.transit_spoofer) {
+    spoofer_ = std::make_shared<simnet::SpooferHook>(*config.adversary.transit_spoofer);
+    backbone_.core->add_hook(spoofer_);
+  }
+
   // --- the probe's ISP ---
   isp::IspConfig isp_config;
   isp_config.name = config.isp_name;
@@ -170,6 +178,12 @@ Scenario::Scenario(const ScenarioConfig& config)
     isp_config.resolver_v6 = isp_resolver_v6(config.asn);
   }
   isp_ = isp::build_isp(sim_, isp_config, *backbone_.core);
+
+  // --- adversaries: DPI middlebox on the home's uplink ---
+  if (config.adversary.isp_dpi && config.adversary.isp_dpi->active()) {
+    isp_dpi_ = std::make_shared<simnet::DpiHook>(*config.adversary.isp_dpi);
+    isp_.access->add_hook(isp_dpi_);
+  }
 
   // --- the home: measurement host behind the CPE ---
   auto& host = sim_.add_device<simnet::Device>("probe-host");
@@ -191,6 +205,12 @@ Scenario::Scenario(const ScenarioConfig& config)
   cpe_ = cpe::build_cpe(sim_, cpe_config, host, *isp_.access);
   host.set_default_route(cpe_.lan_peer_port);
 
+  // --- adversaries: DPI personality on the CPE itself ---
+  if (config.adversary.cpe_dpi && config.adversary.cpe_dpi->active()) {
+    cpe_dpi_ = std::make_shared<simnet::DpiHook>(*config.adversary.cpe_dpi);
+    cpe_.device->add_hook(cpe_dpi_);
+  }
+
   // The access router needs the return route to this home.
   isp_.access->add_route(netbase::Prefix(cpe_wan_v4_, 32), cpe_.wan_peer_port);
   if (cpe_wan_v6_) isp_.access->add_route(netbase::Prefix(*cpe_wan_v6_, 128), cpe_.wan_peer_port);
@@ -202,6 +222,7 @@ core::PipelineConfig Scenario::pipeline_config() const {
   core::PipelineConfig pipeline;
   pipeline.cpe_public_ip = cpe_wan_v4_;
   pipeline.detection.test_v6 = true;  // SimTransport reports v6 support itself
+  pipeline.run_fingerprint = config_.run_fingerprint;
   if (config_.retry.enabled()) pipeline.apply_retry_policy(config_.retry);
   // Transaction IDs come from this probe's own seeded stream: hard to spoof
   // (unpredictable to an off-path attacker), yet bit-reproducible per seed.

@@ -14,6 +14,7 @@
 #include "cpe/presets.h"
 #include "isp/backbone.h"
 #include "isp/isp_network.h"
+#include "simnet/adversary.h"
 
 namespace dnslocate::atlas {
 
@@ -43,6 +44,24 @@ struct CpeStyle {
   [[nodiscard]] bool port53_open() const { return kind != Kind::benign_closed; }
 };
 
+/// Adversaries layered onto the probe's world (all inactive by default;
+/// see simnet/adversary.h for the models).
+struct AdversaryConfig {
+  /// Spoofing injector installed on the transit core: races every answer
+  /// that crosses the backbone. Queries intercepted at the CPE or ISP never
+  /// reach the core, so localization of *real* interceptors is unaffected —
+  /// exactly the invariant bench/ablation_adversary pins.
+  std::optional<simnet::SpooferConfig> transit_spoofer;
+  /// DPI personality on the ISP access router (the whole home's uplink).
+  std::optional<simnet::DpiPersonality> isp_dpi;
+  /// DPI personality on the CPE itself.
+  std::optional<simnet::DpiPersonality> cpe_dpi;
+
+  [[nodiscard]] bool active() const {
+    return transit_spoofer.has_value() || isp_dpi.has_value() || cpe_dpi.has_value();
+  }
+};
+
 /// Everything that varies between probes.
 struct ScenarioConfig {
   std::uint64_t seed = 1;
@@ -69,6 +88,10 @@ struct ScenarioConfig {
   /// Retry policy stamped onto every pipeline step's QueryOptions
   /// (single-shot by default, matching the paper).
   core::RetryPolicy retry;
+  /// Adversarial interceptors layered onto the world (inactive by default).
+  AdversaryConfig adversary;
+  /// Run the pipeline's active fingerprint stage (core/fingerprint.h).
+  bool run_fingerprint = false;
 };
 
 /// What is *actually* happening, independent of what the technique infers.
@@ -102,6 +125,12 @@ class Scenario {
   [[nodiscard]] const GroundTruth& ground_truth() const { return ground_truth_; }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
 
+  /// Installed adversary hooks (null when the knob is off) — tests read
+  /// their observation counters.
+  [[nodiscard]] simnet::SpooferHook* spoofer() { return spoofer_.get(); }
+  [[nodiscard]] simnet::DpiHook* isp_dpi() { return isp_dpi_.get(); }
+  [[nodiscard]] simnet::DpiHook* cpe_dpi() { return cpe_dpi_.get(); }
+
   /// Pipeline configuration matching this probe (CPE public IP filled in).
   [[nodiscard]] core::PipelineConfig pipeline_config() const;
 
@@ -118,6 +147,9 @@ class Scenario {
   netbase::IpAddress cpe_wan_v4_;
   std::optional<netbase::IpAddress> cpe_wan_v6_;
   std::unique_ptr<core::SimTransport> transport_;
+  std::shared_ptr<simnet::SpooferHook> spoofer_;
+  std::shared_ptr<simnet::DpiHook> isp_dpi_;
+  std::shared_ptr<simnet::DpiHook> cpe_dpi_;
   GroundTruth ground_truth_;
 };
 

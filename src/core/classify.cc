@@ -76,7 +76,11 @@ bool is_opendns_standard(std::string_view txt) {
 LocationVerdict classify_location_response(resolvers::PublicResolverKind kind,
                                            const QueryResult& result) {
   if (!result.answered()) return LocationVerdict::timed_out;
-  const dnswire::Message& response = *result.response;
+  return classify_location_message(kind, *result.response);
+}
+
+LocationVerdict classify_location_message(resolvers::PublicResolverKind kind,
+                                          const dnswire::Message& response) {
   if (response.rcode() != dnswire::Rcode::NOERROR) return LocationVerdict::error_status;
   auto txt = response.first_txt();
   if (!txt) return LocationVerdict::nonstandard;  // empty/NODATA answer
@@ -89,6 +93,22 @@ LocationVerdict classify_location_response(resolvers::PublicResolverKind kind,
     case resolvers::PublicResolverKind::opendns: standard = is_opendns_standard(*txt); break;
   }
   return standard ? LocationVerdict::standard : LocationVerdict::nonstandard;
+}
+
+bool location_evidence_contested(resolvers::PublicResolverKind kind, const QueryResult& result) {
+  // Only collected-and-conflicting answers can contest; byte-identical
+  // duplicates (replication of the same answer) were deduplicated by the
+  // transport and a lone answer has nothing to disagree with.
+  if (!result.contested() || result.all_responses.size() < 2) return false;
+  bool any_interception = false;
+  bool any_clean = false;
+  for (const auto& response : result.all_responses) {
+    if (indicates_interception(classify_location_message(kind, response)))
+      any_interception = true;
+    else
+      any_clean = true;
+  }
+  return any_interception && any_clean;
 }
 
 std::string location_response_display(const QueryResult& result) {

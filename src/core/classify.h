@@ -30,6 +30,20 @@ constexpr bool indicates_interception(LocationVerdict verdict) {
 LocationVerdict classify_location_response(resolvers::PublicResolverKind kind,
                                            const QueryResult& result);
 
+/// Classify a single response message (arbitration path: when conflicting
+/// answers are collected for one query, each is classified independently).
+LocationVerdict classify_location_message(resolvers::PublicResolverKind kind,
+                                          const dnswire::Message& response);
+
+/// True when the answers collected for one location query *disagree on
+/// interception*: at least one classifies as interception evidence and at
+/// least one as the resolver's standard format. That is the signature of an
+/// on-path spoofer racing the genuine resolver — the probe's evidence is
+/// contested and must not be used to localize (core/verdict.h contested).
+/// Conflicting answers that all classify the same way (two different wrong
+/// answers, or replicated standard answers) are NOT contested.
+bool location_evidence_contested(resolvers::PublicResolverKind kind, const QueryResult& result);
+
 /// Human rendering used in Table-2-style outputs: the TXT payload, the rcode
 /// name for errors, or "-" / "timeout".
 std::string location_response_display(const QueryResult& result);

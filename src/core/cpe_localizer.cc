@@ -47,8 +47,10 @@ CpeCheckReport CpeLocalizer::run(AsyncQueryTransport& engine,
 
   CpeCheckReport report;
   report.cpe = interpret(batch.result(0));
+  report.contested = batch.result(0).contested();
   for (std::size_t i = 0; i < suspects.size(); ++i) {
     resolvers::PublicResolverKind kind = suspects[i];
+    report.contested = report.contested || batch.result(1 + i).contested();
     VersionBindObservation obs = interpret(batch.result(1 + i));
     bool matches = report.cpe.has_string() && obs.has_string() && *report.cpe.txt == *obs.txt;
     if (matches) report.matching.push_back(kind);

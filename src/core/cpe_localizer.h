@@ -41,6 +41,10 @@ struct CpeCheckReport {
   /// §3.2's conclusion: the CPE intercepts (true when the CPE responded with
   /// a string and every checked resolver returned the identical string).
   bool cpe_is_interceptor = false;
+  /// Some comparison query collected conflicting accepted answers
+  /// (ArbitrationEvidence): the string comparison rests on contested data
+  /// and the pipeline must not turn it into a CPE/ISP attribution.
+  bool contested = false;
 };
 
 class CpeLocalizer {

@@ -37,7 +37,21 @@ std::string describe(const ProbeVerdict& verdict, const DescribeOptions& options
     std::string line = std::string(to_string(probe.kind));
     line += " " + probe.server.to_string() + " -> " + probe.display;
     line += "  [" + std::string(to_string(probe.verdict)) + "]";
+    if (probe.contested) line += "  [contested]";
     append_line(out, tab, 1, line);
+  }
+  // Arbitration evidence renders only when something was observed, so
+  // adversary-free runs describe() byte-identically to older builds.
+  {
+    const TransportTelemetry& t = verdict.telemetry;
+    if (t.conflicts != 0 || t.spoof_suspected != 0 || t.malformed != 0 ||
+        t.case_mismatches != 0) {
+      append_line(out, tab, 1,
+                  "arbitration: conflicts=" + std::to_string(t.conflicts) +
+                      " spoof_suspected=" + std::to_string(t.spoof_suspected) +
+                      " malformed=" + std::to_string(t.malformed) +
+                      " case_mismatches=" + std::to_string(t.case_mismatches));
+    }
   }
 
   if (verdict.cpe_check) {
@@ -46,6 +60,8 @@ std::string describe(const ProbeVerdict& verdict, const DescribeOptions& options
     for (const auto& [kind, obs] : verdict.cpe_check->resolver_answers)
       append_line(out, tab, 1,
                   std::string(to_string(kind)) + " -> \"" + obs.display + "\"");
+    if (verdict.cpe_check->contested)
+      append_line(out, tab, 1, "contested: conflicting answers — comparison unreliable");
     append_line(out, tab, 1,
                 verdict.cpe_check->cpe_is_interceptor
                     ? "identical strings: the CPE is the interceptor"
@@ -61,10 +77,28 @@ std::string describe(const ProbeVerdict& verdict, const DescribeOptions& options
     if (verdict.bogon->v6.tested)
       append_line(out, tab, 1,
                   verdict.bogon->v6.target.to_string() + " -> " + verdict.bogon->v6.a_display);
+    if (verdict.bogon->contested())
+      append_line(out, tab, 1, "contested: conflicting answers — in-AS conclusion unreliable");
     append_line(out, tab, 1,
                 verdict.bogon->within_isp()
                     ? "answered: the interceptor is inside the AS"
                     : "silent: interceptor beyond the AS, or it discards bogons");
+  }
+
+  if (verdict.fingerprint && verdict.fingerprint->tested) {
+    const FingerprintReport& fp = *verdict.fingerprint;
+    std::string line = "fingerprint: " + fp.target.to_string() + " ->";
+    if (fp.unreachable) {
+      line += " unreachable";
+    } else if (!fp.any_ambiguity()) {
+      line += " no ambiguity";
+    } else {
+      if (fp.case_folded) line += " case-folded";
+      if (fp.edns_stripped) line += " edns-stripped";
+      if (fp.tc_rewritten) line += " tc-rewritten";
+      line += "  [" + fp.vendor + "]";
+    }
+    append_line(out, tab, 0, line);
   }
 
   if (options.include_transparency && verdict.transparency) {

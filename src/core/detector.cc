@@ -58,6 +58,7 @@ DetectionReport InterceptionDetector::run(AsyncQueryTransport& engine, bool* dra
     bool tested = false;
     bool intercepted = false;
     bool any_answered = false;
+    bool contested = false;
   };
   std::array<std::array<FamilyTally, 2>, 4> tally{};
 
@@ -73,10 +74,17 @@ DetectionReport InterceptionDetector::run(AsyncQueryTransport& engine, bool* dra
     probe.result = batch.result(i);
     probe.verdict = classify_location_response(planned.kind, probe.result);
     probe.display = location_response_display(probe.result);
+    probe.contested = location_evidence_contested(planned.kind, probe.result);
 
     FamilyTally& t = tally[static_cast<std::size_t>(planned.kind)]
                           [planned.family == netbase::IpFamily::v4 ? 0 : 1];
     t.tested = true;
+    // Contested is a parallel signal, not a filter: the first-accepted
+    // answer still nominates suspects (a replicating interceptor also
+    // conflicts with the genuine answer, and must stay localizable), and
+    // the pipeline decides whether corroborating evidence survives or the
+    // verdict degrades to `contested` (see pipeline.cc).
+    if (probe.contested) t.contested = true;
     if (indicates_interception(probe.verdict)) t.intercepted = true;
     if (probe.result.answered()) t.any_answered = true;
     report.probes.push_back(std::move(probe));
@@ -92,6 +100,8 @@ DetectionReport InterceptionDetector::run(AsyncQueryTransport& engine, bool* dra
     summary.tested_v6 = v6.tested;
     summary.intercepted_v6 = v6.intercepted;
     summary.unreachable_v6 = v6.tested && !v6.any_answered;
+    summary.contested_v4 = v4.contested;
+    summary.contested_v6 = v6.contested;
   }
   return report;
 }

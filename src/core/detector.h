@@ -22,6 +22,13 @@ struct LocationProbe {
   QueryResult result;
   LocationVerdict verdict = LocationVerdict::timed_out;
   std::string display;  // Table-2-style rendering
+  /// Conflicting answers were collected and they disagree on interception
+  /// (see classify.h location_evidence_contested). The first-accepted
+  /// answer still drives `verdict` — a replicating interceptor also
+  /// conflicts with the genuine answer and must stay localizable — but the
+  /// pipeline refuses to output a location that rests *only* on contested
+  /// evidence (core/pipeline.cc).
+  bool contested = false;
 };
 
 /// Per-resolver interception summary.
@@ -35,9 +42,17 @@ struct ResolverInterception {
   /// technique conservatively does not count as interception.
   bool unreachable_v4 = false;
   bool unreachable_v6 = false;
+  /// Some probe of that family was contested (conflicting answers that
+  /// disagree on interception): its detection evidence needs corroboration
+  /// before it can support a localization claim.
+  bool contested_v4 = false;
+  bool contested_v6 = false;
 
   [[nodiscard]] bool intercepted(netbase::IpFamily family) const {
     return family == netbase::IpFamily::v4 ? intercepted_v4 : intercepted_v6;
+  }
+  [[nodiscard]] bool contested(netbase::IpFamily family) const {
+    return family == netbase::IpFamily::v4 ? contested_v4 : contested_v6;
   }
 };
 
@@ -56,6 +71,14 @@ struct DetectionReport {
   }
   [[nodiscard]] bool any_intercepted() const {
     return any_intercepted(netbase::IpFamily::v4) || any_intercepted(netbase::IpFamily::v6);
+  }
+  [[nodiscard]] bool any_contested(netbase::IpFamily family) const {
+    for (const auto& r : per_resolver)
+      if (r.contested(family)) return true;
+    return false;
+  }
+  [[nodiscard]] bool any_contested() const {
+    return any_contested(netbase::IpFamily::v4) || any_contested(netbase::IpFamily::v6);
   }
   /// Resolvers flagged as intercepted in the given family.
   [[nodiscard]] std::vector<resolvers::PublicResolverKind> intercepted_kinds(

@@ -45,6 +45,13 @@ struct BogonReport {
   /// §3.3's conclusion: a response to an unroutable address means the
   /// request "must have been intercepted before it could leave the AS".
   [[nodiscard]] bool within_isp() const { return v4.answered() || v6.answered(); }
+
+  /// Some bogon probe collected conflicting accepted answers: the in-AS
+  /// conclusion rests on contested data (see core/verdict.h contested).
+  [[nodiscard]] bool contested() const {
+    return v4.a_query.contested() || v4.version_query.contested() ||
+           v6.a_query.contested() || v6.version_query.contested();
+  }
 };
 
 class IspLocalizer {

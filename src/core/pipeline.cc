@@ -49,6 +49,7 @@ ProbeVerdict LocalizationPipeline::run(AsyncQueryTransport& engine, const Cancel
   config.bogon.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::bogon);
   config.replication.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::replication);
   config.transparency.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::transparency);
+  config.fingerprint.id_seed = stage_id_seed(config.query_id_seed, PipelineStage::fingerprint);
 
   auto skip_tail = [&](bool include_cpe_and_bogon) {
     if (include_cpe_and_bogon) {
@@ -57,6 +58,30 @@ ProbeVerdict LocalizationPipeline::run(AsyncQueryTransport& engine, const Cancel
     }
     if (config.detect_replication) mark_skipped(verdict, PipelineStage::replication);
     if (config.run_transparency) mark_skipped(verdict, PipelineStage::transparency);
+    if (config.run_fingerprint) mark_skipped(verdict, PipelineStage::fingerprint);
+  };
+
+  // Opt-in active fingerprinting (core/fingerprint.h). Runs on every
+  // non-cancelled path — a DPI middlebox that never alters answer *content*
+  // is invisible to detection yet still fingerprintable. Targets the first
+  // interception suspect when there is one, the configured default when not.
+  auto fingerprint_stage = [&](const std::vector<resolvers::PublicResolverKind>& suspects) {
+    if (!config.run_fingerprint) return;
+    if (cancel.cancelled()) {
+      mark_skipped(verdict, PipelineStage::fingerprint);
+      return;
+    }
+    obs::Span span("pipeline/fingerprint");
+    FingerprintProber prober(config.fingerprint);
+    resolvers::PublicResolverKind target =
+        suspects.empty() ? config.fingerprint.default_target : suspects.front();
+    bool drained = false;
+    FingerprintReport report = prober.run(engine, target, &drained);
+    if (drained) {
+      mark_skipped(verdict, PipelineStage::fingerprint);
+    } else {
+      verdict.fingerprint = std::move(report);
+    }
   };
 
   if (cancel.cancelled()) {
@@ -84,10 +109,24 @@ ProbeVerdict LocalizationPipeline::run(AsyncQueryTransport& engine, const Cancel
                                  : netbase::IpFamily::v6;
   auto suspects = verdict.detection.intercepted_kinds(family);
   if (suspects.empty()) {
+    if (!detection_drained && verdict.detection.any_contested()) {
+      // Conflicting answers disagreed on interception and no resolver shows
+      // *uncontested* interception: something tampered with the probe's
+      // answers, but every localization signal would rest on the contested
+      // data. Never fabricate a location from it (§3.1's conservatism,
+      // extended to adversarial paths).
+      verdict.location = InterceptorLocation::contested;
+      fingerprint_stage(suspects);
+      return finish();
+    }
     // With a drained detection batch the verdict stays partial: "nothing was
     // detected" is only a claim when detection actually completed.
     verdict.location = InterceptorLocation::not_intercepted;
-    if (detection_drained) skip_tail(true);
+    if (detection_drained) {
+      skip_tail(true);
+    } else {
+      fingerprint_stage(suspects);
+    }
     return finish();
   }
 
@@ -115,12 +154,24 @@ ProbeVerdict LocalizationPipeline::run(AsyncQueryTransport& engine, const Cancel
     }
   }
 
+  // Tracks whether any stage's evidence drew conflicting answers. A
+  // location is still claimed when *uncontested* corroboration exists (the
+  // CPE-addressed version.bind match, an uncontested bogon answer — both
+  // unreachable by a transit-core injector); otherwise conflicting evidence
+  // degrades the verdict to `contested`, never a fabricated location.
+  bool evidence_contested = verdict.detection.any_contested();
+
   if (verdict.cpe_check && verdict.cpe_check->cpe_is_interceptor) {
+    // Corroborated: the query addressed to the CPE's own public IP cannot
+    // travel beyond the CPE (§3.2), so no in-core adversary can fabricate
+    // the string match that produced this attribution.
     verdict.location = InterceptorLocation::cpe;
   } else if (cpe_drained || cancel.cancelled()) {
     verdict.location = InterceptorLocation::unknown;
     mark_skipped(verdict, PipelineStage::bogon);
   } else {
+    evidence_contested =
+        evidence_contested || (verdict.cpe_check && verdict.cpe_check->contested);
     // Step 3: bogon probing (§3.3).
     obs::Span span("pipeline/bogon");
     IspLocalizer isp(config.bogon);
@@ -131,8 +182,16 @@ ProbeVerdict LocalizationPipeline::run(AsyncQueryTransport& engine, const Cancel
       verdict.location = InterceptorLocation::unknown;
     } else {
       verdict.bogon = std::move(report);
-      verdict.location = verdict.bogon->within_isp() ? InterceptorLocation::isp
-                                                     : InterceptorLocation::unknown;
+      evidence_contested = evidence_contested || verdict.bogon->contested();
+      if (verdict.bogon->within_isp() && !verdict.bogon->contested()) {
+        // Corroborated: bogon-addressed queries cannot leave the AS, so an
+        // uncontested answer to one is in-ISP evidence no external injector
+        // can forge.
+        verdict.location = InterceptorLocation::isp;
+      } else {
+        verdict.location = evidence_contested ? InterceptorLocation::contested
+                                              : InterceptorLocation::unknown;
+      }
     }
   }
 
@@ -170,6 +229,8 @@ ProbeVerdict LocalizationPipeline::run(AsyncQueryTransport& engine, const Cancel
       }
     }
   }
+
+  fingerprint_stage(suspects);
   return finish();
 }
 

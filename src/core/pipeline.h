@@ -6,6 +6,7 @@
 
 #include "core/cpe_localizer.h"
 #include "core/detector.h"
+#include "core/fingerprint.h"
 #include "core/isp_localizer.h"
 #include "core/replication.h"
 #include "core/transparency.h"
@@ -31,6 +32,11 @@ struct PipelineConfig {
   /// records which one it was).
   bool detect_replication = false;
   ReplicationProber::Config replication;
+  /// Actively fingerprint in-path middleboxes by their parsing ambiguities
+  /// (core/fingerprint.h). Off by default: it adds probe traffic and the
+  /// baseline corpus predates it.
+  bool run_fingerprint = false;
+  FingerprintProber::Config fingerprint;
 
   /// Seed for the probe's transaction-ID streams. The pipeline derives an
   /// independent per-stage stream from this (overriding the stage configs'
@@ -48,6 +54,7 @@ struct PipelineConfig {
     bogon.query.retry = policy;
     transparency.query.retry = policy;
     replication.query.retry = policy;
+    fingerprint.query.retry = policy;
   }
 
   /// Stamp one cancellation token onto every step's QueryOptions so the
@@ -58,6 +65,7 @@ struct PipelineConfig {
     bogon.query.cancel = token;
     transparency.query.cancel = token;
     replication.query.cancel = token;
+    fingerprint.query.cancel = token;
   }
 };
 
@@ -68,6 +76,7 @@ enum class PipelineStage : std::uint8_t {
   bogon = 2,
   replication = 3,
   transparency = 4,
+  fingerprint = 5,
 };
 
 /// Everything the pipeline learned about one vantage point.
@@ -77,6 +86,9 @@ struct ProbeVerdict {
   std::optional<BogonReport> bogon;             // only when needed
   std::optional<TransparencyReport> transparency;
   std::optional<ReplicationReport> replication;   // when detect_replication
+  /// Interceptor fingerprint (when run_fingerprint): which parsing
+  /// ambiguities the path exhibits and the zoo personality they name.
+  std::optional<FingerprintReport> fingerprint;
   InterceptorLocation location = InterceptorLocation::not_intercepted;
   /// Transport activity for this probe's run: queries, retry attempts, and
   /// timeouts — the loss-resilience observability the fault ablation reads.
@@ -92,6 +104,9 @@ struct ProbeVerdict {
   [[nodiscard]] bool intercepted() const {
     return location != InterceptorLocation::not_intercepted;
   }
+  /// Conflicting answers disagreed and no uncontested evidence decided the
+  /// location: interception is established, its locus deliberately is not.
+  [[nodiscard]] bool contested() const { return location == InterceptorLocation::contested; }
   [[nodiscard]] bool partial() const { return skipped_stages != 0; }
   [[nodiscard]] bool stage_skipped(PipelineStage stage) const {
     return (skipped_stages & static_cast<std::uint8_t>(1u << static_cast<unsigned>(stage))) != 0;

@@ -50,10 +50,23 @@ void SimTransport::on_datagram(simnet::Simulator&, simnet::Device&,
       collecting_->result.icmp_from = packet.src;
     return;
   }
+  ArbitrationEvidence& evidence = collecting_->result.arbitration;
   auto message = dnswire::decode_message(packet.payload);
-  if (!message || !collecting_->query ||
-      !dnswire::is_acceptable_response(*collecting_->query, *message))
+  if (!message) {
+    ++evidence.malformed;  // on our flow but not DNS: injection debris
     return;
+  }
+  if (packet.src_endpoint() != collecting_->server) {
+    // Legitimate diverted replies are conntrack-rewritten back to the
+    // queried endpoint; anything else is a wrong-egress injection.
+    ++evidence.spoof_suspected;
+    return;
+  }
+  if (!collecting_->query ||
+      !dnswire::is_acceptable_response(*collecting_->query, *message)) {
+    ++evidence.spoof_suspected;  // wrong ID / unechoed question: off-path guess
+    return;
+  }
   // A byte-identical datagram from the same source is network duplication
   // (or a fault-injected copy), not query replication: a real stub cannot
   // tell the two packets apart either, so the copy is discarded rather than
@@ -63,11 +76,22 @@ void SimTransport::on_datagram(simnet::Simulator&, simnet::Device&,
     if (src == packet.src_endpoint() && hash == fingerprint) return;
   collecting_->seen.emplace_back(packet.src_endpoint(), fingerprint);
 
+  // RFC 5452 accepts a case-folded question echo; record the rewrite as
+  // evidence (a DPI middlebox ambiguity — see simnet/adversary.h).
+  if (const auto* echoed = message->question())
+    if (const auto* asked = collecting_->query->question())
+      if (!(echoed->name == asked->name)) ++evidence.case_mismatches;
+
   if (!collecting_->result.answered()) {
     collecting_->result.status = QueryResult::Status::answered;
     collecting_->result.response = *message;
     collecting_->result.rtt = std::chrono::duration_cast<std::chrono::microseconds>(
         sim_.now() - collecting_->sent_at);
+  } else if (responses_conflict(*collecting_->result.response, *message)) {
+    // The duplicate window stayed open and a semantically different answer
+    // raced in: the transaction is contested, and both answers are kept in
+    // all_responses for the classifier to arbitrate.
+    ++evidence.conflicts;
   }
   collecting_->result.all_responses.push_back(std::move(*message));
 }
@@ -80,6 +104,7 @@ QueryResult SimTransport::attempt(const netbase::Endpoint& server,
   state.port = next_port_++;
   if (next_port_ < 40000) next_port_ = 40000;
   state.id = message.id;
+  state.server = server;
   state.query = &message;
   state.sent_at = sim_.now();
   collecting_ = &state;
@@ -130,6 +155,7 @@ QueryResult SimTransport::query(const netbase::Endpoint& server,
   RetryTelemetry telemetry;
   QueryResult result;
   std::optional<netbase::IpAddress> icmp_from;
+  ArbitrationEvidence evidence;  // accumulated across attempts
 
   for (unsigned attempt_number = 1; attempt_number <= budget; ++attempt_number) {
     if (attempt_number > 1) {
@@ -146,12 +172,14 @@ QueryResult SimTransport::query(const netbase::Endpoint& server,
     }
     result = attempt(server, attempt_message, options);
     telemetry.attempts = attempt_number;
+    evidence += result.arbitration;
     if (!result.icmp_from && icmp_from) result.icmp_from = icmp_from;
     if (result.answered()) break;
     ++telemetry.timeouts;
     if (result.icmp_from) icmp_from = result.icmp_from;  // keep across attempts
   }
   result.retry = telemetry;
+  result.arbitration = evidence;
   record_telemetry(result);
   return result;
 }

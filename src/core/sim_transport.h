@@ -57,6 +57,10 @@ class SimTransport : public QueryTransport, private simnet::UdpApp, public Async
   struct Collecting {
     std::uint16_t port = 0;
     std::uint16_t id = 0;
+    /// Endpoint the query went to: responses from anywhere else are spoof
+    /// evidence, not answers (NAT/DNAT conntrack rewrites legitimate
+    /// diverted replies back to this endpoint before they reach us).
+    netbase::Endpoint server;
     const dnswire::Message* query = nullptr;
     bool deadline_passed = false;
     QueryResult result;

@@ -39,6 +39,49 @@ struct QueryOptions {
   CancelToken cancel;
 };
 
+/// Per-query answer-arbitration evidence. The transports do not merely take
+/// the first RFC 5452-valid response: they keep collecting for the rest of
+/// the duplicate window and record everything that did not match the
+/// accepted answer, so the classifier can tell a clean path from one where
+/// an on-path injector raced the genuine resolver (Whac-A-Mole,
+/// arXiv 2011.12978).
+struct ArbitrationEvidence {
+  /// Datagrams on the query's flow that decoded but failed RFC 5452
+  /// acceptance (wrong ID, unechoed question, ...) or arrived from an
+  /// endpoint other than the queried server: off-path injection attempts.
+  std::uint64_t spoof_suspected = 0;
+  /// Datagrams on the query's flow that did not decode as DNS at all.
+  std::uint64_t malformed = 0;
+  /// Accepted responses that semantically disagree with the first accepted
+  /// answer (see responses_conflict): the probe's evidence is contested.
+  std::uint64_t conflicts = 0;
+  /// Accepted responses whose echoed question differed from the sent one
+  /// byte-for-byte. RFC 5452 compares names case-insensitively, so these
+  /// are accepted — but a mismatch means something in path re-wrote the
+  /// 0x20 casing (a DPI ambiguity worth fingerprinting).
+  std::uint64_t case_mismatches = 0;
+
+  [[nodiscard]] bool contested() const { return conflicts > 0; }
+
+  ArbitrationEvidence& operator+=(const ArbitrationEvidence& other) {
+    spoof_suspected += other.spoof_suspected;
+    malformed += other.malformed;
+    conflicts += other.conflicts;
+    case_mismatches += other.case_mismatches;
+    return *this;
+  }
+};
+
+/// Do two accepted responses to the same transaction disagree in a way a
+/// stub resolver would care about? Compares the response code, the
+/// truncation bit, and the answer section; additional-section or
+/// compression differences are not conflicts. Byte-identical duplicates
+/// never reach this check — the transports deduplicate them first.
+[[nodiscard]] inline bool responses_conflict(const dnswire::Message& a,
+                                             const dnswire::Message& b) {
+  return a.rcode() != b.rcode() || a.flags.tc != b.flags.tc || a.answers != b.answers;
+}
+
 /// Outcome of one query.
 struct QueryResult {
   enum class Status { answered, timed_out };
@@ -56,9 +99,12 @@ struct QueryResult {
   std::optional<netbase::IpAddress> icmp_from;
   /// How many attempts this query took and how many timed out.
   RetryTelemetry retry;
+  /// What else arrived on this query's flow besides the accepted answer.
+  ArbitrationEvidence arbitration;
 
   [[nodiscard]] bool answered() const { return status == Status::answered; }
   [[nodiscard]] bool replicated() const { return all_responses.size() > 1; }
+  [[nodiscard]] bool contested() const { return arbitration.contested(); }
 };
 
 /// Running tally of transport activity, kept by every QueryTransport. The
@@ -70,6 +116,14 @@ struct TransportTelemetry {
   std::uint64_t retries = 0;    // attempts beyond each query's first
   std::uint64_t timeouts = 0;   // attempts that ended in silence
   std::uint64_t answered = 0;   // queries that got an acceptable response
+  // Arbitration tallies (see ArbitrationEvidence for semantics).
+  std::uint64_t spoof_suspected = 0;  // rejected or wrong-source datagrams
+  std::uint64_t malformed = 0;        // undecodable datagrams on query flows
+  std::uint64_t conflicts = 0;        // accepted answers disagreeing
+  std::uint64_t case_mismatches = 0;  // accepted answers with re-cased qname
+  /// Responses that matched a transaction which had already completed or
+  /// been cancelled: dropped, but counted so arbitration evidence is exact.
+  std::uint64_t late_duplicates = 0;
 
   void note(const QueryResult& result) {
     ++queries;
@@ -77,6 +131,10 @@ struct TransportTelemetry {
     retries += result.retry.retries();
     timeouts += result.retry.timeouts;
     if (result.answered()) ++answered;
+    spoof_suspected += result.arbitration.spoof_suspected;
+    malformed += result.arbitration.malformed;
+    conflicts += result.arbitration.conflicts;
+    case_mismatches += result.arbitration.case_mismatches;
   }
 
   TransportTelemetry& operator+=(const TransportTelemetry& other) {
@@ -85,6 +143,11 @@ struct TransportTelemetry {
     retries += other.retries;
     timeouts += other.timeouts;
     answered += other.answered;
+    spoof_suspected += other.spoof_suspected;
+    malformed += other.malformed;
+    conflicts += other.conflicts;
+    case_mismatches += other.case_mismatches;
+    late_duplicates += other.late_duplicates;
     return *this;
   }
 
@@ -94,6 +157,11 @@ struct TransportTelemetry {
     a.retries -= b.retries;
     a.timeouts -= b.timeouts;
     a.answered -= b.answered;
+    a.spoof_suspected -= b.spoof_suspected;
+    a.malformed -= b.malformed;
+    a.conflicts -= b.conflicts;
+    a.case_mismatches -= b.case_mismatches;
+    a.late_duplicates -= b.late_duplicates;
     return a;
   }
 };
@@ -112,6 +180,10 @@ inline void note_transport_metrics(const QueryResult& result) {
   static obs::Counter& timeouts = obs::registry().counter("transport_timeouts_total");
   static obs::Counter& answered = obs::registry().counter("transport_answered_total");
   static obs::Histogram& rtt_us = obs::registry().histogram("transport_rtt_us");
+  static obs::Counter& spoofs = obs::registry().counter("transport_spoof_suspected_total");
+  static obs::Counter& malformed = obs::registry().counter("transport_malformed_total");
+  static obs::Counter& conflicts = obs::registry().counter("transport_conflicts_total");
+  static obs::Counter& recased = obs::registry().counter("transport_case_mismatches_total");
   queries.add_always(1);
   attempts.add_always(result.retry.attempts);
   retries.add_always(result.retry.retries());
@@ -120,6 +192,19 @@ inline void note_transport_metrics(const QueryResult& result) {
     answered.add_always(1);
     rtt_us.record_always(static_cast<std::uint64_t>(result.rtt.count()));
   }
+  if (result.arbitration.spoof_suspected != 0) spoofs.add_always(result.arbitration.spoof_suspected);
+  if (result.arbitration.malformed != 0) malformed.add_always(result.arbitration.malformed);
+  if (result.arbitration.conflicts != 0) conflicts.add_always(result.arbitration.conflicts);
+  if (result.arbitration.case_mismatches != 0)
+    recased.add_always(result.arbitration.case_mismatches);
+}
+
+/// Mirror one dropped late/spoofed datagram (a response for a transaction
+/// that already completed or was cancelled) onto the metrics registry.
+inline void note_late_duplicate_metric() {
+  if (!obs::metrics_enabled()) return;
+  static obs::Counter& late = obs::registry().counter("transport_late_duplicates_total");
+  late.add_always(1);
 }
 
 /// Synchronous DNS query interface.
@@ -152,6 +237,14 @@ class QueryTransport {
   void record_telemetry(const QueryResult& result) {
     telemetry_.note(result);
     note_transport_metrics(result);
+  }
+
+  /// Count a response that arrived for an already-finished transaction.
+  /// Not tied to a QueryResult: the result was recorded when the
+  /// transaction completed, so late arrivals are tallied transport-wide.
+  void record_late_duplicate() {
+    ++telemetry_.late_duplicates;
+    note_late_duplicate_metric();
   }
 
  private:

@@ -8,6 +8,7 @@ std::string_view to_string(InterceptorLocation location) {
     case InterceptorLocation::cpe: return "CPE";
     case InterceptorLocation::isp: return "within ISP";
     case InterceptorLocation::unknown: return "unknown";
+    case InterceptorLocation::contested: return "contested";
   }
   return "?";
 }

@@ -1,6 +1,7 @@
 // Top-level verdicts produced by the localization pipeline.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 namespace dnslocate::core {
@@ -8,10 +9,15 @@ namespace dnslocate::core {
 /// Where the interceptor sits (Figure 4's categories).
 enum class InterceptorLocation {
   not_intercepted,
-  cpe,      // §3.2: the home router itself
-  isp,      // §3.3: inside the client's AS
-  unknown,  // intercepted, but beyond what bogon probing can prove
+  cpe,        // §3.2: the home router itself
+  isp,        // §3.3: inside the client's AS
+  unknown,    // intercepted, but beyond what bogon probing can prove
+  contested,  // conflicting answers raced each other: something tampered,
+              // but the evidence disagrees with itself and no location may
+              // honestly be claimed (spoofing / replication in path)
 };
+
+inline constexpr std::size_t kInterceptorLocationCount = 5;
 
 std::string_view to_string(InterceptorLocation location);
 

@@ -136,6 +136,9 @@ std::vector<Fig4Row> figure4_rows(const MeasurementRun& run, std::size_t top_n,
       case InterceptorLocation::cpe: ++row.cpe; break;
       case InterceptorLocation::isp: ++row.isp; break;
       case InterceptorLocation::unknown: ++row.unknown; break;
+      // Figure 4 keeps the paper's three categories; contested probes carry
+      // no location claim to chart.
+      case InterceptorLocation::contested: break;
       case InterceptorLocation::not_intercepted: break;
     }
   }
@@ -168,7 +171,7 @@ std::size_t ConfusionMatrix::total() const {
 
 std::size_t ConfusionMatrix::correct() const {
   std::size_t sum = 0;
-  for (std::size_t i = 0; i < 4; ++i) sum += cells[i][i];
+  for (std::size_t i = 0; i < core::kInterceptorLocationCount; ++i) sum += cells[i][i];
   return sum;
 }
 
@@ -188,12 +191,17 @@ ConfusionMatrix accuracy_matrix(const MeasurementRun& run) {
 }
 
 TextTable render_confusion(const ConfusionMatrix& matrix) {
-  static constexpr const char* kNames[] = {"not intercepted", "CPE", "within ISP", "unknown"};
-  TextTable table({"expected \\ measured", kNames[0], kNames[1], kNames[2], kNames[3]});
-  for (std::size_t i = 0; i < 4; ++i) {
-    table.add_row({kNames[i], std::to_string(matrix.cells[i][0]),
-                   std::to_string(matrix.cells[i][1]), std::to_string(matrix.cells[i][2]),
-                   std::to_string(matrix.cells[i][3])});
+  static constexpr const char* kNames[] = {"not intercepted", "CPE", "within ISP", "unknown",
+                                           "contested"};
+  static_assert(std::size(kNames) == core::kInterceptorLocationCount);
+  std::vector<std::string> header{"expected \\ measured"};
+  for (const char* name : kNames) header.emplace_back(name);
+  TextTable table(header);
+  for (std::size_t i = 0; i < core::kInterceptorLocationCount; ++i) {
+    std::vector<std::string> row{kNames[i]};
+    for (std::size_t j = 0; j < core::kInterceptorLocationCount; ++j)
+      row.push_back(std::to_string(matrix.cells[i][j]));
+    table.add_row(row);
   }
   return table;
 }
@@ -288,6 +296,8 @@ LocalizationAccuracy localization_accuracy(const MeasurementRun& run) {
       ++accuracy.correct;
     } else if (record.verdict.location == InterceptorLocation::not_intercepted) {
       ++accuracy.missed;
+    } else if (record.verdict.location == InterceptorLocation::contested) {
+      ++accuracy.contested;
     } else {
       ++accuracy.wrong_layer;
     }

@@ -63,7 +63,7 @@ BarChart render_figure4(const std::vector<Fig4Row>& rows);
 
 /// cells[expected][measured] probe counts over InterceptorLocation.
 struct ConfusionMatrix {
-  std::size_t cells[4][4] = {};
+  std::size_t cells[core::kInterceptorLocationCount][core::kInterceptorLocationCount] = {};
   [[nodiscard]] std::size_t total() const;
   [[nodiscard]] std::size_t correct() const;
   [[nodiscard]] double accuracy() const;
@@ -148,6 +148,7 @@ struct LocalizationAccuracy {
   std::size_t correct = 0;
   std::size_t missed = 0;       // classified not_intercepted (false negative)
   std::size_t wrong_layer = 0;  // intercepted but at the wrong location
+  std::size_t contested = 0;    // honest refusal: conflicting answers in path
 
   [[nodiscard]] double accuracy() const {
     return intercepted_truth == 0

@@ -9,12 +9,13 @@ using jsonio::Array;
 using jsonio::Object;
 using jsonio::Value;
 
-constexpr std::string_view kLocationNames[] = {"not_intercepted", "cpe", "isp", "unknown"};
+constexpr std::string_view kLocationNames[] = {"not_intercepted", "cpe", "isp", "unknown",
+                                               "contested"};
 constexpr std::string_view kTransparencyNames[] = {"transparent", "status_modified", "both",
                                                    "indeterminate"};
 
 std::optional<InterceptorLocation> location_from(const std::string& name) {
-  for (std::size_t i = 0; i < 4; ++i)
+  for (std::size_t i = 0; i < std::size(kLocationNames); ++i)
     if (kLocationNames[i] == name) return static_cast<InterceptorLocation>(i);
   return std::nullopt;
 }

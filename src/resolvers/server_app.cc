@@ -45,6 +45,25 @@ void DnsServerApp::on_datagram(simnet::Simulator& sim, simnet::Device& self,
   QueryContext context{packet.src, packet.dst, sim.now()};
   std::optional<dnswire::Message> response = responder_->respond(*query, context);
   if (!response) return;
+  // RFC 6891 §6.1.1: an EDNS-aware server answers an OPT-bearing query with
+  // an OPT record of its own. The echo doubles as a middlebox canary — a
+  // DPI device that strips EDNS from queries leaves the response bare (see
+  // simnet/adversary.h), which the fingerprint probe detects.
+  if (response->is_response()) {
+    bool query_has_opt = false;
+    for (const auto& rr : query->additionals)
+      if (rr.type == dnswire::RecordType::OPT) query_has_opt = true;
+    bool response_has_opt = false;
+    for (const auto& rr : response->additionals)
+      if (rr.type == dnswire::RecordType::OPT) response_has_opt = true;
+    if (query_has_opt && !response_has_opt) {
+      dnswire::ResourceRecord opt;
+      opt.name = dnswire::DnsName();  // root
+      opt.type = dnswire::RecordType::OPT;
+      opt.rdata = dnswire::OptRecord{};
+      response->additionals.push_back(std::move(opt));
+    }
+  }
   // DoT is stream-based; size limits apply to plain UDP only.
   if (packet.channel == simnet::Channel::udp &&
       truncate_to_fit(*response, udp_payload_limit(*query)))

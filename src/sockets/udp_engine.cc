@@ -146,6 +146,10 @@ void UdpEngine::run(core::QueryBatch& batch) {
   std::vector<QueryState> states(batch.size());
   std::deque<std::size_t> admission;       // not yet sent, in submission order
   std::unordered_multimap<std::uint16_t, std::size_t> by_id;  // live attempt IDs
+  // Attempt IDs whose transaction finished (completed, cancelled, or the
+  // attempt was retired by a retry). A response matching one of these is
+  // dropped — but verified and counted, so arbitration evidence is exact.
+  std::unordered_multimap<std::uint16_t, std::size_t> retired_ids;
   TimerWheel wheel;
   Fd socket_v4;
   Fd socket_v6;
@@ -184,6 +188,7 @@ void UdpEngine::run(core::QueryBatch& batch) {
     for (auto it = range.first; it != range.second; ++it)
       if (it->second == i) {
         by_id.erase(it);
+        retired_ids.emplace(states[i].attempt_message.id, i);
         break;
       }
   };
@@ -343,23 +348,61 @@ void UdpEngine::run(core::QueryBatch& batch) {
       // late duplicates after completion) never pay for a full decode.
       auto view = dnswire::decode_view({buffer, static_cast<std::size_t>(n)});
       if (!view || !view->is_response()) continue;
-      if (by_id.find(view->id()) == by_id.end()) continue;
+      if (by_id.find(view->id()) == by_id.end()) {
+        // No in-flight attempt wants this ID. If it matches a retired
+        // transaction (completed, cancelled, or a re-randomized earlier
+        // attempt), verify it really is that transaction's response and
+        // count the drop — silent ignores would make arbitration evidence
+        // inexact (see ISSUE: late/spoof demux hardening).
+        auto retired = retired_ids.equal_range(view->id());
+        if (retired.first == retired.second) continue;
+        auto late_response = view->to_message();
+        auto late_source = from_sockaddr(from);
+        if (!late_response || !late_source) continue;
+        for (auto it = retired.first; it != retired.second; ++it) {
+          const QueryState& q = states[it->second];
+          if (*late_source == q.spec->server &&
+              dnswire::is_acceptable_response(q.attempt_message, *late_response)) {
+            record_late_duplicate();
+            break;
+          }
+        }
+        continue;
+      }
 
-      auto response = view->to_message();
-      if (!response) continue;
       auto source = from_sockaddr(from);
       if (!source) continue;
+      auto response = view->to_message();
+      if (!response) {
+        // Structurally walkable but not fully decodable, on a live ID:
+        // injection debris, attributed to the first in-flight candidate.
+        auto range = by_id.equal_range(view->id());
+        for (auto it = range.first; it != range.second; ++it)
+          if (states[it->second].in_flight()) {
+            ++states[it->second].result.arbitration.malformed;
+            break;
+          }
+        continue;
+      }
 
       // Demux: transaction ID narrows to candidates, then the full RFC 5452
       // acceptance predicate (ID + opcode + echoed 0x20-encoded question)
       // and the source endpoint pin the response to one in-flight query.
       auto range = by_id.equal_range(response->id);
+      bool settled = false;  // delivered, or recognized as a duplicate
+      std::size_t wrong_source = states.size();  // acceptable, wrong endpoint
+      std::size_t unacceptable = states.size();  // right endpoint, failed check
       for (auto it = range.first; it != range.second; ++it) {
         std::size_t i = it->second;
         QueryState& q = states[i];
         if (!q.in_flight()) continue;
-        if (*source != q.spec->server) continue;
-        if (!dnswire::is_acceptable_response(q.attempt_message, *response)) continue;
+        bool source_ok = *source == q.spec->server;
+        bool acceptable = dnswire::is_acceptable_response(q.attempt_message, *response);
+        if (!source_ok || !acceptable) {
+          if (acceptable) wrong_source = i;           // wrong-egress injection
+          else if (source_ok) unacceptable = i;       // ID hit, question/0x20 miss
+          continue;
+        }
 
         std::vector<std::uint8_t> source_bytes(reinterpret_cast<std::uint8_t*>(&from),
                                                reinterpret_cast<std::uint8_t*>(&from) + from_len);
@@ -370,8 +413,15 @@ void UdpEngine::run(core::QueryBatch& batch) {
             duplicate = true;
             break;
           }
+        settled = true;
         if (duplicate) break;
         q.seen.emplace_back(std::move(source_bytes), fingerprint);
+
+        // Accepted despite a re-cased question echo (RFC 5452 compares
+        // names case-insensitively): record the DPI-ambiguity evidence.
+        if (const auto* echoed = response->question())
+          if (const auto* asked = q.attempt_message.question())
+            if (!(echoed->name == asked->name)) ++q.result.arbitration.case_mismatches;
 
         if (!q.result.answered()) {
           q.result.status = core::QueryResult::Status::answered;
@@ -381,9 +431,17 @@ void UdpEngine::run(core::QueryBatch& batch) {
           q.duplicate_deadline = Clock::now() + config_.duplicate_window;
           q.phase = QueryState::Phase::collecting;
           wheel.schedule(i, q.horizon());
+        } else if (core::responses_conflict(*q.result.response, *response)) {
+          ++q.result.arbitration.conflicts;  // a different answer raced in
         }
         q.result.all_responses.push_back(std::move(*response));
         break;
+      }
+      if (!settled) {
+        if (wrong_source != states.size())
+          ++states[wrong_source].result.arbitration.spoof_suspected;
+        else if (unacceptable != states.size())
+          ++states[unacceptable].result.arbitration.spoof_suspected;
       }
     }
   };

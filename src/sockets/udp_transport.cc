@@ -149,7 +149,18 @@ core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
     if (n <= 0) continue;
 
     auto response = dnswire::decode_message({buffer, static_cast<std::size_t>(n)});
-    if (!response || !dnswire::is_acceptable_response(message, *response)) continue;
+    if (!response) {
+      ++result.arbitration.malformed;  // on our flow but not DNS
+      continue;
+    }
+    if (from_len != dest_len || std::memcmp(&from, &dest, dest_len) != 0) {
+      ++result.arbitration.spoof_suspected;  // wrong-egress injection
+      continue;
+    }
+    if (!dnswire::is_acceptable_response(message, *response)) {
+      ++result.arbitration.spoof_suspected;  // wrong ID / unechoed question
+      continue;
+    }
 
     std::vector<std::uint8_t> source(reinterpret_cast<std::uint8_t*>(&from),
                                      reinterpret_cast<std::uint8_t*>(&from) + from_len);
@@ -163,11 +174,19 @@ core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
     if (duplicate) continue;
     seen.emplace_back(std::move(source), fingerprint);
 
+    // Accepted despite a re-cased question echo (RFC 5452 compares names
+    // case-insensitively): record the rewrite as DPI-ambiguity evidence.
+    if (const auto* echoed = response->question())
+      if (const auto* asked = message.question())
+        if (!(echoed->name == asked->name)) ++result.arbitration.case_mismatches;
+
     if (!result.answered()) {
       result.status = core::QueryResult::Status::answered;
       result.response = *response;
       result.rtt = std::chrono::duration_cast<std::chrono::microseconds>(now() - sent_at);
       duplicate_deadline = now() + config_.duplicate_window;
+    } else if (core::responses_conflict(*result.response, *response)) {
+      ++result.arbitration.conflicts;  // a different answer raced in
     }
     result.all_responses.push_back(std::move(*response));
   }
@@ -185,6 +204,7 @@ core::QueryResult UdpTransport::query(const netbase::Endpoint& server,
   simnet::Rng rng(config_.retry_seed ^ (static_cast<std::uint64_t>(message.id) << 32));
   core::RetryTelemetry telemetry;
   core::QueryResult result;
+  core::ArbitrationEvidence evidence;  // accumulated across attempts
 
   for (unsigned attempt_number = 1; attempt_number <= budget; ++attempt_number) {
     if (attempt_number > 1) {
@@ -201,10 +221,12 @@ core::QueryResult UdpTransport::query(const netbase::Endpoint& server,
     if (options.cancel.cancelled()) break;
     result = attempt(server, attempt_message, options);
     telemetry.attempts = attempt_number;
+    evidence += result.arbitration;
     if (result.answered()) break;
     ++telemetry.timeouts;
   }
   result.retry = telemetry;
+  result.arbitration = evidence;
   record_telemetry(result);
   return result;
 }
