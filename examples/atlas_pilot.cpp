@@ -81,6 +81,9 @@ int main(int argc, char** argv) {
   options.threads = threads;
   if (journal_path != nullptr) options.journal_path = journal_path;
   common.apply(options);
+  // Ctrl-C / SIGTERM drains instead of killing: in-flight probes finish,
+  // the journal is fsync'd, and the run stays resumable.
+  options.cancel = examples::install_signal_drain();
   std::size_t last_percent = 0;
   options.progress = [&](std::size_t done, std::size_t total) {
     std::size_t percent = done * 100 / total;
@@ -100,6 +103,10 @@ int main(int argc, char** argv) {
                 journal_path, report.reused, report.rerun_failed, report.damaged);
   } else {
     run = atlas::run_fleet(fleet, options);
+  }
+  if (examples::report_signal_drain(run, journal_path)) {
+    common.export_observability();
+    return 130;
   }
   if (run.stopped_early())
     std::printf("stopped early after %zu failures; %zu probes not run "

@@ -3,6 +3,8 @@
 // text, one behaviour — the binaries only keep their tool-specific flags.
 #pragma once
 
+#include <signal.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +16,44 @@
 #include "obs/metrics.h"
 
 namespace dnslocate::examples {
+
+/// The run-level cancellation token the signal handler fires. A static
+/// local so the shared state exists before the handler can run.
+inline core::CancelToken& drain_token() {
+  static core::CancelToken token = core::CancelToken::manual();
+  return token;
+}
+
+/// Install a graceful SIGINT/SIGTERM drain and return the token to put on
+/// MeasurementOptions::cancel. The first signal cancels the token: workers
+/// stop dispatching new probes, in-flight probes finish, and the journal is
+/// flushed + fsync'd before run_fleet returns — a Ctrl-C'd run is always
+/// resumable with --resume. SA_RESETHAND restores the default disposition,
+/// so a second signal kills immediately (the journal still salvages).
+inline core::CancelToken install_signal_drain() {
+  drain_token();  // materialize shared state before the handler can fire
+  struct sigaction action {};
+  // cancel() is one relaxed atomic store on pre-existing shared state —
+  // async-signal-safe in the only way that matters here.
+  action.sa_handler = [](int) { drain_token().cancel(); };
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = static_cast<int>(SA_RESETHAND);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  return drain_token();
+}
+
+/// Post-run drain report: if the run was interrupted by a signal, say what
+/// survived and how to continue. Returns true when the run was drained.
+inline bool report_signal_drain(const atlas::MeasurementRun& run, const char* journal) {
+  if (!drain_token().cancelled()) return false;
+  std::fprintf(stderr,
+               "\ninterrupted by signal: %zu probes completed, %zu not run; "
+               "journal %s — rerun with --resume to finish\n",
+               run.records.size(), run.not_run,
+               journal != nullptr ? journal : "disabled (pass --journal to checkpoint)");
+  return true;
+}
 
 /// Common flag values. `journal` is a path for atlas_pilot and a prefix for
 /// custom_fleet (which runs several journaled iterations) — the flag and its

@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
 
     atlas::MeasurementOptions options;
     common.apply(options);
+    options.cancel = examples::install_signal_drain();
     std::string journal_path;
     if (journal_prefix != nullptr) {
       journal_path = std::string(journal_prefix) + "-" + std::to_string(buggy) + ".jsonl";
@@ -76,6 +77,10 @@ int main(int argc, char** argv) {
                   journal_path.c_str());
     } else {
       run = atlas::run_fleet(fleet, options);
+    }
+    if (examples::report_signal_drain(run, journal_prefix)) {
+      common.export_observability();
+      return 130;
     }
     if (run.stopped_early())
       std::fprintf(stderr, "  %d buggy: stopped early, %zu probes not run\n", buggy,

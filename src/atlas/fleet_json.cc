@@ -17,7 +17,7 @@ FleetJsonResult fleet_from_json(std::string_view text) {
   auto document = jsonio::parse(text, &parse_error);
   if (!document || !document->is_object()) {
     result.errors.push_back(document ? "top level must be an object"
-                                     : "parse error: " + parse_error.message);
+                                     : "parse error: " + jsonio::describe(parse_error));
     return result;
   }
 

@@ -172,6 +172,13 @@ MeasurementRun run_fleet_supervised(
     journal->append_batch(reused);
   }
 
+  // Replay restored records to the observer before any fresh probe runs:
+  // subscribers (the service's verdict stream) see every record of the run
+  // exactly once, journal-restored ones first in fleet order.
+  if (options.on_record != nullptr)
+    for (std::size_t i = 0; i < fleet.size(); ++i)
+      if (completed[i]) options.on_record(records[i]);
+
   unsigned threads = options.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<unsigned>(threads, static_cast<unsigned>(std::max<std::size_t>(
@@ -224,7 +231,7 @@ MeasurementRun run_fleet_supervised(
       std::vector<const ProbeRecord*> batch;
 
       for (std::size_t i : parts[shard]) {
-        if (stop.load(std::memory_order_relaxed)) break;
+        if (stop.load(std::memory_order_relaxed) || options.cancel.cancelled()) break;
         if (completed[i]) continue;  // restored from the journal
         records[i] = supervised_run(fleet[i], options);
         completed[i] = 1;
@@ -239,9 +246,10 @@ MeasurementRun run_fleet_supervised(
             failures.fetch_add(1) + 1 >= options.max_failures)
           stop.store(true, std::memory_order_relaxed);
         std::size_t finished = done.fetch_add(1) + 1;
-        if (options.progress) {
+        if (options.on_record || options.progress) {
           std::lock_guard<std::mutex> lock(progress_mutex);
-          options.progress(finished, fleet.size());
+          if (options.on_record) options.on_record(records[i]);
+          if (options.progress) options.progress(finished, fleet.size());
         }
       }
       if (segment) {
@@ -318,7 +326,7 @@ MeasurementRun run_fleet_supervised(
   };
 
   auto worker = [&] {
-    while (!stop.load(std::memory_order_relaxed)) {
+    while (!stop.load(std::memory_order_relaxed) && !options.cancel.cancelled()) {
       std::size_t i = next.fetch_add(1);
       if (i >= fleet.size()) return;
       if (completed[i]) continue;  // restored from the journal
@@ -329,9 +337,10 @@ MeasurementRun run_fleet_supervised(
           failures.fetch_add(1) + 1 >= options.max_failures)
         stop.store(true, std::memory_order_relaxed);
       std::size_t finished = done.fetch_add(1) + 1;
-      if (options.progress) {
+      if (options.on_record || options.progress) {
         std::lock_guard<std::mutex> lock(progress_mutex);
-        options.progress(finished, fleet.size());
+        if (options.on_record) options.on_record(records[i]);
+        if (options.progress) options.progress(finished, fleet.size());
       }
     }
   };

@@ -100,6 +100,20 @@ struct MeasurementOptions {
   /// their deadline (zero = never stop). The run returns cleanly with the
   /// completed records, `not_run` set, and the journal intact.
   std::size_t max_failures = 0;
+  /// Run-level cancellation: once this token fires, workers stop dispatching
+  /// new probes — in-flight probes finish normally and are journaled, the run
+  /// returns cleanly with `not_run` covering everything never started, and
+  /// the journal is fsync'd. This is the graceful-drain primitive shared by
+  /// the daemon's SIGTERM path and the examples' Ctrl-C handler; a drained
+  /// run resumes through resume_fleet exactly like a crashed one.
+  core::CancelToken cancel;
+  /// Observer for completed records: called once per probe after supervision
+  /// (outcome, elapsed) is applied, in completion order. On resume, records
+  /// restored from the journal are replayed through this first (fleet order,
+  /// before any fresh probe runs), so a subscriber sees every record of the
+  /// run exactly once. Invoked under an internal mutex when the run is
+  /// concurrent; keep it cheap — it is on the fleet's critical path.
+  std::function<void(const ProbeRecord&)> on_record;
   /// Append-only checkpoint journal (one checksummed JSONL record per
   /// completed probe); empty = no journal. See atlas/journal.h.
   std::string journal_path;

@@ -1,5 +1,6 @@
 #include "jsonio/json.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 
@@ -107,7 +108,12 @@ class Parser {
 
  private:
   void fail(std::string message) {
-    if (error_ && !failed_) *error_ = ParseError{pos_, std::move(message)};
+    if (error_ && !failed_) {
+      ParseError out;
+      out.offset = pos_;
+      out.message = std::move(message);
+      *error_ = std::move(out);
+    }
     failed_ = true;
   }
 
@@ -303,7 +309,52 @@ class Parser {
   bool failed_ = false;
 };
 
+/// Fill line/column/context for an error whose offset is already set. The
+/// context window shows ~24 bytes either side of the failure with `-->`
+/// marking the position, whitespace folded to single spaces so the snippet
+/// stays one line no matter how the document was formatted.
+void annotate(ParseError& error, std::string_view text) {
+  std::size_t offset = std::min(error.offset, text.size());
+  error.line = 1;
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++error.line;
+      line_start = i + 1;
+    }
+  }
+  error.column = offset - line_start + 1;
+
+  constexpr std::size_t kRadius = 24;
+  std::size_t begin = offset > kRadius ? offset - kRadius : 0;
+  std::size_t end = std::min(text.size(), offset + kRadius);
+  auto fold = [&](std::size_t from, std::size_t to, std::string& out) {
+    bool in_ws = false;
+    for (std::size_t i = from; i < to; ++i) {
+      char c = text[i];
+      bool ws = c == ' ' || c == '\t' || c == '\n' || c == '\r';
+      if (ws && in_ws) continue;
+      out.push_back(ws ? ' ' : c);
+      in_ws = ws;
+    }
+  };
+  error.context.clear();
+  if (begin > 0) error.context += "...";
+  fold(begin, offset, error.context);
+  error.context += "-->";
+  fold(offset, end, error.context);
+  if (end < text.size()) error.context += "...";
+}
+
 }  // namespace
+
+std::string describe(const ParseError& error) {
+  std::string out = "line " + std::to_string(error.line) + ", column " +
+                    std::to_string(error.column) + " (byte " + std::to_string(error.offset) +
+                    "): " + error.message;
+  if (!error.context.empty()) out += " near `" + error.context + "`";
+  return out;
+}
 
 std::string Value::dump() const {
   std::string out;
@@ -312,7 +363,9 @@ std::string Value::dump() const {
 }
 
 std::optional<Value> parse(std::string_view text, ParseError* error) {
-  return Parser(text, error).run();
+  auto value = Parser(text, error).run();
+  if (!value && error != nullptr) annotate(*error, text);
+  return value;
 }
 
 }  // namespace dnslocate::jsonio

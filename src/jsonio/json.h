@@ -86,13 +86,25 @@ class Value {
 /// Escape a string into a JSON string literal (with quotes).
 std::string escape(std::string_view text);
 
-/// Parse errors carry the byte offset of the problem.
+/// Parse errors carry the byte offset of the problem plus enough context
+/// (line, column, a snippet of the surrounding text) that an API layer can
+/// point the caller at the offending field instead of saying "parse error".
 struct ParseError {
   std::size_t offset = 0;
+  std::size_t line = 1;    // 1-based line containing `offset`
+  std::size_t column = 1;  // 1-based byte column within that line
   std::string message;
+  /// Up to ~48 bytes of the document around the offset, whitespace folded,
+  /// with `-->` marking the failure position and ellipses where clipped.
+  std::string context;
 };
 
+/// One-line rendering: "line 2, column 9 (byte 14): expected ':' near
+/// `{"probes" -->,}`". Stable enough to surface in API error bodies.
+std::string describe(const ParseError& error);
+
 /// Strict parse of a complete JSON document (trailing whitespace allowed).
+/// On failure `error` (when given) carries offset, line/column, and context.
 std::optional<Value> parse(std::string_view text, ParseError* error = nullptr);
 
 }  // namespace dnslocate::jsonio

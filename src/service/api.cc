@@ -1,0 +1,167 @@
+#include "service/api.h"
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace dnslocate::service {
+
+namespace {
+
+HttpResponse json_response(int status, jsonio::Value body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.dump() + "\n";
+  return response;
+}
+
+HttpResponse error_response(int status, const std::string& message,
+                            jsonio::Value detail = jsonio::Value()) {
+  jsonio::Object error;
+  error["message"] = message;
+  if (!detail.is_null()) error["detail"] = std::move(detail);
+  jsonio::Object body;
+  body["error"] = jsonio::Value(std::move(error));
+  return json_response(status, jsonio::Value(std::move(body)));
+}
+
+HttpResponse method_not_allowed(const std::string& allowed) {
+  return error_response(405, "method not allowed; use " + allowed);
+}
+
+jsonio::Value status_to_json(const RunStatus& status) {
+  jsonio::Object out;
+  out["id"] = status.id;
+  out["tenant"] = status.tenant;
+  out["state"] = std::string(to_string(status.state));
+  out["recovered"] = status.recovered;
+  out["probes_total"] = static_cast<std::uint64_t>(status.probes_total);
+  out["probes_done"] = static_cast<std::uint64_t>(status.probes_done);
+  out["not_run"] = static_cast<std::uint64_t>(status.not_run);
+  if (!status.error.empty()) out["error"] = status.error;
+  if (!status.census.is_null()) out["census"] = status.census;
+  return jsonio::Value(std::move(out));
+}
+
+HttpResponse handle_submit(MeasurementService& service, const HttpRequest& request) {
+  SubmitResult result = service.submit(request.body);
+  if (result.status != 202) return error_response(result.status, result.error, result.detail);
+  auto status = service.status(result.id);
+  jsonio::Object body;
+  body["id"] = result.id;
+  body["status"] = status ? status_to_json(*status) : jsonio::Value();
+  return json_response(202, jsonio::Value(std::move(body)));
+}
+
+HttpResponse handle_verdicts(MeasurementService& service, const std::string& id,
+                             const HttpRequest& request) {
+  const std::string from_text = request.query_value("from_seq", "0");
+  const std::size_t from_seq = std::strtoull(from_text.c_str(), nullptr, 10);
+  if (!service.status(id)) return error_response(404, "unknown run '" + id + "'");
+
+  // Chunked NDJSON pulled by the server's event loop: each call drains the
+  // lines published since the cursor; nullopt once the run is terminal and
+  // everything has been sent. Sequence numbers make a dropped stream
+  // resumable: reconnect with ?from_seq=<lines received so far>.
+  auto cursor = std::make_shared<std::size_t>(from_seq);
+  HttpResponse response;
+  response.content_type = "application/x-ndjson";
+  response.stream = [&service, id, cursor]() -> std::optional<std::string> {
+    auto page = service.verdicts(id, *cursor);
+    if (!page) return std::nullopt;  // run vanished (cannot happen today)
+    *cursor = page->next_seq;
+    if (page->lines.empty()) {
+      if (page->finished) return std::nullopt;
+      return std::string();  // nothing new yet: ask again next tick
+    }
+    std::string chunk;
+    for (const auto& line : page->lines) {
+      chunk += line;
+      chunk += '\n';
+    }
+    return chunk;
+  };
+  return response;
+}
+
+}  // namespace
+
+HttpResponse route_request(MeasurementService& service, const HttpRequest& request) {
+  if (request.path == "/healthz") {
+    if (request.method != "GET") return method_not_allowed("GET");
+    jsonio::Object body;
+    body["status"] = "ok";
+    body["draining"] = service.draining();
+    body["recovered_runs"] = static_cast<std::uint64_t>(service.recovered_runs());
+    return json_response(200, jsonio::Value(std::move(body)));
+  }
+
+  if (request.path == "/metrics") {
+    if (request.method != "GET") return method_not_allowed("GET");
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = obs::prometheus_text();
+    return response;
+  }
+
+  if (request.path == "/v1/fleets") {
+    if (request.method == "POST") return handle_submit(service, request);
+    if (request.method == "GET") {
+      jsonio::Array fleets;
+      for (const auto& status : service.list()) fleets.push_back(status_to_json(status));
+      jsonio::Object body;
+      body["fleets"] = jsonio::Value(std::move(fleets));
+      return json_response(200, jsonio::Value(std::move(body)));
+    }
+    return method_not_allowed("GET, POST");
+  }
+
+  constexpr std::string_view kPrefix = "/v1/fleets/";
+  if (request.path.size() > kPrefix.size() &&
+      std::string_view(request.path).substr(0, kPrefix.size()) == kPrefix) {
+    std::string rest = request.path.substr(kPrefix.size());
+    std::string id = rest;
+    std::string action;
+    if (std::size_t slash = rest.find('/'); slash != std::string::npos) {
+      id = rest.substr(0, slash);
+      action = rest.substr(slash + 1);
+    }
+
+    if (action.empty()) {
+      if (request.method != "GET") return method_not_allowed("GET");
+      auto status = service.status(id);
+      if (!status) return error_response(404, "unknown run '" + id + "'");
+      return json_response(200, status_to_json(*status));
+    }
+    if (action == "cancel") {
+      if (request.method != "POST") return method_not_allowed("POST");
+      if (!service.cancel(id)) return error_response(404, "unknown run '" + id + "'");
+      auto status = service.status(id);
+      jsonio::Object body;
+      body["cancelled"] = true;
+      body["status"] = status ? status_to_json(*status) : jsonio::Value();
+      return json_response(202, jsonio::Value(std::move(body)));
+    }
+    if (action == "verdicts") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      return handle_verdicts(service, id, request);
+    }
+    if (action == "records") {
+      if (request.method != "GET") return method_not_allowed("GET");
+      if (!service.status(id)) return error_response(404, "unknown run '" + id + "'");
+      auto jsonl = service.records_jsonl(id);
+      if (!jsonl) return error_response(409, "run '" + id + "' is not terminal yet");
+      HttpResponse response;
+      response.content_type = "application/x-ndjson";
+      response.body = std::move(*jsonl);
+      return response;
+    }
+    return error_response(404, "no such endpoint under /v1/fleets/{id}");
+  }
+
+  return error_response(404, "no such endpoint: " + request.path);
+}
+
+}  // namespace dnslocate::service

@@ -1,0 +1,35 @@
+// The measurement service's JSON control plane: routes parsed HTTP requests
+// (service/http.h) to MeasurementService calls and shapes the answers.
+//
+//   POST /v1/fleets                   submit a fleet plan (202 + run id)
+//   GET  /v1/fleets                   list every known run
+//   GET  /v1/fleets/{id}              one run's status (+ census when done)
+//   GET  /v1/fleets/{id}/verdicts     NDJSON verdict stream (chunked); the
+//                                     ?from_seq=N cursor resumes a dropped
+//                                     stream without replaying earlier lines
+//   GET  /v1/fleets/{id}/records      full fleet-order record set as JSONL
+//                                     (terminal runs only; the byte-identity
+//                                     surface)
+//   POST /v1/fleets/{id}/cancel       drain the run (in-flight probes finish)
+//   GET  /metrics                     live Prometheus text exposition
+//   GET  /healthz                     {"status":"ok", "draining":...}
+//
+// Errors are JSON: {"error": {"message": ..., "detail": {...}}}; a body
+// that fails to parse gets the jsonio offset/line/column/context in
+// `detail` so the caller can point at the offending byte.
+//
+// This layer never touches sockets and never blocks: everything it calls
+// either returns immediately or hands back a pull-closure the server pumps
+// from its event loop.
+#pragma once
+
+#include "service/http.h"
+#include "service/service.h"
+
+namespace dnslocate::service {
+
+/// Route one request. `service` must outlive the returned response's stream
+/// closure (the daemon keeps both alive for the process lifetime).
+HttpResponse route_request(MeasurementService& service, const HttpRequest& request);
+
+}  // namespace dnslocate::service

@@ -1,0 +1,195 @@
+#include "service/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace dnslocate::service {
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' || text.back() == '\r'))
+    text.remove_suffix(1);
+  return text;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_head(const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     std::string(status_text(response.status)) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  if (response.stream) {
+    head += "Transfer-Encoding: chunked\r\n";
+  } else {
+    head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  head += "Connection: close\r\n\r\n";
+  return head;
+}
+
+std::string encode_chunk(std::string_view data) {
+  char size_hex[16];
+  auto [end, ec] = std::to_chars(size_hex, size_hex + sizeof size_hex, data.size(), 16);
+  std::string chunk(size_hex, end);
+  chunk += "\r\n";
+  chunk += data;
+  chunk += "\r\n";
+  return chunk;
+}
+
+std::string final_chunk() { return "0\r\n\r\n"; }
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < text.size() && hex_digit(text[i + 1]) >= 0 &&
+               hex_digit(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(hex_digit(text[i + 1]) * 16 + hex_digit(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void split_target(std::string_view target, std::string& path,
+                  std::map<std::string, std::string>& query) {
+  std::size_t mark = target.find('?');
+  path = url_decode(target.substr(0, mark));
+  if (mark == std::string_view::npos) return;
+  std::string_view rest = target.substr(mark + 1);
+  while (!rest.empty()) {
+    std::size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (!pair.empty()) query[url_decode(pair)] = "";
+    } else {
+      query[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    rest.remove_prefix(amp + 1);
+  }
+}
+
+RequestParser::State RequestParser::fail(std::string message) {
+  error_ = std::move(message);
+  state_ = State::bad;
+  return state_;
+}
+
+RequestParser::State RequestParser::feed(std::string_view bytes) {
+  if (state_ != State::need_more) return state_;
+  buffer_.append(bytes.data(), bytes.size());
+  if (!head_done_) {
+    std::size_t head_end = buffer_.find("\r\n\r\n");
+    std::size_t sep = 4;
+    if (head_end == std::string::npos) {
+      // Tolerate bare-LF clients.
+      head_end = buffer_.find("\n\n");
+      sep = 2;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > kMaxHeadBytes) return fail("request head exceeds 16 KiB");
+      return State::need_more;
+    }
+    if (head_end > kMaxHeadBytes) return fail("request head exceeds 16 KiB");
+    State parsed = parse_head(std::string_view(buffer_).substr(0, head_end));
+    if (parsed == State::bad) return parsed;
+    buffer_.erase(0, head_end + sep);
+    head_done_ = true;
+  }
+  return check_body();
+}
+
+RequestParser::State RequestParser::parse_head(std::string_view head) {
+  std::size_t line_end = head.find('\n');
+  std::string_view request_line = trim(head.substr(0, line_end));
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1)
+    return fail("malformed request line");
+  request_.method = std::string(request_line.substr(0, sp1));
+  request_.target = std::string(trim(request_line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") return fail("not an HTTP request");
+  if (request_.method.empty() || request_.target.empty() || request_.target[0] != '/')
+    return fail("malformed request target");
+  split_target(request_.target, request_.path, request_.query);
+
+  std::string_view rest = line_end == std::string_view::npos ? std::string_view{}
+                                                             : head.substr(line_end + 1);
+  while (!rest.empty()) {
+    std::size_t nl = rest.find('\n');
+    std::string_view line = trim(rest.substr(0, nl));
+    rest = nl == std::string_view::npos ? std::string_view{} : rest.substr(nl + 1);
+    if (line.empty()) continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return fail("malformed header line");
+    request_.headers[to_lower(trim(line.substr(0, colon)))] =
+        std::string(trim(line.substr(colon + 1)));
+  }
+
+  if (request_.headers.count("transfer-encoding") != 0)
+    return fail("chunked request bodies are not supported");
+  auto length = request_.headers.find("content-length");
+  if (length != request_.headers.end()) {
+    std::size_t value = 0;
+    auto text = length->second;
+    auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || end != text.data() + text.size())
+      return fail("malformed Content-Length");
+    if (value > kMaxBodyBytes) return fail("request body exceeds 8 MiB");
+    body_needed_ = value;
+  }
+  return State::need_more;
+}
+
+RequestParser::State RequestParser::check_body() {
+  if (buffer_.size() < body_needed_) return State::need_more;
+  request_.body = buffer_.substr(0, body_needed_);
+  buffer_.clear();
+  state_ = State::done;
+  return state_;
+}
+
+}  // namespace dnslocate::service

@@ -1,0 +1,105 @@
+// Minimal HTTP/1.1 message layer for the resident measurement service: a
+// request type, an incremental request parser, and response serialization
+// with chunked transfer encoding for streaming bodies. No sockets here —
+// the parser consumes bytes the event loop (http_server.h) hands it, and
+// handlers produce HttpResponse values; only http_server.cc touches fds.
+//
+// Deliberately small: one request per connection (the server always answers
+// `Connection: close`), no request chunked bodies, no multipart. That is
+// everything the JSON control plane needs, with nothing to audit beyond it.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dnslocate::service {
+
+/// One parsed HTTP request.
+struct HttpRequest {
+  std::string method;  // upper-case ("GET", "POST")
+  std::string target;  // raw request target ("/v1/fleets/run-1?from_seq=3")
+  std::string path;    // target up to '?', percent-decoded
+  std::map<std::string, std::string> query;    // decoded query parameters
+  std::map<std::string, std::string> headers;  // keys lower-cased
+  std::string body;
+
+  /// Query parameter lookup with a fallback.
+  [[nodiscard]] std::string query_value(const std::string& key,
+                                        std::string fallback = "") const {
+    auto it = query.find(key);
+    return it == query.end() ? fallback : it->second;
+  }
+};
+
+/// A handler's answer. When `stream` is set the body is sent with chunked
+/// transfer encoding: the server repeatedly calls the puller from its event
+/// loop — a non-empty return becomes one chunk on the wire, an empty string
+/// means "nothing new yet, ask again next tick", and nullopt terminates the
+/// stream (final chunk, connection close). Pullers run on the server's event
+/// thread and must never block (see the dnslint `http-blocking` rule).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::function<std::optional<std::string>()> stream;
+};
+
+/// Canonical reason phrase for the status codes the service uses.
+[[nodiscard]] std::string_view status_text(int status);
+
+/// Serialize the response head (status line + headers + blank line). A
+/// streaming response advertises `Transfer-Encoding: chunked` and carries no
+/// Content-Length; a plain one carries Content-Length over `body`.
+[[nodiscard]] std::string serialize_head(const HttpResponse& response);
+
+/// Frame one chunk for chunked transfer encoding (hex size, CRLFs).
+[[nodiscard]] std::string encode_chunk(std::string_view data);
+
+/// The terminating zero-length chunk.
+[[nodiscard]] std::string final_chunk();
+
+/// Incremental request parser. Feed it bytes as they arrive; it accumulates
+/// until a full head (+ Content-Length body) is present. Bounded: heads over
+/// 16 KiB or bodies over 8 MiB are rejected rather than buffered.
+class RequestParser {
+ public:
+  enum class State {
+    need_more,  // keep feeding
+    done,       // request() is valid
+    bad,        // protocol error; error() says why — answer 400 and close
+  };
+
+  State feed(std::string_view bytes);
+
+  [[nodiscard]] const HttpRequest& request() const { return request_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  static constexpr std::size_t kMaxHeadBytes = 16 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+ private:
+  State fail(std::string message);
+  State parse_head(std::string_view head);
+  State check_body();
+
+  std::string buffer_;
+  std::size_t body_needed_ = 0;
+  bool head_done_ = false;
+  HttpRequest request_;
+  std::string error_;
+  State state_ = State::need_more;
+};
+
+/// Percent-decode a URL component ('+' becomes space, %XX becomes the byte;
+/// malformed escapes pass through verbatim).
+[[nodiscard]] std::string url_decode(std::string_view text);
+
+/// Split `target` into path + decoded query parameters.
+void split_target(std::string_view target, std::string& path,
+                  std::map<std::string, std::string>& query);
+
+}  // namespace dnslocate::service

@@ -1,0 +1,232 @@
+// The accept-loop seam: the one file outside src/sockets/ that owns raw
+// socket fds (allowlisted by the dnslint raii-sockets rule — see
+// tools/dnslint/lint.cc for the reasoning). Every fd lives in an RAII
+// owner: the server's listener is closed in stop(), each accepted fd is
+// closed by its Connection destructor, and every poll() carries the finite
+// Config::tick timeout, so nothing here can hang or leak.
+#include "service/http_server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace dnslocate::service {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+/// One accepted connection: owns its fd, accumulates request bytes through
+/// the incremental parser, then drains the serialized response (and, for a
+/// streaming response, pumps the puller) before closing.
+struct HttpServer::Connection {
+  explicit Connection(int socket_fd) : fd(socket_fd) {}
+  ~Connection() {
+    if (fd >= 0) close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd = -1;
+  RequestParser parser;
+  std::string out;               // bytes awaiting write
+  std::size_t out_sent = 0;      // prefix of `out` already written
+  std::function<std::optional<std::string>()> stream;  // live puller, if any
+  bool responded = false;        // head+body handed to `out`
+  bool stream_finished = false;  // final chunk queued
+  std::chrono::steady_clock::time_point last_activity = std::chrono::steady_clock::now();
+
+  [[nodiscard]] bool wants_write() const { return out_sent < out.size(); }
+  [[nodiscard]] bool done() const {
+    return responded && !wants_write() && (!stream || stream_finished);
+  }
+};
+
+HttpServer::HttpServer(Config config, Handler handler)
+    : config_(config), handler_(std::move(handler)) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: bind(127.0.0.1:" + std::to_string(config_.port) +
+                             ") failed: " + std::strerror(errno));
+  }
+  if (listen(listen_fd_, config_.backlog) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: listen() failed");
+  }
+  socklen_t addr_len = sizeof addr;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  thread_ = std::thread([this] { run(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  bool was_running = running_.exchange(false);
+  if (thread_.joinable()) thread_.join();
+  if (was_running && listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::run() {
+  std::vector<std::unique_ptr<Connection>> connections;
+  const int tick_ms = static_cast<int>(config_.tick.count());
+
+  auto respond = [this](Connection& conn, HttpResponse response) {
+    conn.out += serialize_head(response);
+    conn.stream = std::move(response.stream);
+    if (conn.stream) {
+      // A non-empty body before a stream becomes the first chunk (the
+      // verdict endpoints use this for the backlog snapshot).
+      if (!response.body.empty()) conn.out += encode_chunk(response.body);
+    } else {
+      conn.out += response.body;
+    }
+    conn.responded = true;
+    requests_served_.fetch_add(1);
+  };
+
+  while (running_.load(std::memory_order_relaxed)) {
+    std::vector<pollfd> fds;
+    fds.reserve(connections.size() + 1);
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const auto& conn : connections) {
+      int events = 0;
+      if (!conn->responded) events |= POLLIN;
+      if (conn->wants_write()) events |= POLLOUT;
+      fds.push_back(pollfd{conn->fd, static_cast<short>(events), 0});
+    }
+    // Finite tick: wakes the loop to pump streams and honour stop().
+    poll(fds.data(), fds.size(), tick_ms);
+    auto now = std::chrono::steady_clock::now();
+
+    // Accept every pending connection (non-blocking listener).
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        auto conn = std::make_unique<Connection>(fd);
+        if (connections.size() >= config_.max_connections) {
+          HttpResponse busy;
+          busy.status = 503;
+          busy.body = R"({"error":{"message":"connection limit reached"}})";
+          respond(*conn, std::move(busy));
+        }
+        connections.push_back(std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 0; i < connections.size(); ++i) {
+      Connection& conn = *connections[i];
+      short revents = fds[i + 1].revents;
+
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !conn.wants_write()) {
+        conn.responded = true;
+        conn.stream = nullptr;
+        conn.stream_finished = true;
+        continue;
+      }
+
+      if (!conn.responded && (revents & POLLIN) != 0) {
+        char buffer[16 * 1024];
+        for (;;) {
+          ssize_t got = recv(conn.fd, buffer, sizeof buffer, 0);
+          if (got > 0) {
+            conn.last_activity = now;
+            auto state = conn.parser.feed(
+                std::string_view(buffer, static_cast<std::size_t>(got)));
+            if (state == RequestParser::State::done) {
+              respond(conn, handler_(conn.parser.request()));
+              break;
+            }
+            if (state == RequestParser::State::bad) {
+              HttpResponse bad;
+              bad.status = 400;
+              bad.body = R"({"error":{"message":")" + conn.parser.error() + R"("}})";
+              respond(conn, std::move(bad));
+              break;
+            }
+          } else if (got == 0) {
+            // Peer closed before completing a request: drop silently.
+            conn.responded = true;
+            conn.stream_finished = true;
+            break;
+          } else {
+            break;  // EAGAIN (or a transient error): wait for the next tick
+          }
+        }
+      }
+
+      // Pump a live stream when the outbox has drained.
+      if (conn.responded && conn.stream && !conn.stream_finished && !conn.wants_write()) {
+        std::optional<std::string> chunk = conn.stream();
+        if (!chunk.has_value()) {
+          conn.out += final_chunk();
+          conn.stream_finished = true;
+        } else if (!chunk->empty()) {
+          conn.out += encode_chunk(*chunk);
+        }
+      }
+
+      if (conn.wants_write()) {
+        ssize_t sent = send(conn.fd, conn.out.data() + conn.out_sent,
+                            conn.out.size() - conn.out_sent, MSG_NOSIGNAL);
+        if (sent > 0) {
+          conn.out_sent += static_cast<std::size_t>(sent);
+          conn.last_activity = now;
+          if (conn.out_sent == conn.out.size() && !conn.stream) {
+            // Fully drained non-streaming response: reclaim the buffer.
+            conn.out.clear();
+            conn.out_sent = 0;
+          }
+        } else if (sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+          conn.stream = nullptr;  // broken pipe: give up on this client
+          conn.stream_finished = true;
+          conn.out_sent = conn.out.size();
+          conn.responded = true;
+        }
+      }
+    }
+
+    // Reap: completed responses, and idle connections that never finished a
+    // request (streams stay open while their puller is live).
+    std::erase_if(connections, [&](const std::unique_ptr<Connection>& conn) {
+      if (conn->done()) return true;
+      if (!conn->responded && now - conn->last_activity > config_.idle_timeout) return true;
+      return false;
+    });
+  }
+}
+
+}  // namespace dnslocate::service

@@ -1,0 +1,78 @@
+// Poll-driven embedded HTTP/1.1 server for the measurement service's
+// control plane. One event-loop thread multiplexes the listener and every
+// connection over a single poll() with a finite tick; sockets are
+// non-blocking throughout, so a slow or stalled client can never wedge the
+// daemon. Handlers run on the event thread and must return promptly; a
+// streaming response registers a puller the loop pumps on each tick (see
+// HttpResponse::stream in service/http.h), which is how verdict NDJSON
+// follows a live run without a thread per subscriber.
+//
+// http_server.cc is the accept-loop seam: the only file outside
+// src/sockets/ allowed to own raw socket fds (see the dnslint raii-sockets
+// rule), and every fd it creates is closed by the owning Connection /
+// server destructor.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "service/http.h"
+
+namespace dnslocate::service {
+
+class HttpServer {
+ public:
+  /// Request handler: runs on the event thread; must not block.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Config {
+    /// TCP port on 127.0.0.1; 0 = OS-assigned (read it back via port()).
+    std::uint16_t port = 0;
+    int backlog = 64;
+    /// Accept no more than this many concurrent connections; excess
+    /// connections are accepted and immediately answered 503.
+    std::size_t max_connections = 128;
+    /// Event-loop tick: poll() timeout, stream-pump cadence, and the
+    /// granularity of idle-connection reaping. Finite by construction.
+    std::chrono::milliseconds tick{50};
+    /// Connections idle (no bytes read, nothing to write) longer than this
+    /// are closed. Streams are exempt while their puller is live.
+    std::chrono::milliseconds idle_timeout{10000};
+  };
+
+  /// Binds 127.0.0.1:port, listens, and starts the event thread. Throws
+  /// std::runtime_error when the socket cannot be created or bound.
+  HttpServer(Config config, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (the OS choice when Config::port was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stop the event loop, close every connection, join the thread.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  struct Connection;
+
+  void run();
+
+  Config config_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+}  // namespace dnslocate::service

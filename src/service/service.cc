@@ -1,0 +1,586 @@
+#include "service/service.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "atlas/fleet_json.h"
+#include "atlas/journal.h"
+#include "report/aggregate.h"
+#include "report/results_io.h"
+
+namespace dnslocate::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Read a whole file; nullopt when it cannot be opened.
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string text;
+  char buffer[16 * 1024];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) text.append(buffer, got);
+  std::fclose(file);
+  return text;
+}
+
+/// Write a file and fsync it — durability before the caller proceeds. The
+/// manifest/done markers go through here so an admitted or finalized run
+/// survives an immediate crash.
+bool write_file_sync(const std::string& path, std::string_view text) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  bool ok = std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  ok = std::fflush(file) == 0 && ok;
+  if (ok) ok = fsync(fileno(file)) == 0;
+  return std::fclose(file) == 0 && ok;
+}
+
+/// Final census as the status endpoint's JSON. The telemetry block mirrors
+/// the registry's transport_* counters field for field, so a scrape of
+/// /metrics and this census agree to the digit (asserted in
+/// tests/test_service.cc).
+jsonio::Value census_to_json(const report::RunCensus& census) {
+  jsonio::Object telemetry;
+  telemetry["queries"] = census.telemetry.queries;
+  telemetry["attempts"] = census.telemetry.attempts;
+  telemetry["retries"] = census.telemetry.retries;
+  telemetry["timeouts"] = census.telemetry.timeouts;
+  telemetry["answered"] = census.telemetry.answered;
+
+  jsonio::Object out;
+  out["probes"] = static_cast<std::uint64_t>(census.probes);
+  out["ok"] = static_cast<std::uint64_t>(census.ok);
+  out["failed"] = static_cast<std::uint64_t>(census.failed);
+  out["deadline_exceeded"] = static_cast<std::uint64_t>(census.deadline_exceeded);
+  out["partial_verdicts"] = static_cast<std::uint64_t>(census.partial_verdicts);
+  out["not_run"] = static_cast<std::uint64_t>(census.not_run);
+  out["telemetry"] = jsonio::Value(std::move(telemetry));
+  return jsonio::Value(std::move(out));
+}
+
+bool valid_tenant(std::string_view tenant) {
+  if (tenant.empty() || tenant.size() > 64) return false;
+  for (char c : tenant) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::optional<RunState> run_state_from(std::string_view name) {
+  if (name == "queued") return RunState::queued;
+  if (name == "running") return RunState::running;
+  if (name == "completed") return RunState::completed;
+  if (name == "cancelled") return RunState::cancelled;
+  if (name == "failed") return RunState::failed;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view to_string(RunState state) {
+  switch (state) {
+    case RunState::queued: return "queued";
+    case RunState::running: return "running";
+    case RunState::completed: return "completed";
+    case RunState::cancelled: return "cancelled";
+    case RunState::failed: return "failed";
+  }
+  return "unknown";
+}
+
+/// Internal run state. The service mutex guards the registry/queue; each
+/// run's own mutex guards everything below it, so verdict publication (the
+/// fleet's hot path) never contends with unrelated runs.
+struct MeasurementService::Run {
+  // Immutable after admission / recovery.
+  std::string id;
+  std::string tenant;
+  std::string plan_json;  // fleet plan document (regenerates the fleet)
+  std::chrono::milliseconds pace{0};
+  bool recovered = false;          // re-queued for resumption at startup
+  bool from_disk_history = false;  // finished by a previous process
+  std::string manifest_path;
+  std::string journal_path;
+  std::string done_path;
+  core::CancelToken cancel = core::CancelToken::manual();
+
+  mutable std::mutex mutex;
+  RunState state = RunState::queued;
+  bool user_cancelled = false;
+  bool stream_finished = false;
+  bool history_loaded = false;
+  std::size_t probes_total = 0;
+  std::size_t done_probes_from_marker = 0;  // historical runs, pre-load
+  std::size_t done_not_run_from_marker = 0;
+  std::vector<std::string> verdict_lines;  // NDJSON, publication order
+  std::optional<atlas::MeasurementRun> result;
+  std::string error;
+  jsonio::Value census;  // null until terminal
+};
+
+MeasurementService::MeasurementService(ServiceConfig config) : config_(std::move(config)) {
+  if (config_.state_dir.empty())
+    throw std::runtime_error("MeasurementService: state_dir is required");
+  std::error_code ec;
+  fs::create_directories(config_.state_dir, ec);
+  if (ec && !fs::is_directory(config_.state_dir))
+    throw std::runtime_error("MeasurementService: cannot create state dir " + config_.state_dir);
+  recover_state_dir();
+  unsigned workers = std::max(1u, config_.workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+MeasurementService::~MeasurementService() { drain(); }
+
+void MeasurementService::recover_state_dir() {
+  std::vector<std::shared_ptr<Run>> pending;
+  for (const auto& entry : fs::directory_iterator(config_.state_dir)) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kSuffix = ".manifest.json";
+    if (name.size() <= kSuffix.size() ||
+        name.substr(name.size() - kSuffix.size()) != kSuffix)
+      continue;
+    auto text = read_file(entry.path().string());
+    if (!text) continue;
+    auto manifest = jsonio::parse(*text);
+    if (!manifest) continue;  // a torn manifest means admission never finished
+    const std::string id = (*manifest)["id"].as_string();
+    if (id.substr(0, 4) != "run-") continue;
+    std::uint64_t number = std::strtoull(id.c_str() + 4, nullptr, 10);
+    next_run_number_ = std::max(next_run_number_, number + 1);
+
+    auto run = std::make_shared<Run>();
+    run->id = id;
+    run->tenant = (*manifest)["tenant"].as_string();
+    if (run->tenant.empty()) run->tenant = "default";
+    run->plan_json = (*manifest)["plan"].dump();
+    run->pace = std::chrono::milliseconds((*manifest)["pace_ms"].as_int(0));
+    run->probes_total = static_cast<std::size_t>((*manifest)["probes_total"].as_int(0));
+    run->manifest_path = entry.path().string();
+    const std::string base = config_.state_dir + "/" + id;
+    run->journal_path = base + ".journal";
+    run->done_path = base + ".done";
+
+    if (fs::exists(run->done_path)) {
+      // Finished by a previous process: status comes from the marker,
+      // records lazily from the journal (ensure_history_loaded).
+      run->from_disk_history = true;
+      run->stream_finished = true;
+      run->state = RunState::completed;
+      if (auto done_text = read_file(run->done_path)) {
+        if (auto done = jsonio::parse(*done_text)) {
+          if (auto state = run_state_from((*done)["state"].as_string())) run->state = *state;
+          run->census = (*done)["census"];
+          run->error = (*done)["error"].as_string();
+          run->done_probes_from_marker =
+              static_cast<std::size_t>((*done)["probes_done"].as_int(0));
+          run->done_not_run_from_marker =
+              static_cast<std::size_t>((*done)["not_run"].as_int(0));
+        }
+      }
+    } else {
+      // Manifest without a done marker: the previous process died (or was
+      // drained) mid-run. Resume it.
+      run->recovered = true;
+      run->state = RunState::queued;
+      pending.push_back(run);
+    }
+    runs_[id] = std::move(run);
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a->id < b->id; });
+  recovered_runs_ = pending.size();
+  for (auto& run : pending) queue_.push_back(std::move(run));
+}
+
+SubmitResult MeasurementService::submit(const std::string& body) {
+  SubmitResult out;
+  if (draining_.load(std::memory_order_relaxed)) {
+    out.status = 503;
+    out.error = "service is draining; resubmit after restart";
+    return out;
+  }
+
+  jsonio::ParseError parse_error;
+  auto parsed = jsonio::parse(body, &parse_error);
+  if (!parsed) {
+    out.status = 400;
+    out.error = "invalid JSON: " + jsonio::describe(parse_error);
+    jsonio::Object detail;
+    detail["offset"] = static_cast<std::uint64_t>(parse_error.offset);
+    detail["line"] = static_cast<std::uint64_t>(parse_error.line);
+    detail["column"] = static_cast<std::uint64_t>(parse_error.column);
+    detail["context"] = parse_error.context;
+    out.detail = jsonio::Value(std::move(detail));
+    return out;
+  }
+
+  auto plan = atlas::fleet_from_json(body);
+  if (!plan.ok()) {
+    out.status = 400;
+    out.error = "invalid fleet plan";
+    jsonio::Array errors;
+    for (const auto& message : plan.errors) errors.emplace_back(message);
+    jsonio::Object detail;
+    detail["errors"] = jsonio::Value(std::move(errors));
+    out.detail = jsonio::Value(std::move(detail));
+    return out;
+  }
+  const auto fleet = plan.generate();
+  if (fleet.empty()) {
+    out.status = 400;
+    out.error = "fleet plan generates no probes";
+    return out;
+  }
+  if (fleet.size() > config_.max_probes) {
+    out.status = 413;
+    out.error = "fleet of " + std::to_string(fleet.size()) + " probes exceeds the cap of " +
+                std::to_string(config_.max_probes);
+    return out;
+  }
+
+  std::string tenant = (*parsed)["tenant"].as_string();
+  if (tenant.empty()) tenant = "default";
+  if (!valid_tenant(tenant)) {
+    out.status = 400;
+    out.error = "tenant must be 1-64 chars of [A-Za-z0-9_-]";
+    return out;
+  }
+  const std::int64_t pace_ms = (*parsed)["pace_ms"].as_int(0);
+  if (pace_ms < 0 || pace_ms > 60000) {
+    out.status = 400;
+    out.error = "pace_ms must be in [0, 60000]";
+    return out;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_.load(std::memory_order_relaxed)) {
+    out.status = 503;
+    out.error = "service is draining; resubmit after restart";
+    return out;
+  }
+  std::size_t active = 0;
+  for (const auto& [id, run] : runs_) {
+    std::lock_guard<std::mutex> run_lock(run->mutex);
+    if (run->tenant == tenant &&
+        (run->state == RunState::queued || run->state == RunState::running))
+      ++active;
+  }
+  if (active >= config_.tenant_cap) {
+    out.status = 429;
+    out.error = "tenant '" + tenant + "' already has " + std::to_string(active) +
+                " active runs (cap " + std::to_string(config_.tenant_cap) + ")";
+    return out;
+  }
+
+  char id_buffer[24];
+  std::snprintf(id_buffer, sizeof id_buffer, "run-%06llu",
+                static_cast<unsigned long long>(next_run_number_++));
+  auto run = std::make_shared<Run>();
+  run->id = id_buffer;
+  run->tenant = tenant;
+  run->plan_json = (*parsed).dump();
+  run->pace = std::chrono::milliseconds(pace_ms);
+  run->probes_total = fleet.size();
+  const std::string base = config_.state_dir + "/" + run->id;
+  run->manifest_path = base + ".manifest.json";
+  run->journal_path = base + ".journal";
+  run->done_path = base + ".done";
+
+  jsonio::Object manifest;
+  manifest["format"] = "dnslocate-manifest";
+  manifest["id"] = run->id;
+  manifest["tenant"] = tenant;
+  manifest["pace_ms"] = static_cast<std::int64_t>(pace_ms);
+  manifest["probes_total"] = static_cast<std::uint64_t>(fleet.size());
+  manifest["plan"] = *parsed;
+  if (!write_file_sync(run->manifest_path, jsonio::Value(std::move(manifest)).dump() + "\n")) {
+    out.status = 500;
+    out.error = "cannot persist run manifest in " + config_.state_dir;
+    return out;
+  }
+
+  out.id = run->id;
+  runs_[run->id] = run;
+  queue_.push_back(std::move(run));
+  work_ready_.notify_one();
+  return out;
+}
+
+void MeasurementService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Run> run;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] {
+        return draining_.load(std::memory_order_relaxed) || !queue_.empty();
+      });
+      // On drain, leave queued runs untouched: their manifests carry no
+      // done marker, so the next start resumes them.
+      if (draining_.load(std::memory_order_relaxed)) return;
+      run = queue_.front();
+      queue_.pop_front();
+    }
+    execute(run);
+  }
+}
+
+void MeasurementService::execute(const std::shared_ptr<Run>& run) {
+  {
+    std::lock_guard<std::mutex> lock(run->mutex);
+    run->state = RunState::running;
+  }
+
+  atlas::MeasurementRun measured;
+  try {
+    auto plan = atlas::fleet_from_json(run->plan_json);
+    if (!plan.ok()) throw std::runtime_error("manifest plan no longer parses: " + plan.errors[0]);
+    const auto fleet = plan.generate();
+    {
+      std::lock_guard<std::mutex> lock(run->mutex);
+      run->probes_total = fleet.size();
+    }
+
+    atlas::MeasurementOptions options;
+    options.strip_raw_responses = true;
+    options.threads = std::max(1u, config_.run_threads);
+    options.probe_deadline = config_.probe_deadline;
+    options.journal_path = run->journal_path;
+    options.cancel = run->cancel;
+    options.on_record = [run](const atlas::ProbeRecord& record) {
+      std::lock_guard<std::mutex> lock(run->mutex);
+      run->verdict_lines.push_back(report::probe_to_json(record).dump());
+    };
+    if (run->pace.count() > 0) {
+      // Pacing spreads a simulated fleet over wall-clock time (drain and
+      // kill-mid-run testing). The sleep is cancel-aware so a drain is
+      // never stuck behind it.
+      const auto pace = run->pace;
+      const auto drain_token = run->cancel;
+      options.runner = [pace, drain_token](const atlas::ProbeSpec& spec,
+                                           const core::CancelToken& token) {
+        std::chrono::milliseconds waited{0};
+        while (waited < pace && !token.cancelled() && !drain_token.cancelled()) {
+          const auto slice = std::min(pace - waited, std::chrono::milliseconds(5));
+          std::this_thread::sleep_for(slice);
+          waited += slice;
+        }
+        return atlas::run_probe(spec, token, /*strip_raw_responses=*/true,
+                                atlas::QueryEngine::async);
+      };
+    }
+
+    if (run->recovered) {
+      atlas::ResumeReport report;
+      measured = atlas::resume_fleet(run->journal_path, fleet, options, &report);
+    } else {
+      measured = atlas::run_fleet(fleet, options);
+    }
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(run->mutex);
+      run->error = e.what();
+    }
+    finalize(run, RunState::failed);
+    return;
+  }
+
+  bool user_cancelled = false;
+  bool stopped_early = measured.stopped_early();
+  {
+    std::lock_guard<std::mutex> lock(run->mutex);
+    run->result = std::move(measured);
+    user_cancelled = run->user_cancelled;
+  }
+  if (user_cancelled) {
+    finalize(run, RunState::cancelled);
+    return;
+  }
+  if (draining_.load(std::memory_order_relaxed) && stopped_early) {
+    // Interrupted by process drain, not by the operator: keep the manifest
+    // un-marked so the next start resumes this run where the journal ends.
+    std::lock_guard<std::mutex> lock(run->mutex);
+    run->stream_finished = true;
+    return;
+  }
+  finalize(run, RunState::completed);
+}
+
+void MeasurementService::finalize(const std::shared_ptr<Run>& run, RunState state) {
+  jsonio::Object done;
+  done["format"] = "dnslocate-done";
+  done["id"] = run->id;
+  done["state"] = std::string(to_string(state));
+  {
+    std::lock_guard<std::mutex> lock(run->mutex);
+    run->state = state;
+    run->stream_finished = true;
+    std::size_t not_run = 0;
+    if (run->result) {
+      run->census = census_to_json(report::run_census(*run->result));
+      not_run = run->result->not_run;
+    }
+    if (!run->error.empty()) done["error"] = run->error;
+    done["census"] = run->census;
+    done["probes_done"] = static_cast<std::uint64_t>(run->verdict_lines.size());
+    done["not_run"] = static_cast<std::uint64_t>(not_run);
+  }
+  write_file_sync(run->done_path, jsonio::Value(std::move(done)).dump() + "\n");
+}
+
+std::shared_ptr<MeasurementService::Run> MeasurementService::find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = runs_.find(id);
+  return it == runs_.end() ? nullptr : it->second;
+}
+
+RunStatus MeasurementService::snapshot(const Run& run) const {
+  std::lock_guard<std::mutex> lock(run.mutex);
+  RunStatus status;
+  status.id = run.id;
+  status.tenant = run.tenant;
+  status.state = run.state;
+  status.recovered = run.recovered;
+  status.probes_total = run.probes_total;
+  status.probes_done = (run.from_disk_history && !run.history_loaded)
+                           ? run.done_probes_from_marker
+                           : run.verdict_lines.size();
+  status.not_run = run.result ? run.result->not_run : run.done_not_run_from_marker;
+  status.error = run.error;
+  status.census = run.census;
+  return status;
+}
+
+std::optional<RunStatus> MeasurementService::status(const std::string& id) const {
+  auto run = find(id);
+  if (!run) return std::nullopt;
+  return snapshot(*run);
+}
+
+std::vector<RunStatus> MeasurementService::list() const {
+  std::vector<std::shared_ptr<Run>> all;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    all.reserve(runs_.size());
+    for (const auto& [id, run] : runs_) all.push_back(run);
+  }
+  std::vector<RunStatus> out;
+  out.reserve(all.size());
+  for (const auto& run : all) out.push_back(snapshot(*run));
+  return out;
+}
+
+bool MeasurementService::cancel(const std::string& id) {
+  auto run = find(id);
+  if (!run) return false;
+  {
+    std::lock_guard<std::mutex> lock(run->mutex);
+    if (run->state == RunState::completed || run->state == RunState::cancelled ||
+        run->state == RunState::failed)
+      return true;  // already terminal: cancel is idempotent
+    run->user_cancelled = true;
+  }
+  run->cancel.cancel();
+  return true;
+}
+
+void MeasurementService::ensure_history_loaded(Run& run) {
+  std::lock_guard<std::mutex> lock(run.mutex);
+  if (!run.from_disk_history || run.history_loaded) return;
+  run.history_loaded = true;
+
+  // Rebuild the fleet from the manifest plan so records come back in fleet
+  // order — the same order run_to_jsonl would have used in the process that
+  // measured them.
+  auto plan = atlas::fleet_from_json(run.plan_json);
+  if (!plan.ok()) return;
+  const auto fleet = plan.generate();
+  auto journal = atlas::load_journal(run.journal_path);
+  std::unordered_map<std::uint32_t, const atlas::ProbeRecord*> by_id;
+  by_id.reserve(journal.records.size());
+  for (const auto& record : journal.records) by_id[record.probe_id] = &record;
+
+  atlas::MeasurementRun result;
+  result.records.reserve(journal.records.size());
+  for (const auto& spec : fleet) {
+    auto it = by_id.find(spec.probe_id);
+    if (it != by_id.end()) result.records.push_back(*it->second);
+  }
+  result.not_run = fleet.size() - result.records.size();
+  run.verdict_lines.clear();
+  run.verdict_lines.reserve(result.records.size());
+  for (const auto& record : result.records)
+    run.verdict_lines.push_back(report::probe_to_json(record).dump());
+  run.result = std::move(result);
+}
+
+std::optional<VerdictPage> MeasurementService::verdicts(const std::string& id,
+                                                        std::size_t from_seq) {
+  auto run = find(id);
+  if (!run) return std::nullopt;
+  if (run->from_disk_history) ensure_history_loaded(*run);
+  std::lock_guard<std::mutex> lock(run->mutex);
+  VerdictPage page;
+  for (std::size_t seq = from_seq; seq < run->verdict_lines.size(); ++seq)
+    page.lines.push_back(run->verdict_lines[seq]);
+  page.next_seq = run->verdict_lines.size();
+  page.finished = run->stream_finished;
+  return page;
+}
+
+std::optional<std::string> MeasurementService::records_jsonl(const std::string& id) {
+  auto run = find(id);
+  if (!run) return std::nullopt;
+  if (run->from_disk_history) ensure_history_loaded(*run);
+  std::lock_guard<std::mutex> lock(run->mutex);
+  const bool terminal = run->state == RunState::completed ||
+                        run->state == RunState::cancelled || run->state == RunState::failed;
+  if (!terminal || !run->result) return std::nullopt;
+  return report::run_to_jsonl(*run->result);
+}
+
+bool MeasurementService::draining() const {
+  return draining_.load(std::memory_order_relaxed);
+}
+
+void MeasurementService::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_.exchange(true)) {
+      // Second call: workers are already stopping (or stopped).
+    }
+    for (const auto& [id, run] : runs_) {
+      std::lock_guard<std::mutex> run_lock(run->mutex);
+      if (run->state == RunState::queued || run->state == RunState::running)
+        run->cancel.cancel();
+    }
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Runs still queued were never started: close their streams so a client
+  // polling the verdict endpoint sees the end of the stream.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, run] : runs_) {
+    std::lock_guard<std::mutex> run_lock(run->mutex);
+    if (run->state == RunState::queued) run->stream_finished = true;
+  }
+}
+
+}  // namespace dnslocate::service

@@ -1,0 +1,17 @@
+// Clean fixture for R5 http-blocking: handler-layer code that snapshots
+// in-memory state, uses member calls that merely look like blocking reads,
+// and carries one reasoned suppression (which must silence the rule).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+std::string snapshot(Parser& parser, const std::vector<std::string>& lines) {
+  parser.accept('x');            // member access: not a naked accept()
+  std::string out = parser.read();  // member access: not a bare read()
+  for (const std::string& line : lines) out += line;
+  char buffer[8];
+  // dnslint: allow(http-blocking): fixture-only; proves reasoned R5 suppressions are honoured
+  std::fgets(buffer, sizeof buffer, stdin);
+  out += buffer;
+  return out;
+}

@@ -1,0 +1,15 @@
+// Clean fixture mirroring the real accept-loop seam: src/service/
+// http_server.cc may own raw socket fds (R3 ownership exemption) and is
+// exempt from R5, as long as every poll() carries a finite deadline.
+struct pollfd_like {
+  int fd;
+};
+
+int seam_loop(int listener, pollfd_like* fds, unsigned long n) {
+  int conn = accept(listener, nullptr, nullptr);
+  char buffer[64];
+  long got = recv(conn, buffer, sizeof buffer, 0);
+  poll(fds, n, 50);  // finite tick
+  close(conn);
+  return static_cast<int>(got);
+}

@@ -1,0 +1,18 @@
+// Violation fixture for R5 http-blocking: this file stands in for service
+// handler code (src/service/ but NOT the accept-loop seam), which runs on
+// the HTTP event thread and must never issue a blocking read.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+int handle_request(int fd) {
+  char buffer[256];
+  // Blocking socket read on the event thread: fires http-blocking AND
+  // raii-sockets (naked fd call outside the owners).
+  long got = recv(fd, buffer, sizeof buffer, 0);
+  // Blocking stdio reads: http-blocking only.
+  std::fgets(buffer, sizeof buffer, stdin);
+  std::string line;
+  std::getline(std::cin, line);
+  return static_cast<int>(got);
+}

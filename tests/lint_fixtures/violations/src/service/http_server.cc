@@ -1,0 +1,13 @@
+// Fixture named after the real accept-loop seam: the R3 ownership
+// exemption applies here (naked accept() below is NOT a finding, and R5
+// does not run), but the deadline half of raii-sockets still does — the
+// infinite poll() must fire even inside the seam.
+struct pollfd_like {
+  int fd;
+};
+
+int seam_loop(int listener, pollfd_like* fds, unsigned long n) {
+  int conn = accept(listener, nullptr, nullptr);  // seam-allowed ownership
+  poll(fds, n, -1);                               // still a finding: no deadline
+  return conn;
+}

@@ -1,4 +1,4 @@
-// dnslint's own tests: every rule R1-R4 fires on its fixture, suppressions
+// dnslint's own tests: every rule R1-R5 fires on its fixture, suppressions
 // with reasons are honoured, reasonless/unknown allows are findings, and
 // clean code stays clean. Fixture trees live under tests/lint_fixtures/
 // (DNSLINT_FIXTURES points there; the same trees gate the CLI via the
@@ -45,6 +45,7 @@ TEST(DnslintFixtures, EveryRuleFiresOnViolationTree) {
   EXPECT_TRUE(rules.count(std::string(lint::kRuleWireBounds)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleRaiiSockets)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleHeaderHygiene)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleHttpBlocking)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleBadSuppression)));
 }
 
@@ -65,6 +66,20 @@ TEST(DnslintFixtures, RaiiSocketsCatchesNakedCallsAndInfinitePoll) {
   EXPECT_GE(count_rule(findings, lint::kRuleRaiiSockets, "bad_sockets"), 4u);
   // The deadline half applies inside src/sockets/ too...
   EXPECT_EQ(count_rule(findings, lint::kRuleRaiiSockets, "bad_poll"), 1u);
+}
+
+TEST(DnslintFixtures, HttpBlockingFiresOutsideTheListenerSeam) {
+  auto findings = lint_tree(kViolations);
+  // recv + fgets + getline + cin in handler-layer service code.
+  EXPECT_GE(count_rule(findings, lint::kRuleHttpBlocking, "bad_handler"), 3u);
+  // A blocking recv on the event thread is doubly wrong: it is also a naked
+  // fd call outside the owners.
+  EXPECT_GE(count_rule(findings, lint::kRuleRaiiSockets, "bad_handler"), 1u);
+  // The accept-loop seam (src/service/http_server.cc) is exempt from R5 and
+  // from R3 ownership, but the finite-deadline half of R3 still applies:
+  // exactly the infinite poll() fires, not the naked accept().
+  EXPECT_EQ(count_rule(findings, lint::kRuleHttpBlocking, "service/http_server"), 0u);
+  EXPECT_EQ(count_rule(findings, lint::kRuleRaiiSockets, "service/http_server"), 1u);
 }
 
 TEST(DnslintFixtures, HeaderHygieneCatchesGuardAndUsingNamespace) {
@@ -99,6 +114,22 @@ TEST(DnslintRules, RulesAreScopedByPath) {
   const std::string socket_sin = "int f() { return socket(2, 2, 0); }\n";
   EXPECT_EQ(lint::lint_file("src/core/x.cc", socket_sin).size(), 1u);
   EXPECT_TRUE(lint::lint_file("src/sockets/x.cc", socket_sin).empty());
+}
+
+TEST(DnslintRules, ServiceListenerSeamScoping) {
+  const std::string blocking_read =
+      "int f(int fd) { char b[4]; return static_cast<int>(recv(fd, b, 4, 0)); }\n";
+  // Handler-layer service code: naked fd call (R3) AND a blocking read on
+  // the event thread (R5).
+  EXPECT_EQ(lint::lint_file("src/service/api.cc", blocking_read).size(), 2u);
+  // Outside src/service/, only R3 applies.
+  EXPECT_EQ(lint::lint_file("src/core/x.cc", blocking_read).size(), 1u);
+  // The accept-loop seam owns its fds and is exempt from both.
+  EXPECT_TRUE(lint::lint_file("src/service/http_server.cc", blocking_read).empty());
+
+  // The seam keeps the finite-deadline half of R3.
+  const std::string infinite = "int g(pollfd* p) { return poll(p, 1, -1); }\n";
+  EXPECT_EQ(lint::lint_file("src/service/http_server.cc", infinite).size(), 1u);
 }
 
 TEST(DnslintRules, SeamFilesMayTouchEntropyAndClock) {

@@ -68,6 +68,39 @@ INSTANTIATE_TEST_SUITE_P(Corpus, BadJson,
                                            "{\"a\":1}extra", "[1],", "nul", "\"bad\\q\"",
                                            "\"bad\\u12\""));
 
+TEST(Json, ParseErrorsCarryLineColumnAndContext) {
+  // The error points at the offending byte: line, column, and a snippet
+  // with the failure position marked, so API layers can name the field.
+  ParseError error;
+  EXPECT_FALSE(parse("{\"probes\": 5,\n \"orgs\": [,]}", &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_EQ(error.offset, 24u);
+  EXPECT_EQ(error.column, 11u);
+  EXPECT_NE(error.context.find("-->"), std::string::npos);
+  EXPECT_NE(error.context.find("\"orgs\": ["), std::string::npos);
+  std::string described = describe(error);
+  EXPECT_NE(described.find("line 2, column 11 (byte 24)"), std::string::npos);
+  EXPECT_NE(described.find("near `"), std::string::npos);
+
+  // Multi-line whitespace folds so the snippet stays one line.
+  EXPECT_EQ(error.context.find('\n'), std::string::npos);
+
+  // Offsets clamp at end-of-input (truncated documents).
+  ParseError eof_error;
+  EXPECT_FALSE(parse("{\"a\": ", &eof_error).has_value());
+  EXPECT_EQ(eof_error.offset, 6u);
+  EXPECT_EQ(eof_error.line, 1u);
+  EXPECT_EQ(eof_error.column, 7u);
+  EXPECT_NE(eof_error.context.find("{\"a\": -->"), std::string::npos);
+
+  // Long documents clip the window with ellipses on both sides.
+  std::string long_doc = "[" + std::string(100, '1') + "x" + std::string(100, '1') + "]";
+  ParseError long_error;
+  EXPECT_FALSE(parse(long_doc, &long_error).has_value());
+  EXPECT_EQ(long_error.context.substr(0, 3), "...");
+  EXPECT_EQ(long_error.context.substr(long_error.context.size() - 3), "...");
+}
+
 TEST(Json, RoundTripsItsOwnOutput) {
   auto original = parse(R"({"n":[1,2.5,-3],"s":"e\"sc","o":{"k":true}})");
   ASSERT_TRUE(original.has_value());

@@ -216,8 +216,9 @@ struct Directives {
   std::vector<Finding> errors;  // bad-suppression findings
 };
 
-constexpr std::array<std::string_view, 4> kKnownRules = {
-    kRuleDeterminism, kRuleWireBounds, kRuleRaiiSockets, kRuleHeaderHygiene};
+constexpr std::array<std::string_view, 5> kKnownRules = {
+    kRuleDeterminism, kRuleWireBounds, kRuleRaiiSockets, kRuleHeaderHygiene,
+    kRuleHttpBlocking};
 
 Directives parse_directives(std::string_view path, const Scrubbed& s) {
   static const std::regex kDirective(
@@ -259,8 +260,10 @@ struct PathScope {
   bool in_src = false;
   bool in_dnswire = false;
   bool in_sockets = false;
+  bool in_service = false;
   bool is_header = false;
   bool determinism_seam = false;  // the allowlisted clock/entropy seam
+  bool service_listener_seam = false;  // the allowlisted accept-loop seam
 };
 
 bool starts_with(std::string_view s, std::string_view prefix) {
@@ -278,6 +281,14 @@ PathScope classify_path(std::string_view path) {
   scope.determinism_seam = path == "src/simnet/rng.h" || path == "src/simnet/rng.cc" ||
                            path == "src/simnet/time.h" || path == "src/obs/clock.h" ||
                            path == "src/obs/clock.cc";
+  scope.in_service = starts_with(path, "src/service/");
+  // The measurement service's accept loop is the one place outside
+  // src/sockets/ that owns raw socket fds: HttpServer wraps listen/accept/
+  // recv/send behind a single finite-tick poll(), RAII-owns every fd in its
+  // Connection struct, and nothing else in src/service/ ever sees an fd.
+  // Only this exact file gets the R3 ownership exemption — handlers and the
+  // service kernel stay under the full rule (and under R5).
+  scope.service_listener_seam = path == "src/service/http_server.cc";
   return scope;
 }
 
@@ -368,7 +379,7 @@ void check_wire_bounds(std::string_view path, const std::vector<std::string_view
 // ---------------------------------------------------------------- R3 -------
 
 void check_raii_sockets(std::string_view path, const std::vector<std::string_view>& lines,
-                        bool in_sockets, Sink& sink) {
+                        bool owns_fds, Sink& sink) {
   static const std::regex kInfinitePoll(R"(\bpoll\s*\([^;()]*,\s*-1\s*\))");
   constexpr std::array<std::string_view, 9> kOwnedCalls = {
       "socket", "close", "recvfrom", "sendto", "recv", "accept",
@@ -376,7 +387,7 @@ void check_raii_sockets(std::string_view path, const std::vector<std::string_vie
   for (std::size_t i = 0; i < lines.size(); ++i) {
     std::string_view line = lines[i];
     std::size_t lineno = i + 1;
-    if (!in_sockets) {
+    if (!owns_fds) {
       for (std::string_view ident : kOwnedCalls) {
         std::size_t pos = find_ident(line, ident);
         if (pos != std::string_view::npos && is_call(line, pos, ident.size()) &&
@@ -384,8 +395,9 @@ void check_raii_sockets(std::string_view path, const std::vector<std::string_vie
           std::string_view qual = qualifier(line, pos);
           if (qual == "std") continue;  // std::accept etc. do not exist; be safe
           add(sink, path, lineno, kRuleRaiiSockets,
-              "naked " + std::string(ident) + "() outside src/sockets/; socket "
-              "lifetimes belong to the RAII owners in src/sockets/");
+              "naked " + std::string(ident) + "() outside the fd owners; socket "
+              "lifetimes belong to src/sockets/ (or the allowlisted accept-loop "
+              "seam src/service/http_server.cc)");
         }
       }
     }
@@ -395,6 +407,37 @@ void check_raii_sockets(std::string_view path, const std::vector<std::string_vie
       add(sink, path, lineno, kRuleRaiiSockets,
           "poll() with an infinite (-1) timeout can hang a probe forever; "
           "every wait needs a deadline");
+  }
+}
+
+// ---------------------------------------------------------------- R5 -------
+
+/// src/service/ outside the accept-loop seam runs on the HTTP server's
+/// event thread: request handlers and verdict-stream pullers are invoked
+/// from the poll loop, so one blocking read stalls every connection. Work
+/// that waits belongs on the MeasurementService worker pool; handlers only
+/// snapshot state that is already in memory (or journaled on disk).
+void check_http_blocking(std::string_view path, const std::vector<std::string_view>& lines,
+                         Sink& sink) {
+  constexpr std::array<std::string_view, 12> kBlockingReads = {
+      "recv", "recvfrom", "recvmsg", "read",   "pread", "readv",
+      "accept", "select", "fgets",   "getline", "scanf", "fscanf"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    std::size_t lineno = i + 1;
+    for (std::string_view ident : kBlockingReads) {
+      std::size_t pos = find_ident(line, ident);
+      if (pos != std::string_view::npos && is_call(line, pos, ident.size()) &&
+          !is_member_access(line, pos))
+        add(sink, path, lineno, kRuleHttpBlocking,
+            std::string(ident) + "() can block the HTTP event thread; handlers "
+            "and stream pullers must stay non-blocking — queue the work on the "
+            "service's worker pool instead");
+    }
+    if (find_ident(line, "cin") != std::string_view::npos)
+      add(sink, path, lineno, kRuleHttpBlocking,
+          "std::cin reads block the HTTP event thread; the daemon's control "
+          "plane is the HTTP API, not stdin");
   }
 }
 
@@ -446,7 +489,9 @@ std::vector<Finding> lint_file(std::string_view path, std::string_view content) 
   Sink raw;
   if (scope.in_src && !scope.determinism_seam) check_determinism(path, lines, raw);
   if (scope.in_dnswire) check_wire_bounds(path, lines, raw);
-  if (scope.in_src) check_raii_sockets(path, lines, scope.in_sockets, raw);
+  if (scope.in_src)
+    check_raii_sockets(path, lines, scope.in_sockets || scope.service_listener_seam, raw);
+  if (scope.in_service && !scope.service_listener_seam) check_http_blocking(path, lines, raw);
   if (scope.in_src && scope.is_header) check_header_hygiene(path, lines, raw);
 
   Sink out = std::move(directives.errors);

@@ -12,10 +12,17 @@
 //                        bounds-checked cursor helpers: no raw memcpy/
 //                        pointer arithmetic/reinterpret_cast over wire bytes.
 //   R3 raii-sockets    — no naked socket()/close()/recvfrom()/poll() calls
-//                        outside the src/sockets/ owners, and no poll() with
-//                        an infinite (-1) timeout anywhere.
+//                        outside the fd owners (src/sockets/, plus the one
+//                        allowlisted accept-loop seam src/service/
+//                        http_server.cc), and no poll() with an infinite
+//                        (-1) timeout anywhere.
 //   R4 header-hygiene  — headers use #pragma once (exactly once, no legacy
 //                        include guards) and never `using namespace`.
+//   R5 http-blocking   — src/service/ code outside the accept-loop seam
+//                        runs on the HTTP event thread (handlers, stream
+//                        pullers) and must never issue a blocking read:
+//                        no recv()/read()/accept()/select()/fgets()/
+//                        getline()/std::cin there.
 //
 // Suppressions: `// dnslint: allow(<rule>): <reason>` on the offending line
 // or alone on the line above. The reason string is mandatory — an allow()
@@ -33,6 +40,7 @@ inline constexpr std::string_view kRuleDeterminism = "determinism";
 inline constexpr std::string_view kRuleWireBounds = "wire-bounds";
 inline constexpr std::string_view kRuleRaiiSockets = "raii-sockets";
 inline constexpr std::string_view kRuleHeaderHygiene = "header-hygiene";
+inline constexpr std::string_view kRuleHttpBlocking = "http-blocking";
 inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
 
 /// One diagnostic.

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Smoke test for the resident measurement service (dnslocated): boot the
+# daemon, drive one fleet through the HTTP/JSON control plane end to end,
+# and check that SIGTERM drains cleanly. Gates in CI (service-smoke job);
+# run locally as:  tools/service_smoke.sh [path/to/dnslocated]
+set -euo pipefail
+
+BIN=${1:-./build/examples/dnslocated}
+[ -x "$BIN" ] && BIN=$(readlink -f "$BIN") || { echo "FAIL: daemon binary not found at $BIN" >&2; exit 1; }
+
+STATE=$(mktemp -d /tmp/dnslocate-smoke-XXXXXX)
+DAEMON=0
+cleanup() {
+  [ "$DAEMON" -gt 0 ] && kill -9 "$DAEMON" 2>/dev/null || true
+  rm -rf "$STATE"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+"$BIN" --state-dir "$STATE" --port-file "$STATE/port" &
+DAEMON=$!
+
+for _ in $(seq 1 100); do [ -s "$STATE/port" ] && break; sleep 0.1; done
+[ -s "$STATE/port" ] || fail "daemon never wrote its port file"
+BASE="http://127.0.0.1:$(cat "$STATE/port")"
+echo "daemon up at $BASE (state: $STATE)"
+
+# --- health ---------------------------------------------------------------
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || fail "healthz not ok"
+
+# --- malformed JSON must come back 400 with a byte-offset diagnostic ------
+BAD=$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/fleets" -d '{"oops":')
+[ "$BAD" = 400 ] || fail "malformed plan answered $BAD, expected 400"
+curl -sS -X POST "$BASE/v1/fleets" -d '{"oops":' | grep -q '"offset"' \
+  || fail "400 body carries no parse offset"
+
+# --- submit a small paced fleet -------------------------------------------
+PLAN='{"seed": 11, "tenant": "smoke", "orgs": [
+        {"org": "SmokeNet", "asn": 64900, "country": "US", "probes": 30,
+         "cpe_xb6": 2, "isp_allfour": 1},
+        {"org": "CleanNet", "asn": 64901, "country": "DE", "probes": 10}]}'
+SUBMIT=$(curl -fsS -X POST "$BASE/v1/fleets" -H 'Content-Type: application/json' -d "$PLAN")
+ID=$(echo "$SUBMIT" | grep -o 'run-[0-9]*' | head -1)
+[ -n "$ID" ] || fail "submit returned no run id: $SUBMIT"
+echo "submitted $ID"
+
+# --- poll to completion ---------------------------------------------------
+STATUS=""
+for _ in $(seq 1 300); do
+  STATUS=$(curl -fsS "$BASE/v1/fleets/$ID")
+  echo "$STATUS" | grep -q '"state":"completed"' && break
+  echo "$STATUS" | grep -qE '"state":"(failed|cancelled)"' && fail "run ended badly: $STATUS"
+  sleep 0.2
+done
+echo "$STATUS" | grep -q '"state":"completed"' || fail "run never completed: $STATUS"
+
+# --- verdict stream line count == census probe count ----------------------
+PROBES=$(echo "$STATUS" | grep -o '"probes":[0-9]*' | head -1 | cut -d: -f2)
+VERDICTS=$(curl -fsS "$BASE/v1/fleets/$ID/verdicts" | wc -l)
+[ "$VERDICTS" = "$PROBES" ] || fail "verdict stream has $VERDICTS lines, census says $PROBES probes"
+echo "verdicts match census: $VERDICTS/$PROBES"
+
+# --- resumable stream cursor ----------------------------------------------
+TAIL=$(curl -fsS "$BASE/v1/fleets/$ID/verdicts?from_seq=$((PROBES - 5))" | wc -l)
+[ "$TAIL" = 5 ] || fail "from_seq cursor returned $TAIL lines, expected 5"
+
+# --- metrics scrape -------------------------------------------------------
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^transport_queries_total' || fail "metrics missing transport_queries_total"
+echo "$METRICS" | grep -q '^probe_ok_total' || fail "metrics missing probe_ok_total"
+
+# --- SIGTERM: clean drain, exit 0 -----------------------------------------
+kill -TERM "$DAEMON"
+WAITED=0
+if wait "$DAEMON"; then WAITED=0; else WAITED=$?; fi
+DAEMON=0
+[ "$WAITED" = 0 ] || fail "daemon exited $WAITED after SIGTERM, expected clean drain + 0"
+echo "PASS: service smoke complete"
