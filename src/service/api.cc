@@ -1,7 +1,8 @@
 #include "service/api.h"
 
-#include <cstdlib>
+#include <charconv>
 #include <memory>
+#include <system_error>
 #include <utility>
 
 #include "obs/export.h"
@@ -58,7 +59,12 @@ HttpResponse handle_submit(MeasurementService& service, const HttpRequest& reque
 HttpResponse handle_verdicts(MeasurementService& service, const std::string& id,
                              const HttpRequest& request) {
   const std::string from_text = request.query_value("from_seq", "0");
-  const std::size_t from_seq = std::strtoull(from_text.c_str(), nullptr, 10);
+  std::size_t from_seq = 0;
+  const auto [end, ec] =
+      std::from_chars(from_text.data(), from_text.data() + from_text.size(), from_seq);
+  if (ec != std::errc() || end != from_text.data() + from_text.size())
+    return error_response(400, "from_seq must be a non-negative integer, got '" +
+                                   from_text + "'");
   if (!service.status(id)) return error_response(404, "unknown run '" + id + "'");
 
   // Chunked NDJSON pulled by the server's event loop: each call drains the

@@ -128,28 +128,37 @@ void HttpServer::run() {
     poll(fds.data(), fds.size(), tick_ms);
     auto now = std::chrono::steady_clock::now();
 
+    // Connections polled this tick; anything accepted below has no pollfd
+    // entry yet and must be treated as revents == 0 until the next tick.
+    const std::size_t polled = connections.size();
+
     // Accept every pending connection (non-blocking listener).
     if ((fds[0].revents & POLLIN) != 0) {
       for (;;) {
         int fd = accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
-        set_nonblocking(fd);
-        int one = 1;
-        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-        auto conn = std::make_unique<Connection>(fd);
         if (connections.size() >= config_.max_connections) {
+          // Over cap: best-effort 503 and close immediately — never track
+          // the connection, so a connect flood cannot grow the set (or the
+          // open-fd count) past max_connections.
           HttpResponse busy;
           busy.status = 503;
           busy.body = R"({"error":{"message":"connection limit reached"}})";
-          respond(*conn, std::move(busy));
+          const std::string wire = serialize_head(busy) + busy.body;
+          send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+          close(fd);
+          continue;
         }
-        connections.push_back(std::move(conn));
+        set_nonblocking(fd);
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        connections.push_back(std::make_unique<Connection>(fd));
       }
     }
 
     for (std::size_t i = 0; i < connections.size(); ++i) {
       Connection& conn = *connections[i];
-      short revents = fds[i + 1].revents;
+      const short revents = i < polled ? fds[i + 1].revents : 0;
 
       if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !conn.wants_write()) {
         conn.responded = true;

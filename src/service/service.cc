@@ -267,29 +267,42 @@ SubmitResult MeasurementService::submit(const std::string& body) {
     return out;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (draining_.load(std::memory_order_relaxed)) {
-    out.status = 503;
-    out.error = "service is draining; resubmit after restart";
-    return out;
-  }
-  std::size_t active = 0;
-  for (const auto& [id, run] : runs_) {
-    std::lock_guard<std::mutex> run_lock(run->mutex);
-    if (run->tenant == tenant &&
-        (run->state == RunState::queued || run->state == RunState::running))
-      ++active;
-  }
-  if (active >= config_.tenant_cap) {
-    out.status = 429;
-    out.error = "tenant '" + tenant + "' already has " + std::to_string(active) +
-                " active runs (cap " + std::to_string(config_.tenant_cap) + ")";
-    return out;
-  }
-
+  // Admission critical section: cap check + id reservation only. The
+  // manifest write (fwrite + fsync, milliseconds of disk latency) happens
+  // *outside* mutex_ so status/list/verdict calls never stall behind it;
+  // admitting_ counts the reservation so a concurrent submit for the same
+  // tenant still sees the slot as taken.
   char id_buffer[24];
-  std::snprintf(id_buffer, sizeof id_buffer, "run-%06llu",
-                static_cast<unsigned long long>(next_run_number_++));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      out.status = 503;
+      out.error = "service is draining; resubmit after restart";
+      return out;
+    }
+    auto admitting_it = admitting_.find(tenant);
+    std::size_t active = admitting_it == admitting_.end() ? 0 : admitting_it->second;
+    for (const auto& [id, run] : runs_) {
+      if (run->tenant != tenant) continue;  // tenant is immutable: no run lock
+      std::lock_guard<std::mutex> run_lock(run->mutex);
+      if (run->state == RunState::queued || run->state == RunState::running) ++active;
+    }
+    if (active >= config_.tenant_cap) {
+      out.status = 429;
+      out.error = "tenant '" + tenant + "' already has " + std::to_string(active) +
+                  " active runs (cap " + std::to_string(config_.tenant_cap) + ")";
+      return out;
+    }
+    std::snprintf(id_buffer, sizeof id_buffer, "run-%06llu",
+                  static_cast<unsigned long long>(next_run_number_++));
+    ++admitting_[tenant];
+  }
+  auto release_admission = [this, &tenant] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = admitting_.find(tenant);
+    if (it != admitting_.end() && --it->second == 0) admitting_.erase(it);
+  };
+
   auto run = std::make_shared<Run>();
   run->id = id_buffer;
   run->tenant = tenant;
@@ -309,14 +322,28 @@ SubmitResult MeasurementService::submit(const std::string& body) {
   manifest["probes_total"] = static_cast<std::uint64_t>(fleet.size());
   manifest["plan"] = *parsed;
   if (!write_file_sync(run->manifest_path, jsonio::Value(std::move(manifest)).dump() + "\n")) {
+    release_admission();
     out.status = 500;
     out.error = "cannot persist run manifest in " + config_.state_dir;
     return out;
   }
 
   out.id = run->id;
-  runs_[run->id] = run;
-  queue_.push_back(std::move(run));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = admitting_.find(tenant);
+    if (it != admitting_.end() && --it->second == 0) admitting_.erase(it);
+    runs_[run->id] = run;
+    if (draining_.load(std::memory_order_relaxed)) {
+      // Drain won the race between reservation and registration: the
+      // manifest is durable, so the next start resumes this run; close its
+      // stream now because no worker in this process will touch it.
+      std::lock_guard<std::mutex> run_lock(run->mutex);
+      run->stream_finished = true;
+    } else {
+      queue_.push_back(std::move(run));
+    }
+  }
   work_ready_.notify_one();
   return out;
 }
@@ -440,6 +467,36 @@ void MeasurementService::finalize(const std::shared_ptr<Run>& run, RunState stat
     done["not_run"] = static_cast<std::uint64_t>(not_run);
   }
   write_file_sync(run->done_path, jsonio::Value(std::move(done)).dump() + "\n");
+  note_terminal_resident(run->id);
+}
+
+void MeasurementService::note_terminal_resident(const std::string& id) {
+  std::vector<std::shared_ptr<Run>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::erase(terminal_order_, id);  // refresh: most recent goes to the back
+    terminal_order_.push_back(id);
+    while (terminal_order_.size() > std::max<std::size_t>(1, config_.retain_terminal_runs)) {
+      auto it = runs_.find(terminal_order_.front());
+      terminal_order_.pop_front();
+      if (it != runs_.end()) victims.push_back(it->second);
+    }
+  }
+  // Spill outside mutex_: the victims' records are durable (journal + done
+  // marker), so drop the in-memory copies and flip them to the lazy-reload
+  // path a historical run already takes.
+  for (const auto& victim : victims) {
+    std::lock_guard<std::mutex> run_lock(victim->mutex);
+    if (victim->state == RunState::queued || victim->state == RunState::running)
+      continue;  // raced with a resubmit of the same id: never spill live runs
+    victim->done_probes_from_marker = victim->verdict_lines.size();
+    if (victim->result) victim->done_not_run_from_marker = victim->result->not_run;
+    victim->verdict_lines.clear();
+    victim->verdict_lines.shrink_to_fit();
+    victim->result.reset();
+    victim->from_disk_history = true;
+    victim->history_loaded = false;
+  }
 }
 
 std::shared_ptr<MeasurementService::Run> MeasurementService::find(const std::string& id) const {
@@ -499,33 +556,45 @@ bool MeasurementService::cancel(const std::string& id) {
 }
 
 void MeasurementService::ensure_history_loaded(Run& run) {
-  std::lock_guard<std::mutex> lock(run.mutex);
-  if (!run.from_disk_history || run.history_loaded) return;
-  run.history_loaded = true;
+  bool resident = false;
+  {
+    std::lock_guard<std::mutex> lock(run.mutex);
+    if (!run.from_disk_history) return;
+    if (run.history_loaded) {
+      resident = true;  // refresh retention order below
+    } else {
+      run.history_loaded = true;
+      resident = true;
 
-  // Rebuild the fleet from the manifest plan so records come back in fleet
-  // order — the same order run_to_jsonl would have used in the process that
-  // measured them.
-  auto plan = atlas::fleet_from_json(run.plan_json);
-  if (!plan.ok()) return;
-  const auto fleet = plan.generate();
-  auto journal = atlas::load_journal(run.journal_path);
-  std::unordered_map<std::uint32_t, const atlas::ProbeRecord*> by_id;
-  by_id.reserve(journal.records.size());
-  for (const auto& record : journal.records) by_id[record.probe_id] = &record;
+      // Rebuild the fleet from the manifest plan so records come back in
+      // fleet order — the same order run_to_jsonl would have used in the
+      // process that measured them.
+      auto plan = atlas::fleet_from_json(run.plan_json);
+      if (plan.ok()) {
+        const auto fleet = plan.generate();
+        auto journal = atlas::load_journal(run.journal_path);
+        std::unordered_map<std::uint32_t, const atlas::ProbeRecord*> by_id;
+        by_id.reserve(journal.records.size());
+        for (const auto& record : journal.records) by_id[record.probe_id] = &record;
 
-  atlas::MeasurementRun result;
-  result.records.reserve(journal.records.size());
-  for (const auto& spec : fleet) {
-    auto it = by_id.find(spec.probe_id);
-    if (it != by_id.end()) result.records.push_back(*it->second);
+        atlas::MeasurementRun result;
+        result.records.reserve(journal.records.size());
+        for (const auto& spec : fleet) {
+          auto it = by_id.find(spec.probe_id);
+          if (it != by_id.end()) result.records.push_back(*it->second);
+        }
+        result.not_run = fleet.size() - result.records.size();
+        run.verdict_lines.clear();
+        run.verdict_lines.reserve(result.records.size());
+        for (const auto& record : result.records)
+          run.verdict_lines.push_back(report::probe_to_json(record).dump());
+        run.result = std::move(result);
+      }
+    }
   }
-  result.not_run = fleet.size() - result.records.size();
-  run.verdict_lines.clear();
-  run.verdict_lines.reserve(result.records.size());
-  for (const auto& record : result.records)
-    run.verdict_lines.push_back(report::probe_to_json(record).dump());
-  run.result = std::move(result);
+  // Reloaded records are resident again: re-enter the retention order (with
+  // no lock held — note_terminal_resident takes mutex_ then run mutexes).
+  if (resident) note_terminal_resident(run.id);
 }
 
 std::optional<VerdictPage> MeasurementService::verdicts(const std::string& id,

@@ -68,6 +68,11 @@ struct ServiceConfig {
   unsigned run_threads = 1;
   /// Per-probe wall-clock budget forwarded to the supervisor (0 = none).
   std::chrono::milliseconds probe_deadline{0};
+  /// How many terminal runs keep their verdict lines / records resident in
+  /// memory. Older terminal runs are spilled (their journal and done marker
+  /// stay durable on disk) and reloaded on demand, so a long-lived daemon's
+  /// memory stays bounded regardless of how many runs it has served.
+  std::size_t retain_terminal_runs = 16;
 };
 
 /// Lifecycle of one submitted run.
@@ -179,8 +184,13 @@ class MeasurementService {
   [[nodiscard]] std::shared_ptr<Run> find(const std::string& id) const;
   [[nodiscard]] RunStatus snapshot(const Run& run) const;
   /// Lazily materialize verdict lines / records for a run completed by a
-  /// *previous* process (we hold its journal, not its memory).
-  static void ensure_history_loaded(Run& run);
+  /// *previous* process — or spilled by retention (we hold its journal, not
+  /// its memory).
+  void ensure_history_loaded(Run& run);
+  /// Record `id` as the most recently resident terminal run and spill the
+  /// oldest residents beyond ServiceConfig::retain_terminal_runs. Callers
+  /// must hold neither mutex_ nor any run mutex.
+  void note_terminal_resident(const std::string& id);
 
   ServiceConfig config_;
   std::size_t recovered_runs_ = 0;
@@ -189,6 +199,12 @@ class MeasurementService {
   std::condition_variable work_ready_;
   std::map<std::string, std::shared_ptr<Run>> runs_;  // id -> run, ordered
   std::deque<std::shared_ptr<Run>> queue_;
+  /// Per-tenant count of submissions past the cap check but not yet
+  /// registered (their manifest fsync runs outside mutex_).
+  std::map<std::string, std::size_t> admitting_;
+  /// Terminal runs with records resident in memory, oldest first; bounded
+  /// by ServiceConfig::retain_terminal_runs via note_terminal_resident.
+  std::deque<std::string> terminal_order_;
   std::uint64_t next_run_number_ = 1;
   std::atomic<bool> draining_{false};
   std::vector<std::thread> workers_;

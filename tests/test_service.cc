@@ -328,6 +328,44 @@ TEST(Service, ConcurrentTenantRunsKeepIsolatedJournalsAndRecords) {
   EXPECT_EQ(list.size(), 2u);
 }
 
+TEST(Service, TerminalRunRetentionSpillsAndReloadsFromJournal) {
+  ServiceConfig config;
+  config.state_dir = make_scratch_dir("svc-retain");
+  config.retain_terminal_runs = 1;
+  MeasurementService svc(config);
+
+  const std::string plan_a =
+      R"({"seed": 31, "orgs": [{"org": "OldNet", "asn": 64730, "country": "US",
+           "probes": 12, "cpe_xb6": 1}]})";
+  const std::string plan_b =
+      R"({"seed": 32, "orgs": [{"org": "NewNet", "asn": 64731, "country": "DE",
+           "probes": 8}]})";
+  auto a = svc.submit(plan_a);
+  ASSERT_EQ(a.status, 202) << a.error;
+  ASSERT_TRUE(wait_for_state(svc, a.id, RunState::completed));
+  auto b = svc.submit(plan_b);
+  ASSERT_EQ(b.status, 202) << b.error;
+  ASSERT_TRUE(wait_for_state(svc, b.id, RunState::completed));
+
+  // With retain_terminal_runs = 1, completing b spilled a's in-memory
+  // records. Status still answers from the done marker without a reload...
+  auto status = svc.status(a.id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, RunState::completed);
+  EXPECT_EQ(status->probes_done, 12u);
+
+  // ...and the verdict / record surfaces lazily reload from the journal,
+  // byte-identical to what the run produced while resident.
+  auto page = svc.verdicts(a.id, 0);
+  ASSERT_TRUE(page.has_value());
+  EXPECT_EQ(page->lines.size(), 12u);
+  EXPECT_TRUE(page->finished);
+  auto jsonl = svc.records_jsonl(a.id);
+  ASSERT_TRUE(jsonl.has_value());
+  EXPECT_EQ(*jsonl, baseline_jsonl(plan_a));
+  EXPECT_EQ(*svc.records_jsonl(b.id), baseline_jsonl(plan_b));
+}
+
 // --- metrics / census agreement ---
 
 TEST(Service, MetricsTotalsAgreeWithRunCensusToTheDigit) {
@@ -417,6 +455,13 @@ TEST(ServiceApi, EndToEndOverLoopbackSocket) {
   std::size_t resumed_lines = 0;
   for (char c : resumed.body) resumed_lines += c == '\n' ? 1 : 0;
   EXPECT_EQ(resumed_lines, 6u);
+
+  // A malformed cursor is a 400, never a silent full replay ("abc" → 0) or
+  // a silently empty stream ("-1" → 2^64-1).
+  EXPECT_EQ(http_request(port, "GET", "/v1/fleets/run-000001/verdicts?from_seq=abc").status,
+            400);
+  EXPECT_EQ(http_request(port, "GET", "/v1/fleets/run-000001/verdicts?from_seq=-1").status,
+            400);
 
   // Records endpoint serves the byte-identity surface over the wire.
   auto records = http_request(port, "GET", "/v1/fleets/run-000001/records");
