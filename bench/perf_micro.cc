@@ -1,16 +1,35 @@
 // P1: microbenchmarks for the substrates — DNS codec, name handling, LPM
 // routing, NAT translation, single queries through the simulator, and the
 // full per-probe pipeline. Establishes that full-fleet runs stay cheap.
+//
+// Usage: perf_micro [--smoke] [--json PATH] [google-benchmark flags]
+//   Without --smoke this is a normal google-benchmark binary.
+//   --smoke measures the exchange-kernel overhead (CI writes it to
+//   BENCH_exchange.json): every simulated query now runs through
+//   core::run_exchange behind the ExchangeChannel seam, and this mode times
+//   it against a hand-inlined copy of the pre-kernel sequential loop.
+//   Back-to-back A/B pairs on the same process cancel runner drift, so the
+//   paired ratio gates (<= 1.10x) even on shared machines; the absolute
+//   nanoseconds are informational against the committed pre-refactor
+//   baseline (bench/baselines/BENCH_exchange_baseline.json).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
 
 #include "atlas/fleet.h"
 #include "atlas/scenario.h"
+#include "bench_util.h"
 #include "core/pipeline.h"
 #include "dnswire/debug_queries.h"
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
+#include "dnswire/message.h"
 #include "jsonio/json.h"
 #include "netbase/lpm.h"
+#include "obs/clock.h"
+#include "obs/span.h"
 #include "simnet/rng.h"
 
 using namespace dnslocate;
@@ -125,6 +144,274 @@ void BM_FleetGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetGeneration);
 
+// ---------------------------------------------------------------------------
+// Exchange-kernel overhead smoke (--smoke): every transport now delegates
+// retry/acceptance/arbitration to core::run_exchange behind the
+// ExchangeChannel seam. This measures what that seam costs per exchange by
+// pairing it against a hand-inlined copy of the pre-kernel sequential loop.
+// bench/ sits outside dnslint's src/ scope, so this deliberate second copy
+// of the acceptance logic is legal here — it exists only as the A/B
+// reference and must not migrate into src/.
+
+/// Simulated-time observability clock, as the real transport installs one
+/// per query (part of the faithful per-query cost below).
+class InlineSimClock final : public obs::ClockSource {
+ public:
+  explicit InlineSimClock(const simnet::Simulator& sim) : sim_(sim) {}
+  [[nodiscard]] std::uint64_t now_ns() const override {
+    return static_cast<std::uint64_t>(sim_.now().count());
+  }
+
+ private:
+  const simnet::Simulator& sim_;
+};
+
+/// The pre-kernel SimTransport attempt loop, inlined: bind an ephemeral
+/// port, inject the datagram, step the simulator to the timeout horizon,
+/// and apply the RFC 5452 accept/dedup/arbitrate sequence directly in the
+/// datagram callback — no channel virtuals, no ledger, no policy driver.
+/// The per-query scaffolding the old transport also paid for (scoped
+/// simulated clock, tracing spans, a fresh mutable copy of the query, fresh
+/// arbitration state, telemetry recording) is reproduced here: the kernel
+/// path pays for all of it too, so leaving it out would bill it to the seam.
+class InlineSimExchange final : private simnet::UdpApp {
+ public:
+  InlineSimExchange(simnet::Simulator& sim, simnet::Device& host,
+                    const netbase::Endpoint& server)
+      : sim_(sim), host_(host), server_(server) {}
+
+  core::QueryResult run(const dnswire::Message& message, std::chrono::milliseconds timeout) {
+    InlineSimClock clock(sim_);
+    obs::ScopedClock clock_scope(&clock);
+    obs::Span query_span("transport/query");
+    dnswire::Message attempt_message = message;
+    core::RetryTelemetry telemetry;
+    sent_ = &attempt_message;
+    result_ = core::QueryResult{};
+    seen_ = decltype(seen_){};
+    deadline_passed_ = false;
+
+    obs::Span attempt_span("transport/attempt");
+    port_ = next_port_++;
+    if (next_port_ < 50000) next_port_ = 50000;
+    host_.bind_udp(port_, this);
+    auto source = host_.local_ip(server_.address.family());
+    if (source) {
+      simnet::UdpPacket packet;
+      packet.src = *source;
+      packet.dst = server_.address;
+      packet.sport = port_;
+      packet.dport = server_.port;
+      packet.payload = dnswire::encode_message(attempt_message);
+      packet.trace_id = sim_.next_trace_id();
+      host_.send_local(sim_, std::move(packet));
+    }
+    bool* flag = &deadline_passed_;
+    sim_.schedule(std::chrono::duration_cast<simnet::SimDuration>(timeout),
+                  [flag]() { *flag = true; });
+    while (!deadline_passed_ && sim_.step()) {
+    }
+    host_.unbind_udp(port_);
+    sent_ = nullptr;
+    telemetry.attempts = 1;
+    if (!result_.answered()) ++telemetry.timeouts;
+    result_.retry = telemetry;
+    telemetry_.note(result_);
+    core::note_transport_metrics(result_);
+    return std::move(result_);
+  }
+
+ private:
+  static std::uint64_t fnv(const std::uint8_t* data, std::size_t size) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) h = (h ^ data[i]) * 0x100000001b3ull;
+    return h;
+  }
+
+  static std::vector<std::uint8_t> endpoint_key(const netbase::Endpoint& endpoint) {
+    std::vector<std::uint8_t> key;
+    if (endpoint.address.is_v4()) {
+      key.push_back(4);
+      auto bytes = endpoint.address.v4().to_bytes();
+      key.insert(key.end(), bytes.begin(), bytes.end());
+    } else {
+      key.push_back(6);
+      const auto& bytes = endpoint.address.v6().bytes();
+      key.insert(key.end(), bytes.begin(), bytes.end());
+    }
+    key.push_back(static_cast<std::uint8_t>(endpoint.port >> 8));
+    key.push_back(static_cast<std::uint8_t>(endpoint.port & 0xff));
+    return key;
+  }
+
+  void on_datagram(simnet::Simulator&, simnet::Device&,
+                   const simnet::UdpPacket& packet) override {
+    if (packet.dport != port_) return;
+    if (packet.kind == simnet::PacketKind::icmp_ttl_exceeded) return;
+    auto response = dnswire::decode_message({packet.payload.data(), packet.payload.size()});
+    if (!response) {
+      ++result_.arbitration.malformed;
+      return;
+    }
+    if (packet.src_endpoint() != server_) {
+      ++result_.arbitration.spoof_suspected;
+      return;
+    }
+    if (!dnswire::is_acceptable_response(*sent_, *response)) {
+      ++result_.arbitration.spoof_suspected;
+      return;
+    }
+    std::vector<std::uint8_t> key = endpoint_key(packet.src_endpoint());
+    std::uint64_t hash = fnv(packet.payload.data(), packet.payload.size());
+    for (const auto& [src, h] : seen_)
+      if (h == hash && src == key) return;  // duplicate datagram
+    seen_.emplace_back(std::move(key), hash);
+    if (const auto* echoed = response->question())
+      if (const auto* asked = sent_->question())
+        if (!(echoed->name == asked->name)) ++result_.arbitration.case_mismatches;
+    if (!result_.answered()) {
+      result_.status = core::QueryResult::Status::answered;
+      result_.response = *response;
+    } else if (result_.response->flags.rcode != response->flags.rcode) {
+      ++result_.arbitration.conflicts;
+    }
+    result_.all_responses.push_back(std::move(*response));
+  }
+
+  simnet::Simulator& sim_;
+  simnet::Device& host_;
+  netbase::Endpoint server_;
+  std::uint16_t next_port_ = 50000;
+
+  const dnswire::Message* sent_ = nullptr;
+  core::QueryResult result_;
+  core::TransportTelemetry telemetry_;
+  std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>> seen_;
+  std::uint16_t port_ = 0;
+  bool deadline_passed_ = false;
+};
+
+/// Committed pre-refactor medians (bench/baselines/BENCH_exchange_baseline.json,
+/// recorded at 87baf32 on the development machine). Cross-machine, so the
+/// comparison is informational; the paired ratio below is the gate.
+constexpr double kBaselineSimExchangeNs = 5496.0;
+constexpr double kBaselineFullPipelineNs = 213136.0;
+
+int run_exchange_smoke(const char* json_path) {
+  constexpr int kPairs = 9;
+  constexpr int kExchangesPerRep = 200;
+  constexpr double kMaxOverheadRatio = 1.10;
+
+  atlas::ScenarioConfig config;
+  atlas::Scenario scenario(config);
+  const auto& quad9 = resolvers::PublicResolverSpec::get(resolvers::PublicResolverKind::quad9);
+  netbase::Endpoint server{quad9.service_v4[0], netbase::kDnsPort};
+  InlineSimExchange inline_exchange(scenario.sim(), scenario.host(), server);
+
+  auto query = dnswire::make_chaos_query(1, dnswire::version_bind());
+  auto kernel_rep = [&] {
+    for (int i = 0; i < kExchangesPerRep; ++i) {
+      query.id++;
+      benchmark::DoNotOptimize(scenario.transport().query(server, query));
+    }
+  };
+  auto inline_rep = [&] {
+    for (int i = 0; i < kExchangesPerRep; ++i) {
+      query.id++;
+      benchmark::DoNotOptimize(inline_exchange.run(query, std::chrono::milliseconds(3000)));
+    }
+  };
+
+  // Warm both paths once, then time back-to-back pairs with the order
+  // alternating so machine drift cancels out of the per-pair ratio.
+  kernel_rep();
+  inline_rep();
+  std::vector<double> kernel_ns, inline_ns, ratios;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    double a, b;
+    if (pair % 2 == 0) {
+      a = dnslocate::bench::time_ms(kernel_rep);
+      b = dnslocate::bench::time_ms(inline_rep);
+    } else {
+      b = dnslocate::bench::time_ms(inline_rep);
+      a = dnslocate::bench::time_ms(kernel_rep);
+    }
+    kernel_ns.push_back(a * 1e6 / kExchangesPerRep);
+    inline_ns.push_back(b * 1e6 / kExchangesPerRep);
+    ratios.push_back(a / b);
+  }
+  double kernel_med = dnslocate::bench::median(kernel_ns);
+  double inline_med = dnslocate::bench::median(inline_ns);
+  double ratio_med = dnslocate::bench::median(ratios);
+
+  // The full pipeline, for the informational baseline comparison.
+  std::vector<double> pipeline_ns;
+  for (int rep = 0; rep < 5; ++rep) {
+    double ms = dnslocate::bench::time_ms([&] {
+      atlas::ScenarioConfig pipeline_config;
+      pipeline_config.isp_policy.middlebox_enabled = true;
+      atlas::Scenario pipeline_scenario(pipeline_config);
+      core::LocalizationPipeline pipeline(pipeline_scenario.pipeline_config());
+      benchmark::DoNotOptimize(pipeline.run(pipeline_scenario.transport()));
+    });
+    pipeline_ns.push_back(ms * 1e6);
+  }
+  double pipeline_med = dnslocate::bench::median(pipeline_ns);
+
+  bool ratio_ok = ratio_med <= kMaxOverheadRatio;
+  dnslocate::bench::heading("exchange kernel overhead");
+  std::printf("kernel exchange:   %8.0f ns median (%d pairs x %d exchanges)\n", kernel_med,
+              kPairs, kExchangesPerRep);
+  std::printf("inline reference:  %8.0f ns median\n", inline_med);
+  std::printf("paired ratio:      %8.3f  (gate: <= %.2f) %s\n", ratio_med, kMaxOverheadRatio,
+              ratio_ok ? "OK" : "FAIL");
+  std::printf("vs baseline:       %8.3f  (informational; baseline %.0f ns at 87baf32)\n",
+              kernel_med / kBaselineSimExchangeNs, kBaselineSimExchangeNs);
+  std::printf("full pipeline:     %8.0f ns median (baseline %.0f ns, informational)\n",
+              pipeline_med, kBaselineFullPipelineNs);
+
+  if (json_path != nullptr) {
+    jsonio::Object out;
+    out["schema"] = "dnslocate.bench.exchange.v1";
+    out["pairs"] = static_cast<std::uint64_t>(kPairs);
+    out["exchanges_per_rep"] = static_cast<std::uint64_t>(kExchangesPerRep);
+    out["kernel_exchange_ns_median"] = kernel_med;
+    out["inline_exchange_ns_median"] = inline_med;
+    out["paired_overhead_ratio"] = ratio_med;
+    out["max_overhead_ratio"] = kMaxOverheadRatio;
+    out["check_overhead_ratio"] = ratio_ok;
+    out["baseline_sim_exchange_ns"] = kBaselineSimExchangeNs;
+    out["baseline_full_pipeline_ns"] = kBaselineFullPipelineNs;
+    out["vs_baseline_ratio_informational"] = kernel_med / kBaselineSimExchangeNs;
+    out["full_pipeline_ns_median"] = pipeline_med;
+    std::ofstream file(json_path);
+    file << jsonio::Value(std::move(out)).dump() << "\n";
+    std::printf("\nwrote %s\n", json_path);
+  }
+  return ratio_ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (smoke) return run_exchange_smoke(json_path);
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

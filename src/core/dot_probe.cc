@@ -1,5 +1,7 @@
 #include "core/dot_probe.h"
 
+#include "core/sim_transport.h"
+
 namespace dnslocate::core {
 
 std::string_view to_string(DotFinding finding) {
@@ -37,38 +39,67 @@ DotFinding DotProber::classify(const DotResolverReport& report) {
   return DotFinding::inconsistent;
 }
 
-DotReport DotProber::run(QueryTransport& transport) {
-  DotReport report;
+DotReport DotProber::run(AsyncQueryTransport& engine, bool* drained) {
+  if (drained != nullptr) *drained = false;
+
+  // One declarative batch across every (resolver, channel) pair. Channels
+  // the transport cannot speak get a placeholder slot with no batch entry —
+  // and consume no transaction ID, so the IDs on the wire are identical to
+  // the historical sequential loop's.
+  struct Slot {
+    resolvers::PublicResolverKind kind;
+    simnet::Channel channel;
+    std::optional<std::size_t> index;  // nullopt: channel unsupported
+  };
+  std::vector<Slot> slots;
+  QueryBatch batch;
   for (resolvers::PublicResolverKind kind : resolvers::all_public_resolvers()) {
     const auto& spec = resolvers::PublicResolverSpec::get(kind);
-    DotResolverReport resolver_report;
-
     for (simnet::Channel channel : {simnet::Channel::udp, simnet::Channel::dot_strict,
                                     simnet::Channel::dot_opportunistic}) {
-      DotChannelResult channel_result;
-      if (!transport.supports_channel(channel)) {
-        channel_result.display = "(unsupported)";
-        resolver_report.channels.emplace(channel, std::move(channel_result));
-        continue;
+      Slot slot{kind, channel, std::nullopt};
+      if (engine.transport().supports_channel(channel)) {
+        std::uint16_t port =
+            channel == simnet::Channel::udp ? netbase::kDnsPort : netbase::kDotPort;
+        QueryOptions options = config_.query;
+        options.channel = channel;
+        slot.index = batch.add(
+            netbase::Endpoint{spec.service_v4[0], port},
+            dnswire::make_query(next_id_++, spec.location_query.name,
+                                spec.location_query.type, spec.location_query.klass),
+            options);
       }
-      std::uint16_t port =
-          channel == simnet::Channel::udp ? netbase::kDnsPort : netbase::kDotPort;
-      netbase::Endpoint server{spec.service_v4[0], port};
-      QueryOptions options = config_.query;
-      options.channel = channel;
-      dnswire::Message query =
-          dnswire::make_query(next_id_++, spec.location_query.name, spec.location_query.type,
-                              spec.location_query.klass);
-      QueryResult result = transport.query(server, query, options);
-      channel_result.verdict = classify_location_response(kind, result);
-      channel_result.display = location_response_display(result);
-      resolver_report.channels.emplace(channel, std::move(channel_result));
+      slots.push_back(slot);
     }
-
-    resolver_report.finding = classify(resolver_report);
-    report.per_resolver.emplace(kind, std::move(resolver_report));
   }
+
+  engine.run(batch);
+  if (drained != nullptr) *drained = batch.drained();
+
+  DotReport report;
+  for (const Slot& slot : slots) {
+    DotChannelResult channel_result;
+    if (!slot.index) {
+      channel_result.display = "(unsupported)";
+    } else {
+      const QueryResult& result = batch.result(*slot.index);
+      channel_result.verdict = classify_location_response(slot.kind, result);
+      channel_result.display = location_response_display(result);
+    }
+    report.per_resolver[slot.kind].channels.emplace(slot.channel, std::move(channel_result));
+  }
+  for (auto& [kind, resolver_report] : report.per_resolver)
+    resolver_report.finding = classify(resolver_report);
   return report;
+}
+
+DotReport DotProber::run(QueryTransport& transport) {
+  BlockingBatchAdapter adapter(transport);
+  return run(adapter);
+}
+
+DotReport DotProber::run(SimTransport& transport) {
+  return run(static_cast<AsyncQueryTransport&>(transport));
 }
 
 }  // namespace dnslocate::core

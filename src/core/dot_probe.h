@@ -18,12 +18,17 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/classify.h"
+#include "core/query_batch.h"
 #include "core/transport.h"
 
 namespace dnslocate::core {
+
+class SimTransport;
 
 /// Outcome of one (resolver, channel) probe.
 struct DotChannelResult {
@@ -60,11 +65,19 @@ class DotProber {
   DotProber() = default;
   explicit DotProber(Config config) : config_(config) {}
 
-  /// Probe every public resolver across the three channels. Requires a
-  /// transport with DoT channel support (the simulated one); on transports
-  /// without it the DoT channels report timed_out and findings come back
-  /// `inconsistent`.
+  /// Probe every public resolver across the three channels, as one
+  /// declarative QueryBatch (results interpreted by index; unsupported
+  /// channels get placeholder slots and consume no transaction IDs).
+  /// Requires a transport with DoT channel support (the simulated one); on
+  /// transports without it the DoT channels report timed_out and findings
+  /// come back `inconsistent`. `*drained` is set when cancellation cut the
+  /// batch short.
+  DotReport run(AsyncQueryTransport& engine, bool* drained = nullptr);
+  /// Sequential compatibility path over a plain transport.
   DotReport run(QueryTransport& transport);
+  /// SimTransport serves both interfaces; prefer its (byte-identical)
+  /// batched cascade.
+  DotReport run(SimTransport& transport);
 
   /// Derive the finding from three channel verdicts (exposed for tests).
   static DotFinding classify(const DotResolverReport& report);

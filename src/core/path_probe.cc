@@ -1,5 +1,6 @@
 #include "core/path_probe.h"
 
+#include "core/sim_transport.h"
 #include "dnswire/debug_queries.h"
 
 namespace dnslocate::core {
@@ -26,29 +27,51 @@ std::string PathReport::to_string() const {
   return out;
 }
 
-PathReport PathProber::trace(QueryTransport& transport, const netbase::Endpoint& target) {
+PathReport PathProber::trace(AsyncQueryTransport& engine, const netbase::Endpoint& target,
+                             bool* drained) {
   PathReport report;
   report.target = target;
-  if (!transport.supports_ttl()) return report;
+  if (drained != nullptr) *drained = false;
+  if (!engine.transport().supports_ttl()) return report;
 
+  // The whole TTL ladder goes into one declarative batch — the plan cannot
+  // depend on results that don't exist yet, so stop_at_responder moves from
+  // the send loop to the interpretation below: hops past the first DNS
+  // answer are measured but left out of the report, exactly as if the
+  // sequential loop had stopped there.
+  QueryBatch batch;
   for (std::uint8_t ttl = 1; ttl <= config_.max_ttl; ++ttl) {
     QueryOptions options = config_.query;
     options.ttl = ttl;
-    dnswire::Message query = dnswire::make_chaos_query(next_id_++, dnswire::version_bind());
-    QueryResult result = transport.query(target, query, options);
+    batch.add(target, dnswire::make_chaos_query(next_id_++, dnswire::version_bind()), options);
+  }
 
+  engine.run(batch);
+  if (drained != nullptr) *drained = batch.drained();
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const QueryResult& result = batch.result(i);
     PathHop hop;
-    hop.ttl = ttl;
+    hop.ttl = static_cast<std::uint8_t>(i + 1);
     hop.router = result.icmp_from;
     hop.dns_answered = result.answered();
     report.hops.push_back(hop);
 
     if (result.answered()) {
-      if (!report.responder_hop) report.responder_hop = ttl;
+      if (!report.responder_hop) report.responder_hop = hop.ttl;
       if (config_.stop_at_responder) break;
     }
   }
   return report;
+}
+
+PathReport PathProber::trace(QueryTransport& transport, const netbase::Endpoint& target) {
+  BlockingBatchAdapter adapter(transport);
+  return trace(adapter, target);
+}
+
+PathReport PathProber::trace(SimTransport& transport, const netbase::Endpoint& target) {
+  return trace(static_cast<AsyncQueryTransport&>(transport), target);
 }
 
 }  // namespace dnslocate::core

@@ -9,10 +9,13 @@
 #include <string>
 #include <vector>
 
+#include "core/query_batch.h"
 #include "core/transport.h"
 #include "netbase/endpoint.h"
 
 namespace dnslocate::core {
+
+class SimTransport;
 
 /// One TTL step of a path probe.
 struct PathHop {
@@ -42,8 +45,10 @@ class PathProber {
   struct Config {
     QueryOptions query;
     std::uint8_t max_ttl = 16;
-    /// Stop as soon as the DNS response arrives (a traceroute that reached
-    /// its destination).
+    /// Truncate the report at the hop where the DNS response arrives (a
+    /// traceroute that reached its destination). The batch still probes
+    /// every TTL up to max_ttl — the plan is fixed before execution — but
+    /// hops past the responder are omitted from the report.
     bool stop_at_responder = true;
   };
 
@@ -51,8 +56,16 @@ class PathProber {
   explicit PathProber(Config config) : config_(config) {}
 
   /// Probe the path towards `target` with version.bind queries of
-  /// increasing TTL. Requires transport.supports_ttl().
+  /// increasing TTL, as one declarative QueryBatch (results interpreted by
+  /// index). Requires supports_ttl(). `*drained` is set when cancellation
+  /// cut the batch short.
+  PathReport trace(AsyncQueryTransport& engine, const netbase::Endpoint& target,
+                   bool* drained = nullptr);
+  /// Sequential compatibility path over a plain transport.
   PathReport trace(QueryTransport& transport, const netbase::Endpoint& target);
+  /// SimTransport serves both interfaces; prefer its (byte-identical)
+  /// batched cascade.
+  PathReport trace(SimTransport& transport, const netbase::Endpoint& target);
 
  private:
   Config config_;

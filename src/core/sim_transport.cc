@@ -1,21 +1,14 @@
 #include "core/sim_transport.h"
 
-#include <span>
+#include <vector>
 
-#include "dnswire/decoder.h"
+#include "core/exchange.h"
 #include "dnswire/encoder.h"
 #include "obs/clock.h"
 #include "obs/span.h"
 
 namespace dnslocate::core {
 namespace {
-
-/// FNV-1a over the payload, used to recognise byte-identical duplicates.
-std::uint64_t payload_hash(std::span<const std::uint8_t> payload) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::uint8_t b : payload) h = (h ^ b) * 0x100000001b3ull;
-  return h;
-}
 
 /// Observability clock driven by the simulator: spans and histograms
 /// recorded while a simulated query runs carry simulated-nanosecond
@@ -31,6 +24,132 @@ class SimulatorClock final : public obs::ClockSource {
   const simnet::Simulator& sim_;
 };
 
+/// The simulated ExchangeChannel: binds a fresh ephemeral port per attempt,
+/// injects the datagram, and steps the simulator to hand inbound packets to
+/// the exchange kernel one at a time. The per-attempt deadline is a
+/// scheduled simulator event (not a time comparison), so event-queue
+/// ordering at the horizon is exactly what the sequential transport had.
+class SimChannel final : public ExchangeChannel, private simnet::UdpApp {
+ public:
+  SimChannel(simnet::Simulator& sim, simnet::Device& host, const netbase::Endpoint& server,
+             const QueryOptions& options, std::uint16_t& next_port, std::uint64_t& queries_sent,
+             std::vector<Inbound>& pool)
+      : sim_(sim),
+        host_(host),
+        server_(server),
+        options_(options),
+        next_port_(next_port),
+        queries_sent_(queries_sent),
+        pool_(pool) {}
+
+  ~SimChannel() override { end_attempt(); }
+
+  [[nodiscard]] std::chrono::nanoseconds now() override { return sim_.now(); }
+
+  bool begin_attempt_and_send(const dnswire::Message& attempt,
+                              std::chrono::nanoseconds deadline) override {
+    port_ = next_port_++;
+    if (next_port_ < 40000) next_port_ = 40000;
+    deadline_passed_ = false;
+    head_ = count_ = 0;
+    host_.bind_udp(port_, this);
+    bound_ = true;
+    ++queries_sent_;
+
+    auto source = host_.local_ip(server_.address.family());
+    if (!source) return false;  // family unsupported: behaves as a timeout
+
+    simnet::UdpPacket packet;
+    packet.src = *source;
+    packet.dst = server_.address;
+    packet.sport = port_;
+    packet.dport = server_.port;
+    if (options_.ttl) packet.ttl = *options_.ttl;
+    packet.channel = options_.channel;
+    if (options_.channel == simnet::Channel::dot_strict)
+      packet.tls_expected_peer = server_.address;
+    packet.payload = dnswire::encode_message(attempt);
+    packet.trace_id = sim_.next_trace_id();
+    host_.send_local(sim_, std::move(packet));
+
+    // Sending costs no simulated time, so the horizon event lands exactly
+    // `timeout` after the send — byte-identical to the pre-kernel schedule.
+    bool* flag = &deadline_passed_;
+    sim_.schedule(std::chrono::duration_cast<simnet::SimDuration>(deadline - sim_.now()),
+                  [flag]() { *flag = true; });
+    return true;
+  }
+
+  Inbound* receive(std::chrono::nanoseconds, const CancelToken&) override {
+    // Drive the simulator until something lands on our port or the deadline
+    // event fires; packets already queued are drained first so deliveries
+    // from the final step are never lost. The slot handed out stays valid
+    // until the next receive(): pool_ can only grow (and so reallocate)
+    // inside this loop, by which time the kernel is done with the previous
+    // slot.
+    while (head_ == count_ && !deadline_passed_ && sim_.step()) {
+    }
+    if (head_ == count_) return nullptr;
+    return &pool_[head_++];
+  }
+
+  void end_attempt() override {
+    if (bound_) {
+      host_.unbind_udp(port_);
+      bound_ = false;
+    }
+    head_ = count_ = 0;
+  }
+
+  bool wait_backoff(std::chrono::milliseconds backoff, const CancelToken&) override {
+    // Backoff in simulated time: let the world run until the wait ends.
+    bool waited = false;
+    sim_.schedule(std::chrono::duration_cast<simnet::SimDuration>(backoff),
+                  [&waited]() { waited = true; });
+    while (!waited && sim_.step()) {
+    }
+    return true;
+  }
+
+ private:
+  void on_datagram(simnet::Simulator&, simnet::Device&,
+                   const simnet::UdpPacket& packet) override {
+    if (!bound_ || packet.dport != port_) return;
+    // Reuse a pool slot: payload capacity survives, so the steady-state
+    // delivery costs one payload copy and no allocation.
+    if (count_ == pool_.size()) pool_.emplace_back();
+    Inbound& in = pool_[count_++];
+    in.payload.assign(packet.payload.begin(), packet.payload.end());
+    if (packet.kind == simnet::PacketKind::icmp_ttl_exceeded) {
+      in.kind = Inbound::Kind::icmp_ttl_exceeded;
+      in.icmp_from = packet.src;
+      in.source_matches = false;
+      in.source = SourceKey{};
+    } else {
+      in.kind = Inbound::Kind::datagram;
+      in.icmp_from.reset();
+      in.source_matches = packet.src_endpoint() == server_;
+      in.source = source_key_from(packet.src_endpoint());
+    }
+  }
+
+  simnet::Simulator& sim_;
+  simnet::Device& host_;
+  netbase::Endpoint server_;
+  const QueryOptions& options_;
+  std::uint16_t& next_port_;
+  std::uint64_t& queries_sent_;
+  /// Slot pool owned by the transport (outlives this per-query channel);
+  /// [head_, count_) are the undelivered inbounds of the current attempt.
+  std::vector<Inbound>& pool_;
+
+  std::uint16_t port_ = 0;
+  bool bound_ = false;
+  bool deadline_passed_ = false;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 }  // namespace
 
 SimTransport::SimTransport(simnet::Simulator& sim, simnet::Device& host)
@@ -40,109 +159,6 @@ bool SimTransport::supports_family(netbase::IpFamily family) const {
   return host_.local_ip(family).has_value();
 }
 
-void SimTransport::on_datagram(simnet::Simulator&, simnet::Device&,
-                               const simnet::UdpPacket& packet) {
-  if (collecting_ == nullptr || packet.dport != collecting_->port) return;
-  if (packet.kind == simnet::PacketKind::icmp_ttl_exceeded) {
-    // The quoted datagram inside the error is our own query; confirm by id.
-    auto quoted = dnswire::decode_message(packet.payload);
-    if (quoted && quoted->id == collecting_->id && !collecting_->result.icmp_from)
-      collecting_->result.icmp_from = packet.src;
-    return;
-  }
-  ArbitrationEvidence& evidence = collecting_->result.arbitration;
-  auto message = dnswire::decode_message(packet.payload);
-  if (!message) {
-    ++evidence.malformed;  // on our flow but not DNS: injection debris
-    return;
-  }
-  if (packet.src_endpoint() != collecting_->server) {
-    // Legitimate diverted replies are conntrack-rewritten back to the
-    // queried endpoint; anything else is a wrong-egress injection.
-    ++evidence.spoof_suspected;
-    return;
-  }
-  if (!collecting_->query ||
-      !dnswire::is_acceptable_response(*collecting_->query, *message)) {
-    ++evidence.spoof_suspected;  // wrong ID / unechoed question: off-path guess
-    return;
-  }
-  // A byte-identical datagram from the same source is network duplication
-  // (or a fault-injected copy), not query replication: a real stub cannot
-  // tell the two packets apart either, so the copy is discarded rather than
-  // being allowed to fabricate a replication verdict.
-  std::uint64_t fingerprint = payload_hash(packet.payload);
-  for (const auto& [src, hash] : collecting_->seen)
-    if (src == packet.src_endpoint() && hash == fingerprint) return;
-  collecting_->seen.emplace_back(packet.src_endpoint(), fingerprint);
-
-  // RFC 5452 accepts a case-folded question echo; record the rewrite as
-  // evidence (a DPI middlebox ambiguity — see simnet/adversary.h).
-  if (const auto* echoed = message->question())
-    if (const auto* asked = collecting_->query->question())
-      if (!(echoed->name == asked->name)) ++evidence.case_mismatches;
-
-  if (!collecting_->result.answered()) {
-    collecting_->result.status = QueryResult::Status::answered;
-    collecting_->result.response = *message;
-    collecting_->result.rtt = std::chrono::duration_cast<std::chrono::microseconds>(
-        sim_.now() - collecting_->sent_at);
-  } else if (responses_conflict(*collecting_->result.response, *message)) {
-    // The duplicate window stayed open and a semantically different answer
-    // raced in: the transaction is contested, and both answers are kept in
-    // all_responses for the classifier to arbitrate.
-    ++evidence.conflicts;
-  }
-  collecting_->result.all_responses.push_back(std::move(*message));
-}
-
-QueryResult SimTransport::attempt(const netbase::Endpoint& server,
-                                  const dnswire::Message& message,
-                                  const QueryOptions& options) {
-  obs::Span attempt_span("transport/attempt");
-  Collecting state;
-  state.port = next_port_++;
-  if (next_port_ < 40000) next_port_ = 40000;
-  state.id = message.id;
-  state.server = server;
-  state.query = &message;
-  state.sent_at = sim_.now();
-  collecting_ = &state;
-  host_.bind_udp(state.port, this);
-  ++queries_sent_;
-
-  auto source = host_.local_ip(server.address.family());
-  if (!source) {
-    host_.unbind_udp(state.port);
-    collecting_ = nullptr;
-    return state.result;  // family unsupported: behaves as a timeout
-  }
-
-  simnet::UdpPacket packet;
-  packet.src = *source;
-  packet.dst = server.address;
-  packet.sport = state.port;
-  packet.dport = server.port;
-  if (options.ttl) packet.ttl = *options.ttl;
-  packet.channel = options.channel;
-  if (options.channel == simnet::Channel::dot_strict)
-    packet.tls_expected_peer = server.address;
-  packet.payload = dnswire::encode_message(message);
-  packet.trace_id = sim_.next_trace_id();
-  host_.send_local(sim_, std::move(packet));
-
-  // Drive the simulator to the timeout horizon; responses (and replicated
-  // duplicates) arriving before it are collected by on_datagram.
-  sim_.schedule(std::chrono::duration_cast<simnet::SimDuration>(options.timeout),
-                [&state]() { state.deadline_passed = true; });
-  while (!state.deadline_passed && sim_.step()) {
-  }
-
-  host_.unbind_udp(state.port);
-  collecting_ = nullptr;
-  return state.result;
-}
-
 QueryResult SimTransport::query(const netbase::Endpoint& server,
                                 const dnswire::Message& message, const QueryOptions& options) {
   // All telemetry inside this query reads simulated time (deterministic),
@@ -150,36 +166,16 @@ QueryResult SimTransport::query(const netbase::Endpoint& server,
   SimulatorClock clock(sim_);
   obs::ScopedClock clock_scope(&clock);
   obs::Span query_span("transport/query");
-  unsigned budget = std::max(1u, options.retry.max_attempts);
-  dnswire::Message attempt_message = message;
-  RetryTelemetry telemetry;
-  QueryResult result;
-  std::optional<netbase::IpAddress> icmp_from;
-  ArbitrationEvidence evidence;  // accumulated across attempts
 
-  for (unsigned attempt_number = 1; attempt_number <= budget; ++attempt_number) {
-    if (attempt_number > 1) {
-      // Backoff in simulated time: let the world run until the wait ends,
-      // then mutate the query so stale responses no longer match.
-      auto backoff = options.retry.backoff_before(attempt_number);
-      telemetry.backoff_waited += backoff;
-      bool waited = false;
-      sim_.schedule(std::chrono::duration_cast<simnet::SimDuration>(backoff),
-                    [&waited]() { waited = true; });
-      while (!waited && sim_.step()) {
-      }
-      rerandomize_query(attempt_message, options.retry, sim_.rng());
-    }
-    result = attempt(server, attempt_message, options);
-    telemetry.attempts = attempt_number;
-    evidence += result.arbitration;
-    if (!result.icmp_from && icmp_from) result.icmp_from = icmp_from;
-    if (result.answered()) break;
-    ++telemetry.timeouts;
-    if (result.icmp_from) icmp_from = result.icmp_from;  // keep across attempts
-  }
-  result.retry = telemetry;
-  result.arbitration = evidence;
+  SimChannel channel(sim_, host_, server, options, next_port_, queries_sent_, inbound_pool_);
+  ExchangePolicy policy;
+  policy.retry = options.retry;
+  // Simulated waits cost no wall-clock, so the full timeout window is
+  // always observed for replication duplicates (no separate window), and
+  // the wall-clock cancellation budget is meaningless in simulated time.
+  policy.duplicate_window = std::nullopt;
+  policy.honour_cancellation = false;
+  QueryResult result = run_exchange(channel, message, options, policy, sim_.rng());
   record_telemetry(result);
   return result;
 }

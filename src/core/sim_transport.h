@@ -3,18 +3,21 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
+#include "core/exchange.h"
 #include "core/query_batch.h"
 #include "core/transport.h"
 #include "simnet/simulator.h"
 
 namespace dnslocate::core {
 
-/// A QueryTransport backed by a simnet host device. Each query binds a fresh
-/// ephemeral port, injects the datagram, and drives the simulator until the
-/// response arrives and the timeout horizon passes (so replicated duplicates
-/// are captured deterministically).
-class SimTransport : public QueryTransport, private simnet::UdpApp, public AsyncQueryTransport {
+/// A QueryTransport backed by a simnet host device. Each query runs through
+/// the shared exchange kernel (core/exchange.h) over a simulated channel
+/// that binds a fresh ephemeral port per attempt, injects the datagram, and
+/// drives the simulator until the timeout horizon passes (so replicated
+/// duplicates are captured deterministically).
+class SimTransport : public QueryTransport, public AsyncQueryTransport {
  public:
   /// `host` is the measurement device (the RIPE-Atlas-probe stand-in).
   /// It must already be wired into a topology with a default route.
@@ -41,36 +44,14 @@ class SimTransport : public QueryTransport, private simnet::UdpApp, public Async
   [[nodiscard]] std::uint64_t queries_sent() const { return queries_sent_; }
 
  private:
-  void on_datagram(simnet::Simulator& sim, simnet::Device& self,
-                   const simnet::UdpPacket& packet) override;
-
-  /// One send + collect-until-deadline cycle (a single attempt).
-  QueryResult attempt(const netbase::Endpoint& server, const dnswire::Message& message,
-                      const QueryOptions& options);
-
   simnet::Simulator& sim_;
   simnet::Device& host_;
   std::uint16_t next_port_ = 40000;
   std::uint64_t queries_sent_ = 0;
-
-  // Per-attempt collection state (valid only inside attempt()).
-  struct Collecting {
-    std::uint16_t port = 0;
-    std::uint16_t id = 0;
-    /// Endpoint the query went to: responses from anywhere else are spoof
-    /// evidence, not answers (NAT/DNAT conntrack rewrites legitimate
-    /// diverted replies back to this endpoint before they reach us).
-    netbase::Endpoint server;
-    const dnswire::Message* query = nullptr;
-    bool deadline_passed = false;
-    QueryResult result;
-    simnet::SimTime sent_at{};
-    /// (source, payload hash) of accepted responses — network-duplicated
-    /// copies are byte-identical and are dropped, so fault-injected
-    /// duplication cannot fabricate a replication verdict.
-    std::vector<std::pair<netbase::Endpoint, std::uint64_t>> seen;
-  };
-  Collecting* collecting_ = nullptr;
+  /// Inbound-slot pool lent to the per-query exchange channel. Slots (and
+  /// their payload capacity) persist across queries, so the steady-state
+  /// datagram path allocates nothing.
+  std::vector<ExchangeChannel::Inbound> inbound_pool_;
 };
 
 }  // namespace dnslocate::core

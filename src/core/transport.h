@@ -53,7 +53,8 @@ struct ArbitrationEvidence {
   /// Datagrams on the query's flow that did not decode as DNS at all.
   std::uint64_t malformed = 0;
   /// Accepted responses that semantically disagree with the first accepted
-  /// answer (see responses_conflict): the probe's evidence is contested.
+  /// answer (see core::responses_conflict in core/exchange.h): the probe's
+  /// evidence is contested.
   std::uint64_t conflicts = 0;
   /// Accepted responses whose echoed question differed from the sent one
   /// byte-for-byte. RFC 5452 compares names case-insensitively, so these
@@ -71,16 +72,6 @@ struct ArbitrationEvidence {
     return *this;
   }
 };
-
-/// Do two accepted responses to the same transaction disagree in a way a
-/// stub resolver would care about? Compares the response code, the
-/// truncation bit, and the answer section; additional-section or
-/// compression differences are not conflicts. Byte-identical duplicates
-/// never reach this check — the transports deduplicate them first.
-[[nodiscard]] inline bool responses_conflict(const dnswire::Message& a,
-                                             const dnswire::Message& b) {
-  return a.rcode() != b.rcode() || a.flags.tc != b.flags.tc || a.answers != b.answers;
-}
 
 /// Outcome of one query.
 struct QueryResult {

@@ -10,11 +10,14 @@
 #include <optional>
 #include <vector>
 
+#include "core/query_batch.h"
 #include "core/transport.h"
 #include "dnswire/name.h"
 #include "netbase/endpoint.h"
 
 namespace dnslocate::core {
+
+class SimTransport;
 
 /// Result of a TTL sweep towards one server.
 struct TtlSweepReport {
@@ -35,13 +38,25 @@ class TtlLocalizer {
   TtlLocalizer() = default;
   explicit TtlLocalizer(Config config) : config_(config) {}
 
-  /// Sweep TTL 1..max_ttl with version.bind queries towards `target`.
-  /// Requires transport.supports_ttl(); returns an empty report otherwise.
+  /// Sweep TTL 1..max_ttl with version.bind queries towards `target`, as
+  /// one declarative QueryBatch (results interpreted by index, so the
+  /// report is engine-independent). Requires supports_ttl(); returns an
+  /// empty report otherwise. If the engine drained the batch (cancellation
+  /// cut it short), `*drained` is set and the report covers only what
+  /// completed queries actually showed.
+  TtlSweepReport sweep(AsyncQueryTransport& engine, const netbase::Endpoint& target,
+                       bool* drained = nullptr);
+  /// Sequential compatibility path over a plain transport.
   TtlSweepReport sweep(QueryTransport& transport, const netbase::Endpoint& target);
+  /// SimTransport serves both interfaces; prefer its (byte-identical)
+  /// batched cascade.
+  TtlSweepReport sweep(SimTransport& transport, const netbase::Endpoint& target);
 
   /// Convenience: hop distance of the responder (see TtlSweepReport), or
   /// nullopt if nothing answered (or TTL is unsupported).
   std::optional<std::uint8_t> responder_hop(QueryTransport& transport,
+                                            const netbase::Endpoint& target);
+  std::optional<std::uint8_t> responder_hop(SimTransport& transport,
                                             const netbase::Endpoint& target);
 
  private:

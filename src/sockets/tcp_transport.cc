@@ -10,26 +10,30 @@
 #include <cerrno>
 #include <cstring>
 
-#include "dnswire/decoder.h"
+#include "core/exchange.h"
 #include "dnswire/encoder.h"
 #include "obs/span.h"
+#include "simnet/rng.h"
 
 namespace dnslocate::sockets {
 namespace {
 
 class Fd {
  public:
+  Fd() = default;
   explicit Fd(int fd) : fd_(fd) {}
-  ~Fd() {
-    if (fd_ >= 0) ::close(fd_);
-  }
+  ~Fd() { reset(); }
   Fd(const Fd&) = delete;
   Fd& operator=(const Fd&) = delete;
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
   [[nodiscard]] int get() const { return fd_; }
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
  private:
-  int fd_;
+  int fd_ = -1;
 };
 
 socklen_t to_sockaddr(const netbase::Endpoint& endpoint, sockaddr_storage& storage) {
@@ -62,7 +66,6 @@ bool wait_ready(int fd, short events, Clock::time_point deadline) {
     int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
     if (ready > 0) return true;
     if (ready < 0 && errno == EINTR) continue;
-    if (ready == 0) return false;
     return false;
   }
 }
@@ -96,6 +99,85 @@ bool recv_all(int fd, std::uint8_t* data, std::size_t size, Clock::time_point de
   return true;
 }
 
+/// The TCP ExchangeChannel: one non-blocking connection per attempt,
+/// RFC 7766 2-octet length framing, one framed message per receive(). The
+/// connected stream pins the source (the kernel's wrong-source check can
+/// never fire here), so over TCP the spoof evidence comes from frames that
+/// fail RFC 5452 acceptance — a middlebox answering with the wrong ID or an
+/// unechoed question is tallied exactly like a UDP off-path guess.
+class TcpChannel final : public core::ExchangeChannel {
+ public:
+  TcpChannel(const netbase::Endpoint& server, const core::QueryOptions& options)
+      : server_(server), options_(options) {}
+
+  [[nodiscard]] std::chrono::nanoseconds now() override {
+    return Clock::now().time_since_epoch();
+  }
+
+  bool begin_attempt_and_send(const dnswire::Message& attempt,
+                              std::chrono::nanoseconds deadline) override {
+    int domain = server_.address.is_v4() ? AF_INET : AF_INET6;
+    fd_.reset(::socket(domain, SOCK_STREAM | SOCK_NONBLOCK, 0));
+    if (!fd_.valid()) return false;
+    auto deadline_at = Clock::time_point(deadline);
+
+    sockaddr_storage dest{};
+    socklen_t dest_len = to_sockaddr(server_, dest);
+    int rc = ::connect(fd_.get(), reinterpret_cast<const sockaddr*>(&dest), dest_len);
+    if (rc < 0 && errno != EINPROGRESS) return false;
+    if (rc < 0) {
+      if (!wait_ready(fd_.get(), POLLOUT, deadline_at)) return false;
+      int error = 0;
+      socklen_t len = sizeof error;
+      ::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &error, &len);
+      if (error != 0) return false;
+    }
+
+    // RFC 7766 §8: two-octet length prefix, then the message.
+    dnswire::WireBuffer wire = dnswire::encode_message(attempt);
+    if (wire.size() > 0xffff) return false;
+    std::vector<std::uint8_t> framed;
+    framed.reserve(wire.size() + 2);
+    framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+    framed.push_back(static_cast<std::uint8_t>(wire.size() & 0xff));
+    framed.insert(framed.end(), wire.begin(), wire.end());
+    return send_all(fd_.get(), framed.data(), framed.size(), deadline_at);
+  }
+
+  Inbound* receive(std::chrono::nanoseconds horizon,
+                   const core::CancelToken& cancel) override {
+    if (cancel.cancelled()) return nullptr;
+    auto horizon_at = Clock::time_point(horizon);
+    std::uint8_t length_prefix[2];
+    if (!recv_all(fd_.get(), length_prefix, 2, horizon_at)) return nullptr;
+    std::size_t length = static_cast<std::size_t>(length_prefix[0]) << 8 | length_prefix[1];
+
+    in_.kind = Inbound::Kind::datagram;
+    in_.icmp_from.reset();
+    in_.source_matches = true;  // the connected stream pins the peer
+    in_.source = core::source_key_from(server_);
+    in_.payload.resize(length);
+    // A zero-length frame decodes as nothing and is tallied as malformed by
+    // the kernel; the stream stays aligned for the next frame either way.
+    if (length > 0 && !recv_all(fd_.get(), in_.payload.data(), length, horizon_at))
+      return nullptr;
+    return &in_;
+  }
+
+  void end_attempt() override { fd_.reset(); }
+
+  bool wait_backoff(std::chrono::milliseconds backoff,
+                    const core::CancelToken& cancel) override {
+    return core::interruptible_backoff(backoff, cancel);
+  }
+
+ private:
+  netbase::Endpoint server_;
+  const core::QueryOptions& options_;
+  Fd fd_;
+  Inbound in_;
+};
+
 }  // namespace
 
 bool TcpTransport::supports_family(netbase::IpFamily family) const {
@@ -108,62 +190,14 @@ core::QueryResult TcpTransport::query(const netbase::Endpoint& server,
                                       const dnswire::Message& message,
                                       const core::QueryOptions& options) {
   obs::Span query_span("transport/query_tcp");
-  core::QueryResult result = query_once(server, message, options);
-  // TCP is single-shot: one attempt, counted as a timeout when it yielded
-  // no acceptable response (connection failures look like silence too).
-  result.retry.attempts = 1;
-  result.retry.timeouts = result.answered() ? 0 : 1;
+  core::ExchangePolicy policy;
+  // Per-query options win; the transport-level default applies otherwise.
+  policy.retry = options.retry.enabled() ? options.retry : config_.retry;
+  policy.duplicate_window = config_.duplicate_window;
+  simnet::Rng rng(config_.retry_seed ^ (static_cast<std::uint64_t>(message.id) << 32));
+  TcpChannel channel(server, options);
+  core::QueryResult result = core::run_exchange(channel, message, options, policy, rng);
   record_telemetry(result);
-  return result;
-}
-
-core::QueryResult TcpTransport::query_once(const netbase::Endpoint& server,
-                                           const dnswire::Message& message,
-                                           const core::QueryOptions& options) {
-  core::QueryResult result;
-  int domain = server.address.is_v4() ? AF_INET : AF_INET6;
-  Fd fd(::socket(domain, SOCK_STREAM | SOCK_NONBLOCK, 0));
-  if (!fd.valid()) return result;
-
-  auto started = Clock::now();
-  auto deadline = started + options.timeout;
-
-  sockaddr_storage dest{};
-  socklen_t dest_len = to_sockaddr(server, dest);
-  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&dest), dest_len);
-  if (rc < 0 && errno != EINPROGRESS) return result;
-  if (rc < 0) {
-    if (!wait_ready(fd.get(), POLLOUT, deadline)) return result;
-    int error = 0;
-    socklen_t len = sizeof error;
-    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &error, &len);
-    if (error != 0) return result;
-  }
-
-  // RFC 7766 §8: two-octet length prefix, then the message.
-  dnswire::WireBuffer wire = dnswire::encode_message(message);
-  if (wire.size() > 0xffff) return result;
-  std::vector<std::uint8_t> framed;
-  framed.reserve(wire.size() + 2);
-  framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
-  framed.push_back(static_cast<std::uint8_t>(wire.size() & 0xff));
-  framed.insert(framed.end(), wire.begin(), wire.end());
-  if (!send_all(fd.get(), framed.data(), framed.size(), deadline)) return result;
-
-  std::uint8_t length_prefix[2];
-  if (!recv_all(fd.get(), length_prefix, 2, deadline)) return result;
-  std::size_t length = static_cast<std::size_t>(length_prefix[0]) << 8 | length_prefix[1];
-  if (length == 0) return result;
-  std::vector<std::uint8_t> body(length);
-  if (!recv_all(fd.get(), body.data(), length, deadline)) return result;
-
-  auto response = dnswire::decode_message(body);
-  if (!response || !dnswire::is_acceptable_response(message, *response)) return result;
-  result.status = core::QueryResult::Status::answered;
-  result.rtt =
-      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - started);
-  result.response = *response;
-  result.all_responses.push_back(std::move(*response));
   return result;
 }
 

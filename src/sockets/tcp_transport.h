@@ -9,17 +9,38 @@
 
 namespace dnslocate::sockets {
 
-/// Plain TCP DNS transport with 2-octet length framing.
+/// Plain TCP DNS transport with 2-octet length framing. Runs through the
+/// shared exchange kernel (core/exchange.h), so TCP answers get the same
+/// RFC 5452 acceptance, duplicate-window continuation, and arbitration
+/// evidence (spoofed IDs, conflicting follow-up frames, 0x20 rewrites) as
+/// every other channel — a stream is harder to inject into than a datagram
+/// flow, but an in-path middlebox terminates it just as easily.
 class TcpTransport : public core::QueryTransport {
  public:
+  struct Config {
+    /// Keep reading follow-up frames (a pipelining server or an in-path
+    /// rewriter can send more than one) for this long after the first
+    /// accepted answer. A server that closes the connection ends the
+    /// window immediately, so the common case pays nothing.
+    std::chrono::milliseconds duplicate_window{200};
+    /// Default retry policy for queries whose QueryOptions carry none.
+    /// Single-shot by default: each retry attempt is a fresh connection
+    /// with a re-randomized query.
+    core::RetryPolicy retry;
+    /// Seed for the per-attempt re-randomization stream.
+    std::uint64_t retry_seed = 0x5eed5eed;
+  };
+
+  TcpTransport() = default;
+  explicit TcpTransport(Config config) : config_(config) {}
+
   core::QueryResult query(const netbase::Endpoint& server, const dnswire::Message& message,
                           const core::QueryOptions& options = {}) override;
 
   [[nodiscard]] bool supports_family(netbase::IpFamily family) const override;
 
  private:
-  core::QueryResult query_once(const netbase::Endpoint& server, const dnswire::Message& message,
-                               const core::QueryOptions& options);
+  Config config_;
 };
 
 /// UDP-first transport with automatic TCP retry when the UDP answer is

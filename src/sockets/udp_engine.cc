@@ -12,7 +12,7 @@
 #include <thread>
 #include <unordered_map>
 
-#include "core/retry.h"
+#include "core/exchange.h"
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
 #include "dnswire/view.h"
@@ -83,12 +83,6 @@ std::optional<netbase::Endpoint> from_sockaddr(const sockaddr_storage& storage) 
 /// tokens (same slice the blocking transport uses).
 constexpr std::chrono::milliseconds kCancelPollSlice{50};
 
-std::uint64_t bytes_hash(const std::uint8_t* data, std::size_t size) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < size; ++i) h = (h ^ data[i]) * 0x100000001b3ull;
-  return h;
-}
-
 /// Per-query execution state: the same timeline UdpTransport walks with
 /// blocking waits, expressed as an explicit machine the event loop advances.
 struct QueryState {
@@ -112,9 +106,10 @@ struct QueryState {
   Clock::time_point attempt_deadline{};
   std::optional<Clock::time_point> duplicate_deadline;
 
-  core::QueryResult result;
+  /// Acceptance/arbitration state, owned by the exchange kernel's ledger —
+  /// the engine's demux routes datagrams, the ledger judges them.
+  core::ExchangeLedger ledger;
   core::RetryTelemetry telemetry;
-  std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>> seen;
 
   [[nodiscard]] bool in_flight() const {
     return phase == Phase::waiting || phase == Phase::collecting;
@@ -201,8 +196,8 @@ void UdpEngine::run(core::QueryBatch& batch) {
     }
     wheel.cancel(i);
     q.phase = QueryState::Phase::done;
-    q.result.retry = q.telemetry;
-    batch.result(i) = q.result;
+    q.ledger.result().retry = q.telemetry;
+    batch.result(i) = q.ledger.result();
     record_telemetry(batch.result(i));
     ++completed;
   };
@@ -211,7 +206,7 @@ void UdpEngine::run(core::QueryBatch& batch) {
     QueryState& q = states[i];
     ++q.attempt;
     q.telemetry.attempts = q.attempt;
-    if (q.attempt > 1) core::rerandomize_query(q.attempt_message, q.policy, q.rng);
+    if (q.attempt > 1) core::prepare_retry_attempt(q.attempt_message, q.policy, q.rng);
 
     int fd = socket_for(q.spec->server);
     bool sent = false;
@@ -296,8 +291,8 @@ void UdpEngine::run(core::QueryBatch& batch) {
         } else {
           q.phase = QueryState::Phase::done;  // complete() below re-checks flight state
           wheel.cancel(i);
-          q.result.retry = q.telemetry;
-          batch.result(i) = q.result;
+          q.ledger.result().retry = q.telemetry;
+          batch.result(i) = q.ledger.result();
           record_telemetry(batch.result(i));
           ++completed;
         }
@@ -362,7 +357,7 @@ void UdpEngine::run(core::QueryBatch& batch) {
         for (auto it = retired.first; it != retired.second; ++it) {
           const QueryState& q = states[it->second];
           if (*late_source == q.spec->server &&
-              dnswire::is_acceptable_response(q.attempt_message, *late_response)) {
+              core::response_acceptable(q.attempt_message, *late_response)) {
             record_late_duplicate();
             break;
           }
@@ -379,7 +374,7 @@ void UdpEngine::run(core::QueryBatch& batch) {
         auto range = by_id.equal_range(view->id());
         for (auto it = range.first; it != range.second; ++it)
           if (states[it->second].in_flight()) {
-            ++states[it->second].result.arbitration.malformed;
+            states[it->second].ledger.note_malformed();
             break;
           }
         continue;
@@ -397,51 +392,36 @@ void UdpEngine::run(core::QueryBatch& batch) {
         QueryState& q = states[i];
         if (!q.in_flight()) continue;
         bool source_ok = *source == q.spec->server;
-        bool acceptable = dnswire::is_acceptable_response(q.attempt_message, *response);
+        bool acceptable = core::response_acceptable(q.attempt_message, *response);
         if (!source_ok || !acceptable) {
           if (acceptable) wrong_source = i;           // wrong-egress injection
           else if (source_ok) unacceptable = i;       // ID hit, question/0x20 miss
           continue;
         }
 
-        std::vector<std::uint8_t> source_bytes(reinterpret_cast<std::uint8_t*>(&from),
-                                               reinterpret_cast<std::uint8_t*>(&from) + from_len);
-        std::uint64_t fingerprint = bytes_hash(buffer, static_cast<std::size_t>(n));
-        bool duplicate = false;
-        for (const auto& [src, hash] : q.seen)
-          if (hash == fingerprint && src == source_bytes) {
-            duplicate = true;
-            break;
-          }
+        // The ledger arbitrates (dedup, 0x20 evidence, accept-or-conflict);
+        // the engine only reacts to the disposition: a first accept opens
+        // the duplicate-collection window on the timer wheel.
+        auto rtt =
+            std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - q.sent_at);
+        auto disposition = q.ledger.deliver(
+            q.attempt_message, std::move(*response),
+            core::source_key_from(reinterpret_cast<const std::uint8_t*>(&from),
+                                  static_cast<std::size_t>(from_len)),
+            core::payload_fingerprint(buffer, static_cast<std::size_t>(n)), rtt);
         settled = true;
-        if (duplicate) break;
-        q.seen.emplace_back(std::move(source_bytes), fingerprint);
-
-        // Accepted despite a re-cased question echo (RFC 5452 compares
-        // names case-insensitively): record the DPI-ambiguity evidence.
-        if (const auto* echoed = response->question())
-          if (const auto* asked = q.attempt_message.question())
-            if (!(echoed->name == asked->name)) ++q.result.arbitration.case_mismatches;
-
-        if (!q.result.answered()) {
-          q.result.status = core::QueryResult::Status::answered;
-          q.result.response = *response;
-          q.result.rtt =
-              std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - q.sent_at);
+        if (disposition == core::ExchangeLedger::Disposition::accepted) {
           q.duplicate_deadline = Clock::now() + config_.duplicate_window;
           q.phase = QueryState::Phase::collecting;
           wheel.schedule(i, q.horizon());
-        } else if (core::responses_conflict(*q.result.response, *response)) {
-          ++q.result.arbitration.conflicts;  // a different answer raced in
         }
-        q.result.all_responses.push_back(std::move(*response));
         break;
       }
       if (!settled) {
         if (wrong_source != states.size())
-          ++states[wrong_source].result.arbitration.spoof_suspected;
+          states[wrong_source].ledger.note_spoof();
         else if (unacceptable != states.size())
-          ++states[unacceptable].result.arbitration.spoof_suspected;
+          states[unacceptable].ledger.note_spoof();
       }
     }
   };
@@ -487,8 +467,8 @@ void UdpEngine::run(core::QueryBatch& batch) {
   // Safety net: a broken poll loop must still fill every slot (as timeouts).
   for (std::size_t i = 0; i < states.size(); ++i)
     if (states[i].phase != QueryState::Phase::done) {
-      states[i].result.retry = states[i].telemetry;
-      batch.result(i) = states[i].result;
+      states[i].ledger.result().retry = states[i].telemetry;
+      batch.result(i) = states[i].ledger.result();
       record_telemetry(batch.result(i));
     }
 

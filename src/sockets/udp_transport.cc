@@ -8,10 +8,8 @@
 
 #include <cerrno>
 #include <cstring>
-#include <thread>
 
-#include "core/retry.h"
-#include "dnswire/decoder.h"
+#include "core/exchange.h"
 #include "dnswire/encoder.h"
 #include "obs/span.h"
 #include "simnet/rng.h"
@@ -22,17 +20,20 @@ namespace {
 /// RAII file descriptor.
 class Fd {
  public:
+  Fd() = default;
   explicit Fd(int fd) : fd_(fd) {}
-  ~Fd() {
-    if (fd_ >= 0) ::close(fd_);
-  }
+  ~Fd() { reset(); }
   Fd(const Fd&) = delete;
   Fd& operator=(const Fd&) = delete;
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
   [[nodiscard]] int get() const { return fd_; }
   [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
  private:
-  int fd_;
+  int fd_ = -1;
 };
 
 /// Build a sockaddr for the endpoint. Returns the length used.
@@ -54,36 +55,94 @@ socklen_t to_sockaddr(const netbase::Endpoint& endpoint, sockaddr_storage& stora
   return sizeof(sockaddr_in6);
 }
 
-std::chrono::steady_clock::time_point now() { return std::chrono::steady_clock::now(); }
-
-/// Granularity at which waits re-check a manually-cancellable token (a
-/// deadline token needs no polling — it caps the wait horizon directly).
+/// Granularity at which the receive wait re-checks a manually-cancellable
+/// token (a deadline token caps the kernel's horizon directly).
 constexpr std::chrono::milliseconds kCancelPollSlice{50};
 
-/// Sleep for `backoff`, returning early (false) if the token fires. The wait
-/// is sliced so a manual cancel interrupts it, and capped by the token's
-/// deadline so a supervised probe never sleeps past its budget.
-bool interruptible_backoff(std::chrono::milliseconds backoff, const core::CancelToken& cancel) {
-  if (!cancel.active()) {
-    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-    return true;
-  }
-  auto wake = now() + backoff;
-  if (auto deadline = cancel.deadline()) wake = std::min(wake, *deadline);
-  while (!cancel.cancelled()) {
-    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(wake - now());
-    if (remaining.count() <= 0) break;
-    std::this_thread::sleep_for(std::min(remaining, kCancelPollSlice));
-  }
-  return !cancel.cancelled();
-}
+using Clock = std::chrono::steady_clock;
 
-/// FNV-1a over a byte range, used to recognise byte-identical duplicates.
-std::uint64_t bytes_hash(const std::uint8_t* data, std::size_t size) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < size; ++i) h = (h ^ data[i]) * 0x100000001b3ull;
-  return h;
-}
+/// The real-socket ExchangeChannel: one fresh SOCK_DGRAM socket per attempt
+/// (so a straggler to an earlier attempt can never land on the retry's
+/// flow), poll-sliced receive, sockaddr-byte source identity.
+class UdpChannel final : public core::ExchangeChannel {
+ public:
+  UdpChannel(const netbase::Endpoint& server, const core::QueryOptions& options)
+      : server_(server), options_(options) {}
+
+  [[nodiscard]] std::chrono::nanoseconds now() override {
+    return Clock::now().time_since_epoch();
+  }
+
+  bool begin_attempt_and_send(const dnswire::Message& attempt,
+                              std::chrono::nanoseconds) override {
+    int domain = server_.address.is_v4() ? AF_INET : AF_INET6;
+    fd_.reset(::socket(domain, SOCK_DGRAM, 0));
+    if (!fd_.valid()) return false;
+
+    if (options_.ttl) {
+      int ttl = *options_.ttl;
+      if (server_.address.is_v4())
+        ::setsockopt(fd_.get(), IPPROTO_IP, IP_TTL, &ttl, sizeof ttl);
+      else
+        ::setsockopt(fd_.get(), IPPROTO_IPV6, IPV6_UNICAST_HOPS, &ttl, sizeof ttl);
+    }
+
+    dest_len_ = to_sockaddr(server_, dest_);
+    dnswire::WireBuffer wire = dnswire::encode_message(attempt);
+    return ::sendto(fd_.get(), wire.data(), wire.size(), 0,
+                    reinterpret_cast<const sockaddr*>(&dest_), dest_len_) >= 0;
+  }
+
+  Inbound* receive(std::chrono::nanoseconds horizon,
+                   const core::CancelToken& cancel) override {
+    while (true) {
+      if (cancel.cancelled()) return nullptr;
+      auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(horizon - now());
+      if (remaining.count() <= 0) return nullptr;
+      if (cancel.active()) remaining = std::min(remaining, kCancelPollSlice);
+
+      pollfd pfd{fd_.get(), POLLIN, 0};
+      int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) return nullptr;
+      if (ready == 0) continue;  // slice elapsed or horizon reached; loop re-checks
+
+      std::uint8_t buffer[4096];
+      sockaddr_storage from{};
+      socklen_t from_len = sizeof from;
+      ssize_t n = ::recvfrom(fd_.get(), buffer, sizeof buffer, 0,
+                             reinterpret_cast<sockaddr*>(&from), &from_len);
+      if (n <= 0) continue;
+
+      // The reused slot (and its payload capacity) is valid until the next
+      // receive(), per the seam contract.
+      in_.kind = Inbound::Kind::datagram;
+      in_.icmp_from.reset();
+      in_.payload.assign(buffer, buffer + n);
+      in_.source_matches =
+          from_len == dest_len_ && std::memcmp(&from, &dest_, dest_len_) == 0;
+      in_.source = core::source_key_from(reinterpret_cast<const std::uint8_t*>(&from),
+                                         static_cast<std::size_t>(from_len));
+      return &in_;
+    }
+  }
+
+  void end_attempt() override { fd_.reset(); }
+
+  bool wait_backoff(std::chrono::milliseconds backoff,
+                    const core::CancelToken& cancel) override {
+    return core::interruptible_backoff(backoff, cancel);
+  }
+
+ private:
+  netbase::Endpoint server_;
+  const core::QueryOptions& options_;
+  Fd fd_;
+  sockaddr_storage dest_{};
+  socklen_t dest_len_ = 0;
+  Inbound in_;
+};
 
 }  // namespace
 
@@ -93,140 +152,17 @@ bool UdpTransport::supports_family(netbase::IpFamily family) const {
   return fd.valid();
 }
 
-core::QueryResult UdpTransport::attempt(const netbase::Endpoint& server,
-                                        const dnswire::Message& message,
-                                        const core::QueryOptions& options) {
-  obs::Span attempt_span("transport/attempt");
-  core::QueryResult result;
-  int domain = server.address.is_v4() ? AF_INET : AF_INET6;
-  Fd fd(::socket(domain, SOCK_DGRAM, 0));
-  if (!fd.valid()) return result;
-
-  if (options.ttl) {
-    int ttl = *options.ttl;
-    if (server.address.is_v4())
-      ::setsockopt(fd.get(), IPPROTO_IP, IP_TTL, &ttl, sizeof ttl);
-    else
-      ::setsockopt(fd.get(), IPPROTO_IPV6, IPV6_UNICAST_HOPS, &ttl, sizeof ttl);
-  }
-
-  sockaddr_storage dest{};
-  socklen_t dest_len = to_sockaddr(server, dest);
-  dnswire::WireBuffer wire = dnswire::encode_message(message);
-  auto sent_at = now();
-  if (::sendto(fd.get(), wire.data(), wire.size(), 0,
-               reinterpret_cast<const sockaddr*>(&dest), dest_len) < 0)
-    return result;
-
-  auto deadline = sent_at + options.timeout;
-  // A cancellation deadline caps the collection window; a manual token is
-  // re-checked every poll slice.
-  if (auto cancel_deadline = options.cancel.deadline())
-    deadline = std::min(deadline, *cancel_deadline);
-  std::optional<std::chrono::steady_clock::time_point> duplicate_deadline;
-  // (source bytes, payload hash) of accepted responses: a byte-identical
-  // datagram from the same source is network duplication, not replication.
-  std::vector<std::pair<std::vector<std::uint8_t>, std::uint64_t>> seen;
-
-  while (true) {
-    if (options.cancel.cancelled()) break;
-    auto horizon = duplicate_deadline ? std::min(*duplicate_deadline, deadline) : deadline;
-    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(horizon - now());
-    if (remaining.count() <= 0) break;
-    if (options.cancel.active()) remaining = std::min(remaining, kCancelPollSlice);
-
-    pollfd pfd{fd.get(), POLLIN, 0};
-    int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
-    if (ready < 0 && errno == EINTR) continue;
-    if (ready < 0) break;
-    if (ready == 0) continue;  // slice elapsed or horizon reached; loop re-checks
-
-    std::uint8_t buffer[4096];
-    sockaddr_storage from{};
-    socklen_t from_len = sizeof from;
-    ssize_t n = ::recvfrom(fd.get(), buffer, sizeof buffer, 0,
-                           reinterpret_cast<sockaddr*>(&from), &from_len);
-    if (n <= 0) continue;
-
-    auto response = dnswire::decode_message({buffer, static_cast<std::size_t>(n)});
-    if (!response) {
-      ++result.arbitration.malformed;  // on our flow but not DNS
-      continue;
-    }
-    if (from_len != dest_len || std::memcmp(&from, &dest, dest_len) != 0) {
-      ++result.arbitration.spoof_suspected;  // wrong-egress injection
-      continue;
-    }
-    if (!dnswire::is_acceptable_response(message, *response)) {
-      ++result.arbitration.spoof_suspected;  // wrong ID / unechoed question
-      continue;
-    }
-
-    std::vector<std::uint8_t> source(reinterpret_cast<std::uint8_t*>(&from),
-                                     reinterpret_cast<std::uint8_t*>(&from) + from_len);
-    std::uint64_t fingerprint = bytes_hash(buffer, static_cast<std::size_t>(n));
-    bool duplicate = false;
-    for (const auto& [src, hash] : seen)
-      if (hash == fingerprint && src == source) {
-        duplicate = true;
-        break;
-      }
-    if (duplicate) continue;
-    seen.emplace_back(std::move(source), fingerprint);
-
-    // Accepted despite a re-cased question echo (RFC 5452 compares names
-    // case-insensitively): record the rewrite as DPI-ambiguity evidence.
-    if (const auto* echoed = response->question())
-      if (const auto* asked = message.question())
-        if (!(echoed->name == asked->name)) ++result.arbitration.case_mismatches;
-
-    if (!result.answered()) {
-      result.status = core::QueryResult::Status::answered;
-      result.response = *response;
-      result.rtt = std::chrono::duration_cast<std::chrono::microseconds>(now() - sent_at);
-      duplicate_deadline = now() + config_.duplicate_window;
-    } else if (core::responses_conflict(*result.response, *response)) {
-      ++result.arbitration.conflicts;  // a different answer raced in
-    }
-    result.all_responses.push_back(std::move(*response));
-  }
-  return result;
-}
-
 core::QueryResult UdpTransport::query(const netbase::Endpoint& server,
                                       const dnswire::Message& message,
                                       const core::QueryOptions& options) {
   obs::Span query_span("transport/query");
+  core::ExchangePolicy policy;
   // Per-query options win; the transport-level default applies otherwise.
-  const core::RetryPolicy& policy = options.retry.enabled() ? options.retry : config_.retry;
-  unsigned budget = std::max(1u, policy.max_attempts);
-  dnswire::Message attempt_message = message;
+  policy.retry = options.retry.enabled() ? options.retry : config_.retry;
+  policy.duplicate_window = config_.duplicate_window;
   simnet::Rng rng(config_.retry_seed ^ (static_cast<std::uint64_t>(message.id) << 32));
-  core::RetryTelemetry telemetry;
-  core::QueryResult result;
-  core::ArbitrationEvidence evidence;  // accumulated across attempts
-
-  for (unsigned attempt_number = 1; attempt_number <= budget; ++attempt_number) {
-    if (attempt_number > 1) {
-      auto backoff = policy.backoff_before(attempt_number);
-      telemetry.backoff_waited += backoff;
-      // The backoff wait honours the cancellation token: a supervised probe
-      // stopped mid-backoff abandons its remaining attempts (reported as a
-      // timeout — cancellation never manufactures an answer).
-      if (!interruptible_backoff(backoff, options.cancel)) break;
-      // Fresh transaction ID (and 0x20 pattern): a straggling response to
-      // an earlier attempt fails the ID check instead of answering this one.
-      core::rerandomize_query(attempt_message, policy, rng);
-    }
-    if (options.cancel.cancelled()) break;
-    result = attempt(server, attempt_message, options);
-    telemetry.attempts = attempt_number;
-    evidence += result.arbitration;
-    if (result.answered()) break;
-    ++telemetry.timeouts;
-  }
-  result.retry = telemetry;
-  result.arbitration = evidence;
+  UdpChannel channel(server, options);
+  core::QueryResult result = core::run_exchange(channel, message, options, policy, rng);
   record_telemetry(result);
   return result;
 }

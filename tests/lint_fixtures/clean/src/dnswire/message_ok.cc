@@ -1,0 +1,15 @@
+// Clean fixture: src/dnswire/ is where is_acceptable_response is defined,
+// so mentioning it here is not an R6 finding (the wire layer provides the
+// predicate; the exchange kernel is the only consumer-side implementation
+// of acceptance).
+namespace dnslocate::dnswire {
+
+struct Message {
+  unsigned short id = 0;
+};
+
+bool is_acceptable_response(const Message& query, const Message& response) {
+  return query.id == response.id;
+}
+
+}  // namespace dnslocate::dnswire

@@ -1,0 +1,33 @@
+// Violation fixture for R6 (single-acceptance-seam): a transport growing
+// its own copy of the accept/arbitrate logic instead of delegating to the
+// exchange kernel. Every identifier below is a finding outside
+// src/core/exchange.*.
+#include <cstdint>
+#include <vector>
+
+namespace dnslocate::core {
+
+struct Message {
+  std::uint16_t id = 0;
+};
+
+// A local duplicate fingerprint — the kernel owns payload_fingerprint.
+std::uint64_t bytes_hash(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) h = (h ^ data[i]) * 0x100000001b3ull;
+  return h;
+}
+
+bool is_acceptable_response(const Message& query, const Message& response);
+bool responses_conflict(const Message& a, const Message& b);
+void rerandomize_query(Message& message);
+
+bool accept_locally(const Message& query, const Message& response) {
+  // Transaction-ID matching outside the kernel.
+  if (!is_acceptable_response(query, response)) return false;
+  return !responses_conflict(query, response);
+}
+
+void retry_locally(Message& message) { rerandomize_query(message); }
+
+}  // namespace dnslocate::core

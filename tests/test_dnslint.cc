@@ -1,4 +1,4 @@
-// dnslint's own tests: every rule R1-R5 fires on its fixture, suppressions
+// dnslint's own tests: every rule R1-R6 fires on its fixture, suppressions
 // with reasons are honoured, reasonless/unknown allows are findings, and
 // clean code stays clean. Fixture trees live under tests/lint_fixtures/
 // (DNSLINT_FIXTURES points there; the same trees gate the CLI via the
@@ -46,6 +46,7 @@ TEST(DnslintFixtures, EveryRuleFiresOnViolationTree) {
   EXPECT_TRUE(rules.count(std::string(lint::kRuleRaiiSockets)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleHeaderHygiene)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleHttpBlocking)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleAcceptanceSeam)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleBadSuppression)));
 }
 
@@ -95,6 +96,13 @@ TEST(DnslintFixtures, BadSuppressionsAreFindings) {
   EXPECT_GE(count_rule(findings, lint::kRuleDeterminism, "bad_suppression"), 1u);
 }
 
+TEST(DnslintFixtures, AcceptanceSeamCatchesStrayArbitration) {
+  auto findings = lint_tree(kViolations);
+  // is_acceptable_response (decl + call), responses_conflict (decl + call),
+  // rerandomize_query (decl + call), bytes_hash (def).
+  EXPECT_GE(count_rule(findings, lint::kRuleAcceptanceSeam, "bad_acceptance"), 7u);
+}
+
 TEST(DnslintFixtures, CleanTreeIsClean) {
   auto findings = lint_tree(kClean);
   for (const auto& f : findings) ADD_FAILURE() << f.to_string();
@@ -130,6 +138,29 @@ TEST(DnslintRules, ServiceListenerSeamScoping) {
   // The seam keeps the finite-deadline half of R3.
   const std::string infinite = "int g(pollfd* p) { return poll(p, 1, -1); }\n";
   EXPECT_EQ(lint::lint_file("src/service/http_server.cc", infinite).size(), 1u);
+}
+
+TEST(DnslintRules, AcceptanceSeamScoping) {
+  const std::string acceptance = "bool ok = is_acceptable_response(q, r);\n";
+  // Acceptance logic is only legal inside the kernel and the wire layer
+  // that defines the predicate.
+  EXPECT_EQ(lint::lint_file("src/sockets/x.cc", acceptance).size(), 1u);
+  EXPECT_EQ(lint::lint_file("src/core/x.cc", acceptance).size(), 1u);
+  EXPECT_TRUE(lint::lint_file("src/core/exchange.cc", acceptance).empty());
+  EXPECT_TRUE(lint::lint_file("src/dnswire/message.cc", acceptance).empty());
+  EXPECT_TRUE(lint::lint_file("tests/x.cc", acceptance).empty());
+
+  const std::string reroll = "rerandomize_query(m, policy, rng);\n";
+  EXPECT_EQ(lint::lint_file("src/sockets/x.cc", reroll).size(), 1u);
+  EXPECT_TRUE(lint::lint_file("src/core/retry.cc", reroll).empty());
+  EXPECT_TRUE(lint::lint_file("src/core/exchange.cc", reroll).empty());
+
+  const std::string conflict = "bool c = responses_conflict(a, b);\n";
+  EXPECT_EQ(lint::lint_file("src/core/x.cc", conflict).size(), 1u);
+  // The kernel header is exempt from R6 (other rules, e.g. header hygiene,
+  // still apply to it).
+  for (const auto& f : lint::lint_file("src/core/exchange.h", conflict))
+    EXPECT_NE(f.rule, std::string(lint::kRuleAcceptanceSeam)) << f.to_string();
 }
 
 TEST(DnslintRules, SeamFilesMayTouchEntropyAndClock) {

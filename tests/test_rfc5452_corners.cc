@@ -1,7 +1,7 @@
 // RFC 5452 acceptance corners, exercised as one shared corpus across all
-// three transports: SimTransport (adversary knobs on a scenario world),
-// UdpTransport (one real socket per attempt) and UdpEngine (shared-socket
-// demux). The corners:
+// four transports: SimTransport (adversary knobs on a scenario world),
+// UdpTransport (one real socket per attempt), UdpEngine (shared-socket
+// demux) and TcpTransport (RFC 7766 framed stream). The corners:
 //
 //   wrong_source             response from an endpoint other than the
 //                            queried server — rejected, spoof-suspected;
@@ -37,6 +37,7 @@
 #include "dnswire/decoder.h"
 #include "dnswire/encoder.h"
 #include "simnet/adversary.h"
+#include "sockets/tcp_transport.h"
 #include "sockets/udp_engine.h"
 #include "sockets/udp_transport.h"
 
@@ -294,6 +295,161 @@ TEST(Rfc5452CornersUdpEngine, DuplicateAfterWindowIsDroppedAndCounted) {
   EXPECT_TRUE(batch.result(1).answered());
   EXPECT_GE(engine.telemetry().late_duplicates, 1u)
       << "late duplicate to a retired transaction must be counted, not silently ignored";
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport: the corpus over a loopback RFC 7766 stream. A connected
+// stream pins the source endpoint, so the off-path corner maps onto what an
+// in-path middlebox can actually do to a stream: answer with the wrong
+// transaction ID. The kernel tallies that frame exactly like a UDP
+// off-path guess (spoof_suspected) and keeps listening.
+
+class TcpCornerServer {
+ public:
+  using Script = std::function<void(TcpCornerServer&, const dnswire::Message&)>;
+
+  explicit TcpCornerServer(Script script) : script_(std::move(script)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("TcpCornerServer: socket() failed");
+    int on = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof on);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(listen_fd_, 4) < 0) {
+      ::close(listen_fd_);
+      throw std::runtime_error("TcpCornerServer: bind/listen failed");
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  ~TcpCornerServer() {
+    running_.store(false);
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  TcpCornerServer(const TcpCornerServer&) = delete;
+  TcpCornerServer& operator=(const TcpCornerServer&) = delete;
+
+  [[nodiscard]] netbase::Endpoint endpoint() const {
+    return netbase::Endpoint{netbase::Ipv4Address(127, 0, 0, 1), port_};
+  }
+
+  /// Send one RFC 7766 framed message on the live connection.
+  void send(const dnswire::Message& message) {
+    auto wire = dnswire::encode_message(message);
+    std::vector<std::uint8_t> framed;
+    framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+    framed.push_back(static_cast<std::uint8_t>(wire.size() & 0xff));
+    framed.insert(framed.end(), wire.begin(), wire.end());
+    ::send(client_fd_, framed.data(), framed.size(), MSG_NOSIGNAL);
+  }
+
+ private:
+  bool read_exact(int fd, std::uint8_t* data, std::size_t size) {
+    std::size_t got = 0;
+    while (got < size && running_.load()) {
+      pollfd p{fd, POLLIN, 0};
+      if (::poll(&p, 1, 20) <= 0) continue;
+      ssize_t n = ::recv(fd, data + got, size - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<std::size_t>(n);
+    }
+    return got == size;
+  }
+
+  void serve() {
+    while (running_.load()) {
+      pollfd p{listen_fd_, POLLIN, 0};
+      if (::poll(&p, 1, 20) <= 0) continue;
+      client_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd_ < 0) continue;
+      std::uint8_t prefix[2];
+      if (read_exact(client_fd_, prefix, 2)) {
+        std::size_t length = static_cast<std::size_t>(prefix[0]) << 8 | prefix[1];
+        std::vector<std::uint8_t> body(length);
+        if (read_exact(client_fd_, body.data(), length)) {
+          auto query = dnswire::decode_message({body.data(), body.size()});
+          if (query) script_(*this, *query);
+        }
+      }
+      ::close(client_fd_);
+      client_fd_ = -1;
+    }
+  }
+
+  Script script_;
+  int listen_fd_ = -1;
+  int client_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{true};
+  std::thread thread_;
+};
+
+TcpCornerServer::Script tcp_script_for(Corner corner) {
+  switch (corner) {
+    case Corner::wrong_source:
+      // The stream analogue of an off-path forgery: a frame whose
+      // transaction ID is not the one we asked with.
+      return [](TcpCornerServer& s, const dnswire::Message& q) {
+        auto response = dnswire::make_response(q);
+        response.id = static_cast<std::uint16_t>(response.id ^ 0x55aa);
+        s.send(response);
+      };
+    case Corner::case_mismatch:
+      return [](TcpCornerServer& s, const dnswire::Message& q) {
+        auto response = dnswire::make_response(q);
+        response.questions.front().name = lowercased(response.questions.front().name);
+        s.send(response);
+      };
+    case Corner::duplicate_inside_window:
+      // Two frames back to back on the same stream: a pipelining rewriter
+      // contesting its own first answer.
+      return [](TcpCornerServer& s, const dnswire::Message& q) {
+        s.send(dnswire::make_response(q));
+        s.send(dnswire::make_response(q, dnswire::Rcode::NXDOMAIN));
+      };
+    case Corner::duplicate_after_window:
+      break;  // a closed connection has no after-window straggler path
+  }
+  return {};
+}
+
+TEST(Rfc5452CornersTcpTransport, SharedCorpus) {
+  for (Corner corner : {Corner::wrong_source, Corner::case_mismatch,
+                        Corner::duplicate_inside_window}) {
+    TcpCornerServer server(tcp_script_for(corner));
+    TcpTransport transport;
+    core::QueryOptions options;
+    options.timeout = std::chrono::milliseconds(400);
+    auto result = transport.query(server.endpoint(), corner_query(0x2b1d), options);
+    expect_corner(corner, result, "TcpTransport");
+  }
+}
+
+TEST(Rfc5452CornersTcpTransport, ClosedConnectionEndsTheDuplicateWindowEarly) {
+  // A server that closes after one answer costs the client nothing: the
+  // duplicate-collection window ends at the FIN, not at the timer.
+  TcpCornerServer server([](TcpCornerServer& s, const dnswire::Message& q) {
+    s.send(dnswire::make_response(q));
+  });
+  TcpTransport::Config config;
+  config.duplicate_window = std::chrono::milliseconds(5000);
+  TcpTransport transport(config);
+  core::QueryOptions options;
+  options.timeout = std::chrono::milliseconds(2000);
+  auto started = std::chrono::steady_clock::now();
+  auto result = transport.query(server.endpoint(), corner_query(0x2b1d), options);
+  auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_TRUE(result.answered());
+  EXPECT_EQ(result.all_responses.size(), 1u);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
 }
 
 // ---------------------------------------------------------------------------

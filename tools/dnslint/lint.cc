@@ -216,9 +216,9 @@ struct Directives {
   std::vector<Finding> errors;  // bad-suppression findings
 };
 
-constexpr std::array<std::string_view, 5> kKnownRules = {
-    kRuleDeterminism, kRuleWireBounds, kRuleRaiiSockets, kRuleHeaderHygiene,
-    kRuleHttpBlocking};
+constexpr std::array<std::string_view, 6> kKnownRules = {
+    kRuleDeterminism, kRuleWireBounds,    kRuleRaiiSockets,
+    kRuleHeaderHygiene, kRuleHttpBlocking, kRuleAcceptanceSeam};
 
 Directives parse_directives(std::string_view path, const Scrubbed& s) {
   static const std::regex kDirective(
@@ -264,6 +264,8 @@ struct PathScope {
   bool is_header = false;
   bool determinism_seam = false;  // the allowlisted clock/entropy seam
   bool service_listener_seam = false;  // the allowlisted accept-loop seam
+  bool exchange_seam = false;  // src/core/exchange.* — the one acceptance impl
+  bool retry_seam = false;     // src/core/retry.* — defines rerandomize_query
 };
 
 bool starts_with(std::string_view s, std::string_view prefix) {
@@ -289,6 +291,11 @@ PathScope classify_path(std::string_view path) {
   // Only this exact file gets the R3 ownership exemption — handlers and the
   // service kernel stay under the full rule (and under R5).
   scope.service_listener_seam = path == "src/service/http_server.cc";
+  // The exchange kernel is the only place that may implement acceptance,
+  // duplicate fingerprinting and arbitration (R6); retry.* defines the
+  // re-randomization primitive the kernel wraps.
+  scope.exchange_seam = starts_with(path, "src/core/exchange.");
+  scope.retry_seam = starts_with(path, "src/core/retry.");
   return scope;
 }
 
@@ -441,6 +448,48 @@ void check_http_blocking(std::string_view path, const std::vector<std::string_vi
   }
 }
 
+// ---------------------------------------------------------------- R6 -------
+
+/// Exactly one implementation of answer acceptance, duplicate-window
+/// fingerprinting and arbitration exists: the exchange kernel
+/// (src/core/exchange.*). A transport that matches transaction IDs, hashes
+/// payloads for dedup, or compares answers on its own will drift from the
+/// RFC 5452 semantics the whole evidence model rests on — the refactor that
+/// created the kernel exists precisely because four copies had grown apart.
+void check_acceptance_seam(std::string_view path, const std::vector<std::string_view>& lines,
+                           const PathScope& scope, Sink& sink) {
+  struct Banned {
+    std::string_view ident;
+    bool allowed;
+    std::string_view message;
+  };
+  const std::array<Banned, 4> banned = {{
+      {"is_acceptable_response", scope.in_dnswire,
+       "RFC 5452 acceptance belongs to the exchange kernel; route answers "
+       "through core::run_exchange / ExchangeLedger (core/exchange.h)"},
+      {"responses_conflict", false,
+       "answer arbitration belongs to the exchange kernel; deliver the "
+       "response to an ExchangeLedger and act on its Disposition"},
+      {"rerandomize_query", scope.retry_seam,
+       "per-attempt re-randomization belongs to the exchange kernel; use "
+       "core::prepare_retry_attempt (core/exchange.h)"},
+      {"bytes_hash", false,
+       "duplicate-window fingerprinting belongs to the exchange kernel; use "
+       "core::payload_fingerprint via ExchangeLedger::deliver"},
+  }};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    std::size_t lineno = i + 1;
+    for (const Banned& b : banned) {
+      if (b.allowed) continue;
+      if (find_ident(line, b.ident) != std::string_view::npos)
+        add(sink, path, lineno, kRuleAcceptanceSeam,
+            std::string(b.ident) + " outside src/core/exchange.*: " +
+                std::string(b.message));
+    }
+  }
+}
+
 // ---------------------------------------------------------------- R4 -------
 
 void check_header_hygiene(std::string_view path, const std::vector<std::string_view>& lines,
@@ -492,6 +541,7 @@ std::vector<Finding> lint_file(std::string_view path, std::string_view content) 
   if (scope.in_src)
     check_raii_sockets(path, lines, scope.in_sockets || scope.service_listener_seam, raw);
   if (scope.in_service && !scope.service_listener_seam) check_http_blocking(path, lines, raw);
+  if (scope.in_src && !scope.exchange_seam) check_acceptance_seam(path, lines, scope, raw);
   if (scope.in_src && scope.is_header) check_header_hygiene(path, lines, raw);
 
   Sink out = std::move(directives.errors);

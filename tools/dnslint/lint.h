@@ -23,6 +23,16 @@
 //                        pullers) and must never issue a blocking read:
 //                        no recv()/read()/accept()/select()/fgets()/
 //                        getline()/std::cin there.
+//   R6 single-acceptance-seam
+//                      — answer acceptance, duplicate-window fingerprinting
+//                        and arbitration have exactly one implementation:
+//                        the exchange kernel (src/core/exchange.*). Outside
+//                        it, calls to dnswire::is_acceptable_response (except
+//                        in src/dnswire/, which defines it), responses_conflict,
+//                        rerandomize_query (except src/core/retry.*, which
+//                        defines it) or a local payload/bytes hash are
+//                        findings: transports must route answers through
+//                        core::run_exchange / ExchangeLedger.
 //
 // Suppressions: `// dnslint: allow(<rule>): <reason>` on the offending line
 // or alone on the line above. The reason string is mandatory — an allow()
@@ -41,6 +51,7 @@ inline constexpr std::string_view kRuleWireBounds = "wire-bounds";
 inline constexpr std::string_view kRuleRaiiSockets = "raii-sockets";
 inline constexpr std::string_view kRuleHeaderHygiene = "header-hygiene";
 inline constexpr std::string_view kRuleHttpBlocking = "http-blocking";
+inline constexpr std::string_view kRuleAcceptanceSeam = "single-acceptance-seam";
 inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
 
 /// One diagnostic.
