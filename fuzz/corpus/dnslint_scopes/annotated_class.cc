@@ -1,0 +1,11 @@
+class Service {
+ public:
+  void submit() DNSLOCATE_EXCLUDES(mutex_);
+
+ private:
+  mutable netbase::Mutex mutex_;
+  std::mutex raw_;
+  std::uint64_t count_ DNSLOCATE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t bare_ = 0;
+  std::condition_variable cv_;
+};

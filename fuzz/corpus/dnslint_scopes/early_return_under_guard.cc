@@ -1,0 +1,7 @@
+bool f(std::mutex& m, bool flag) {
+  std::unique_lock<std::mutex> lock(m);
+  if (flag) return true;
+  lock.unlock();
+  ::fsync(3);
+  return false;
+}

@@ -1,0 +1,10 @@
+void f(std::mutex& m) {
+  std::lock_guard<std::mutex> lock(m);
+  auto task = [&lock](int fd) -> int {
+    ::fsync(fd);
+    return 0;
+  };
+  auto nested = [cb = [&] { ::write(1, "x", 1); }] { cb(); };
+  (void)task;
+  (void)nested;
+}

@@ -1,0 +1,8 @@
+void f(std::mutex& m) {
+  std::unique_lock<std::mutex> lock(m, std::defer_lock);
+  lock.lock();
+  {
+    auto inner = std::move(lock);
+  }
+  ::fsync(3);
+}

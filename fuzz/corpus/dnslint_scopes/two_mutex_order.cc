@@ -1,0 +1,8 @@
+std::mutex mutex_;
+std::mutex mutex;
+
+void f() {
+  std::lock_guard<std::mutex> a(mutex);
+  std::lock_guard<std::mutex> b(mutex_);
+  std::scoped_lock both(mutex_, mutex);
+}

@@ -1,0 +1,6 @@
+void f(std::mutex& m) {
+  std::lock_guard<std::mutex> lock(m);
+  } } }
+  { { auto g = std::unique_lock(m);
+#define WEIRD {
+  ::poll(nullptr, 0, -1);

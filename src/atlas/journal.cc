@@ -548,7 +548,7 @@ JournalWriter::JournalWriter(const std::string& path, const JournalHeader& heade
 }
 
 JournalWriter::~JournalWriter() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   if (file_ != nullptr) {
     std::fflush(file_);
     fsync_journal(file_);
@@ -580,7 +580,7 @@ void JournalWriter::append_batch(const std::vector<const ProbeRecord*>& batch) {
   std::string lines;
   lines.reserve(batch.size() * 1400);
   for (const ProbeRecord* record : batch) append_record_line(lines, *record);
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   if (file_ == nullptr) return;
   if (obs::metrics_enabled()) {
     static obs::Counter& records = obs::registry().counter("journal_records_total");
@@ -604,11 +604,21 @@ void JournalWriter::append_batch(const std::vector<const ProbeRecord*>& batch) {
 }
 
 void JournalWriter::sync() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   if (file_ == nullptr) return;
   std::fflush(file_);
   fsync_journal(file_);
   last_sync_ = std::chrono::steady_clock::now();
+}
+
+bool JournalWriter::ok() const {
+  netbase::MutexLock lock(mutex_);
+  return file_ != nullptr;
+}
+
+std::size_t JournalWriter::written() const {
+  netbase::MutexLock lock(mutex_);
+  return written_;
 }
 
 JournalLoadResult parse_journal(std::string_view text) {

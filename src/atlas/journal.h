@@ -21,7 +21,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -29,6 +28,7 @@
 
 #include "atlas/measurement.h"
 #include "jsonio/json.h"
+#include "netbase/thread_annotations.h"
 
 namespace dnslocate::atlas {
 
@@ -73,22 +73,29 @@ class JournalWriter {
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
-  void append(const ProbeRecord& record);
+  void append(const ProbeRecord& record) DNSLOCATE_EXCLUDES(mutex_);
   /// Append a batch of records with a single write to the OS: the cheap way
   /// to checkpoint from a hot loop (one syscall per batch, not per record).
-  void append_batch(const std::vector<const ProbeRecord*>& batch);
+  void append_batch(const std::vector<const ProbeRecord*>& batch) DNSLOCATE_EXCLUDES(mutex_);
   /// Flush buffered lines and fsync.
-  void sync();
+  void sync() DNSLOCATE_EXCLUDES(mutex_);
 
-  [[nodiscard]] bool ok() const { return file_ != nullptr; }
-  [[nodiscard]] std::size_t written() const { return written_; }
+  [[nodiscard]] bool ok() const DNSLOCATE_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t written() const DNSLOCATE_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
-  std::FILE* file_ = nullptr;
+  // Immutable after construction.
   std::chrono::milliseconds sync_interval_;
-  std::chrono::steady_clock::time_point last_sync_{};
-  std::size_t written_ = 0;
+
+  // The writer lock serializes appends from concurrent shard workers onto
+  // the single file. It is a *leaf* capability (tools/dnslint/lock_order.txt):
+  // nothing else is ever acquired under it, which is why holding it across
+  // the fwrite/fflush (and the coarse time-based fsync) is safe — unlike
+  // the service-wide mutex, it guards exactly the blocking resource itself.
+  mutable netbase::Mutex mutex_;
+  std::FILE* file_ DNSLOCATE_GUARDED_BY(mutex_) = nullptr;
+  std::chrono::steady_clock::time_point last_sync_ DNSLOCATE_GUARDED_BY(mutex_){};
+  std::size_t written_ DNSLOCATE_GUARDED_BY(mutex_) = 0;
 };
 
 /// Result of reading a journal back.

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -11,6 +10,7 @@
 #include "atlas/journal.h"
 #include "atlas/sharding.h"
 #include "netbase/arena.h"
+#include "netbase/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -209,7 +209,7 @@ MeasurementRun run_fleet_supervised(
     std::atomic<std::size_t> done{preloaded_count};
     std::atomic<std::size_t> failures{0};
     std::atomic<bool> stop{false};
-    std::mutex progress_mutex;
+    netbase::Mutex progress_mutex;
 
     auto shard_worker = [&](unsigned shard) {
       // Shard-local byte arena, seeded from the fleet fingerprint and shard
@@ -247,7 +247,7 @@ MeasurementRun run_fleet_supervised(
           stop.store(true, std::memory_order_relaxed);
         std::size_t finished = done.fetch_add(1) + 1;
         if (options.on_record || options.progress) {
-          std::lock_guard<std::mutex> lock(progress_mutex);
+          netbase::MutexLock lock(progress_mutex);
           if (options.on_record) options.on_record(records[i]);
           if (options.progress) options.progress(finished, fleet.size());
         }
@@ -307,14 +307,14 @@ MeasurementRun run_fleet_supervised(
   std::atomic<std::size_t> done{preloaded_count};
   std::atomic<std::size_t> failures{0};
   std::atomic<bool> stop{false};
-  std::mutex progress_mutex;
+  netbase::Mutex progress_mutex;
 
-  std::mutex pending_mutex;
+  netbase::Mutex pending_mutex;
   std::vector<std::size_t> pending;
   auto journal_record = [&](std::size_t i) {
     std::vector<std::size_t> batch;
     {
-      std::lock_guard<std::mutex> lock(pending_mutex);
+      netbase::MutexLock lock(pending_mutex);
       pending.push_back(i);
       if (pending.size() >= kJournalBatch) batch.swap(pending);
     }
@@ -338,7 +338,7 @@ MeasurementRun run_fleet_supervised(
         stop.store(true, std::memory_order_relaxed);
       std::size_t finished = done.fetch_add(1) + 1;
       if (options.on_record || options.progress) {
-        std::lock_guard<std::mutex> lock(progress_mutex);
+        netbase::MutexLock lock(progress_mutex);
         if (options.on_record) options.on_record(records[i]);
         if (options.progress) options.progress(finished, fleet.size());
       }

@@ -1,0 +1,115 @@
+// Clang Thread Safety Analysis capabilities for the dnslocate tree.
+//
+// Engine 1 of the concurrency-discipline pass (engine 2 is dnslint's
+// scope-aware lock rules, tools/dnslint/lint.h R7-R9): every mutex in an
+// annotated subsystem is a DNSLOCATE_CAPABILITY wrapper, every field it
+// guards carries DNSLOCATE_GUARDED_BY, and the `thread-safety` CMake preset
+// compiles the whole tree with clang's -Werror=thread-safety so a read of a
+// guarded field without the lock — or a lock released on one path and held
+// on another — is a build error, not a review comment.
+//
+// The macros expand to clang attributes under clang and to nothing
+// elsewhere, so GCC builds (the default preset) see plain std::mutex
+// behaviour with zero overhead beyond std::unique_lock in MutexLock.
+//
+// Conventions enforced by dnslint rule R9 (annotation-coverage):
+//   - annotated subsystems never declare a raw std::mutex / std::shared_mutex
+//     member: the capability wrapper below is the only mutex member type, so
+//     the analysis (and the lint rules) can see every lock in the tree;
+//   - fields declared *after* a Mutex member in a class body are the mutable
+//     state it guards and must carry DNSLOCATE_GUARDED_BY (std::atomic,
+//     condition variables, and further Mutex members are exempt);
+//   - fields declared *before* the Mutex member are immutable after
+//     construction (or single-thread-owned) by convention — keep them there
+//     deliberately, with a comment saying who owns them.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define DNSLOCATE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DNSLOCATE_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Type is a lockable capability ("mutex" names the capability kind).
+#define DNSLOCATE_CAPABILITY(x) DNSLOCATE_THREAD_ANNOTATION(capability(x))
+/// RAII type that acquires a capability in its constructor and releases it
+/// in its destructor.
+#define DNSLOCATE_SCOPED_CAPABILITY DNSLOCATE_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be read/written while holding the named capability.
+#define DNSLOCATE_GUARDED_BY(x) DNSLOCATE_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field whose *pointee* is guarded by the named capability.
+#define DNSLOCATE_PT_GUARDED_BY(x) DNSLOCATE_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability to be held on entry (and keeps it held).
+#define DNSLOCATE_REQUIRES(...) \
+  DNSLOCATE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (it acquires it).
+#define DNSLOCATE_EXCLUDES(...) DNSLOCATE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability and returns holding it.
+#define DNSLOCATE_ACQUIRE(...) \
+  DNSLOCATE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases a held capability.
+#define DNSLOCATE_RELEASE(...) \
+  DNSLOCATE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function tries to acquire; first argument is the success return value.
+#define DNSLOCATE_TRY_ACQUIRE(...) \
+  DNSLOCATE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Assert (at runtime) that the capability is held; teaches the analysis
+/// about invariants it cannot derive (e.g. single-threaded startup).
+#define DNSLOCATE_ASSERT_CAPABILITY(x) \
+  DNSLOCATE_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define DNSLOCATE_RETURN_CAPABILITY(x) DNSLOCATE_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: skip analysis for one function. Every use needs a comment
+/// explaining why the invariant holds anyway.
+#define DNSLOCATE_NO_THREAD_SAFETY_ANALYSIS \
+  DNSLOCATE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dnslocate::netbase {
+
+/// std::mutex as a clang capability. The underlying std::mutex is reachable
+/// through native() so std::condition_variable (which insists on
+/// std::unique_lock<std::mutex>) keeps working via MutexLock::native().
+class DNSLOCATE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DNSLOCATE_ACQUIRE() { impl_.lock(); }
+  void unlock() DNSLOCATE_RELEASE() { impl_.unlock(); }
+  bool try_lock() DNSLOCATE_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable plumbing only. Lock it
+  /// through this class (or MutexLock), never directly.
+  [[nodiscard]] std::mutex& native() { return impl_; }
+
+ private:
+  // dnslint: allow(annotation-coverage): the wrapper's own raw mutex member
+  std::mutex impl_;
+};
+
+/// RAII guard over a Mutex — the tree's annotated replacement for
+/// std::lock_guard / std::unique_lock on capability mutexes (the std guards
+/// carry no annotations, so clang cannot see through them). Internally a
+/// std::unique_lock so condition variables can wait on native(): the wait
+/// unlocks and relocks underneath, which preserves the capability's
+/// held-on-return contract the analysis assumes.
+class DNSLOCATE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DNSLOCATE_ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~MutexLock() DNSLOCATE_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For std::condition_variable::wait only; the capability stays held
+  /// across the wait as far as callers (and the analysis) are concerned.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace dnslocate::netbase

@@ -84,7 +84,7 @@ void Histogram::reset() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end())
     it = counters_.emplace(std::string(name), std::make_unique<Counter>(std::string(name)))
@@ -93,7 +93,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end())
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>(std::string(name))).first;
@@ -101,7 +101,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::string(name)))
@@ -110,14 +110,14 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) snap.counters.emplace_back(name, counter->value());

@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "netbase/thread_annotations.h"
 
 namespace dnslocate::obs {
 
@@ -198,21 +199,27 @@ struct MetricsSnapshot {
 /// only zeroes them), so cached references stay valid for process lifetime.
 class Registry {
  public:
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) DNSLOCATE_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) DNSLOCATE_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name) DNSLOCATE_EXCLUDES(mutex_);
 
   /// Zero every metric (benches and tests; handles stay valid).
-  void reset();
+  void reset() DNSLOCATE_EXCLUDES(mutex_);
 
   /// Deterministic (name-ordered) copy of every metric.
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const DNSLOCATE_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The registration lock: guards the name->metric maps, never the metric
+  // values (those are atomics inside Counter/Gauge/Histogram, updated
+  // lock-free by instrumentation sites holding cached references).
+  mutable netbase::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DNSLOCATE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DNSLOCATE_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DNSLOCATE_GUARDED_BY(mutex_);
 };
 
 /// The process-wide registry the instrumentation records into.

@@ -37,7 +37,7 @@ TraceRing& TraceCollector::ring_for_this_thread() {
 }
 
 TraceRing& TraceCollector::register_ring() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   t_ring.ring = std::make_shared<TraceRing>(config().trace_buffer_events, next_ordinal_++);
   t_ring.generation = generation_.load(std::memory_order_relaxed);
   rings_.push_back(t_ring.ring);
@@ -45,7 +45,7 @@ TraceRing& TraceCollector::register_ring() {
 }
 
 std::vector<SpanEvent> TraceCollector::gather() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   std::vector<SpanEvent> out;
   for (const auto& ring : rings_) {
     auto events = ring->events();
@@ -55,14 +55,14 @@ std::vector<SpanEvent> TraceCollector::gather() const {
 }
 
 std::uint64_t TraceCollector::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& ring : rings_) total += ring->dropped();
   return total;
 }
 
 void TraceCollector::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   rings_.clear();
   next_ordinal_ = 0;
   generation_.fetch_add(1, std::memory_order_release);

@@ -16,9 +16,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "netbase/thread_annotations.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 
@@ -74,25 +74,27 @@ class TraceCollector {
   /// The calling thread's ring. The fast path is one TLS read and one
   /// relaxed generation check; the mutex is taken only on first use per
   /// thread (and again after clear() invalidates the cached ring).
-  TraceRing& ring_for_this_thread();
+  TraceRing& ring_for_this_thread() DNSLOCATE_EXCLUDES(mutex_);
 
   /// Every event from every ring, oldest-first per ring, rings in
   /// registration order. Call only at quiescent points.
-  [[nodiscard]] std::vector<SpanEvent> gather() const;
+  [[nodiscard]] std::vector<SpanEvent> gather() const DNSLOCATE_EXCLUDES(mutex_);
 
   /// Events lost to ring overwrite, summed over rings.
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t dropped() const DNSLOCATE_EXCLUDES(mutex_);
 
   /// Drop all rings (live threads re-register on their next span).
-  void clear();
+  void clear() DNSLOCATE_EXCLUDES(mutex_);
 
  private:
-  TraceRing& register_ring();
+  TraceRing& register_ring() DNSLOCATE_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::shared_ptr<TraceRing>> rings_;
+  // Guards ring registration, not ring contents: each TraceRing is
+  // single-producer (its owning thread) and only read at quiescent points.
+  mutable netbase::Mutex mutex_;
+  std::vector<std::shared_ptr<TraceRing>> rings_ DNSLOCATE_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> generation_{0};
-  std::uint32_t next_ordinal_ = 0;
+  std::uint32_t next_ordinal_ DNSLOCATE_GUARDED_BY(mutex_) = 0;
 };
 
 /// The process-wide collector the spans record into.

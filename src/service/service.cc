@@ -102,32 +102,37 @@ std::string_view to_string(RunState state) {
 
 /// Internal run state. The service mutex guards the registry/queue; each
 /// run's own mutex guards everything below it, so verdict publication (the
-/// fleet's hot path) never contends with unrelated runs.
+/// fleet's hot path) never contends with unrelated runs. Declared lock
+/// order: MeasurementService::mutex_ before any Run::mutex
+/// (tools/dnslint/lock_order.txt); the capability annotations make the
+/// guard assignments checkable under -Werror=thread-safety.
 struct MeasurementService::Run {
-  // Immutable after admission / recovery.
+  // Immutable once the run is published in runs_ (set during admission /
+  // recovery under `mutex` before any other thread can see the Run).
   std::string id;
   std::string tenant;
   std::string plan_json;  // fleet plan document (regenerates the fleet)
   std::chrono::milliseconds pace{0};
   bool recovered = false;          // re-queued for resumption at startup
-  bool from_disk_history = false;  // finished by a previous process
   std::string manifest_path;
   std::string journal_path;
   std::string done_path;
   core::CancelToken cancel = core::CancelToken::manual();
 
-  mutable std::mutex mutex;
-  RunState state = RunState::queued;
-  bool user_cancelled = false;
-  bool stream_finished = false;
-  bool history_loaded = false;
-  std::size_t probes_total = 0;
-  std::size_t done_probes_from_marker = 0;  // historical runs, pre-load
-  std::size_t done_not_run_from_marker = 0;
-  std::vector<std::string> verdict_lines;  // NDJSON, publication order
-  std::optional<atlas::MeasurementRun> result;
-  std::string error;
-  jsonio::Value census;  // null until terminal
+  mutable netbase::Mutex mutex;
+  RunState state DNSLOCATE_GUARDED_BY(mutex) = RunState::queued;
+  bool user_cancelled DNSLOCATE_GUARDED_BY(mutex) = false;
+  bool stream_finished DNSLOCATE_GUARDED_BY(mutex) = false;
+  bool history_loaded DNSLOCATE_GUARDED_BY(mutex) = false;
+  bool from_disk_history DNSLOCATE_GUARDED_BY(mutex) = false;  // finished by a previous process
+  std::size_t probes_total DNSLOCATE_GUARDED_BY(mutex) = 0;
+  std::size_t done_probes_from_marker DNSLOCATE_GUARDED_BY(mutex) = 0;  // historical runs, pre-load
+  std::size_t done_not_run_from_marker DNSLOCATE_GUARDED_BY(mutex) = 0;
+  std::vector<std::string> verdict_lines
+      DNSLOCATE_GUARDED_BY(mutex);  // NDJSON, publication order
+  std::optional<atlas::MeasurementRun> result DNSLOCATE_GUARDED_BY(mutex);
+  std::string error DNSLOCATE_GUARDED_BY(mutex);
+  jsonio::Value census DNSLOCATE_GUARDED_BY(mutex);  // null until terminal
 };
 
 MeasurementService::MeasurementService(ServiceConfig config) : config_(std::move(config)) {
@@ -147,6 +152,10 @@ MeasurementService::MeasurementService(ServiceConfig config) : config_(std::move
 MeasurementService::~MeasurementService() { drain(); }
 
 void MeasurementService::recover_state_dir() {
+  // Startup is single-threaded (workers spawn after this returns), but the
+  // registry fields are capability-guarded, so take the locks anyway: they
+  // are uncontended, and the analysis then needs no startup special case.
+  netbase::MutexLock lock(mutex_);
   std::vector<std::shared_ptr<Run>> pending;
   for (const auto& entry : fs::directory_iterator(config_.state_dir)) {
     const std::string name = entry.path().filename().string();
@@ -169,12 +178,13 @@ void MeasurementService::recover_state_dir() {
     if (run->tenant.empty()) run->tenant = "default";
     run->plan_json = (*manifest)["plan"].dump();
     run->pace = std::chrono::milliseconds((*manifest)["pace_ms"].as_int(0));
-    run->probes_total = static_cast<std::size_t>((*manifest)["probes_total"].as_int(0));
     run->manifest_path = entry.path().string();
     const std::string base = config_.state_dir + "/" + id;
     run->journal_path = base + ".journal";
     run->done_path = base + ".done";
 
+    netbase::MutexLock run_lock(run->mutex);
+    run->probes_total = static_cast<std::size_t>((*manifest)["probes_total"].as_int(0));
     if (fs::exists(run->done_path)) {
       // Finished by a previous process: status comes from the marker,
       // records lazily from the journal (ensure_history_loaded).
@@ -274,7 +284,7 @@ SubmitResult MeasurementService::submit(const std::string& body) {
   // tenant still sees the slot as taken.
   char id_buffer[24];
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    netbase::MutexLock lock(mutex_);
     if (draining_.load(std::memory_order_relaxed)) {
       out.status = 503;
       out.error = "service is draining; resubmit after restart";
@@ -284,7 +294,7 @@ SubmitResult MeasurementService::submit(const std::string& body) {
     std::size_t active = admitting_it == admitting_.end() ? 0 : admitting_it->second;
     for (const auto& [id, run] : runs_) {
       if (run->tenant != tenant) continue;  // tenant is immutable: no run lock
-      std::lock_guard<std::mutex> run_lock(run->mutex);
+      netbase::MutexLock run_lock(run->mutex);
       if (run->state == RunState::queued || run->state == RunState::running) ++active;
     }
     if (active >= config_.tenant_cap) {
@@ -298,7 +308,7 @@ SubmitResult MeasurementService::submit(const std::string& body) {
     ++admitting_[tenant];
   }
   auto release_admission = [this, &tenant] {
-    std::lock_guard<std::mutex> lock(mutex_);
+    netbase::MutexLock lock(mutex_);
     auto it = admitting_.find(tenant);
     if (it != admitting_.end() && --it->second == 0) admitting_.erase(it);
   };
@@ -308,7 +318,12 @@ SubmitResult MeasurementService::submit(const std::string& body) {
   run->tenant = tenant;
   run->plan_json = (*parsed).dump();
   run->pace = std::chrono::milliseconds(pace_ms);
-  run->probes_total = fleet.size();
+  {
+    // No other thread can see the Run yet; the lock is uncontended and
+    // exists so the capability analysis sees the guarded write.
+    netbase::MutexLock run_lock(run->mutex);
+    run->probes_total = fleet.size();
+  }
   const std::string base = config_.state_dir + "/" + run->id;
   run->manifest_path = base + ".manifest.json";
   run->journal_path = base + ".journal";
@@ -330,7 +345,7 @@ SubmitResult MeasurementService::submit(const std::string& body) {
 
   out.id = run->id;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    netbase::MutexLock lock(mutex_);
     auto it = admitting_.find(tenant);
     if (it != admitting_.end() && --it->second == 0) admitting_.erase(it);
     runs_[run->id] = run;
@@ -338,7 +353,7 @@ SubmitResult MeasurementService::submit(const std::string& body) {
       // Drain won the race between reservation and registration: the
       // manifest is durable, so the next start resumes this run; close its
       // stream now because no worker in this process will touch it.
-      std::lock_guard<std::mutex> run_lock(run->mutex);
+      netbase::MutexLock run_lock(run->mutex);
       run->stream_finished = true;
     } else {
       queue_.push_back(std::move(run));
@@ -352,10 +367,12 @@ void MeasurementService::worker_loop() {
   for (;;) {
     std::shared_ptr<Run> run;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] {
-        return draining_.load(std::memory_order_relaxed) || !queue_.empty();
-      });
+      netbase::MutexLock lock(mutex_);
+      // An explicit predicate loop (not the wait(lock, pred) overload):
+      // the predicate reads queue_, and inside a lambda the analysis could
+      // not see that mutex_ is held across the wait.
+      while (!draining_.load(std::memory_order_relaxed) && queue_.empty())
+        work_ready_.wait(lock.native());
       // On drain, leave queued runs untouched: their manifests carry no
       // done marker, so the next start resumes them.
       if (draining_.load(std::memory_order_relaxed)) return;
@@ -368,7 +385,7 @@ void MeasurementService::worker_loop() {
 
 void MeasurementService::execute(const std::shared_ptr<Run>& run) {
   {
-    std::lock_guard<std::mutex> lock(run->mutex);
+    netbase::MutexLock lock(run->mutex);
     run->state = RunState::running;
   }
 
@@ -378,7 +395,7 @@ void MeasurementService::execute(const std::shared_ptr<Run>& run) {
     if (!plan.ok()) throw std::runtime_error("manifest plan no longer parses: " + plan.errors[0]);
     const auto fleet = plan.generate();
     {
-      std::lock_guard<std::mutex> lock(run->mutex);
+      netbase::MutexLock lock(run->mutex);
       run->probes_total = fleet.size();
     }
 
@@ -389,7 +406,7 @@ void MeasurementService::execute(const std::shared_ptr<Run>& run) {
     options.journal_path = run->journal_path;
     options.cancel = run->cancel;
     options.on_record = [run](const atlas::ProbeRecord& record) {
-      std::lock_guard<std::mutex> lock(run->mutex);
+      netbase::MutexLock lock(run->mutex);
       run->verdict_lines.push_back(report::probe_to_json(record).dump());
     };
     if (run->pace.count() > 0) {
@@ -419,7 +436,7 @@ void MeasurementService::execute(const std::shared_ptr<Run>& run) {
     }
   } catch (const std::exception& e) {
     {
-      std::lock_guard<std::mutex> lock(run->mutex);
+      netbase::MutexLock lock(run->mutex);
       run->error = e.what();
     }
     finalize(run, RunState::failed);
@@ -429,7 +446,7 @@ void MeasurementService::execute(const std::shared_ptr<Run>& run) {
   bool user_cancelled = false;
   bool stopped_early = measured.stopped_early();
   {
-    std::lock_guard<std::mutex> lock(run->mutex);
+    netbase::MutexLock lock(run->mutex);
     run->result = std::move(measured);
     user_cancelled = run->user_cancelled;
   }
@@ -440,7 +457,7 @@ void MeasurementService::execute(const std::shared_ptr<Run>& run) {
   if (draining_.load(std::memory_order_relaxed) && stopped_early) {
     // Interrupted by process drain, not by the operator: keep the manifest
     // un-marked so the next start resumes this run where the journal ends.
-    std::lock_guard<std::mutex> lock(run->mutex);
+    netbase::MutexLock lock(run->mutex);
     run->stream_finished = true;
     return;
   }
@@ -453,7 +470,7 @@ void MeasurementService::finalize(const std::shared_ptr<Run>& run, RunState stat
   done["id"] = run->id;
   done["state"] = std::string(to_string(state));
   {
-    std::lock_guard<std::mutex> lock(run->mutex);
+    netbase::MutexLock lock(run->mutex);
     run->state = state;
     run->stream_finished = true;
     std::size_t not_run = 0;
@@ -473,7 +490,7 @@ void MeasurementService::finalize(const std::shared_ptr<Run>& run, RunState stat
 void MeasurementService::note_terminal_resident(const std::string& id) {
   std::vector<std::shared_ptr<Run>> victims;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    netbase::MutexLock lock(mutex_);
     std::erase(terminal_order_, id);  // refresh: most recent goes to the back
     terminal_order_.push_back(id);
     while (terminal_order_.size() > std::max<std::size_t>(1, config_.retain_terminal_runs)) {
@@ -486,7 +503,7 @@ void MeasurementService::note_terminal_resident(const std::string& id) {
   // marker), so drop the in-memory copies and flip them to the lazy-reload
   // path a historical run already takes.
   for (const auto& victim : victims) {
-    std::lock_guard<std::mutex> run_lock(victim->mutex);
+    netbase::MutexLock run_lock(victim->mutex);
     if (victim->state == RunState::queued || victim->state == RunState::running)
       continue;  // raced with a resubmit of the same id: never spill live runs
     victim->done_probes_from_marker = victim->verdict_lines.size();
@@ -500,13 +517,13 @@ void MeasurementService::note_terminal_resident(const std::string& id) {
 }
 
 std::shared_ptr<MeasurementService::Run> MeasurementService::find(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   auto it = runs_.find(id);
   return it == runs_.end() ? nullptr : it->second;
 }
 
 RunStatus MeasurementService::snapshot(const Run& run) const {
-  std::lock_guard<std::mutex> lock(run.mutex);
+  netbase::MutexLock lock(run.mutex);
   RunStatus status;
   status.id = run.id;
   status.tenant = run.tenant;
@@ -531,7 +548,7 @@ std::optional<RunStatus> MeasurementService::status(const std::string& id) const
 std::vector<RunStatus> MeasurementService::list() const {
   std::vector<std::shared_ptr<Run>> all;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    netbase::MutexLock lock(mutex_);
     all.reserve(runs_.size());
     for (const auto& [id, run] : runs_) all.push_back(run);
   }
@@ -545,7 +562,7 @@ bool MeasurementService::cancel(const std::string& id) {
   auto run = find(id);
   if (!run) return false;
   {
-    std::lock_guard<std::mutex> lock(run->mutex);
+    netbase::MutexLock lock(run->mutex);
     if (run->state == RunState::completed || run->state == RunState::cancelled ||
         run->state == RunState::failed)
       return true;  // already terminal: cancel is idempotent
@@ -558,7 +575,7 @@ bool MeasurementService::cancel(const std::string& id) {
 void MeasurementService::ensure_history_loaded(Run& run) {
   bool resident = false;
   {
-    std::lock_guard<std::mutex> lock(run.mutex);
+    netbase::MutexLock lock(run.mutex);
     if (!run.from_disk_history) return;
     if (run.history_loaded) {
       resident = true;  // refresh retention order below
@@ -601,8 +618,8 @@ std::optional<VerdictPage> MeasurementService::verdicts(const std::string& id,
                                                         std::size_t from_seq) {
   auto run = find(id);
   if (!run) return std::nullopt;
-  if (run->from_disk_history) ensure_history_loaded(*run);
-  std::lock_guard<std::mutex> lock(run->mutex);
+  ensure_history_loaded(*run);  // no-op unless spilled/historical (checks under the run lock)
+  netbase::MutexLock lock(run->mutex);
   VerdictPage page;
   for (std::size_t seq = from_seq; seq < run->verdict_lines.size(); ++seq)
     page.lines.push_back(run->verdict_lines[seq]);
@@ -614,8 +631,8 @@ std::optional<VerdictPage> MeasurementService::verdicts(const std::string& id,
 std::optional<std::string> MeasurementService::records_jsonl(const std::string& id) {
   auto run = find(id);
   if (!run) return std::nullopt;
-  if (run->from_disk_history) ensure_history_loaded(*run);
-  std::lock_guard<std::mutex> lock(run->mutex);
+  ensure_history_loaded(*run);  // no-op unless spilled/historical (checks under the run lock)
+  netbase::MutexLock lock(run->mutex);
   const bool terminal = run->state == RunState::completed ||
                         run->state == RunState::cancelled || run->state == RunState::failed;
   if (!terminal || !run->result) return std::nullopt;
@@ -628,12 +645,12 @@ bool MeasurementService::draining() const {
 
 void MeasurementService::drain() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    netbase::MutexLock lock(mutex_);
     if (draining_.exchange(true)) {
       // Second call: workers are already stopping (or stopped).
     }
     for (const auto& [id, run] : runs_) {
-      std::lock_guard<std::mutex> run_lock(run->mutex);
+      netbase::MutexLock run_lock(run->mutex);
       if (run->state == RunState::queued || run->state == RunState::running)
         run->cancel.cancel();
     }
@@ -645,9 +662,9 @@ void MeasurementService::drain() {
   workers_.clear();
   // Runs still queued were never started: close their streams so a client
   // polling the verdict endpoint sees the end of the stream.
-  std::lock_guard<std::mutex> lock(mutex_);
+  netbase::MutexLock lock(mutex_);
   for (const auto& [id, run] : runs_) {
-    std::lock_guard<std::mutex> run_lock(run->mutex);
+    netbase::MutexLock run_lock(run->mutex);
     if (run->state == RunState::queued) run->stream_finished = true;
   }
 }

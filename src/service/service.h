@@ -48,6 +48,7 @@
 
 #include "atlas/measurement.h"
 #include "jsonio/json.h"
+#include "netbase/thread_annotations.h"
 
 namespace dnslocate::service {
 
@@ -135,39 +136,44 @@ class MeasurementService {
   /// `tenant` (string, default "default") and `pace_ms` (number: sleep this
   /// long before each probe — turns a simulated fleet into a long-lived run
   /// for drain/recovery testing). The manifest is durable (fsync) before
-  /// this returns, so an accepted run survives an immediate crash.
-  SubmitResult submit(const std::string& body);
+  /// this returns, so an accepted run survives an immediate crash. The
+  /// manifest fsync itself runs *outside* mutex_ (see DNSLOCATE_EXCLUDES):
+  /// status/list/verdict calls never stall behind disk latency.
+  SubmitResult submit(const std::string& body) DNSLOCATE_EXCLUDES(mutex_);
 
   /// Status snapshot; nullopt for an unknown id.
-  [[nodiscard]] std::optional<RunStatus> status(const std::string& id) const;
+  [[nodiscard]] std::optional<RunStatus> status(const std::string& id) const
+      DNSLOCATE_EXCLUDES(mutex_);
 
   /// Every known run (including recovered history), ascending by id.
-  [[nodiscard]] std::vector<RunStatus> list() const;
+  [[nodiscard]] std::vector<RunStatus> list() const DNSLOCATE_EXCLUDES(mutex_);
 
   /// Drain one run: fires its CancelToken (in-flight probes finish and are
   /// journaled) and finalizes it as cancelled. False for an unknown id;
   /// true (idempotently) otherwise.
-  bool cancel(const std::string& id);
+  bool cancel(const std::string& id) DNSLOCATE_EXCLUDES(mutex_);
 
   /// Verdict lines with sequence >= from_seq. Lines are published in record
   /// completion order as the run executes (on a resumed run, journal-restored
   /// records replay first), so polling with the returned next_seq streams
   /// every verdict exactly once. nullopt for an unknown id.
   [[nodiscard]] std::optional<VerdictPage> verdicts(const std::string& id,
-                                                    std::size_t from_seq);
+                                                    std::size_t from_seq)
+      DNSLOCATE_EXCLUDES(mutex_);
 
   /// The full fleet-order record set as JSONL (report::run_to_jsonl) for a
   /// terminal run; nullopt while the run is still queued/running or for an
   /// unknown id. This is the byte-identity surface: equal, byte for byte,
   /// to an uninterrupted in-process run of the same plan.
-  [[nodiscard]] std::optional<std::string> records_jsonl(const std::string& id);
+  [[nodiscard]] std::optional<std::string> records_jsonl(const std::string& id)
+      DNSLOCATE_EXCLUDES(mutex_);
 
   /// Graceful drain (SIGTERM): stop admitting (submit answers 503), fire
   /// every active run's cancel token, let in-flight probes finish and their
   /// journals sync, and join the worker pool. Interrupted runs keep their
   /// manifest un-marked so the next start resumes them. Idempotent; the
   /// destructor calls it.
-  void drain();
+  void drain() DNSLOCATE_EXCLUDES(mutex_);
 
   [[nodiscard]] bool draining() const;
 
@@ -177,37 +183,43 @@ class MeasurementService {
  private:
   struct Run;
 
-  void worker_loop();
-  void execute(const std::shared_ptr<Run>& run);
-  void recover_state_dir();
-  void finalize(const std::shared_ptr<Run>& run, RunState state);
-  [[nodiscard]] std::shared_ptr<Run> find(const std::string& id) const;
+  void worker_loop() DNSLOCATE_EXCLUDES(mutex_);
+  void execute(const std::shared_ptr<Run>& run) DNSLOCATE_EXCLUDES(mutex_);
+  void recover_state_dir() DNSLOCATE_EXCLUDES(mutex_);
+  void finalize(const std::shared_ptr<Run>& run, RunState state)
+      DNSLOCATE_EXCLUDES(mutex_);
+  [[nodiscard]] std::shared_ptr<Run> find(const std::string& id) const
+      DNSLOCATE_EXCLUDES(mutex_);
   [[nodiscard]] RunStatus snapshot(const Run& run) const;
   /// Lazily materialize verdict lines / records for a run completed by a
   /// *previous* process — or spilled by retention (we hold its journal, not
   /// its memory).
-  void ensure_history_loaded(Run& run);
+  void ensure_history_loaded(Run& run) DNSLOCATE_EXCLUDES(mutex_);
   /// Record `id` as the most recently resident terminal run and spill the
   /// oldest residents beyond ServiceConfig::retain_terminal_runs. Callers
-  /// must hold neither mutex_ nor any run mutex.
-  void note_terminal_resident(const std::string& id);
+  /// must hold neither mutex_ nor any run mutex (declared lock order:
+  /// mutex_ before any Run::mutex, tools/dnslint/lock_order.txt).
+  void note_terminal_resident(const std::string& id) DNSLOCATE_EXCLUDES(mutex_);
 
+  // Immutable after the constructor returns (recover_state_dir included).
   ServiceConfig config_;
   std::size_t recovered_runs_ = 0;
+  // Owned by the lifecycle thread: the constructor spawns, drain() joins.
+  std::vector<std::thread> workers_;
+  std::atomic<bool> draining_{false};
 
-  mutable std::mutex mutex_;
+  mutable netbase::Mutex mutex_;
   std::condition_variable work_ready_;
-  std::map<std::string, std::shared_ptr<Run>> runs_;  // id -> run, ordered
-  std::deque<std::shared_ptr<Run>> queue_;
+  std::map<std::string, std::shared_ptr<Run>> runs_
+      DNSLOCATE_GUARDED_BY(mutex_);  // id -> run, ordered
+  std::deque<std::shared_ptr<Run>> queue_ DNSLOCATE_GUARDED_BY(mutex_);
   /// Per-tenant count of submissions past the cap check but not yet
   /// registered (their manifest fsync runs outside mutex_).
-  std::map<std::string, std::size_t> admitting_;
+  std::map<std::string, std::size_t> admitting_ DNSLOCATE_GUARDED_BY(mutex_);
   /// Terminal runs with records resident in memory, oldest first; bounded
   /// by ServiceConfig::retain_terminal_runs via note_terminal_resident.
-  std::deque<std::string> terminal_order_;
-  std::uint64_t next_run_number_ = 1;
-  std::atomic<bool> draining_{false};
-  std::vector<std::thread> workers_;
+  std::deque<std::string> terminal_order_ DNSLOCATE_GUARDED_BY(mutex_);
+  std::uint64_t next_run_number_ DNSLOCATE_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace dnslocate::service

@@ -60,6 +60,13 @@ class LoopbackDnsServer {
   void serve_tcp_connection();
   void flush_due_sends();
 
+  // Concurrency model: no mutex on purpose. All mutable state below is
+  // either confined to the serve thread (fds, pending_) or an atomic
+  // crossed by the owner thread (running_ to stop, the served counters to
+  // read) — so there is no capability to annotate and nothing for the
+  // thread-safety analysis to check. Adding shared state here means
+  // introducing a netbase::Mutex and DNSLOCATE_GUARDED_BY first (R9
+  // polices src/sockets/).
   std::shared_ptr<resolvers::DnsResponder> responder_;
   int fd_ = -1;
   int tcp_fd_ = -1;

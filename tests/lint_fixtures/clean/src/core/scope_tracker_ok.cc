@@ -1,0 +1,68 @@
+// Pathological-but-legal guard lifetimes: the scope tracker must judge all
+// of these clean. Each shape here is a regression test for a way the
+// tracker could over-approximate "a lock is held".
+#include <unistd.h>
+
+#include <mutex>
+#include <utility>
+
+namespace ok {
+
+std::mutex mu;
+int fd = -1;
+
+// Early return under a guard: the guard dies with the scope either way.
+bool early_return(bool flag) {
+  std::lock_guard<std::mutex> lock(mu);
+  if (flag) return true;
+  return false;
+}
+
+// The lambda body runs later, on some other frame: the fsync inside it is
+// not an fsync under `lock`, even though the guard is live at the point of
+// the lambda expression.
+auto deferred_sync() {
+  std::lock_guard<std::mutex> lock(mu);
+  auto task = [](int target) -> int {
+    ::fsync(target);
+    return 0;
+  };
+  return task;
+}
+
+// Unlock before blocking, relock after: legal use of unique_lock.
+void unlock_then_write(const char* line, unsigned len) {
+  std::unique_lock<std::mutex> lock(mu);
+  lock.unlock();
+  ::write(fd, line, len);
+  lock.lock();
+}
+
+// A moved-from unique_lock no longer holds the mutex; the moved-to guard
+// dies with the inner scope.
+void handoff_then_sync() {
+  std::unique_lock<std::mutex> lock(mu);
+  {
+    std::unique_lock<std::mutex> inner = std::move(lock);
+  }
+  ::fsync(fd);
+}
+
+// Nested scopes: the inner guard dies at its closing brace, so the fsync
+// after the block runs lock-free.
+void nested(bool flag) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (flag) return;
+  }
+  ::fsync(fd);
+}
+
+// defer_lock does not acquire; the write before lock() is lock-free.
+void deferred_acquire(const char* line, unsigned len) {
+  std::unique_lock<std::mutex> lock(mu, std::defer_lock);
+  ::write(fd, line, len);
+  lock.lock();
+}
+
+}  // namespace ok

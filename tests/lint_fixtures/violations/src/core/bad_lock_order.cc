@@ -1,0 +1,35 @@
+// Two-mutex inversion: one thread takes mu_a then mu_b, another takes mu_b
+// then mu_a — the textbook deadlock R8 exists to catch, both against the
+// declared order (mu_a before mu_b in this tree's lock_order.txt) and as a
+// cycle among labels the order file never mentions.
+#include <mutex>
+
+namespace bad {
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+void thread_a() {
+  std::lock_guard<std::mutex> a(mu_a);
+  std::lock_guard<std::mutex> b(mu_b);  // matches the declared order
+}
+
+void thread_b() {
+  std::lock_guard<std::mutex> b(mu_b);
+  std::lock_guard<std::mutex> a(mu_a);  // contradicts the declared order
+}
+
+std::mutex mu_c;
+std::mutex mu_d;
+
+void first() {
+  std::lock_guard<std::mutex> c(mu_c);
+  std::lock_guard<std::mutex> d(mu_d);
+}
+
+void second() {
+  std::lock_guard<std::mutex> d(mu_d);
+  std::lock_guard<std::mutex> c(mu_c);  // closes the c->d->c cycle
+}
+
+}  // namespace bad

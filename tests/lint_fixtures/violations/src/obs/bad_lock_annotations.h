@@ -1,0 +1,28 @@
+// Raw mutex + unguarded sibling: clang's thread-safety analysis cannot see
+// a raw std::mutex member at all, and nothing ties the counter to it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace bad {
+
+class Sampler {
+ public:
+  void bump();
+
+ private:
+  std::mutex raw_;  // must be the netbase::Mutex capability wrapper
+  std::uint64_t hits_ = 0;
+};
+
+class Tracker {
+ public:
+  void bump();
+
+ private:
+  mutable netbase::Mutex mutex_;
+  std::uint64_t hits_ = 0;  // missing DNSLOCATE_GUARDED_BY(mutex_)
+};
+
+}  // namespace bad

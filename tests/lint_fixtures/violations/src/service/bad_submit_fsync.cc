@@ -1,0 +1,19 @@
+// Reconstruction of the PR 8 service bug: submit() journaled under the
+// service-wide mutex, so the fsync (and the raw write before it) stalled
+// every worker and the HTTP snapshot path behind a disk flush.
+#include <unistd.h>
+
+#include <mutex>
+
+namespace bad {
+
+std::mutex service_mutex;
+int journal_fd = -1;
+
+void submit(const char* line, unsigned len) {
+  std::lock_guard<std::mutex> lock(service_mutex);
+  ::write(journal_fd, line, len);
+  ::fsync(journal_fd);
+}
+
+}  // namespace bad

@@ -1,4 +1,4 @@
-// dnslint's own tests: every rule R1-R6 fires on its fixture, suppressions
+// dnslint's own tests: every rule R1-R9 fires on its fixture, suppressions
 // with reasons are honoured, reasonless/unknown allows are findings, and
 // clean code stays clean. Fixture trees live under tests/lint_fixtures/
 // (DNSLINT_FIXTURES points there; the same trees gate the CLI via the
@@ -47,6 +47,9 @@ TEST(DnslintFixtures, EveryRuleFiresOnViolationTree) {
   EXPECT_TRUE(rules.count(std::string(lint::kRuleHeaderHygiene)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleHttpBlocking)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleAcceptanceSeam)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleNoBlockingUnderLock)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleLockOrder)));
+  EXPECT_TRUE(rules.count(std::string(lint::kRuleAnnotationCoverage)));
   EXPECT_TRUE(rules.count(std::string(lint::kRuleBadSuppression)));
 }
 
@@ -101,6 +104,26 @@ TEST(DnslintFixtures, AcceptanceSeamCatchesStrayArbitration) {
   // is_acceptable_response (decl + call), responses_conflict (decl + call),
   // rerandomize_query (decl + call), bytes_hash (def).
   EXPECT_GE(count_rule(findings, lint::kRuleAcceptanceSeam, "bad_acceptance"), 7u);
+}
+
+TEST(DnslintFixtures, BlockingUnderLockCatchesThePr8Reconstruction) {
+  auto findings = lint_tree(kViolations);
+  // ::write and ::fsync of the journal fd under the service-wide mutex.
+  EXPECT_EQ(count_rule(findings, lint::kRuleNoBlockingUnderLock, "bad_submit_fsync"), 2u);
+}
+
+TEST(DnslintFixtures, LockOrderCatchesDeclaredAndCyclicInversions) {
+  auto findings = lint_tree(kViolations);
+  // One edge contradicting the fixture tree's lock_order.txt (mu_b -> mu_a)
+  // and one closing a cycle among undeclared labels (mu_d -> mu_c).
+  EXPECT_EQ(count_rule(findings, lint::kRuleLockOrder, "bad_lock_order"), 2u);
+}
+
+TEST(DnslintFixtures, AnnotationCoverageCatchesRawMutexAndBareField) {
+  auto findings = lint_tree(kViolations);
+  // A raw std::mutex member plus a field after a Mutex member without
+  // DNSLOCATE_GUARDED_BY.
+  EXPECT_EQ(count_rule(findings, lint::kRuleAnnotationCoverage, "bad_lock_annotations"), 2u);
 }
 
 TEST(DnslintFixtures, CleanTreeIsClean) {
@@ -212,6 +235,221 @@ TEST(DnslintRules, MemberCallsAndQualifiedLookalikesAreNotFlagged) {
       "auto v = obj->poll();\n"           // member poll
       "int fclose_result = std::fclose(f);\n";
   EXPECT_TRUE(lint::lint_file("src/core/x.cc", benign).empty());
+}
+
+// ------------------------------------------------------------------------
+// Scope-aware engine (R7-R9): guard lifetimes through nested scopes.
+
+std::size_t count_rule_inline(const std::vector<lint::Finding>& findings,
+                              std::string_view rule) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const auto& f) { return f.rule == rule; }));
+}
+
+TEST(DnslintScopes, BlockingCallUnderGuardFires) {
+  const std::string bad =
+      "void f(std::mutex& m, int fd) {\n"
+      "  std::lock_guard<std::mutex> lock(m);\n"
+      "  ::fsync(fd);\n"
+      "}\n";
+  auto findings = lint::lint_file("src/core/x.cc", bad);
+  ASSERT_EQ(count_rule_inline(findings, lint::kRuleNoBlockingUnderLock), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+  // The rule only polices src/.
+  EXPECT_TRUE(lint::lint_file("tests/x.cc", bad).empty());
+}
+
+TEST(DnslintScopes, GuardDiesWithItsScope) {
+  const std::string ok =
+      "void f(std::mutex& m, int fd) {\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> lock(m);\n"
+      "  }\n"
+      "  ::fsync(fd);\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", ok).empty());
+}
+
+TEST(DnslintScopes, UnlockAndMoveReleaseTheGuard) {
+  const std::string unlocked =
+      "void f(std::mutex& m, int fd) {\n"
+      "  std::unique_lock<std::mutex> lock(m);\n"
+      "  lock.unlock();\n"
+      "  ::fsync(fd);\n"
+      "  lock.lock();\n"
+      "  lock.unlock();\n"
+      "  ::write(fd, \"x\", 1);\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", unlocked).empty());
+
+  const std::string moved =
+      "void f(std::mutex& m, int fd) {\n"
+      "  std::unique_lock<std::mutex> lock(m);\n"
+      "  auto sink = std::move(lock);\n"
+      "  ::fsync(fd);\n"
+      "}\n";
+  // `lock` no longer owns the mutex; `sink` was never declared as a tracked
+  // guard type declaration, so nothing is held by `lock` itself. (The
+  // conservative tracker follows ownership, not aliases.)
+  auto findings = lint::lint_file("src/core/x.cc", moved);
+  EXPECT_EQ(count_rule_inline(findings, lint::kRuleNoBlockingUnderLock), 0u);
+}
+
+TEST(DnslintScopes, LambdaBodySuspendsEnclosingGuards) {
+  const std::string deferred =
+      "void f(std::mutex& m) {\n"
+      "  std::lock_guard<std::mutex> lock(m);\n"
+      "  auto task = [](int fd) -> int {\n"
+      "    ::fsync(fd);\n"
+      "    return 0;\n"
+      "  };\n"
+      "  (void)task;\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", deferred).empty());
+
+  // ...but a guard declared *inside* the lambda body is live there.
+  const std::string inside =
+      "void f(std::mutex& m) {\n"
+      "  auto task = [&m](int fd) {\n"
+      "    std::lock_guard<std::mutex> lock(m);\n"
+      "    ::fsync(fd);\n"
+      "  };\n"
+      "  (void)task;\n"
+      "}\n";
+  auto findings = lint::lint_file("src/core/x.cc", inside);
+  EXPECT_EQ(count_rule_inline(findings, lint::kRuleNoBlockingUnderLock), 1u);
+}
+
+TEST(DnslintScopes, SimulatorRunUnderLockFires) {
+  const std::string bad =
+      "void f(std::mutex& m, simnet::Simulator& sim) {\n"
+      "  std::lock_guard<std::mutex> lock(m);\n"
+      "  sim.run(std::chrono::seconds(1));\n"
+      "}\n";
+  auto findings = lint::lint_file("src/core/x.cc", bad);
+  EXPECT_EQ(count_rule_inline(findings, lint::kRuleNoBlockingUnderLock), 1u);
+}
+
+TEST(DnslintScopes, LockOrderChecksDeclaredOrderAndCycles) {
+  lint::LockOrder order;
+  order.labels = {"outer", "inner"};
+  EXPECT_EQ(order.rank("outer"), 0);
+  EXPECT_EQ(order.rank("inner"), 1);
+  EXPECT_EQ(order.rank("stranger"), -1);
+
+  const std::string inverted =
+      "void f(std::mutex& outer, std::mutex& inner) {\n"
+      "  std::lock_guard<std::mutex> a(inner);\n"
+      "  std::lock_guard<std::mutex> b(outer);\n"
+      "}\n";
+  auto findings = lint::lint_file("src/core/x.cc", inverted, order);
+  EXPECT_EQ(count_rule_inline(findings, lint::kRuleLockOrder), 1u);
+
+  // Right order: clean.
+  const std::string ordered =
+      "void f(std::mutex& outer, std::mutex& inner) {\n"
+      "  std::lock_guard<std::mutex> a(outer);\n"
+      "  std::lock_guard<std::mutex> b(inner);\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", ordered, order).empty());
+
+  // Undeclared labels: cycle detection still applies within the file.
+  const std::string cyclic =
+      "void f(std::mutex& p, std::mutex& q) {\n"
+      "  { std::lock_guard<std::mutex> a(p); std::lock_guard<std::mutex> b(q); }\n"
+      "  { std::lock_guard<std::mutex> b(q); std::lock_guard<std::mutex> a(p); }\n"
+      "}\n";
+  auto cycle_findings = lint::lint_file("src/core/x.cc", cyclic);
+  EXPECT_EQ(count_rule_inline(cycle_findings, lint::kRuleLockOrder), 1u);
+}
+
+TEST(DnslintScopes, LockOrderParsesConfigText) {
+  lint::LockOrder order = lint::parse_lock_order(
+      "# comment\n  mutex_   # service-wide\nmutex\n\n");
+  ASSERT_EQ(order.labels.size(), 2u);
+  EXPECT_EQ(order.labels[0], "mutex_");
+  EXPECT_EQ(order.labels[1], "mutex");
+}
+
+TEST(DnslintScopes, AnnotationCoverageRequiresWrapperAndGuardedBy) {
+  const std::string raw_mutex =
+      "class C {\n"
+      " private:\n"
+      "  std::mutex m_;\n"
+      "};\n";
+  // Only annotated subsystems are policed.
+  EXPECT_EQ(count_rule_inline(lint::lint_file("src/obs/x.h", raw_mutex),
+                              lint::kRuleAnnotationCoverage),
+            1u);
+  EXPECT_EQ(count_rule_inline(lint::lint_file("src/core/x.h", raw_mutex),
+                              lint::kRuleAnnotationCoverage),
+            0u);
+
+  const std::string bare_field =
+      "class C {\n"
+      " private:\n"
+      "  mutable netbase::Mutex mutex_;\n"
+      "  int counter_ = 0;\n"
+      "};\n";
+  EXPECT_EQ(count_rule_inline(lint::lint_file("src/service/x.h", bare_field),
+                              lint::kRuleAnnotationCoverage),
+            1u);
+
+  const std::string covered =
+      "class C {\n"
+      " public:\n"
+      "  void bump() DNSLOCATE_EXCLUDES(mutex_);\n"
+      "  std::size_t total() const;\n"
+      " private:\n"
+      "  std::string name_;\n"  // before the Mutex: immutable by convention
+      "  mutable netbase::Mutex mutex_;\n"
+      "  std::condition_variable cv_;\n"
+      "  std::atomic<bool> stop_{false};\n"
+      "  int counter_ DNSLOCATE_GUARDED_BY(mutex_) = 0;\n"
+      "  std::vector<int> bins_ DNSLOCATE_GUARDED_BY(mutex_);\n"
+      "};\n";
+  EXPECT_EQ(count_rule_inline(lint::lint_file("src/service/x.h", covered),
+                              lint::kRuleAnnotationCoverage),
+            0u);
+}
+
+TEST(DnslintScopes, SuppressionsCoverTheNewRules) {
+  const std::string suppressed =
+      "void f(std::mutex& m, int fd) {\n"
+      "  std::lock_guard<std::mutex> lock(m);\n"
+      "  // dnslint: allow(no-blocking-under-lock): leaf lock guards the fd itself\n"
+      "  ::fsync(fd);\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", suppressed).empty());
+}
+
+// ------------------------------------------------------------------------
+// Multi-line statements: a line-above allow covers the whole statement.
+
+TEST(DnslintSuppressions, LineAboveAllowCoversTheWholeStatement) {
+  const std::string spread =
+      "// dnslint: allow(determinism): seeding comparison baseline\n"
+      "int x = rand() +\n"
+      "        rand() +\n"
+      "        rand();\n";
+  EXPECT_TRUE(lint::lint_file("src/core/x.cc", spread).empty());
+
+  // Without the allow, every line of the statement fires.
+  const std::string bare =
+      "int x = rand() +\n"
+      "        rand() +\n"
+      "        rand();\n";
+  EXPECT_EQ(lint::lint_file("src/core/x.cc", bare).size(), 3u);
+
+  // The statement's end is respected: the next statement is NOT covered.
+  const std::string next_stmt =
+      "// dnslint: allow(determinism): covers only the call below\n"
+      "int x = rand(\n"
+      ");\n"
+      "int y = rand();\n";
+  auto findings = lint::lint_file("src/core/x.cc", next_stmt);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
 }
 
 TEST(DnslintDiscovery, WalksHeadersAndSources) {

@@ -2,208 +2,17 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <regex>
 #include <sstream>
 
+#include "dnslint/scan.h"
+#include "dnslint/scopes.h"
 #include "jsonio/json.h"
 
 namespace dnslocate::lint {
 namespace {
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// A comment extracted during scrubbing (directives live in comments).
-struct CommentSpan {
-  std::size_t line = 0;  // 1-based line of the comment's first character
-  bool owns_line = false;  // nothing but whitespace precedes it on that line
-  std::string text;
-};
-
-/// Source with comment/string/char-literal bodies blanked to spaces.
-/// Same length and line structure as the input, so token scans cannot be
-/// fooled by quoted or commented-out code.
-struct Scrubbed {
-  std::string code;
-  std::vector<CommentSpan> comments;
-};
-
-Scrubbed scrub(std::string_view src) {
-  Scrubbed out;
-  out.code.assign(src.size(), ' ');
-  enum class State { code, line_comment, block_comment, str, chr, raw_str };
-  State state = State::code;
-  std::size_t line = 1;
-  std::size_t line_start = 0;  // offset of the current line's first char
-  CommentSpan current;
-  std::string raw_delim;  // for raw string literals: the )delim" terminator
-
-  auto line_owned = [&](std::size_t begin) {
-    for (std::size_t j = line_start; j < begin; ++j) {
-      char c = src[j];
-      if (c != ' ' && c != '\t') return false;
-    }
-    return true;
-  };
-
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    char c = src[i];
-    char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::code:
-        if (c == '/' && next == '/') {
-          state = State::line_comment;
-          current = CommentSpan{line, line_owned(i), ""};
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::block_comment;
-          current = CommentSpan{line, line_owned(i), ""};
-          ++i;
-        } else if (c == '"') {
-          // Raw string literal? Look back for R prefix.
-          if (i > 0 && src[i - 1] == 'R' && (i < 2 || !is_ident_char(src[i - 2]))) {
-            state = State::raw_str;
-            raw_delim = ")";
-            for (std::size_t j = i + 1; j < src.size() && src[j] != '('; ++j)
-              raw_delim.push_back(src[j]);
-            raw_delim.push_back('"');
-            out.code[i] = '"';
-          } else {
-            state = State::str;
-            out.code[i] = '"';
-          }
-        } else if (c == '\'') {
-          // Distinguish char literals from digit separators (1'000'000).
-          if (i > 0 && is_ident_char(src[i - 1]) && is_ident_char(next)) {
-            out.code[i] = c;  // digit separator: keep
-          } else {
-            state = State::chr;
-            out.code[i] = '\'';
-          }
-        } else {
-          out.code[i] = c;
-        }
-        break;
-      case State::line_comment:
-        if (c == '\n') {
-          state = State::code;
-          out.comments.push_back(std::move(current));
-        } else {
-          current.text.push_back(c);
-        }
-        break;
-      case State::block_comment:
-        if (c == '*' && next == '/') {
-          state = State::code;
-          out.comments.push_back(std::move(current));
-          ++i;
-        } else {
-          current.text.push_back(c);
-        }
-        break;
-      case State::str:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          state = State::code;
-          out.code[i] = '"';
-        }
-        break;
-      case State::chr:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::code;
-          out.code[i] = '\'';
-        }
-        break;
-      case State::raw_str:
-        if (c == ')' && src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          state = State::code;
-          out.code[i] = '"';
-        }
-        break;
-    }
-    if (c == '\n') {
-      out.code[i] = '\n';
-      ++line;
-      line_start = i + 1;
-    }
-  }
-  if (state == State::line_comment || state == State::block_comment)
-    out.comments.push_back(std::move(current));
-  return out;
-}
-
-std::vector<std::string_view> split_lines(std::string_view text) {
-  std::vector<std::string_view> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) {
-      lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, nl - start));
-    start = nl + 1;
-  }
-  return lines;
-}
-
-/// Find `word` as a whole identifier in `line`, starting at `from`.
-std::size_t find_ident(std::string_view line, std::string_view word, std::size_t from = 0) {
-  while (from < line.size()) {
-    std::size_t pos = line.find(word, from);
-    if (pos == std::string_view::npos) return std::string_view::npos;
-    bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
-    std::size_t end = pos + word.size();
-    bool right_ok = end >= line.size() || !is_ident_char(line[end]);
-    if (left_ok && right_ok) return pos;
-    from = pos + 1;
-  }
-  return std::string_view::npos;
-}
-
-std::size_t skip_ws(std::string_view line, std::size_t pos) {
-  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
-  return pos;
-}
-
-/// Is the identifier at [pos, pos+len) called as a function (next token '(')?
-bool is_call(std::string_view line, std::size_t pos, std::size_t len) {
-  std::size_t after = skip_ws(line, pos + len);
-  return after < line.size() && line[after] == '(';
-}
-
-/// Is the identifier at `pos` a member access (`x.foo`, `x->foo`)? A plain
-/// `::foo` (global namespace) still counts as a bare call.
-bool is_member_access(std::string_view line, std::size_t pos) {
-  std::size_t i = pos;
-  while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t')) --i;
-  if (i == 0) return false;
-  if (line[i - 1] == '.') {
-    // Rule out floating literals like `1.close` (nonsense) — treat any '.'
-    // as member access.
-    return true;
-  }
-  if (line[i - 1] == '>' && i >= 2 && line[i - 2] == '-') return true;
-  return false;
-}
-
-/// Is the identifier at `pos` qualified by something other than the global
-/// namespace (e.g. `std::time`, `obj::time`)? Returns the qualifier.
-std::string_view qualifier(std::string_view line, std::size_t pos) {
-  if (pos < 2 || line[pos - 1] != ':' || line[pos - 2] != ':') return {};
-  std::size_t end = pos - 2;
-  std::size_t begin = end;
-  while (begin > 0 && is_ident_char(line[begin - 1])) --begin;
-  return line.substr(begin, end - begin);
-}
 
 struct Suppression {
   std::string rule;
@@ -216,11 +25,38 @@ struct Directives {
   std::vector<Finding> errors;  // bad-suppression findings
 };
 
-constexpr std::array<std::string_view, 6> kKnownRules = {
-    kRuleDeterminism, kRuleWireBounds,    kRuleRaiiSockets,
-    kRuleHeaderHygiene, kRuleHttpBlocking, kRuleAcceptanceSeam};
+constexpr std::array<std::string_view, 9> kKnownRules = {
+    kRuleDeterminism,    kRuleWireBounds, kRuleRaiiSockets,
+    kRuleHeaderHygiene,  kRuleHttpBlocking, kRuleAcceptanceSeam,
+    kRuleNoBlockingUnderLock, kRuleLockOrder, kRuleAnnotationCoverage};
 
-Directives parse_directives(std::string_view path, const Scrubbed& s) {
+/// How far a suppression placed above a statement reaches: the statement
+/// runs from `start` (0-based index into `lines`) to the line where it
+/// syntactically ends — last non-blank character `;`, `{` or `}` with all
+/// parentheses/brackets opened since `start` closed again. Capped so a
+/// directive can never silently blanket a whole file.
+constexpr std::size_t kMaxStatementLines = 12;
+
+std::size_t statement_end(const std::vector<std::string_view>& lines, std::size_t start) {
+  long depth = 0;
+  std::size_t limit = std::min(lines.size(), start + kMaxStatementLines);
+  for (std::size_t idx = start; idx < limit; ++idx) {
+    std::string_view line = lines[idx];
+    char trailing = '\0';
+    for (char c : line) {
+      if (c == '(' || c == '[') ++depth;
+      else if (c == ')' || c == ']') --depth;
+      if (c != ' ' && c != '\t') trailing = c;
+    }
+    if (trailing == '\0') return idx;  // blank line: the statement is over
+    if (depth <= 0 && (trailing == ';' || trailing == '{' || trailing == '}'))
+      return idx;
+  }
+  return limit == 0 ? 0 : limit - 1;
+}
+
+Directives parse_directives(std::string_view path, const Scrubbed& s,
+                            const std::vector<std::string_view>& lines) {
   static const std::regex kDirective(
       R"(dnslint:\s*allow\(([A-Za-z0-9_-]+)\)(\s*:\s*(\S[^]*?))?\s*$)");
   Directives out;
@@ -249,9 +85,15 @@ Directives parse_directives(std::string_view path, const Scrubbed& s) {
       continue;
     }
     // A directive covers its own line; a comment that owns its line also
-    // covers the line below it.
+    // covers the whole statement starting on the line below — a multi-line
+    // call or declaration is suppressed end to end, not just its first
+    // physical line.
     out.allows.emplace_back(c.line, Suppression{rule});
-    if (c.owns_line) out.allows.emplace_back(c.line + 1, Suppression{rule});
+    if (c.owns_line && c.line < lines.size()) {
+      std::size_t end = statement_end(lines, c.line);  // 0-based == c.line 1-based + 1
+      for (std::size_t idx = c.line; idx <= end; ++idx)
+        out.allows.emplace_back(idx + 1, Suppression{rule});
+    }
   }
   return out;
 }
@@ -266,6 +108,7 @@ struct PathScope {
   bool service_listener_seam = false;  // the allowlisted accept-loop seam
   bool exchange_seam = false;  // src/core/exchange.* — the one acceptance impl
   bool retry_seam = false;     // src/core/retry.* — defines rerandomize_query
+  bool annotated_subsystem = false;  // R9: capability-annotated subsystems
 };
 
 bool starts_with(std::string_view s, std::string_view prefix) {
@@ -296,6 +139,11 @@ PathScope classify_path(std::string_view path) {
   // re-randomization primitive the kernel wraps.
   scope.exchange_seam = starts_with(path, "src/core/exchange.");
   scope.retry_seam = starts_with(path, "src/core/retry.");
+  // Subsystems whose mutexes are netbase::Mutex capabilities (engine 1,
+  // thread_annotations.h); R9 keeps them that way.
+  scope.annotated_subsystem =
+      scope.in_service || scope.in_sockets || starts_with(path, "src/obs/") ||
+      starts_with(path, "src/atlas/") || starts_with(path, "src/netbase/");
   return scope;
 }
 
@@ -530,10 +378,15 @@ std::string Finding::to_string() const {
 }
 
 std::vector<Finding> lint_file(std::string_view path, std::string_view content) {
+  return lint_file(path, content, LockOrder{});
+}
+
+std::vector<Finding> lint_file(std::string_view path, std::string_view content,
+                               const LockOrder& lock_order) {
   PathScope scope = classify_path(path);
   Scrubbed s = scrub(content);
-  Directives directives = parse_directives(path, s);
   std::vector<std::string_view> lines = split_lines(s.code);
+  Directives directives = parse_directives(path, s, lines);
 
   Sink raw;
   if (scope.in_src && !scope.determinism_seam) check_determinism(path, lines, raw);
@@ -543,6 +396,11 @@ std::vector<Finding> lint_file(std::string_view path, std::string_view content) 
   if (scope.in_service && !scope.service_listener_seam) check_http_blocking(path, lines, raw);
   if (scope.in_src && !scope.exchange_seam) check_acceptance_seam(path, lines, scope, raw);
   if (scope.in_src && scope.is_header) check_header_hygiene(path, lines, raw);
+  if (scope.in_src) {
+    std::vector<Token> tokens = tokenize(s.code);
+    check_lock_scopes(path, tokens, lock_order, raw);
+    if (scope.annotated_subsystem) check_annotation_coverage(path, tokens, raw);
+  }
 
   Sink out = std::move(directives.errors);
   for (Finding& f : raw) {
@@ -562,10 +420,19 @@ std::vector<Finding> lint_file(std::string_view path, std::string_view content) 
   return out;
 }
 
+LockOrder load_lock_order(const std::string& root) {
+  std::ifstream in(root + "/tools/dnslint/lock_order.txt", std::ios::binary);
+  if (!in) return LockOrder{};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_lock_order(buf.str());
+}
+
 std::vector<Finding> lint_paths(const std::string& root, const std::vector<std::string>& files) {
   namespace fs = std::filesystem;
   std::vector<Finding> out;
   fs::path root_abs = fs::absolute(fs::path(root)).lexically_normal();
+  LockOrder lock_order = load_lock_order(root_abs.generic_string());
   for (const std::string& file : files) {
     fs::path abs = fs::absolute(fs::path(file)).lexically_normal();
     std::string rel = abs.lexically_relative(root_abs).generic_string();
@@ -578,7 +445,7 @@ std::vector<Finding> lint_paths(const std::string& root, const std::vector<std::
     std::ostringstream buf;
     buf << in.rdbuf();
     std::string content = buf.str();
-    std::vector<Finding> findings = lint_file(rel, content);
+    std::vector<Finding> findings = lint_file(rel, content, lock_order);
     out.insert(out.end(), std::make_move_iterator(findings.begin()),
                std::make_move_iterator(findings.end()));
   }

@@ -34,9 +34,33 @@
 //                        findings: transports must route answers through
 //                        core::run_exchange / ExchangeLedger.
 //
+// A second, scope-aware engine (scopes.h) tracks RAII lock-guard lifetimes
+// through nested scopes — lambdas, early returns, unlock()/lock(), moved
+// unique_locks — and enforces the concurrency discipline that clang's
+// thread-safety analysis (engine 1, netbase/thread_annotations.h) cannot
+// express:
+//
+//   R7 no-blocking-under-lock
+//                      — no blocking syscall (fsync/::write/poll/recv*/
+//                        send*/sleep_for/...) and no Simulator::run() while
+//                        a lock guard is live. Whole-token matching: a named
+//                        helper over a deliberate leaf lock (the journal
+//                        writer) documents itself at its definition site.
+//   R8 lock-order      — nested acquisitions build a per-file graph; edges
+//                        contradicting tools/dnslint/lock_order.txt or
+//                        closing a cycle are deadlock findings.
+//   R9 annotation-coverage
+//                      — annotated subsystems (src/service, src/obs,
+//                        src/atlas, src/netbase, src/sockets) declare every
+//                        mutex as the netbase::Mutex capability wrapper, and
+//                        every field after a Mutex member carries
+//                        DNSLOCATE_GUARDED_BY (atomics/condvars exempt).
+//
 // Suppressions: `// dnslint: allow(<rule>): <reason>` on the offending line
-// or alone on the line above. The reason string is mandatory — an allow()
-// without one is itself a finding (bad-suppression).
+// or alone on the line above (where it covers the whole statement that
+// starts on the next line, however many lines it spans). The reason string
+// is mandatory — an allow() without one is itself a finding
+// (bad-suppression).
 #pragma once
 
 #include <string>
@@ -52,6 +76,9 @@ inline constexpr std::string_view kRuleRaiiSockets = "raii-sockets";
 inline constexpr std::string_view kRuleHeaderHygiene = "header-hygiene";
 inline constexpr std::string_view kRuleHttpBlocking = "http-blocking";
 inline constexpr std::string_view kRuleAcceptanceSeam = "single-acceptance-seam";
+inline constexpr std::string_view kRuleNoBlockingUnderLock = "no-blocking-under-lock";
+inline constexpr std::string_view kRuleLockOrder = "lock-order";
+inline constexpr std::string_view kRuleAnnotationCoverage = "annotation-coverage";
 inline constexpr std::string_view kRuleBadSuppression = "bad-suppression";
 
 /// One diagnostic.
@@ -64,14 +91,38 @@ struct Finding {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Declared lock acquisition order for R8: one label per line, outermost
+/// first, '#' starts a comment. A label is the last identifier of the lock
+/// expression at the acquisition site (`run->mutex` -> "mutex").
+struct LockOrder {
+  std::vector<std::string> labels;
+
+  /// Position in the declared order; -1 for undeclared labels (which are
+  /// only checked for cycles, not rank).
+  [[nodiscard]] int rank(std::string_view label) const;
+};
+
+/// Parse lock_order.txt contents.
+[[nodiscard]] LockOrder parse_lock_order(std::string_view text);
+
+/// Load `<root>/tools/dnslint/lock_order.txt`; empty order when absent (R8
+/// then degrades to cycle detection only).
+[[nodiscard]] LockOrder load_lock_order(const std::string& root);
+
 /// Lint one file's contents. `path` decides which rules apply (R2 only under
-/// src/dnswire/, R3 ownership outside src/sockets/, R4 for headers) and must
-/// be relative to the repo root (forward slashes).
+/// src/dnswire/, R3 ownership outside src/sockets/, R4 for headers, R9 in
+/// the annotated subsystems) and must be relative to the repo root (forward
+/// slashes). The LockOrder overload feeds R8's declared-order check; the
+/// two-argument form runs R8 in cycle-detection-only mode.
 std::vector<Finding> lint_file(std::string_view path, std::string_view content);
+std::vector<Finding> lint_file(std::string_view path, std::string_view content,
+                               const LockOrder& lock_order);
 
 /// Lint files on disk. Each entry of `files` is an absolute or cwd-relative
 /// path; `root` is stripped to obtain the repo-relative path used for rule
-/// scoping. Unreadable files produce a finding rather than a crash.
+/// scoping, and `<root>/tools/dnslint/lock_order.txt` (if present) supplies
+/// the declared order for R8. Unreadable files produce a finding rather
+/// than a crash.
 std::vector<Finding> lint_paths(const std::string& root,
                                 const std::vector<std::string>& files);
 

@@ -1,0 +1,213 @@
+#include "dnslint/scan.h"
+
+#include <cctype>
+
+namespace dnslocate::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Scrubbed scrub(std::string_view src) {
+  Scrubbed out;
+  out.code.assign(src.size(), ' ');
+  enum class State { code, line_comment, block_comment, str, chr, raw_str };
+  State state = State::code;
+  std::size_t line = 1;
+  std::size_t line_start = 0;  // offset of the current line's first char
+  CommentSpan current;
+  std::string raw_delim;  // for raw string literals: the )delim" terminator
+
+  auto line_owned = [&](std::size_t begin) {
+    for (std::size_t j = line_start; j < begin; ++j) {
+      char c = src[j];
+      if (c != ' ' && c != '\t') return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::code:
+        if (c == '/' && next == '/') {
+          state = State::line_comment;
+          current = CommentSpan{line, line_owned(i), ""};
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::block_comment;
+          current = CommentSpan{line, line_owned(i), ""};
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? Look back for R prefix.
+          if (i > 0 && src[i - 1] == 'R' && (i < 2 || !is_ident_char(src[i - 2]))) {
+            state = State::raw_str;
+            raw_delim.clear();
+            raw_delim.push_back(')');
+            for (std::size_t j = i + 1; j < src.size() && src[j] != '('; ++j)
+              raw_delim.push_back(src[j]);
+            raw_delim.push_back('"');
+            out.code[i] = '"';
+          } else {
+            state = State::str;
+            out.code[i] = '"';
+          }
+        } else if (c == '\'') {
+          // Distinguish char literals from digit separators (1'000'000).
+          if (i > 0 && is_ident_char(src[i - 1]) && is_ident_char(next)) {
+            out.code[i] = c;  // digit separator: keep
+          } else {
+            state = State::chr;
+            out.code[i] = '\'';
+          }
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case State::line_comment:
+        if (c == '\n') {
+          state = State::code;
+          out.comments.push_back(std::move(current));
+        } else {
+          current.text.push_back(c);
+        }
+        break;
+      case State::block_comment:
+        if (c == '*' && next == '/') {
+          state = State::code;
+          out.comments.push_back(std::move(current));
+          ++i;
+        } else {
+          current.text.push_back(c);
+        }
+        break;
+      case State::str:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::code;
+          out.code[i] = '"';
+        }
+        break;
+      case State::chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::code;
+          out.code[i] = '\'';
+        }
+        break;
+      case State::raw_str:
+        if (c == ')' && src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::code;
+          out.code[i] = '"';
+        }
+        break;
+    }
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      line_start = i + 1;
+    }
+  }
+  if (state == State::line_comment || state == State::block_comment)
+    out.comments.push_back(std::move(current));
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::size_t find_ident(std::string_view line, std::string_view word, std::size_t from) {
+  while (from < line.size()) {
+    std::size_t pos = line.find(word, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    std::size_t end = pos + word.size();
+    bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t skip_ws(std::string_view line, std::size_t pos) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  return pos;
+}
+
+bool is_call(std::string_view line, std::size_t pos, std::size_t len) {
+  std::size_t after = skip_ws(line, pos + len);
+  return after < line.size() && line[after] == '(';
+}
+
+bool is_member_access(std::string_view line, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && (line[i - 1] == ' ' || line[i - 1] == '\t')) --i;
+  if (i == 0) return false;
+  if (line[i - 1] == '.') {
+    // Rule out floating literals like `1.close` (nonsense) — treat any '.'
+    // as member access.
+    return true;
+  }
+  if (line[i - 1] == '>' && i >= 2 && line[i - 2] == '-') return true;
+  return false;
+}
+
+std::string_view qualifier(std::string_view line, std::size_t pos) {
+  if (pos < 2 || line[pos - 1] != ':' || line[pos - 2] != ':') return {};
+  std::size_t end = pos - 2;
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(line[begin - 1])) --begin;
+  return line.substr(begin, end - begin);
+}
+
+std::vector<Token> tokenize(std::string_view scrubbed_code) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = scrubbed_code.size();
+  while (i < n) {
+    char c = scrubbed_code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t begin = i;
+      while (i < n && (is_ident_char(scrubbed_code[i]) || scrubbed_code[i] == '.')) ++i;
+      out.push_back(Token{Token::Kind::number, scrubbed_code.substr(begin, i - begin), line});
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::size_t begin = i;
+      while (i < n && is_ident_char(scrubbed_code[i])) ++i;
+      out.push_back(Token{Token::Kind::ident, scrubbed_code.substr(begin, i - begin), line});
+      continue;
+    }
+    out.push_back(Token{Token::Kind::punct, scrubbed_code.substr(i, 1), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace dnslocate::lint

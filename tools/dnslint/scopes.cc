@@ -1,0 +1,600 @@
+#include "dnslint/scopes.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace dnslocate::lint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Token::Kind::punct && t.text == s;
+}
+
+/// Is the identifier at `i` a member access (`x.foo`, `x->foo`)?
+bool member_access(const Tokens& toks, std::size_t i) {
+  if (i == 0) return false;
+  if (is_punct(toks[i - 1], ".")) return true;
+  return is_punct(toks[i - 1], ">") && i >= 2 && is_punct(toks[i - 2], "-");
+}
+
+/// Is the identifier at `i` qualified as `name::ident`?
+bool qualified_by(const Tokens& toks, std::size_t i, std::string_view name) {
+  return i >= 3 && is_punct(toks[i - 1], ":") && is_punct(toks[i - 2], ":") &&
+         toks[i - 3].kind == Token::Kind::ident && toks[i - 3].text == name;
+}
+
+/// Index of the first token of the (possibly qualified) name ending at `i`.
+std::size_t qualified_begin(const Tokens& toks, std::size_t i) {
+  while (i >= 3 && is_punct(toks[i - 1], ":") && is_punct(toks[i - 2], ":") &&
+         toks[i - 3].kind == Token::Kind::ident)
+    i -= 3;
+  return i;
+}
+
+/// toks[i] == '<': index just past the matching '>' (or a bail-out point).
+std::size_t skip_angles(const Tokens& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], "<")) ++depth;
+    else if (is_punct(toks[i], ">")) {
+      if (--depth == 0) return i + 1;
+    } else if (is_punct(toks[i], ";") || is_punct(toks[i], "{")) {
+      break;  // malformed / not really template args
+    }
+  }
+  return i;
+}
+
+// ------------------------------------------------------------- R7 + R8 -----
+
+/// One live RAII guard in some scope.
+struct Guard {
+  std::string_view name;                 // variable name
+  std::vector<std::string> labels;       // normalized mutex labels
+  std::size_t line = 0;                  // acquisition line
+  bool held = true;
+};
+
+/// A brace scope. Lambda bodies are *boundary* scopes: the enclosing
+/// function's guards are not held when the lambda body eventually runs, so
+/// they are suspended for every rule while walking the body.
+struct Scope {
+  bool boundary = false;
+  std::vector<Guard> guards;
+};
+
+/// Guard-declaring types the tracker understands.
+constexpr std::array<std::string_view, 5> kGuardTypes = {
+    "lock_guard", "unique_lock", "shared_lock", "scoped_lock", "MutexLock"};
+
+bool is_guard_type(std::string_view text) {
+  return std::find(kGuardTypes.begin(), kGuardTypes.end(), text) != kGuardTypes.end();
+}
+
+/// Calls that block (or can block unboundedly) and are therefore banned
+/// while any lock guard is live. Whole-token matches only: `fsync` does not
+/// match `fsync_journal`, `write` does not match `fwrite` — a *named helper*
+/// that blocks under a deliberately-held leaf lock (the journal writer) is
+/// the sanctioned escape, and it documents itself at the definition site.
+constexpr std::array<std::string_view, 27> kBlockingCalls = {
+    "fsync",      "fdatasync", "sync_file_range", "write",    "pwrite",
+    "writev",     "poll",      "ppoll",           "epoll_wait", "select",
+    "pselect",    "recv",      "recvfrom",        "recvmsg",  "send",
+    "sendto",     "sendmsg",   "accept",          "accept4",  "connect",
+    "usleep",     "nanosleep", "sleep",           "flock",    "system",
+    "sleep_for",  "sleep_until"};
+
+bool is_blocking_call(std::string_view text) {
+  return std::find(kBlockingCalls.begin(), kBlockingCalls.end(), text) !=
+         kBlockingCalls.end();
+}
+
+/// Does the '{' at `i` open a lambda body? Walk backwards over trailing
+/// specifiers / return-type tokens; a lambda head ends with `]` or with a
+/// `(...)` parameter list whose opener is preceded by `]`.
+bool lambda_boundary(const Tokens& toks, std::size_t i) {
+  std::size_t j = i;
+  while (j > 0) {
+    const Token& t = toks[j - 1];
+    if (t.kind == Token::Kind::ident) {  // noexcept / mutable / type names
+      --j;
+      continue;
+    }
+    if (t.kind == Token::Kind::punct &&
+        (t.text == ">" || t.text == "<" || t.text == "*" || t.text == "&" ||
+         t.text == ":" || t.text == "," || t.text == "-")) {
+      --j;
+      continue;
+    }
+    break;
+  }
+  if (j == 0) return false;
+  const Token& t = toks[j - 1];
+  if (is_punct(t, ")")) {
+    int depth = 0;
+    std::size_t k = j - 1;
+    while (true) {
+      if (is_punct(toks[k], ")")) ++depth;
+      else if (is_punct(toks[k], "(") && --depth == 0) break;
+      if (k == 0) return false;
+      --k;
+    }
+    return k > 0 && is_punct(toks[k - 1], "]");
+  }
+  return is_punct(t, "]");
+}
+
+/// A parsed guard declaration.
+struct GuardDecl {
+  bool valid = false;
+  Guard guard;
+  std::size_t next = 0;  // token index just past the declaration's ')'
+};
+
+/// Normalized label of one constructor argument: the last identifier of the
+/// lock expression (`run->mutex` -> "mutex", `mutex_` -> "mutex_").
+/// std::defer_lock / adopt_lock / try_to_lock tags yield no label.
+struct ArgInfo {
+  std::string label;
+  bool defer = false;
+};
+
+ArgInfo classify_arg(const Tokens& toks, std::size_t begin, std::size_t end) {
+  ArgInfo info;
+  for (std::size_t k = begin; k < end; ++k) {
+    if (toks[k].kind != Token::Kind::ident) continue;
+    std::string_view t = toks[k].text;
+    if (t == "defer_lock") {
+      info.defer = true;
+      info.label.clear();
+      return info;
+    }
+    if (t == "adopt_lock" || t == "try_to_lock" || t == "std" || t == "this") continue;
+    info.label = std::string(t);
+  }
+  return info;
+}
+
+/// Parse a guard declaration starting at the guard-type identifier `i`.
+/// Handles `std::lock_guard<std::mutex> g(m);`, optional template args,
+/// multi-mutex scoped_lock, `netbase::MutexLock g(m);`, defer_lock, and the
+/// CTAD form `auto g = std::unique_lock(m);`. Reference/pointer parameter
+/// declarations (`std::unique_lock<std::mutex>& lk`) are not guards here.
+GuardDecl parse_guard_decl(const Tokens& toks, std::size_t i) {
+  GuardDecl decl;
+  std::size_t j = i + 1;
+  if (j < toks.size() && is_punct(toks[j], "<")) j = skip_angles(toks, j);
+  if (j >= toks.size()) return decl;
+
+  if (toks[j].kind == Token::Kind::ident) {
+    decl.guard.name = toks[j].text;
+    ++j;
+  } else if (is_punct(toks[j], "(")) {
+    // CTAD: a preceding `auto g =` binds the temporary to a name; a bare
+    // temporary guard dies at the end of the statement and is ignored.
+    std::size_t qbegin = qualified_begin(toks, i);
+    if (qbegin >= 3 && is_punct(toks[qbegin - 1], "=") &&
+        toks[qbegin - 2].kind == Token::Kind::ident &&
+        toks[qbegin - 3].kind == Token::Kind::ident && toks[qbegin - 3].text == "auto") {
+      decl.guard.name = toks[qbegin - 2].text;
+    } else {
+      return decl;
+    }
+  } else {
+    return decl;  // reference/pointer param, member decl, etc.
+  }
+
+  if (j >= toks.size() || !is_punct(toks[j], "(")) return decl;
+  // Collect constructor arguments, splitting on top-level commas.
+  int paren = 0;
+  int angle = 0;
+  std::size_t arg_begin = j + 1;
+  bool deferred = false;
+  for (; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (is_punct(t, "(")) ++paren;
+    else if (is_punct(t, ")")) {
+      if (--paren == 0) {
+        ArgInfo info = classify_arg(toks, arg_begin, j);
+        if (info.defer) deferred = true;
+        if (!info.label.empty()) decl.guard.labels.push_back(std::move(info.label));
+        decl.next = j + 1;
+        break;
+      }
+    } else if (is_punct(t, "<")) {
+      ++angle;
+    } else if (is_punct(t, ">")) {
+      if (angle > 0) --angle;
+    } else if (is_punct(t, ",") && paren == 1 && angle == 0) {
+      ArgInfo info = classify_arg(toks, arg_begin, j);
+      if (info.defer) deferred = true;
+      if (!info.label.empty()) decl.guard.labels.push_back(std::move(info.label));
+      arg_begin = j + 1;
+    } else if (is_punct(t, ";") || is_punct(t, "{")) {
+      return decl;  // malformed
+    }
+  }
+  if (decl.next == 0 || decl.guard.labels.empty()) return decl;
+  decl.guard.line = toks[i].line;
+  decl.guard.held = !deferred;
+  decl.valid = true;
+  return decl;
+}
+
+/// Per-file acquisition graph for R8 cycle detection.
+class AcqGraph {
+ public:
+  /// Record `from` -> `to`; true when `to` could already reach `from`
+  /// (i.e. this edge closes a cycle).
+  bool add_and_check_cycle(const std::string& from, const std::string& to) {
+    bool cyclic = reaches(to, from);
+    if (!cyclic) adj_[from].insert(to);
+    return cyclic;
+  }
+
+ private:
+  bool reaches(const std::string& from, const std::string& to) const {
+    if (from == to) return true;
+    std::set<std::string> seen;
+    std::vector<const std::string*> stack = {&from};
+    while (!stack.empty()) {
+      const std::string& node = *stack.back();
+      stack.pop_back();
+      auto it = adj_.find(node);
+      if (it == adj_.end()) continue;
+      for (const std::string& next : it->second) {
+        if (next == to) return true;
+        if (seen.insert(next).second) stack.push_back(&next);
+      }
+    }
+    return false;
+  }
+
+  std::map<std::string, std::set<std::string>> adj_;
+};
+
+void add_finding(std::vector<Finding>& sink, std::string_view path, std::size_t line,
+                 std::string_view rule, std::string message) {
+  sink.push_back(Finding{std::string(path), line, std::string(rule), std::move(message)});
+}
+
+/// Walker state for R7/R8 over one file.
+struct LockWalk {
+  std::string_view path;
+  const LockOrder* order = nullptr;
+  std::vector<Finding>* sink = nullptr;
+  std::vector<Scope> scopes{Scope{}};  // implicit file scope
+  AcqGraph graph;
+
+  /// Guards visible at the current point: everything from the innermost
+  /// boundary scope (inclusive) outward-stops — a lambda body does not hold
+  /// the enclosing function's guards.
+  [[nodiscard]] std::vector<Guard*> visible_guards() {
+    std::vector<Guard*> out;
+    for (auto scope = scopes.rbegin(); scope != scopes.rend(); ++scope) {
+      for (Guard& g : scope->guards) out.push_back(&g);
+      if (scope->boundary) break;
+    }
+    return out;
+  }
+
+  /// R8: record edges from every held guard to each newly acquired label.
+  void record_acquisition(const std::vector<std::string>& new_labels, std::size_t line) {
+    for (Guard* held : visible_guards()) {
+      if (!held->held) continue;
+      for (const std::string& h : held->labels) {
+        for (const std::string& n : new_labels) {
+          if (h == n) {
+            add_finding(*sink, path, line, kRuleLockOrder,
+                        "acquiring '" + n + "' while already holding a lock with the "
+                        "same label (line " + std::to_string(held->line) + "); two "
+                        "same-class locks need an explicit address-ordered protocol");
+            continue;
+          }
+          int rh = order->rank(h);
+          int rn = order->rank(n);
+          if (rh >= 0 && rn >= 0 && rh > rn) {
+            add_finding(*sink, path, line, kRuleLockOrder,
+                        "acquiring '" + n + "' while holding '" + h + "' (line " +
+                        std::to_string(held->line) + ") contradicts the declared "
+                        "order in tools/dnslint/lock_order.txt ('" + n + "' is "
+                        "outermost-ranked above '" + h + "')");
+            continue;
+          }
+          if (graph.add_and_check_cycle(h, n)) {
+            add_finding(*sink, path, line, kRuleLockOrder,
+                        "acquiring '" + n + "' while holding '" + h + "' (line " +
+                        std::to_string(held->line) + ") closes an acquisition cycle "
+                        "in this file — a lock-order inversion that can deadlock");
+          }
+        }
+      }
+    }
+  }
+};
+
+void walk_lock_scopes(std::string_view path, const Tokens& toks, const LockOrder& order,
+                      std::vector<Finding>& sink) {
+  LockWalk walk;
+  walk.path = path;
+  walk.order = &order;
+  walk.sink = &sink;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "{")) {
+      walk.scopes.push_back(Scope{lambda_boundary(toks, i), {}});
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (walk.scopes.size() > 1) walk.scopes.pop_back();
+      continue;
+    }
+    if (t.kind != Token::Kind::ident) continue;
+
+    // Guard declarations.
+    if (is_guard_type(t.text) && !member_access(toks, i)) {
+      GuardDecl decl = parse_guard_decl(toks, i);
+      if (decl.valid) {
+        if (decl.guard.held) walk.record_acquisition(decl.guard.labels, decl.guard.line);
+        walk.scopes.back().guards.push_back(std::move(decl.guard));
+        i = decl.next - 1;
+        continue;
+      }
+    }
+
+    // Guard lifetime events: g.unlock() / g.lock() / std::move(g).
+    if (i + 3 < toks.size() && is_punct(toks[i + 1], ".") &&
+        toks[i + 2].kind == Token::Kind::ident && is_punct(toks[i + 3], "(")) {
+      std::string_view method = toks[i + 2].text;
+      if (method == "unlock" || method == "lock" || method == "try_lock") {
+        for (Guard* g : walk.visible_guards()) {
+          if (g->name != t.text) continue;
+          if (method == "unlock") {
+            g->held = false;
+          } else {
+            walk.record_acquisition(g->labels, toks[i].line);
+            g->held = true;
+          }
+          break;
+        }
+      }
+    }
+    if (t.text == "move" && qualified_by(toks, i, "std") && i + 3 < toks.size() &&
+        is_punct(toks[i + 1], "(") && toks[i + 2].kind == Token::Kind::ident &&
+        is_punct(toks[i + 3], ")")) {
+      for (Guard* g : walk.visible_guards()) {
+        if (g->name == toks[i + 2].text) {
+          g->held = false;  // ownership left this scope
+          break;
+        }
+      }
+    }
+
+    // R7: blocking calls while any visible guard is held.
+    bool call = i + 1 < toks.size() && is_punct(toks[i + 1], "(");
+    if (!call) continue;
+    const Guard* held = nullptr;
+    for (Guard* g : walk.visible_guards()) {
+      if (g->held) {
+        held = g;
+        break;
+      }
+    }
+    if (held == nullptr) continue;
+
+    if (is_blocking_call(t.text) && !member_access(toks, i)) {
+      std::string lock_desc = held->labels.empty() ? std::string("a lock")
+                                                   : "'" + held->labels.front() + "'";
+      add_finding(sink, path, t.line, kRuleNoBlockingUnderLock,
+                  std::string(t.text) + "() can block while holding " + lock_desc +
+                  " (guard '" + std::string(held->name) + "', line " +
+                  std::to_string(held->line) + "); release the lock first, or move "
+                  "the slow work out of the critical section");
+    } else if (t.text == "run" && member_access(toks, i)) {
+      // sim.run() / simulator->run(...) pumps the whole event loop.
+      std::size_t recv = i >= 2 && is_punct(toks[i - 1], ".") ? i - 2
+                       : i >= 3 ? i - 3
+                                : 0;
+      if (recv > 0 && toks[recv].kind == Token::Kind::ident) {
+        std::string lower(toks[recv].text);
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+        if (lower.find("sim") != std::string::npos) {
+          add_finding(sink, path, t.line, kRuleNoBlockingUnderLock,
+                      "Simulator::run() under '" + std::string(held->name) +
+                      "' (line " + std::to_string(held->line) + ") pumps the whole "
+                      "event loop inside a critical section; run the simulation "
+                      "outside the lock and publish results after");
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------ R9 -----
+
+constexpr std::array<std::string_view, 5> kRawMutexTypes = {
+    "mutex", "shared_mutex", "recursive_mutex", "timed_mutex", "recursive_timed_mutex"};
+
+/// Identifiers that exempt a member statement from the guarded-by rule:
+/// non-field declarations, lock-free members, and synchronization primitives
+/// with their own discipline.
+constexpr std::array<std::string_view, 13> kCoverageExempt = {
+    "static", "constexpr", "using",  "friend",   "typedef",
+    "operator", "enum",    "class",  "struct",   "template",
+    "atomic", "condition_variable", "condition_variable_any"};
+
+struct MemberStmt {
+  std::vector<std::size_t> toks;  // indices into the file token stream
+};
+
+/// Analyze one member-declaration statement of a class body.
+void analyze_member(std::string_view path, const Tokens& toks, MemberStmt& stmt,
+                    bool& mutex_seen, std::vector<Finding>& sink) {
+  // Strip access labels (`public:` etc. fold into the following statement).
+  std::size_t begin = 0;
+  while (begin + 1 < stmt.toks.size()) {
+    const Token& a = toks[stmt.toks[begin]];
+    if (a.kind == Token::Kind::ident &&
+        (a.text == "public" || a.text == "private" || a.text == "protected") &&
+        is_punct(toks[stmt.toks[begin + 1]], ":"))
+      begin += 2;
+    else
+      break;
+  }
+  if (begin >= stmt.toks.size()) return;
+
+  bool exempt = false;
+  bool has_annotation = false;
+  bool declares_capability = false;
+  for (std::size_t k = begin; k < stmt.toks.size(); ++k) {
+    const Token& t = toks[stmt.toks[k]];
+    if (t.kind != Token::Kind::ident) continue;
+    if (std::find(kCoverageExempt.begin(), kCoverageExempt.end(), t.text) !=
+        kCoverageExempt.end())
+      exempt = true;
+    if (t.text == "DNSLOCATE_GUARDED_BY" || t.text == "DNSLOCATE_PT_GUARDED_BY")
+      has_annotation = true;
+    if (t.text == "Mutex" && k + 1 < stmt.toks.size() &&
+        toks[stmt.toks[k + 1]].kind == Token::Kind::ident)
+      declares_capability = true;
+    // Raw standard mutex member: must be the netbase::Mutex wrapper instead.
+    if (std::find(kRawMutexTypes.begin(), kRawMutexTypes.end(), t.text) !=
+            kRawMutexTypes.end() &&
+        qualified_by(toks, stmt.toks[k], "std") && k + 1 < stmt.toks.size() &&
+        toks[stmt.toks[k + 1]].kind == Token::Kind::ident) {
+      add_finding(sink, path, t.line, kRuleAnnotationCoverage,
+                  "raw std::" + std::string(t.text) + " member in an annotated "
+                  "subsystem; use the netbase::Mutex capability wrapper "
+                  "(netbase/thread_annotations.h) so clang's thread-safety "
+                  "analysis can see the lock");
+      return;
+    }
+  }
+  if (declares_capability) {
+    mutex_seen = true;
+    return;
+  }
+  if (exempt || !mutex_seen) return;
+
+  // Field vs. function: a function declarator has an identifier directly
+  // followed by '(' outside template angle brackets (annotation macros are
+  // not declarators).
+  int angle = 0;
+  bool is_function = false;
+  for (std::size_t k = begin; k + 1 < stmt.toks.size(); ++k) {
+    const Token& t = toks[stmt.toks[k]];
+    if (is_punct(t, "<")) ++angle;
+    else if (is_punct(t, ">")) {
+      if (angle > 0) --angle;
+    } else if (angle == 0 && t.kind == Token::Kind::ident &&
+               is_punct(toks[stmt.toks[k + 1]], "(") &&
+               t.text.substr(0, 10) != "DNSLOCATE_") {
+      is_function = true;
+      break;
+    }
+  }
+  if (is_function) return;
+
+  if (!has_annotation) {
+    const Token& first = toks[stmt.toks[begin]];
+    add_finding(sink, path, first.line, kRuleAnnotationCoverage,
+                "field declared after a Mutex member without DNSLOCATE_GUARDED_BY; "
+                "state below the lock is the state it guards — annotate it (or move "
+                "an immutable field above the Mutex with an ownership comment)");
+  }
+}
+
+struct ClassFrame {
+  bool class_body = false;
+  bool mutex_seen = false;
+  MemberStmt stmt;
+};
+
+void walk_annotation_coverage(std::string_view path, const Tokens& toks,
+                              std::vector<Finding>& sink) {
+  std::vector<ClassFrame> frames{ClassFrame{}};  // file scope
+  bool pending_class = false;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::Kind::ident && (t.text == "class" || t.text == "struct")) {
+      bool template_param =
+          i > 0 && (is_punct(toks[i - 1], "<") || is_punct(toks[i - 1], ","));
+      bool enum_class = i > 0 && toks[i - 1].kind == Token::Kind::ident &&
+                        toks[i - 1].text == "enum";
+      if (!template_param && !enum_class) pending_class = true;
+    }
+    if (is_punct(t, ";") && frames.size() == 1) pending_class = false;
+
+    if (is_punct(t, "{")) {
+      ClassFrame frame;
+      frame.class_body = pending_class;
+      pending_class = false;
+      frames.push_back(std::move(frame));
+      continue;
+    }
+    if (is_punct(t, "}")) {
+      if (frames.size() > 1) frames.pop_back();
+      if (frames.back().class_body) {
+        // A nested body just closed inside a class. `};` means it was a
+        // nested type or a brace-initialized field (keep accumulating until
+        // the ';'); anything else was a member function definition.
+        if (i + 1 >= toks.size() || !is_punct(toks[i + 1], ";"))
+          frames.back().stmt.toks.clear();
+      }
+      continue;
+    }
+
+    ClassFrame& top = frames.back();
+    if (!top.class_body) continue;
+    if (is_punct(t, ";")) {
+      analyze_member(path, toks, top.stmt, top.mutex_seen, sink);
+      top.stmt.toks.clear();
+      continue;
+    }
+    top.stmt.toks.push_back(i);
+  }
+}
+
+}  // namespace
+
+void check_lock_scopes(std::string_view path, const std::vector<Token>& tokens,
+                       const LockOrder& order, std::vector<Finding>& sink) {
+  walk_lock_scopes(path, tokens, order, sink);
+}
+
+void check_annotation_coverage(std::string_view path, const std::vector<Token>& tokens,
+                               std::vector<Finding>& sink) {
+  walk_annotation_coverage(path, tokens, sink);
+}
+
+int LockOrder::rank(std::string_view label) const {
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (labels[i] == label) return static_cast<int>(i);
+  return -1;
+}
+
+LockOrder parse_lock_order(std::string_view text) {
+  LockOrder order;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    std::size_t last = line.find_last_not_of(" \t\r");
+    order.labels.push_back(line.substr(first, last - first + 1));
+  }
+  return order;
+}
+
+}  // namespace dnslocate::lint

@@ -1,0 +1,40 @@
+// Engine 2 of the concurrency-discipline pass: a brace/scope-aware walk of
+// the token stream that tracks RAII lock-guard lifetimes (lock_guard,
+// unique_lock, scoped_lock, netbase::MutexLock) through nested scopes —
+// including lambda bodies (which suspend the enclosing function's guards:
+// a lambda that *captures* a lock runs later, on some other frame),
+// `.unlock()` / `.lock()` transitions, and `std::move`d unique_locks.
+//
+// Three rules run over the tracked state (ids in lint.h):
+//
+//   R7 no-blocking-under-lock — no blocking syscall (fsync/::write/poll/
+//      recv*/send*/sleep_for/...) and no Simulator `.run()` while a guard
+//      is live. The PR 8 service bug — fsync of the journal under the
+//      service-wide mutex, stalling every worker — is this rule's fixture.
+//   R8 lock-order — every nested acquisition adds an edge to a per-file
+//      acquisition graph; edges contradicting the declared order
+//      (tools/dnslint/lock_order.txt) or closing a cycle are findings.
+//   R9 annotation-coverage — in annotated subsystems, every mutex member
+//      must be the netbase::Mutex capability wrapper (never raw std::mutex),
+//      and every field declared after a Mutex member must carry
+//      DNSLOCATE_GUARDED_BY / DNSLOCATE_PT_GUARDED_BY (atomics, condition
+//      variables and further Mutex members are exempt).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dnslint/lint.h"
+#include "dnslint/scan.h"
+
+namespace dnslocate::lint {
+
+/// R7 + R8 over one file's token stream (tokenize() of scrubbed code).
+void check_lock_scopes(std::string_view path, const std::vector<Token>& tokens,
+                       const LockOrder& order, std::vector<Finding>& sink);
+
+/// R9 over one file's token stream.
+void check_annotation_coverage(std::string_view path, const std::vector<Token>& tokens,
+                               std::vector<Finding>& sink);
+
+}  // namespace dnslocate::lint
